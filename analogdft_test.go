@@ -1,0 +1,258 @@
+package analogdft
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"analogdft/internal/paperdata"
+)
+
+// cachedExperiment runs the (relatively expensive) paper experiment once
+// for the whole test binary.
+var cachedExperiment *Experiment
+
+func paperExperiment(t *testing.T) *Experiment {
+	t.Helper()
+	if cachedExperiment == nil {
+		e, err := RunPaperExperiment()
+		if err != nil {
+			t.Fatalf("RunPaperExperiment: %v", err)
+		}
+		cachedExperiment = e
+	}
+	return cachedExperiment
+}
+
+// TestPaperExperimentHeadline verifies the experiment on our simulator
+// reproduces the shape of the paper's headline results:
+// FC 25% → 100%, large ⟨ω-det⟩ improvement, 2-configuration optimal set.
+func TestPaperExperimentHeadline(t *testing.T) {
+	e := paperExperiment(t)
+	if fc := e.Initial.FaultCoverage(); fc != 0.25 {
+		t.Errorf("initial FC = %g, want 0.25 (paper §2)", fc)
+	}
+	if fc := e.Matrix.FaultCoverage(); fc != 1 {
+		t.Errorf("DFT FC = %g, want 1 (paper §3.2)", fc)
+	}
+	if e.Brute.AvgOmegaDet <= e.Initial.AvgOmegaDet() {
+		t.Error("DFT must improve ⟨ω-det⟩")
+	}
+	if e.ConfigOpt.Best.NumConfigs != 2 {
+		t.Errorf("optimal set size = %d, want 2", e.ConfigOpt.Best.NumConfigs)
+	}
+	if e.ConfigOpt.Best.Coverage != 1 {
+		t.Error("optimal set must keep maximum coverage")
+	}
+}
+
+// TestPaperExperimentInitialRow checks the §2 result exactly: only fR1 and
+// fR4 are detectable in the functional configuration.
+func TestPaperExperimentInitialRow(t *testing.T) {
+	e := paperExperiment(t)
+	want := map[string]bool{"fR1": true, "fR4": true}
+	for _, ev := range e.Initial.Evals {
+		if ev.Detectable != want[ev.Fault.ID] {
+			t.Errorf("%s: detectable = %v, want %v", ev.Fault.ID, ev.Detectable, want[ev.Fault.ID])
+		}
+	}
+}
+
+// TestPaperExperimentStructure checks the §4 structure matches the paper:
+// essential configuration C2, minimal sets {C1,C2} and {C2,C5}, partial
+// DFT with OP1+OP2 and four usable configurations.
+func TestPaperExperimentStructure(t *testing.T) {
+	e := paperExperiment(t)
+	if len(e.ConfigOpt.EssentialRows) != 1 ||
+		e.Matrix.Configs[e.ConfigOpt.EssentialRows[0]].Label() != "C2" {
+		t.Errorf("essential rows = %v, want [C2]", e.ConfigOpt.EssentialRows)
+	}
+	var labels []string
+	for _, c := range e.ConfigOpt.Candidates {
+		labels = append(labels, strings.Join(c.Labels, ","))
+	}
+	if len(labels) != 2 || labels[0] != "C1,C2" || labels[1] != "C2,C5" {
+		t.Errorf("candidates = %v, want [C1,C2 C2,C5]", labels)
+	}
+	if got := strings.Join(e.OpampOpt.Chosen, ","); got != "OP1,OP2" {
+		t.Errorf("chosen opamps = %v", e.OpampOpt.Chosen)
+	}
+	if got := strings.Join(e.OpampOpt.UsableLabels, ","); got != "C0,C1,C2,C3" {
+		t.Errorf("usable configs = %v", e.OpampOpt.UsableLabels)
+	}
+	if e.OpampOpt.Coverage != 1 {
+		t.Errorf("partial DFT coverage = %g", e.OpampOpt.Coverage)
+	}
+}
+
+// TestPaperExperimentMatrixAgreement measures cell agreement with the
+// published Figure 5 (shape reproduction — we require a clear majority of
+// cells to match, and the headline rows C0/C1 to match exactly).
+func TestPaperExperimentMatrixAgreement(t *testing.T) {
+	e := paperExperiment(t)
+	// Map our netlist fault order onto the paper's column order.
+	paperCols := paperdata.FaultIDs
+	ourCol := map[string]int{}
+	for j, f := range e.Matrix.Faults {
+		ourCol[f.ID] = j
+	}
+	match, total := 0, 0
+	rowMatch := make([]int, 7)
+	for i := 0; i < 7; i++ {
+		for jp, id := range paperCols {
+			j, ok := ourCol[id]
+			if !ok {
+				t.Fatalf("fault %s missing", id)
+			}
+			total++
+			if e.Matrix.Det[i][j] == paperdata.Fig5Det[i][jp] {
+				match++
+				rowMatch[i]++
+			}
+		}
+	}
+	if match < total*3/4 {
+		t.Errorf("matrix agreement %d/%d below 75%%", match, total)
+	}
+	if rowMatch[0] != 8 {
+		t.Errorf("row C0 agreement %d/8, want exact", rowMatch[0])
+	}
+	if rowMatch[1] != 8 {
+		t.Errorf("row C1 agreement %d/8, want exact", rowMatch[1])
+	}
+}
+
+func TestPartialMatrixShape(t *testing.T) {
+	e := paperExperiment(t)
+	if e.PartialMatrix == nil {
+		t.Fatal("no partial matrix")
+	}
+	if e.PartialMatrix.NumConfigs() != 4 {
+		t.Fatalf("partial rows = %d, want 4 (Table 4)", e.PartialMatrix.NumConfigs())
+	}
+	if e.PartialMatrix.FaultCoverage() != 1 {
+		t.Error("partial DFT must keep full coverage")
+	}
+	// Mask vectors follow the paper's Table 4 notation.
+	if v := e.Partial.MaskVector(e.PartialMatrix.Configs[1]); v != "10-" {
+		t.Errorf("partial C1 vector = %q, want 10-", v)
+	}
+}
+
+func TestExperimentReport(t *testing.T) {
+	e := paperExperiment(t)
+	var sb strings.Builder
+	if err := e.Report(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Table 1", "Graph 1", "Figure 5", "Table 2", "Graph 2",
+		"§4.1", "§4.2", "Graph 3", "§4.3", "Table 4", "Graph 4",
+		"Headline summary", "essential configurations: C2", "ξ* = OP1·OP2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+// TestRunPublishedExact verifies the §4 numbers on the published data.
+func TestRunPublishedExact(t *testing.T) {
+	p, err := RunPublished()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(p.ConfigOpt.Best.Labels, ","); got != "C2,C5" {
+		t.Errorf("best = %s", got)
+	}
+	if math.Abs(p.ConfigOpt.Best.AvgOmegaDet-paperdata.OptimizedAvgOmegaDet) > 1e-9 {
+		t.Errorf("⟨ω-det⟩ = %g", p.ConfigOpt.Best.AvgOmegaDet)
+	}
+	if math.Abs(p.Brute.AvgOmegaDet-paperdata.BruteForceAvgOmegaDet) > 1e-9 {
+		t.Errorf("brute = %g", p.Brute.AvgOmegaDet)
+	}
+	if got := strings.Join(p.OpampOpt.Chosen, ","); got != "OP1,OP2" {
+		t.Errorf("opamps = %s", got)
+	}
+	if math.Abs(p.OpampOpt.AvgOmegaDet-paperdata.PartialDFTAvgOmegaDet) > 1e-9 {
+		t.Errorf("partial = %g", p.OpampOpt.AvgOmegaDet)
+	}
+	var sb strings.Builder
+	if err := p.Report(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "C1·C2 + C2·C5") {
+		t.Errorf("published report missing SOP:\n%s", sb.String())
+	}
+}
+
+func TestFacadeWrappers(t *testing.T) {
+	b := PaperBiquad()
+	if len(DeviationFaults(b.Circuit, 0.2)) != 8 {
+		t.Error("DeviationFaults")
+	}
+	if len(BipolarDeviationFaults(b.Circuit, 0.2)) != 16 {
+		t.Error("BipolarDeviationFaults")
+	}
+	if len(CatastrophicFaults(b.Circuit)) != 16 {
+		t.Error("CatastrophicFaults")
+	}
+	reg, err := ReferenceRegion(b.Circuit)
+	if err != nil || reg.LoHz <= 0 {
+		t.Errorf("ReferenceRegion: %v %v", reg, err)
+	}
+	resp, err := Sweep(b.Circuit, SweepSpec{StartHz: 10, StopHz: 1e6, Points: 21})
+	if err != nil || resp.Len() != 21 {
+		t.Errorf("Sweep: %v", err)
+	}
+	if len(CircuitLibrary()) == 0 {
+		t.Error("CircuitLibrary empty")
+	}
+	if len(PaperOpampNames()) != 3 {
+		t.Error("PaperOpampNames")
+	}
+	if PublishedMatrix().NumConfigs() != 7 || PublishedPartialMatrix().NumConfigs() != 4 {
+		t.Error("published matrices")
+	}
+}
+
+func TestGreedyVsExactOnExperiment(t *testing.T) {
+	e := paperExperiment(t)
+	g, err := GreedySolution(e.Matrix, e.Bench.Chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := ExactMinSolution(e.Matrix, e.Bench.Chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Coverage != 1 || g.Coverage != 1 {
+		t.Error("baselines must keep coverage")
+	}
+	if x.NumConfigs > g.NumConfigs {
+		t.Error("exact worse than greedy")
+	}
+	if x.NumConfigs != e.ConfigOpt.Best.NumConfigs {
+		t.Error("exact cover and Petrick minimal disagree on size")
+	}
+}
+
+func TestWeightedCostOnExperiment(t *testing.T) {
+	e := paperExperiment(t)
+	res, err := Optimize(e.Matrix, e.Bench.Chain, WeightedCost(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil || res.Best.Coverage != 1 {
+		t.Fatal("weighted optimization failed")
+	}
+}
+
+func TestRunRejectsBadBench(t *testing.T) {
+	b := PaperBiquad()
+	b.Chain = []string{"missing"}
+	if _, err := Run(b, 0.2, PaperOptions()); err == nil {
+		t.Fatal("bad bench accepted")
+	}
+}

@@ -1,0 +1,196 @@
+package analogdft
+
+// Extension benchmarks (A4–A7 in DESIGN.md): diagnosis dictionaries,
+// DFT penalty measurement, tolerance-derived ε and the transparent-
+// configuration opamp test.
+
+import (
+	"testing"
+)
+
+// A4 — diagnosis: dictionary construction and resolution over all
+// configurations vs the functional configuration alone.
+func BenchmarkDiagnosisDictionary(b *testing.B) {
+	bench := PaperBiquad()
+	faults := DeviationFaults(bench.Circuit, PaperFaultFraction)
+	region := Region{LoHz: 100, HiHz: 5600}
+	mod, err := ApplyDFT(bench.Circuit, bench.Chain)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var resAll, resC0 float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dAll, err := BuildDictionary(mod, []int{0, 1, 2, 3, 4, 5, 6}, faults, region,
+			DiagnosisOptions{Points: 80, Bands: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dC0, err := BuildDictionary(mod, []int{0}, faults, region,
+			DiagnosisOptions{Points: 80, Bands: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		resAll, resC0 = dAll.Resolution(), dC0.Resolution()
+	}
+	b.ReportMetric(resAll, "resolution-all")
+	b.ReportMetric(resC0, "resolution-C0")
+}
+
+// A5 — penalty: full vs partial DFT degradation and area overhead.
+func BenchmarkPenaltyComparison(b *testing.B) {
+	bench := WithSinglePoleOpamps(PaperBiquad(), 1e5, 10)
+	region := Region{LoHz: 100, HiHz: 1e6}
+	var cmp *PenaltyComparison
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		cmp, err = ComparePenalty(bench.Circuit, bench.Chain, []string{"OP1", "OP2"},
+			DefaultSwitchModel, DefaultAreaModel, region, 61)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*cmp.FullDegradation, "full-deg%")
+	b.ReportMetric(100*cmp.PartialDegradation, "partial-deg%")
+	b.ReportMetric(cmp.PartialAreaOverhead, "partial-area")
+}
+
+// A6 — tolerance: Monte Carlo envelope and derived ε.
+func BenchmarkToleranceDerivedEps(b *testing.B) {
+	bench := PaperBiquad()
+	region := Region{LoHz: 100, HiHz: 5600}
+	var eps float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		eps, err = DeriveToleranceEps(bench.Circuit, region, 31,
+			ToleranceSpec{PassiveTol: 0.02, Samples: 50, Seed: 1}, 1.2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*eps, "derived-ε%")
+}
+
+// A7 — transparent configuration: opamp-internal fault coverage (and the
+// passive-fault negative control).
+func BenchmarkTransparentOpampTest(b *testing.B) {
+	var res *OpampTest
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = RunOpampTest(PaperBiquad(), 1e5, 10, 0.01, 0.01, PaperFaultFraction,
+			Options{Points: 81})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*res.Transparent.FaultCoverage(), "opamp-FC%")
+	b.ReportMetric(100*res.PassiveInTransparent.FaultCoverage(), "passive-FC%")
+}
+
+// A8 — sensitivity: full-circuit sensitivity analysis (finite difference,
+// 2 sweeps per component).
+func BenchmarkSensitivityAnalysis(b *testing.B) {
+	bench := PaperBiquad()
+	grid := Grid(Region{LoHz: 100, HiHz: 5600}, 61)
+	for i := 0; i < b.N; i++ {
+		if _, err := AnalyzeSensitivity(bench.Circuit, grid, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// A9 — characterization: rational model fit of the paper biquad.
+func BenchmarkTransferFunctionFit(b *testing.B) {
+	bench := PaperBiquad()
+	region := Region{LoHz: 100, HiHz: 1e6}
+	var r *Rational
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = FitTransferFunction(bench.Circuit, region, 81, 4, 1e-3)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	f0, q, ok := DominantPolePair(r.Poles())
+	if !ok {
+		b.Fatal("no pole pair")
+	}
+	b.ReportMetric(f0, "f0-Hz")
+	b.ReportMetric(q, "Q")
+}
+
+// A10 — test-program scheduling: toggle count of the optimized ordering
+// vs the naive one for the full 7-configuration program.
+func BenchmarkTestScheduling(b *testing.B) {
+	var items []TestItem
+	for i := 0; i < 7; i++ {
+		items = append(items, TestItem{
+			Config: Configuration{Index: i, N: 3},
+			Freqs:  []float64{1e3, 5e3},
+		})
+	}
+	start := Configuration{Index: 0, N: 3}
+	var prog *TestProgram
+	for i := 0; i < b.N; i++ {
+		var err error
+		prog, err = ScheduleTests(items, start)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(prog.TotalToggles()), "toggles")
+	b.ReportMetric(float64(NaiveToggleCount(items, start)), "naive-toggles")
+}
+
+// A11 — double faults: pair coverage and masking under the optimized
+// configuration set.
+func BenchmarkDoubleFaultCoverage(b *testing.B) {
+	e := cachedExperimentB(b)
+	var cfgIdxs []int
+	for _, r := range e.ConfigOpt.Best.Rows {
+		cfgIdxs = append(cfgIdxs, e.Matrix.Configs[r].Index)
+	}
+	var res *MultiFaultResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = EvaluatePairs(e.Modified, cfgIdxs, e.Faults, e.Matrix.Region,
+			MultiFaultOptions{Points: 61, MeasFloor: 0.01})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*res.Coverage, "pair-FC%")
+	b.ReportMetric(float64(res.MaskedCount), "masked")
+}
+
+// A12 — ablation: shared Ω_reference vs per-configuration regions on the
+// paper biquad.
+func BenchmarkRegionSemanticsAblation(b *testing.B) {
+	bench := PaperBiquad()
+	faults := DeviationFaults(bench.Circuit, PaperFaultFraction)
+	mod, err := ApplyDFT(bench.Circuit, bench.Chain)
+	if err != nil {
+		b.Fatal(err)
+	}
+	shared := PaperOptions()
+	shared.Points = 61
+	perCfg := shared
+	perCfg.PerConfigRegion = true
+	var fcShared, fcPer float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mxS, err := BuildMatrix(mod, faults, shared)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mxP, err := BuildMatrix(mod, faults, perCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fcShared, fcPer = mxS.FaultCoverage(), mxP.FaultCoverage()
+	}
+	b.ReportMetric(100*fcShared, "shared-FC%")
+	b.ReportMetric(100*fcPer, "percfg-FC%")
+}

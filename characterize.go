@@ -1,0 +1,96 @@
+package analogdft
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/cmplx"
+
+	"analogdft/internal/symbolic"
+)
+
+// ConfigCharacter is the fitted characterization of one test
+// configuration: what network function the configurable opamps emulate.
+type ConfigCharacter struct {
+	Config Configuration
+	// Order is the fitted denominator order (pole count).
+	Order int
+	// DCGain is |H| at the low edge of the fitted region.
+	DCGain float64
+	// F0Hz and Q describe the dominant conjugate pole pair; HasPair is
+	// false for first-order (or overdamped) configurations.
+	F0Hz, Q float64
+	HasPair bool
+	// FitErr is the worst relative magnitude error of the model.
+	FitErr float64
+	// Err records a failed fit (configuration left uncharacterized).
+	Err error
+}
+
+// Characterize fits a rational model to every configuration of the
+// experiment's modified circuit over the given region (the §3 "widening of
+// the functional space" made quantitative: each configuration is a
+// different transfer function with its own order, f0 and Q).
+func (e *Experiment) Characterize(region Region, points, maxOrder int, tol float64) ([]ConfigCharacter, error) {
+	if err := region.Validate(); err != nil {
+		return nil, err
+	}
+	var out []ConfigCharacter
+	for _, cfg := range e.Matrix.Configs {
+		ckt, err := e.Modified.Configure(cfg)
+		if err != nil {
+			return nil, err
+		}
+		c := ConfigCharacter{Config: cfg}
+		model, err := symbolic.FitCircuit(ckt, region, points, maxOrder, tol)
+		if err != nil && model == nil {
+			c.Err = err
+			out = append(out, c)
+			continue
+		}
+		// FitCircuit may return its best-effort model with an error; keep
+		// the model and record the residual.
+		c.Order = model.DenOrder()
+		c.DCGain = cmplx.Abs(model.Eval(region.LoHz))
+		c.FitErr = 0
+		if err != nil {
+			c.Err = err
+		}
+		if f0, q, ok := symbolic.DominantPair(model.Poles()); ok {
+			c.F0Hz, c.Q, c.HasPair = f0, q, true
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// WriteCharacterization renders the characterization as a table.
+func WriteCharacterization(w io.Writer, chars []ConfigCharacter) error {
+	if _, err := fmt.Fprintf(w, "%-5s %-7s %-6s %-10s %-8s %s\n",
+		"Conf", "Vector", "order", "|H(lo)|", "f0", "Q"); err != nil {
+		return err
+	}
+	for _, c := range chars {
+		if c.Err != nil && c.Order == 0 {
+			if _, err := fmt.Fprintf(w, "%-5s %-7s fit failed: %v\n",
+				c.Config.Label(), c.Config.Vector(), c.Err); err != nil {
+				return err
+			}
+			continue
+		}
+		f0, q := "-", "-"
+		if c.HasPair {
+			f0 = fmt.Sprintf("%.4g", c.F0Hz)
+			q = fmt.Sprintf("%.3g", c.Q)
+		}
+		dc := fmt.Sprintf("%.4g", c.DCGain)
+		if math.IsInf(c.DCGain, 0) || math.IsNaN(c.DCGain) {
+			dc = "-"
+		}
+		if _, err := fmt.Fprintf(w, "%-5s %-7s %-6d %-10s %-8s %s\n",
+			c.Config.Label(), c.Config.Vector(), c.Order, dc, f0, q); err != nil {
+			return err
+		}
+	}
+	return nil
+}

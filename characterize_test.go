@@ -1,0 +1,110 @@
+package analogdft
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCharacterizeConfigurations(t *testing.T) {
+	e := paperExperiment(t)
+	chars, err := e.Characterize(Region{LoHz: 100, HiHz: 1e6}, 81, 4, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chars) != 7 {
+		t.Fatalf("characterizations = %d", len(chars))
+	}
+	byLabel := map[string]ConfigCharacter{}
+	for _, c := range chars {
+		byLabel[c.Config.Label()] = c
+	}
+	// C0 is the functional biquad: 2nd order, f0 = 10 kHz, Q = 2, unity DC.
+	c0 := byLabel["C0"]
+	if c0.Err != nil {
+		t.Fatalf("C0 fit: %v", c0.Err)
+	}
+	if c0.Order != 2 || !c0.HasPair {
+		t.Fatalf("C0 = %+v", c0)
+	}
+	if math.Abs(c0.F0Hz-10e3) > 200 || math.Abs(c0.Q-2) > 0.1 {
+		t.Fatalf("C0 f0 = %g, Q = %g", c0.F0Hz, c0.Q)
+	}
+	if math.Abs(c0.DCGain-1) > 0.02 {
+		t.Fatalf("C0 DC gain = %g", c0.DCGain)
+	}
+	// Every configuration characterizes to order ≤ 2 (at most the two
+	// capacitors remain active).
+	for _, c := range chars {
+		if c.Err == nil && c.Order > 2 {
+			t.Errorf("%s: fitted order %d > 2", c.Config.Label(), c.Order)
+		}
+	}
+	// The test configurations implement *different* functions: at least
+	// one has no resonant pair (an integrator/first-order behaviour).
+	noPair := 0
+	for _, c := range chars {
+		if c.Err == nil && !c.HasPair {
+			noPair++
+		}
+	}
+	if noPair == 0 {
+		t.Error("every configuration still resonant; expected some follower-mode first-order functions")
+	}
+}
+
+func TestWriteCharacterization(t *testing.T) {
+	e := paperExperiment(t)
+	chars, err := e.Characterize(Region{LoHz: 100, HiHz: 1e6}, 61, 4, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteCharacterization(&sb, chars); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "C0") || !strings.Contains(out, "order") {
+		t.Fatalf("table:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 8 {
+		t.Fatalf("lines = %d, want 8", len(lines))
+	}
+}
+
+func TestCharacterizeBadRegion(t *testing.T) {
+	e := paperExperiment(t)
+	if _, err := e.Characterize(Region{LoHz: 10, HiHz: 1}, 61, 4, 1e-3); err == nil {
+		t.Fatal("bad region accepted")
+	}
+}
+
+func TestExperimentSummaryJSON(t *testing.T) {
+	e := paperExperiment(t)
+	var sb strings.Builder
+	if err := e.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]interface{}
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	s := e.Summary()
+	if s.InitialFaultCoverage != 0.25 || s.DFTFaultCoverage != 1 {
+		t.Fatalf("summary coverages = %g/%g", s.InitialFaultCoverage, s.DFTFaultCoverage)
+	}
+	if len(s.DetMatrix) != 7 || len(s.DetMatrix[0]) != 8 {
+		t.Fatal("summary matrix shape")
+	}
+	if len(s.CandidateSets) != 2 || len(s.OptimalSet) != 2 {
+		t.Fatalf("summary sets: %v / %v", s.CandidateSets, s.OptimalSet)
+	}
+	if s.EssentialConfigs[0] != "C2" {
+		t.Fatalf("essential = %v", s.EssentialConfigs)
+	}
+	if decoded["circuit"] != "paper-biquad" {
+		t.Fatalf("circuit field = %v", decoded["circuit"])
+	}
+}

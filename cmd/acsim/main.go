@@ -1,0 +1,94 @@
+// Command acsim sweeps a netlist's transfer function and writes Bode data
+// as CSV (freq, magnitude, dB, phase):
+//
+//	acsim -start 10 -stop 1e6 -points 201 circuit.cir > bode.csv
+//
+// With no deck argument the built-in paper biquad is used. A configuration
+// index can be selected with -config to sweep a DFT test configuration
+// (the deck needs a .chain directive or opamps to auto-chain).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"analogdft"
+	"analogdft/internal/spice"
+)
+
+func main() {
+	var (
+		start  = flag.Float64("start", 1, "sweep start frequency (Hz)")
+		stop   = flag.Float64("stop", 1e8, "sweep stop frequency (Hz)")
+		points = flag.Int("points", 201, "number of log-spaced points")
+		cfgIdx = flag.Int("config", -1, "DFT configuration index to emulate (-1 = unmodified circuit)")
+		outPth = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	if err := run(flag.Arg(0), *start, *stop, *points, *cfgIdx, *outPth); err != nil {
+		fmt.Fprintln(os.Stderr, "acsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, start, stop float64, points, cfgIdx int, outPath string) error {
+	ckt, chain, err := load(path)
+	if err != nil {
+		return err
+	}
+	if cfgIdx >= 0 {
+		if len(chain) == 0 {
+			return fmt.Errorf("deck has no configurable-opamp chain")
+		}
+		m, err := analogdft.ApplyDFT(ckt, chain)
+		if err != nil {
+			return err
+		}
+		cfg, err := m.Config(cfgIdx)
+		if err != nil {
+			return err
+		}
+		if ckt, err = m.Configure(cfg); err != nil {
+			return err
+		}
+	}
+	resp, err := analogdft.Sweep(ckt, analogdft.SweepSpec{StartHz: start, StopHz: stop, Points: points})
+	if err != nil {
+		return err
+	}
+	out := os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	return resp.WriteCSV(out)
+}
+
+func load(path string) (*analogdft.Circuit, []string, error) {
+	if path == "" {
+		b := analogdft.PaperBiquad()
+		return b.Circuit, b.Chain, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	deck, err := spice.Parse(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	chain := deck.Chain
+	if len(chain) == 0 {
+		for _, op := range deck.Circuit.Opamps() {
+			chain = append(chain, op.Name())
+		}
+	}
+	return deck.Circuit, chain, nil
+}

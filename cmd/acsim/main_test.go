@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunDefaultCircuit(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "bode.csv")
+	if err := run("", 10, 1e6, 11, -1, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 12 {
+		t.Fatalf("CSV lines = %d, want 12", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "freq_hz,") {
+		t.Fatalf("header = %q", lines[0])
+	}
+}
+
+func TestRunConfiguredSweep(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "c7.csv")
+	// Configuration 7 is transparent: |H| = 1 at every frequency.
+	if err := run("", 10, 1e5, 5, 7, out); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(out)
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n")[1:] {
+		fields := strings.Split(line, ",")
+		if !strings.HasPrefix(fields[1], "1") && !strings.HasPrefix(fields[1], "0.999") {
+			t.Fatalf("transparent config magnitude = %q", fields[1])
+		}
+	}
+}
+
+func TestRunBadConfig(t *testing.T) {
+	if err := run("", 10, 1e5, 5, 99, ""); err == nil {
+		t.Fatal("bad config index accepted")
+	}
+}
+
+func TestRunFromDeck(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "deck.csv")
+	if err := run("../../testdata/biquad.cir", 10, 1e6, 5, -1, out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadMissing(t *testing.T) {
+	if _, _, err := load("/no/such.cir"); err == nil {
+		t.Fatal("missing deck accepted")
+	}
+}

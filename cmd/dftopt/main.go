@@ -1,0 +1,151 @@
+// Command dftopt runs the full multi-configuration DFT optimization on a
+// netlist deck:
+//
+//	dftopt [flags] circuit.cir
+//
+// The deck must declare .input and .output; .chain selects the
+// configurable opamps (default: every opamp in netlist order). Flags
+// select the fault size, tolerance, reference region and the 2nd-order
+// cost function. With no deck argument the built-in paper biquad is used.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"analogdft"
+	"analogdft/internal/spice"
+)
+
+func main() {
+	var (
+		frac    = flag.Float64("frac", 0.20, "deviation fault size (fraction)")
+		eps     = flag.Float64("eps", 0.10, "detection tolerance ε (fraction)")
+		floor   = flag.Float64("floor", 1e-4, "measurement floor relative to the response peak")
+		points  = flag.Int("points", 241, "frequency grid points over Ω_reference")
+		loHz    = flag.Float64("lo", 0, "pin Ω_reference low edge (Hz); 0 = automatic")
+		hiHz    = flag.Float64("hi", 0, "pin Ω_reference high edge (Hz); 0 = automatic")
+		cost    = flag.String("cost", "configs", `2nd-order cost: "configs", "opamps" or "weighted"`)
+		wCfg    = flag.Float64("wconfigs", 1, "configuration weight for -cost=weighted")
+		wOp     = flag.Float64("wopamps", 1, "opamp weight for -cost=weighted")
+		bipolar = flag.Bool("bipolar", false, "use ± deviation faults instead of + only")
+	)
+	flag.Parse()
+
+	if err := run(flag.Arg(0), *frac, *eps, *floor, *points, *loHz, *hiHz, *cost, *wCfg, *wOp, *bipolar); err != nil {
+		fmt.Fprintln(os.Stderr, "dftopt:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, frac, eps, floor float64, points int, loHz, hiHz float64, cost string, wCfg, wOp float64, bipolar bool) error {
+	bench, err := loadBench(path)
+	if err != nil {
+		return err
+	}
+	opts := analogdft.Options{Eps: eps, MeasFloor: floor, Points: points}
+	if loHz > 0 && hiHz > loHz {
+		opts.Region = analogdft.Region{LoHz: loHz, HiHz: hiHz}
+	}
+	exp, err := analogdft.Run(bench, frac, opts)
+	if err != nil {
+		return err
+	}
+	if bipolar {
+		// Re-run the matrix with bipolar faults (Run uses single-sided).
+		exp.Faults = analogdft.BipolarDeviationFaults(bench.Circuit, frac)
+		if exp.Matrix, err = analogdft.BuildMatrix(exp.Modified, exp.Faults, opts); err != nil {
+			return err
+		}
+	}
+
+	var costFn analogdft.CostFunction
+	switch cost {
+	case "configs":
+		costFn = analogdft.ConfigCountCost
+	case "opamps":
+		costFn = analogdft.OpampCountCost
+	case "weighted":
+		costFn = analogdft.WeightedCost(wCfg, wOp)
+	default:
+		return fmt.Errorf("unknown cost %q", cost)
+	}
+	if exp.ConfigOpt, err = analogdft.Optimize(exp.Matrix, bench.Chain, costFn); err != nil {
+		return err
+	}
+	if err := exp.Report(os.Stdout); err != nil {
+		return err
+	}
+	return reportProgram(exp, bench)
+}
+
+// reportProgram appends the concrete test program for the optimized set:
+// per-configuration test frequencies, the minimum-toggle application
+// order and the BIST hardware budget.
+func reportProgram(exp *analogdft.Experiment, bench *analogdft.Bench) error {
+	var cfgIdxs []int
+	for _, r := range exp.ConfigOpt.Best.Rows {
+		cfgIdxs = append(cfgIdxs, exp.Matrix.Configs[r].Index)
+	}
+	plans, err := analogdft.PlanConfigurationTests(exp.Modified, cfgIdxs, exp.Faults, exp.Matrix.Region,
+		analogdft.TestGenOptions{Eps: exp.Opts.Eps, MeasFloor: exp.Opts.MeasFloor, Points: exp.Opts.Points})
+	if err != nil {
+		return err
+	}
+	var items []analogdft.TestItem
+	totalFreqs := 0
+	for i, r := range exp.ConfigOpt.Best.Rows {
+		items = append(items, analogdft.TestItem{Config: exp.Matrix.Configs[r], Freqs: plans[i].Freqs})
+		totalFreqs += len(plans[i].Freqs)
+	}
+	start := analogdft.Configuration{Index: 0, N: exp.Modified.N()}
+	prog, err := analogdft.ScheduleTests(items, start)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\ntest program for the optimal set:")
+	for _, step := range prog.Steps {
+		fmt.Printf("  %s (%s): %d toggles in, frequencies %v\n",
+			step.Config.Label(), step.Config.Vector(), step.TogglesIn, step.Freqs)
+	}
+	fmt.Printf("selection-line toggles: %d (naive order: %d)\n",
+		prog.TotalToggles(), analogdft.NaiveToggleCount(items, start))
+	est, err := analogdft.EstimateBIST(analogdft.DefaultBISTModel, exp.Modified.N(),
+		len(items), prog.TotalMeasurements())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("BIST budget: %.0f gate equivalents (%d config ROM bits, %d freq words, %d windows)\n",
+		est.GateEquivalents, est.ConfigROMBits, est.FreqROMBits, est.Windows)
+	return nil
+}
+
+func loadBench(path string) (*analogdft.Bench, error) {
+	if path == "" {
+		return analogdft.PaperBiquad(), nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	deck, err := spice.Parse(f)
+	if err != nil {
+		return nil, err
+	}
+	chain := deck.Chain
+	if len(chain) == 0 {
+		for _, op := range deck.Circuit.Opamps() {
+			chain = append(chain, op.Name())
+		}
+	}
+	if len(chain) == 0 {
+		return nil, fmt.Errorf("deck %s has no opamps to configure", path)
+	}
+	return &analogdft.Bench{
+		Circuit:     deck.Circuit,
+		Chain:       chain,
+		Description: "netlist " + path,
+	}, nil
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoadBenchDefault(t *testing.T) {
+	b, err := loadBench("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Circuit.Name != "paper-biquad" || len(b.Chain) != 3 {
+		t.Fatalf("default bench = %v chain %v", b.Circuit.Name, b.Chain)
+	}
+}
+
+func TestLoadBenchFromDeck(t *testing.T) {
+	b, err := loadBench("../../testdata/biquad.cir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Chain) != 3 || b.Chain[0] != "OA1" {
+		t.Fatalf("chain = %v", b.Chain)
+	}
+	if err := b.Circuit.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadBenchMissingFile(t *testing.T) {
+	if _, err := loadBench("/nonexistent/deck.cir"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRunRejectsUnknownCost(t *testing.T) {
+	err := run("", 0.2, 0.1, 0.01, 31, 100, 5600, "bogus", 1, 1, false)
+	if err == nil || !strings.Contains(err.Error(), "unknown cost") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunCostVariants(t *testing.T) {
+	// Exercise all three cost paths end to end on a coarse grid (stdout
+	// noise is acceptable in tests).
+	for _, cost := range []string{"configs", "opamps", "weighted"} {
+		if err := run("", 0.2, 0.1, 0.01, 31, 100, 5600, cost, 1, 1, false); err != nil {
+			t.Fatalf("cost %s: %v", cost, err)
+		}
+	}
+}
+
+func TestRunBipolar(t *testing.T) {
+	if err := run("", 0.2, 0.1, 0.01, 31, 100, 5600, "configs", 1, 1, true); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,135 @@
+// Command diagnose builds a fault dictionary for a netlist over its DFT
+// configurations and either prints the dictionary (ambiguity groups,
+// diagnostic resolution) or locates an injected fault:
+//
+//	diagnose [flags] [circuit.cir]
+//	diagnose -inject fR4 circuit.cir
+//
+// With no deck argument the built-in paper biquad is used.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"analogdft"
+	"analogdft/internal/spice"
+)
+
+func main() {
+	var (
+		frac    = flag.Float64("frac", 0.20, "deviation fault size (fraction)")
+		eps     = flag.Float64("eps", 0.10, "signature threshold ε (fraction)")
+		points  = flag.Int("points", 120, "frequency grid points")
+		bands   = flag.Int("bands", 4, "frequency bands per configuration")
+		loHz    = flag.Float64("lo", 100, "region low edge (Hz)")
+		hiHz    = flag.Float64("hi", 5600, "region high edge (Hz)")
+		configs = flag.String("configs", "", "comma-separated configuration indices (default: all non-transparent)")
+		inject  = flag.String("inject", "", "fault ID to inject and diagnose (e.g. fR4)")
+	)
+	flag.Parse()
+
+	if err := run(flag.Arg(0), *frac, *eps, *points, *bands, *loHz, *hiHz, *configs, *inject); err != nil {
+		fmt.Fprintln(os.Stderr, "diagnose:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, frac, eps float64, points, bands int, loHz, hiHz float64, configsCSV, inject string) error {
+	bench, err := loadBench(path)
+	if err != nil {
+		return err
+	}
+	faults := analogdft.DeviationFaults(bench.Circuit, frac)
+	region := analogdft.Region{LoHz: loHz, HiHz: hiHz}
+	mod, err := analogdft.ApplyDFT(bench.Circuit, bench.Chain)
+	if err != nil {
+		return err
+	}
+	cfgIdxs, err := parseConfigs(configsCSV, mod.NumConfigurations())
+	if err != nil {
+		return err
+	}
+	dict, err := analogdft.BuildDictionary(mod, cfgIdxs, faults, region,
+		analogdft.DiagnosisOptions{Eps: eps, Points: points, Bands: bands})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("dictionary: %s, %d configurations × %d bands, %d faults\n",
+		bench.Circuit.Name, len(dict.Configs), dict.Bands, len(dict.Faults))
+	fmt.Printf("diagnostic resolution: %.2f\n", dict.Resolution())
+	fmt.Println("ambiguity groups:")
+	for _, g := range dict.AmbiguityGroups() {
+		fmt.Printf("  %v\n", g)
+	}
+
+	if inject == "" {
+		return nil
+	}
+	target, ok := faults.ByID(inject)
+	if !ok {
+		return fmt.Errorf("unknown fault %q (have %v)", inject, faults.IDs())
+	}
+	sig, err := dict.SignatureOfCircuit(func(ckt *analogdft.Circuit) (*analogdft.Circuit, error) {
+		return target.Apply(ckt)
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ninjected %s → signature %s\n", target.ID, sig)
+	if ids := dict.Diagnose(sig); len(ids) > 0 {
+		fmt.Printf("diagnosis (exact): %v\n", ids)
+	} else {
+		near, dist := dict.Nearest(sig)
+		fmt.Printf("diagnosis (nearest, distance %d): %v\n", dist, near)
+	}
+	return nil
+}
+
+func parseConfigs(csv string, numConfigs int) ([]int, error) {
+	if csv == "" {
+		var out []int
+		for i := 0; i < numConfigs-1; i++ { // exclude transparent
+			out = append(out, i)
+		}
+		return out, nil
+	}
+	var out []int
+	for _, tok := range strings.Split(csv, ",") {
+		idx, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil {
+			return nil, fmt.Errorf("bad configuration index %q", tok)
+		}
+		out = append(out, idx)
+	}
+	return out, nil
+}
+
+func loadBench(path string) (*analogdft.Bench, error) {
+	if path == "" {
+		return analogdft.PaperBiquad(), nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	deck, err := spice.Parse(f)
+	if err != nil {
+		return nil, err
+	}
+	chain := deck.Chain
+	if len(chain) == 0 {
+		for _, op := range deck.Circuit.Opamps() {
+			chain = append(chain, op.Name())
+		}
+	}
+	if len(chain) == 0 {
+		return nil, fmt.Errorf("deck %s has no opamps", path)
+	}
+	return &analogdft.Bench{Circuit: deck.Circuit, Chain: chain, Description: "netlist " + path}, nil
+}

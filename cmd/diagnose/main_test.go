@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseConfigs(t *testing.T) {
+	got, err := parseConfigs("", 8)
+	if err != nil || len(got) != 7 {
+		t.Fatalf("default configs = %v, %v", got, err)
+	}
+	got, err = parseConfigs("1, 2,5", 8)
+	if err != nil || len(got) != 3 || got[2] != 5 {
+		t.Fatalf("explicit configs = %v, %v", got, err)
+	}
+	if _, err := parseConfigs("1,x", 8); err == nil {
+		t.Fatal("bad index accepted")
+	}
+}
+
+func TestRunDictionaryOnly(t *testing.T) {
+	if err := run("", 0.2, 0.1, 60, 3, 100, 5600, "0,1,2", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunInjectAndDiagnose(t *testing.T) {
+	if err := run("", 0.2, 0.1, 60, 3, 100, 5600, "", "fR4"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownFault(t *testing.T) {
+	err := run("", 0.2, 0.1, 60, 3, 100, 5600, "0,1", "fZZ")
+	if err == nil || !strings.Contains(err.Error(), "unknown fault") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunFromDeck(t *testing.T) {
+	if err := run("../../testdata/biquad.cir", 0.2, 0.1, 40, 2, 100, 5600, "0,1", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadBenchMissing(t *testing.T) {
+	if _, err := loadBench("/no/such.cir"); err == nil {
+		t.Fatal("missing deck accepted")
+	}
+}

@@ -1,0 +1,130 @@
+// Command faultsim fault-simulates a netlist and prints the fault
+// detectability matrix and ω-detectability table over all DFT
+// configurations (or just the functional circuit with -initial):
+//
+//	faultsim [flags] circuit.cir
+//
+// With no deck argument the built-in paper biquad is used.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"analogdft"
+	"analogdft/internal/report"
+	"analogdft/internal/spice"
+)
+
+func main() {
+	var (
+		frac    = flag.Float64("frac", 0.20, "deviation fault size (fraction)")
+		eps     = flag.Float64("eps", 0.10, "detection tolerance ε (fraction)")
+		floor   = flag.Float64("floor", 1e-4, "measurement floor relative to peak")
+		points  = flag.Int("points", 241, "frequency grid points")
+		loHz    = flag.Float64("lo", 0, "pin Ω_reference low edge (Hz)")
+		hiHz    = flag.Float64("hi", 0, "pin Ω_reference high edge (Hz)")
+		initial = flag.Bool("initial", false, "evaluate only the unmodified circuit")
+		csvPath = flag.String("csv", "", "write the matrix as CSV to this file")
+		md      = flag.Bool("markdown", false, "render tables as GitHub markdown")
+	)
+	flag.Parse()
+
+	if err := run(flag.Arg(0), *frac, *eps, *floor, *points, *loHz, *hiHz, *initial, *csvPath, *md); err != nil {
+		fmt.Fprintln(os.Stderr, "faultsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, frac, eps, floor float64, points int, loHz, hiHz float64, initialOnly bool, csvPath string, markdown bool) error {
+	bench, err := loadBench(path)
+	if err != nil {
+		return err
+	}
+	faults := analogdft.DeviationFaults(bench.Circuit, frac)
+	opts := analogdft.Options{Eps: eps, MeasFloor: floor, Points: points}
+	if loHz > 0 && hiHz > loHz {
+		opts.Region = analogdft.Region{LoHz: loHz, HiHz: hiHz}
+	}
+
+	if initialOnly {
+		row, err := analogdft.EvaluateCircuit(bench.Circuit, faults, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("circuit %s  Ω_reference = %s  ε = %.0f%%\n\n", bench.Circuit.Name, row.Region, 100*eps)
+		fmt.Printf("%-8s %-11s %-9s %s\n", "fault", "detectable", "ω-det", "max |ΔT/T|")
+		for _, e := range row.Evals {
+			status := fmt.Sprintf("%.3g", e.MaxDev)
+			if e.Err != nil {
+				status = "error: " + e.Err.Error()
+			}
+			fmt.Printf("%-8s %-11v %7.1f%%  %s\n", e.Fault.ID, e.Detectable, e.OmegaDet, status)
+		}
+		fmt.Printf("\n%s\n", report.CoverageSummary(bench.Circuit.Name, row.FaultCoverage(), row.AvgOmegaDet(), 1))
+		return nil
+	}
+
+	m, err := analogdft.ApplyDFT(bench.Circuit, bench.Chain)
+	if err != nil {
+		return err
+	}
+	mx, err := analogdft.BuildMatrix(m, faults, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("circuit %s  Ω_reference = %s  ε = %.0f%%  faults = %d  configurations = %d\n\n",
+		bench.Circuit.Name, mx.Region, 100*eps, mx.NumFaults(), mx.NumConfigs())
+	if markdown {
+		if err := report.MatrixMarkdown(os.Stdout, mx); err != nil {
+			return err
+		}
+		fmt.Println()
+		if err := report.OmegaMarkdown(os.Stdout, mx); err != nil {
+			return err
+		}
+		fmt.Println()
+	} else {
+		fmt.Println(report.DetMatrixTable(mx))
+		fmt.Println(report.OmegaTable(mx, nil))
+	}
+	fmt.Println(report.CoverageSummary("all configurations", mx.FaultCoverage(), mx.AvgBestOmega(nil), mx.NumConfigs()))
+	if mx.CellErrs > 0 {
+		fmt.Printf("warning: %d cells failed to simulate (counted undetectable)\n", mx.CellErrs)
+	}
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := report.MatrixCSV(f, mx); err != nil {
+			return err
+		}
+		return f.Close()
+	}
+	return nil
+}
+
+func loadBench(path string) (*analogdft.Bench, error) {
+	if path == "" {
+		return analogdft.PaperBiquad(), nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	deck, err := spice.Parse(f)
+	if err != nil {
+		return nil, err
+	}
+	chain := deck.Chain
+	if len(chain) == 0 {
+		for _, op := range deck.Circuit.Opamps() {
+			chain = append(chain, op.Name())
+		}
+	}
+	return &analogdft.Bench{Circuit: deck.Circuit, Chain: chain, Description: "netlist " + path}, nil
+}

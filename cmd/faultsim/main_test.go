@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunInitialOnly(t *testing.T) {
+	if err := run("", 0.2, 0.1, 0.01, 31, 100, 5600, true, "", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMatrixWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "matrix.csv")
+	if err := run("", 0.2, 0.1, 0.01, 31, 100, 5600, false, csv, false); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 1+7*8 {
+		t.Fatalf("CSV lines = %d, want 57", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "config,") {
+		t.Fatalf("header = %q", lines[0])
+	}
+}
+
+func TestRunFromDeck(t *testing.T) {
+	if err := run("../../testdata/biquad.cir", 0.2, 0.1, 0.01, 21, 100, 5600, true, "", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMissingDeck(t *testing.T) {
+	if err := run("/no/such.cir", 0.2, 0.1, 0.01, 21, 0, 0, true, "", false); err == nil {
+		t.Fatal("missing deck accepted")
+	}
+}
+
+func TestLoadBenchAutoChain(t *testing.T) {
+	b, err := loadBench("../../testdata/biquad.cir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Chain) != 3 {
+		t.Fatalf("chain = %v", b.Chain)
+	}
+}
+
+func TestRunMarkdown(t *testing.T) {
+	if err := run("", 0.2, 0.1, 0.01, 31, 100, 5600, false, "", true); err != nil {
+		t.Fatal(err)
+	}
+}

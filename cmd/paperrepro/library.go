@@ -1,0 +1,15 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"analogdft"
+)
+
+// runLibrary prints the §5 library study.
+func runLibrary() error {
+	fmt.Println("library study: the paper's flow on every benchmark circuit")
+	rows := analogdft.RunLibraryStudy()
+	return analogdft.WriteLibraryStudy(os.Stdout, rows)
+}

@@ -1,0 +1,118 @@
+// Command paperrepro regenerates every table and figure of the paper:
+//
+//	paperrepro            both tracks (simulation + published data)
+//	paperrepro -sim       end-to-end simulation on the built-in biquad only
+//	paperrepro -published replay of §4 on the paper's printed matrices only
+//	paperrepro -csv out/  additionally dump matrices as CSV files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"analogdft"
+	"analogdft/internal/report"
+)
+
+func main() {
+	simOnly := flag.Bool("sim", false, "run only the end-to-end simulation track")
+	pubOnly := flag.Bool("published", false, "run only the published-data track")
+	csvDir := flag.String("csv", "", "directory to write matrix CSV files into")
+	characterize := flag.Bool("characterize", false, "fit and print each configuration's transfer function (order, f0, Q)")
+	library := flag.Bool("library", false, "run the §5 study across the whole benchmark circuit library")
+	jsonPath := flag.String("json", "", "write the simulation-track experiment summary as JSON to this file")
+	flag.Parse()
+
+	if *library {
+		if err := runLibrary(); err != nil {
+			fmt.Fprintln(os.Stderr, "paperrepro:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*simOnly, *pubOnly, *csvDir, *characterize, *jsonPath); err != nil {
+		fmt.Fprintln(os.Stderr, "paperrepro:", err)
+		os.Exit(1)
+	}
+}
+
+func run(simOnly, pubOnly bool, csvDir string, characterize bool, jsonPath string) error {
+	runSim := !pubOnly
+	runPub := !simOnly
+
+	if runSim {
+		exp, err := analogdft.RunPaperExperiment()
+		if err != nil {
+			return err
+		}
+		if err := exp.Report(os.Stdout); err != nil {
+			return err
+		}
+		if characterize {
+			chars, err := exp.Characterize(analogdft.Region{LoHz: 100, HiHz: 1e6}, 81, 4, 1e-3)
+			if err != nil {
+				return err
+			}
+			fmt.Println("\nper-configuration characterization (fitted models):")
+			if err := analogdft.WriteCharacterization(os.Stdout, chars); err != nil {
+				return err
+			}
+		}
+		if jsonPath != "" {
+			f, err := os.Create(jsonPath)
+			if err != nil {
+				return err
+			}
+			if err := exp.WriteJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+		if csvDir != "" {
+			if err := dumpCSV(csvDir, "matrix_sim.csv", exp.Matrix); err != nil {
+				return err
+			}
+			if exp.PartialMatrix != nil {
+				if err := dumpCSV(csvDir, "matrix_sim_partial.csv", exp.PartialMatrix); err != nil {
+					return err
+				}
+			}
+		}
+		fmt.Println()
+	}
+	if runPub {
+		pub, err := analogdft.RunPublished()
+		if err != nil {
+			return err
+		}
+		if err := pub.Report(os.Stdout); err != nil {
+			return err
+		}
+		if csvDir != "" {
+			if err := dumpCSV(csvDir, "matrix_published.csv", pub.Matrix); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func dumpCSV(dir, name string, mx *analogdft.Matrix) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := report.MatrixCSV(f, mx); err != nil {
+		return err
+	}
+	return f.Close()
+}

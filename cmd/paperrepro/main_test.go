@@ -1,0 +1,38 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunPublishedTrack(t *testing.T) {
+	if err := run(false, true, "", false, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBothTracksWithCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulation track is slow")
+	}
+	dir := t.TempDir()
+	if err := run(false, false, dir, true, dir+"/summary.json"); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"matrix_sim.csv", "matrix_sim_partial.csv", "matrix_published.csv", "summary.json"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("missing %s: %v", name, err)
+		}
+	}
+}
+
+func TestDumpCSVCreatesDirectory(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "deeper")
+	if err := run(false, true, dir, false, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "matrix_published.csv")); err != nil {
+		t.Fatal(err)
+	}
+}

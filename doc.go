@@ -1,0 +1,30 @@
+// Package analogdft is a library for testability analysis and optimized
+// Design-For-Test of analog (opamp-RC) circuits, reproducing
+//
+//	M. Renovell, F. Azaïs, Y. Bertrand, "Optimized Implementations of the
+//	Multi-Configuration DFT Technique for Analog Circuits", DATE 1998.
+//
+// The library covers the full flow of the paper:
+//
+//  1. Describe an opamp-RC circuit (or load a SPICE-like deck) —
+//     NewCircuit, PaperBiquad, ParseNetlist.
+//  2. Evaluate its testability for a soft-fault list via AC fault
+//     simulation on the built-in MNA engine — DeviationFaults,
+//     EvaluateCircuit: fault detectability (Definition 1) and
+//     ω-detectability (Definition 2).
+//  3. Apply the multi-configuration DFT technique: replace opamps by
+//     configurable opamps chained from input to output — ApplyDFT — and
+//     fault-simulate all 2^n configurations into a fault detectability
+//     matrix — BuildMatrix.
+//  4. Optimize the configuration set under ordered requirements — the
+//     fundamental maximum-fault-coverage requirement (covering expression
+//     ξ, essential configurations, Petrick expansion), a 2nd-order cost
+//     function (configuration count, configurable-opamp count, or custom)
+//     and the 3rd-order ω-detectability tie-break — Optimize,
+//     OptimizeOpamps.
+//
+// RunPaperExperiment executes the entire experiment sequence of the paper
+// on the built-in biquad; RunPublished replays the §4 optimization on the
+// matrices published in the paper itself, reproducing every §4 number
+// exactly.
+package analogdft

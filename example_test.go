@@ -1,0 +1,124 @@
+package analogdft_test
+
+import (
+	"fmt"
+	"log"
+
+	"analogdft"
+)
+
+// ExampleRunPublished replays §4 of the paper on its published matrices.
+func ExampleRunPublished() {
+	pub, err := analogdft.RunPublished()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("essential rows:", pub.ConfigOpt.EssentialRows)
+	fmt.Println("optimal set:   ", pub.ConfigOpt.Best.Labels)
+	fmt.Printf("⟨ω-det⟩:        %.1f%%\n", pub.ConfigOpt.Best.AvgOmegaDet)
+	fmt.Println("partial DFT:   ", pub.OpampOpt.Chosen)
+	// Output:
+	// essential rows: [2]
+	// optimal set:    [C2 C5]
+	// ⟨ω-det⟩:        32.5%
+	// partial DFT:    [OP1 OP2]
+}
+
+// ExampleOptimize runs the ordered-requirement optimization on the
+// published detectability matrix.
+func ExampleOptimize() {
+	mx := analogdft.PublishedMatrix()
+	res, err := analogdft.Optimize(mx, analogdft.PaperOpampNames(), analogdft.ConfigCountCost)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range res.Candidates {
+		fmt.Println(c.Labels)
+	}
+	// Output:
+	// [C1 C2]
+	// [C2 C5]
+}
+
+// ExampleConfiguration shows the configuration-vector conventions.
+func ExampleConfiguration() {
+	c5 := analogdft.Configuration{Index: 5, N: 3}
+	fmt.Println(c5.Label(), c5.Vector(), c5.FollowerCount())
+	c7 := analogdft.Configuration{Index: 7, N: 3}
+	fmt.Println(c7.Label(), c7.IsTransparent())
+	// Output:
+	// C5 101 2
+	// C7 true
+}
+
+// ExampleScheduleTests orders a test program as a Gray walk.
+func ExampleScheduleTests() {
+	items := []analogdft.TestItem{
+		{Config: analogdft.Configuration{Index: 1, N: 3}, Freqs: []float64{1e3}},
+		{Config: analogdft.Configuration{Index: 2, N: 3}, Freqs: []float64{1e3}},
+		{Config: analogdft.Configuration{Index: 3, N: 3}, Freqs: []float64{1e3}},
+	}
+	start := analogdft.Configuration{Index: 0, N: 3}
+	prog, err := analogdft.ScheduleTests(items, start)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("toggles:", prog.TotalToggles(), "naive:", analogdft.NaiveToggleCount(items, start))
+	// Output:
+	// toggles: 3 naive: 4
+}
+
+// ExampleEstimateBIST budgets the on-chip hardware for the paper's
+// optimized two-configuration program.
+func ExampleEstimateBIST() {
+	two, err := analogdft.EstimateBIST(analogdft.DefaultBISTModel, 3, 2, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seven, err := analogdft.EstimateBIST(analogdft.DefaultBISTModel, 3, 7, 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("2 configurations: %.0f GE\n", two.GateEquivalents)
+	fmt.Printf("7 configurations: %.0f GE\n", seven.GateEquivalents)
+	// Output:
+	// 2 configurations: 486 GE
+	// 7 configurations: 666 GE
+}
+
+// ExampleEvaluateCircuit measures the paper's §2 initial testability.
+func ExampleEvaluateCircuit() {
+	bench := analogdft.PaperBiquad()
+	faults := analogdft.DeviationFaults(bench.Circuit, 0.20)
+	row, err := analogdft.EvaluateCircuit(bench.Circuit, faults, analogdft.PaperOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("initial fault coverage: %.0f%%\n", 100*row.FaultCoverage())
+	for _, e := range row.Evals {
+		if e.Detectable {
+			fmt.Println("detectable:", e.Fault.ID)
+		}
+	}
+	// Output:
+	// initial fault coverage: 25%
+	// detectable: fR1
+	// detectable: fR4
+}
+
+// ExampleModified_AccessBlock exposes an embedded block under test by
+// making the surrounding opamps transparent (§1 of the paper).
+func ExampleModified_AccessBlock() {
+	bench := analogdft.PaperBiquad()
+	mod, err := analogdft.ApplyDFT(bench.Circuit, bench.Chain)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg, err := mod.AccessBlock([]string{"OP2"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(cfg.Label(), cfg.Vector())
+	// Output:
+	// C5 101
+}

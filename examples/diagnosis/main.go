@@ -1,0 +1,88 @@
+// diagnosis demonstrates the fault-location extension: a fault dictionary
+// built over the multi-configuration DFT, the diagnostic-resolution gain
+// of the test configurations over the functional configuration alone, and
+// the §4.3 cost side (switch parasitics, silicon area) of the partial-DFT
+// implementation the dictionary runs on.
+//
+//	go run ./examples/diagnosis
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"analogdft"
+)
+
+func main() {
+	// The paper biquad with single-pole opamps (so the penalty analysis
+	// sees finite loop gain).
+	bench := analogdft.WithSinglePoleOpamps(analogdft.PaperBiquad(), 1e5, 10)
+	faults := analogdft.DeviationFaults(bench.Circuit, 0.20)
+	region := analogdft.Region{LoHz: 100, HiHz: 5600}
+
+	mod, err := analogdft.ApplyDFT(bench.Circuit, bench.Chain)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Dictionary over the functional configuration only vs all test
+	// configurations.
+	dOpts := analogdft.DiagnosisOptions{Eps: 0.10, Points: 120, Bands: 4}
+	dictC0, err := analogdft.BuildDictionary(mod, []int{0}, faults, region, dOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dictAll, err := analogdft.BuildDictionary(mod, []int{0, 1, 2, 3, 4, 5, 6}, faults, region, dOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("diagnostic resolution, functional configuration only: %.2f\n", dictC0.Resolution())
+	fmt.Printf("diagnostic resolution, all 7 configurations:          %.2f\n", dictAll.Resolution())
+	fmt.Println("\nambiguity groups (all configurations):")
+	for _, g := range dictAll.AmbiguityGroups() {
+		fmt.Printf("  %v\n", g)
+	}
+
+	// Locate an injected fault through the measurement path.
+	target, _ := faults.ByID("fR5")
+	sig, err := dictAll.SignatureOfCircuit(func(ckt *analogdft.Circuit) (*analogdft.Circuit, error) {
+		return target.Apply(ckt)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ninjected %s → signature %s → diagnosed as %v\n",
+		target.ID, sig, dictAll.Diagnose(sig))
+
+	// The cost side: what does the DFT hardware do to the nominal
+	// response, and what does partial DFT save?
+	cmp, err := analogdft.ComparePenalty(bench.Circuit, bench.Chain, []string{"OP1", "OP2"},
+		analogdft.DefaultSwitchModel, analogdft.DefaultAreaModel,
+		analogdft.Region{LoHz: 100, HiHz: 1e6}, 121)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nDFT penalty (switch Ron=%.0f Ω, %.0f%% GBW loss per configurable opamp):\n",
+		analogdft.DefaultSwitchModel.OutputOhms, 100*(1-analogdft.DefaultSwitchModel.PoleFactor))
+	fmt.Printf("  full DFT (3 opamps):    degradation %.3g%%, area overhead %.2f opamp-units\n",
+		100*cmp.FullDegradation, cmp.FullAreaOverhead)
+	fmt.Printf("  partial DFT (2 opamps): degradation %.3g%%, area overhead %.2f opamp-units\n",
+		100*cmp.PartialDegradation, cmp.PartialAreaOverhead)
+	if cmp.PartialDegradation > cmp.FullDegradation {
+		fmt.Println("  note: on the Tow–Thomas loop, degrading only the two integrators")
+		fmt.Println("  removes the inverter's Q-compensation, so the *partial* DFT shows")
+		fmt.Println("  more passband deviation despite touching fewer opamps — the area")
+		fmt.Println("  saving still holds, but 'fewer modified opamps ⇒ less degradation'")
+		fmt.Println("  is topology-dependent, which is why the penalty is measured.")
+	}
+
+	// Grounded ε: derive the detection tolerance from ±2% components
+	// instead of fixing it arbitrarily.
+	eps, err := analogdft.DeriveToleranceEps(bench.Circuit, region, 61,
+		analogdft.ToleranceSpec{PassiveTol: 0.02, Samples: 100, Seed: 1}, 1.2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nderived detection tolerance for ±2%% components: ε = %.1f%% (paper fixes 10%%)\n", 100*eps)
+}

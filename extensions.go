@@ -1,0 +1,215 @@
+package analogdft
+
+import (
+	"analogdft/internal/analysis"
+	"analogdft/internal/bist"
+	"analogdft/internal/diagnose"
+	"analogdft/internal/multifault"
+	"analogdft/internal/penalty"
+	"analogdft/internal/schedule"
+	"analogdft/internal/sensitivity"
+	"analogdft/internal/symbolic"
+	"analogdft/internal/testgen"
+	"analogdft/internal/tolerance"
+)
+
+// Extension types: diagnosis dictionaries, DFT penalty models,
+// process-tolerance analysis, test-frequency planning and sensitivity
+// profiles.
+type (
+	// Dictionary is a fault dictionary over DFT configurations.
+	Dictionary = diagnose.Dictionary
+	// DiagnosisOptions parameterizes dictionary construction.
+	DiagnosisOptions = diagnose.Options
+	// Signature is a fault signature (ternary symbol per config/band).
+	Signature = diagnose.Signature
+	// SwitchModel describes configurable-opamp switch parasitics.
+	SwitchModel = penalty.SwitchModel
+	// AreaModel prices DFT silicon overhead.
+	AreaModel = penalty.AreaModel
+	// PenaltyComparison quantifies full vs partial DFT costs.
+	PenaltyComparison = penalty.Comparison
+	// ToleranceSpec parameterizes Monte Carlo process-tolerance analysis.
+	ToleranceSpec = tolerance.Spec
+	// TestPlan is a per-configuration minimal test-frequency plan.
+	TestPlan = testgen.Plan
+	// TestGenOptions parameterizes test-frequency selection.
+	TestGenOptions = testgen.Options
+	// SensitivityProfile is a per-component |T| sensitivity profile.
+	SensitivityProfile = sensitivity.Profile
+)
+
+// Default penalty models.
+var (
+	// DefaultSwitchModel is a plausible CMOS transmission-gate budget.
+	DefaultSwitchModel = penalty.DefaultSwitchModel
+	// DefaultAreaModel reflects the duplicated-input-stage implementation.
+	DefaultAreaModel = penalty.DefaultAreaModel
+)
+
+// BuildDictionary constructs a fault dictionary over the given
+// configuration indices of a modified circuit.
+func BuildDictionary(m *Modified, cfgIndices []int, faults FaultList, region Region, opts DiagnosisOptions) (*Dictionary, error) {
+	return diagnose.Build(m, cfgIndices, faults, region, opts)
+}
+
+// DictionaryFromRows builds a dictionary over matrix rows (e.g. the
+// optimized configuration set).
+func DictionaryFromRows(m *Modified, mx *Matrix, rows []int, opts DiagnosisOptions) (*Dictionary, error) {
+	return diagnose.FromMatrixRows(m, mx, rows, opts)
+}
+
+// ApplySwitchParasitics returns a copy of the circuit with the switch
+// parasitics of the named (configurable) opamps in place.
+func ApplySwitchParasitics(ckt *Circuit, opamps []string, m SwitchModel) (*Circuit, error) {
+	return penalty.ApplyDegradation(ckt, opamps, m)
+}
+
+// MeasureDegradation returns the worst |ΔT/T| between an original and a
+// modified circuit over a region — the performance-degradation metric of
+// §4.3.
+func MeasureDegradation(original, modified *Circuit, region Region, points int) (float64, error) {
+	return penalty.Degradation(original, modified, region, points)
+}
+
+// ComparePenalty measures the full-DFT vs partial-DFT degradation and
+// area overhead on a circuit with single-pole opamps.
+func ComparePenalty(ckt *Circuit, allOpamps, chosen []string, sw SwitchModel, area AreaModel, region Region, points int) (*PenaltyComparison, error) {
+	return penalty.Compare(ckt, allOpamps, chosen, sw, area, region, points)
+}
+
+// ToleranceEnvelope returns the per-frequency fault-free process
+// deviation envelope over a grid.
+func ToleranceEnvelope(ckt *Circuit, grid []float64, spec ToleranceSpec) ([]float64, error) {
+	return tolerance.Envelope(ckt, grid, spec)
+}
+
+// DeriveToleranceEps derives the scalar detection tolerance ε from
+// component tolerances (the principled version of the paper's "ε fixed at
+// 10%").
+func DeriveToleranceEps(ckt *Circuit, region Region, points int, spec ToleranceSpec, margin float64) (float64, error) {
+	return tolerance.DeriveEps(ckt, region, points, spec, margin)
+}
+
+// ToleranceProfile scales an envelope into a detect EpsProfile.
+func ToleranceProfile(env []float64, margin float64) ([]float64, error) {
+	return tolerance.Profile(env, margin)
+}
+
+// PlanTestFrequencies selects a minimal test-frequency set for a fixed
+// circuit configuration.
+func PlanTestFrequencies(ckt *Circuit, faults FaultList, region Region, opts TestGenOptions) (*TestPlan, error) {
+	return testgen.MinimalFrequencies(ckt, faults, region, opts)
+}
+
+// PlanConfigurationTests builds one plan per configuration index of a
+// modified circuit.
+func PlanConfigurationTests(m *Modified, cfgIndices []int, faults FaultList, region Region, opts TestGenOptions) ([]*TestPlan, error) {
+	return testgen.PlanConfigurations(m, cfgIndices, faults, region, opts)
+}
+
+// AnalyzeSensitivity computes |T| sensitivity profiles for every passive
+// component over a grid (the Slamani–Kaminska observability view of §2).
+func AnalyzeSensitivity(ckt *Circuit, grid []float64, relStep float64) ([]*SensitivityProfile, error) {
+	return sensitivity.Analyze(ckt, grid, relStep)
+}
+
+// Grid returns a log-spaced frequency grid for a region — convenience for
+// the sensitivity and tolerance APIs.
+func Grid(region Region, points int) []float64 {
+	return region.Spec(points).Grid()
+}
+
+// Compile-time interface guard.
+var _ = analysis.Region{}
+
+// Characterization and scheduling extension types.
+type (
+	// Rational is a fitted rational transfer-function model.
+	Rational = symbolic.Rational
+	// TestItem is one schedulable test step (configuration + frequencies).
+	TestItem = schedule.Item
+	// TestProgram is an ordered multi-configuration test program.
+	TestProgram = schedule.Program
+)
+
+// FitTransferFunction sweeps the circuit over the region and fits the
+// smallest rational model within tol (Levy least squares + Durand–Kerner
+// roots).
+func FitTransferFunction(ckt *Circuit, region Region, points, maxOrder int, tol float64) (*Rational, error) {
+	return symbolic.FitCircuit(ckt, region, points, maxOrder, tol)
+}
+
+// DominantPolePair extracts (f0, Q) from a pole set.
+func DominantPolePair(poles []complex128) (f0, q float64, ok bool) {
+	return symbolic.DominantPair(poles)
+}
+
+// ScheduleTests orders test items to minimize selection-line toggles from
+// the given start configuration (exact for ≤16 items).
+func ScheduleTests(items []TestItem, start Configuration) (*TestProgram, error) {
+	return schedule.Build(items, start)
+}
+
+// NaiveToggleCount returns the toggle cost of the unoptimized item order.
+func NaiveToggleCount(items []TestItem, start Configuration) int {
+	return schedule.NaiveToggles(items, start)
+}
+
+// BIST extension types (§4.2's on-chip configuration generation).
+type (
+	// BISTModel prices the BIST hardware blocks in gate equivalents.
+	BISTModel = bist.Model
+	// BISTEstimate is a BIST hardware budget.
+	BISTEstimate = bist.Estimate
+)
+
+// DefaultBISTModel is a plausible small-geometry gate-equivalent budget.
+var DefaultBISTModel = bist.DefaultModel
+
+// EstimateBIST budgets the on-chip hardware for a test program.
+func EstimateBIST(m BISTModel, selLines, nConfigs, nFreqs int) (BISTEstimate, error) {
+	return m.Estimate(selLines, nConfigs, nFreqs)
+}
+
+// BISTCost adapts the BIST budget as a 2nd-order requirement for Optimize.
+func BISTCost(m BISTModel, selLines, freqsPerConfig int) CostFunction {
+	return bist.CostFunction(m, selLines, freqsPerConfig)
+}
+
+// Double-fault extension types.
+type (
+	// FaultPair is a simultaneous pair of single faults.
+	FaultPair = multifault.Pair
+	// MultiFaultResult is a double-fault coverage/masking study.
+	MultiFaultResult = multifault.Result
+	// MultiFaultOptions parameterizes the double-fault study.
+	MultiFaultOptions = multifault.Options
+)
+
+// PairFaults builds every unordered pair of distinct-component faults.
+func PairFaults(faults FaultList) []FaultPair {
+	return multifault.PairUniverse(faults)
+}
+
+// EvaluatePairs measures double-fault coverage and masking of the fault
+// list under the given configuration indices.
+func EvaluatePairs(m *Modified, cfgIndices []int, faults FaultList, region Region, opts MultiFaultOptions) (*MultiFaultResult, error) {
+	return multifault.Evaluate(m, cfgIndices, faults, region, opts)
+}
+
+// NoiseSpectrum is the output-referred thermal-noise analysis result.
+type NoiseSpectrum = analysis.NoiseSpectrum
+
+// OutputNoise computes the output thermal-noise spectrum over a grid
+// (SPICE-style .NOISE restricted to resistor Johnson noise; tempK 0
+// selects 300 K).
+func OutputNoise(ckt *Circuit, grid []float64, tempK float64) (*NoiseSpectrum, error) {
+	return analysis.OutputNoise(ckt, grid, tempK)
+}
+
+// IntegrateNoise integrates a noise spectrum into an RMS voltage.
+func IntegrateNoise(ns *NoiseSpectrum) float64 { return analysis.IntegrateNoise(ns) }
+
+// GroupDelay returns τg(ω) = −dφ/dω per grid point of a response.
+func GroupDelay(resp *Response) []float64 { return analysis.GroupDelay(resp) }

@@ -1,0 +1,236 @@
+package analogdft
+
+import (
+	"testing"
+)
+
+func TestDictionaryFacade(t *testing.T) {
+	bench := PaperBiquad()
+	faults := DeviationFaults(bench.Circuit, 0.2)
+	region := Region{LoHz: 100, HiHz: 5600}
+	mod, err := ApplyDFT(bench.Circuit, bench.Chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dict, err := BuildDictionary(mod, []int{0, 1, 2}, faults, region,
+		DiagnosisOptions{Points: 60, Bands: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dict.Resolution() <= 0 {
+		t.Fatal("zero resolution")
+	}
+	// Through matrix rows.
+	mx, err := BuildMatrix(mod, faults, Options{Points: 61, Region: region, MeasFloor: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dict2, err := DictionaryFromRows(mod, mx, []int{1, 2}, DiagnosisOptions{Points: 60, Bands: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dict2.Configs) != 2 {
+		t.Fatal("row dictionary shape")
+	}
+}
+
+func TestPenaltyFacade(t *testing.T) {
+	bench := WithSinglePoleOpamps(PaperBiquad(), 1e5, 10)
+	region := Region{LoHz: 100, HiHz: 1e6}
+	mod, err := ApplySwitchParasitics(bench.Circuit, bench.Chain, DefaultSwitchModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg, err := MeasureDegradation(bench.Circuit, mod, region, 61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg <= 0 || deg > 1 {
+		t.Fatalf("degradation = %g out of plausible range", deg)
+	}
+	cmp, err := ComparePenalty(bench.Circuit, bench.Chain, []string{"OP1", "OP2"},
+		DefaultSwitchModel, DefaultAreaModel, region, 61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.PartialAreaOverhead >= cmp.FullAreaOverhead {
+		t.Fatal("partial DFT must save area")
+	}
+	if cmp.FullDegradation <= 0 || cmp.PartialDegradation <= 0 {
+		t.Fatal("degradation should be measurable with single-pole opamps")
+	}
+}
+
+func TestToleranceFacade(t *testing.T) {
+	bench := PaperBiquad()
+	region := Region{LoHz: 100, HiHz: 5600}
+	grid := Grid(region, 31)
+	if len(grid) != 31 {
+		t.Fatal("Grid length")
+	}
+	env, err := ToleranceEnvelope(bench.Circuit, grid, ToleranceSpec{PassiveTol: 0.02, Samples: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(env) != 31 {
+		t.Fatal("envelope length")
+	}
+	profile, err := ToleranceProfile(env, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := DeviationFaults(bench.Circuit, 0.2)
+	row, err := EvaluateCircuit(bench.Circuit, faults, Options{
+		Eps: 0.10, MeasFloor: 0.01, Region: region, Points: 31, EpsProfile: profile,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The ±2% envelope sits below the 20%-fault deviations of fR1/fR4:
+	// they stay detectable.
+	for _, e := range row.Evals {
+		if e.Fault.ID == "fR1" && !e.Detectable {
+			t.Error("fR1 lost under tolerance profile")
+		}
+	}
+	eps, err := DeriveToleranceEps(bench.Circuit, region, 31,
+		ToleranceSpec{PassiveTol: 0.02, Samples: 20, Seed: 3}, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eps <= 0 || eps > 0.5 {
+		t.Fatalf("derived ε = %g", eps)
+	}
+}
+
+func TestTestGenFacade(t *testing.T) {
+	bench := PaperBiquad()
+	faults := DeviationFaults(bench.Circuit, 0.2)
+	region := Region{LoHz: 100, HiHz: 5600}
+	plan, err := PlanTestFrequencies(bench.Circuit, faults, region,
+		TestGenOptions{Points: 61, MeasFloor: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In the functional configuration only fR1/fR4 are coverable.
+	if len(plan.Covered) != 2 || plan.NumFreqs() == 0 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	mod, err := ApplyDFT(bench.Circuit, bench.Chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans, err := PlanConfigurationTests(mod, []int{1, 2}, faults, region,
+		TestGenOptions{Points: 61, MeasFloor: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 2 {
+		t.Fatal("plan count")
+	}
+	covered := map[string]bool{}
+	for _, p := range plans {
+		for _, id := range p.Covered {
+			covered[id] = true
+		}
+	}
+	if len(covered) != len(faults) {
+		t.Fatalf("optimized set plans cover %d of %d faults", len(covered), len(faults))
+	}
+}
+
+func TestSensitivityFacade(t *testing.T) {
+	bench := PaperBiquad()
+	grid := Grid(Region{LoHz: 100, HiHz: 5600}, 21)
+	profiles, err := AnalyzeSensitivity(bench.Circuit, grid, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != 8 {
+		t.Fatalf("profiles = %d", len(profiles))
+	}
+	// R1 is a pure gain element: |S| ≈ 1 across the passband.
+	for _, p := range profiles {
+		if p.Component == "R1" && p.MaxAbs() < 0.9 {
+			t.Errorf("R1 sensitivity %g, want ≈1", p.MaxAbs())
+		}
+	}
+}
+
+func TestSymbolicFacade(t *testing.T) {
+	bench := PaperBiquad()
+	r, err := FitTransferFunction(bench.Circuit, Region{LoHz: 100, HiHz: 1e6}, 81, 4, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DenOrder() != 2 {
+		t.Fatalf("biquad model order = %d", r.DenOrder())
+	}
+	f0, q, ok := DominantPolePair(r.Poles())
+	if !ok {
+		t.Fatal("no conjugate pair")
+	}
+	if f0 < 9.5e3 || f0 > 10.5e3 || q < 1.9 || q > 2.1 {
+		t.Fatalf("f0 = %g, Q = %g; want 10 kHz, 2", f0, q)
+	}
+}
+
+func TestScheduleFacade(t *testing.T) {
+	e := paperExperiment(t)
+	var items []TestItem
+	for _, r := range e.ConfigOpt.Best.Rows {
+		items = append(items, TestItem{Config: e.Matrix.Configs[r], Freqs: []float64{1e3, 5e3}})
+	}
+	start := Configuration{Index: 0, N: 3}
+	prog, err := ScheduleTests(items, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.TotalToggles() > NaiveToggleCount(items, start) {
+		t.Fatal("schedule worse than naive")
+	}
+	if prog.TotalMeasurements() != 4 {
+		t.Fatalf("measurements = %d", prog.TotalMeasurements())
+	}
+	if prog.Time(10, 1, 1) <= 0 {
+		t.Fatal("zero program time")
+	}
+}
+
+func TestNoiseAndGroupDelayFacade(t *testing.T) {
+	bench := PaperBiquad()
+	grid := Grid(Region{LoHz: 100, HiHz: 100e3}, 41)
+	ns, err := OutputNoise(bench.Circuit, grid, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns.Density) != 41 || ns.TempK != 300 {
+		t.Fatalf("noise spectrum shape: %d points, %g K", len(ns.Density), ns.TempK)
+	}
+	// Every one of the six resistors contributes.
+	if len(ns.PerResistor) != 6 {
+		t.Fatalf("contributors = %d", len(ns.PerResistor))
+	}
+	if IntegrateNoise(ns) <= 0 {
+		t.Fatal("zero integrated noise")
+	}
+	resp, err := Sweep(bench.Circuit, SweepSpec{StartHz: 100, StopHz: 100e3, Points: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gd := GroupDelay(resp)
+	if len(gd) != 41 {
+		t.Fatal("group delay length")
+	}
+	// The biquad's group delay peaks near f0 (Q > 1).
+	peakIdx := 0
+	for i, v := range gd {
+		if v > gd[peakIdx] {
+			peakIdx = i
+		}
+	}
+	f := resp.Freqs[peakIdx]
+	if f < 5e3 || f > 20e3 {
+		t.Fatalf("group delay peak at %g Hz, want near 10 kHz", f)
+	}
+}

@@ -1,0 +1,3 @@
+module analogdft
+
+go 1.22

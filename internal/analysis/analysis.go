@@ -1,0 +1,468 @@
+// Package analysis provides frequency-domain analysis on top of the MNA
+// engine: frequency sweeps, transfer-function responses, corner detection,
+// the reference frequency region Ω_reference of the paper (§2, Definition
+// 2) and relative deviation profiles between nominal and faulty responses.
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/cmplx"
+
+	"analogdft/internal/circuit"
+	"analogdft/internal/mna"
+	"analogdft/internal/numeric"
+)
+
+// ErrBadSweep is returned for malformed sweep specifications.
+var ErrBadSweep = errors.New("analysis: bad sweep specification")
+
+// SweepSpec describes a logarithmic frequency sweep.
+type SweepSpec struct {
+	StartHz float64
+	StopHz  float64
+	Points  int
+}
+
+// Validate checks the spec.
+func (s SweepSpec) Validate() error {
+	if s.StartHz <= 0 || s.StopHz <= s.StartHz {
+		return fmt.Errorf("%w: range [%g, %g]", ErrBadSweep, s.StartHz, s.StopHz)
+	}
+	if s.Points < 2 {
+		return fmt.Errorf("%w: %d points", ErrBadSweep, s.Points)
+	}
+	return nil
+}
+
+// Grid returns the log-spaced frequency grid.
+func (s SweepSpec) Grid() []float64 {
+	return numeric.LogSpace(s.StartHz, s.StopHz, s.Points)
+}
+
+// DefaultProbe is the wide exploratory sweep used to locate a circuit's
+// interesting frequency region before constructing Ω_reference.
+var DefaultProbe = SweepSpec{StartHz: 1e-2, StopHz: 1e9, Points: 221}
+
+// Response is a sampled transfer function H(jω) = V(out)/V(stimulus).
+type Response struct {
+	Freqs []float64
+	H     []complex128
+	// Valid[i] is false when the solve at Freqs[i] failed (singular
+	// system); H[i] is meaningless there.
+	Valid []bool
+}
+
+// Len returns the number of points.
+func (r *Response) Len() int { return len(r.Freqs) }
+
+// AllValid reports whether every point solved.
+func (r *Response) AllValid() bool {
+	for _, v := range r.Valid {
+		if !v {
+			return false
+		}
+	}
+	return true
+}
+
+// Mag returns |H| per point (NaN where invalid).
+func (r *Response) Mag() []float64 {
+	out := make([]float64, r.Len())
+	for i, h := range r.H {
+		if !r.Valid[i] {
+			out[i] = math.NaN()
+			continue
+		}
+		out[i] = cmplx.Abs(h)
+	}
+	return out
+}
+
+// MagDb returns |H| in dB per point (NaN where invalid).
+func (r *Response) MagDb() []float64 {
+	out := r.Mag()
+	for i, m := range out {
+		if math.IsNaN(m) {
+			continue
+		}
+		out[i] = numeric.Db(m)
+	}
+	return out
+}
+
+// PhaseDeg returns the phase in degrees per point (NaN where invalid).
+func (r *Response) PhaseDeg() []float64 {
+	out := make([]float64, r.Len())
+	for i, h := range r.H {
+		if !r.Valid[i] {
+			out[i] = math.NaN()
+			continue
+		}
+		out[i] = cmplx.Phase(h) * 180 / math.Pi
+	}
+	return out
+}
+
+// PeakMag returns the largest valid magnitude and its frequency; ok is
+// false when no point is valid.
+func (r *Response) PeakMag() (mag, freqHz float64, ok bool) {
+	mag = -1.0
+	for i, h := range r.H {
+		if !r.Valid[i] {
+			continue
+		}
+		if a := cmplx.Abs(h); a > mag {
+			mag, freqHz, ok = a, r.Freqs[i], true
+		}
+	}
+	if !ok {
+		return 0, 0, false
+	}
+	return mag, freqHz, true
+}
+
+// WriteCSV emits "freq_hz,mag,mag_db,phase_deg,valid" rows.
+func (r *Response) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "freq_hz,mag,mag_db,phase_deg,valid"); err != nil {
+		return err
+	}
+	mag, db, ph := r.Mag(), r.MagDb(), r.PhaseDeg()
+	for i := range r.Freqs {
+		if _, err := fmt.Fprintf(w, "%.9g,%.9g,%.6g,%.6g,%t\n",
+			r.Freqs[i], mag[i], db[i], ph[i], r.Valid[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sweep drives the circuit's input with a unit AC source and samples the
+// transfer function to the output node over the spec's grid. Singular
+// points are recorded as invalid rather than failing the whole sweep (a
+// test configuration can be unusable at isolated frequencies).
+func Sweep(ckt *circuit.Circuit, spec SweepSpec) (*Response, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	driven, err := mna.Driven(ckt)
+	if err != nil {
+		return nil, err
+	}
+	grid := spec.Grid()
+	return sweepDriven(driven, grid)
+}
+
+// sweepDriven runs the buffer-reusing fast path over a grid.
+func sweepDriven(driven *circuit.Circuit, grid []float64) (*Response, error) {
+	sys, err := mna.NewSystem(driven)
+	if err != nil {
+		return nil, err
+	}
+	sw, err := sys.NewSweeper(circuit.CanonicalNode(driven.Output))
+	if err != nil {
+		return nil, err
+	}
+	resp := &Response{
+		Freqs: append([]float64(nil), grid...),
+		H:     make([]complex128, len(grid)),
+		Valid: make([]bool, len(grid)),
+	}
+	for i, f := range grid {
+		v, err := sw.VoltageAt(f)
+		if err != nil {
+			if errors.Is(err, numeric.ErrSingular) {
+				continue // leave point invalid
+			}
+			return nil, err
+		}
+		resp.H[i] = v
+		resp.Valid[i] = true
+	}
+	return resp, nil
+}
+
+// SweepOnGrid is Sweep over an explicit frequency grid.
+func SweepOnGrid(ckt *circuit.Circuit, grid []float64) (*Response, error) {
+	if len(grid) == 0 {
+		return nil, fmt.Errorf("%w: empty grid", ErrBadSweep)
+	}
+	driven, err := mna.Driven(ckt)
+	if err != nil {
+		return nil, err
+	}
+	return sweepDriven(driven, grid)
+}
+
+// Region is a frequency interval [LoHz, HiHz].
+type Region struct {
+	LoHz, HiHz float64
+}
+
+// Validate checks the region.
+func (r Region) Validate() error {
+	if r.LoHz <= 0 || r.HiHz <= r.LoHz {
+		return fmt.Errorf("%w: region [%g, %g]", ErrBadSweep, r.LoHz, r.HiHz)
+	}
+	return nil
+}
+
+// Decades returns the width of the region in decades.
+func (r Region) Decades() float64 { return numeric.Decades(r.LoHz, r.HiHz) }
+
+// Contains reports whether f lies in the region (inclusive).
+func (r Region) Contains(f float64) bool { return f >= r.LoHz && f <= r.HiHz }
+
+// Spec converts the region into a sweep with the given number of points.
+func (r Region) Spec(points int) SweepSpec {
+	return SweepSpec{StartHz: r.LoHz, StopHz: r.HiHz, Points: points}
+}
+
+// String implements fmt.Stringer.
+func (r Region) String() string {
+	return fmt.Sprintf("[%.4g Hz, %.4g Hz]", r.LoHz, r.HiHz)
+}
+
+// CornerFrequencies returns the outermost −3 dB crossings of a response
+// relative to its peak: lo is the lowest frequency at which the magnitude
+// is within 3 dB of the peak, hi the highest. ok is false when the
+// response has no valid peak.
+func CornerFrequencies(r *Response) (lo, hi float64, ok bool) {
+	peak, _, ok := r.PeakMag()
+	if !ok || peak == 0 {
+		return 0, 0, false
+	}
+	threshold := peak / math.Sqrt2
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for i, h := range r.H {
+		if !r.Valid[i] {
+			continue
+		}
+		if cmplx.Abs(h) >= threshold {
+			if r.Freqs[i] < lo {
+				lo = r.Freqs[i]
+			}
+			if r.Freqs[i] > hi {
+				hi = r.Freqs[i]
+			}
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return 0, 0, false
+	}
+	return lo, hi, true
+}
+
+// ReferenceRegion constructs Ω_reference for a circuit per §2 of the paper:
+// the region is centred on the circuit's passband and spans two decades
+// into the stopband on each side — "about two orders of magnitude in the
+// passband and two orders of magnitude in the stopband". Concretely, with
+// passband edges [fl, fh] (the −3 dB corners of the nominal response found
+// with a wide probe sweep):
+//
+//	Ω_reference = [fl/100, fh·100]
+//
+// clipped to the probe range. For a lowpass (passband touching the probe's
+// low edge) this degenerates to [fh/100, fh·100]: two decades of passband
+// plus two decades of stopband, as in the paper.
+func ReferenceRegion(ckt *circuit.Circuit, probe SweepSpec) (Region, error) {
+	if probe.Points == 0 {
+		probe = DefaultProbe
+	}
+	resp, err := Sweep(ckt, probe)
+	if err != nil {
+		return Region{}, err
+	}
+	fl, fh, ok := CornerFrequencies(resp)
+	if !ok {
+		return Region{}, fmt.Errorf("analysis: circuit %q has no measurable passband", ckt.Name)
+	}
+	lo := fl / 100
+	hi := fh * 100
+	// A passband that touches the probe edge means the true corner is
+	// outside the probe; treat the opposite corner as the anchor.
+	const edgeSlack = 1.01
+	if fl <= probe.StartHz*edgeSlack {
+		lo = fh / 100
+	}
+	if fh >= probe.StopHz/edgeSlack {
+		hi = fl * 100
+	}
+	if lo < probe.StartHz {
+		lo = probe.StartHz
+	}
+	if hi > probe.StopHz {
+		hi = probe.StopHz
+	}
+	if hi <= lo {
+		// The passband spans the whole probe: an all-pass-like or notch
+		// response with no outer corners. Anchor on the deepest in-band
+		// feature (the notch) when one exists, else measure the whole
+		// probe (a genuinely flat response is observable everywhere).
+		peak, _, _ := resp.PeakMag()
+		minMag, minFreq := math.Inf(1), 0.0
+		for i, h := range resp.H {
+			if !resp.Valid[i] {
+				continue
+			}
+			if a := cmplx.Abs(h); a < minMag {
+				minMag, minFreq = a, resp.Freqs[i]
+			}
+		}
+		if minFreq > 0 && minMag < peak/math.Sqrt2 {
+			lo, hi = minFreq/100, minFreq*100
+			if lo < probe.StartHz {
+				lo = probe.StartHz
+			}
+			if hi > probe.StopHz {
+				hi = probe.StopHz
+			}
+		} else {
+			lo, hi = probe.StartHz, probe.StopHz
+		}
+	}
+	if hi <= lo {
+		return Region{}, fmt.Errorf("analysis: degenerate reference region for %q", ckt.Name)
+	}
+	return Region{LoHz: lo, HiHz: hi}, nil
+}
+
+// DeviationProfile is the pointwise relative deviation |ΔT/T| between a
+// faulty and a nominal response on a shared grid, as used by Definition 1
+// of the paper.
+type DeviationProfile struct {
+	Freqs []float64
+	// Rel[i] = | |Hf| − |Hn| | / |Hn| at Freqs[i]; +Inf when exactly one of
+	// the responses is unmeasurable at that point, 0 when both are.
+	Rel []float64
+}
+
+// RelativeDeviation computes the deviation profile of faulty vs nominal.
+// The two responses must share a frequency grid.
+//
+// measFloor is the smallest nominal magnitude considered measurable,
+// expressed as a fraction of the nominal peak (e.g. 1e-4 ≈ −80 dB). Points
+// where both responses are below the floor contribute zero deviation: a
+// tester cannot resolve changes under its measurement floor. Pass 0 to
+// disable the floor.
+func RelativeDeviation(nominal, faulty *Response, measFloor float64) (*DeviationProfile, error) {
+	if nominal.Len() != faulty.Len() {
+		return nil, fmt.Errorf("%w: grids differ (%d vs %d points)", ErrBadSweep, nominal.Len(), faulty.Len())
+	}
+	for i := range nominal.Freqs {
+		if nominal.Freqs[i] != faulty.Freqs[i] {
+			return nil, fmt.Errorf("%w: grids differ at point %d", ErrBadSweep, i)
+		}
+	}
+	peak, _, okPeak := nominal.PeakMag()
+	floorAbs := 0.0
+	if okPeak && measFloor > 0 {
+		floorAbs = peak * measFloor
+	}
+	p := &DeviationProfile{
+		Freqs: append([]float64(nil), nominal.Freqs...),
+		Rel:   make([]float64, nominal.Len()),
+	}
+	for i := range nominal.Freqs {
+		nOK, fOK := nominal.Valid[i], faulty.Valid[i]
+		switch {
+		case !nOK && !fOK:
+			p.Rel[i] = 0
+		case nOK != fOK:
+			p.Rel[i] = math.Inf(1)
+		default:
+			mn := cmplx.Abs(nominal.H[i])
+			mf := cmplx.Abs(faulty.H[i])
+			if mn <= floorAbs && mf <= floorAbs {
+				p.Rel[i] = 0
+				continue
+			}
+			den := mn
+			if den < floorAbs {
+				den = floorAbs
+			}
+			if den == 0 {
+				p.Rel[i] = math.Inf(1)
+				continue
+			}
+			p.Rel[i] = math.Abs(mf-mn) / den
+		}
+	}
+	return p, nil
+}
+
+// ExceedsAt returns the indices where the deviation exceeds tolerance eps.
+func (p *DeviationProfile) ExceedsAt(eps float64) []int {
+	var out []int
+	for i, r := range p.Rel {
+		if r > eps {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// MaxRel returns the largest relative deviation in the profile (0 for an
+// empty profile).
+func (p *DeviationProfile) MaxRel() float64 {
+	max := 0.0
+	for _, r := range p.Rel {
+		if r > max {
+			max = r
+		}
+	}
+	return max
+}
+
+// mathSqrt is math.Sqrt, aliased here so noise.go stays self-contained.
+func mathSqrt(v float64) float64 { return math.Sqrt(v) }
+
+// GroupDelay returns the group delay τg(ω) = −dφ/dω in seconds at each
+// grid point, computed by central differences on the unwrapped phase of a
+// response (forward/backward differences at the edges; NaN where the
+// response is invalid).
+func GroupDelay(r *Response) []float64 {
+	out := make([]float64, r.Len())
+	phase := make([]float64, r.Len())
+	for i, h := range r.H {
+		if !r.Valid[i] {
+			phase[i] = math.NaN()
+			continue
+		}
+		phase[i] = cmplx.Phase(h)
+	}
+	// Unwrap.
+	for i := 1; i < len(phase); i++ {
+		if math.IsNaN(phase[i]) || math.IsNaN(phase[i-1]) {
+			continue
+		}
+		for phase[i]-phase[i-1] > math.Pi {
+			phase[i] -= 2 * math.Pi
+		}
+		for phase[i]-phase[i-1] < -math.Pi {
+			phase[i] += 2 * math.Pi
+		}
+	}
+	dphi := func(i, j int) float64 {
+		dw := 2 * math.Pi * (r.Freqs[j] - r.Freqs[i])
+		if dw == 0 || math.IsNaN(phase[i]) || math.IsNaN(phase[j]) {
+			return math.NaN()
+		}
+		return -(phase[j] - phase[i]) / dw
+	}
+	for i := range out {
+		switch {
+		case r.Len() < 2:
+			out[i] = math.NaN()
+		case i == 0:
+			out[i] = dphi(0, 1)
+		case i == r.Len()-1:
+			out[i] = dphi(r.Len()-2, r.Len()-1)
+		default:
+			out[i] = dphi(i-1, i+1)
+		}
+	}
+	return out
+}

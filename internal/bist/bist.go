@@ -1,0 +1,130 @@
+// Package bist estimates the on-chip hardware needed to apply a
+// multi-configuration test program in built-in self-test, the cost the
+// paper's §4.2 invokes: "if BIST is under consideration, configurations
+// are generated on-chip, and the minimization of the configuration number
+// then simplifies the required test circuitry."
+//
+// The model is a gate-equivalent budget for the classic analog BIST
+// skeleton: a sequencer that walks the stored configuration vectors, a
+// programmable oscillator stepping through the stored test frequencies,
+// and a window comparator checking the response magnitude per
+// (configuration, frequency) cell against stored bounds. It plugs into
+// the optimizer as a 2nd-order CostFunction, giving "minimize the number
+// of configurations" an explicit silicon meaning.
+package bist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"analogdft/internal/core"
+)
+
+// ErrBadModel is returned for invalid model parameters.
+var ErrBadModel = errors.New("bist: bad model")
+
+// Model prices the BIST blocks in gate equivalents (GE).
+type Model struct {
+	// ROMBitGE is the cost per stored bit (configuration vectors,
+	// frequency tuning words, comparator bounds).
+	ROMBitGE float64
+	// CounterBitGE is the cost per sequencer counter bit.
+	CounterBitGE float64
+	// ComparatorGE is the cost of one window comparison (shared hardware,
+	// amortized per stored window).
+	ComparatorGE float64
+	// OscillatorGE is the fixed cost of the programmable oscillator.
+	OscillatorGE float64
+	// FreqWordBits is the width of one frequency tuning word.
+	FreqWordBits int
+	// BoundBits is the width of one comparator bound (two per window).
+	BoundBits int
+}
+
+// DefaultModel is a plausible small-geometry budget.
+var DefaultModel = Model{
+	ROMBitGE:     0.25,
+	CounterBitGE: 6,
+	ComparatorGE: 4,
+	OscillatorGE: 400,
+	FreqWordBits: 12,
+	BoundBits:    8,
+}
+
+// Validate checks the model.
+func (m Model) Validate() error {
+	if m.ROMBitGE < 0 || m.CounterBitGE < 0 || m.ComparatorGE < 0 || m.OscillatorGE < 0 {
+		return fmt.Errorf("%w: negative cost", ErrBadModel)
+	}
+	if m.FreqWordBits <= 0 || m.BoundBits <= 0 {
+		return fmt.Errorf("%w: word widths %d/%d", ErrBadModel, m.FreqWordBits, m.BoundBits)
+	}
+	return nil
+}
+
+// Estimate is a BIST hardware budget.
+type Estimate struct {
+	// ConfigROMBits stores the configuration vectors (nConfigs × lines).
+	ConfigROMBits int
+	// FreqROMBits stores the frequency tuning words.
+	FreqROMBits int
+	// BoundROMBits stores the comparator windows (2 bounds per cell).
+	BoundROMBits int
+	// SeqCounterBits is the sequencer width (⌈log2(cells)⌉, min 1).
+	SeqCounterBits int
+	// Windows is the number of (configuration, frequency) cells.
+	Windows int
+	// GateEquivalents is the total budget.
+	GateEquivalents float64
+}
+
+// Estimate budgets a program of nConfigs configurations over selLines
+// selection lines with nFreqs total test frequencies (summed over
+// configurations; each frequency is measured in its configuration).
+func (m Model) Estimate(selLines, nConfigs, nFreqs int) (Estimate, error) {
+	if err := m.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	if selLines <= 0 || nConfigs <= 0 || nFreqs < 0 {
+		return Estimate{}, fmt.Errorf("%w: selLines=%d configs=%d freqs=%d", ErrBadModel, selLines, nConfigs, nFreqs)
+	}
+	e := Estimate{
+		ConfigROMBits: nConfigs * selLines,
+		FreqROMBits:   nFreqs * m.FreqWordBits,
+		BoundROMBits:  nFreqs * 2 * m.BoundBits,
+		Windows:       nFreqs,
+	}
+	cells := nFreqs
+	if cells < nConfigs {
+		cells = nConfigs
+	}
+	if cells < 2 {
+		cells = 2
+	}
+	e.SeqCounterBits = int(math.Ceil(math.Log2(float64(cells))))
+	if e.SeqCounterBits < 1 {
+		e.SeqCounterBits = 1
+	}
+	e.GateEquivalents = m.OscillatorGE +
+		m.ROMBitGE*float64(e.ConfigROMBits+e.FreqROMBits+e.BoundROMBits) +
+		m.CounterBitGE*float64(e.SeqCounterBits) +
+		m.ComparatorGE*float64(e.Windows)
+	return e, nil
+}
+
+// CostFunction adapts the BIST budget as a 2nd-order requirement for
+// core.Optimize: candidates are priced assuming freqsPerConfig test
+// frequencies in each selected configuration.
+func CostFunction(m Model, selLines, freqsPerConfig int) core.CostFunction {
+	return core.CostFunction{
+		Name: fmt.Sprintf("BIST gate equivalents (%d sel lines, %d freqs/config)", selLines, freqsPerConfig),
+		Cost: func(c *core.Candidate) float64 {
+			est, err := m.Estimate(selLines, c.NumConfigs, c.NumConfigs*freqsPerConfig)
+			if err != nil {
+				return math.Inf(1)
+			}
+			return est.GateEquivalents
+		},
+	}
+}

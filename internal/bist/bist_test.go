@@ -1,0 +1,120 @@
+package bist
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"analogdft/internal/core"
+	"analogdft/internal/paperdata"
+)
+
+func TestModelValidate(t *testing.T) {
+	if err := DefaultModel.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultModel
+	bad.ROMBitGE = -1
+	if err := bad.Validate(); !errors.Is(err, ErrBadModel) {
+		t.Error("negative ROM cost accepted")
+	}
+	bad = DefaultModel
+	bad.FreqWordBits = 0
+	if err := bad.Validate(); !errors.Is(err, ErrBadModel) {
+		t.Error("zero word width accepted")
+	}
+}
+
+func TestEstimateAccounting(t *testing.T) {
+	m := Model{ROMBitGE: 1, CounterBitGE: 10, ComparatorGE: 2, OscillatorGE: 100, FreqWordBits: 8, BoundBits: 4}
+	e, err := m.Estimate(3, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ConfigROMBits != 6 { // 2 configs × 3 lines
+		t.Errorf("config ROM = %d", e.ConfigROMBits)
+	}
+	if e.FreqROMBits != 32 { // 4 × 8
+		t.Errorf("freq ROM = %d", e.FreqROMBits)
+	}
+	if e.BoundROMBits != 32 { // 4 × 2 × 4
+		t.Errorf("bound ROM = %d", e.BoundROMBits)
+	}
+	if e.SeqCounterBits != 2 { // ceil(log2(4))
+		t.Errorf("counter = %d", e.SeqCounterBits)
+	}
+	if e.Windows != 4 {
+		t.Errorf("windows = %d", e.Windows)
+	}
+	want := 100.0 + 1*(6+32+32) + 10*2 + 2*4
+	if math.Abs(e.GateEquivalents-want) > 1e-9 {
+		t.Errorf("GE = %g, want %g", e.GateEquivalents, want)
+	}
+}
+
+func TestEstimateMonotoneInConfigs(t *testing.T) {
+	prev := -1.0
+	for n := 1; n <= 8; n++ {
+		e, err := DefaultModel.Estimate(3, n, n*3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.GateEquivalents <= prev {
+			t.Fatalf("GE not increasing at %d configs", n)
+		}
+		prev = e.GateEquivalents
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	if _, err := DefaultModel.Estimate(0, 2, 2); !errors.Is(err, ErrBadModel) {
+		t.Error("zero sel lines accepted")
+	}
+	if _, err := DefaultModel.Estimate(3, 0, 2); !errors.Is(err, ErrBadModel) {
+		t.Error("zero configs accepted")
+	}
+	if _, err := DefaultModel.Estimate(3, 2, -1); !errors.Is(err, ErrBadModel) {
+		t.Error("negative freqs accepted")
+	}
+	bad := DefaultModel
+	bad.BoundBits = 0
+	if _, err := bad.Estimate(3, 2, 2); !errors.Is(err, ErrBadModel) {
+		t.Error("invalid model accepted in Estimate")
+	}
+}
+
+func TestEstimateMinimumCounter(t *testing.T) {
+	e, err := DefaultModel.Estimate(1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.SeqCounterBits < 1 {
+		t.Fatalf("counter bits = %d", e.SeqCounterBits)
+	}
+}
+
+// Driving the §4.2 optimization with the BIST cost must still select a
+// 2-configuration set on the paper matrix (the budget is monotone in the
+// configuration count).
+func TestCostFunctionOnPaperMatrix(t *testing.T) {
+	mx := paperdata.Matrix()
+	cost := CostFunction(DefaultModel, 3, 3)
+	res, err := core.Optimize(mx, paperdata.OpampNames, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.NumConfigs != 2 {
+		t.Fatalf("BIST-optimal set = %v", res.Best.Labels)
+	}
+	if res.CostName == "" {
+		t.Error("cost name empty")
+	}
+}
+
+func TestCostFunctionInfeasible(t *testing.T) {
+	cost := CostFunction(DefaultModel, 0, 3) // invalid sel lines
+	c := &core.Candidate{NumConfigs: 2}
+	if !math.IsInf(cost.Cost(c), 1) {
+		t.Fatal("invalid estimate should price to +Inf")
+	}
+}

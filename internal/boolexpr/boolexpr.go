@@ -1,0 +1,315 @@
+// Package boolexpr implements the covering algebra of §4.1 of the paper:
+// the boolean expression ξ = Π_faults (Σ_configs d[i][j]·C_i) built from a
+// fault detectability matrix, essential-configuration extraction, the
+// reduced expression ξ_compl, and the product-of-sums → sum-of-products
+// expansion (Petrick's method with absorption) whose product terms are the
+// configuration sets guaranteeing maximum fault coverage.
+//
+// Literals are configuration indices packed into uint64 bitmasks, which
+// caps expressions at 64 literals — far beyond the 2^n configurations of
+// any realistic opamp chain (the paper's circuits have 3–5 opamps).
+//
+// The package also provides a greedy set-cover heuristic and an exact
+// branch-and-bound minimum-cost cover used as the scalable baseline and
+// ablation comparison.
+package boolexpr
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+)
+
+// MaxLiterals is the largest number of distinct literals an expression may
+// carry (bitmask width).
+const MaxLiterals = 64
+
+// ErrTooLarge is returned when an expression exceeds MaxLiterals or a
+// Petrick expansion exceeds its term budget.
+var ErrTooLarge = errors.New("boolexpr: expression too large")
+
+// ErrEmpty is returned when an operation needs a non-empty expression.
+var ErrEmpty = errors.New("boolexpr: empty expression")
+
+// MaskOf packs literal indices into a bitmask.
+func MaskOf(idxs ...int) uint64 {
+	var m uint64
+	for _, i := range idxs {
+		if i < 0 || i >= MaxLiterals {
+			panic(fmt.Sprintf("boolexpr: literal %d out of range", i))
+		}
+		m |= 1 << uint(i)
+	}
+	return m
+}
+
+// Bits unpacks a bitmask into sorted literal indices.
+func Bits(mask uint64) []int {
+	var out []int
+	for mask != 0 {
+		i := bits.TrailingZeros64(mask)
+		out = append(out, i)
+		mask &^= 1 << uint(i)
+	}
+	return out
+}
+
+// Expr is a product of sums (POS): every clause (bitmask of literals) must
+// be satisfied by picking at least one of its literals.
+type Expr struct {
+	// N is the number of literal positions (configuration count).
+	N int
+	// Clauses holds one bitmask per clause.
+	Clauses []uint64
+	// Tags optionally labels each clause (fault IDs); may be nil.
+	Tags []string
+}
+
+// FromMatrix builds ξ from a detectability matrix det[row][col] (row =
+// configuration literal, col = fault). Columns with no true cell are
+// undetectable faults: they produce no clause (the maximum fault coverage
+// simply does not include them) and their indices are reported separately.
+// Column tags label the clauses when non-nil.
+func FromMatrix(det [][]bool, colTags []string) (*Expr, []int, error) {
+	rows := len(det)
+	if rows == 0 {
+		return nil, nil, ErrEmpty
+	}
+	if rows > MaxLiterals {
+		return nil, nil, fmt.Errorf("%w: %d rows", ErrTooLarge, rows)
+	}
+	cols := len(det[0])
+	for i, r := range det {
+		if len(r) != cols {
+			return nil, nil, fmt.Errorf("boolexpr: ragged matrix row %d", i)
+		}
+	}
+	e := &Expr{N: rows}
+	var undetectable []int
+	for j := 0; j < cols; j++ {
+		var clause uint64
+		for i := 0; i < rows; i++ {
+			if det[i][j] {
+				clause |= 1 << uint(i)
+			}
+		}
+		if clause == 0 {
+			undetectable = append(undetectable, j)
+			continue
+		}
+		e.Clauses = append(e.Clauses, clause)
+		if colTags != nil {
+			tag := ""
+			if j < len(colTags) {
+				tag = colTags[j]
+			}
+			e.Tags = append(e.Tags, tag)
+		}
+	}
+	return e, undetectable, nil
+}
+
+// Essential returns the mask of essential literals: literals that are the
+// only satisfier of some clause (single-bit clauses). In the paper these
+// are the essential configurations that must appear in any solution.
+func (e *Expr) Essential() uint64 {
+	var m uint64
+	for _, c := range e.Clauses {
+		if bits.OnesCount64(c) == 1 {
+			m |= c
+		}
+	}
+	return m
+}
+
+// ReduceBy removes every clause already satisfied by the chosen literal
+// mask — the construction of the reduced fault detectability matrix /
+// ξ_compl of Figure 6. Tags follow their clauses.
+func (e *Expr) ReduceBy(chosen uint64) *Expr {
+	out := &Expr{N: e.N}
+	for i, c := range e.Clauses {
+		if c&chosen != 0 {
+			continue
+		}
+		out.Clauses = append(out.Clauses, c)
+		if e.Tags != nil {
+			out.Tags = append(out.Tags, e.Tags[i])
+		}
+	}
+	return out
+}
+
+// SOP is a sum of products: any term (bitmask of literals, all required)
+// satisfies the expression.
+type SOP struct {
+	N     int
+	Terms []uint64
+}
+
+// absorb removes duplicate terms and any term that is a superset of
+// another (X + X·Y = X), returning terms sorted by popcount then value for
+// determinism.
+func absorb(terms []uint64) []uint64 {
+	sort.Slice(terms, func(a, b int) bool {
+		pa, pb := bits.OnesCount64(terms[a]), bits.OnesCount64(terms[b])
+		if pa != pb {
+			return pa < pb
+		}
+		return terms[a] < terms[b]
+	})
+	var out []uint64
+	for _, t := range terms {
+		dominated := false
+		for _, kept := range out {
+			if kept&t == kept { // kept ⊆ t ⇒ t absorbed
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Petrick expands the POS into an absorbed SOP (Petrick's method). The
+// expansion aborts with ErrTooLarge when the intermediate term count
+// exceeds maxTerms (pass 0 for the default of 200 000). An empty
+// expression expands to the single empty term (nothing to cover).
+func (e *Expr) Petrick(maxTerms int) (*SOP, error) {
+	if maxTerms <= 0 {
+		maxTerms = 200000
+	}
+	terms := []uint64{0}
+	for _, clause := range e.Clauses {
+		lits := Bits(clause)
+		next := make([]uint64, 0, len(terms)*len(lits))
+		for _, t := range terms {
+			if t&clause != 0 {
+				// The term already satisfies this clause; keep as-is.
+				next = append(next, t)
+				continue
+			}
+			for _, l := range lits {
+				next = append(next, t|1<<uint(l))
+			}
+		}
+		if len(next) > maxTerms {
+			return nil, fmt.Errorf("%w: %d intermediate terms", ErrTooLarge, len(next))
+		}
+		terms = absorb(next)
+	}
+	return &SOP{N: e.N, Terms: terms}, nil
+}
+
+// WithRequired prepends the required literal mask to every term (the
+// ξ = ξ_ess·ξ_compl product) and re-absorbs.
+func (s *SOP) WithRequired(required uint64) *SOP {
+	terms := make([]uint64, len(s.Terms))
+	for i, t := range s.Terms {
+		terms[i] = t | required
+	}
+	return &SOP{N: s.N, Terms: absorb(terms)}
+}
+
+// Minimal returns the terms with the fewest literals (ties all returned,
+// sorted). This is the §4.2 "minimum number of configurations" selection.
+func (s *SOP) Minimal() []uint64 {
+	if len(s.Terms) == 0 {
+		return nil
+	}
+	min := math.MaxInt
+	for _, t := range s.Terms {
+		if p := bits.OnesCount64(t); p < min {
+			min = p
+		}
+	}
+	var out []uint64
+	for _, t := range s.Terms {
+		if bits.OnesCount64(t) == min {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// MapLiterals rewrites each term by replacing every literal i with the
+// literal mask f(i) in a new literal space of width newN, re-absorbing the
+// result. This is the §4.3 configuration→opamp mapping: f(config) is the
+// product of the opamps in follower mode (Table 3), and the mapped SOP is
+// ξ* whose minimal terms give the partial-DFT opamp set.
+func (s *SOP) MapLiterals(newN int, f func(i int) uint64) *SOP {
+	terms := make([]uint64, len(s.Terms))
+	for k, t := range s.Terms {
+		var m uint64
+		for _, i := range Bits(t) {
+			m |= f(i)
+		}
+		terms[k] = m
+	}
+	return &SOP{N: newN, Terms: absorb(terms)}
+}
+
+// TermsContaining returns the terms whose literal set includes all of
+// mask's literals.
+func (s *SOP) TermsContaining(mask uint64) []uint64 {
+	var out []uint64
+	for _, t := range s.Terms {
+		if t&mask == mask {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Format renders the SOP with a literal naming function, e.g.
+// "C1·C2 + C2·C5".
+func (s *SOP) Format(name func(i int) string) string {
+	if len(s.Terms) == 0 {
+		return "0"
+	}
+	out := ""
+	for k, t := range s.Terms {
+		if k > 0 {
+			out += " + "
+		}
+		if t == 0 {
+			out += "1"
+			continue
+		}
+		for bi, i := range Bits(t) {
+			if bi > 0 {
+				out += "·"
+			}
+			out += name(i)
+		}
+	}
+	return out
+}
+
+// FormatExpr renders the POS with a literal naming function, e.g.
+// "(C0+C2)·(C1)".
+func (e *Expr) Format(name func(i int) string) string {
+	if len(e.Clauses) == 0 {
+		return "1"
+	}
+	out := ""
+	for k, c := range e.Clauses {
+		if k > 0 {
+			out += "·"
+		}
+		out += "("
+		for bi, i := range Bits(c) {
+			if bi > 0 {
+				out += "+"
+			}
+			out += name(i)
+		}
+		out += ")"
+	}
+	return out
+}

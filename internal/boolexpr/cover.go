@@ -1,0 +1,214 @@
+package boolexpr
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// GreedyCover returns a set of row indices covering every coverable column
+// of det, using the classical largest-gain-first heuristic (ties broken by
+// lowest row index). Columns with no true cell are ignored, mirroring the
+// maximum-fault-coverage semantics of FromMatrix. The result is sorted.
+//
+// Greedy is the scalable baseline the exact methods are benchmarked
+// against; it can return covers up to H(n) times larger than optimal.
+func GreedyCover(det [][]bool) ([]int, error) {
+	rows := len(det)
+	if rows == 0 {
+		return nil, ErrEmpty
+	}
+	cols := len(det[0])
+	uncovered := make(map[int]bool)
+	for j := 0; j < cols; j++ {
+		for i := 0; i < rows; i++ {
+			if len(det[i]) != cols {
+				return nil, fmt.Errorf("boolexpr: ragged matrix row %d", i)
+			}
+			if det[i][j] {
+				uncovered[j] = true
+				break
+			}
+		}
+	}
+	var chosen []int
+	used := make([]bool, rows)
+	for len(uncovered) > 0 {
+		best, bestGain := -1, 0
+		for i := 0; i < rows; i++ {
+			if used[i] {
+				continue
+			}
+			gain := 0
+			for j := range uncovered {
+				if det[i][j] {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				best, bestGain = i, gain
+			}
+		}
+		if best < 0 {
+			break // cannot happen: uncovered columns all have a covering row
+		}
+		used[best] = true
+		chosen = append(chosen, best)
+		for j := range uncovered {
+			if det[best][j] {
+				delete(uncovered, j)
+			}
+		}
+	}
+	sort.Ints(chosen)
+	return chosen, nil
+}
+
+// MinCover returns an exact minimum-cost set of row indices covering every
+// coverable column of det, via branch and bound. cost gives the cost of
+// selecting a row (nil means unit cost, i.e. minimize the number of rows).
+// Ties are broken deterministically towards lexicographically smallest row
+// sets. The result is sorted.
+func MinCover(det [][]bool, cost func(row int) float64) ([]int, error) {
+	rows := len(det)
+	if rows == 0 {
+		return nil, ErrEmpty
+	}
+	if rows > MaxLiterals {
+		return nil, fmt.Errorf("%w: %d rows", ErrTooLarge, rows)
+	}
+	cols := len(det[0])
+	if cost == nil {
+		cost = func(int) float64 { return 1 }
+	}
+	// coverable columns and, per column, the set of covering rows.
+	var colRows [][]int
+	for j := 0; j < cols; j++ {
+		var cr []int
+		for i := 0; i < rows; i++ {
+			if len(det[i]) != cols {
+				return nil, fmt.Errorf("boolexpr: ragged matrix row %d", i)
+			}
+			if det[i][j] {
+				cr = append(cr, i)
+			}
+		}
+		if len(cr) > 0 {
+			colRows = append(colRows, cr)
+		}
+	}
+	if len(colRows) == 0 {
+		return []int{}, nil
+	}
+
+	rowMask := make([]uint64, rows) // columns covered by each row (bit per coverable column)
+	if len(colRows) > MaxLiterals {
+		// Fall back to a map-free but wider representation is overkill for
+		// this library's scale; reject clearly instead.
+		return nil, fmt.Errorf("%w: %d coverable columns", ErrTooLarge, len(colRows))
+	}
+	for jj, cr := range colRows {
+		for _, i := range cr {
+			rowMask[i] |= 1 << uint(jj)
+		}
+	}
+	full := uint64(1)<<uint(len(colRows)) - 1
+
+	bestCost := math.Inf(1)
+	var bestSet []int
+
+	minRowCost := math.Inf(1)
+	for i := 0; i < rows; i++ {
+		if c := cost(i); c < minRowCost {
+			minRowCost = c
+		}
+	}
+	if minRowCost < 0 {
+		return nil, fmt.Errorf("boolexpr: negative row cost")
+	}
+
+	var rec func(covered uint64, chosen []int, spent float64)
+	rec = func(covered uint64, chosen []int, spent float64) {
+		if covered == full {
+			if spent < bestCost || (spent == bestCost && lexLess(chosen, bestSet)) {
+				bestCost = spent
+				bestSet = append([]int(nil), chosen...)
+			}
+			return
+		}
+		if spent+minRowCost >= bestCost {
+			return
+		}
+		// Branch on the uncovered column with the fewest covering rows.
+		bestCol, bestFan := -1, math.MaxInt
+		for jj, cr := range colRows {
+			if covered&(1<<uint(jj)) != 0 {
+				continue
+			}
+			if len(cr) < bestFan {
+				bestCol, bestFan = jj, len(cr)
+			}
+		}
+		for _, i := range colRows[bestCol] {
+			if containsInt(chosen, i) {
+				continue
+			}
+			rec(covered|rowMask[i], append(chosen, i), spent+cost(i))
+		}
+	}
+	rec(0, nil, 0)
+
+	sort.Ints(bestSet)
+	return bestSet, nil
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// lexLess compares two row sets after sorting copies.
+func lexLess(a, b []int) bool {
+	if b == nil {
+		return true
+	}
+	as := append([]int(nil), a...)
+	bs := append([]int(nil), b...)
+	sort.Ints(as)
+	sort.Ints(bs)
+	for i := 0; i < len(as) && i < len(bs); i++ {
+		if as[i] != bs[i] {
+			return as[i] < bs[i]
+		}
+	}
+	return len(as) < len(bs)
+}
+
+// CoverIsComplete reports whether the row set covers every coverable
+// column of det.
+func CoverIsComplete(det [][]bool, rowSet []int) bool {
+	if len(det) == 0 {
+		return false
+	}
+	cols := len(det[0])
+	for j := 0; j < cols; j++ {
+		coverable, covered := false, false
+		for i := range det {
+			if det[i][j] {
+				coverable = true
+				if containsInt(rowSet, i) {
+					covered = true
+					break
+				}
+			}
+		}
+		if coverable && !covered {
+			return false
+		}
+	}
+	return true
+}

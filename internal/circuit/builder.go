@@ -1,0 +1,87 @@
+package circuit
+
+// Builder convenience methods. These are Must-style: they panic on
+// duplicate names, which only happens on programmer error in the static
+// circuit library. Programmatic construction from untrusted input should
+// go through Add, which returns errors.
+
+// R adds a resistor and returns it.
+func (c *Circuit) R(name, a, b string, ohms float64) *Resistor {
+	r := &Resistor{Label: name, A: a, B: b, Ohms: ohms}
+	c.MustAdd(r)
+	return r
+}
+
+// Cap adds a capacitor and returns it.
+func (c *Circuit) Cap(name, a, b string, farads float64) *Capacitor {
+	cp := &Capacitor{Label: name, A: a, B: b, Farads: farads}
+	c.MustAdd(cp)
+	return cp
+}
+
+// L adds an inductor and returns it.
+func (c *Circuit) L(name, a, b string, henries float64) *Inductor {
+	l := &Inductor{Label: name, A: a, B: b, Henries: henries}
+	c.MustAdd(l)
+	return l
+}
+
+// V adds an independent voltage source and returns it.
+func (c *Circuit) V(name, plus, minus string, amplitude float64) *VSource {
+	v := &VSource{Label: name, Plus: plus, Minus: minus, Amplitude: amplitude}
+	c.MustAdd(v)
+	return v
+}
+
+// I adds an independent current source and returns it.
+func (c *Circuit) I(name, plus, minus string, amplitude float64) *ISource {
+	i := &ISource{Label: name, Plus: plus, Minus: minus, Amplitude: amplitude}
+	c.MustAdd(i)
+	return i
+}
+
+// E adds a voltage-controlled voltage source and returns it.
+func (c *Circuit) E(name, outP, outM, ctrlP, ctrlM string, gain float64) *VCVS {
+	e := &VCVS{Label: name, OutP: outP, OutM: outM, CtrlP: ctrlP, CtrlM: ctrlM, Gain: gain}
+	c.MustAdd(e)
+	return e
+}
+
+// G adds a voltage-controlled current source and returns it.
+func (c *Circuit) G(name, outP, outM, ctrlP, ctrlM string, gm float64) *VCCS {
+	g := &VCCS{Label: name, OutP: outP, OutM: outM, CtrlP: ctrlP, CtrlM: ctrlM, Gm: gm}
+	c.MustAdd(g)
+	return g
+}
+
+// OA adds an ideal opamp (non-inverting input inP, inverting input inN,
+// output out) and returns it.
+func (c *Circuit) OA(name, inP, inN, out string) *Opamp {
+	op := &Opamp{Label: name, InP: inP, InN: inN, Out: out, Model: ModelIdeal}
+	c.MustAdd(op)
+	return op
+}
+
+// OASinglePole adds a finite single-pole opamp and returns it.
+func (c *Circuit) OASinglePole(name, inP, inN, out string, a0, poleHz float64) *Opamp {
+	op := &Opamp{Label: name, InP: inP, InN: inN, Out: out,
+		Model: ModelSinglePole, A0: a0, PoleHz: poleHz}
+	c.MustAdd(op)
+	return op
+}
+
+// H adds a current-controlled voltage source (transresistance) and
+// returns it. ctrlV names the independent voltage source whose branch
+// current controls the output.
+func (c *Circuit) H(name, outP, outM, ctrlV string, rt float64) *CCVS {
+	h := &CCVS{Label: name, OutP: outP, OutM: outM, CtrlVSource: ctrlV, Rt: rt}
+	c.MustAdd(h)
+	return h
+}
+
+// F adds a current-controlled current source and returns it.
+func (c *Circuit) F(name, outP, outM, ctrlV string, gain float64) *CCCS {
+	f := &CCCS{Label: name, OutP: outP, OutM: outM, CtrlVSource: ctrlV, Gain: gain}
+	c.MustAdd(f)
+	return f
+}

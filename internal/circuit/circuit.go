@@ -1,0 +1,714 @@
+// Package circuit defines the netlist data model shared by the whole
+// library: components (passives, sources, controlled sources, opamps),
+// the Circuit container with named nodes, validation, deep cloning and
+// parameter mutation (the hook used by fault injection).
+//
+// Nodes are referred to by name. The names "0", "gnd" and "GND" all denote
+// the ground reference node.
+package circuit
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// GroundName is the canonical name of the ground node.
+const GroundName = "0"
+
+// IsGroundName reports whether a node name denotes the ground reference.
+func IsGroundName(n string) bool {
+	switch strings.ToLower(n) {
+	case "0", "gnd", "ground":
+		return true
+	}
+	return false
+}
+
+// CanonicalNode maps any spelling of ground to GroundName and returns other
+// names unchanged.
+func CanonicalNode(n string) string {
+	if IsGroundName(n) {
+		return GroundName
+	}
+	return n
+}
+
+// Errors reported by circuit construction and validation.
+var (
+	ErrDuplicateName = errors.New("circuit: duplicate component name")
+	ErrUnknownName   = errors.New("circuit: unknown component name")
+	ErrInvalid       = errors.New("circuit: invalid circuit")
+)
+
+// Kind identifies a component type.
+type Kind int
+
+// Component kinds.
+const (
+	KindResistor Kind = iota
+	KindCapacitor
+	KindInductor
+	KindVSource
+	KindISource
+	KindVCVS
+	KindVCCS
+	KindCCVS
+	KindCCCS
+	KindOpamp
+)
+
+// String returns the short SPICE-flavoured kind tag.
+func (k Kind) String() string {
+	switch k {
+	case KindResistor:
+		return "R"
+	case KindCapacitor:
+		return "C"
+	case KindInductor:
+		return "L"
+	case KindVSource:
+		return "V"
+	case KindISource:
+		return "I"
+	case KindVCVS:
+		return "E"
+	case KindVCCS:
+		return "G"
+	case KindCCVS:
+		return "H"
+	case KindCCCS:
+		return "F"
+	case KindOpamp:
+		return "OA"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Component is the common interface of every netlist element.
+type Component interface {
+	// Name returns the unique component identifier (e.g. "R1", "OP2").
+	Name() string
+	// Kind returns the component type tag.
+	Kind() Kind
+	// Terminals returns the node names the component attaches to, in a
+	// fixed, kind-specific order.
+	Terminals() []string
+	// Clone returns a deep copy of the component.
+	Clone() Component
+}
+
+// Valued is implemented by components with a single primary parameter
+// (resistance, capacitance, inductance, gain, source amplitude). Fault
+// injection mutates circuits exclusively through this interface.
+type Valued interface {
+	Component
+	// Value returns the primary parameter.
+	Value() float64
+	// SetValue overwrites the primary parameter.
+	SetValue(v float64)
+	// Unit returns the human-readable unit of the primary parameter.
+	Unit() string
+}
+
+// Resistor is an ideal linear resistor between nodes A and B.
+type Resistor struct {
+	Label string
+	A, B  string
+	Ohms  float64
+}
+
+// Name implements Component.
+func (r *Resistor) Name() string { return r.Label }
+
+// Kind implements Component.
+func (r *Resistor) Kind() Kind { return KindResistor }
+
+// Terminals implements Component.
+func (r *Resistor) Terminals() []string { return []string{r.A, r.B} }
+
+// Clone implements Component.
+func (r *Resistor) Clone() Component { c := *r; return &c }
+
+// Value implements Valued.
+func (r *Resistor) Value() float64 { return r.Ohms }
+
+// SetValue implements Valued.
+func (r *Resistor) SetValue(v float64) { r.Ohms = v }
+
+// Unit implements Valued.
+func (r *Resistor) Unit() string { return "Ω" }
+
+// Capacitor is an ideal linear capacitor between nodes A and B.
+type Capacitor struct {
+	Label  string
+	A, B   string
+	Farads float64
+}
+
+// Name implements Component.
+func (c *Capacitor) Name() string { return c.Label }
+
+// Kind implements Component.
+func (c *Capacitor) Kind() Kind { return KindCapacitor }
+
+// Terminals implements Component.
+func (c *Capacitor) Terminals() []string { return []string{c.A, c.B} }
+
+// Clone implements Component.
+func (c *Capacitor) Clone() Component { cp := *c; return &cp }
+
+// Value implements Valued.
+func (c *Capacitor) Value() float64 { return c.Farads }
+
+// SetValue implements Valued.
+func (c *Capacitor) SetValue(v float64) { c.Farads = v }
+
+// Unit implements Valued.
+func (c *Capacitor) Unit() string { return "F" }
+
+// Inductor is an ideal linear inductor between nodes A and B.
+type Inductor struct {
+	Label   string
+	A, B    string
+	Henries float64
+}
+
+// Name implements Component.
+func (l *Inductor) Name() string { return l.Label }
+
+// Kind implements Component.
+func (l *Inductor) Kind() Kind { return KindInductor }
+
+// Terminals implements Component.
+func (l *Inductor) Terminals() []string { return []string{l.A, l.B} }
+
+// Clone implements Component.
+func (l *Inductor) Clone() Component { c := *l; return &c }
+
+// Value implements Valued.
+func (l *Inductor) Value() float64 { return l.Henries }
+
+// SetValue implements Valued.
+func (l *Inductor) SetValue(v float64) { l.Henries = v }
+
+// Unit implements Valued.
+func (l *Inductor) Unit() string { return "H" }
+
+// VSource is an independent voltage source (AC amplitude, phase 0) from
+// Plus to Minus.
+type VSource struct {
+	Label       string
+	Plus, Minus string
+	Amplitude   float64
+}
+
+// Name implements Component.
+func (v *VSource) Name() string { return v.Label }
+
+// Kind implements Component.
+func (v *VSource) Kind() Kind { return KindVSource }
+
+// Terminals implements Component.
+func (v *VSource) Terminals() []string { return []string{v.Plus, v.Minus} }
+
+// Clone implements Component.
+func (v *VSource) Clone() Component { c := *v; return &c }
+
+// Value implements Valued.
+func (v *VSource) Value() float64 { return v.Amplitude }
+
+// SetValue implements Valued.
+func (v *VSource) SetValue(x float64) { v.Amplitude = x }
+
+// Unit implements Valued.
+func (v *VSource) Unit() string { return "V" }
+
+// ISource is an independent current source (AC amplitude) flowing from
+// Plus terminal through the source to Minus (conventional direction: the
+// source pushes current into the Minus node).
+type ISource struct {
+	Label       string
+	Plus, Minus string
+	Amplitude   float64
+}
+
+// Name implements Component.
+func (i *ISource) Name() string { return i.Label }
+
+// Kind implements Component.
+func (i *ISource) Kind() Kind { return KindISource }
+
+// Terminals implements Component.
+func (i *ISource) Terminals() []string { return []string{i.Plus, i.Minus} }
+
+// Clone implements Component.
+func (i *ISource) Clone() Component { c := *i; return &c }
+
+// Value implements Valued.
+func (i *ISource) Value() float64 { return i.Amplitude }
+
+// SetValue implements Valued.
+func (i *ISource) SetValue(x float64) { i.Amplitude = x }
+
+// Unit implements Valued.
+func (i *ISource) Unit() string { return "A" }
+
+// VCVS is a voltage-controlled voltage source:
+// V(OutP) − V(OutM) = Gain · (V(CtrlP) − V(CtrlM)).
+type VCVS struct {
+	Label        string
+	OutP, OutM   string
+	CtrlP, CtrlM string
+	Gain         float64
+}
+
+// Name implements Component.
+func (e *VCVS) Name() string { return e.Label }
+
+// Kind implements Component.
+func (e *VCVS) Kind() Kind { return KindVCVS }
+
+// Terminals implements Component.
+func (e *VCVS) Terminals() []string { return []string{e.OutP, e.OutM, e.CtrlP, e.CtrlM} }
+
+// Clone implements Component.
+func (e *VCVS) Clone() Component { c := *e; return &c }
+
+// Value implements Valued.
+func (e *VCVS) Value() float64 { return e.Gain }
+
+// SetValue implements Valued.
+func (e *VCVS) SetValue(v float64) { e.Gain = v }
+
+// Unit implements Valued.
+func (e *VCVS) Unit() string { return "V/V" }
+
+// VCCS is a voltage-controlled current source (transconductance):
+// I(OutP→OutM) = Gm · (V(CtrlP) − V(CtrlM)).
+type VCCS struct {
+	Label        string
+	OutP, OutM   string
+	CtrlP, CtrlM string
+	Gm           float64
+}
+
+// Name implements Component.
+func (g *VCCS) Name() string { return g.Label }
+
+// Kind implements Component.
+func (g *VCCS) Kind() Kind { return KindVCCS }
+
+// Terminals implements Component.
+func (g *VCCS) Terminals() []string { return []string{g.OutP, g.OutM, g.CtrlP, g.CtrlM} }
+
+// Clone implements Component.
+func (g *VCCS) Clone() Component { c := *g; return &c }
+
+// Value implements Valued.
+func (g *VCCS) Value() float64 { return g.Gm }
+
+// SetValue implements Valued.
+func (g *VCCS) SetValue(v float64) { g.Gm = v }
+
+// Unit implements Valued.
+func (g *VCCS) Unit() string { return "S" }
+
+// OpampMode selects how an opamp is emulated during analysis. Normal mode
+// is the classical opamp; Follower mode is the configurable-opamp DFT mode
+// in which the output buffers the dedicated test input [Renovell 96].
+type OpampMode int
+
+// Opamp emulation modes.
+const (
+	ModeNormal OpampMode = iota
+	ModeFollower
+)
+
+// String implements fmt.Stringer.
+func (m OpampMode) String() string {
+	switch m {
+	case ModeNormal:
+		return "normal"
+	case ModeFollower:
+		return "follower"
+	default:
+		return fmt.Sprintf("OpampMode(%d)", int(m))
+	}
+}
+
+// OpampModel selects the small-signal opamp model used by the MNA engine.
+type OpampModel int
+
+// Opamp models.
+const (
+	// ModelIdeal is the nullor model: infinite gain, V(+) = V(−).
+	ModelIdeal OpampModel = iota
+	// ModelSinglePole is a finite-gain single-pole model:
+	// Vout = A(jω)·(V(+) − V(−)) with A(jω) = A0 / (1 + jω/ωp).
+	ModelSinglePole
+)
+
+// String implements fmt.Stringer.
+func (m OpampModel) String() string {
+	switch m {
+	case ModelIdeal:
+		return "ideal"
+	case ModelSinglePole:
+		return "single-pole"
+	default:
+		return fmt.Sprintf("OpampModel(%d)", int(m))
+	}
+}
+
+// Opamp is an operational amplifier. When Configurable is true the opamp
+// has been replaced by the configurable opamp of the multi-configuration
+// DFT technique: it gains a TestIn terminal and can be switched to
+// ModeFollower, in which the output reproduces the TestIn voltage and the
+// differential inputs are ignored (they still load the network through any
+// external feedback elements, which remain connected).
+type Opamp struct {
+	Label    string
+	InP, InN string // non-inverting / inverting inputs
+	Out      string
+
+	Model  OpampModel
+	A0     float64 // DC open-loop gain   (ModelSinglePole)
+	PoleHz float64 // open-loop pole      (ModelSinglePole)
+
+	Configurable bool
+	TestIn       string    // test input node (only when Configurable)
+	Mode         OpampMode // current emulation mode
+}
+
+// Name implements Component.
+func (o *Opamp) Name() string { return o.Label }
+
+// Kind implements Component.
+func (o *Opamp) Kind() Kind { return KindOpamp }
+
+// Terminals implements Component.
+func (o *Opamp) Terminals() []string {
+	t := []string{o.InP, o.InN, o.Out}
+	if o.Configurable && o.TestIn != "" {
+		t = append(t, o.TestIn)
+	}
+	return t
+}
+
+// Clone implements Component.
+func (o *Opamp) Clone() Component { c := *o; return &c }
+
+// Circuit is a named collection of components with designated primary
+// input/output nodes. The zero value is not usable; call New.
+type Circuit struct {
+	Name string
+
+	// Input is the primary input node (driven by the stimulus source
+	// during analysis). Output is the primary observed node.
+	Input, Output string
+
+	components []Component
+	byName     map[string]int
+}
+
+// New returns an empty circuit.
+func New(name string) *Circuit {
+	return &Circuit{Name: name, byName: make(map[string]int)}
+}
+
+// Add appends a component, canonicalizing its ground spellings. It returns
+// an error if the name is empty or already used.
+func (c *Circuit) Add(comp Component) error {
+	if comp.Name() == "" {
+		return fmt.Errorf("%w: empty component name", ErrInvalid)
+	}
+	if _, dup := c.byName[comp.Name()]; dup {
+		return fmt.Errorf("%w: %q", ErrDuplicateName, comp.Name())
+	}
+	canonicalize(comp)
+	c.byName[comp.Name()] = len(c.components)
+	c.components = append(c.components, comp)
+	return nil
+}
+
+// MustAdd is Add that panics on error; for use in circuit builders where
+// names are compile-time constants.
+func (c *Circuit) MustAdd(comp Component) {
+	if err := c.Add(comp); err != nil {
+		panic(err)
+	}
+}
+
+func canonicalize(comp Component) {
+	switch x := comp.(type) {
+	case *Resistor:
+		x.A, x.B = CanonicalNode(x.A), CanonicalNode(x.B)
+	case *Capacitor:
+		x.A, x.B = CanonicalNode(x.A), CanonicalNode(x.B)
+	case *Inductor:
+		x.A, x.B = CanonicalNode(x.A), CanonicalNode(x.B)
+	case *VSource:
+		x.Plus, x.Minus = CanonicalNode(x.Plus), CanonicalNode(x.Minus)
+	case *ISource:
+		x.Plus, x.Minus = CanonicalNode(x.Plus), CanonicalNode(x.Minus)
+	case *VCVS:
+		x.OutP, x.OutM = CanonicalNode(x.OutP), CanonicalNode(x.OutM)
+		x.CtrlP, x.CtrlM = CanonicalNode(x.CtrlP), CanonicalNode(x.CtrlM)
+	case *VCCS:
+		x.OutP, x.OutM = CanonicalNode(x.OutP), CanonicalNode(x.OutM)
+		x.CtrlP, x.CtrlM = CanonicalNode(x.CtrlP), CanonicalNode(x.CtrlM)
+	case *CCVS:
+		x.OutP, x.OutM = CanonicalNode(x.OutP), CanonicalNode(x.OutM)
+	case *CCCS:
+		x.OutP, x.OutM = CanonicalNode(x.OutP), CanonicalNode(x.OutM)
+	case *Opamp:
+		x.InP, x.InN, x.Out = CanonicalNode(x.InP), CanonicalNode(x.InN), CanonicalNode(x.Out)
+		if x.TestIn != "" {
+			x.TestIn = CanonicalNode(x.TestIn)
+		}
+	}
+}
+
+// Components returns the component list in insertion order. The returned
+// slice must not be mutated by callers.
+func (c *Circuit) Components() []Component { return c.components }
+
+// Component looks a component up by name.
+func (c *Circuit) Component(name string) (Component, bool) {
+	i, ok := c.byName[name]
+	if !ok {
+		return nil, false
+	}
+	return c.components[i], true
+}
+
+// Valued looks up a component by name and asserts it carries a primary
+// value parameter.
+func (c *Circuit) Valued(name string) (Valued, error) {
+	comp, ok := c.Component(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownName, name)
+	}
+	v, ok := comp.(Valued)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q has no primary value", ErrUnknownName, name)
+	}
+	return v, nil
+}
+
+// Opamps returns the opamps in insertion order.
+func (c *Circuit) Opamps() []*Opamp {
+	var out []*Opamp
+	for _, comp := range c.components {
+		if op, ok := comp.(*Opamp); ok {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// Passives returns the resistors, capacitors and inductors in insertion
+// order — the fault universe of the paper's experiments.
+func (c *Circuit) Passives() []Valued {
+	var out []Valued
+	for _, comp := range c.components {
+		switch comp.Kind() {
+		case KindResistor, KindCapacitor, KindInductor:
+			out = append(out, comp.(Valued))
+		}
+	}
+	return out
+}
+
+// Nodes returns the sorted list of non-ground node names in use.
+func (c *Circuit) Nodes() []string {
+	set := make(map[string]bool)
+	for _, comp := range c.components {
+		for _, n := range comp.Terminals() {
+			if !IsGroundName(n) {
+				set[n] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns a deep copy of the circuit (components included).
+func (c *Circuit) Clone() *Circuit {
+	out := New(c.Name)
+	out.Input, out.Output = c.Input, c.Output
+	for _, comp := range c.components {
+		// Names are unique in the source, so Add cannot fail.
+		if err := out.Add(comp.Clone()); err != nil {
+			panic(fmt.Sprintf("circuit: clone: %v", err))
+		}
+	}
+	return out
+}
+
+// Validate checks structural soundness:
+//   - at least one component,
+//   - Input and Output set and present in the node set,
+//   - a ground connection exists,
+//   - every non-ground node attaches to at least two terminals (no
+//     dangling nodes), except nodes listed in allowDangling,
+//   - the network is connected (every node reachable from ground through
+//     component terminals).
+func (c *Circuit) Validate(allowDangling ...string) error {
+	if len(c.components) == 0 {
+		return fmt.Errorf("%w: no components", ErrInvalid)
+	}
+	nodes := c.Nodes()
+	nodeSet := make(map[string]bool, len(nodes))
+	for _, n := range nodes {
+		nodeSet[n] = true
+	}
+	if c.Input == "" || !nodeSet[CanonicalNode(c.Input)] {
+		return fmt.Errorf("%w: input node %q not in circuit", ErrInvalid, c.Input)
+	}
+	if c.Output == "" || !nodeSet[CanonicalNode(c.Output)] {
+		return fmt.Errorf("%w: output node %q not in circuit", ErrInvalid, c.Output)
+	}
+
+	grounded := false
+	degree := make(map[string]int)
+	for _, comp := range c.components {
+		for _, n := range comp.Terminals() {
+			if IsGroundName(n) {
+				grounded = true
+				continue
+			}
+			degree[n]++
+		}
+	}
+	if !grounded {
+		return fmt.Errorf("%w: no ground connection", ErrInvalid)
+	}
+
+	allowed := make(map[string]bool)
+	for _, n := range allowDangling {
+		allowed[CanonicalNode(n)] = true
+	}
+	// The primary input is driven externally, so degree 1 is fine there.
+	allowed[CanonicalNode(c.Input)] = true
+	for n, d := range degree {
+		if d < 2 && !allowed[n] {
+			return fmt.Errorf("%w: dangling node %q (degree %d)", ErrInvalid, n, d)
+		}
+	}
+
+	if err := c.checkConnected(nodeSet); err != nil {
+		return err
+	}
+	return nil
+}
+
+// checkConnected verifies every node is reachable from ground treating each
+// component as a hyperedge over its terminals.
+func (c *Circuit) checkConnected(nodeSet map[string]bool) error {
+	adj := make(map[string][]string)
+	link := func(a, b string) {
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+	}
+	for _, comp := range c.components {
+		t := comp.Terminals()
+		for i := 1; i < len(t); i++ {
+			link(CanonicalNode(t[0]), CanonicalNode(t[i]))
+		}
+	}
+	seen := map[string]bool{GroundName: true}
+	stack := []string{GroundName}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, m := range adj[n] {
+			if !seen[m] {
+				seen[m] = true
+				stack = append(stack, m)
+			}
+		}
+	}
+	for n := range nodeSet {
+		if !seen[n] {
+			return fmt.Errorf("%w: node %q not connected to ground", ErrInvalid, n)
+		}
+	}
+	return nil
+}
+
+// String renders a one-line summary.
+func (c *Circuit) String() string {
+	return fmt.Sprintf("%s{%d components, %d nodes, in=%s out=%s}",
+		c.Name, len(c.components), len(c.Nodes()), c.Input, c.Output)
+}
+
+// CCVS is a current-controlled voltage source (SPICE H element):
+// V(OutP) − V(OutM) = Rt · I(CtrlVSource), where the control current is
+// the branch current of a named independent voltage source, per SPICE
+// convention.
+type CCVS struct {
+	Label       string
+	OutP, OutM  string
+	CtrlVSource string
+	Rt          float64 // transresistance, Ω
+}
+
+// Name implements Component.
+func (h *CCVS) Name() string { return h.Label }
+
+// Kind implements Component.
+func (h *CCVS) Kind() Kind { return KindCCVS }
+
+// Terminals implements Component.
+func (h *CCVS) Terminals() []string { return []string{h.OutP, h.OutM} }
+
+// Clone implements Component.
+func (h *CCVS) Clone() Component { c := *h; return &c }
+
+// Value implements Valued.
+func (h *CCVS) Value() float64 { return h.Rt }
+
+// SetValue implements Valued.
+func (h *CCVS) SetValue(v float64) { h.Rt = v }
+
+// Unit implements Valued.
+func (h *CCVS) Unit() string { return "Ω" }
+
+// CCCS is a current-controlled current source (SPICE F element):
+// I(OutP→OutM) = Gain · I(CtrlVSource).
+type CCCS struct {
+	Label       string
+	OutP, OutM  string
+	CtrlVSource string
+	Gain        float64
+}
+
+// Name implements Component.
+func (f *CCCS) Name() string { return f.Label }
+
+// Kind implements Component.
+func (f *CCCS) Kind() Kind { return KindCCCS }
+
+// Terminals implements Component.
+func (f *CCCS) Terminals() []string { return []string{f.OutP, f.OutM} }
+
+// Clone implements Component.
+func (f *CCCS) Clone() Component { c := *f; return &c }
+
+// Value implements Valued.
+func (f *CCCS) Value() float64 { return f.Gain }
+
+// SetValue implements Valued.
+func (f *CCCS) SetValue(v float64) { f.Gain = v }
+
+// Unit implements Valued.
+func (f *CCCS) Unit() string { return "A/A" }

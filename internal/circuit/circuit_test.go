@@ -1,0 +1,375 @@
+package circuit
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+// rcDivider builds a minimal valid circuit: in --R1-- out --C1-- gnd.
+func rcDivider() *Circuit {
+	c := New("rc")
+	c.R("R1", "in", "out", 1e3)
+	c.Cap("C1", "out", "0", 1e-9)
+	c.Input, c.Output = "in", "out"
+	return c
+}
+
+func TestGroundNames(t *testing.T) {
+	for _, n := range []string{"0", "gnd", "GND", "Ground", "ground"} {
+		if !IsGroundName(n) {
+			t.Errorf("IsGroundName(%q) = false, want true", n)
+		}
+		if CanonicalNode(n) != GroundName {
+			t.Errorf("CanonicalNode(%q) = %q, want %q", n, CanonicalNode(n), GroundName)
+		}
+	}
+	if IsGroundName("n0") {
+		t.Error("n0 must not be ground")
+	}
+	if CanonicalNode("x") != "x" {
+		t.Error("non-ground names must pass through")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindResistor: "R", KindCapacitor: "C", KindInductor: "L",
+		KindVSource: "V", KindISource: "I", KindVCVS: "E", KindVCCS: "G",
+		KindOpamp: "OA",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%v.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+func TestAddDuplicate(t *testing.T) {
+	c := New("t")
+	if err := c.Add(&Resistor{Label: "R1", A: "a", B: "b", Ohms: 1}); err != nil {
+		t.Fatal(err)
+	}
+	err := c.Add(&Resistor{Label: "R1", A: "a", B: "c", Ohms: 2})
+	if !errors.Is(err, ErrDuplicateName) {
+		t.Fatalf("err = %v, want ErrDuplicateName", err)
+	}
+}
+
+func TestAddEmptyName(t *testing.T) {
+	c := New("t")
+	if err := c.Add(&Resistor{A: "a", B: "b", Ohms: 1}); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("err = %v, want ErrInvalid", err)
+	}
+}
+
+func TestAddCanonicalizesGround(t *testing.T) {
+	c := New("t")
+	r := c.R("R1", "in", "GND", 1e3)
+	if r.B != GroundName {
+		t.Fatalf("ground not canonicalized: %q", r.B)
+	}
+}
+
+func TestComponentLookup(t *testing.T) {
+	c := rcDivider()
+	comp, ok := c.Component("C1")
+	if !ok || comp.Kind() != KindCapacitor {
+		t.Fatalf("lookup C1: ok=%v comp=%v", ok, comp)
+	}
+	if _, ok := c.Component("R9"); ok {
+		t.Fatal("lookup of unknown component succeeded")
+	}
+}
+
+func TestValuedLookup(t *testing.T) {
+	c := rcDivider()
+	v, err := c.Valued("R1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Value() != 1e3 || v.Unit() != "Ω" {
+		t.Fatalf("R1 value = %g %s", v.Value(), v.Unit())
+	}
+	v.SetValue(2e3)
+	v2, _ := c.Valued("R1")
+	if v2.Value() != 2e3 {
+		t.Fatal("SetValue did not persist")
+	}
+	if _, err := c.Valued("nope"); !errors.Is(err, ErrUnknownName) {
+		t.Fatalf("err = %v, want ErrUnknownName", err)
+	}
+	c.OA("OP1", "0", "x", "out")
+	if _, err := c.Valued("OP1"); !errors.Is(err, ErrUnknownName) {
+		t.Fatalf("opamp Valued err = %v, want ErrUnknownName", err)
+	}
+}
+
+func TestNodes(t *testing.T) {
+	c := rcDivider()
+	nodes := c.Nodes()
+	if len(nodes) != 2 || nodes[0] != "in" || nodes[1] != "out" {
+		t.Fatalf("nodes = %v, want [in out]", nodes)
+	}
+}
+
+func TestOpampsAndPassives(t *testing.T) {
+	c := New("t")
+	c.R("R1", "a", "0", 1)
+	c.Cap("C1", "a", "0", 1)
+	c.L("L1", "a", "0", 1)
+	c.V("V1", "a", "0", 1)
+	c.OA("OP1", "0", "a", "b")
+	c.OA("OP2", "0", "b", "a")
+	if got := len(c.Opamps()); got != 2 {
+		t.Fatalf("Opamps = %d, want 2", got)
+	}
+	if got := len(c.Passives()); got != 3 {
+		t.Fatalf("Passives = %d, want 3", got)
+	}
+	if c.Opamps()[0].Name() != "OP1" || c.Opamps()[1].Name() != "OP2" {
+		t.Fatal("opamp order not preserved")
+	}
+}
+
+func TestCloneDeep(t *testing.T) {
+	c := rcDivider()
+	cl := c.Clone()
+	v, _ := cl.Valued("R1")
+	v.SetValue(99)
+	orig, _ := c.Valued("R1")
+	if orig.Value() != 1e3 {
+		t.Fatal("Clone shares component storage")
+	}
+	if cl.Input != "in" || cl.Output != "out" || cl.Name != c.Name {
+		t.Fatal("Clone lost metadata")
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := rcDivider().Validate(); err != nil {
+		t.Fatalf("valid circuit rejected: %v", err)
+	}
+}
+
+func TestValidateEmpty(t *testing.T) {
+	c := New("t")
+	c.Input, c.Output = "a", "b"
+	if err := c.Validate(); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("err = %v, want ErrInvalid", err)
+	}
+}
+
+func TestValidateMissingIO(t *testing.T) {
+	c := rcDivider()
+	c.Input = ""
+	if err := c.Validate(); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("missing input: err = %v", err)
+	}
+	c = rcDivider()
+	c.Output = "nope"
+	if err := c.Validate(); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("bad output: err = %v", err)
+	}
+}
+
+func TestValidateNoGround(t *testing.T) {
+	c := New("t")
+	c.R("R1", "a", "b", 1)
+	c.R("R2", "b", "a", 1)
+	c.Input, c.Output = "a", "b"
+	if err := c.Validate(); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("no-ground: err = %v", err)
+	}
+}
+
+func TestValidateDangling(t *testing.T) {
+	c := rcDivider()
+	c.R("R2", "out", "stray", 1e3) // "stray" has degree 1
+	if err := c.Validate(); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("dangling: err = %v", err)
+	}
+	// The same circuit passes when the dangling node is allow-listed.
+	if err := c.Validate("stray"); err != nil {
+		t.Fatalf("allowDangling rejected: %v", err)
+	}
+}
+
+func TestValidateDisconnected(t *testing.T) {
+	c := rcDivider()
+	// Island not touching the rest of the network.
+	c.R("R2", "p", "q", 1)
+	c.R("R3", "q", "p", 1)
+	if err := c.Validate(); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("disconnected: err = %v", err)
+	}
+}
+
+func TestValidateInputMayDangle(t *testing.T) {
+	// in has degree 1 (only R1): allowed because the stimulus drives it.
+	c := New("t")
+	c.R("R1", "in", "out", 1e3)
+	c.R("R2", "out", "0", 1e3)
+	c.Input, c.Output = "in", "out"
+	if err := c.Validate(); err != nil {
+		t.Fatalf("input dangling rejected: %v", err)
+	}
+}
+
+func TestTerminalsPerKind(t *testing.T) {
+	r := &Resistor{Label: "R", A: "a", B: "b"}
+	if got := r.Terminals(); len(got) != 2 {
+		t.Errorf("R terminals = %v", got)
+	}
+	e := &VCVS{Label: "E", OutP: "o", OutM: "0", CtrlP: "p", CtrlM: "m"}
+	if got := e.Terminals(); len(got) != 4 {
+		t.Errorf("E terminals = %v", got)
+	}
+	op := &Opamp{Label: "OP", InP: "p", InN: "n", Out: "o"}
+	if got := op.Terminals(); len(got) != 3 {
+		t.Errorf("plain opamp terminals = %v", got)
+	}
+	op.Configurable = true
+	op.TestIn = "t"
+	if got := op.Terminals(); len(got) != 4 || got[3] != "t" {
+		t.Errorf("configurable opamp terminals = %v", got)
+	}
+}
+
+func TestOpampModeModelStrings(t *testing.T) {
+	if ModeNormal.String() != "normal" || ModeFollower.String() != "follower" {
+		t.Error("mode strings")
+	}
+	if ModelIdeal.String() != "ideal" || ModelSinglePole.String() != "single-pole" {
+		t.Error("model strings")
+	}
+}
+
+func TestValuedInterfaceCoverage(t *testing.T) {
+	cases := []struct {
+		v    Valued
+		unit string
+	}{
+		{&Resistor{Label: "R", Ohms: 1}, "Ω"},
+		{&Capacitor{Label: "C", Farads: 1}, "F"},
+		{&Inductor{Label: "L", Henries: 1}, "H"},
+		{&VSource{Label: "V", Amplitude: 1}, "V"},
+		{&ISource{Label: "I", Amplitude: 1}, "A"},
+		{&VCVS{Label: "E", Gain: 1}, "V/V"},
+		{&VCCS{Label: "G", Gm: 1}, "S"},
+	}
+	for _, tc := range cases {
+		if tc.v.Value() != 1 {
+			t.Errorf("%s: Value = %g", tc.v.Name(), tc.v.Value())
+		}
+		tc.v.SetValue(7)
+		if tc.v.Value() != 7 {
+			t.Errorf("%s: SetValue did not apply", tc.v.Name())
+		}
+		if tc.v.Unit() != tc.unit {
+			t.Errorf("%s: Unit = %q, want %q", tc.v.Name(), tc.v.Unit(), tc.unit)
+		}
+		cl := tc.v.Clone().(Valued)
+		cl.SetValue(8)
+		if tc.v.Value() != 7 {
+			t.Errorf("%s: Clone shares storage", tc.v.Name())
+		}
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	s := rcDivider().String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+// Property: Clone is always independent — mutating every valued component
+// of the clone never alters the original.
+func TestCloneIndependenceProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		c := New("p")
+		prev := "0"
+		for i, v := range vals {
+			if v == 0 || v != v { // skip zero and NaN
+				v = 1
+			}
+			node := prev
+			next := "n" + string(rune('a'+i%26))
+			c.R(nodeName("R", i), node, next, abs(v))
+			prev = next
+		}
+		if len(c.Components()) == 0 {
+			return true
+		}
+		cl := c.Clone()
+		for _, p := range cl.Passives() {
+			p.SetValue(p.Value() * 3)
+		}
+		for i, p := range c.Passives() {
+			if p.Value() != abs(valOr1(vals[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func nodeName(prefix string, i int) string {
+	return prefix + string(rune('0'+i/10%10)) + string(rune('0'+i%10))
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func valOr1(v float64) float64 {
+	if v == 0 || v != v {
+		return 1
+	}
+	return v
+}
+
+func TestCurrentControlledComponents(t *testing.T) {
+	c := New("hf")
+	c.V("V1", "a", "0", 1)
+	c.R("R1", "a", "0", 1e3)
+	h := c.H("H1", "b", "GND", "V1", 50)
+	f := c.F("F1", "c", "gnd", "V1", 2)
+	c.R("R2", "b", "0", 1e3)
+	c.R("R3", "c", "0", 1e3)
+	if h.Kind() != KindCCVS || h.Kind().String() != "H" {
+		t.Error("CCVS kind")
+	}
+	if f.Kind() != KindCCCS || f.Kind().String() != "F" {
+		t.Error("CCCS kind")
+	}
+	if h.OutM != GroundName || f.OutM != GroundName {
+		t.Error("ground not canonicalized on H/F")
+	}
+	if h.Unit() != "Ω" || f.Unit() != "A/A" {
+		t.Error("units")
+	}
+	h.SetValue(99)
+	if h.Value() != 99 {
+		t.Error("CCVS SetValue")
+	}
+	f.SetValue(3)
+	if f.Value() != 3 {
+		t.Error("CCCS SetValue")
+	}
+	cl := h.Clone().(*CCVS)
+	cl.Rt = 1
+	if h.Rt != 99 {
+		t.Error("CCVS clone shares storage")
+	}
+	if len(h.Terminals()) != 2 || len(f.Terminals()) != 2 {
+		t.Error("terminals")
+	}
+}

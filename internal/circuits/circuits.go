@@ -1,0 +1,298 @@
+// Package circuits is the benchmark circuit library: the paper's
+// biquadratic filter (a three-opamp Tow–Thomas biquad with the same
+// component inventory as Figure 1 — R1..R6, C1, C2) plus a set of classic
+// opamp-RC filters used by the examples, the scaling benchmarks and the
+// extension experiments.
+//
+// The paper does not publish component values, so the biquad here is
+// dimensioned for f0 = 10 kHz with moderate Q; DESIGN.md documents this
+// substitution. Every constructor returns a Bench carrying the circuit and
+// the recommended configurable-opamp chain in signal order (the order the
+// multi-configuration test inputs are chained in).
+package circuits
+
+import (
+	"fmt"
+	"math"
+
+	"analogdft/internal/circuit"
+)
+
+// Bench bundles a benchmark circuit with its DFT chain.
+type Bench struct {
+	// Circuit is the nominal netlist with Input/Output set.
+	Circuit *circuit.Circuit
+	// Chain lists the opamps to make configurable, in test-chain order
+	// (primary input towards primary output).
+	Chain []string
+	// Description is a one-line summary for reports.
+	Description string
+}
+
+// Validate checks the bench invariants.
+func (b *Bench) Validate() error {
+	if err := b.Circuit.Validate(); err != nil {
+		return err
+	}
+	for _, name := range b.Chain {
+		comp, ok := b.Circuit.Component(name)
+		if !ok {
+			return fmt.Errorf("circuits: chain opamp %q missing", name)
+		}
+		if comp.Kind() != circuit.KindOpamp {
+			return fmt.Errorf("circuits: chain member %q is not an opamp", name)
+		}
+	}
+	return nil
+}
+
+// PaperBiquad builds the Tow–Thomas biquadratic filter standing in for
+// Figure 1 of the paper: three opamps (damped inverting integrator,
+// inverting integrator, unity inverter), six resistors R1..R6 and two
+// capacitors C1, C2, with non-cascaded feedback from the inverter output
+// back into the first stage.
+//
+// Topology (all opamp + inputs grounded):
+//
+//	R1: in → a      R2: v1 → a      C1: v1 → a     R4: v3 → a
+//	OP1: (−=a, out=v1)
+//	R5: v1 → b      C2: v2 → b
+//	OP2: (−=b, out=v2)
+//	R6: v2 → c      R3: v3 → c
+//	OP3: (−=c, out=v3)
+//
+// The lowpass output is v3 with DC gain −R4/R1,
+// ω0² = R3/(R4·R5·R6·C1·C2) and Q = R2·√(C1·R3/(R4·R5·R6·C2)).
+// With the values below: f0 = 10 kHz, Q = 2, unity DC gain.
+func PaperBiquad() *Bench {
+	const (
+		f0 = 10e3
+		c  = 1e-9 // both capacitors
+		q  = 2.0
+	)
+	r := 1 / (2 * math.Pi * f0 * c) // ≈ 15.92 kΩ
+
+	ckt := circuit.New("paper-biquad")
+	ckt.R("R1", "in", "a", r)
+	ckt.R("R2", "v1", "a", q*r)
+	ckt.Cap("C1", "v1", "a", c)
+	ckt.R("R4", "v3", "a", r)
+	ckt.OA("OP1", "0", "a", "v1")
+	ckt.R("R5", "v1", "b", r)
+	ckt.Cap("C2", "v2", "b", c)
+	ckt.OA("OP2", "0", "b", "v2")
+	ckt.R("R6", "v2", "c", r)
+	ckt.R("R3", "v3", "c", r)
+	ckt.OA("OP3", "0", "c", "v3")
+	ckt.Input, ckt.Output = "in", "v3"
+	return &Bench{
+		Circuit:     ckt,
+		Chain:       []string{"OP1", "OP2", "OP3"},
+		Description: "Tow–Thomas biquadratic filter (paper Fig. 1 stand-in), f0=10 kHz Q=2",
+	}
+}
+
+// SallenKeyLowpass builds a unity-gain Sallen–Key 2nd-order lowpass
+// (single opamp, Butterworth at 10 kHz).
+func SallenKeyLowpass() *Bench {
+	const f0 = 10e3
+	// Unity-gain Sallen–Key with C1 = 2Q²·C2 gives Q via the cap ratio;
+	// Butterworth Q = 1/√2 ⇒ C1 = C2·2·(1/2) = C2 … use the standard
+	// equal-R design: R1 = R2 = R, C1 = 2Q/(ω0·2R)… simplest exact choice:
+	// R1 = R2 = R, C1 = Q/(π·f0·R)·? — dimension directly:
+	q := 1 / math.Sqrt2
+	r := 10e3
+	w0 := 2 * math.Pi * f0
+	c1 := 2 * q / (w0 * r) // across the opamp (x → out)
+	c2 := 1 / (2 * q * w0 * r)
+
+	ckt := circuit.New("sallen-key-lp")
+	ckt.R("R1", "in", "x", r)
+	ckt.R("R2", "x", "y", r)
+	ckt.Cap("C1", "x", "out", c1)
+	ckt.Cap("C2", "y", "0", c2)
+	ckt.OA("OP1", "y", "out", "out")
+	ckt.Input, ckt.Output = "in", "out"
+	return &Bench{
+		Circuit:     ckt,
+		Chain:       []string{"OP1"},
+		Description: "unity-gain Sallen–Key lowpass, Butterworth, f0=10 kHz",
+	}
+}
+
+// SingleOpampBandpass builds an inverting single-opamp wide bandpass:
+// series R1·C1 input branch, parallel R2·C2 feedback —
+// H(s) = −(s·C1·R2) / ((1 + s·R1·C1)(1 + s·R2·C2)),
+// passband gain −R2/R1 between f_lo = 1/(2πR1C1)·? (zero at DC, poles at
+// 1/(2πR1C1) and 1/(2πR2C2)).
+func SingleOpampBandpass() *Bench {
+	ckt := circuit.New("sop-bandpass")
+	ckt.Cap("C1", "in", "x", 100e-9) // lower corner with R1: ≈159 Hz
+	ckt.R("R1", "x", "m", 10e3)
+	ckt.R("R2", "m", "out", 10e3)
+	ckt.Cap("C2", "m", "out", 1e-9) // upper corner ≈15.9 kHz
+	ckt.OA("OP1", "0", "m", "out")
+	ckt.Input, ckt.Output = "in", "out"
+	return &Bench{
+		Circuit:     ckt,
+		Chain:       []string{"OP1"},
+		Description: "single-opamp inverting bandpass, 159 Hz – 15.9 kHz",
+	}
+}
+
+// KHNStateVariable builds a three-opamp state-variable (KHN-style) filter
+// with a difference summer and two inverting integrators; the lowpass
+// output is taken at the second integrator.
+//
+//	H_lp(s) = −1 / (s²τ² + 1.5·s·τ + 1), τ = R·C  (Q = 2/3)
+func KHNStateVariable() *Bench {
+	const f0 = 5e3
+	c := 1e-9
+	r := 1 / (2 * math.Pi * f0 * c)
+
+	ckt := circuit.New("khn-state-variable")
+	// Difference summer OP1: Vm = (Vin + Vlp + Vhp)/3 must equal
+	// Vp = Vbp/2.
+	ckt.R("R1", "in", "m", 10e3)
+	ckt.R("R2", "lp", "m", 10e3)
+	ckt.R("R3", "hp", "m", 10e3)
+	ckt.R("R4", "bp", "p", 10e3)
+	ckt.R("R5", "p", "0", 10e3)
+	ckt.OA("OP1", "p", "m", "hp")
+	// Integrator OP2: bp = −hp/(sτ).
+	ckt.R("R6", "hp", "i1", r)
+	ckt.Cap("C1", "bp", "i1", c)
+	ckt.OA("OP2", "0", "i1", "bp")
+	// Integrator OP3: lp = −bp/(sτ).
+	ckt.R("R7", "bp", "i2", r)
+	ckt.Cap("C2", "lp", "i2", c)
+	ckt.OA("OP3", "0", "i2", "lp")
+	ckt.Input, ckt.Output = "in", "lp"
+	return &Bench{
+		Circuit:     ckt,
+		Chain:       []string{"OP1", "OP2", "OP3"},
+		Description: "KHN-style state-variable filter, f0=5 kHz, lowpass output",
+	}
+}
+
+// MultiStageLowpass builds a cascade of n identical inverting first-order
+// lowpass stages (R into a virtual ground, R ∥ C feedback): per-stage DC
+// gain −1 and corner f0. Useful for scaling studies: the DFT chain grows
+// linearly with n.
+func MultiStageLowpass(n int, f0 float64) (*Bench, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("circuits: need at least one stage, got %d", n)
+	}
+	if f0 <= 0 {
+		return nil, fmt.Errorf("circuits: bad corner %g", f0)
+	}
+	c := 1e-9
+	r := 1 / (2 * math.Pi * f0 * c)
+
+	ckt := circuit.New(fmt.Sprintf("multistage-lp-%d", n))
+	var chain []string
+	prev := "in"
+	for k := 1; k <= n; k++ {
+		m := fmt.Sprintf("m%d", k)
+		v := fmt.Sprintf("v%d", k)
+		ckt.R(fmt.Sprintf("Ra%d", k), prev, m, r)
+		ckt.R(fmt.Sprintf("Rb%d", k), m, v, r)
+		ckt.Cap(fmt.Sprintf("C%d", k), m, v, c)
+		op := fmt.Sprintf("OP%d", k)
+		ckt.OA(op, "0", m, v)
+		chain = append(chain, op)
+		prev = v
+	}
+	ckt.Input, ckt.Output = "in", prev
+	return &Bench{
+		Circuit:     ckt,
+		Chain:       chain,
+		Description: fmt.Sprintf("cascade of %d inverting RC lowpass stages, f0=%g Hz", n, f0),
+	}, nil
+}
+
+// BiquadCascade builds a cascade of n Tow–Thomas biquads with staggered
+// centre frequencies (each section f0 spaced by √2), producing a 2n-order
+// lowpass with 3n opamps — the "complex block under test" scaling case.
+func BiquadCascade(n int) (*Bench, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("circuits: need at least one section, got %d", n)
+	}
+	ckt := circuit.New(fmt.Sprintf("biquad-cascade-%d", n))
+	var chain []string
+	prev := "in"
+	f0 := 10e3
+	for k := 1; k <= n; k++ {
+		c := 1e-9
+		r := 1 / (2 * math.Pi * f0 * c)
+		q := 1.0
+		p := func(s string) string { return fmt.Sprintf("%s_%d", s, k) }
+		ckt.R(p("R1"), prev, p("a"), r)
+		ckt.R(p("R2"), p("v1"), p("a"), q*r)
+		ckt.Cap(p("C1"), p("v1"), p("a"), c)
+		ckt.R(p("R4"), p("v3"), p("a"), r)
+		ckt.OA(p("OP1"), "0", p("a"), p("v1"))
+		ckt.R(p("R5"), p("v1"), p("b"), r)
+		ckt.Cap(p("C2"), p("v2"), p("b"), c)
+		ckt.OA(p("OP2"), "0", p("b"), p("v2"))
+		ckt.R(p("R6"), p("v2"), p("c"), r)
+		ckt.R(p("R3"), p("v3"), p("c"), r)
+		ckt.OA(p("OP3"), "0", p("c"), p("v3"))
+		chain = append(chain, p("OP1"), p("OP2"), p("OP3"))
+		prev = p("v3")
+		f0 *= math.Sqrt2
+	}
+	ckt.Input, ckt.Output = "in", prev
+	return &Bench{
+		Circuit:     ckt,
+		Chain:       chain,
+		Description: fmt.Sprintf("cascade of %d Tow–Thomas biquads (%d opamps)", n, 3*n),
+	}, nil
+}
+
+// Library returns the fixed-size benchmark circuits by name.
+func Library() map[string]*Bench {
+	ms4, _ := MultiStageLowpass(4, 10e3)
+	bc2, _ := BiquadCascade(2)
+	lf5, _ := LeapfrogLowpass5(10e3)
+	ttn, _ := TwinTNotch(10e3)
+	return map[string]*Bench{
+		"paper-biquad":       PaperBiquad(),
+		"sallen-key-lp":      SallenKeyLowpass(),
+		"sop-bandpass":       SingleOpampBandpass(),
+		"khn-state-variable": KHNStateVariable(),
+		"multistage-lp-4":    ms4,
+		"biquad-cascade-2":   bc2,
+		"leapfrog-lp5":       lf5,
+		"twin-t-notch":       ttn,
+	}
+}
+
+// TwinTNotch builds a buffered twin-T notch filter: the classic symmetric
+// twin-T RC network (deep null at f0) driving a unity-gain opamp buffer.
+// Components: R1 = R2 = R, R3 = R/2, C1 = C2 = C, C3 = 2C.
+func TwinTNotch(f0Hz float64) (*Bench, error) {
+	if f0Hz <= 0 {
+		return nil, fmt.Errorf("circuits: bad notch frequency %g", f0Hz)
+	}
+	c := 1e-9
+	r := 1 / (2 * math.Pi * f0Hz * c)
+
+	ckt := circuit.New("twin-t-notch")
+	// High-pass tee: C1 in→x, C2 x→out, R3 x→gnd.
+	ckt.Cap("C1", "in", "x", c)
+	ckt.Cap("C2", "x", "mid", c)
+	ckt.R("R3", "x", "0", r/2)
+	// Low-pass tee: R1 in→y, R2 y→out, C3 y→gnd.
+	ckt.R("R1", "in", "y", r)
+	ckt.R("R2", "y", "mid", r)
+	ckt.Cap("C3", "y", "0", 2*c)
+	// Unity buffer isolates the notch from the load.
+	ckt.OA("OP1", "mid", "out", "out")
+	ckt.Input, ckt.Output = "in", "out"
+	return &Bench{
+		Circuit:     ckt,
+		Chain:       []string{"OP1"},
+		Description: fmt.Sprintf("buffered twin-T notch, f0=%g Hz", f0Hz),
+	}, nil
+}

@@ -1,0 +1,227 @@
+package circuits
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"analogdft/internal/mna"
+)
+
+func magAt(t *testing.T, b *Bench, f float64) float64 {
+	t.Helper()
+	h, err := mna.TransferAt(b.Circuit, f)
+	if err != nil {
+		t.Fatalf("%s at %g Hz: %v", b.Circuit.Name, f, err)
+	}
+	return cmplx.Abs(h)
+}
+
+func TestLibraryValidates(t *testing.T) {
+	lib := Library()
+	if len(lib) != 8 {
+		t.Fatalf("library size = %d", len(lib))
+	}
+	for name, b := range lib {
+		if err := b.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if b.Description == "" {
+			t.Errorf("%s: empty description", name)
+		}
+		if len(b.Chain) == 0 {
+			t.Errorf("%s: empty chain", name)
+		}
+	}
+}
+
+func TestBenchValidateCatchesBadChain(t *testing.T) {
+	b := PaperBiquad()
+	b.Chain = []string{"OPX"}
+	if err := b.Validate(); err == nil {
+		t.Fatal("missing chain opamp accepted")
+	}
+	b = PaperBiquad()
+	b.Chain = []string{"R1"}
+	if err := b.Validate(); err == nil {
+		t.Fatal("non-opamp chain member accepted")
+	}
+}
+
+func TestPaperBiquadResponse(t *testing.T) {
+	b := PaperBiquad()
+	// DC gain −R4/R1 = −1.
+	if got := magAt(t, b, 1); math.Abs(got-1) > 1e-3 {
+		t.Errorf("DC gain = %g, want 1", got)
+	}
+	// Lowpass biquad: |H(f0)| = Q·|H(0)| = 2.
+	if got := magAt(t, b, 10e3); math.Abs(got-2) > 0.05 {
+		t.Errorf("|H(f0)| = %g, want 2", got)
+	}
+	// −40 dB/decade: one decade above f0 the gain is ≈ 0.01.
+	if got := magAt(t, b, 100e3); got > 0.02 {
+		t.Errorf("|H(10·f0)| = %g, want ≈ 0.01", got)
+	}
+	// Exact phase/sign at DC: inverted output.
+	h, err := mna.TransferAt(b.Circuit, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if real(h) > -0.9 {
+		t.Errorf("H(0) = %v, want ≈ −1", h)
+	}
+}
+
+func TestPaperBiquadInventoryMatchesFig1(t *testing.T) {
+	// Six resistors R1..R6, two capacitors C1, C2, three opamps.
+	b := PaperBiquad()
+	var nR, nC, nOA int
+	for _, comp := range b.Circuit.Components() {
+		switch comp.Kind().String() {
+		case "R":
+			nR++
+		case "C":
+			nC++
+		case "OA":
+			nOA++
+		}
+	}
+	if nR != 6 || nC != 2 || nOA != 3 {
+		t.Fatalf("inventory R=%d C=%d OA=%d, want 6/2/3", nR, nC, nOA)
+	}
+	for _, name := range []string{"R1", "R2", "R3", "R4", "R5", "R6", "C1", "C2"} {
+		if _, ok := b.Circuit.Component(name); !ok {
+			t.Errorf("component %s missing", name)
+		}
+	}
+}
+
+func TestSallenKeyResponse(t *testing.T) {
+	b := SallenKeyLowpass()
+	if got := magAt(t, b, 10); math.Abs(got-1) > 1e-3 {
+		t.Errorf("DC gain = %g, want 1", got)
+	}
+	// Butterworth: |H(f0)| = 1/√2.
+	if got := magAt(t, b, 10e3); math.Abs(got-1/math.Sqrt2) > 0.01 {
+		t.Errorf("|H(f0)| = %g, want %g", got, 1/math.Sqrt2)
+	}
+	if got := magAt(t, b, 1e6); got > 1e-2 {
+		t.Errorf("|H(100·f0)| = %g", got)
+	}
+}
+
+func TestSingleOpampBandpassResponse(t *testing.T) {
+	b := SingleOpampBandpass()
+	mid := magAt(t, b, 1.6e3) // geometric middle of the band
+	if mid < 0.8 || mid > 1.05 {
+		t.Errorf("midband gain = %g, want ≈1", mid)
+	}
+	if lo := magAt(t, b, 1); lo > 0.05 {
+		t.Errorf("gain at 1 Hz = %g, want ≈0", lo)
+	}
+	if hi := magAt(t, b, 10e6); hi > 0.05 {
+		t.Errorf("gain at 10 MHz = %g, want ≈0", hi)
+	}
+}
+
+func TestKHNResponse(t *testing.T) {
+	b := KHNStateVariable()
+	if got := magAt(t, b, 1); math.Abs(got-1) > 1e-3 {
+		t.Errorf("DC gain = %g, want 1", got)
+	}
+	// Q = 2/3: |H(f0)| = Q.
+	if got := magAt(t, b, 5e3); math.Abs(got-2.0/3) > 0.02 {
+		t.Errorf("|H(f0)| = %g, want %g", got, 2.0/3)
+	}
+	if got := magAt(t, b, 500e3); got > 1e-3 {
+		t.Errorf("stopband gain = %g", got)
+	}
+}
+
+func TestMultiStageLowpass(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 6} {
+		b, err := MultiStageLowpass(n, 10e3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(b.Chain) != n {
+			t.Fatalf("n=%d: chain = %v", n, b.Chain)
+		}
+		if got := magAt(t, b, 1); math.Abs(got-1) > 1e-3 {
+			t.Errorf("n=%d DC gain = %g", n, got)
+		}
+		// n cascaded identical poles: |H(f0)| = (1/√2)^n.
+		want := math.Pow(1/math.Sqrt2, float64(n))
+		if got := magAt(t, b, 10e3); math.Abs(got-want) > 0.01 {
+			t.Errorf("n=%d |H(f0)| = %g, want %g", n, got, want)
+		}
+	}
+	if _, err := MultiStageLowpass(0, 1e3); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := MultiStageLowpass(2, -1); err == nil {
+		t.Fatal("negative corner accepted")
+	}
+}
+
+func TestBiquadCascade(t *testing.T) {
+	b, err := BiquadCascade(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Chain) != 6 {
+		t.Fatalf("chain = %v", b.Chain)
+	}
+	if got := magAt(t, b, 1); math.Abs(got-1) > 1e-2 {
+		t.Errorf("DC gain = %g, want 1", got)
+	}
+	// 4th-order rolloff: two decades above the first corner the response
+	// has collapsed.
+	if got := magAt(t, b, 1e6); got > 1e-4 {
+		t.Errorf("deep stopband = %g", got)
+	}
+	if _, err := BiquadCascade(0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func TestDistinctNodeNamespaces(t *testing.T) {
+	// BiquadCascade sections must not collide on names.
+	b, err := BiquadCascade(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(b.Circuit.Opamps()); got != 9 {
+		t.Fatalf("opamps = %d, want 9", got)
+	}
+}
+
+func TestTwinTNotch(t *testing.T) {
+	const f0 = 1e3
+	b, err := TwinTNotch(f0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Deep null at f0, unity far away on both sides.
+	if null := magAt(t, b, f0); null > 1e-6 {
+		t.Errorf("|H(f0)| = %g, want ≈0 (perfect twin-T null)", null)
+	}
+	if lo := magAt(t, b, f0/100); math.Abs(lo-1) > 0.01 {
+		t.Errorf("|H(f0/100)| = %g, want ≈1", lo)
+	}
+	if hi := magAt(t, b, f0*100); math.Abs(hi-1) > 0.01 {
+		t.Errorf("|H(100·f0)| = %g, want ≈1", hi)
+	}
+	if _, err := TwinTNotch(0); err == nil {
+		t.Fatal("zero f0 accepted")
+	}
+}

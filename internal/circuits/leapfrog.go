@@ -1,0 +1,88 @@
+package circuits
+
+import (
+	"fmt"
+	"math"
+
+	"analogdft/internal/circuit"
+)
+
+// LeapfrogLowpass5 builds an active leapfrog (ladder-simulation) 5th-order
+// Butterworth lowpass: five opamp integrators simulating the state
+// equations of a doubly-terminated LC ladder, plus two unity inverters to
+// fix the coupling signs — 7 opamps, the "complex block under test, with
+// non-cascaded feedback links" the paper's §1 and §5 motivate.
+//
+// Ladder prototype (Butterworth, 1 Ω terminations):
+//
+//	g1..g5 = 0.618, 1.618, 2.000, 1.618, 0.618
+//
+// State equations (x5 is the output; 6 dB passive insertion loss):
+//
+//	x1·(s·τ1 + 1) = Vin − x2        τk = gk/ωc
+//	x2·(s·τ2)     = x1 − x3
+//	x3·(s·τ3)     = x2 − x4
+//	x4·(s·τ4)     = x3 − x5
+//	x5·(s·τ5 + 1) = x4
+//
+// Realized with inverting integrators and inverters z2 = −y2, z4 = −y4 so
+// every two-integrator loop has negative feedback.
+func LeapfrogLowpass5(fcHz float64) (*Bench, error) {
+	if fcHz <= 0 {
+		return nil, fmt.Errorf("circuits: bad corner %g", fcHz)
+	}
+	g := []float64{0.618, 1.618, 2.000, 1.618, 0.618}
+	const c = 1e-9
+	wc := 2 * math.Pi * fcHz
+	r := func(k int) float64 { return g[k-1] / (wc * c) }
+	const rInv = 10e3 // inverter resistors
+
+	ckt := circuit.New("leapfrog-lp5")
+
+	// Stage 1: lossy inverting integrator.
+	// y1 = −(Vin/R1 + z2/R1)·Z1,  Z1 = Rf1 ∥ C1, Rf1 = R1.
+	ckt.R("R1a", "in", "m1", r(1))
+	ckt.R("R1b", "z2", "m1", r(1))
+	ckt.R("R1f", "m1", "y1", r(1))
+	ckt.Cap("C1", "m1", "y1", c)
+	ckt.OA("OP1", "0", "m1", "y1")
+
+	// Stage 2: inverting integrator, inputs y1 and y3.
+	ckt.R("R2a", "y1", "m2", r(2))
+	ckt.R("R2b", "y3", "m2", r(2))
+	ckt.Cap("C2", "m2", "y2", c)
+	ckt.OA("OP2", "0", "m2", "y2")
+	// Inverter: z2 = −y2.
+	ckt.R("RI2a", "y2", "mi2", rInv)
+	ckt.R("RI2b", "mi2", "z2", rInv)
+	ckt.OA("OPI2", "0", "mi2", "z2")
+
+	// Stage 3: inverting integrator, inputs z2 and z4 (sign-corrected).
+	ckt.R("R3a", "z2", "m3", r(3))
+	ckt.R("R3b", "z4", "m3", r(3))
+	ckt.Cap("C3", "m3", "y3", c)
+	ckt.OA("OP3", "0", "m3", "y3")
+
+	// Stage 4: inverting integrator, inputs y3 and y5.
+	ckt.R("R4a", "y3", "m4", r(4))
+	ckt.R("R4b", "y5", "m4", r(4))
+	ckt.Cap("C4", "m4", "y4", c)
+	ckt.OA("OP4", "0", "m4", "y4")
+	// Inverter: z4 = −y4.
+	ckt.R("RI4a", "y4", "mi4", rInv)
+	ckt.R("RI4b", "mi4", "z4", rInv)
+	ckt.OA("OPI4", "0", "mi4", "z4")
+
+	// Stage 5: lossy inverting integrator, input z4.
+	ckt.R("R5a", "z4", "m5", r(5))
+	ckt.R("R5f", "m5", "y5", r(5))
+	ckt.Cap("C5", "m5", "y5", c)
+	ckt.OA("OP5", "0", "m5", "y5")
+
+	ckt.Input, ckt.Output = "in", "y5"
+	return &Bench{
+		Circuit:     ckt,
+		Chain:       []string{"OP1", "OP2", "OPI2", "OP3", "OP4", "OPI4", "OP5"},
+		Description: fmt.Sprintf("5th-order Butterworth leapfrog ladder, fc=%g Hz (7 opamps)", fcHz),
+	}, nil
+}

@@ -1,0 +1,64 @@
+package circuits
+
+import (
+	"math"
+	"testing"
+
+	"analogdft/internal/mna"
+)
+
+func TestLeapfrogButterworthResponse(t *testing.T) {
+	const fc = 10e3
+	b, err := LeapfrogLowpass5(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Chain) != 7 {
+		t.Fatalf("chain = %v", b.Chain)
+	}
+	// Doubly-terminated Butterworth: |H(f)| = 0.5 / √(1 + (f/fc)^10).
+	for _, f := range []float64{10, 100, 1e3, 5e3, 10e3, 15e3, 30e3, 100e3} {
+		want := 0.5 / math.Sqrt(1+math.Pow(f/fc, 10))
+		got := magAt(t, b, f)
+		tol := 0.02*want + 1e-6
+		if math.Abs(got-want) > tol {
+			t.Errorf("|H(%g)| = %g, want %g", f, got, want)
+		}
+	}
+}
+
+func TestLeapfrogRolloffRate(t *testing.T) {
+	b, err := LeapfrogLowpass5(10e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5th order: −100 dB/decade. One decade above fc the response must be
+	// ≈ 10^−5 of the passband.
+	pass := magAt(t, b, 100)
+	stop := magAt(t, b, 100e3)
+	ratio := stop / pass
+	if ratio > 2e-5 || ratio < 2e-6 {
+		t.Fatalf("decade attenuation ratio = %g, want ≈1e-5", ratio)
+	}
+}
+
+func TestLeapfrogErrors(t *testing.T) {
+	if _, err := LeapfrogLowpass5(0); err == nil {
+		t.Fatal("zero corner accepted")
+	}
+}
+
+func TestLeapfrogDCLevelExact(t *testing.T) {
+	b, _ := LeapfrogLowpass5(10e3)
+	h, err := mna.TransferAt(b.Circuit, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x5 = Vin/2 at DC; the realization output is −x5.
+	if math.Abs(real(h)+0.5) > 1e-3 || math.Abs(imag(h)) > 1e-3 {
+		t.Fatalf("H(0) = %v, want −0.5", h)
+	}
+}

@@ -1,0 +1,389 @@
+// Package core implements the paper's primary contribution (§4): the
+// optimized application of the multi-configuration DFT technique. Starting
+// from a fault detectability matrix it
+//
+//  1. enforces the fundamental requirement — maximum fault coverage — by
+//     building the covering expression ξ, extracting essential
+//     configurations and expanding the remainder with Petrick's method
+//     (every resulting product term is a configuration set with maximum
+//     coverage);
+//  2. applies a 2nd-order, user-defined cost function over those candidate
+//     sets (number of configurations for test time, §4.2; number of
+//     configurable opamps for silicon/performance, §4.3; or any custom
+//     CostFunction);
+//  3. breaks remaining ties with the 3rd-order requirement: the highest
+//     average best-case ω-detectability.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"analogdft/internal/boolexpr"
+	"analogdft/internal/detect"
+	"analogdft/internal/dft"
+)
+
+// ErrNoSolution is returned when no configuration set achieves the maximum
+// fault coverage (only possible for degenerate matrices).
+var ErrNoSolution = errors.New("core: no covering configuration set")
+
+// Candidate is a configuration set satisfying the fundamental requirement.
+type Candidate struct {
+	// Rows are the matrix row indices of the selected configurations,
+	// ascending.
+	Rows []int
+	// Labels are the configuration labels (e.g. "C2", "C5").
+	Labels []string
+	// Coverage is the fault coverage of the set (fraction of all faults).
+	Coverage float64
+	// AvgOmegaDet is the average best-case ω-detectability (percent) over
+	// all faults when testing with this set.
+	AvgOmegaDet float64
+	// NumConfigs is len(Rows).
+	NumConfigs int
+	// Opamps is the union of opamps required in follower mode by the
+	// selected configurations — exactly the opamps that must be made
+	// configurable to emulate the set.
+	Opamps []string
+	// NumOpamps is len(Opamps).
+	NumOpamps int
+}
+
+// String implements fmt.Stringer.
+func (c *Candidate) String() string {
+	return fmt.Sprintf("{%s} (cfgs=%d opamps=%d ⟨ω-det⟩=%.4g%%)",
+		joinStrings(c.Labels, ","), c.NumConfigs, c.NumOpamps, c.AvgOmegaDet)
+}
+
+func joinStrings(xs []string, sep string) string {
+	out := ""
+	for i, x := range xs {
+		if i > 0 {
+			out += sep
+		}
+		out += x
+	}
+	return out
+}
+
+// CostFunction is a 2nd-order requirement: a user-defined cost over
+// candidates, minimized during selection.
+type CostFunction struct {
+	Name string
+	Cost func(c *Candidate) float64
+}
+
+// ConfigCountCost minimizes the number of test configurations — the test
+// time / BIST control cost of §4.2.
+var ConfigCountCost = CostFunction{
+	Name: "configuration count (test time)",
+	Cost: func(c *Candidate) float64 { return float64(c.NumConfigs) },
+}
+
+// OpampCountCost minimizes the number of configurable opamps — the silicon
+// area / performance cost of §4.3.
+var OpampCountCost = CostFunction{
+	Name: "configurable-opamp count (area/performance)",
+	Cost: func(c *Candidate) float64 { return float64(c.NumOpamps) },
+}
+
+// WeightedCost blends configuration count and opamp count with the given
+// weights — a simple example of the "user-defined cost functions" the
+// paper leaves open.
+func WeightedCost(wConfigs, wOpamps float64) CostFunction {
+	return CostFunction{
+		Name: fmt.Sprintf("weighted (%.3g·configs + %.3g·opamps)", wConfigs, wOpamps),
+		Cost: func(c *Candidate) float64 {
+			return wConfigs*float64(c.NumConfigs) + wOpamps*float64(c.NumOpamps)
+		},
+	}
+}
+
+// Result is the output of Optimize.
+type Result struct {
+	// Expr is ξ — the covering expression over matrix rows.
+	Expr *boolexpr.Expr
+	// EssentialRows are the rows of essential configurations (must appear
+	// in every solution).
+	EssentialRows []int
+	// Reduced is ξ_compl — the expression left after essential rows.
+	Reduced *boolexpr.Expr
+	// SOP is the absorbed sum-of-products of ξ; every term is a candidate.
+	SOP *boolexpr.SOP
+	// Candidates are all maximum-coverage configuration sets, in SOP term
+	// order (fewest configurations first).
+	Candidates []Candidate
+	// Undetectable lists fault IDs not detectable in any configuration.
+	Undetectable []string
+	// MaxCoverage is the maximum achievable fault coverage (fraction).
+	MaxCoverage float64
+	// CostName records the 2nd-order requirement used.
+	CostName string
+	// BestByCost are the minimum-cost candidates before the 3rd-order
+	// tie-break.
+	BestByCost []Candidate
+	// Best is the final selection after the ω-detectability tie-break.
+	Best *Candidate
+}
+
+// FollowerOpampsOf returns the opamps in follower mode under cfg given the
+// chain (bit i of the configuration index ⇒ chain[i]).
+func FollowerOpampsOf(cfg dft.Configuration, chain []string) []string {
+	var out []string
+	for i, name := range chain {
+		if cfg.Follower(i) {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// buildCandidate assembles a Candidate from matrix rows.
+func buildCandidate(mx *detect.Matrix, chain []string, rows []int) Candidate {
+	sorted := append([]int(nil), rows...)
+	sort.Ints(sorted)
+	var labels []string
+	opampSet := map[string]bool{}
+	for _, i := range sorted {
+		labels = append(labels, mx.Configs[i].Label())
+		for _, op := range FollowerOpampsOf(mx.Configs[i], chain) {
+			opampSet[op] = true
+		}
+	}
+	var opamps []string
+	for _, name := range chain {
+		if opampSet[name] {
+			opamps = append(opamps, name)
+		}
+	}
+	return Candidate{
+		Rows:        sorted,
+		Labels:      labels,
+		Coverage:    mx.CoverageOf(sorted),
+		AvgOmegaDet: mx.AvgBestOmega(sorted),
+		NumConfigs:  len(sorted),
+		Opamps:      opamps,
+		NumOpamps:   len(opamps),
+	}
+}
+
+// Optimize runs the full §4 pipeline on a detectability matrix. chain maps
+// configuration bits to opamp names (needed for opamp-count costs; it may
+// be nil when cost never reads Opamps). The cost function is the 2nd-order
+// requirement; the 3rd-order tie-break (maximum average ω-detectability)
+// and a final lexicographic tie-break make the result deterministic.
+func Optimize(mx *detect.Matrix, chain []string, cost CostFunction) (*Result, error) {
+	if cost.Cost == nil {
+		cost = ConfigCountCost
+	}
+	expr, undetCols, err := boolexpr.FromMatrix(mx.Det, mx.Faults.IDs())
+	if err != nil {
+		return nil, err
+	}
+	var undetectable []string
+	for _, j := range undetCols {
+		undetectable = append(undetectable, mx.Faults[j].ID)
+	}
+
+	ess := expr.Essential()
+	reduced := expr.ReduceBy(ess)
+	sop, err := reduced.Petrick(0)
+	if err != nil {
+		return nil, err
+	}
+	full := sop.WithRequired(ess)
+	if len(full.Terms) == 0 {
+		return nil, ErrNoSolution
+	}
+
+	res := &Result{
+		Expr:          expr,
+		EssentialRows: boolexpr.Bits(ess),
+		Reduced:       reduced,
+		SOP:           full,
+		Undetectable:  undetectable,
+		MaxCoverage:   mx.FaultCoverage(),
+		CostName:      cost.Name,
+	}
+	for _, term := range full.Terms {
+		res.Candidates = append(res.Candidates, buildCandidate(mx, chain, boolexpr.Bits(term)))
+	}
+
+	// 2nd order: keep the minimum-cost candidates.
+	minCost := math.Inf(1)
+	for i := range res.Candidates {
+		if c := cost.Cost(&res.Candidates[i]); c < minCost {
+			minCost = c
+		}
+	}
+	for i := range res.Candidates {
+		if cost.Cost(&res.Candidates[i]) == minCost {
+			res.BestByCost = append(res.BestByCost, res.Candidates[i])
+		}
+	}
+
+	// 3rd order: maximum average ω-detectability; final lexicographic
+	// tie-break on rows.
+	best := res.BestByCost[0]
+	for _, c := range res.BestByCost[1:] {
+		switch {
+		case c.AvgOmegaDet > best.AvgOmegaDet:
+			best = c
+		case c.AvgOmegaDet == best.AvgOmegaDet && lexLessInts(c.Rows, best.Rows):
+			best = c
+		}
+	}
+	res.Best = &best
+	return res, nil
+}
+
+func lexLessInts(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// OpampResult is the output of OptimizeOpamps (§4.3).
+type OpampResult struct {
+	// XiStar is ξ* — the SOP mapped into opamp space and absorbed.
+	XiStar *boolexpr.SOP
+	// OpampSets are the minimal configurable-opamp alternatives.
+	OpampSets [][]string
+	// Chosen is the selected opamp set after the 3rd-order tie-break.
+	Chosen []string
+	// UsableRows are the matrix rows emulatable with the chosen opamps
+	// (every follower opamp of the row is configurable).
+	UsableRows []int
+	// UsableLabels are the labels of UsableRows.
+	UsableLabels []string
+	// Coverage is the fault coverage achieved by the usable rows.
+	Coverage float64
+	// AvgOmegaDet is the best-case ⟨ω-det⟩ over the usable rows — §4.3
+	// uses all of them, which maximizes the 3rd-order requirement.
+	AvgOmegaDet float64
+}
+
+// OptimizeOpamps runs the §4.3 partial-DFT optimization: find the smallest
+// set of opamps to make configurable such that some maximum-coverage
+// configuration set remains emulatable, then use every configuration that
+// set of opamps permits (the ω-detectability-maximal choice).
+func OptimizeOpamps(mx *detect.Matrix, chain []string) (*OpampResult, error) {
+	if len(chain) == 0 || len(chain) > boolexpr.MaxLiterals {
+		return nil, fmt.Errorf("core: bad chain length %d", len(chain))
+	}
+	base, err := Optimize(mx, chain, ConfigCountCost)
+	if err != nil {
+		return nil, err
+	}
+	opampIdx := make(map[string]int, len(chain))
+	for i, name := range chain {
+		opampIdx[name] = i
+	}
+	// Map SOP literals (matrix rows) to opamp masks.
+	xiStar := base.SOP.MapLiterals(len(chain), func(row int) uint64 {
+		var m uint64
+		for _, op := range FollowerOpampsOf(mx.Configs[row], chain) {
+			m |= 1 << uint(opampIdx[op])
+		}
+		return m
+	})
+	minimal := xiStar.Minimal()
+	if len(minimal) == 0 {
+		return nil, ErrNoSolution
+	}
+
+	res := &OpampResult{XiStar: xiStar}
+	type choice struct {
+		mask  uint64
+		names []string
+		rows  []int
+		avg   float64
+	}
+	var choices []choice
+	for _, m := range minimal {
+		var names []string
+		for _, b := range boolexpr.Bits(m) {
+			names = append(names, chain[b])
+		}
+		var rows []int
+		for i, cfg := range mx.Configs {
+			var fm uint64
+			for _, op := range FollowerOpampsOf(cfg, chain) {
+				fm |= 1 << uint(opampIdx[op])
+			}
+			if fm&^m == 0 { // follower set ⊆ chosen opamps
+				rows = append(rows, i)
+			}
+		}
+		choices = append(choices, choice{mask: m, names: names, rows: rows, avg: mx.AvgBestOmega(rows)})
+		res.OpampSets = append(res.OpampSets, names)
+	}
+	// 3rd order among minimal opamp sets: max ⟨ω-det⟩, then smallest mask.
+	best := choices[0]
+	for _, c := range choices[1:] {
+		if c.avg > best.avg || (c.avg == best.avg && c.mask < best.mask) {
+			best = c
+		}
+	}
+	res.Chosen = best.names
+	res.UsableRows = best.rows
+	for _, i := range best.rows {
+		res.UsableLabels = append(res.UsableLabels, mx.Configs[i].Label())
+	}
+	res.Coverage = mx.CoverageOf(best.rows)
+	res.AvgOmegaDet = best.avg
+	return res, nil
+}
+
+// Baseline summarizes the brute-force application of the technique: every
+// configuration permitted, best-case testing (§3.2 / Graph 2).
+type Baseline struct {
+	Rows        []int
+	Coverage    float64
+	AvgOmegaDet float64
+	NumConfigs  int
+}
+
+// BruteForce evaluates the all-configurations baseline on a matrix.
+func BruteForce(mx *detect.Matrix) *Baseline {
+	rows := make([]int, mx.NumConfigs())
+	for i := range rows {
+		rows[i] = i
+	}
+	return &Baseline{
+		Rows:        rows,
+		Coverage:    mx.FaultCoverage(),
+		AvgOmegaDet: mx.AvgBestOmega(rows),
+		NumConfigs:  len(rows),
+	}
+}
+
+// GreedySolution runs the greedy set-cover heuristic on the matrix and
+// wraps it as a Candidate — the scalable baseline used by the ablation
+// benchmarks.
+func GreedySolution(mx *detect.Matrix, chain []string) (*Candidate, error) {
+	rows, err := boolexpr.GreedyCover(mx.Det)
+	if err != nil {
+		return nil, err
+	}
+	c := buildCandidate(mx, chain, rows)
+	return &c, nil
+}
+
+// ExactMinSolution runs the exact branch-and-bound minimum cover (unit
+// cost) and wraps it as a Candidate. Unlike Optimize it does not
+// enumerate all alternatives, so it scales to larger matrices.
+func ExactMinSolution(mx *detect.Matrix, chain []string) (*Candidate, error) {
+	rows, err := boolexpr.MinCover(mx.Det, nil)
+	if err != nil {
+		return nil, err
+	}
+	c := buildCandidate(mx, chain, rows)
+	return &c, nil
+}

@@ -1,0 +1,339 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"analogdft/internal/boolexpr"
+	"analogdft/internal/detect"
+	"analogdft/internal/dft"
+	"analogdft/internal/fault"
+	"analogdft/internal/paperdata"
+)
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestOptimizePaperSection42 reproduces §4.1–§4.2 of the paper exactly.
+func TestOptimizePaperSection42(t *testing.T) {
+	mx := paperdata.Matrix()
+	res, err := Optimize(mx, paperdata.OpampNames, ConfigCountCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Undetectable) != 0 {
+		t.Fatalf("undetectable = %v", res.Undetectable)
+	}
+	if res.MaxCoverage != 1 {
+		t.Fatalf("max coverage = %g", res.MaxCoverage)
+	}
+	// Essential configuration: C2 (row 2).
+	if !equalInts(res.EssentialRows, []int{2}) {
+		t.Fatalf("essential rows = %v, want [2]", res.EssentialRows)
+	}
+	// ξ_compl has two clauses (fR3, fC2).
+	if len(res.Reduced.Clauses) != 2 {
+		t.Fatalf("reduced clauses = %d", len(res.Reduced.Clauses))
+	}
+	// Absorbed SOP: C1·C2 + C2·C5.
+	if len(res.Candidates) != 2 {
+		t.Fatalf("candidates = %d", len(res.Candidates))
+	}
+	if !equalStrings(res.Candidates[0].Labels, []string{"C1", "C2"}) ||
+		!equalStrings(res.Candidates[1].Labels, []string{"C2", "C5"}) {
+		t.Fatalf("candidates = %v, %v", res.Candidates[0].Labels, res.Candidates[1].Labels)
+	}
+	// Both candidates reach full coverage with 2 configurations.
+	for _, c := range res.Candidates {
+		if c.Coverage != 1 || c.NumConfigs != 2 {
+			t.Fatalf("candidate %v: coverage=%g configs=%d", c.Labels, c.Coverage, c.NumConfigs)
+		}
+	}
+	// 2nd order keeps both; 3rd order picks {C2, C5} at 32.5% over
+	// {C1, C2} at 30%.
+	if len(res.BestByCost) != 2 {
+		t.Fatalf("best-by-cost = %d", len(res.BestByCost))
+	}
+	if !equalStrings(res.Best.Labels, paperdata.OptimalConfigSet) {
+		t.Fatalf("best = %v, want %v", res.Best.Labels, paperdata.OptimalConfigSet)
+	}
+	if math.Abs(res.Best.AvgOmegaDet-paperdata.OptimizedAvgOmegaDet) > 1e-9 {
+		t.Fatalf("⟨ω-det⟩ = %g, want %g", res.Best.AvgOmegaDet, paperdata.OptimizedAvgOmegaDet)
+	}
+	// The alternative set's ω-det matches the paper, too.
+	alt := res.Candidates[0]
+	if math.Abs(alt.AvgOmegaDet-paperdata.AlternativeAvgOmegaDet) > 1e-9 {
+		t.Fatalf("{C1,C2} ⟨ω-det⟩ = %g, want %g", alt.AvgOmegaDet, paperdata.AlternativeAvgOmegaDet)
+	}
+}
+
+// TestOptimizeOpampCost reproduces the 2nd-order choice of §4.3 when
+// driven through the generic cost interface.
+func TestOptimizeOpampCost(t *testing.T) {
+	mx := paperdata.Matrix()
+	res, err := Optimize(mx, paperdata.OpampNames, OpampCountCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Candidate {C1,C2} needs OP1+OP2 (2 opamps); {C2,C5} needs all three.
+	if !equalStrings(res.Best.Labels, []string{"C1", "C2"}) {
+		t.Fatalf("best by opamp count = %v", res.Best.Labels)
+	}
+	if !equalStrings(res.Best.Opamps, []string{"OP1", "OP2"}) || res.Best.NumOpamps != 2 {
+		t.Fatalf("opamps = %v", res.Best.Opamps)
+	}
+}
+
+// TestOptimizeOpampsPaperSection43 reproduces §4.3 exactly.
+func TestOptimizeOpampsPaperSection43(t *testing.T) {
+	mx := paperdata.Matrix()
+	res, err := OptimizeOpamps(mx, paperdata.OpampNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalStrings(res.Chosen, paperdata.OptimalOpampSet) {
+		t.Fatalf("chosen opamps = %v, want %v", res.Chosen, paperdata.OptimalOpampSet)
+	}
+	if len(res.OpampSets) != 1 {
+		t.Fatalf("minimal opamp sets = %v", res.OpampSets)
+	}
+	// Usable configurations: C0, C1, C2, C3 (Table 4).
+	if !equalStrings(res.UsableLabels, []string{"C0", "C1", "C2", "C3"}) {
+		t.Fatalf("usable = %v", res.UsableLabels)
+	}
+	if res.Coverage != 1 {
+		t.Fatalf("coverage = %g", res.Coverage)
+	}
+	if math.Abs(res.AvgOmegaDet-paperdata.PartialDFTAvgOmegaDet) > 1e-9 {
+		t.Fatalf("⟨ω-det⟩ = %g, want %g", res.AvgOmegaDet, paperdata.PartialDFTAvgOmegaDet)
+	}
+	// ξ*'s minimal term is OP1·OP2.
+	min := res.XiStar.Minimal()
+	if len(min) != 1 || min[0] != boolexpr.MaskOf(0, 1) {
+		t.Fatalf("ξ* minimal = %v", min)
+	}
+}
+
+func TestBruteForcePaper(t *testing.T) {
+	mx := paperdata.Matrix()
+	b := BruteForce(mx)
+	if b.NumConfigs != 7 || b.Coverage != 1 {
+		t.Fatalf("baseline = %+v", b)
+	}
+	if math.Abs(b.AvgOmegaDet-paperdata.BruteForceAvgOmegaDet) > 1e-9 {
+		t.Fatalf("brute-force ⟨ω-det⟩ = %g, want %g", b.AvgOmegaDet, paperdata.BruteForceAvgOmegaDet)
+	}
+}
+
+func TestGreedyAndExactOnPaper(t *testing.T) {
+	mx := paperdata.Matrix()
+	g, err := GreedySolution(mx, paperdata.OpampNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := ExactMinSolution(mx, paperdata.OpampNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Coverage != 1 || e.Coverage != 1 {
+		t.Fatalf("coverages: greedy %g exact %g", g.Coverage, e.Coverage)
+	}
+	if e.NumConfigs != 2 {
+		t.Fatalf("exact size = %d", e.NumConfigs)
+	}
+	if g.NumConfigs < e.NumConfigs {
+		t.Fatal("greedy beat exact")
+	}
+}
+
+func TestWeightedCost(t *testing.T) {
+	mx := paperdata.Matrix()
+	// Heavily weight opamps: must behave like OpampCountCost.
+	res, err := Optimize(mx, paperdata.OpampNames, WeightedCost(0.01, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalStrings(res.Best.Labels, []string{"C1", "C2"}) {
+		t.Fatalf("weighted best = %v", res.Best.Labels)
+	}
+	// Heavily weight configurations: both candidates tie at 2 configs, so
+	// opamp weight breaks the tie towards {C1,C2}; with zero opamp weight
+	// the ω-det tie-break picks {C2,C5}.
+	res, err = Optimize(mx, paperdata.OpampNames, WeightedCost(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalStrings(res.Best.Labels, []string{"C2", "C5"}) {
+		t.Fatalf("config-weighted best = %v", res.Best.Labels)
+	}
+	if WeightedCost(1, 2).Name == "" {
+		t.Fatal("cost name empty")
+	}
+}
+
+func TestOptimizeDefaultsToConfigCount(t *testing.T) {
+	mx := paperdata.Matrix()
+	res, err := Optimize(mx, paperdata.OpampNames, CostFunction{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalStrings(res.Best.Labels, []string{"C2", "C5"}) {
+		t.Fatalf("default-cost best = %v", res.Best.Labels)
+	}
+}
+
+func TestOptimizeUndetectableFaults(t *testing.T) {
+	mx := paperdata.Matrix()
+	// Add an undetectable fault column.
+	mx.Faults = append(mx.Faults, fault.Fault{ID: "fX", Component: "X", Kind: fault.Deviation, Factor: 1.2})
+	for i := range mx.Det {
+		mx.Det[i] = append(mx.Det[i], false)
+		mx.Omega[i] = append(mx.Omega[i], 0)
+	}
+	res, err := Optimize(mx, paperdata.OpampNames, ConfigCountCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Undetectable) != 1 || res.Undetectable[0] != "fX" {
+		t.Fatalf("undetectable = %v", res.Undetectable)
+	}
+	// Coverage caps below 1 but the optimization still succeeds.
+	if res.MaxCoverage >= 1 || res.Best == nil {
+		t.Fatalf("max coverage = %g", res.MaxCoverage)
+	}
+	if !equalStrings(res.Best.Labels, []string{"C2", "C5"}) {
+		t.Fatalf("best = %v", res.Best.Labels)
+	}
+}
+
+func TestOptimizePartialMatrix(t *testing.T) {
+	// On the Table 4 matrix the minimal cover is {C1(10-), C2(01-)}:
+	// fC1 needs 01-, fC2 needs 10-.
+	mx := paperdata.PartialMatrix()
+	res, err := Optimize(mx, []string{"OP1", "OP2"}, ConfigCountCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxCoverage != 1 {
+		t.Fatalf("partial max coverage = %g", res.MaxCoverage)
+	}
+	if !equalStrings(res.Best.Labels, []string{"C1", "C2"}) {
+		t.Fatalf("partial best = %v", res.Best.Labels)
+	}
+}
+
+func TestFollowerOpampsOf(t *testing.T) {
+	cfg := dft.Configuration{Index: 5, N: 3}
+	got := FollowerOpampsOf(cfg, []string{"A", "B", "C"})
+	if !equalStrings(got, []string{"A", "C"}) {
+		t.Fatalf("followers = %v", got)
+	}
+	if FollowerOpampsOf(dft.Configuration{Index: 0, N: 3}, []string{"A"}) != nil {
+		t.Fatal("C0 should have no followers")
+	}
+}
+
+func TestCandidateString(t *testing.T) {
+	mx := paperdata.Matrix()
+	res, _ := Optimize(mx, paperdata.OpampNames, ConfigCountCost)
+	if s := res.Best.String(); s == "" {
+		t.Fatal("empty candidate string")
+	}
+}
+
+func TestOptimizeEmptyMatrix(t *testing.T) {
+	mx := &detect.Matrix{}
+	if _, err := Optimize(mx, nil, ConfigCountCost); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+}
+
+func TestOptimizeOpampsBadChain(t *testing.T) {
+	mx := paperdata.Matrix()
+	if _, err := OptimizeOpamps(mx, nil); err == nil {
+		t.Fatal("nil chain accepted")
+	}
+}
+
+func TestLexLessInts(t *testing.T) {
+	cases := []struct {
+		a, b []int
+		want bool
+	}{
+		{[]int{1, 2}, []int{2, 5}, true},
+		{[]int{2, 5}, []int{1, 2}, false},
+		{[]int{1, 2}, []int{1, 2, 3}, true},
+		{[]int{1, 2, 3}, []int{1, 2}, false},
+		{[]int{1, 2}, []int{1, 2}, false},
+	}
+	for _, c := range cases {
+		if got := lexLessInts(c.a, c.b); got != c.want {
+			t.Errorf("lexLessInts(%v, %v) = %v", c.a, c.b, got)
+		}
+	}
+}
+
+func TestBuildCandidateNilChain(t *testing.T) {
+	// Without a chain mapping, candidates simply carry no opamp info.
+	mx := paperdata.Matrix()
+	c := buildCandidate(mx, nil, []int{2, 1})
+	if c.NumOpamps != 0 || len(c.Opamps) != 0 {
+		t.Fatalf("nil-chain candidate opamps = %v", c.Opamps)
+	}
+	if c.Rows[0] != 1 || c.Rows[1] != 2 {
+		t.Fatalf("rows not sorted: %v", c.Rows)
+	}
+	if c.Labels[0] != "C1" || c.Labels[1] != "C2" {
+		t.Fatalf("labels = %v", c.Labels)
+	}
+}
+
+func TestOptimizeAllCandidatesKeepMaxCoverage(t *testing.T) {
+	mx := paperdata.Matrix()
+	res, err := Optimize(mx, paperdata.OpampNames, ConfigCountCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Candidates {
+		if c.Coverage != res.MaxCoverage {
+			t.Fatalf("candidate %v coverage %g != max %g", c.Labels, c.Coverage, res.MaxCoverage)
+		}
+	}
+	// The SOP and candidate counts agree.
+	if len(res.SOP.Terms) != len(res.Candidates) {
+		t.Fatal("SOP terms and candidates diverge")
+	}
+}
+
+func TestOptimizeOpampsXiStarFormat(t *testing.T) {
+	mx := paperdata.Matrix()
+	res, err := OptimizeOpamps(mx, paperdata.OpampNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.XiStar.Format(func(i int) string { return paperdata.OpampNames[i] })
+	if got != "OP1·OP2" {
+		t.Fatalf("ξ* = %q", got)
+	}
+}

@@ -1,0 +1,552 @@
+// Package detect implements the testability evaluation of §2 and §3 of the
+// paper: boolean fault detectability (Definition 1), ω-detectability
+// (Definition 2) and the fault detectability matrix across the test
+// configurations of a DFT-modified circuit (Figure 5 / Table 2).
+//
+// Fault simulation is embarrassingly parallel: each (configuration, fault)
+// cell requires an independent AC sweep of a faulty circuit clone, so the
+// engine fans the cells out over a worker pool and reduces the results
+// into fixed matrix positions, keeping the output deterministic.
+package detect
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"analogdft/internal/analysis"
+	"analogdft/internal/circuit"
+	"analogdft/internal/dft"
+	"analogdft/internal/fault"
+)
+
+// ErrNoRegion is returned when no reference region can be established for
+// the circuit under analysis.
+var ErrNoRegion = errors.New("detect: no reference region")
+
+// Options parameterizes the testability evaluation.
+type Options struct {
+	// Eps is the relative tolerance ε of Definition 1 (default 0.10: the
+	// paper's "arbitrarily fixed at 10%").
+	Eps float64
+	// EpsProfile optionally raises the threshold per grid point (e.g. a
+	// process-tolerance envelope from the tolerance package). When set its
+	// length must equal Points; the effective threshold at point i is
+	// max(Eps, EpsProfile[i]).
+	EpsProfile []float64
+	// Points is the number of log-spaced grid points over Ω_reference used
+	// to measure detectability regions (default 241).
+	Points int
+	// MeasFloor is the measurement floor as a fraction of the nominal
+	// response peak; deviations where both responses sit below the floor
+	// are unmeasurable (default 1e-4 ≈ −80 dB). Set negative to disable.
+	MeasFloor float64
+	// Region optionally pins Ω_reference; when zero it is derived from the
+	// functional circuit per analysis.ReferenceRegion.
+	Region analysis.Region
+	// Probe is the wide exploratory sweep used to derive the region
+	// (default analysis.DefaultProbe).
+	Probe analysis.SweepSpec
+	// Workers bounds the fault-simulation parallelism (default GOMAXPROCS).
+	Workers int
+	// IncludeTransparent keeps the transparent configuration in the matrix
+	// (default false, as in the paper's passive-fault study).
+	IncludeTransparent bool
+	// PerConfigRegion derives a fresh Ω_reference from each test
+	// configuration's own nominal response instead of sharing the
+	// functional configuration's region. The paper's Definition 2 is
+	// ambiguous on this point; sharing (the default) keeps ω-detectability
+	// values comparable across configurations, per-config regions measure
+	// each emulated function on its own terms. Configurations whose region
+	// cannot be derived fall back to the shared region.
+	PerConfigRegion bool
+	// MaxFollowers, when positive, restricts the matrix to configurations
+	// with at most that many opamps in follower mode — the §5 remedy for
+	// the fault-simulation bottleneck ("select a first subset of
+	// configurations that will be candidate for the simulation process"):
+	// 2ⁿ rows collapse to O(n^k). The functional configuration is always
+	// included.
+	MaxFollowers int
+}
+
+// withDefaults fills unset options.
+func (o Options) withDefaults() Options {
+	if o.Eps == 0 {
+		o.Eps = 0.10
+	}
+	if o.Points == 0 {
+		o.Points = 241
+	}
+	if o.MeasFloor == 0 {
+		o.MeasFloor = 1e-4
+	}
+	if o.MeasFloor < 0 {
+		o.MeasFloor = 0
+	}
+	if o.Probe.Points == 0 {
+		o.Probe = analysis.DefaultProbe
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// thresholdAt returns the effective detection threshold for grid point i.
+func (o Options) thresholdAt(i int) float64 {
+	if i >= 0 && i < len(o.EpsProfile) && o.EpsProfile[i] > o.Eps {
+		return o.EpsProfile[i]
+	}
+	return o.Eps
+}
+
+// checkProfile validates EpsProfile against the grid size.
+func (o Options) checkProfile(gridLen int) error {
+	if len(o.EpsProfile) != 0 && len(o.EpsProfile) != gridLen {
+		return fmt.Errorf("detect: EpsProfile has %d points, grid has %d", len(o.EpsProfile), gridLen)
+	}
+	return nil
+}
+
+// FaultEval is the evaluation of one fault in one circuit configuration.
+type FaultEval struct {
+	Fault fault.Fault
+	// Detectable is Definition 1: some in-region frequency deviates by
+	// more than ε.
+	Detectable bool
+	// OmegaDet is Definition 2 in percent: the fraction of Ω_reference
+	// (log-frequency measure) where the fault deviates by more than ε.
+	OmegaDet float64
+	// MaxDev is the largest relative deviation observed in-region.
+	MaxDev float64
+	// Err records a simulation failure for this cell (nil otherwise); a
+	// failed cell counts as not detectable.
+	Err error
+}
+
+// Row is the evaluation of a full fault list against one circuit.
+type Row struct {
+	Circuit string
+	Evals   []FaultEval
+	Region  analysis.Region
+}
+
+// FaultCoverage returns the fraction (0..1) of faults detectable in this
+// row alone.
+func (r *Row) FaultCoverage() float64 {
+	if len(r.Evals) == 0 {
+		return 0
+	}
+	n := 0
+	for _, e := range r.Evals {
+		if e.Detectable {
+			n++
+		}
+	}
+	return float64(n) / float64(len(r.Evals))
+}
+
+// AvgOmegaDet returns the mean ω-detectability (percent) over the row.
+func (r *Row) AvgOmegaDet() float64 {
+	if len(r.Evals) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, e := range r.Evals {
+		s += e.OmegaDet
+	}
+	return s / float64(len(r.Evals))
+}
+
+// EvaluateCircuit measures detectability and ω-detectability of every
+// fault on a single, fixed circuit (the paper's §2 analysis of the initial
+// filter). The reference region is derived from the nominal circuit unless
+// pinned in opts.
+func EvaluateCircuit(ckt *circuit.Circuit, faults fault.List, opts Options) (*Row, error) {
+	opts = opts.withDefaults()
+	if err := faults.Validate(); err != nil {
+		return nil, err
+	}
+	region, err := resolveRegion(ckt, opts)
+	if err != nil {
+		return nil, err
+	}
+	grid := region.Spec(opts.Points).Grid()
+	if err := opts.checkProfile(len(grid)); err != nil {
+		return nil, err
+	}
+	nominal, err := analysis.SweepOnGrid(ckt, grid)
+	if err != nil {
+		return nil, fmt.Errorf("detect: nominal sweep of %q: %w", ckt.Name, err)
+	}
+	row := &Row{Circuit: ckt.Name, Region: region, Evals: make([]FaultEval, len(faults))}
+	runParallel(len(faults), opts.Workers, func(j int) {
+		row.Evals[j] = evaluateFault(ckt, faults[j], nominal, grid, opts)
+	})
+	return row, nil
+}
+
+// resolveRegion returns opts.Region if set, else derives Ω_reference.
+func resolveRegion(ckt *circuit.Circuit, opts Options) (analysis.Region, error) {
+	if opts.Region != (analysis.Region{}) {
+		if err := opts.Region.Validate(); err != nil {
+			return analysis.Region{}, err
+		}
+		return opts.Region, nil
+	}
+	region, err := analysis.ReferenceRegion(ckt, opts.Probe)
+	if err != nil {
+		return analysis.Region{}, fmt.Errorf("%w: %v", ErrNoRegion, err)
+	}
+	return region, nil
+}
+
+// evaluateFault measures one fault against a pre-swept nominal response.
+func evaluateFault(ckt *circuit.Circuit, f fault.Fault, nominal *analysis.Response, grid []float64, opts Options) FaultEval {
+	eval := FaultEval{Fault: f}
+	faulty, err := f.Apply(ckt)
+	if err != nil {
+		eval.Err = err
+		return eval
+	}
+	resp, err := analysis.SweepOnGrid(faulty, grid)
+	if err != nil {
+		eval.Err = err
+		return eval
+	}
+	prof, err := analysis.RelativeDeviation(nominal, resp, opts.MeasFloor)
+	if err != nil {
+		eval.Err = err
+		return eval
+	}
+	nDetected := 0
+	for i, r := range prof.Rel {
+		if r > opts.thresholdAt(i) {
+			nDetected++
+		}
+	}
+	eval.Detectable = nDetected > 0
+	eval.OmegaDet = 100 * float64(nDetected) / float64(len(grid))
+	eval.MaxDev = prof.MaxRel()
+	if math.IsInf(eval.MaxDev, 1) {
+		eval.MaxDev = math.MaxFloat64
+	}
+	return eval
+}
+
+// Matrix is the fault detectability matrix of §3.2: one row per test
+// configuration, one column per fault, with both the boolean detectability
+// coefficients d[i][j] (Figure 5) and the ω-detectability values
+// (Table 2).
+type Matrix struct {
+	// Source names the circuit the matrix was measured on.
+	Source string
+	// Configs lists the row configurations in order.
+	Configs []dft.Configuration
+	// Faults lists the column faults in order.
+	Faults fault.List
+	// Det[i][j] is true when fault j is detectable in configuration i.
+	Det [][]bool
+	// Omega[i][j] is the ω-detectability (percent) of fault j in
+	// configuration i.
+	Omega [][]float64
+	// Region is the Ω_reference used for every cell.
+	Region analysis.Region
+	// CellErrs counts cells whose simulation failed (recorded as
+	// undetectable).
+	CellErrs int
+}
+
+// BuildMatrix fault-simulates every configuration of the modified circuit
+// against the fault list. The reference region is derived once from the
+// functional configuration (unless pinned) so that ω-detectability values
+// are comparable across configurations, then reused for every row.
+func BuildMatrix(m *dft.Modified, faults fault.List, opts Options) (*Matrix, error) {
+	opts = opts.withDefaults()
+	if err := faults.Validate(); err != nil {
+		return nil, err
+	}
+	functional, err := m.Configure(dft.Configuration{Index: 0, N: m.N()})
+	if err != nil {
+		return nil, err
+	}
+	region, err := resolveRegion(functional, opts)
+	if err != nil {
+		return nil, err
+	}
+	configs := m.Configurations(opts.IncludeTransparent)
+	if opts.MaxFollowers > 0 {
+		var kept []dft.Configuration
+		for _, cfg := range configs {
+			if cfg.FollowerCount() <= opts.MaxFollowers {
+				kept = append(kept, cfg)
+			}
+		}
+		configs = kept
+	}
+
+	mx := &Matrix{
+		Source:  m.Base.Name,
+		Configs: configs,
+		Faults:  faults,
+		Det:     make([][]bool, len(configs)),
+		Omega:   make([][]float64, len(configs)),
+		Region:  region,
+	}
+	for i := range configs {
+		mx.Det[i] = make([]bool, len(faults))
+		mx.Omega[i] = make([]float64, len(faults))
+	}
+
+	grid := region.Spec(opts.Points).Grid()
+	if err := opts.checkProfile(len(grid)); err != nil {
+		return nil, err
+	}
+
+	// Pre-sweep nominal responses per configuration (cheap, sequential),
+	// then fan out the (config, fault) cells. With PerConfigRegion each
+	// row gets its own grid; otherwise all rows share the functional
+	// region's grid.
+	nominals := make([]*analysis.Response, len(configs))
+	circuits := make([]*circuit.Circuit, len(configs))
+	grids := make([][]float64, len(configs))
+	for i, cfg := range configs {
+		ckt, err := m.Configure(cfg)
+		if err != nil {
+			return nil, err
+		}
+		rowGrid := grid
+		if opts.PerConfigRegion {
+			if rowRegion, err := analysis.ReferenceRegion(ckt, opts.Probe); err == nil {
+				rowGrid = rowRegion.Spec(opts.Points).Grid()
+			}
+		}
+		nom, err := analysis.SweepOnGrid(ckt, rowGrid)
+		if err != nil {
+			return nil, fmt.Errorf("detect: nominal sweep of %s: %w", cfg, err)
+		}
+		circuits[i], nominals[i], grids[i] = ckt, nom, rowGrid
+	}
+
+	type cell struct{ i, j int }
+	cells := make([]cell, 0, len(configs)*len(faults))
+	for i := range configs {
+		for j := range faults {
+			cells = append(cells, cell{i, j})
+		}
+	}
+	var mu sync.Mutex
+	runParallel(len(cells), opts.Workers, func(k int) {
+		c := cells[k]
+		eval := evaluateFault(circuits[c.i], faults[c.j], nominals[c.i], grids[c.i], opts)
+		mx.Det[c.i][c.j] = eval.Detectable
+		mx.Omega[c.i][c.j] = eval.OmegaDet
+		if eval.Err != nil {
+			mu.Lock()
+			mx.CellErrs++
+			mu.Unlock()
+		}
+	})
+	return mx, nil
+}
+
+// runParallel executes fn(0..n-1) over at most workers goroutines.
+func runParallel(n, workers int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// NumConfigs returns the number of matrix rows.
+func (m *Matrix) NumConfigs() int { return len(m.Configs) }
+
+// NumFaults returns the number of matrix columns.
+func (m *Matrix) NumFaults() int { return len(m.Faults) }
+
+// ConfigByLabel returns the row index of the configuration with the given
+// label (e.g. "C2"), or -1.
+func (m *Matrix) ConfigByLabel(label string) int {
+	for i, c := range m.Configs {
+		if c.Label() == label {
+			return i
+		}
+	}
+	return -1
+}
+
+// DetectableAnywhere reports whether fault j is detectable in at least one
+// configuration.
+func (m *Matrix) DetectableAnywhere(j int) bool {
+	for i := range m.Configs {
+		if m.Det[i][j] {
+			return true
+		}
+	}
+	return false
+}
+
+// FaultCoverage returns the maximum achievable fault coverage (0..1):
+// the fraction of faults detectable in at least one configuration.
+func (m *Matrix) FaultCoverage() float64 {
+	if m.NumFaults() == 0 {
+		return 0
+	}
+	n := 0
+	for j := range m.Faults {
+		if m.DetectableAnywhere(j) {
+			n++
+		}
+	}
+	return float64(n) / float64(m.NumFaults())
+}
+
+// CoverageOf returns the fault coverage achieved by the given subset of
+// row indices.
+func (m *Matrix) CoverageOf(rows []int) float64 {
+	if m.NumFaults() == 0 {
+		return 0
+	}
+	n := 0
+	for j := range m.Faults {
+		for _, i := range rows {
+			if i >= 0 && i < len(m.Det) && m.Det[i][j] {
+				n++
+				break
+			}
+		}
+	}
+	return float64(n) / float64(m.NumFaults())
+}
+
+// BestOmega returns, per fault, the maximum ω-detectability across the
+// given rows (all rows when rows is nil) — the paper's "best case" testing
+// assumption (Graph 2).
+func (m *Matrix) BestOmega(rows []int) []float64 {
+	if rows == nil {
+		rows = make([]int, m.NumConfigs())
+		for i := range rows {
+			rows[i] = i
+		}
+	}
+	out := make([]float64, m.NumFaults())
+	for j := range out {
+		best := 0.0
+		for _, i := range rows {
+			if i >= 0 && i < len(m.Omega) && m.Omega[i][j] > best {
+				best = m.Omega[i][j]
+			}
+		}
+		out[j] = best
+	}
+	return out
+}
+
+// AvgBestOmega returns the average over faults of the best-case
+// ω-detectability across the given rows (all when nil) — the paper's
+// ⟨ω-det⟩ figure of merit.
+func (m *Matrix) AvgBestOmega(rows []int) float64 {
+	best := m.BestOmega(rows)
+	if len(best) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, b := range best {
+		s += b
+	}
+	return s / float64(len(best))
+}
+
+// Row extracts one configuration's evaluations as a Row.
+func (m *Matrix) RowOf(i int) (*Row, error) {
+	if i < 0 || i >= m.NumConfigs() {
+		return nil, fmt.Errorf("detect: row %d out of range", i)
+	}
+	row := &Row{Circuit: fmt.Sprintf("%s@%s", m.Source, m.Configs[i].Label()), Region: m.Region}
+	for j, f := range m.Faults {
+		row.Evals = append(row.Evals, FaultEval{
+			Fault:      f,
+			Detectable: m.Det[i][j],
+			OmegaDet:   m.Omega[i][j],
+		})
+	}
+	return row, nil
+}
+
+// SubMatrix returns a new matrix restricted to the given row indices (in
+// the given order), sharing fault columns and region.
+func (m *Matrix) SubMatrix(rows []int) (*Matrix, error) {
+	out := &Matrix{
+		Source: m.Source,
+		Faults: m.Faults,
+		Region: m.Region,
+	}
+	for _, i := range rows {
+		if i < 0 || i >= m.NumConfigs() {
+			return nil, fmt.Errorf("detect: row %d out of range", i)
+		}
+		out.Configs = append(out.Configs, m.Configs[i])
+		out.Det = append(out.Det, m.Det[i])
+		out.Omega = append(out.Omega, m.Omega[i])
+	}
+	return out, nil
+}
+
+// WorstCasePerComponent merges a bipolar evaluation (fault IDs generated
+// by fault.BipolarDeviationUniverse: "f<comp>+" and "f<comp>-") into one
+// worst-case evaluation per component: detectable when either deviation
+// direction is, ω-detectability and max deviation taken as the maxima.
+// Faults without the +/- suffix pairing pass through unchanged.
+func WorstCasePerComponent(row *Row) *Row {
+	out := &Row{Circuit: row.Circuit + " (worst case)", Region: row.Region}
+	merged := make(map[string]int) // component -> index in out.Evals
+	for _, e := range row.Evals {
+		id := e.Fault.ID
+		base := id
+		if n := len(id); n > 1 && (id[n-1] == '+' || id[n-1] == '-') {
+			base = id[:n-1]
+		}
+		if idx, ok := merged[base]; ok {
+			prev := &out.Evals[idx]
+			prev.Detectable = prev.Detectable || e.Detectable
+			if e.OmegaDet > prev.OmegaDet {
+				prev.OmegaDet = e.OmegaDet
+			}
+			if e.MaxDev > prev.MaxDev {
+				prev.MaxDev = e.MaxDev
+			}
+			if prev.Err == nil {
+				prev.Err = e.Err
+			}
+			continue
+		}
+		merged[base] = len(out.Evals)
+		we := e
+		we.Fault.ID = base
+		out.Evals = append(out.Evals, we)
+	}
+	return out
+}

@@ -1,0 +1,231 @@
+package diagnose
+
+import (
+	"errors"
+	"testing"
+
+	"analogdft/internal/analysis"
+	"analogdft/internal/circuit"
+	"analogdft/internal/detect"
+	"analogdft/internal/dft"
+	"analogdft/internal/fault"
+)
+
+// paperBiquad duplicates the library circuit locally to avoid an import
+// cycle risk with circuits (which may grow diagnose-based helpers).
+func paperBiquad() (*circuit.Circuit, []string) {
+	c := circuit.New("biquad")
+	const r, cap1 = 15.915e3, 1e-9
+	c.R("R1", "in", "a", r)
+	c.R("R2", "v1", "a", 2*r)
+	c.Cap("C1", "v1", "a", cap1)
+	c.R("R4", "v3", "a", r)
+	c.OA("OP1", "0", "a", "v1")
+	c.R("R5", "v1", "b", r)
+	c.Cap("C2", "v2", "b", cap1)
+	c.OA("OP2", "0", "b", "v2")
+	c.R("R6", "v2", "c", r)
+	c.R("R3", "v3", "c", r)
+	c.OA("OP3", "0", "c", "v3")
+	c.Input, c.Output = "in", "v3"
+	return c, []string{"OP1", "OP2", "OP3"}
+}
+
+var paperRegion = analysis.Region{LoHz: 100, HiHz: 5600}
+
+func buildDict(t *testing.T, cfgs []int) *Dictionary {
+	t.Helper()
+	ckt, chain := paperBiquad()
+	m, err := dft.Apply(ckt, chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := fault.DeviationUniverse(ckt, 0.2)
+	d, err := Build(m, cfgs, faults, paperRegion, Options{Points: 80, Bands: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestSymbolString(t *testing.T) {
+	if Nominal.String() != "0" || High.String() != "+" || Low.String() != "-" {
+		t.Fatal("symbol strings")
+	}
+	sig := Signature{Nominal, High, Low}
+	if sig.String() != "0+-" {
+		t.Fatalf("signature string = %q", sig.String())
+	}
+}
+
+func TestDistance(t *testing.T) {
+	a := Signature{0, 1, -1}
+	b := Signature{0, -1, -1}
+	if Distance(a, b) != 1 {
+		t.Fatal("distance")
+	}
+	if Distance(a, Signature{0}) != -1 {
+		t.Fatal("length mismatch")
+	}
+	if Distance(a, a) != 0 {
+		t.Fatal("self distance")
+	}
+}
+
+func TestBuildShapes(t *testing.T) {
+	d := buildDict(t, []int{0, 1, 2})
+	if len(d.Configs) != 3 || len(d.Faults) != 8 || len(d.Signatures) != 8 {
+		t.Fatalf("dictionary shape: %d configs %d faults %d sigs",
+			len(d.Configs), len(d.Faults), len(d.Signatures))
+	}
+	for _, s := range d.Signatures {
+		if len(s) != 3*4 {
+			t.Fatalf("signature length = %d, want 12", len(s))
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	ckt, chain := paperBiquad()
+	m, _ := dft.Apply(ckt, chain)
+	faults := fault.DeviationUniverse(ckt, 0.2)
+	if _, err := Build(m, nil, faults, paperRegion, Options{}); !errors.Is(err, ErrBadDictionary) {
+		t.Errorf("no configs: %v", err)
+	}
+	if _, err := Build(m, []int{0}, nil, paperRegion, Options{}); !errors.Is(err, ErrBadDictionary) {
+		t.Errorf("no faults: %v", err)
+	}
+	if _, err := Build(m, []int{0}, faults, analysis.Region{LoHz: 5, HiHz: 1}, Options{}); err == nil {
+		t.Error("bad region accepted")
+	}
+	if _, err := Build(m, []int{99}, faults, paperRegion, Options{}); err == nil {
+		t.Error("bad config index accepted")
+	}
+}
+
+// Every dictionary fault must diagnose to a group containing itself.
+func TestSelfDiagnosis(t *testing.T) {
+	d := buildDict(t, []int{0, 1, 2, 3, 4, 5, 6})
+	for i, f := range d.Faults {
+		ids := d.Diagnose(d.Signatures[i])
+		found := false
+		for _, id := range ids {
+			if id == f.ID {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("fault %s not in its own diagnosis %v", f.ID, ids)
+		}
+	}
+}
+
+// Diagnosing a freshly injected fault through the measurement path must
+// land in the same ambiguity group as the dictionary entry.
+func TestDiagnoseInjectedFault(t *testing.T) {
+	d := buildDict(t, []int{0, 1, 2, 3})
+	target := d.Faults[3] // fR4
+	sig, err := d.SignatureOfCircuit(func(ckt *circuit.Circuit) (*circuit.Circuit, error) {
+		return target.Apply(ckt)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := d.Diagnose(sig)
+	found := false
+	for _, id := range ids {
+		if id == target.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("injected %s diagnosed as %v", target.ID, ids)
+	}
+}
+
+func TestFaultFreeSignature(t *testing.T) {
+	// The configuration set must cover every fault: otherwise faults that
+	// are undetectable in the chosen configurations correctly share the
+	// all-nominal signature with a fault-free device. {C1, C2} is a
+	// maximum-coverage set for this circuit.
+	d := buildDict(t, []int{1, 2})
+	sig, err := d.SignatureOfCircuit(func(ckt *circuit.Circuit) (*circuit.Circuit, error) {
+		return ckt.Clone(), nil // no defect
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsFaultFree(sig) {
+		t.Fatalf("fault-free device got signature %v", sig)
+	}
+	if ids := d.Diagnose(sig); len(ids) != 0 {
+		t.Fatalf("fault-free signature matched faults %v", ids)
+	}
+}
+
+func TestNearest(t *testing.T) {
+	d := buildDict(t, []int{0, 1})
+	// Perturb one symbol of a known signature; Nearest must still find it
+	// within distance 1.
+	sig := append(Signature(nil), d.Signatures[0]...)
+	for i := range sig {
+		if sig[i] == Nominal {
+			sig[i] = High
+			break
+		}
+	}
+	ids, dist := d.Nearest(sig)
+	if dist > 1 || len(ids) == 0 {
+		t.Fatalf("nearest = %v at %d", ids, dist)
+	}
+}
+
+// The headline diagnosis claim: adding test configurations improves the
+// diagnostic resolution over the functional configuration alone.
+func TestMultiConfigImprovesResolution(t *testing.T) {
+	only0 := buildDict(t, []int{0})
+	all := buildDict(t, []int{0, 1, 2, 3, 4, 5, 6})
+	r0, rAll := only0.Resolution(), all.Resolution()
+	if rAll <= r0 {
+		t.Fatalf("resolution did not improve: C0 alone %.3f vs all %.3f", r0, rAll)
+	}
+	// With all configurations the dictionary should resolve most faults.
+	if rAll < 0.7 {
+		t.Fatalf("all-config resolution %.3f unexpectedly low", rAll)
+	}
+	groups := all.AmbiguityGroups()
+	total := 0
+	for _, g := range groups {
+		total += len(g)
+	}
+	if total != len(all.Faults) {
+		t.Fatalf("groups cover %d of %d faults", total, len(all.Faults))
+	}
+}
+
+func TestFromMatrixRows(t *testing.T) {
+	ckt, chain := paperBiquad()
+	m, _ := dft.Apply(ckt, chain)
+	faults := fault.DeviationUniverse(ckt, 0.2)
+	mx, err := detect.BuildMatrix(m, faults, detect.Options{Points: 61, Region: paperRegion, MeasFloor: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := FromMatrixRows(m, mx, []int{1, 2}, Options{Points: 60, Bands: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Configs) != 2 || d.Configs[0].Label() != "C1" {
+		t.Fatalf("configs = %v", d.Configs)
+	}
+	if _, err := FromMatrixRows(m, mx, []int{77}, Options{}); !errors.Is(err, ErrBadDictionary) {
+		t.Errorf("bad row: %v", err)
+	}
+}
+
+func TestOptionsPointsRounding(t *testing.T) {
+	o := Options{Points: 10, Bands: 4}.withDefaults()
+	if o.Points%o.Bands != 0 {
+		t.Fatalf("points %d not a multiple of bands %d", o.Points, o.Bands)
+	}
+}

@@ -1,0 +1,224 @@
+package fault
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"analogdft/internal/circuit"
+)
+
+func testCircuit() *circuit.Circuit {
+	c := circuit.New("t")
+	c.R("R1", "in", "mid", 1e3)
+	c.Cap("C1", "mid", "0", 1e-9)
+	c.L("L1", "mid", "0", 1e-3)
+	c.Input, c.Output = "in", "mid"
+	return c
+}
+
+func TestKindString(t *testing.T) {
+	if Deviation.String() != "deviation" || Open.String() != "open" || Short.String() != "short" {
+		t.Fatal("kind strings")
+	}
+}
+
+func TestFaultValidate(t *testing.T) {
+	good := Fault{ID: "fR1", Component: "R1", Kind: Deviation, Factor: 1.2}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Fault{
+		{Component: "R1", Kind: Deviation, Factor: 1.2},           // no ID
+		{ID: "f", Kind: Deviation, Factor: 1.2},                   // no component
+		{ID: "f", Component: "R1", Kind: Deviation, Factor: 0},    // zero factor
+		{ID: "f", Component: "R1", Kind: Deviation, Factor: 1},    // no-op factor
+		{ID: "f", Component: "R1", Kind: Deviation, Factor: -0.5}, // negative
+	}
+	for _, f := range bad {
+		if err := f.Validate(); !errors.Is(err, ErrBadFault) {
+			t.Errorf("fault %v: err = %v, want ErrBadFault", f, err)
+		}
+	}
+}
+
+func TestApplyDeviation(t *testing.T) {
+	c := testCircuit()
+	f := Fault{ID: "fR1", Component: "R1", Kind: Deviation, Factor: 1.2}
+	faulty, err := f.Apply(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fv, _ := faulty.Valued("R1")
+	if fv.Value() != 1.2e3 {
+		t.Fatalf("faulty R1 = %g, want 1200", fv.Value())
+	}
+	ov, _ := c.Valued("R1")
+	if ov.Value() != 1e3 {
+		t.Fatal("Apply mutated the nominal circuit")
+	}
+	if !strings.Contains(faulty.Name, "fR1") {
+		t.Errorf("faulty circuit name %q should carry the fault ID", faulty.Name)
+	}
+}
+
+func TestApplyOpenShortSemantics(t *testing.T) {
+	c := testCircuit()
+	cases := []struct {
+		comp string
+		kind Kind
+		// bigger reports whether the value must grow to emulate the fault
+		bigger bool
+	}{
+		{"R1", Open, true},
+		{"R1", Short, false},
+		{"L1", Open, true},
+		{"L1", Short, false},
+		{"C1", Open, false}, // tiny capacitance = open branch
+		{"C1", Short, true}, // huge capacitance = short branch
+	}
+	for _, tc := range cases {
+		f := Fault{ID: tc.comp + ":" + tc.kind.String(), Component: tc.comp, Kind: tc.kind}
+		faulty, err := f.Apply(c)
+		if err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		nv, _ := c.Valued(tc.comp)
+		fv, _ := faulty.Valued(tc.comp)
+		if tc.bigger && fv.Value() <= nv.Value()*1e6 {
+			t.Errorf("%v: value %g not raised", f, fv.Value())
+		}
+		if !tc.bigger && fv.Value() >= nv.Value()/1e6 {
+			t.Errorf("%v: value %g not lowered", f, fv.Value())
+		}
+	}
+}
+
+func TestApplyUnknownComponent(t *testing.T) {
+	f := Fault{ID: "fX", Component: "X9", Kind: Deviation, Factor: 1.2}
+	if _, err := f.Apply(testCircuit()); !errors.Is(err, circuit.ErrUnknownName) {
+		t.Fatalf("err = %v, want ErrUnknownName", err)
+	}
+}
+
+func TestApplyInvalidFault(t *testing.T) {
+	f := Fault{ID: "", Component: "R1", Kind: Deviation, Factor: 1.2}
+	if _, err := f.Apply(testCircuit()); !errors.Is(err, ErrBadFault) {
+		t.Fatalf("err = %v, want ErrBadFault", err)
+	}
+}
+
+func TestFaultString(t *testing.T) {
+	f := Fault{ID: "fR1", Component: "R1", Kind: Deviation, Factor: 1.2}
+	if s := f.String(); !strings.Contains(s, "R1") || !strings.Contains(s, "1.2") {
+		t.Errorf("String = %q", s)
+	}
+	o := Fault{ID: "x", Component: "C1", Kind: Open}
+	if s := o.String(); !strings.Contains(s, "open") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestDeviationUniverse(t *testing.T) {
+	l := DeviationUniverse(testCircuit(), 0.2)
+	if len(l) != 3 {
+		t.Fatalf("universe size = %d, want 3", len(l))
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"fR1", "fC1", "fL1"}
+	for i, id := range l.IDs() {
+		if id != want[i] {
+			t.Errorf("ID[%d] = %q, want %q", i, id, want[i])
+		}
+	}
+	for _, f := range l {
+		if f.Factor != 1.2 || f.Kind != Deviation {
+			t.Errorf("fault %v: wrong parameters", f)
+		}
+	}
+}
+
+func TestBipolarDeviationUniverse(t *testing.T) {
+	l := BipolarDeviationUniverse(testCircuit(), 0.1)
+	if len(l) != 6 {
+		t.Fatalf("universe size = %d, want 6", len(l))
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	plus, ok := l.ByID("fR1+")
+	if !ok || plus.Factor != 1.1 {
+		t.Errorf("fR1+ = %+v, ok=%v", plus, ok)
+	}
+	minus, ok := l.ByID("fR1-")
+	if !ok || minus.Factor != 0.9 {
+		t.Errorf("fR1- = %+v, ok=%v", minus, ok)
+	}
+}
+
+func TestCatastrophicUniverse(t *testing.T) {
+	l := CatastrophicUniverse(testCircuit())
+	if len(l) != 6 {
+		t.Fatalf("universe size = %d, want 6", len(l))
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := l.ByID("C1:short"); !ok {
+		t.Error("C1:short missing")
+	}
+}
+
+func TestListValidateDuplicates(t *testing.T) {
+	l := List{
+		{ID: "f", Component: "R1", Kind: Deviation, Factor: 1.2},
+		{ID: "f", Component: "C1", Kind: Deviation, Factor: 1.2},
+	}
+	if err := l.Validate(); !errors.Is(err, ErrBadFault) {
+		t.Fatalf("err = %v, want ErrBadFault", err)
+	}
+}
+
+func TestByIDMissing(t *testing.T) {
+	l := DeviationUniverse(testCircuit(), 0.2)
+	if _, ok := l.ByID("nope"); ok {
+		t.Fatal("found nonexistent fault")
+	}
+}
+
+// Property: applying a deviation fault scales exactly the named component
+// and leaves every other passive untouched.
+func TestApplyTouchesOnlyTarget(t *testing.T) {
+	f := func(pick uint8, fracRaw uint8) bool {
+		c := testCircuit()
+		passives := c.Passives()
+		target := passives[int(pick)%len(passives)].Name()
+		frac := 0.01 + float64(fracRaw%100)/200 // 1%..51%
+		flt := Fault{ID: "f" + target, Component: target, Kind: Deviation, Factor: 1 + frac}
+		faulty, err := flt.Apply(c)
+		if err != nil {
+			return false
+		}
+		for _, p := range c.Passives() {
+			nv := p.Value()
+			fv, err := faulty.Valued(p.Name())
+			if err != nil {
+				return false
+			}
+			want := nv
+			if p.Name() == target {
+				want = nv * (1 + frac)
+			}
+			if diff := fv.Value() - want; diff > 1e-12*want || diff < -1e-12*want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,74 @@
+package fault
+
+import (
+	"fmt"
+
+	"analogdft/internal/circuit"
+)
+
+// Opamp-internal fault kinds. The paper excludes the transparent
+// configuration from the passive-fault study because it "is used to test
+// faults inside opamps" [5]; these fault models complete that story. They
+// require the single-pole opamp model (an ideal opamp has no internal
+// parameters to degrade).
+const (
+	// OpampGain multiplies the open-loop DC gain A0 by Factor
+	// (e.g. 0.01 for a severely degraded input stage).
+	OpampGain Kind = 100 + iota
+	// OpampPole multiplies the open-loop pole frequency by Factor
+	// (bandwidth/slew degradation; GBW scales with it).
+	OpampPole
+)
+
+// opampKindString extends Kind.String for the opamp kinds.
+func opampKindString(k Kind) (string, bool) {
+	switch k {
+	case OpampGain:
+		return "opamp-gain", true
+	case OpampPole:
+		return "opamp-pole", true
+	}
+	return "", false
+}
+
+// applyOpamp mutates the named opamp of an already-cloned circuit.
+func (f Fault) applyOpamp(faulty *circuit.Circuit) error {
+	comp, ok := faulty.Component(f.Component)
+	if !ok {
+		return fmt.Errorf("%w: %q", circuit.ErrUnknownName, f.Component)
+	}
+	op, ok := comp.(*circuit.Opamp)
+	if !ok {
+		return fmt.Errorf("%w: %s fault on non-opamp %q", ErrBadFault, f.Kind, f.Component)
+	}
+	if op.Model != circuit.ModelSinglePole {
+		return fmt.Errorf("%w: %s fault needs the single-pole model on %q", ErrBadFault, f.Kind, f.Component)
+	}
+	switch f.Kind {
+	case OpampGain:
+		op.A0 *= f.Factor
+	case OpampPole:
+		op.PoleHz *= f.Factor
+	default:
+		return fmt.Errorf("%w: kind %v", ErrBadFault, f.Kind)
+	}
+	return nil
+}
+
+// OpampUniverse builds opamp-internal faults for every single-pole opamp
+// of the circuit: a gain-degradation fault "f<op>:a0" (A0 × gainFactor)
+// and a bandwidth fault "f<op>:pole" (pole × poleFactor). Opamps still on
+// the ideal model are skipped — they have no internal parameters.
+func OpampUniverse(ckt *circuit.Circuit, gainFactor, poleFactor float64) List {
+	var out List
+	for _, op := range ckt.Opamps() {
+		if op.Model != circuit.ModelSinglePole {
+			continue
+		}
+		out = append(out,
+			Fault{ID: "f" + op.Name() + ":a0", Component: op.Name(), Kind: OpampGain, Factor: gainFactor},
+			Fault{ID: "f" + op.Name() + ":pole", Component: op.Name(), Kind: OpampPole, Factor: poleFactor},
+		)
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+
+	"analogdft/internal/circuit"
+)
+
+// singlePoleBuffer: a unity buffer built from a single-pole opamp.
+func singlePoleCircuit() *circuit.Circuit {
+	c := circuit.New("sp")
+	c.R("R1", "in", "m", 1e3)
+	c.R("R2", "m", "out", 1e3)
+	c.OASinglePole("OP1", "0", "m", "out", 1e5, 10)
+	c.OA("OP2", "0", "x", "y") // ideal opamp: no internal faults
+	c.R("R3", "out", "x", 1e3)
+	c.R("R4", "x", "y", 1e3)
+	c.Input, c.Output = "in", "y"
+	return c
+}
+
+func TestOpampKindStrings(t *testing.T) {
+	if OpampGain.String() != "opamp-gain" || OpampPole.String() != "opamp-pole" {
+		t.Fatal("kind strings")
+	}
+	if Kind(999).String() == "" {
+		t.Fatal("unknown kind string")
+	}
+}
+
+func TestOpampGainFault(t *testing.T) {
+	c := singlePoleCircuit()
+	f := Fault{ID: "fOP1:a0", Component: "OP1", Kind: OpampGain, Factor: 0.01}
+	faulty, err := f.Apply(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, _ := faulty.Component("OP1")
+	op := comp.(*circuit.Opamp)
+	if op.A0 != 1e3 {
+		t.Fatalf("faulty A0 = %g, want 1e3", op.A0)
+	}
+	// Original untouched.
+	orig, _ := c.Component("OP1")
+	if orig.(*circuit.Opamp).A0 != 1e5 {
+		t.Fatal("Apply mutated the nominal circuit")
+	}
+}
+
+func TestOpampPoleFault(t *testing.T) {
+	c := singlePoleCircuit()
+	f := Fault{ID: "fOP1:pole", Component: "OP1", Kind: OpampPole, Factor: 0.1}
+	faulty, err := f.Apply(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, _ := faulty.Component("OP1")
+	if got := comp.(*circuit.Opamp).PoleHz; got != 1 {
+		t.Fatalf("faulty pole = %g, want 1", got)
+	}
+}
+
+func TestOpampFaultOnIdealRejected(t *testing.T) {
+	c := singlePoleCircuit()
+	f := Fault{ID: "fOP2:a0", Component: "OP2", Kind: OpampGain, Factor: 0.01}
+	if _, err := f.Apply(c); !errors.Is(err, ErrBadFault) {
+		t.Fatalf("err = %v, want ErrBadFault", err)
+	}
+}
+
+func TestOpampFaultOnPassiveRejected(t *testing.T) {
+	c := singlePoleCircuit()
+	f := Fault{ID: "fR1:a0", Component: "R1", Kind: OpampGain, Factor: 0.01}
+	if _, err := f.Apply(c); !errors.Is(err, ErrBadFault) {
+		t.Fatalf("err = %v, want ErrBadFault", err)
+	}
+}
+
+func TestOpampFaultUnknownComponent(t *testing.T) {
+	c := singlePoleCircuit()
+	f := Fault{ID: "fZZ", Component: "ZZ", Kind: OpampGain, Factor: 0.01}
+	if _, err := f.Apply(c); !errors.Is(err, circuit.ErrUnknownName) {
+		t.Fatalf("err = %v, want ErrUnknownName", err)
+	}
+}
+
+func TestOpampFaultValidation(t *testing.T) {
+	bad := Fault{ID: "f", Component: "OP1", Kind: OpampGain, Factor: 1}
+	if err := bad.Validate(); !errors.Is(err, ErrBadFault) {
+		t.Fatalf("factor 1 accepted: %v", err)
+	}
+	bad.Factor = 0
+	if err := bad.Validate(); !errors.Is(err, ErrBadFault) {
+		t.Fatalf("factor 0 accepted: %v", err)
+	}
+}
+
+func TestOpampUniverse(t *testing.T) {
+	c := singlePoleCircuit()
+	l := OpampUniverse(c, 0.01, 0.1)
+	// Only OP1 is single-pole; OP2 (ideal) is skipped.
+	if len(l) != 2 {
+		t.Fatalf("universe = %v", l)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g, ok := l.ByID("fOP1:a0")
+	if !ok || g.Kind != OpampGain || g.Factor != 0.01 {
+		t.Fatalf("gain fault = %+v", g)
+	}
+	p, ok := l.ByID("fOP1:pole")
+	if !ok || p.Kind != OpampPole || p.Factor != 0.1 {
+		t.Fatalf("pole fault = %+v", p)
+	}
+}
+
+func TestOpampUniverseAllIdeal(t *testing.T) {
+	c := circuit.New("i")
+	c.R("R1", "in", "m", 1e3)
+	c.R("R2", "m", "out", 1e3)
+	c.OA("OP1", "0", "m", "out")
+	if l := OpampUniverse(c, 0.01, 0.1); len(l) != 0 {
+		t.Fatalf("ideal-only universe = %v", l)
+	}
+}

@@ -1,0 +1,456 @@
+// Package mna implements small-signal AC analysis of linear analog
+// circuits via Modified Nodal Analysis over the complex field.
+//
+// It is the HSPICE substitute for this reproduction: the paper only needs
+// frequency responses of linear RC-opamp networks, which MNA computes
+// exactly. The unknown vector stacks the non-ground node voltages with one
+// branch current per voltage-defined element (independent voltage source,
+// VCVS, inductor, opamp output). Each element contributes a "stamp" to the
+// system matrix; the system is factored and solved per frequency point.
+//
+// Opamps use the nullor stamp in normal mode (constraint V+ − V− = 0 with a
+// free output current) and, when configured as followers by the
+// multi-configuration DFT technique, the constraint V(out) − V(test) = 0 —
+// the output buffers the dedicated test input while the feedback network
+// stays connected and keeps loading the surrounding nodes.
+package mna
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"analogdft/internal/circuit"
+	"analogdft/internal/numeric"
+)
+
+// ErrUnsupported is returned when the circuit contains a component the
+// engine cannot stamp (e.g. a configurable opamp in follower mode without a
+// test input).
+var ErrUnsupported = errors.New("mna: unsupported component")
+
+// ErrSingular wraps numeric.ErrSingular with circuit context; use
+// errors.Is(err, numeric.ErrSingular) to detect it.
+var ErrSingular = numeric.ErrSingular
+
+// System is a circuit prepared for AC analysis: node numbering and branch
+// allocation are fixed, so repeated solves across a frequency sweep only
+// re-stamp and re-factor the matrix.
+type System struct {
+	ckt *circuit.Circuit
+
+	nodeIndex map[string]int // non-ground node name -> 0-based index
+	nodeNames []string       // inverse of nodeIndex
+	branchOf  map[string]int // component name -> branch row (offset by nNodes)
+	n         int            // total unknowns
+}
+
+// NewSystem validates and indexes a circuit for analysis. The circuit is
+// retained by reference; callers must not mutate it while solving (clone
+// first — fault injection does).
+func NewSystem(ckt *circuit.Circuit) (*System, error) {
+	s := &System{
+		ckt:       ckt,
+		nodeIndex: make(map[string]int),
+		branchOf:  make(map[string]int),
+	}
+	for _, name := range ckt.Nodes() {
+		s.nodeIndex[name] = len(s.nodeNames)
+		s.nodeNames = append(s.nodeNames, name)
+	}
+	nBranches := 0
+	for _, comp := range ckt.Components() {
+		switch c := comp.(type) {
+		case *circuit.VSource, *circuit.VCVS, *circuit.Inductor, *circuit.CCVS:
+			s.branchOf[comp.Name()] = len(s.nodeNames) + nBranches
+			nBranches++
+		case *circuit.Opamp:
+			if c.Mode == circuit.ModeFollower {
+				if !c.Configurable || c.TestIn == "" {
+					return nil, fmt.Errorf("%w: opamp %q in follower mode without test input", ErrUnsupported, c.Name())
+				}
+			}
+			s.branchOf[comp.Name()] = len(s.nodeNames) + nBranches
+			nBranches++
+		}
+	}
+	s.n = len(s.nodeNames) + nBranches
+	if s.n == 0 {
+		return nil, fmt.Errorf("%w: empty system", circuit.ErrInvalid)
+	}
+	return s, nil
+}
+
+// N returns the number of unknowns.
+func (s *System) N() int { return s.n }
+
+// NodeNames returns the non-ground node names in index order.
+func (s *System) NodeNames() []string { return s.nodeNames }
+
+// node returns the matrix index of a node, or -1 for ground.
+func (s *System) node(name string) int {
+	if circuit.IsGroundName(name) {
+		return -1
+	}
+	i, ok := s.nodeIndex[circuit.CanonicalNode(name)]
+	if !ok {
+		// Unreachable for circuits built through the circuit package, which
+		// registers every terminal node.
+		panic(fmt.Sprintf("mna: unknown node %q", name))
+	}
+	return i
+}
+
+// stampConductance adds admittance y between nodes a and b.
+func stampConductance(m *numeric.Matrix, a, b int, y complex128) {
+	if a >= 0 {
+		m.Add(a, a, y)
+	}
+	if b >= 0 {
+		m.Add(b, b, y)
+	}
+	if a >= 0 && b >= 0 {
+		m.Add(a, b, -y)
+		m.Add(b, a, -y)
+	}
+}
+
+// Solution holds the result of one AC solve.
+type Solution struct {
+	FreqHz   float64
+	voltages map[string]complex128
+	currents map[string]complex128
+}
+
+// Voltage returns the complex node voltage (0 for ground).
+func (sol *Solution) Voltage(node string) (complex128, error) {
+	node = circuit.CanonicalNode(node)
+	if node == circuit.GroundName {
+		return 0, nil
+	}
+	v, ok := sol.voltages[node]
+	if !ok {
+		return 0, fmt.Errorf("mna: no voltage for node %q", node)
+	}
+	return v, nil
+}
+
+// Current returns the branch current of a voltage-defined component
+// (V, E, L, opamp output current).
+func (sol *Solution) Current(component string) (complex128, error) {
+	i, ok := sol.currents[component]
+	if !ok {
+		return 0, fmt.Errorf("mna: no branch current for component %q", component)
+	}
+	return i, nil
+}
+
+// SolveAt assembles and solves the MNA system at frequency f (Hz).
+func (s *System) SolveAt(freqHz float64) (*Solution, error) {
+	m := numeric.NewMatrix(s.n, s.n)
+	rhs := make([]complex128, s.n)
+	if err := s.assemble(freqHz, m, rhs); err != nil {
+		return nil, err
+	}
+
+	x, err := numeric.Solve(m, rhs)
+	if err != nil {
+		return nil, fmt.Errorf("mna: circuit %q at %g Hz: %w", s.ckt.Name, freqHz, err)
+	}
+
+	sol := &Solution{
+		FreqHz:   freqHz,
+		voltages: make(map[string]complex128, len(s.nodeNames)),
+		currents: make(map[string]complex128, len(s.branchOf)),
+	}
+	for i, name := range s.nodeNames {
+		sol.voltages[name] = x[i]
+	}
+	for name, idx := range s.branchOf {
+		sol.currents[name] = x[idx]
+	}
+	return sol, nil
+}
+
+// assemble zeroes and stamps the MNA matrix and right-hand side for one
+// frequency. m must be n×n and rhs length n.
+func (s *System) assemble(freqHz float64, m *numeric.Matrix, rhs []complex128) error {
+	if freqHz < 0 || math.IsNaN(freqHz) || math.IsInf(freqHz, 0) {
+		return fmt.Errorf("mna: invalid frequency %g", freqHz)
+	}
+	omega := 2 * math.Pi * freqHz
+	jw := complex(0, omega)
+
+	m.Zero()
+	for i := range rhs {
+		rhs[i] = 0
+	}
+
+	for _, comp := range s.ckt.Components() {
+		switch c := comp.(type) {
+		case *circuit.Resistor:
+			if c.Ohms == 0 {
+				return fmt.Errorf("%w: resistor %q has zero resistance", ErrUnsupported, c.Name())
+			}
+			stampConductance(m, s.node(c.A), s.node(c.B), complex(1/c.Ohms, 0))
+
+		case *circuit.Capacitor:
+			stampConductance(m, s.node(c.A), s.node(c.B), jw*complex(c.Farads, 0))
+
+		case *circuit.Inductor:
+			// Branch equation: V(a) − V(b) − jωL·I = 0; KCL: I out of a, into b.
+			a, b, br := s.node(c.A), s.node(c.B), s.branchOf[c.Name()]
+			if a >= 0 {
+				m.Add(a, br, 1)
+				m.Add(br, a, 1)
+			}
+			if b >= 0 {
+				m.Add(b, br, -1)
+				m.Add(br, b, -1)
+			}
+			m.Add(br, br, -jw*complex(c.Henries, 0))
+
+		case *circuit.VSource:
+			p, q, br := s.node(c.Plus), s.node(c.Minus), s.branchOf[c.Name()]
+			if p >= 0 {
+				m.Add(p, br, 1)
+				m.Add(br, p, 1)
+			}
+			if q >= 0 {
+				m.Add(q, br, -1)
+				m.Add(br, q, -1)
+			}
+			rhs[br] = complex(c.Amplitude, 0)
+
+		case *circuit.ISource:
+			p, q := s.node(c.Plus), s.node(c.Minus)
+			j := complex(c.Amplitude, 0)
+			if p >= 0 {
+				rhs[p] -= j
+			}
+			if q >= 0 {
+				rhs[q] += j
+			}
+
+		case *circuit.VCVS:
+			op, om := s.node(c.OutP), s.node(c.OutM)
+			cp, cm := s.node(c.CtrlP), s.node(c.CtrlM)
+			br := s.branchOf[c.Name()]
+			if op >= 0 {
+				m.Add(op, br, 1)
+				m.Add(br, op, 1)
+			}
+			if om >= 0 {
+				m.Add(om, br, -1)
+				m.Add(br, om, -1)
+			}
+			g := complex(c.Gain, 0)
+			if cp >= 0 {
+				m.Add(br, cp, -g)
+			}
+			if cm >= 0 {
+				m.Add(br, cm, g)
+			}
+
+		case *circuit.VCCS:
+			op, om := s.node(c.OutP), s.node(c.OutM)
+			cp, cm := s.node(c.CtrlP), s.node(c.CtrlM)
+			gm := complex(c.Gm, 0)
+			for _, t := range []struct {
+				row int
+				sgn complex128
+			}{{op, 1}, {om, -1}} {
+				if t.row < 0 {
+					continue
+				}
+				if cp >= 0 {
+					m.Add(t.row, cp, t.sgn*gm)
+				}
+				if cm >= 0 {
+					m.Add(t.row, cm, -t.sgn*gm)
+				}
+			}
+
+		case *circuit.CCVS:
+			// V(op) − V(om) − Rt·I(ctrl) = 0 with its own branch current.
+			ctrlBr, ok := s.branchOf[c.CtrlVSource]
+			if !ok {
+				return fmt.Errorf("%w: CCVS %q controls through %q, which has no branch current", ErrUnsupported, c.Name(), c.CtrlVSource)
+			}
+			op, om := s.node(c.OutP), s.node(c.OutM)
+			br := s.branchOf[c.Name()]
+			if op >= 0 {
+				m.Add(op, br, 1)
+				m.Add(br, op, 1)
+			}
+			if om >= 0 {
+				m.Add(om, br, -1)
+				m.Add(br, om, -1)
+			}
+			m.Add(br, ctrlBr, complex(-c.Rt, 0))
+
+		case *circuit.CCCS:
+			// I(op→om) = Gain·I(ctrl): current injections proportional to
+			// the control branch current.
+			ctrlBr, ok := s.branchOf[c.CtrlVSource]
+			if !ok {
+				return fmt.Errorf("%w: CCCS %q controls through %q, which has no branch current", ErrUnsupported, c.Name(), c.CtrlVSource)
+			}
+			op, om := s.node(c.OutP), s.node(c.OutM)
+			g := complex(c.Gain, 0)
+			if op >= 0 {
+				m.Add(op, ctrlBr, g)
+			}
+			if om >= 0 {
+				m.Add(om, ctrlBr, -g)
+			}
+
+		case *circuit.Opamp:
+			if err := s.stampOpamp(m, c, jw); err != nil {
+				return err
+			}
+
+		default:
+			return fmt.Errorf("%w: %T", ErrUnsupported, comp)
+		}
+	}
+	return nil
+}
+
+// stampOpamp writes the opamp constraint row. The opamp output behaves as
+// an ideal voltage source (free branch current injected at Out); the
+// constraint chosen depends on mode and model.
+func (s *System) stampOpamp(m *numeric.Matrix, c *circuit.Opamp, jw complex128) error {
+	out := s.node(c.Out)
+	br := s.branchOf[c.Name()]
+	if out >= 0 {
+		m.Add(out, br, 1)
+	}
+
+	switch c.Mode {
+	case circuit.ModeNormal:
+		p, q := s.node(c.InP), s.node(c.InN)
+		switch c.Model {
+		case circuit.ModelIdeal:
+			// Nullor: V(+) − V(−) = 0.
+			if p >= 0 {
+				m.Add(br, p, 1)
+			}
+			if q >= 0 {
+				m.Add(br, q, -1)
+			}
+		case circuit.ModelSinglePole:
+			// V(out) − A(jω)·(V(+) − V(−)) = 0.
+			a := openLoopGain(c, jw)
+			if out >= 0 {
+				m.Add(br, out, 1)
+			}
+			if p >= 0 {
+				m.Add(br, p, -a)
+			}
+			if q >= 0 {
+				m.Add(br, q, a)
+			}
+		default:
+			return fmt.Errorf("%w: opamp %q model %v", ErrUnsupported, c.Name(), c.Model)
+		}
+
+	case circuit.ModeFollower:
+		if !c.Configurable || c.TestIn == "" {
+			return fmt.Errorf("%w: opamp %q in follower mode without test input", ErrUnsupported, c.Name())
+		}
+		tin := s.node(c.TestIn)
+		switch c.Model {
+		case circuit.ModelIdeal:
+			// V(out) − V(test) = 0.
+			if out >= 0 {
+				m.Add(br, out, 1)
+			}
+			if tin >= 0 {
+				m.Add(br, tin, -1)
+			}
+		case circuit.ModelSinglePole:
+			// Unity-feedback buffer: V(out) = A/(1+A) · V(test).
+			a := openLoopGain(c, jw)
+			buf := a / (1 + a)
+			if out >= 0 {
+				m.Add(br, out, 1)
+			}
+			if tin >= 0 {
+				m.Add(br, tin, -buf)
+			}
+		default:
+			return fmt.Errorf("%w: opamp %q model %v", ErrUnsupported, c.Name(), c.Model)
+		}
+
+	default:
+		return fmt.Errorf("%w: opamp %q mode %v", ErrUnsupported, c.Name(), c.Mode)
+	}
+	return nil
+}
+
+// openLoopGain evaluates the single-pole model A(jω) = A0/(1 + jω/ωp).
+func openLoopGain(c *circuit.Opamp, jw complex128) complex128 {
+	a0 := c.A0
+	if a0 == 0 {
+		a0 = 1e5 // sane default: 100 dB opamp
+	}
+	pole := c.PoleHz
+	if pole <= 0 {
+		pole = 10 // Hz, typical dominant pole of a 1 MHz-GBW opamp
+	}
+	wp := complex(2*math.Pi*pole, 0)
+	return complex(a0, 0) / (1 + jw/wp)
+}
+
+// TransferAt returns H = V(output)/stimulus for the circuit's designated
+// input/output at frequency f, by temporarily driving the input with a unit
+// AC source. The circuit passed to NewSystem must NOT already contain a
+// stimulus source on the input node.
+//
+// This is a convenience for one-off probes; sweeps should use
+// analysis.Sweep which prepares the driven circuit once.
+func TransferAt(ckt *circuit.Circuit, freqHz float64) (complex128, error) {
+	driven, err := Driven(ckt)
+	if err != nil {
+		return 0, err
+	}
+	sys, err := NewSystem(driven)
+	if err != nil {
+		return 0, err
+	}
+	sol, err := sys.SolveAt(freqHz)
+	if err != nil {
+		return 0, err
+	}
+	return sol.Voltage(driven.Output)
+}
+
+// Driven clones the circuit and attaches a unit AC voltage source between
+// its input node and ground. The stimulus component is named "_VSTIM"; it
+// is an error if that name is taken or if a VSource already drives the
+// input node.
+func Driven(ckt *circuit.Circuit) (*circuit.Circuit, error) {
+	in := circuit.CanonicalNode(ckt.Input)
+	if in == "" {
+		return nil, fmt.Errorf("%w: no input node", circuit.ErrInvalid)
+	}
+	for _, comp := range ckt.Components() {
+		if v, ok := comp.(*circuit.VSource); ok {
+			for _, t := range v.Terminals() {
+				if circuit.CanonicalNode(t) == in {
+					return nil, fmt.Errorf("%w: input node %q already driven by %q", circuit.ErrInvalid, in, v.Name())
+				}
+			}
+		}
+	}
+	driven := ckt.Clone()
+	if err := driven.Add(&circuit.VSource{Label: "_VSTIM", Plus: in, Minus: circuit.GroundName, Amplitude: 1}); err != nil {
+		return nil, err
+	}
+	return driven, nil
+}
+
+// GainDb returns |H| in dB for a transfer value.
+func GainDb(h complex128) float64 { return numeric.Db(cmplx.Abs(h)) }

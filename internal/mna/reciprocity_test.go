@@ -1,0 +1,111 @@
+package mna
+
+import (
+	"fmt"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"analogdft/internal/circuit"
+)
+
+// randomRCNetwork builds a connected random RC network over n internal
+// nodes (every node gets a grounding resistor so the system is always
+// solvable).
+func randomRCNetwork(rng *rand.Rand, n int) *circuit.Circuit {
+	c := circuit.New("rand-rc")
+	node := func(i int) string { return fmt.Sprintf("n%d", i) }
+	id := 0
+	add := func(a, b string) {
+		id++
+		if rng.Intn(2) == 0 {
+			c.R(fmt.Sprintf("R%d", id), a, b, 100+rng.Float64()*1e5)
+		} else {
+			c.Cap(fmt.Sprintf("C%d", id), a, b, 1e-12+rng.Float64()*1e-7)
+		}
+	}
+	// Spanning chain to guarantee connectivity, plus random extra edges.
+	for i := 1; i < n; i++ {
+		add(node(i-1), node(i))
+	}
+	extra := rng.Intn(2 * n)
+	for k := 0; k < extra; k++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a != b {
+			add(node(a), node(b))
+		}
+	}
+	// Ground every node resistively: keeps ω=0 nonsingular.
+	for i := 0; i < n; i++ {
+		id++
+		c.R(fmt.Sprintf("Rg%d", id), node(i), "0", 1e3+rng.Float64()*1e6)
+	}
+	return c
+}
+
+// transferImpedance injects a 1 A AC current at node `at` and returns the
+// voltage at node `measure`.
+func transferImpedance(t *testing.T, base *circuit.Circuit, at, measure string, freq float64) complex128 {
+	t.Helper()
+	ckt := base.Clone()
+	ckt.I("Iinj", "0", at, 1)
+	sys, err := NewSystem(ckt)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	sol, err := sys.SolveAt(freq)
+	if err != nil {
+		t.Fatalf("SolveAt: %v", err)
+	}
+	v, err := sol.Voltage(measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// Reciprocity: for any passive RC network, the transfer impedance is
+// symmetric — injecting current at a and measuring at b equals injecting
+// at b and measuring at a. A strong whole-engine correctness property:
+// any sign or stamping error in the R/C/I stamps breaks it.
+func TestReciprocityProperty(t *testing.T) {
+	f := func(seed int64, sizeRaw, freqRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + int(sizeRaw)%6
+		ckt := randomRCNetwork(rng, n)
+		a := fmt.Sprintf("n%d", rng.Intn(n))
+		b := fmt.Sprintf("n%d", rng.Intn(n))
+		if a == b {
+			return true
+		}
+		freq := float64(1+int(freqRaw)) * 97.3
+		zab := transferImpedance(t, ckt, a, b, freq)
+		zba := transferImpedance(t, ckt, b, a, freq)
+		scale := cmplx.Abs(zab) + cmplx.Abs(zba)
+		if scale == 0 {
+			return true
+		}
+		return cmplx.Abs(zab-zba)/scale < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Active networks (opamps) are NOT reciprocal: the property test above
+// must fail if applied naively to an amplifier — guard that the
+// reciprocity check itself has teeth.
+func TestReciprocityBreaksWithOpamp(t *testing.T) {
+	c := circuit.New("act")
+	c.R("R1", "a", "m", 1e3)
+	c.R("R2", "m", "b", 10e3)
+	c.OA("OP1", "0", "m", "b")
+	c.R("Rg1", "a", "0", 1e3)
+	c.R("Rg2", "b", "0", 1e3)
+	zab := transferImpedance(t, c, "a", "b", 1e3)
+	zba := transferImpedance(t, c, "b", "a", 1e3)
+	if cmplx.Abs(zab-zba) < 1e-6 {
+		t.Fatalf("opamp network reported reciprocal: %v vs %v", zab, zba)
+	}
+}

@@ -1,0 +1,59 @@
+package mna
+
+import (
+	"fmt"
+
+	"analogdft/internal/circuit"
+	"analogdft/internal/numeric"
+)
+
+// Sweeper is the allocation-free fast path for frequency sweeps that only
+// observe a single node (the detectability engine's hot loop): the MNA
+// matrix, right-hand side and pivot buffers are reused across points and
+// the factorization happens in place.
+type Sweeper struct {
+	sys     *System
+	m       *numeric.Matrix
+	rhs     []complex128
+	pivot   []int
+	nodeIdx int // -1 for ground
+}
+
+// NewSweeper prepares a sweeper observing the given node.
+func (s *System) NewSweeper(node string) (*Sweeper, error) {
+	idx := -1
+	if !circuit.IsGroundName(node) {
+		i, ok := s.nodeIndex[circuit.CanonicalNode(node)]
+		if !ok {
+			return nil, fmt.Errorf("mna: unknown node %q", node)
+		}
+		idx = i
+	}
+	return &Sweeper{
+		sys:     s,
+		m:       numeric.NewMatrix(s.n, s.n),
+		rhs:     make([]complex128, s.n),
+		pivot:   make([]int, s.n),
+		nodeIdx: idx,
+	}, nil
+}
+
+// VoltageAt solves the system at one frequency and returns the observed
+// node's voltage, reusing all buffers. Errors are exactly those of
+// SolveAt (numeric.ErrSingular for singular points).
+func (sw *Sweeper) VoltageAt(freqHz float64) (complex128, error) {
+	if err := sw.sys.assemble(freqHz, sw.m, sw.rhs); err != nil {
+		return 0, err
+	}
+	lu, err := numeric.FactorInPlace(sw.m, sw.pivot)
+	if err != nil {
+		return 0, fmt.Errorf("mna: circuit %q at %g Hz: %w", sw.sys.ckt.Name, freqHz, err)
+	}
+	if err := lu.SolveInPlace(sw.rhs); err != nil {
+		return 0, err
+	}
+	if sw.nodeIdx < 0 {
+		return 0, nil
+	}
+	return sw.rhs[sw.nodeIdx], nil
+}

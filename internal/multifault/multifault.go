@@ -1,0 +1,232 @@
+// Package multifault extends the paper's single-fault study to
+// simultaneous fault pairs. The §4 optimization guarantees maximum
+// coverage of the *single*-fault universe; this package measures what the
+// selected configuration set does to double faults: which pairs remain
+// detectable, and which exhibit masking — both constituent faults are
+// detectable alone, but their combination hides in every selected
+// configuration (deviations of opposite sign cancelling).
+package multifault
+
+import (
+	"errors"
+	"fmt"
+
+	"analogdft/internal/analysis"
+	"analogdft/internal/circuit"
+	"analogdft/internal/dft"
+	"analogdft/internal/fault"
+)
+
+// ErrBadPair is returned for malformed pairs.
+var ErrBadPair = errors.New("multifault: bad pair")
+
+// Pair is a simultaneous pair of single faults on distinct components.
+type Pair struct {
+	A, B fault.Fault
+}
+
+// ID returns a stable identifier, e.g. "fR1+fC2".
+func (p Pair) ID() string { return p.A.ID + "+" + p.B.ID }
+
+// Validate checks both faults and component distinctness.
+func (p Pair) Validate() error {
+	if err := p.A.Validate(); err != nil {
+		return err
+	}
+	if err := p.B.Validate(); err != nil {
+		return err
+	}
+	if p.A.Component == p.B.Component {
+		return fmt.Errorf("%w: both faults on %q", ErrBadPair, p.A.Component)
+	}
+	return nil
+}
+
+// Apply injects both faults into a fresh clone.
+func (p Pair) Apply(ckt *circuit.Circuit) (*circuit.Circuit, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	once, err := p.A.Apply(ckt)
+	if err != nil {
+		return nil, err
+	}
+	both, err := p.B.Apply(once)
+	if err != nil {
+		return nil, err
+	}
+	both.Name = fmt.Sprintf("%s[%s]", ckt.Name, p.ID())
+	return both, nil
+}
+
+// PairUniverse builds every unordered pair of distinct-component faults.
+func PairUniverse(faults fault.List) []Pair {
+	var out []Pair
+	for i := 0; i < len(faults); i++ {
+		for j := i + 1; j < len(faults); j++ {
+			if faults[i].Component == faults[j].Component {
+				continue
+			}
+			out = append(out, Pair{A: faults[i], B: faults[j]})
+		}
+	}
+	return out
+}
+
+// PairEval is the evaluation of one pair against a configuration set.
+type PairEval struct {
+	Pair Pair
+	// Detectable: the pair deviates beyond ε somewhere in some selected
+	// configuration.
+	Detectable bool
+	// Masked: the pair is undetectable although both constituent single
+	// faults are detectable by the set — destructive interaction.
+	Masked bool
+	// Err records a failed simulation (pair counted undetectable).
+	Err error
+}
+
+// Result is the double-fault study for one configuration set.
+type Result struct {
+	// Configs are the evaluated configurations.
+	Configs []dft.Configuration
+	// Singles maps fault ID → detectable (by the set).
+	Singles map[string]bool
+	// Pairs holds one evaluation per pair.
+	Pairs []PairEval
+	// Coverage is the detected fraction of all pairs.
+	Coverage float64
+	// MaskedCount counts masked pairs.
+	MaskedCount int
+}
+
+// Options mirrors the detectability thresholds.
+type Options struct {
+	Eps       float64 // default 0.10
+	Points    int     // default 121
+	MeasFloor float64 // default 1e-4; negative disables
+}
+
+func (o Options) withDefaults() Options {
+	if o.Eps == 0 {
+		o.Eps = 0.10
+	}
+	if o.Points == 0 {
+		o.Points = 121
+	}
+	if o.MeasFloor == 0 {
+		o.MeasFloor = 1e-4
+	}
+	if o.MeasFloor < 0 {
+		o.MeasFloor = 0
+	}
+	return o
+}
+
+// Evaluate measures single- and double-fault detectability of the fault
+// list under the given configuration indices of a modified circuit.
+func Evaluate(m *dft.Modified, cfgIndices []int, faults fault.List, region analysis.Region, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if len(cfgIndices) == 0 {
+		return nil, fmt.Errorf("%w: no configurations", ErrBadPair)
+	}
+	if err := faults.Validate(); err != nil {
+		return nil, err
+	}
+	if err := region.Validate(); err != nil {
+		return nil, err
+	}
+	grid := region.Spec(opts.Points).Grid()
+
+	type cfgCtx struct {
+		cfg     dft.Configuration
+		circuit *circuit.Circuit
+		nominal *analysis.Response
+	}
+	var ctxs []cfgCtx
+	for _, idx := range cfgIndices {
+		cfg, err := m.Config(idx)
+		if err != nil {
+			return nil, err
+		}
+		ckt, err := m.Configure(cfg)
+		if err != nil {
+			return nil, err
+		}
+		nom, err := analysis.SweepOnGrid(ckt, grid)
+		if err != nil {
+			return nil, fmt.Errorf("multifault: nominal sweep of %s: %w", cfg, err)
+		}
+		ctxs = append(ctxs, cfgCtx{cfg: cfg, circuit: ckt, nominal: nom})
+	}
+
+	detectableIn := func(apply func(*circuit.Circuit) (*circuit.Circuit, error)) (bool, error) {
+		for _, ctx := range ctxs {
+			faulty, err := apply(ctx.circuit)
+			if err != nil {
+				return false, err
+			}
+			resp, err := analysis.SweepOnGrid(faulty, grid)
+			if err != nil {
+				return false, err
+			}
+			prof, err := analysis.RelativeDeviation(ctx.nominal, resp, opts.MeasFloor)
+			if err != nil {
+				return false, err
+			}
+			if len(prof.ExceedsAt(opts.Eps)) > 0 {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+
+	res := &Result{Singles: make(map[string]bool, len(faults))}
+	for _, ctx := range ctxs {
+		res.Configs = append(res.Configs, ctx.cfg)
+	}
+	for _, f := range faults {
+		f := f
+		det, err := detectableIn(f.Apply)
+		if err != nil {
+			return nil, fmt.Errorf("multifault: single %s: %w", f.ID, err)
+		}
+		res.Singles[f.ID] = det
+	}
+
+	pairs := PairUniverse(faults)
+	detected := 0
+	for _, p := range pairs {
+		p := p
+		eval := PairEval{Pair: p}
+		det, err := detectableIn(p.Apply)
+		if err != nil {
+			eval.Err = err
+		} else {
+			eval.Detectable = det
+		}
+		if !eval.Detectable && res.Singles[p.A.ID] && res.Singles[p.B.ID] {
+			eval.Masked = true
+			res.MaskedCount++
+		}
+		if eval.Detectable {
+			detected++
+		}
+		res.Pairs = append(res.Pairs, eval)
+	}
+	if len(pairs) > 0 {
+		res.Coverage = float64(detected) / float64(len(pairs))
+	}
+	return res, nil
+}
+
+// MaskedPairs lists the masked pair IDs.
+func (r *Result) MaskedPairs() []string {
+	var out []string
+	for _, p := range r.Pairs {
+		if p.Masked {
+			out = append(out, p.Pair.ID())
+		}
+	}
+	return out
+}

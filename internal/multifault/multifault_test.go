@@ -1,0 +1,170 @@
+package multifault
+
+import (
+	"errors"
+	"testing"
+
+	"analogdft/internal/analysis"
+	"analogdft/internal/circuit"
+	"analogdft/internal/dft"
+	"analogdft/internal/fault"
+)
+
+func biquad() (*circuit.Circuit, []string) {
+	c := circuit.New("biquad")
+	const r, cp = 15.915e3, 1e-9
+	c.R("R1", "in", "a", r)
+	c.R("R2", "v1", "a", 2*r)
+	c.Cap("C1", "v1", "a", cp)
+	c.R("R4", "v3", "a", r)
+	c.OA("OP1", "0", "a", "v1")
+	c.R("R5", "v1", "b", r)
+	c.Cap("C2", "v2", "b", cp)
+	c.OA("OP2", "0", "b", "v2")
+	c.R("R6", "v2", "c", r)
+	c.R("R3", "v3", "c", r)
+	c.OA("OP3", "0", "c", "v3")
+	c.Input, c.Output = "in", "v3"
+	return c, []string{"OP1", "OP2", "OP3"}
+}
+
+var region = analysis.Region{LoHz: 100, HiHz: 5600}
+
+func dev(comp string, factor float64) fault.Fault {
+	return fault.Fault{ID: "f" + comp, Component: comp, Kind: fault.Deviation, Factor: factor}
+}
+
+func TestPairBasics(t *testing.T) {
+	p := Pair{A: dev("R1", 1.2), B: dev("R2", 1.2)}
+	if p.ID() != "fR1+fR2" {
+		t.Fatalf("ID = %q", p.ID())
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	same := Pair{A: dev("R1", 1.2), B: dev("R1", 0.8)}
+	if err := same.Validate(); !errors.Is(err, ErrBadPair) {
+		t.Fatal("same-component pair accepted")
+	}
+}
+
+func TestPairApply(t *testing.T) {
+	ckt, _ := biquad()
+	p := Pair{A: dev("R1", 1.2), B: dev("C1", 1.2)}
+	faulty, err := p.Apply(ckt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := faulty.Valued("R1")
+	c1, _ := faulty.Valued("C1")
+	if r1.Value() != 15.915e3*1.2 || c1.Value() != 1e-9*1.2 {
+		t.Fatal("pair not applied")
+	}
+	orig, _ := ckt.Valued("R1")
+	if orig.Value() != 15.915e3 {
+		t.Fatal("original mutated")
+	}
+}
+
+func TestPairUniverseSize(t *testing.T) {
+	faults := fault.List{dev("R1", 1.2), dev("R2", 1.2), dev("C1", 1.2)}
+	pairs := PairUniverse(faults)
+	if len(pairs) != 3 {
+		t.Fatalf("pairs = %d, want 3", len(pairs))
+	}
+	// Same-component entries are skipped.
+	faults = append(faults, fault.Fault{ID: "fR1-", Component: "R1", Kind: fault.Deviation, Factor: 0.8})
+	pairs = PairUniverse(faults)
+	if len(pairs) != 5 { // C(4,2)=6 minus the (fR1, fR1-) pair
+		t.Fatalf("pairs = %d, want 5", len(pairs))
+	}
+}
+
+func TestEvaluateOptimizedSet(t *testing.T) {
+	ckt, chain := biquad()
+	m, err := dft.Apply(ckt, chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := fault.DeviationUniverse(ckt, 0.2)
+	// The paper-optimal configuration set {C1, C2}.
+	res, err := Evaluate(m, []int{1, 2}, faults, region, Options{Points: 61, MeasFloor: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) != 28 { // C(8,2)
+		t.Fatalf("pairs = %d", len(res.Pairs))
+	}
+	// Every single fault is detectable by {C1, C2} (maximum coverage set).
+	for id, det := range res.Singles {
+		if !det {
+			t.Errorf("single %s undetectable under the optimized set", id)
+		}
+	}
+	// Double faults overwhelmingly stay detectable.
+	if res.Coverage < 0.9 {
+		t.Errorf("pair coverage = %g", res.Coverage)
+	}
+	// Accounting consistency.
+	masked := res.MaskedPairs()
+	if len(masked) != res.MaskedCount {
+		t.Fatalf("masked accounting: %d vs %d", len(masked), res.MaskedCount)
+	}
+	for _, p := range res.Pairs {
+		if p.Masked && p.Detectable {
+			t.Fatal("detectable pair flagged masked")
+		}
+	}
+}
+
+func TestEvaluateMaskingConstructed(t *testing.T) {
+	// A resistive divider: in—R1—out, R2 out—gnd. +20% on both R1 and R2
+	// leaves the ratio unchanged: a textbook masked pair.
+	c := circuit.New("div")
+	c.R("R1", "in", "out", 1e3)
+	c.R("R2", "out", "0", 1e3)
+	c.Input, c.Output = "in", "out"
+	m, err := dft.Apply(mustOpampWrap(c), []string{"OPB"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := fault.List{dev("R1", 1.2), dev("R2", 1.2)}
+	// Divider sensitivity is ½, so a +20% single fault deviates ≈9.1%;
+	// use ε = 5% to see the singles while the pair cancels exactly.
+	res, err := Evaluate(m, []int{0}, faults, analysis.Region{LoHz: 10, HiHz: 1e4}, Options{Points: 31, Eps: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Singles["fR1"] || !res.Singles["fR2"] {
+		t.Fatal("singles should be detectable")
+	}
+	if res.MaskedCount != 1 {
+		t.Fatalf("masked = %d, want 1 (ratio-preserving pair)", res.MaskedCount)
+	}
+}
+
+// mustOpampWrap buffers the divider with an opamp so a DFT chain exists.
+func mustOpampWrap(c *circuit.Circuit) *circuit.Circuit {
+	c.OA("OPB", "out", "buf", "buf")
+	c.Output = "buf"
+	return c
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	ckt, chain := biquad()
+	m, _ := dft.Apply(ckt, chain)
+	faults := fault.DeviationUniverse(ckt, 0.2)
+	if _, err := Evaluate(m, nil, faults, region, Options{}); !errors.Is(err, ErrBadPair) {
+		t.Error("no configs accepted")
+	}
+	if _, err := Evaluate(m, []int{0}, faults, analysis.Region{LoHz: 10, HiHz: 1}, Options{}); err == nil {
+		t.Error("bad region accepted")
+	}
+	bad := fault.List{{ID: "", Component: "R1", Kind: fault.Deviation, Factor: 1.2}}
+	if _, err := Evaluate(m, []int{0}, bad, region, Options{}); err == nil {
+		t.Error("bad faults accepted")
+	}
+	if _, err := Evaluate(m, []int{99}, faults, region, Options{}); err == nil {
+		t.Error("bad config index accepted")
+	}
+}

@@ -1,0 +1,132 @@
+// Package netgen generates random — but guaranteed-stable — active-RC
+// circuits for fuzzing the analysis and optimization pipeline: cascades of
+// inverting first-order stages (lowpass, highpass, flat gain) with an
+// occasional Tow–Thomas biquad section. Generation is deterministic in the
+// seed, so failures reproduce.
+package netgen
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"analogdft/internal/circuit"
+	"analogdft/internal/circuits"
+)
+
+// ErrBadSpec is returned for invalid generation parameters.
+var ErrBadSpec = errors.New("netgen: bad spec")
+
+// Spec parameterizes generation.
+type Spec struct {
+	// Stages is the number of cascaded stages (each contributes 1 opamp,
+	// except biquad sections which contribute 3).
+	Stages int
+	// Seed drives the deterministic RNG.
+	Seed int64
+	// F0Lo/F0Hi bound the random corner frequencies (defaults 1 kHz /
+	// 100 kHz).
+	F0Lo, F0Hi float64
+	// AllowBiquad permits Tow–Thomas sections in the mix.
+	AllowBiquad bool
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.F0Lo == 0 {
+		s.F0Lo = 1e3
+	}
+	if s.F0Hi == 0 {
+		s.F0Hi = 100e3
+	}
+	return s
+}
+
+// Validate checks the spec.
+func (s Spec) Validate() error {
+	s = s.withDefaults()
+	if s.Stages < 1 {
+		return fmt.Errorf("%w: %d stages", ErrBadSpec, s.Stages)
+	}
+	if s.F0Lo <= 0 || s.F0Hi <= s.F0Lo {
+		return fmt.Errorf("%w: corner range [%g, %g]", ErrBadSpec, s.F0Lo, s.F0Hi)
+	}
+	return nil
+}
+
+// Random generates a circuit per the spec.
+func Random(spec Spec) (*circuits.Bench, error) {
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	ckt := circuit.New(fmt.Sprintf("netgen-%d-%d", spec.Stages, spec.Seed))
+	var chain []string
+	prev := "in"
+	kinds := 3
+	if spec.AllowBiquad {
+		kinds = 4
+	}
+	randF0 := func() float64 {
+		// Log-uniform corner.
+		lo, hi := math.Log(spec.F0Lo), math.Log(spec.F0Hi)
+		return math.Exp(lo + rng.Float64()*(hi-lo))
+	}
+	for k := 1; k <= spec.Stages; k++ {
+		p := func(s string) string { return fmt.Sprintf("%s_%d", s, k) }
+		gain := 0.5 + rng.Float64()*1.5
+		switch rng.Intn(kinds) {
+		case 0: // inverting lowpass: Rin, Rf ∥ C.
+			f0 := randF0()
+			c := 1e-9
+			rf := 1 / (2 * math.Pi * f0 * c)
+			ckt.R(p("Ra"), prev, p("m"), rf/gain)
+			ckt.R(p("Rb"), p("m"), p("v"), rf)
+			ckt.Cap(p("C"), p("m"), p("v"), c)
+			ckt.OA(p("OP"), "0", p("m"), p("v"))
+		case 1: // flat inverting amplifier.
+			r := 10e3
+			ckt.R(p("Ra"), prev, p("m"), r)
+			ckt.R(p("Rb"), p("m"), p("v"), r*gain)
+			ckt.OA(p("OP"), "0", p("m"), p("v"))
+		case 2: // inverting highpass: C + R series input, R feedback.
+			f0 := randF0()
+			c := 10e-9
+			rs := 1 / (2 * math.Pi * f0 * c)
+			ckt.Cap(p("C"), prev, p("x"), c)
+			ckt.R(p("Ra"), p("x"), p("m"), rs)
+			ckt.R(p("Rb"), p("m"), p("v"), rs*gain)
+			ckt.OA(p("OP"), "0", p("m"), p("v"))
+		default: // Tow–Thomas biquad section (3 opamps).
+			f0 := randF0()
+			c := 1e-9
+			r := 1 / (2 * math.Pi * f0 * c)
+			q := 0.6 + rng.Float64()*2
+			ckt.R(p("R1"), prev, p("a"), r/gain)
+			ckt.R(p("R2"), p("v1"), p("a"), q*r)
+			ckt.Cap(p("C1"), p("v1"), p("a"), c)
+			ckt.R(p("R4"), p("v"), p("a"), r)
+			ckt.OA(p("OP1"), "0", p("a"), p("v1"))
+			ckt.R(p("R5"), p("v1"), p("b"), r)
+			ckt.Cap(p("C2"), p("v2"), p("b"), c)
+			ckt.OA(p("OP2"), "0", p("b"), p("v2"))
+			ckt.R(p("R6"), p("v2"), p("cn"), r)
+			ckt.R(p("R3"), p("v"), p("cn"), r)
+			ckt.OA(p("OP3"), "0", p("cn"), p("v"))
+			chain = append(chain, p("OP1"), p("OP2"))
+			// OP3 appended below with the common path.
+			prev = p("v")
+			chain = append(chain, p("OP3"))
+			continue
+		}
+		chain = append(chain, p("OP"))
+		prev = p("v")
+	}
+	ckt.Input, ckt.Output = "in", prev
+	return &circuits.Bench{
+		Circuit:     ckt,
+		Chain:       chain,
+		Description: fmt.Sprintf("random active-RC cascade (seed %d, %d stages)", spec.Seed, spec.Stages),
+	}, nil
+}

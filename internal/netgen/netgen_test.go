@@ -1,0 +1,117 @@
+package netgen
+
+import (
+	"errors"
+	"testing"
+
+	"analogdft/internal/analysis"
+	"analogdft/internal/boolexpr"
+	"analogdft/internal/core"
+	"analogdft/internal/detect"
+	"analogdft/internal/dft"
+	"analogdft/internal/fault"
+	"analogdft/internal/mna"
+)
+
+func TestSpecValidate(t *testing.T) {
+	if err := (Spec{Stages: 0}).Validate(); !errors.Is(err, ErrBadSpec) {
+		t.Error("zero stages accepted")
+	}
+	if err := (Spec{Stages: 2, F0Lo: 10, F0Hi: 5}).Validate(); !errors.Is(err, ErrBadSpec) {
+		t.Error("inverted corners accepted")
+	}
+	if err := (Spec{Stages: 2}).Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a, err := Random(Spec{Stages: 3, Seed: 42, AllowBiquad: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Random(Spec{Stages: 3, Seed: 42, AllowBiquad: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Circuit.Components()) != len(b.Circuit.Components()) {
+		t.Fatal("same seed produced different circuits")
+	}
+	for i, comp := range a.Circuit.Components() {
+		if comp.Name() != b.Circuit.Components()[i].Name() {
+			t.Fatal("component order differs")
+		}
+	}
+}
+
+func TestRandomCircuitsAreValidAndSolvable(t *testing.T) {
+	for seed := int64(1); seed <= 30; seed++ {
+		b, err := Random(Spec{Stages: 1 + int(seed%4), Seed: seed, AllowBiquad: seed%3 == 0})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := b.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if _, err := mna.TransferAt(b.Circuit, 1e3); err != nil {
+			t.Fatalf("seed %d: solve: %v", seed, err)
+		}
+		if len(b.Chain) == 0 {
+			t.Fatalf("seed %d: empty chain", seed)
+		}
+	}
+}
+
+// Pipeline fuzz: the complete flow — fault universe, DFT application,
+// matrix construction, optimization — must succeed (or fail cleanly with a
+// region error for corner cases) on random circuits, and when it succeeds
+// the optimized candidate must achieve the matrix's maximum coverage.
+func TestPipelineFuzz(t *testing.T) {
+	opts := detect.Options{
+		Points: 31,
+		Region: analysis.Region{LoHz: 100, HiHz: 1e6},
+	}
+	ran := 0
+	for seed := int64(1); seed <= 20; seed++ {
+		bench, err := Random(Spec{Stages: 1 + int(seed%3), Seed: seed, AllowBiquad: seed%4 == 0})
+		if err != nil {
+			t.Fatalf("seed %d: generate: %v", seed, err)
+		}
+		faults := fault.DeviationUniverse(bench.Circuit, 0.2)
+		m, err := dft.Apply(bench.Circuit, bench.Chain)
+		if err != nil {
+			t.Fatalf("seed %d: dft: %v", seed, err)
+		}
+		mx, err := detect.BuildMatrix(m, faults, opts)
+		if err != nil {
+			t.Fatalf("seed %d: matrix: %v", seed, err)
+		}
+		res, err := core.Optimize(mx, bench.Chain, core.ConfigCountCost)
+		if err != nil {
+			// Petrick blowups are conceivable on wide chains; everything
+			// else is a bug.
+			if errors.Is(err, boolexpr.ErrTooLarge) {
+				continue
+			}
+			t.Fatalf("seed %d: optimize: %v", seed, err)
+		}
+		if res.Best == nil {
+			t.Fatalf("seed %d: no best candidate", seed)
+		}
+		if res.Best.Coverage != res.MaxCoverage {
+			t.Fatalf("seed %d: best coverage %g < max %g", seed, res.Best.Coverage, res.MaxCoverage)
+		}
+		// Cross-check against the exact set-cover solver.
+		exact, err := core.ExactMinSolution(mx, bench.Chain)
+		if err != nil {
+			t.Fatalf("seed %d: exact: %v", seed, err)
+		}
+		if exact.NumConfigs != res.Best.NumConfigs {
+			t.Fatalf("seed %d: Petrick minimal %d != exact cover %d", seed, res.Best.NumConfigs, exact.NumConfigs)
+		}
+		ran++
+	}
+	if ran < 15 {
+		t.Fatalf("only %d of 20 fuzz cases completed", ran)
+	}
+}

@@ -1,0 +1,390 @@
+// Package numeric provides the dense complex linear algebra used by the
+// MNA (Modified Nodal Analysis) engine: matrices over complex128, LU
+// factorization with partial pivoting, linear solves, determinants, norms
+// and a cheap condition estimate.
+//
+// The matrices arising from small-signal analysis of RC-opamp networks are
+// small (tens of unknowns) and dense once opamp constraint rows are added,
+// so a straightforward dense implementation is both simple and fast enough:
+// a full frequency sweep of a fault universe factors a few thousand
+// matrices of this size per circuit.
+package numeric
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+	"strings"
+)
+
+// ErrSingular is returned when a factorization or solve encounters a
+// numerically singular matrix (a pivot below the singularity threshold).
+// In circuit terms this usually means a floating node or a contradictory
+// constraint set (e.g. two ideal voltage constraints fighting over a node).
+var ErrSingular = errors.New("numeric: singular matrix")
+
+// ErrShape is returned when operand dimensions are incompatible.
+var ErrShape = errors.New("numeric: incompatible shapes")
+
+// PivotTolerance is the absolute magnitude below which a pivot is treated
+// as zero during LU factorization. MNA stamps are O(1/R) to O(ωC) so values
+// far below this are structurally-zero rows rather than tiny conductances.
+const PivotTolerance = 1e-13
+
+// Matrix is a dense, row-major complex matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []complex128 // len == Rows*Cols, row-major
+}
+
+// NewMatrix returns a zeroed r×c matrix.
+func NewMatrix(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("numeric: negative dimension %dx%d", r, c))
+	}
+	return &Matrix{Rows: r, Cols: c, Data: make([]complex128, r*c)}
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// FromRows builds a matrix from row slices; all rows must share a length.
+func FromRows(rows [][]complex128) (*Matrix, error) {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0), nil
+	}
+	c := len(rows[0])
+	m := NewMatrix(len(rows), c)
+	for i, row := range rows {
+		if len(row) != c {
+			return nil, fmt.Errorf("%w: row %d has %d columns, want %d", ErrShape, i, len(row), c)
+		}
+		copy(m.Data[i*c:(i+1)*c], row)
+	}
+	return m, nil
+}
+
+// At returns element (i,j).
+func (m *Matrix) At(i, j int) complex128 {
+	m.check(i, j)
+	return m.Data[i*m.Cols+j]
+}
+
+// Set assigns element (i,j).
+func (m *Matrix) Set(i, j int, v complex128) {
+	m.check(i, j)
+	m.Data[i*m.Cols+j] = v
+}
+
+// Add accumulates v into element (i,j). This is the fundamental "stamp"
+// operation used by the MNA engine.
+func (m *Matrix) Add(i, j int, v complex128) {
+	m.check(i, j)
+	m.Data[i*m.Cols+j] += v
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("numeric: index (%d,%d) out of range for %dx%d matrix", i, j, m.Rows, m.Cols))
+	}
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero resets every element to 0, retaining the backing storage.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Row returns a view (not a copy) of row i.
+func (m *Matrix) Row(i int) []complex128 {
+	if i < 0 || i >= m.Rows {
+		panic(fmt.Sprintf("numeric: row %d out of range for %dx%d matrix", i, m.Rows, m.Cols))
+	}
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// Mul returns m·b.
+func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
+	if m.Cols != b.Rows {
+		return nil, fmt.Errorf("%w: %dx%d · %dx%d", ErrShape, m.Rows, m.Cols, b.Rows, b.Cols)
+	}
+	out := NewMatrix(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		mrow := m.Row(i)
+		orow := out.Row(i)
+		for k := 0; k < m.Cols; k++ {
+			a := mrow[k]
+			if a == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j := 0; j < b.Cols; j++ {
+				orow[j] += a * brow[j]
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns m·x for a vector x of length m.Cols.
+func (m *Matrix) MulVec(x []complex128) ([]complex128, error) {
+	if m.Cols != len(x) {
+		return nil, fmt.Errorf("%w: %dx%d · vec(%d)", ErrShape, m.Rows, m.Cols, len(x))
+	}
+	out := make([]complex128, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		var s complex128
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Transpose returns the (non-conjugated) transpose.
+func (m *Matrix) Transpose() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// MaxAbs returns the largest element magnitude.
+func (m *Matrix) MaxAbs() float64 {
+	max := 0.0
+	for _, v := range m.Data {
+		if a := cmplx.Abs(v); a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// NormInf returns the infinity norm (max absolute row sum).
+func (m *Matrix) NormInf() float64 {
+	max := 0.0
+	for i := 0; i < m.Rows; i++ {
+		s := 0.0
+		for _, v := range m.Row(i) {
+			s += cmplx.Abs(v)
+		}
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%dx%d [\n", m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		b.WriteString("  ")
+		for j := 0; j < m.Cols; j++ {
+			v := m.At(i, j)
+			fmt.Fprintf(&b, "(%9.3g%+9.3gi) ", real(v), imag(v))
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+// Equalish reports whether two matrices agree element-wise within tol.
+func (m *Matrix) Equalish(b *Matrix, tol float64) bool {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		return false
+	}
+	for i, v := range m.Data {
+		if cmplx.Abs(v-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// LU is an LU factorization with partial pivoting: P·A = L·U packed into a
+// single matrix (unit diagonal of L implicit).
+type LU struct {
+	lu    *Matrix
+	pivot []int // row permutation
+	sign  int   // permutation parity, for determinant
+}
+
+// Factor computes the LU factorization of a square matrix A. A is not
+// modified. Returns ErrSingular when a pivot below PivotTolerance is met,
+// wrapped with the offending column for diagnosis.
+func Factor(a *Matrix) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("%w: cannot factor %dx%d", ErrShape, a.Rows, a.Cols)
+	}
+	n := a.Rows
+	lu := a.Clone()
+	pivot := make([]int, n)
+	sign := 1
+	for k := 0; k < n; k++ {
+		// Find pivot: largest magnitude in column k at or below the diagonal.
+		p, best := k, cmplx.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if a := cmplx.Abs(lu.At(i, k)); a > best {
+				p, best = i, a
+			}
+		}
+		if best < PivotTolerance {
+			return nil, fmt.Errorf("%w: pivot %.3g at column %d", ErrSingular, best, k)
+		}
+		pivot[k] = p
+		if p != k {
+			rp, rk := lu.Row(p), lu.Row(k)
+			for j := 0; j < n; j++ {
+				rp[j], rk[j] = rk[j], rp[j]
+			}
+			sign = -sign
+		}
+		d := lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			l := lu.At(i, k) / d
+			lu.Set(i, k, l)
+			if l == 0 {
+				continue
+			}
+			ri, rk := lu.Row(i), lu.Row(k)
+			for j := k + 1; j < n; j++ {
+				ri[j] -= l * rk[j]
+			}
+		}
+	}
+	return &LU{lu: lu, pivot: pivot, sign: sign}, nil
+}
+
+// N returns the dimension of the factored system.
+func (f *LU) N() int { return f.lu.Rows }
+
+// Solve solves A·x = b for one right-hand side. b is not modified.
+func (f *LU) Solve(b []complex128) ([]complex128, error) {
+	n := f.N()
+	if len(b) != n {
+		return nil, fmt.Errorf("%w: rhs length %d, want %d", ErrShape, len(b), n)
+	}
+	x := make([]complex128, n)
+	copy(x, b)
+	// Apply permutation.
+	for k := 0; k < n; k++ {
+		if p := f.pivot[k]; p != k {
+			x[k], x[p] = x[p], x[k]
+		}
+	}
+	// Forward substitution (L has unit diagonal).
+	for i := 1; i < n; i++ {
+		row := f.lu.Row(i)
+		var s complex128
+		for j := 0; j < i; j++ {
+			s += row[j] * x[j]
+		}
+		x[i] -= s
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		row := f.lu.Row(i)
+		var s complex128
+		for j := i + 1; j < n; j++ {
+			s += row[j] * x[j]
+		}
+		x[i] = (x[i] - s) / row[i]
+	}
+	return x, nil
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() complex128 {
+	d := complex(float64(f.sign), 0)
+	for i := 0; i < f.N(); i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// Solve factors A and solves A·x = b in one call.
+func Solve(a *Matrix, b []complex128) ([]complex128, error) {
+	f, err := Factor(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// Inverse returns A⁻¹ (column-by-column solve); intended for tests and
+// small diagnostics, not the hot path.
+func Inverse(a *Matrix) (*Matrix, error) {
+	f, err := Factor(a)
+	if err != nil {
+		return nil, err
+	}
+	n := f.N()
+	inv := NewMatrix(n, n)
+	e := make([]complex128, n)
+	for j := 0; j < n; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		col, err := f.Solve(e)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			inv.Set(i, j, col[i])
+		}
+	}
+	return inv, nil
+}
+
+// ConditionEstimate returns a cheap lower-bound estimate of the infinity-norm
+// condition number κ∞(A) ≈ ‖A‖∞·‖A⁻¹‖∞, computed via the explicit inverse.
+// Used by diagnostics to flag nearly-singular test configurations.
+func ConditionEstimate(a *Matrix) (float64, error) {
+	inv, err := Inverse(a)
+	if err != nil {
+		return math.Inf(1), err
+	}
+	return a.NormInf() * inv.NormInf(), nil
+}
+
+// Residual returns ‖A·x − b‖∞, a direct accuracy check for solves.
+func Residual(a *Matrix, x, b []complex128) (float64, error) {
+	ax, err := a.MulVec(x)
+	if err != nil {
+		return 0, err
+	}
+	if len(b) != len(ax) {
+		return 0, fmt.Errorf("%w: rhs length %d, want %d", ErrShape, len(b), len(ax))
+	}
+	max := 0.0
+	for i := range ax {
+		if r := cmplx.Abs(ax[i] - b[i]); r > max {
+			max = r
+		}
+	}
+	return max, nil
+}

@@ -1,0 +1,61 @@
+package paperdata
+
+import (
+	"strings"
+
+	"analogdft/internal/analysis"
+	"analogdft/internal/detect"
+	"analogdft/internal/dft"
+	"analogdft/internal/fault"
+)
+
+// placeholderRegion stands in for the paper's (unpublished) Ω_reference;
+// the §4 derivations never read it.
+var placeholderRegion = analysis.Region{LoHz: 1e2, HiHz: 1e6}
+
+// Faults returns the paper's fault list as fault.Fault values (+20%
+// deviations on R1..R6, C1, C2).
+func Faults() fault.List {
+	var out fault.List
+	for _, id := range FaultIDs {
+		out = append(out, fault.Fault{
+			ID:        id,
+			Component: strings.TrimPrefix(id, "f"),
+			Kind:      fault.Deviation,
+			Factor:    1.2,
+		})
+	}
+	return out
+}
+
+// Matrix wraps Figure 5 + Table 2 as a detect.Matrix: rows C0..C6 of the
+// fully DFT-modified biquadratic filter.
+func Matrix() *detect.Matrix {
+	mx := &detect.Matrix{
+		Source: "paper-biquad (published data)",
+		Faults: Faults(),
+		Region: placeholderRegion,
+	}
+	for i := range Fig5Det {
+		mx.Configs = append(mx.Configs, dft.Configuration{Index: i, N: 3})
+		mx.Det = append(mx.Det, append([]bool(nil), Fig5Det[i]...))
+		mx.Omega = append(mx.Omega, append([]float64(nil), Table2Omega[i]...))
+	}
+	return mx
+}
+
+// PartialMatrix wraps Table 4 as a detect.Matrix: the four configurations
+// of the partial-DFT circuit (configurable OP1, OP2).
+func PartialMatrix() *detect.Matrix {
+	mx := &detect.Matrix{
+		Source: "paper-biquad partial DFT (published data)",
+		Faults: Faults(),
+		Region: placeholderRegion,
+	}
+	for i := range Table4Omega {
+		mx.Configs = append(mx.Configs, dft.Configuration{Index: i, N: 2})
+		mx.Det = append(mx.Det, append([]bool(nil), Table4Det[i]...))
+		mx.Omega = append(mx.Omega, append([]float64(nil), Table4Omega[i]...))
+	}
+	return mx
+}

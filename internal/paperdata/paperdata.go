@@ -1,0 +1,141 @@
+// Package paperdata embeds the measurement data published in the paper
+// (Renovell, Azaïs, Bertrand, DATE 1998) as ground-truth fixtures:
+//
+//   - Figure 5 — the fault detectability matrix of the DFT-modified
+//     biquadratic filter, configurations C0..C6 × faults fR1..fC2;
+//   - Table 2  — the ω-detectability table for the same grid;
+//   - Table 4  — the ω-detectability table of the partial-DFT circuit
+//     (configurable OP1, OP2; classical OP3);
+//   - the headline §4/§5 results derived from them.
+//
+// The optimization pipeline of §4 is a deterministic function of these
+// matrices, so running internal/core on this data must reproduce every
+// number in §4 exactly; tests and the paperrepro command rely on that.
+package paperdata
+
+// FaultIDs are the eight soft faults of the paper's fault list: 20%
+// deviations on each passive component of the biquadratic filter.
+var FaultIDs = []string{"fR1", "fR2", "fR3", "fR4", "fR5", "fR6", "fC1", "fC2"}
+
+// ConfigLabels are the seven usable configurations (C7, the transparent
+// configuration, is excluded from the passive-fault study).
+var ConfigLabels = []string{"C0", "C1", "C2", "C3", "C4", "C5", "C6"}
+
+// OpampNames are the three opamps of the biquadratic filter in chain
+// order; configuration index bit i corresponds to OpampNames[i] in
+// follower mode (Table 1 / Table 3 of the paper).
+var OpampNames = []string{"OP1", "OP2", "OP3"}
+
+// Fig5Det is the fault detectability matrix of Figure 5:
+// Fig5Det[i][j] == true iff fault FaultIDs[j] is detectable in
+// configuration Ci.
+var Fig5Det = [][]bool{
+	//         fR1    fR2    fR3    fR4    fR5    fR6    fC1    fC2
+	/* C0 */ {true, false, false, true, false, false, false, false},
+	/* C1 */ {false, false, true, false, true, true, false, true},
+	/* C2 */ {true, true, false, true, true, true, true, false},
+	/* C3 */ {false, false, false, false, true, true, false, false},
+	/* C4 */ {true, true, true, true, true, false, false, false},
+	/* C5 */ {false, false, true, false, false, false, false, true},
+	/* C6 */ {true, true, false, true, false, false, false, false},
+}
+
+// Table2Omega is the ω-detectability table (Table 2), in percent.
+var Table2Omega = [][]float64{
+	//        fR1 fR2 fR3 fR4 fR5  fR6  fC1 fC2
+	/* C0 */ {54, 0, 0, 46, 0, 0, 0, 0},
+	/* C1 */ {0, 0, 30, 0, 30, 30, 0, 30},
+	/* C2 */ {30, 30, 0, 30, 30, 30, 30, 0},
+	/* C3 */ {0, 0, 0, 0, 100, 100, 0, 0},
+	/* C4 */ {14, 70, 70, 70, 70, 0, 0, 0},
+	/* C5 */ {0, 0, 40, 0, 0, 0, 0, 40},
+	/* C6 */ {66, 40, 0, 40, 0, 0, 0, 0},
+}
+
+// Table4Labels are the partial-DFT configuration vectors of Table 4 in the
+// paper's "sel1 sel2 -" notation (OP3 is not configurable).
+var Table4Labels = []string{"C0(00-)", "C1(10-)", "C2(01-)", "C3(11-)"}
+
+// Table4Omega is the ω-detectability table of the partial-DFT circuit
+// (Table 4), in percent. Rows are the four configurations reachable with
+// configurable OP1 and OP2.
+var Table4Omega = [][]float64{
+	//        fR1 fR2 fR3 fR4 fR5  fR6  fC1 fC2
+	/* 00- */ {54, 0, 0, 46, 0, 0, 0, 0},
+	/* 10- */ {0, 0, 30, 0, 30, 30, 0, 30},
+	/* 01- */ {30, 30, 0, 30, 30, 30, 30, 0},
+	/* 11- */ {0, 0, 0, 0, 100, 100, 0, 0},
+}
+
+// Table4Det is the boolean detectability implied by Table 4 (ω-det > 0).
+var Table4Det = func() [][]bool {
+	out := make([][]bool, len(Table4Omega))
+	for i, row := range Table4Omega {
+		out[i] = make([]bool, len(row))
+		for j, w := range row {
+			out[i][j] = w > 0
+		}
+	}
+	return out
+}()
+
+// Published §2–§5 headline results.
+const (
+	// InitialFaultCoverage: only fR1 and fR4 detectable without DFT (§2).
+	InitialFaultCoverage = 0.25
+	// DFTFaultCoverage: every fault detectable with the DFT (§3.2).
+	DFTFaultCoverage = 1.0
+	// InitialAvgOmegaDet: ⟨ω-det⟩ of the initial filter (Graph 1).
+	InitialAvgOmegaDet = 12.5
+	// BruteForceAvgOmegaDet: best-case ⟨ω-det⟩ over C0..C6 (Graph 2).
+	BruteForceAvgOmegaDet = 68.25 // printed as 68.3% in the paper
+	// OptimizedAvgOmegaDet: ⟨ω-det⟩ of the optimal 2-configuration set
+	// {C2, C5} (§4.2).
+	OptimizedAvgOmegaDet = 32.5
+	// AlternativeAvgOmegaDet: ⟨ω-det⟩ of the other minimal set {C1, C2}.
+	AlternativeAvgOmegaDet = 30.0
+	// PartialDFTAvgOmegaDet: best-case ⟨ω-det⟩ of the partial DFT using
+	// all four configurations of Table 4 (§4.3 / Graph 4).
+	PartialDFTAvgOmegaDet = 52.5
+)
+
+// EssentialConfig is the unique essential configuration of §4.1.
+const EssentialConfig = "C2"
+
+// MinimalConfigSets are the two minimal test-configuration sets of §4.2.
+var MinimalConfigSets = [][]string{{"C1", "C2"}, {"C2", "C5"}}
+
+// OptimalConfigSet is the §4.2 winner after the 3rd-order ω-detectability
+// tie-break.
+var OptimalConfigSet = []string{"C2", "C5"}
+
+// OptimalOpampSet is the §4.3 partial-DFT solution: configurable OP1 and
+// OP2, classical OP3.
+var OptimalOpampSet = []string{"OP1", "OP2"}
+
+// XiSOPTermsPaper lists the product terms of the ξ sum-of-products
+// expression exactly as printed in §4.1 (before absorption):
+// ξ = C1·C2 + C1·C2·C5 + C1·C2·C4 + C2·C4·C5 + C2·C5.
+var XiSOPTermsPaper = [][]string{
+	{"C1", "C2"},
+	{"C1", "C2", "C5"},
+	{"C1", "C2", "C4"},
+	{"C2", "C4", "C5"},
+	{"C2", "C5"},
+}
+
+// XiSOPTermsAbsorbed is the same expression after absorption — the
+// canonical form produced by Petrick's method with absorption.
+var XiSOPTermsAbsorbed = [][]string{{"C1", "C2"}, {"C2", "C5"}}
+
+// OpampMapping is Table 3: configuration → opamps in follower mode.
+var OpampMapping = map[string][]string{
+	"C0": {},
+	"C1": {"OP1"},
+	"C2": {"OP2"},
+	"C3": {"OP1", "OP2"},
+	"C4": {"OP3"},
+	"C5": {"OP1", "OP3"},
+	"C6": {"OP2", "OP3"},
+	"C7": {"OP1", "OP2", "OP3"},
+}

@@ -1,0 +1,254 @@
+package paperdata
+
+import (
+	"math"
+	"testing"
+)
+
+func TestShapes(t *testing.T) {
+	if len(FaultIDs) != 8 || len(ConfigLabels) != 7 || len(OpampNames) != 3 {
+		t.Fatal("fixture shapes")
+	}
+	if len(Fig5Det) != 7 || len(Table2Omega) != 7 || len(Table4Omega) != 4 {
+		t.Fatal("matrix row counts")
+	}
+	for i := range Fig5Det {
+		if len(Fig5Det[i]) != 8 || len(Table2Omega[i]) != 8 {
+			t.Fatalf("row %d width", i)
+		}
+	}
+	for i := range Table4Omega {
+		if len(Table4Omega[i]) != 8 || len(Table4Det[i]) != 8 {
+			t.Fatalf("table 4 row %d width", i)
+		}
+	}
+}
+
+// The detectability matrix and ω-det table must be mutually consistent:
+// d[i][j] ⇔ ω[i][j] > 0.
+func TestFig5ConsistentWithTable2(t *testing.T) {
+	for i := range Fig5Det {
+		for j := range Fig5Det[i] {
+			if Fig5Det[i][j] != (Table2Omega[i][j] > 0) {
+				t.Errorf("(%s, %s): det=%v but ω=%g",
+					ConfigLabels[i], FaultIDs[j], Fig5Det[i][j], Table2Omega[i][j])
+			}
+		}
+	}
+}
+
+// Table 4 rows must match the corresponding Table 2 rows: the partial-DFT
+// configurations 00-, 10-, 01-, 11- emulate the same networks as the full
+// DFT configurations C0, C1, C2, C3.
+func TestTable4RowsComeFromTable2(t *testing.T) {
+	for i := 0; i < 4; i++ {
+		for j := range Table4Omega[i] {
+			if Table4Omega[i][j] != Table2Omega[i][j] {
+				t.Errorf("row %d col %d: %g vs %g", i, j, Table4Omega[i][j], Table2Omega[i][j])
+			}
+		}
+	}
+}
+
+func TestHeadlineAverages(t *testing.T) {
+	// Graph 1: initial ⟨ω-det⟩ from row C0 of Table 2.
+	s := 0.0
+	for _, w := range Table2Omega[0] {
+		s += w
+	}
+	if got := s / 8; math.Abs(got-InitialAvgOmegaDet) > 1e-9 {
+		t.Errorf("initial ⟨ω-det⟩ = %g, want %g", got, InitialAvgOmegaDet)
+	}
+	// Graph 2: best case over all configurations.
+	s = 0
+	for j := 0; j < 8; j++ {
+		best := 0.0
+		for i := 0; i < 7; i++ {
+			if Table2Omega[i][j] > best {
+				best = Table2Omega[i][j]
+			}
+		}
+		s += best
+	}
+	if got := s / 8; math.Abs(got-BruteForceAvgOmegaDet) > 1e-9 {
+		t.Errorf("brute-force ⟨ω-det⟩ = %g, want %g", got, BruteForceAvgOmegaDet)
+	}
+	// §4.2: {C2, C5} and {C1, C2}.
+	avgOf := func(rows ...int) float64 {
+		s := 0.0
+		for j := 0; j < 8; j++ {
+			best := 0.0
+			for _, i := range rows {
+				if Table2Omega[i][j] > best {
+					best = Table2Omega[i][j]
+				}
+			}
+			s += best
+		}
+		return s / 8
+	}
+	if got := avgOf(2, 5); math.Abs(got-OptimizedAvgOmegaDet) > 1e-9 {
+		t.Errorf("{C2,C5} ⟨ω-det⟩ = %g, want %g", got, OptimizedAvgOmegaDet)
+	}
+	if got := avgOf(1, 2); math.Abs(got-AlternativeAvgOmegaDet) > 1e-9 {
+		t.Errorf("{C1,C2} ⟨ω-det⟩ = %g, want %g", got, AlternativeAvgOmegaDet)
+	}
+	// §4.3: partial DFT best case over Table 4.
+	s = 0
+	for j := 0; j < 8; j++ {
+		best := 0.0
+		for i := 0; i < 4; i++ {
+			if Table4Omega[i][j] > best {
+				best = Table4Omega[i][j]
+			}
+		}
+		s += best
+	}
+	if got := s / 8; math.Abs(got-PartialDFTAvgOmegaDet) > 1e-9 {
+		t.Errorf("partial ⟨ω-det⟩ = %g, want %g", got, PartialDFTAvgOmegaDet)
+	}
+}
+
+func TestInitialCoverageFromRowC0(t *testing.T) {
+	n := 0
+	for _, d := range Fig5Det[0] {
+		if d {
+			n++
+		}
+	}
+	if got := float64(n) / 8; got != InitialFaultCoverage {
+		t.Errorf("initial coverage = %g, want %g", got, InitialFaultCoverage)
+	}
+}
+
+func TestDFTCoverageIsFull(t *testing.T) {
+	for j := 0; j < 8; j++ {
+		any := false
+		for i := 0; i < 7; i++ {
+			if Fig5Det[i][j] {
+				any = true
+				break
+			}
+		}
+		if !any {
+			t.Errorf("fault %s not covered by any configuration", FaultIDs[j])
+		}
+	}
+}
+
+func TestOpampMappingMatchesBits(t *testing.T) {
+	// Table 3 must equal the bit decomposition of the configuration index.
+	for idx := 0; idx < 8; idx++ {
+		label := ConfigLabels[0][:1] + string(rune('0'+idx))
+		want := OpampMapping[label]
+		var got []string
+		for b := 0; b < 3; b++ {
+			if idx&(1<<b) != 0 {
+				got = append(got, OpampNames[b])
+			}
+		}
+		if len(got) != len(want) {
+			t.Errorf("%s: %v vs %v", label, got, want)
+			continue
+		}
+		for k := range got {
+			if got[k] != want[k] {
+				t.Errorf("%s: %v vs %v", label, got, want)
+			}
+		}
+	}
+}
+
+func TestPaperSOPAbsorbsToCanonical(t *testing.T) {
+	// Every absorbed term must appear in the paper's unabsorbed list, and
+	// every paper term must be a superset of some absorbed term.
+	contains := func(term []string, lit string) bool {
+		for _, l := range term {
+			if l == lit {
+				return true
+			}
+		}
+		return false
+	}
+	superset := func(sup, sub []string) bool {
+		for _, l := range sub {
+			if !contains(sup, l) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, a := range XiSOPTermsAbsorbed {
+		found := false
+		for _, p := range XiSOPTermsPaper {
+			if len(p) == len(a) && superset(p, a) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("absorbed term %v not printed in the paper", a)
+		}
+	}
+	for _, p := range XiSOPTermsPaper {
+		found := false
+		for _, a := range XiSOPTermsAbsorbed {
+			if superset(p, a) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("paper term %v not absorbed by any canonical term", p)
+		}
+	}
+}
+
+func TestMatrixWrapper(t *testing.T) {
+	mx := Matrix()
+	if mx.NumConfigs() != 7 || mx.NumFaults() != 8 {
+		t.Fatalf("matrix shape %dx%d", mx.NumConfigs(), mx.NumFaults())
+	}
+	if mx.FaultCoverage() != 1 {
+		t.Fatal("published matrix must reach full coverage")
+	}
+	if mx.Det[2][6] != true { // C2 detects fC1
+		t.Fatal("C2/fC1 cell")
+	}
+	if mx.Omega[3][4] != 100 { // C3/fR5
+		t.Fatal("C3/fR5 cell")
+	}
+	// Wrapper copies: mutating the matrix must not corrupt the fixtures.
+	mx.Det[0][0] = false
+	mx.Omega[0][0] = -1
+	if !Fig5Det[0][0] || Table2Omega[0][0] != 54 {
+		t.Fatal("fixtures aliased by Matrix()")
+	}
+}
+
+func TestPartialMatrixWrapper(t *testing.T) {
+	mx := PartialMatrix()
+	if mx.NumConfigs() != 4 || mx.NumFaults() != 8 {
+		t.Fatalf("partial shape %dx%d", mx.NumConfigs(), mx.NumFaults())
+	}
+	if mx.FaultCoverage() != 1 {
+		t.Fatal("partial matrix coverage")
+	}
+	for i, cfg := range mx.Configs {
+		if cfg.Index != i || cfg.N != 2 {
+			t.Fatalf("config %d = %+v", i, cfg)
+		}
+	}
+}
+
+func TestFaultsFixture(t *testing.T) {
+	faults := Faults()
+	if len(faults) != 8 {
+		t.Fatalf("faults = %d", len(faults))
+	}
+	if err := faults.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	f, ok := faults.ByID("fR3")
+	if !ok || f.Component != "R3" || f.Factor != 1.2 {
+		t.Fatalf("fR3 = %+v", f)
+	}
+}

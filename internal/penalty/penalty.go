@@ -1,0 +1,226 @@
+// Package penalty models the costs of the multi-configuration DFT that
+// motivate the paper's §4.3 optimization: configurable opamps carry analog
+// switches [14] that add series resistance and shave opamp bandwidth
+// (performance degradation), and they cost silicon area for the switches
+// and selection-line routing. The package quantifies both so that the
+// full-DFT vs partial-DFT trade-off can be measured instead of asserted.
+//
+// Degradation is measured physically: the DFT-modified circuit in its
+// functional configuration is re-simulated with the switch parasitics in
+// place and compared against the original circuit's response. With ideal
+// opamps the feedback loop nulls the parasitics perfectly, so the
+// analysis converts to (or requires) the single-pole opamp model, where
+// finite loop gain lets the parasitics show at high frequency — exactly
+// the mechanism in a real implementation.
+package penalty
+
+import (
+	"errors"
+	"fmt"
+
+	"analogdft/internal/analysis"
+	"analogdft/internal/circuit"
+)
+
+// ErrBadModel is returned for invalid switch/area model parameters.
+var ErrBadModel = errors.New("penalty: bad model")
+
+// SwitchModel describes the parasitics a configurable opamp adds in the
+// functional (normal) mode.
+type SwitchModel struct {
+	// OutputOhms is the series resistance of the output mux switch,
+	// inserted between the opamp output and the node it drove (inside the
+	// feedback loop, as in [14]).
+	OutputOhms float64
+	// PoleFactor scales the opamp's open-loop pole (and hence GBW) to
+	// model the extra load of the switch network (e.g. 0.8 for a 20%
+	// bandwidth loss). 0 or 1 means no bandwidth penalty.
+	PoleFactor float64
+}
+
+// Validate checks the model.
+func (m SwitchModel) Validate() error {
+	if m.OutputOhms < 0 {
+		return fmt.Errorf("%w: negative switch resistance %g", ErrBadModel, m.OutputOhms)
+	}
+	if m.PoleFactor < 0 || m.PoleFactor > 1 {
+		return fmt.Errorf("%w: pole factor %g outside (0, 1]", ErrBadModel, m.PoleFactor)
+	}
+	return nil
+}
+
+// DefaultSwitchModel is a plausible CMOS transmission-gate budget:
+// 200 Ω on-resistance and a 10% GBW loss.
+var DefaultSwitchModel = SwitchModel{OutputOhms: 200, PoleFactor: 0.9}
+
+// switchResistorName names the inserted parasitic for an opamp.
+func switchResistorName(op string) string { return "_RSW_" + op }
+
+// switchNodeName names the spliced raw-output node for an opamp.
+func switchNodeName(op string) string { return op + "__sw" }
+
+// ApplyDegradation returns a copy of the circuit in which each named
+// opamp carries the switch parasitics: its output is rerouted through a
+// series switch resistance, and (for single-pole opamps) its pole is
+// scaled by PoleFactor. Opamps must exist; duplicates are rejected.
+func ApplyDegradation(ckt *circuit.Circuit, opamps []string, m SwitchModel) (*circuit.Circuit, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	out := ckt.Clone()
+	seen := make(map[string]bool, len(opamps))
+	for _, name := range opamps {
+		if seen[name] {
+			return nil, fmt.Errorf("%w: duplicate opamp %q", ErrBadModel, name)
+		}
+		seen[name] = true
+		comp, ok := out.Component(name)
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", circuit.ErrUnknownName, name)
+		}
+		op, ok := comp.(*circuit.Opamp)
+		if !ok {
+			return nil, fmt.Errorf("%w: %q is not an opamp", ErrBadModel, name)
+		}
+		if m.OutputOhms > 0 {
+			raw := switchNodeName(name)
+			orig := op.Out
+			op.Out = raw
+			if err := out.Add(&circuit.Resistor{
+				Label: switchResistorName(name),
+				A:     raw, B: orig,
+				Ohms: m.OutputOhms,
+			}); err != nil {
+				return nil, err
+			}
+		}
+		if m.PoleFactor > 0 && m.PoleFactor != 1 && op.Model == circuit.ModelSinglePole {
+			op.PoleHz *= m.PoleFactor
+		}
+	}
+	out.Name = ckt.Name + "+switches"
+	return out, nil
+}
+
+// DegradationFloor is the measurement floor used by Degradation, relative
+// to the response peak: deviations in regions more than 60 dB below the
+// passband are not a meaningful performance spec and are excluded (the
+// relative deviation of a ~zero against a ~zero otherwise dominates the
+// metric).
+const DegradationFloor = 1e-3
+
+// Degradation measures the performance impact of a modification: the
+// maximum relative deviation |ΔT/T| between the original and modified
+// circuits' responses over the region (points grid samples), above the
+// DegradationFloor. This is the same metric the detectability analysis
+// uses for faults — here the "fault" is the DFT hardware itself.
+func Degradation(original, modified *circuit.Circuit, region analysis.Region, points int) (float64, error) {
+	if err := region.Validate(); err != nil {
+		return 0, err
+	}
+	if points < 2 {
+		points = 121
+	}
+	grid := region.Spec(points).Grid()
+	ref, err := analysis.SweepOnGrid(original, grid)
+	if err != nil {
+		return 0, err
+	}
+	mod, err := analysis.SweepOnGrid(modified, grid)
+	if err != nil {
+		return 0, err
+	}
+	prof, err := analysis.RelativeDeviation(ref, mod, DegradationFloor)
+	if err != nil {
+		return 0, err
+	}
+	return prof.MaxRel(), nil
+}
+
+// AreaModel prices the DFT silicon overhead in normalized opamp-area
+// units.
+type AreaModel struct {
+	// OpampArea is the area of one classical opamp (the unit).
+	OpampArea float64
+	// ConfigurableExtra is the extra area of one configurable opamp as a
+	// fraction of OpampArea (switches, test-input routing).
+	ConfigurableExtra float64
+	// ControlPerLine is the area per selection line (driver + routing) as
+	// a fraction of OpampArea.
+	ControlPerLine float64
+}
+
+// Validate checks the model.
+func (m AreaModel) Validate() error {
+	if m.OpampArea <= 0 || m.ConfigurableExtra < 0 || m.ControlPerLine < 0 {
+		return fmt.Errorf("%w: area model %+v", ErrBadModel, m)
+	}
+	return nil
+}
+
+// DefaultAreaModel reflects the duplicated-input-stage implementation
+// [15]: ≈30% extra per configurable opamp, 5% per selection line.
+var DefaultAreaModel = AreaModel{OpampArea: 1, ConfigurableExtra: 0.30, ControlPerLine: 0.05}
+
+// Overhead returns the total DFT area overhead for nConfigurable
+// configurable opamps, in units of OpampArea.
+func (m AreaModel) Overhead(nConfigurable int) float64 {
+	if nConfigurable <= 0 {
+		return 0
+	}
+	return float64(nConfigurable) * m.OpampArea * (m.ConfigurableExtra + m.ControlPerLine)
+}
+
+// OverheadFraction returns Overhead normalized by the circuit's total
+// opamp area (nTotal opamps).
+func (m AreaModel) OverheadFraction(nConfigurable, nTotal int) float64 {
+	if nTotal <= 0 {
+		return 0
+	}
+	return m.Overhead(nConfigurable) / (float64(nTotal) * m.OpampArea)
+}
+
+// Comparison quantifies full vs partial DFT on one circuit.
+type Comparison struct {
+	// FullOpamps / PartialOpamps are the configurable-opamp counts.
+	FullOpamps, PartialOpamps int
+	// FullDegradation / PartialDegradation are the max |ΔT/T| deviations
+	// of the functional response caused by the switch parasitics.
+	FullDegradation, PartialDegradation float64
+	// FullAreaOverhead / PartialAreaOverhead are the silicon overheads in
+	// opamp-area units.
+	FullAreaOverhead, PartialAreaOverhead float64
+}
+
+// Compare measures the §4.3 trade-off: degradation and area overhead of
+// making all opamps configurable vs only the chosen subset. The circuit
+// should use single-pole opamps (ideal opamps null the parasitics).
+func Compare(ckt *circuit.Circuit, allOpamps, chosen []string, sw SwitchModel, area AreaModel, region analysis.Region, points int) (*Comparison, error) {
+	if err := area.Validate(); err != nil {
+		return nil, err
+	}
+	full, err := ApplyDegradation(ckt, allOpamps, sw)
+	if err != nil {
+		return nil, err
+	}
+	partial, err := ApplyDegradation(ckt, chosen, sw)
+	if err != nil {
+		return nil, err
+	}
+	fullDeg, err := Degradation(ckt, full, region, points)
+	if err != nil {
+		return nil, err
+	}
+	partialDeg, err := Degradation(ckt, partial, region, points)
+	if err != nil {
+		return nil, err
+	}
+	return &Comparison{
+		FullOpamps:          len(allOpamps),
+		PartialOpamps:       len(chosen),
+		FullDegradation:     fullDeg,
+		PartialDegradation:  partialDeg,
+		FullAreaOverhead:    area.Overhead(len(allOpamps)),
+		PartialAreaOverhead: area.Overhead(len(chosen)),
+	}, nil
+}

@@ -1,0 +1,222 @@
+package penalty
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"analogdft/internal/analysis"
+	"analogdft/internal/circuit"
+	"analogdft/internal/mna"
+)
+
+// invAmp builds an inverting amplifier (gain −10) with a selectable opamp
+// model.
+func invAmp(singlePole bool) *circuit.Circuit {
+	c := circuit.New("inv")
+	c.R("R1", "in", "m", 1e3)
+	c.R("R2", "m", "out", 10e3)
+	if singlePole {
+		c.OASinglePole("OP1", "0", "m", "out", 1e5, 10)
+	} else {
+		c.OA("OP1", "0", "m", "out")
+	}
+	c.Input, c.Output = "in", "out"
+	return c
+}
+
+func TestSwitchModelValidate(t *testing.T) {
+	if err := (SwitchModel{OutputOhms: -1}).Validate(); !errors.Is(err, ErrBadModel) {
+		t.Error("negative resistance accepted")
+	}
+	if err := (SwitchModel{PoleFactor: 1.5}).Validate(); !errors.Is(err, ErrBadModel) {
+		t.Error("pole factor > 1 accepted")
+	}
+	if err := DefaultSwitchModel.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApplyDegradationSplicesOutput(t *testing.T) {
+	ckt := invAmp(true)
+	mod, err := ApplyDegradation(ckt, []string{"OP1"}, SwitchModel{OutputOhms: 200, PoleFactor: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, ok := mod.Component("_RSW_OP1")
+	if !ok {
+		t.Fatal("switch resistor not inserted")
+	}
+	r := comp.(*circuit.Resistor)
+	if r.Ohms != 200 {
+		t.Fatalf("Rsw = %g", r.Ohms)
+	}
+	op, _ := mod.Component("OP1")
+	if op.(*circuit.Opamp).Out != "OP1__sw" {
+		t.Fatal("output not rerouted")
+	}
+	if got := op.(*circuit.Opamp).PoleHz; math.Abs(got-9) > 1e-12 {
+		t.Fatalf("pole = %g, want 9", got)
+	}
+	// Original untouched.
+	if _, ok := ckt.Component("_RSW_OP1"); ok {
+		t.Fatal("original mutated")
+	}
+	// The modified circuit still validates and solves.
+	if err := mod.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mna.TransferAt(mod, 1e3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyDegradationErrors(t *testing.T) {
+	ckt := invAmp(true)
+	if _, err := ApplyDegradation(ckt, []string{"OPX"}, DefaultSwitchModel); !errors.Is(err, circuit.ErrUnknownName) {
+		t.Errorf("unknown opamp: %v", err)
+	}
+	if _, err := ApplyDegradation(ckt, []string{"R1"}, DefaultSwitchModel); !errors.Is(err, ErrBadModel) {
+		t.Errorf("non-opamp: %v", err)
+	}
+	if _, err := ApplyDegradation(ckt, []string{"OP1", "OP1"}, DefaultSwitchModel); !errors.Is(err, ErrBadModel) {
+		t.Errorf("duplicate: %v", err)
+	}
+	if _, err := ApplyDegradation(ckt, []string{"OP1"}, SwitchModel{OutputOhms: -5}); !errors.Is(err, ErrBadModel) {
+		t.Errorf("bad model: %v", err)
+	}
+}
+
+func TestIdealOpampNullsParasitics(t *testing.T) {
+	// With an ideal opamp the loop gain is infinite: the spliced switch
+	// resistance must not change the closed-loop response at all.
+	ckt := invAmp(false)
+	mod, err := ApplyDegradation(ckt, []string{"OP1"}, SwitchModel{OutputOhms: 1e3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0, err := mna.TransferAt(ckt, 10e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := mna.TransferAt(mod, 10e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(h0-h1) > 1e-9 {
+		t.Fatalf("ideal-opamp response changed: %v vs %v", h0, h1)
+	}
+}
+
+func TestDegradationGrowsWithSwitchResistance(t *testing.T) {
+	ckt := invAmp(true)
+	region := analysis.Region{LoHz: 10, HiHz: 1e6}
+	prev := -1.0
+	for _, ohms := range []float64{0, 100, 1e3, 10e3} {
+		mod, err := ApplyDegradation(ckt, []string{"OP1"}, SwitchModel{OutputOhms: ohms})
+		if err != nil {
+			t.Fatal(err)
+		}
+		deg, err := Degradation(ckt, mod, region, 61)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if deg < prev {
+			t.Fatalf("degradation not monotone: %g after %g (Rsw=%g)", deg, prev, ohms)
+		}
+		prev = deg
+	}
+	if prev <= 0 {
+		t.Fatal("10 kΩ switch caused no measurable degradation")
+	}
+}
+
+func TestDegradationZeroForIdentity(t *testing.T) {
+	ckt := invAmp(true)
+	deg, err := Degradation(ckt, ckt.Clone(), analysis.Region{LoHz: 10, HiHz: 1e6}, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg != 0 {
+		t.Fatalf("self degradation = %g", deg)
+	}
+}
+
+func TestDegradationErrors(t *testing.T) {
+	ckt := invAmp(true)
+	if _, err := Degradation(ckt, ckt, analysis.Region{LoHz: 10, HiHz: 1}, 31); err == nil {
+		t.Fatal("bad region accepted")
+	}
+}
+
+func TestAreaModel(t *testing.T) {
+	m := AreaModel{OpampArea: 1, ConfigurableExtra: 0.3, ControlPerLine: 0.05}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Overhead(2); math.Abs(got-0.7) > 1e-12 {
+		t.Fatalf("Overhead(2) = %g, want 0.7", got)
+	}
+	if got := m.Overhead(0); got != 0 {
+		t.Fatalf("Overhead(0) = %g", got)
+	}
+	if got := m.OverheadFraction(2, 3); math.Abs(got-0.7/3) > 1e-12 {
+		t.Fatalf("OverheadFraction = %g", got)
+	}
+	if got := m.OverheadFraction(2, 0); got != 0 {
+		t.Fatalf("OverheadFraction(n=0) = %g", got)
+	}
+	if err := (AreaModel{}).Validate(); !errors.Is(err, ErrBadModel) {
+		t.Error("zero area model accepted")
+	}
+}
+
+// threeStage builds a 3-opamp cascade with single-pole opamps.
+func threeStage() *circuit.Circuit {
+	c := circuit.New("c3")
+	prev := "in"
+	for i := 1; i <= 3; i++ {
+		m := "m" + string(rune('0'+i))
+		v := "v" + string(rune('0'+i))
+		c.R("Ra"+string(rune('0'+i)), prev, m, 1e3)
+		c.R("Rb"+string(rune('0'+i)), m, v, 1e3)
+		c.OASinglePole("OP"+string(rune('0'+i)), "0", m, v, 1e5, 10)
+		prev = v
+	}
+	c.Input, c.Output = "in", prev
+	return c
+}
+
+func TestComparePartialBeatsFull(t *testing.T) {
+	ckt := threeStage()
+	region := analysis.Region{LoHz: 10, HiHz: 1e6}
+	cmp, err := Compare(ckt, []string{"OP1", "OP2", "OP3"}, []string{"OP1", "OP2"},
+		SwitchModel{OutputOhms: 2e3, PoleFactor: 0.8}, DefaultAreaModel, region, 61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.FullOpamps != 3 || cmp.PartialOpamps != 2 {
+		t.Fatalf("counts: %+v", cmp)
+	}
+	if cmp.PartialDegradation >= cmp.FullDegradation {
+		t.Errorf("partial degradation %g not below full %g", cmp.PartialDegradation, cmp.FullDegradation)
+	}
+	if cmp.PartialAreaOverhead >= cmp.FullAreaOverhead {
+		t.Errorf("partial area %g not below full %g", cmp.PartialAreaOverhead, cmp.FullAreaOverhead)
+	}
+	if cmp.FullDegradation <= 0 {
+		t.Error("full DFT shows no degradation; switch model ineffective")
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	ckt := threeStage()
+	region := analysis.Region{LoHz: 10, HiHz: 1e6}
+	if _, err := Compare(ckt, []string{"OPX"}, nil, DefaultSwitchModel, DefaultAreaModel, region, 31); err == nil {
+		t.Fatal("bad opamp list accepted")
+	}
+	if _, err := Compare(ckt, []string{"OP1"}, nil, DefaultSwitchModel, AreaModel{}, region, 31); err == nil {
+		t.Fatal("bad area model accepted")
+	}
+}

@@ -1,0 +1,276 @@
+// Package report renders the paper's tables and graphs as text: the
+// configuration table (Table 1), the fault detectability matrix
+// (Figure 5), ω-detectability tables (Tables 2 and 4) and the per-fault
+// bar graphs (Graphs 1–4), plus CSV exports for external plotting.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"analogdft/internal/detect"
+	"analogdft/internal/dft"
+)
+
+// ConfigurationTable renders Table 1 for an n-opamp chain: one row per
+// configuration with its vector and role.
+func ConfigurationTable(n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-5s %-*s %s\n", "Conf", max(6, n), "Vector", "Description")
+	for i := 0; i < 1<<uint(n); i++ {
+		cfg := dft.Configuration{Index: i, N: n}
+		desc := "New Test Conf"
+		switch {
+		case cfg.IsFunctional():
+			desc = "Funct. Conf"
+		case cfg.IsTransparent():
+			desc = "Transp. Conf"
+		}
+		fmt.Fprintf(&b, "%-5s %-*s %s\n", cfg.Label(), max(6, n), cfg.Vector(), desc)
+	}
+	return b.String()
+}
+
+// DetMatrixTable renders the boolean fault detectability matrix in the
+// style of Figure 5.
+func DetMatrixTable(mx *detect.Matrix) string {
+	var b strings.Builder
+	w := columnWidth(mx)
+	fmt.Fprintf(&b, "%-5s", "")
+	for _, f := range mx.Faults {
+		fmt.Fprintf(&b, " %*s", w, f.ID)
+	}
+	b.WriteByte('\n')
+	for i, cfg := range mx.Configs {
+		fmt.Fprintf(&b, "%-5s", cfg.Label())
+		for j := range mx.Faults {
+			v := "0"
+			if mx.Det[i][j] {
+				v = "1"
+			}
+			fmt.Fprintf(&b, " %*s", w, v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// OmegaTable renders the ω-detectability table in the style of Table 2.
+// vectors optionally replaces the config labels (e.g. the "10-" partial
+// notation of Table 4); pass nil to use plain labels.
+func OmegaTable(mx *detect.Matrix, vectors []string) string {
+	var b strings.Builder
+	w := columnWidth(mx)
+	label := func(i int) string {
+		if vectors != nil && i < len(vectors) {
+			return fmt.Sprintf("%s(%s)", mx.Configs[i].Label(), vectors[i])
+		}
+		return mx.Configs[i].Label()
+	}
+	lw := 5
+	for i := range mx.Configs {
+		if l := len(label(i)); l > lw {
+			lw = l
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", lw, "Conf")
+	for _, f := range mx.Faults {
+		fmt.Fprintf(&b, " %*s", w, f.ID)
+	}
+	b.WriteByte('\n')
+	for i := range mx.Configs {
+		fmt.Fprintf(&b, "%-*s", lw, label(i))
+		for j := range mx.Faults {
+			fmt.Fprintf(&b, " %*.0f", w, mx.Omega[i][j])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func columnWidth(mx *detect.Matrix) int {
+	w := 4
+	for _, f := range mx.Faults {
+		if len(f.ID) > w {
+			w = len(f.ID)
+		}
+	}
+	return w
+}
+
+// Series is one bar group of a Graph: a named ω-detectability value per
+// fault.
+type Series struct {
+	Name   string
+	Values []float64 // percent, aligned with the graph's fault IDs
+	Mark   rune      // bar fill character, e.g. '█', '▒', '░'
+}
+
+// Graph renders a per-fault grouped horizontal bar chart (the style of
+// Graphs 1–4): for each fault, one bar per series, scaled to 0–100%.
+func Graph(title string, faultIDs []string, series []Series, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	lw := 6
+	for _, id := range faultIDs {
+		if len(id) > lw {
+			lw = len(id)
+		}
+	}
+	nw := 6
+	for _, s := range series {
+		if len(s.Name) > nw {
+			nw = len(s.Name)
+		}
+	}
+	for j, id := range faultIDs {
+		for si, s := range series {
+			label := ""
+			if si == 0 {
+				label = id
+			}
+			v := 0.0
+			if j < len(s.Values) {
+				v = s.Values[j]
+			}
+			if math.IsNaN(v) {
+				v = 0
+			}
+			filled := int(math.Round(v / 100 * float64(width)))
+			if filled > width {
+				filled = width
+			}
+			if filled < 0 {
+				filled = 0
+			}
+			mark := s.Mark
+			if mark == 0 {
+				mark = '█'
+			}
+			bar := strings.Repeat(string(mark), filled) + strings.Repeat("·", width-filled)
+			fmt.Fprintf(&b, "%-*s %-*s |%s| %5.1f%%\n", lw, label, nw, s.Name, bar, v)
+		}
+	}
+	// Averages footer.
+	b.WriteString(strings.Repeat("-", lw+nw+width+11) + "\n")
+	for _, s := range series {
+		sum, n := 0.0, 0
+		for _, v := range s.Values {
+			if !math.IsNaN(v) {
+				sum += v
+				n++
+			}
+		}
+		avg := 0.0
+		if n > 0 {
+			avg = sum / float64(n)
+		}
+		fmt.Fprintf(&b, "%-*s %-*s ⟨ω-det⟩ = %.1f%%\n", lw, "", nw, s.Name, avg)
+	}
+	return b.String()
+}
+
+// MatrixCSV writes the detectability matrix and ω-det values as CSV:
+// config,vector,fault,detectable,omega_det_pct.
+func MatrixCSV(w io.Writer, mx *detect.Matrix) error {
+	if _, err := fmt.Fprintln(w, "config,vector,fault,detectable,omega_det_pct"); err != nil {
+		return err
+	}
+	for i, cfg := range mx.Configs {
+		for j, f := range mx.Faults {
+			d := 0
+			if mx.Det[i][j] {
+				d = 1
+			}
+			if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%.4g\n",
+				cfg.Label(), cfg.Vector(), f.ID, d, mx.Omega[i][j]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// CoverageSummary renders the headline coverage line of an experiment.
+func CoverageSummary(name string, coverage, avgOmega float64, nConfigs int) string {
+	return fmt.Sprintf("%-28s FC = %5.1f%%   ⟨ω-det⟩ = %5.1f%%   configurations = %d",
+		name, 100*coverage, avgOmega, nConfigs)
+}
+
+// Rule returns a horizontal rule with a centred title.
+func Rule(title string) string {
+	const width = 78
+	if title == "" {
+		return strings.Repeat("=", width)
+	}
+	pad := width - len(title) - 2
+	if pad < 2 {
+		pad = 2
+	}
+	left := pad / 2
+	right := pad - left
+	return strings.Repeat("=", left) + " " + title + " " + strings.Repeat("=", right)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MatrixMarkdown renders the detectability matrix as a GitHub-flavoured
+// markdown table (for docs and issues).
+func MatrixMarkdown(w io.Writer, mx *detect.Matrix) error {
+	var b strings.Builder
+	b.WriteString("| Conf |")
+	for _, f := range mx.Faults {
+		fmt.Fprintf(&b, " %s |", f.ID)
+	}
+	b.WriteString("\n|---|")
+	for range mx.Faults {
+		b.WriteString("---|")
+	}
+	b.WriteByte('\n')
+	for i, cfg := range mx.Configs {
+		fmt.Fprintf(&b, "| %s |", cfg.Label())
+		for j := range mx.Faults {
+			v := "0"
+			if mx.Det[i][j] {
+				v = "1"
+			}
+			fmt.Fprintf(&b, " %s |", v)
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// OmegaMarkdown renders the ω-detectability table as markdown.
+func OmegaMarkdown(w io.Writer, mx *detect.Matrix) error {
+	var b strings.Builder
+	b.WriteString("| Conf |")
+	for _, f := range mx.Faults {
+		fmt.Fprintf(&b, " %s |", f.ID)
+	}
+	b.WriteString("\n|---|")
+	for range mx.Faults {
+		b.WriteString("---|")
+	}
+	b.WriteByte('\n')
+	for i, cfg := range mx.Configs {
+		fmt.Fprintf(&b, "| %s |", cfg.Label())
+		for j := range mx.Faults {
+			fmt.Fprintf(&b, " %.0f |", mx.Omega[i][j])
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,153 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"analogdft/internal/paperdata"
+)
+
+func TestConfigurationTable(t *testing.T) {
+	s := ConfigurationTable(3)
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 9 { // header + 8 configurations
+		t.Fatalf("lines = %d:\n%s", len(lines), s)
+	}
+	if !strings.Contains(lines[1], "C0") || !strings.Contains(lines[1], "Funct") {
+		t.Errorf("C0 row: %q", lines[1])
+	}
+	if !strings.Contains(lines[8], "C7") || !strings.Contains(lines[8], "Transp") {
+		t.Errorf("C7 row: %q", lines[8])
+	}
+	if !strings.Contains(lines[2], "001") {
+		t.Errorf("C1 vector: %q", lines[2])
+	}
+	if !strings.Contains(lines[6], "101") {
+		t.Errorf("C5 vector: %q", lines[6])
+	}
+}
+
+func TestDetMatrixTable(t *testing.T) {
+	s := DetMatrixTable(paperdata.Matrix())
+	if !strings.Contains(s, "fR1") || !strings.Contains(s, "C6") {
+		t.Fatalf("missing headers:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 8 { // header + 7 configs
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// Row C2 from Figure 5: 1 1 0 1 1 1 1 0.
+	var c2 string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "C2") {
+			c2 = l
+		}
+	}
+	if got := strings.Join(strings.Fields(c2)[1:], " "); got != "1 1 0 1 1 1 1 0" {
+		t.Errorf("C2 row = %q", got)
+	}
+}
+
+func TestOmegaTable(t *testing.T) {
+	s := OmegaTable(paperdata.Matrix(), nil)
+	if !strings.Contains(s, "100") { // C3/fR5 cell
+		t.Fatalf("missing 100%% cell:\n%s", s)
+	}
+	// With partial vectors.
+	s = OmegaTable(paperdata.PartialMatrix(), []string{"00-", "10-", "01-", "11-"})
+	if !strings.Contains(s, "C1(10-)") {
+		t.Fatalf("missing partial vector label:\n%s", s)
+	}
+}
+
+func TestGraph(t *testing.T) {
+	g := Graph("Graph 1", []string{"fR1", "fR2"}, []Series{
+		{Name: "initial", Values: []float64{54, 0}, Mark: '█'},
+		{Name: "dft", Values: []float64{66, 70}, Mark: '░'},
+	}, 40)
+	if !strings.Contains(g, "Graph 1") || !strings.Contains(g, "54.0%") {
+		t.Fatalf("graph:\n%s", g)
+	}
+	if !strings.Contains(g, "⟨ω-det⟩ = 27.0%") { // (54+0)/2
+		t.Fatalf("missing initial average:\n%s", g)
+	}
+	if !strings.Contains(g, "⟨ω-det⟩ = 68.0%") { // (66+70)/2
+		t.Fatalf("missing dft average:\n%s", g)
+	}
+	// Bars are clamped to the width.
+	g = Graph("t", []string{"f"}, []Series{{Name: "s", Values: []float64{250}}}, 10)
+	if !strings.Contains(g, strings.Repeat("█", 10)+"|") {
+		t.Fatalf("clamping failed:\n%s", g)
+	}
+	// Missing values render as zero-length bars.
+	g = Graph("t", []string{"a", "b"}, []Series{{Name: "s", Values: []float64{50}}}, 10)
+	if !strings.Contains(g, "0.0%") {
+		t.Fatalf("missing value handling:\n%s", g)
+	}
+}
+
+func TestGraphDefaults(t *testing.T) {
+	g := Graph("t", []string{"f"}, []Series{{Name: "s", Values: []float64{50}}}, 0)
+	if len(g) == 0 {
+		t.Fatal("empty graph")
+	}
+}
+
+func TestMatrixCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := MatrixCSV(&sb, paperdata.Matrix()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 1+7*8 {
+		t.Fatalf("CSV lines = %d, want 57", len(lines))
+	}
+	if lines[0] != "config,vector,fault,detectable,omega_det_pct" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "C0,000,fR1,1,54") {
+		t.Fatalf("first row = %q", lines[1])
+	}
+}
+
+func TestCoverageSummaryAndRule(t *testing.T) {
+	s := CoverageSummary("initial", 0.25, 12.5, 1)
+	if !strings.Contains(s, "25.0%") || !strings.Contains(s, "12.5%") {
+		t.Fatalf("summary = %q", s)
+	}
+	r := Rule("Table 2")
+	if !strings.Contains(r, "Table 2") || len(r) < 40 {
+		t.Fatalf("rule = %q", r)
+	}
+	if len(Rule("")) < 40 {
+		t.Fatal("plain rule too short")
+	}
+}
+
+func TestMatrixMarkdown(t *testing.T) {
+	var sb strings.Builder
+	if err := MatrixMarkdown(&sb, paperdata.Matrix()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2+7 {
+		t.Fatalf("markdown lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "| Conf |") || !strings.Contains(lines[0], "fC2") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(out, "| C2 | 1 | 1 | 0 | 1 | 1 | 1 | 1 | 0 |") {
+		t.Fatalf("C2 row missing:\n%s", out)
+	}
+}
+
+func TestOmegaMarkdown(t *testing.T) {
+	var sb strings.Builder
+	if err := OmegaMarkdown(&sb, paperdata.Matrix()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "| C3 | 0 | 0 | 0 | 0 | 100 | 100 | 0 | 0 |") {
+		t.Fatalf("C3 row missing:\n%s", sb.String())
+	}
+}

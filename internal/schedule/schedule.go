@@ -1,0 +1,226 @@
+// Package schedule orders a multi-configuration test program to minimize
+// test time — the concrete version of the paper's §4.2 cost function.
+// Switching a configuration means toggling selection lines and waiting for
+// the analog network to settle, so the dominant ordering cost is the
+// Hamming distance between consecutive configuration vectors. The package
+// finds the minimum-toggle ordering (exact Held–Karp dynamic program for
+// up to 16 configurations, greedy beyond) starting from the functional
+// configuration the device powers up in, and prices the resulting program
+// with a simple toggle/retune/measure time model.
+package schedule
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+
+	"analogdft/internal/dft"
+)
+
+// ErrBadProgram is returned for malformed scheduling inputs.
+var ErrBadProgram = errors.New("schedule: bad program")
+
+// MaxExact is the largest item count the exact Held–Karp ordering
+// handles; larger programs fall back to the greedy nearest-neighbour
+// order.
+const MaxExact = 16
+
+// Item is one test step to schedule: a configuration and the test
+// frequencies to apply in it.
+type Item struct {
+	Config dft.Configuration
+	Freqs  []float64
+}
+
+// Step is a scheduled item.
+type Step struct {
+	Config dft.Configuration
+	// Freqs are applied in ascending order (monotone synthesizer sweeps
+	// settle fastest).
+	Freqs []float64
+	// TogglesIn is the number of selection lines toggled entering this
+	// step.
+	TogglesIn int
+}
+
+// Program is an ordered test program.
+type Program struct {
+	// Start is the configuration the program begins from (not measured).
+	Start dft.Configuration
+	Steps []Step
+	// Exact reports whether the ordering is provably toggle-minimal.
+	Exact bool
+}
+
+// TotalToggles sums selection-line toggles across the program.
+func (p *Program) TotalToggles() int {
+	n := 0
+	for _, s := range p.Steps {
+		n += s.TogglesIn
+	}
+	return n
+}
+
+// TotalMeasurements counts frequency measurements.
+func (p *Program) TotalMeasurements() int {
+	n := 0
+	for _, s := range p.Steps {
+		n += len(s.Freqs)
+	}
+	return n
+}
+
+// Time prices the program: togglCost per selection-line toggle, plus
+// retuneCost per frequency change (the first frequency of a step counts),
+// plus measCost per measurement.
+func (p *Program) Time(toggleCost, retuneCost, measCost float64) float64 {
+	return toggleCost*float64(p.TotalToggles()) +
+		retuneCost*float64(p.TotalMeasurements()) +
+		measCost*float64(p.TotalMeasurements())
+}
+
+// hamming returns the selection-line Hamming distance between two
+// configurations of the same chain.
+func hamming(a, b dft.Configuration) int {
+	return bits.OnesCount64(uint64(a.Index) ^ uint64(b.Index))
+}
+
+// Build orders the items to minimize total toggles starting from start.
+// Items must share the configuration width with start and be unique.
+func Build(items []Item, start dft.Configuration) (*Program, error) {
+	if len(items) == 0 {
+		return nil, fmt.Errorf("%w: no items", ErrBadProgram)
+	}
+	seen := make(map[int]bool, len(items))
+	for _, it := range items {
+		if it.Config.N != start.N {
+			return nil, fmt.Errorf("%w: %v has width %d, start has %d", ErrBadProgram, it.Config, it.Config.N, start.N)
+		}
+		if seen[it.Config.Index] {
+			return nil, fmt.Errorf("%w: duplicate configuration %v", ErrBadProgram, it.Config)
+		}
+		seen[it.Config.Index] = true
+	}
+
+	var order []int
+	exact := len(items) <= MaxExact
+	if exact {
+		order = heldKarp(items, start)
+	} else {
+		order = greedy(items, start)
+	}
+
+	p := &Program{Start: start, Exact: exact}
+	prev := start
+	for _, idx := range order {
+		it := items[idx]
+		freqs := append([]float64(nil), it.Freqs...)
+		sort.Float64s(freqs)
+		p.Steps = append(p.Steps, Step{
+			Config:    it.Config,
+			Freqs:     freqs,
+			TogglesIn: hamming(prev, it.Config),
+		})
+		prev = it.Config
+	}
+	return p, nil
+}
+
+// heldKarp computes the exact minimum-toggle path over all items (open
+// path TSP from start). Ties break towards lexicographically smallest
+// visit order.
+func heldKarp(items []Item, start dft.Configuration) []int {
+	n := len(items)
+	full := (1 << uint(n)) - 1
+	const inf = math.MaxInt32
+	// dp[mask][i]: min toggles to visit the set mask ending at item i.
+	dp := make([][]int, full+1)
+	parent := make([][]int, full+1)
+	for m := range dp {
+		dp[m] = make([]int, n)
+		parent[m] = make([]int, n)
+		for i := range dp[m] {
+			dp[m][i] = inf
+			parent[m][i] = -1
+		}
+	}
+	for i := 0; i < n; i++ {
+		dp[1<<uint(i)][i] = hamming(start, items[i].Config)
+	}
+	for mask := 1; mask <= full; mask++ {
+		for last := 0; last < n; last++ {
+			if mask&(1<<uint(last)) == 0 || dp[mask][last] == inf {
+				continue
+			}
+			for next := 0; next < n; next++ {
+				if mask&(1<<uint(next)) != 0 {
+					continue
+				}
+				nm := mask | 1<<uint(next)
+				cost := dp[mask][last] + hamming(items[last].Config, items[next].Config)
+				if cost < dp[nm][next] || (cost == dp[nm][next] && last < parent[nm][next]) {
+					dp[nm][next] = cost
+					parent[nm][next] = last
+				}
+			}
+		}
+	}
+	// Best endpoint.
+	bestEnd, bestCost := 0, dp[full][0]
+	for i := 1; i < n; i++ {
+		if dp[full][i] < bestCost {
+			bestEnd, bestCost = i, dp[full][i]
+		}
+	}
+	// Reconstruct.
+	order := make([]int, 0, n)
+	mask, cur := full, bestEnd
+	for cur >= 0 && mask != 0 {
+		order = append(order, cur)
+		p := parent[mask][cur]
+		mask &^= 1 << uint(cur)
+		cur = p
+	}
+	// Reverse.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+// greedy is the nearest-neighbour fallback for large programs.
+func greedy(items []Item, start dft.Configuration) []int {
+	n := len(items)
+	used := make([]bool, n)
+	order := make([]int, 0, n)
+	prev := start
+	for len(order) < n {
+		best, bestD := -1, math.MaxInt32
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			if d := hamming(prev, items[i].Config); d < bestD {
+				best, bestD = i, d
+			}
+		}
+		used[best] = true
+		order = append(order, best)
+		prev = items[best].Config
+	}
+	return order
+}
+
+// NaiveToggles returns the toggle count of applying the items in their
+// given order from start — the baseline the optimizer is compared with.
+func NaiveToggles(items []Item, start dft.Configuration) int {
+	total := 0
+	prev := start
+	for _, it := range items {
+		total += hamming(prev, it.Config)
+		prev = it.Config
+	}
+	return total
+}

@@ -1,0 +1,188 @@
+package schedule
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"analogdft/internal/dft"
+)
+
+func cfg(idx, n int) dft.Configuration { return dft.Configuration{Index: idx, N: n} }
+
+func items(n int, idxs ...int) []Item {
+	out := make([]Item, len(idxs))
+	for i, idx := range idxs {
+		out[i] = Item{Config: cfg(idx, n), Freqs: []float64{1e3}}
+	}
+	return out
+}
+
+func TestHamming(t *testing.T) {
+	if hamming(cfg(0b001, 3), cfg(0b010, 3)) != 2 {
+		t.Fatal("hamming 001↔010")
+	}
+	if hamming(cfg(5, 3), cfg(5, 3)) != 0 {
+		t.Fatal("self distance")
+	}
+}
+
+func TestBuildKnownOptimal(t *testing.T) {
+	// From 000, visiting {001, 010, 011}: optimal is a Gray walk
+	// 000→001→011→010 = 1+1+1 = 3 toggles. The naive ascending order
+	// 001, 010, 011 costs 1+2+1 = 4.
+	its := items(3, 1, 2, 3)
+	p, err := Build(its, cfg(0, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Exact {
+		t.Fatal("small program should be exact")
+	}
+	if got := p.TotalToggles(); got != 3 {
+		t.Fatalf("toggles = %d, want 3", got)
+	}
+	if naive := NaiveToggles(its, cfg(0, 3)); naive != 4 {
+		t.Fatalf("naive = %d, want 4", naive)
+	}
+	// The Gray walk: first step must be a 1-toggle neighbour of 000.
+	if p.Steps[0].TogglesIn != 1 {
+		t.Fatalf("first step toggles = %d", p.Steps[0].TogglesIn)
+	}
+}
+
+func TestBuildPaperOptimalSet(t *testing.T) {
+	// The paper's optimized set {C2, C5} from C0: distances
+	// 000→010 = 1, 010→101 = 3; or 000→101 = 2, 101→010 = 3.
+	// Optimal: C2 first, total 4.
+	p, err := Build(items(3, 2, 5), cfg(0, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalToggles() != 4 {
+		t.Fatalf("toggles = %d, want 4", p.TotalToggles())
+	}
+	if p.Steps[0].Config.Index != 2 {
+		t.Fatalf("first config = %v, want C2", p.Steps[0].Config)
+	}
+}
+
+func TestBuildSortsFrequencies(t *testing.T) {
+	its := []Item{{Config: cfg(1, 2), Freqs: []float64{5e3, 1e2, 2e3}}}
+	p, err := Build(its, cfg(0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := p.Steps[0].Freqs
+	if f[0] != 1e2 || f[1] != 2e3 || f[2] != 5e3 {
+		t.Fatalf("freqs = %v", f)
+	}
+	// The input must not be reordered in place... (defensive copy)
+	if its[0].Freqs[0] != 5e3 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(nil, cfg(0, 3)); !errors.Is(err, ErrBadProgram) {
+		t.Error("empty accepted")
+	}
+	if _, err := Build(items(2, 1), cfg(0, 3)); !errors.Is(err, ErrBadProgram) {
+		t.Error("width mismatch accepted")
+	}
+	if _, err := Build(items(3, 1, 1), cfg(0, 3)); !errors.Is(err, ErrBadProgram) {
+		t.Error("duplicate accepted")
+	}
+}
+
+func TestProgramAccounting(t *testing.T) {
+	its := []Item{
+		{Config: cfg(1, 3), Freqs: []float64{1, 2}},
+		{Config: cfg(3, 3), Freqs: []float64{3}},
+	}
+	p, err := Build(its, cfg(0, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalMeasurements() != 3 {
+		t.Fatalf("measurements = %d", p.TotalMeasurements())
+	}
+	// 0→1→3 is 1+1 toggles.
+	if p.TotalToggles() != 2 {
+		t.Fatalf("toggles = %d", p.TotalToggles())
+	}
+	// Time = 2·10 + 3·1 + 3·2 = 29.
+	if got := p.Time(10, 1, 2); got != 29 {
+		t.Fatalf("time = %g", got)
+	}
+}
+
+func TestGreedyFallbackForLargePrograms(t *testing.T) {
+	// 17 items exceed MaxExact.
+	var its []Item
+	for i := 1; i <= 17; i++ {
+		its = append(its, Item{Config: cfg(i, 5), Freqs: []float64{1}})
+	}
+	p, err := Build(its, cfg(0, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Exact {
+		t.Fatal("large program claims exactness")
+	}
+	if len(p.Steps) != 17 {
+		t.Fatalf("steps = %d", len(p.Steps))
+	}
+	// Every item appears exactly once.
+	seen := map[int]bool{}
+	for _, s := range p.Steps {
+		if seen[s.Config.Index] {
+			t.Fatal("duplicate step")
+		}
+		seen[s.Config.Index] = true
+	}
+}
+
+// Property: the exact order never costs more than the naive order or the
+// greedy order, and covers every item exactly once.
+func TestExactBeatsNaiveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(3) // 3..5 selection lines
+		count := 2 + rng.Intn(6)
+		perm := rng.Perm(1 << uint(n))
+		var its []Item
+		for _, idx := range perm {
+			if idx == 0 {
+				continue
+			}
+			its = append(its, Item{Config: cfg(idx, n), Freqs: []float64{1}})
+			if len(its) == count {
+				break
+			}
+		}
+		start := cfg(0, n)
+		p, err := Build(its, start)
+		if err != nil {
+			return false
+		}
+		if len(p.Steps) != len(its) {
+			return false
+		}
+		if p.TotalToggles() > NaiveToggles(its, start) {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, s := range p.Steps {
+			if seen[s.Config.Index] {
+				return false
+			}
+			seen[s.Config.Index] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,159 @@
+// Package sensitivity implements the fault-observability analysis the
+// paper builds on (§2, after Slamani & Kaminska): the normalized
+// sensitivity of the output magnitude response to each component value,
+//
+//	S_x(ω) = (x / |T(jω)|) · ∂|T(jω)|/∂x
+//
+// computed by central finite differences on the MNA engine. High
+// sensitivity at some frequency predicts that a parametric fault on the
+// component is detectable there; the package cross-validates the
+// prediction against the deviation-based detectability used by the rest
+// of the library and ranks components by testability.
+package sensitivity
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"analogdft/internal/analysis"
+	"analogdft/internal/circuit"
+)
+
+// ErrBadStep is returned for non-positive relative steps.
+var ErrBadStep = errors.New("sensitivity: bad relative step")
+
+// DefaultRelStep is the default central-difference relative step.
+const DefaultRelStep = 1e-4
+
+// Profile is the sensitivity of |T| to one component across a grid.
+type Profile struct {
+	Component string
+	Freqs     []float64
+	// S[i] is the normalized sensitivity at Freqs[i]; NaN where either
+	// perturbed solve failed.
+	S []float64
+}
+
+// MaxAbs returns the largest |S| in the profile (NaN entries skipped).
+func (p *Profile) MaxAbs() float64 {
+	max := 0.0
+	for _, s := range p.S {
+		if math.IsNaN(s) {
+			continue
+		}
+		if a := math.Abs(s); a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// AboveAt returns the grid indices where |S| exceeds the threshold.
+func (p *Profile) AboveAt(threshold float64) []int {
+	var out []int
+	for i, s := range p.S {
+		if !math.IsNaN(s) && math.Abs(s) > threshold {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// PredictsDetectable reports whether a relative deviation fault of size
+// frac (e.g. 0.2) is predicted detectable at tolerance eps using the
+// first-order model |ΔT/T| ≈ |S|·frac.
+func (p *Profile) PredictsDetectable(frac, eps float64) bool {
+	for _, s := range p.S {
+		if !math.IsNaN(s) && math.Abs(s)*frac > eps {
+			return true
+		}
+	}
+	return false
+}
+
+// Analyze computes sensitivity profiles for every passive component of the
+// circuit over the given frequency grid. relStep ≤ 0 selects
+// DefaultRelStep.
+func Analyze(ckt *circuit.Circuit, grid []float64, relStep float64) ([]*Profile, error) {
+	if relStep == 0 {
+		relStep = DefaultRelStep
+	}
+	if relStep < 0 {
+		return nil, fmt.Errorf("%w: %g", ErrBadStep, relStep)
+	}
+	if len(grid) == 0 {
+		return nil, fmt.Errorf("%w: empty grid", analysis.ErrBadSweep)
+	}
+	nominal, err := analysis.SweepOnGrid(ckt, grid)
+	if err != nil {
+		return nil, err
+	}
+	nomMag := nominal.Mag()
+
+	var out []*Profile
+	for _, comp := range ckt.Passives() {
+		p := &Profile{
+			Component: comp.Name(),
+			Freqs:     append([]float64(nil), grid...),
+			S:         make([]float64, len(grid)),
+		}
+		up, err := perturbedMag(ckt, comp.Name(), 1+relStep, grid)
+		if err != nil {
+			return nil, err
+		}
+		down, err := perturbedMag(ckt, comp.Name(), 1-relStep, grid)
+		if err != nil {
+			return nil, err
+		}
+		for i := range grid {
+			t := nomMag[i]
+			if math.IsNaN(t) || math.IsNaN(up[i]) || math.IsNaN(down[i]) || t == 0 {
+				p.S[i] = math.NaN()
+				continue
+			}
+			// Central difference on ln|T| vs ln x.
+			p.S[i] = (up[i] - down[i]) / (2 * relStep * t)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func perturbedMag(ckt *circuit.Circuit, name string, factor float64, grid []float64) ([]float64, error) {
+	pert := ckt.Clone()
+	v, err := pert.Valued(name)
+	if err != nil {
+		return nil, err
+	}
+	v.SetValue(v.Value() * factor)
+	resp, err := analysis.SweepOnGrid(pert, grid)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Mag(), nil
+}
+
+// Ranking orders components from hardest to easiest to test (ascending
+// maximum |S|), the §2 intuition that low-sensitivity components are the
+// testability bottleneck.
+type Ranking struct {
+	Component string
+	MaxAbsS   float64
+}
+
+// Rank sorts profiles by ascending maximum sensitivity.
+func Rank(profiles []*Profile) []Ranking {
+	out := make([]Ranking, len(profiles))
+	for i, p := range profiles {
+		out[i] = Ranking{Component: p.Component, MaxAbsS: p.MaxAbs()}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].MaxAbsS != out[b].MaxAbsS {
+			return out[a].MaxAbsS < out[b].MaxAbsS
+		}
+		return out[a].Component < out[b].Component
+	})
+	return out
+}

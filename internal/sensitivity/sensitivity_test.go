@@ -1,0 +1,165 @@
+package sensitivity
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"analogdft/internal/analysis"
+	"analogdft/internal/circuit"
+	"analogdft/internal/fault"
+	"analogdft/internal/numeric"
+)
+
+func rcLowpass() *circuit.Circuit {
+	c := circuit.New("rc")
+	c.R("R1", "in", "out", 1e3)
+	c.Cap("C1", "out", "0", 100e-9)
+	c.Input, c.Output = "in", "out"
+	return c
+}
+
+func divider() *circuit.Circuit {
+	c := circuit.New("div")
+	c.R("R1", "in", "out", 1e3)
+	c.R("R2", "out", "0", 1e3)
+	c.Input, c.Output = "in", "out"
+	return c
+}
+
+const rcCorner = 1591.549430918953
+
+func TestAnalyzeRCLowpassAnalytic(t *testing.T) {
+	// |H| = 1/√(1+(ωRC)²); S_R = −(ωRC)²/(1+(ωRC)²).
+	grid := numeric.LogSpace(10, 1e6, 41)
+	profiles, err := Analyze(rcLowpass(), grid, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != 2 {
+		t.Fatalf("profiles = %d", len(profiles))
+	}
+	for _, p := range profiles {
+		for i, f := range p.Freqs {
+			u := f / rcCorner
+			want := -u * u / (1 + u*u)
+			if math.IsNaN(p.S[i]) {
+				t.Fatalf("%s: NaN at %g Hz", p.Component, f)
+			}
+			if math.Abs(p.S[i]-want) > 2e-3 {
+				t.Fatalf("%s S(%g Hz) = %g, want %g", p.Component, f, p.S[i], want)
+			}
+		}
+	}
+}
+
+func TestAnalyzeDividerSensitivities(t *testing.T) {
+	// V(out) = Vin·R2/(R1+R2): S_R1 = −1/2, S_R2 = +1/2 at equal values.
+	grid := []float64{100, 1e3}
+	profiles, err := Analyze(divider(), grid, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range profiles {
+		want := 0.5
+		if p.Component == "R1" {
+			want = -0.5
+		}
+		for i := range grid {
+			if math.Abs(p.S[i]-want) > 1e-3 {
+				t.Errorf("%s S = %g, want %g", p.Component, p.S[i], want)
+			}
+		}
+	}
+}
+
+func TestMaxAbsAndAboveAt(t *testing.T) {
+	p := &Profile{
+		Component: "X",
+		Freqs:     []float64{1, 2, 3},
+		S:         []float64{0.1, math.NaN(), -0.9},
+	}
+	if got := p.MaxAbs(); got != 0.9 {
+		t.Errorf("MaxAbs = %g", got)
+	}
+	idx := p.AboveAt(0.5)
+	if len(idx) != 1 || idx[0] != 2 {
+		t.Errorf("AboveAt = %v", idx)
+	}
+}
+
+func TestPredictsDetectable(t *testing.T) {
+	p := &Profile{S: []float64{0.4}}
+	// 0.4 · 0.2 = 8% < 10%: not detectable.
+	if p.PredictsDetectable(0.2, 0.1) {
+		t.Error("predicted detectable below threshold")
+	}
+	// 0.4 · 0.3 = 12% > 10%: detectable.
+	if !p.PredictsDetectable(0.3, 0.1) {
+		t.Error("prediction missed")
+	}
+}
+
+// Cross-validation: the first-order sensitivity prediction must agree with
+// the exact deviation-based detectability on the RC lowpass for a small
+// fault (first-order regime).
+func TestPredictionMatchesFaultSimulation(t *testing.T) {
+	ckt := rcLowpass()
+	region := analysis.Region{LoHz: 10, HiHz: 1e6}
+	grid := region.Spec(61).Grid()
+	profiles, err := Analyze(ckt, grid, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nominal, err := analysis.SweepOnGrid(ckt, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const frac, eps = 0.05, 0.02
+	for _, p := range profiles {
+		f := fault.Fault{ID: "f" + p.Component, Component: p.Component, Kind: fault.Deviation, Factor: 1 + frac}
+		faulty, err := f.Apply(ckt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := analysis.SweepOnGrid(faulty, grid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof, err := analysis.RelativeDeviation(nominal, resp, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := len(prof.ExceedsAt(eps)) > 0
+		predicted := p.PredictsDetectable(frac, eps)
+		if exact != predicted {
+			t.Errorf("%s: exact=%v predicted=%v", p.Component, exact, predicted)
+		}
+	}
+}
+
+func TestRank(t *testing.T) {
+	profiles := []*Profile{
+		{Component: "B", S: []float64{0.9}},
+		{Component: "A", S: []float64{0.1}},
+		{Component: "C", S: []float64{0.1}},
+	}
+	r := Rank(profiles)
+	if r[0].Component != "A" || r[1].Component != "C" || r[2].Component != "B" {
+		t.Fatalf("rank = %v", r)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	if _, err := Analyze(rcLowpass(), nil, 0); err == nil {
+		t.Error("empty grid accepted")
+	}
+	if _, err := Analyze(rcLowpass(), []float64{100}, -1); !errors.Is(err, ErrBadStep) {
+		t.Errorf("negative step: %v", err)
+	}
+	noIn := circuit.New("x")
+	noIn.R("R1", "a", "0", 1)
+	if _, err := Analyze(noIn, []float64{100}, 0); err == nil {
+		t.Error("missing input accepted")
+	}
+}

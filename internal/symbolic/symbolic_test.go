@@ -1,0 +1,233 @@
+package symbolic
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+	"sort"
+	"testing"
+
+	"analogdft/internal/analysis"
+	"analogdft/internal/circuit"
+)
+
+func rcLowpass() *circuit.Circuit {
+	c := circuit.New("rc")
+	c.R("R1", "in", "out", 1e3)
+	c.Cap("C1", "out", "0", 100e-9)
+	c.Input, c.Output = "in", "out"
+	return c
+}
+
+// paper-style biquad: f0 = 10 kHz, Q = 2, lowpass, DC gain −1.
+func biquad() *circuit.Circuit {
+	c := circuit.New("bq")
+	const r, cp = 15.915e3, 1e-9
+	c.R("R1", "in", "a", r)
+	c.R("R2", "v1", "a", 2*r)
+	c.Cap("C1", "v1", "a", cp)
+	c.R("R4", "v3", "a", r)
+	c.OA("OP1", "0", "a", "v1")
+	c.R("R5", "v1", "b", r)
+	c.Cap("C2", "v2", "b", cp)
+	c.OA("OP2", "0", "b", "v2")
+	c.R("R6", "v2", "c", r)
+	c.R("R3", "v3", "c", r)
+	c.OA("OP3", "0", "c", "v3")
+	c.Input, c.Output = "in", "v3"
+	return c
+}
+
+const rcCorner = 1591.549430918953
+
+func TestHorner(t *testing.T) {
+	// 2 + 3s + s²  at s = 2 → 2+6+4 = 12 (monic) / horner with explicit.
+	if got := horner([]float64{2, 3, 1}, 2); got != 12 {
+		t.Fatalf("horner = %v", got)
+	}
+	if got := hornerMonic([]float64{2, 3}, 2); got != 12 {
+		t.Fatalf("hornerMonic = %v", got)
+	}
+}
+
+func TestRealRootsQuadratic(t *testing.T) {
+	// x² − 3x + 2 = (x−1)(x−2).
+	roots := realRoots([]float64{2, -3})
+	if len(roots) != 2 {
+		t.Fatalf("roots = %v", roots)
+	}
+	vals := []float64{real(roots[0]), real(roots[1])}
+	sort.Float64s(vals)
+	if math.Abs(vals[0]-1) > 1e-9 || math.Abs(vals[1]-2) > 1e-9 {
+		t.Fatalf("roots = %v", roots)
+	}
+	for _, r := range roots {
+		if math.Abs(imag(r)) > 1e-9 {
+			t.Fatalf("imaginary part on real roots: %v", roots)
+		}
+	}
+}
+
+func TestRealRootsComplexPair(t *testing.T) {
+	// x² + 2x + 5 → −1 ± 2j.
+	roots := realRoots([]float64{5, 2})
+	for _, r := range roots {
+		if math.Abs(real(r)+1) > 1e-9 || math.Abs(math.Abs(imag(r))-2) > 1e-9 {
+			t.Fatalf("roots = %v", roots)
+		}
+	}
+}
+
+func TestFitRCLowpass(t *testing.T) {
+	resp, err := analysis.Sweep(rcLowpass(), analysis.SweepSpec{StartHz: 10, StopHz: 1e6, Points: 61})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Fit(resp, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := r.MaxRelError(resp); e > 1e-6 {
+		t.Fatalf("fit error = %g", e)
+	}
+	poles := r.Poles()
+	if len(poles) != 1 {
+		t.Fatalf("poles = %v", poles)
+	}
+	// Pole at −fc (in Hz units on the real axis).
+	if math.Abs(real(poles[0])+rcCorner) > rcCorner*1e-4 || math.Abs(imag(poles[0])) > 1 {
+		t.Fatalf("pole = %v, want ≈ −%g", poles[0], rcCorner)
+	}
+	// DC gain 1.
+	if g := cmplx.Abs(r.Eval(0.001)); math.Abs(g-1) > 1e-4 {
+		t.Fatalf("DC gain = %g", g)
+	}
+}
+
+func TestFitBiquad(t *testing.T) {
+	resp, err := analysis.Sweep(biquad(), analysis.SweepSpec{StartHz: 100, StopHz: 1e6, Points: 81})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Fit(resp, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := r.MaxRelError(resp); e > 1e-4 {
+		t.Fatalf("fit error = %g", e)
+	}
+	f0, q, ok := DominantPair(r.Poles())
+	if !ok {
+		t.Fatalf("no conjugate pair in %v", r.Poles())
+	}
+	if math.Abs(f0-10e3) > 100 {
+		t.Errorf("f0 = %g, want 10 kHz", f0)
+	}
+	if math.Abs(q-2) > 0.05 {
+		t.Errorf("Q = %g, want 2", q)
+	}
+}
+
+func TestFitCircuitAutoOrder(t *testing.T) {
+	r, err := FitCircuit(biquad(), analysis.Region{LoHz: 100, HiHz: 1e6}, 81, 4, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DenOrder() != 2 {
+		t.Fatalf("auto order = %d, want 2", r.DenOrder())
+	}
+}
+
+func TestFitCircuitFailsOnTinyOrder(t *testing.T) {
+	// A 2nd-order response cannot be captured by a 1st-order model at
+	// 0.01% tolerance.
+	ckt := biquad()
+	_, err := FitCircuit(ckt, analysis.Region{LoHz: 100, HiHz: 1e6}, 41, 1, 1e-4)
+	if !errors.Is(err, ErrBadFit) {
+		t.Fatalf("err = %v, want ErrBadFit", err)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	resp := &analysis.Response{
+		Freqs: []float64{1, 2},
+		H:     []complex128{1, 1},
+		Valid: []bool{true, true},
+	}
+	if _, err := Fit(resp, -1, 1); !errors.Is(err, ErrBadFit) {
+		t.Error("negative order accepted")
+	}
+	if _, err := Fit(resp, 2, 1); !errors.Is(err, ErrBadFit) {
+		t.Error("improper order accepted")
+	}
+	if _, err := Fit(resp, 1, 2); !errors.Is(err, ErrBadFit) {
+		t.Error("underdetermined fit accepted")
+	}
+}
+
+func TestZerosOfBandpass(t *testing.T) {
+	// Single-opamp bandpass: one zero at s = 0.
+	c := circuit.New("bp")
+	c.Cap("C1", "in", "x", 100e-9)
+	c.R("R1", "x", "m", 10e3)
+	c.R("R2", "m", "out", 10e3)
+	c.Cap("C2", "m", "out", 1e-9)
+	c.OA("OP1", "0", "m", "out")
+	c.Input, c.Output = "in", "out"
+	resp, err := analysis.Sweep(c, analysis.SweepSpec{StartHz: 1, StopHz: 1e6, Points: 61})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Fit(resp, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := r.MaxRelError(resp); e > 1e-4 {
+		t.Fatalf("fit error = %g", e)
+	}
+	zeros := r.Zeros()
+	if len(zeros) != 1 {
+		t.Fatalf("zeros = %v", zeros)
+	}
+	if cmplx.Abs(zeros[0]) > 1 { // at DC, within 1 Hz
+		t.Fatalf("zero = %v, want ≈0", zeros[0])
+	}
+}
+
+func TestDominantPair(t *testing.T) {
+	// Pole pair at −1000 ± j·10000 rad-ish (units are Hz here): ω0 =
+	// |p| ≈ 10050, Q = ω0/(2·1000) ≈ 5.02.
+	poles := []complex128{complex(-1000, 10000), complex(-1000, -10000), complex(-500, 0)}
+	f0, q, ok := DominantPair(poles)
+	if !ok {
+		t.Fatal("no pair found")
+	}
+	if math.Abs(f0-math.Hypot(1000, 10000)) > 1 {
+		t.Errorf("f0 = %g", f0)
+	}
+	if math.Abs(q-f0/2000) > 0.01 {
+		t.Errorf("Q = %g", q)
+	}
+	// Only real poles: no pair.
+	if _, _, ok := DominantPair([]complex128{complex(-3, 0)}); ok {
+		t.Error("real pole reported as pair")
+	}
+	// Unstable pair: rejected.
+	if _, _, ok := DominantPair([]complex128{complex(1, 5), complex(1, -5)}); ok {
+		t.Error("unstable pair accepted")
+	}
+}
+
+func TestRationalOrders(t *testing.T) {
+	r := &Rational{Num: []float64{1, 2}, Den: []float64{3, 4}, ScaleHz: 1}
+	if r.NumOrder() != 1 || r.DenOrder() != 2 {
+		t.Fatalf("orders = %d/%d", r.NumOrder(), r.DenOrder())
+	}
+}
+
+func TestZerosTrimsTinyLeading(t *testing.T) {
+	r := &Rational{Num: []float64{1, 1e-18}, Den: []float64{1}, ScaleHz: 1}
+	if z := r.Zeros(); z != nil {
+		t.Fatalf("zeros = %v, want none after trim", z)
+	}
+}

@@ -1,0 +1,276 @@
+// Package testgen implements frequency-domain test generation on top of
+// the detectability analysis — the application the paper's §2 points at
+// ("this parameter … can be very useful for automatic test generation
+// procedures based on a frequency approach"). Given a circuit (one test
+// configuration) and a fault list, it selects a small set of test
+// frequencies such that every detectable fault deviates beyond ε at one
+// of them — a second covering problem, solved greedily (and exactly for
+// small candidate grids).
+package testgen
+
+import (
+	"errors"
+	"fmt"
+
+	"analogdft/internal/analysis"
+	"analogdft/internal/boolexpr"
+	"analogdft/internal/circuit"
+	"analogdft/internal/detect"
+	"analogdft/internal/dft"
+	"analogdft/internal/fault"
+)
+
+// ErrNoFaults is returned when the fault list is empty.
+var ErrNoFaults = errors.New("testgen: empty fault list")
+
+// Plan is a test plan for one circuit configuration: the chosen test
+// frequencies and the faults each frequency detects.
+type Plan struct {
+	// Circuit names the configuration the plan was generated for.
+	Circuit string
+	// Freqs are the selected test frequencies (Hz), ascending.
+	Freqs []float64
+	// Detects[i] lists the fault IDs detected at Freqs[i].
+	Detects [][]string
+	// Covered lists every fault ID detectable in this configuration (all
+	// of them are covered by the plan).
+	Covered []string
+	// Uncovered lists fault IDs not detectable at any grid frequency in
+	// this configuration.
+	Uncovered []string
+}
+
+// NumFreqs returns the plan size.
+func (p *Plan) NumFreqs() int { return len(p.Freqs) }
+
+// Options parameterizes plan generation; zero values inherit the
+// detectability defaults (ε = 10%, 241 points, −80 dB floor).
+type Options struct {
+	Eps       float64
+	Points    int
+	MeasFloor float64
+	// Exact requests the exact branch-and-bound cover; it requires a
+	// candidate grid of at most 64 points after restriction to frequencies
+	// that detect something, and falls back to greedy when that budget is
+	// exceeded.
+	Exact bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Eps == 0 {
+		o.Eps = 0.10
+	}
+	if o.Points == 0 {
+		o.Points = 241
+	}
+	if o.MeasFloor == 0 {
+		o.MeasFloor = 1e-4
+	}
+	if o.MeasFloor < 0 {
+		o.MeasFloor = 0
+	}
+	return o
+}
+
+// MinimalFrequencies builds a plan for a fixed circuit over the region.
+func MinimalFrequencies(ckt *circuit.Circuit, faults fault.List, region analysis.Region, opts Options) (*Plan, error) {
+	opts = opts.withDefaults()
+	if len(faults) == 0 {
+		return nil, ErrNoFaults
+	}
+	if err := region.Validate(); err != nil {
+		return nil, err
+	}
+	grid := region.Spec(opts.Points).Grid()
+	nominal, err := analysis.SweepOnGrid(ckt, grid)
+	if err != nil {
+		return nil, err
+	}
+	// det[f][j]: fault j deviates beyond ε at grid point f.
+	det := make([][]bool, len(grid))
+	for i := range det {
+		det[i] = make([]bool, len(faults))
+	}
+	for j, flt := range faults {
+		faulty, err := flt.Apply(ckt)
+		if err != nil {
+			return nil, fmt.Errorf("testgen: fault %s: %w", flt.ID, err)
+		}
+		resp, err := analysis.SweepOnGrid(faulty, grid)
+		if err != nil {
+			return nil, err
+		}
+		prof, err := analysis.RelativeDeviation(nominal, resp, opts.MeasFloor)
+		if err != nil {
+			return nil, err
+		}
+		for _, i := range prof.ExceedsAt(opts.Eps) {
+			det[i][j] = true
+		}
+	}
+	return coverPlan(ckt.Name, grid, det, faults, opts)
+}
+
+// coverPlan solves the frequency set-cover over the boolean matrix.
+func coverPlan(name string, grid []float64, det [][]bool, faults fault.List, opts Options) (*Plan, error) {
+	plan := &Plan{Circuit: name}
+
+	covered := make([]bool, len(faults))
+	for i := range det {
+		for j := range det[i] {
+			if det[i][j] {
+				covered[j] = true
+			}
+		}
+	}
+	for j, f := range faults {
+		if covered[j] {
+			plan.Covered = append(plan.Covered, f.ID)
+		} else {
+			plan.Uncovered = append(plan.Uncovered, f.ID)
+		}
+	}
+	if len(plan.Covered) == 0 {
+		return plan, nil
+	}
+
+	var rows []int
+	var err error
+	if opts.Exact {
+		rows, err = exactRows(det)
+		if err != nil {
+			rows = nil // fall back to greedy below
+		}
+	}
+	if rows == nil {
+		rows, err = boolexpr.GreedyCover(det)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, i := range rows {
+		plan.Freqs = append(plan.Freqs, grid[i])
+		var ids []string
+		for j := range faults {
+			if det[i][j] {
+				ids = append(ids, faults[j].ID)
+			}
+		}
+		plan.Detects = append(plan.Detects, ids)
+	}
+	return plan, nil
+}
+
+// exactRows restricts the matrix to useful rows and runs the exact cover
+// if it fits the 64-literal budget.
+func exactRows(det [][]bool) ([]int, error) {
+	var useful []int
+	for i := range det {
+		for _, d := range det[i] {
+			if d {
+				useful = append(useful, i)
+				break
+			}
+		}
+	}
+	if len(useful) == 0 {
+		return []int{}, nil
+	}
+	if len(useful) > boolexpr.MaxLiterals {
+		// Decimate evenly down to the budget; greedy handles the rest.
+		step := float64(len(useful)) / float64(boolexpr.MaxLiterals)
+		var dec []int
+		for k := 0; k < boolexpr.MaxLiterals; k++ {
+			dec = append(dec, useful[int(float64(k)*step)])
+		}
+		useful = dec
+	}
+	sub := make([][]bool, len(useful))
+	for k, i := range useful {
+		sub[k] = det[i]
+	}
+	subRows, err := boolexpr.MinCover(sub, nil)
+	if err != nil {
+		return nil, err
+	}
+	// A decimated exact cover may miss faults only covered by dropped
+	// rows; verify and reject if incomplete.
+	if !boolexpr.CoverIsComplete(sub, subRows) {
+		return nil, errors.New("testgen: decimated cover incomplete")
+	}
+	full := boolexpr.CoverIsComplete(det, mapRows(useful, subRows))
+	if !full {
+		return nil, errors.New("testgen: exact cover incomplete on full grid")
+	}
+	return mapRows(useful, subRows), nil
+}
+
+func mapRows(useful, subRows []int) []int {
+	out := make([]int, len(subRows))
+	for k, r := range subRows {
+		out[k] = useful[r]
+	}
+	return out
+}
+
+// PlanConfigurations builds one plan per configuration of a DFT-modified
+// circuit (for the given configuration indices) over a shared region —
+// the complete test program for an optimized configuration set.
+func PlanConfigurations(m *dft.Modified, cfgIndices []int, faults fault.List, region analysis.Region, opts Options) ([]*Plan, error) {
+	var out []*Plan
+	for _, idx := range cfgIndices {
+		cfg, err := m.Config(idx)
+		if err != nil {
+			return nil, err
+		}
+		ckt, err := m.Configure(cfg)
+		if err != nil {
+			return nil, err
+		}
+		plan, err := MinimalFrequencies(ckt, faults, region, opts)
+		if err != nil {
+			return nil, fmt.Errorf("testgen: %s: %w", cfg, err)
+		}
+		plan.Circuit = ckt.Name
+		out = append(out, plan)
+	}
+	return out, nil
+}
+
+// TestTime is a simple test-time model for a multi-configuration test
+// program: each configuration switch costs switchCost, each test
+// frequency costs freqCost (arbitrary units).
+func TestTime(plans []*Plan, switchCost, freqCost float64) float64 {
+	total := 0.0
+	for _, p := range plans {
+		total += switchCost + freqCost*float64(p.NumFreqs())
+	}
+	return total
+}
+
+// VerifyAgainstMatrix cross-checks a set of plans against a detectability
+// matrix row subset: every fault marked detectable in the matrix rows must
+// be covered by at least one plan. Returns the IDs of faults violating
+// this (empty means consistent).
+func VerifyAgainstMatrix(mx *detect.Matrix, rows []int, plans []*Plan) []string {
+	plannedCover := make(map[string]bool)
+	for _, p := range plans {
+		for _, id := range p.Covered {
+			plannedCover[id] = true
+		}
+	}
+	var missing []string
+	for j, f := range mx.Faults {
+		detectable := false
+		for _, i := range rows {
+			if i >= 0 && i < len(mx.Det) && mx.Det[i][j] {
+				detectable = true
+				break
+			}
+		}
+		if detectable && !plannedCover[f.ID] {
+			missing = append(missing, f.ID)
+		}
+	}
+	return missing
+}

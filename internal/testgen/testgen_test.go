@@ -1,0 +1,204 @@
+package testgen
+
+import (
+	"errors"
+	"sort"
+	"testing"
+
+	"analogdft/internal/analysis"
+	"analogdft/internal/circuit"
+	"analogdft/internal/detect"
+	"analogdft/internal/dft"
+	"analogdft/internal/fault"
+)
+
+func rcLowpass() *circuit.Circuit {
+	c := circuit.New("rc")
+	c.R("R1", "in", "out", 1e3)
+	c.Cap("C1", "out", "0", 100e-9)
+	c.Input, c.Output = "in", "out"
+	return c
+}
+
+func cascade3() *circuit.Circuit {
+	c := circuit.New("cascade3")
+	c.R("R1", "in", "s1", 1e3)
+	c.R("R2", "s1", "v1", 1e3)
+	c.OA("OP1", "0", "s1", "v1")
+	c.R("R3", "v1", "s2", 1e3)
+	c.R("R4", "s2", "v2", 1e3)
+	c.OA("OP2", "0", "s2", "v2")
+	c.R("R5", "v2", "s3", 1e3)
+	c.R("R6", "s3", "v3", 1e3)
+	c.OA("OP3", "0", "s3", "v3")
+	c.Input, c.Output = "in", "v3"
+	return c
+}
+
+var rcRegion = analysis.Region{LoHz: 10, HiHz: 1e6}
+
+func TestMinimalFrequenciesRC(t *testing.T) {
+	faults := fault.DeviationUniverse(rcLowpass(), 0.2)
+	plan, err := MinimalFrequencies(rcLowpass(), faults, rcRegion, Options{Points: 81})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Uncovered) != 0 {
+		t.Fatalf("uncovered = %v", plan.Uncovered)
+	}
+	if len(plan.Covered) != 2 {
+		t.Fatalf("covered = %v", plan.Covered)
+	}
+	// Both faults shift the same corner: a single frequency suffices.
+	if plan.NumFreqs() != 1 {
+		t.Fatalf("plan size = %d, want 1 (freqs %v)", plan.NumFreqs(), plan.Freqs)
+	}
+	// The chosen frequency must be around/above the corner where the
+	// deviation is measurable.
+	if plan.Freqs[0] < 500 {
+		t.Errorf("test frequency %g too low", plan.Freqs[0])
+	}
+	if len(plan.Detects[0]) != 2 {
+		t.Errorf("detects = %v", plan.Detects)
+	}
+	if !sort.Float64sAreSorted(plan.Freqs) {
+		t.Error("frequencies not ascending")
+	}
+}
+
+func TestMinimalFrequenciesExact(t *testing.T) {
+	faults := fault.DeviationUniverse(rcLowpass(), 0.2)
+	plan, err := MinimalFrequencies(rcLowpass(), faults, rcRegion, Options{Points: 81, Exact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumFreqs() != 1 {
+		t.Fatalf("exact plan size = %d", plan.NumFreqs())
+	}
+}
+
+func TestMinimalFrequenciesUncovered(t *testing.T) {
+	// In the deep passband nothing deviates: all faults uncovered, empty
+	// plan.
+	faults := fault.DeviationUniverse(rcLowpass(), 0.2)
+	plan, err := MinimalFrequencies(rcLowpass(), faults, analysis.Region{LoHz: 10, HiHz: 100}, Options{Points: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Uncovered) != 2 || plan.NumFreqs() != 0 {
+		t.Fatalf("plan = %+v", plan)
+	}
+}
+
+func TestMinimalFrequenciesErrors(t *testing.T) {
+	if _, err := MinimalFrequencies(rcLowpass(), nil, rcRegion, Options{}); !errors.Is(err, ErrNoFaults) {
+		t.Errorf("empty faults: %v", err)
+	}
+	faults := fault.DeviationUniverse(rcLowpass(), 0.2)
+	if _, err := MinimalFrequencies(rcLowpass(), faults, analysis.Region{LoHz: 5, HiHz: 1}, Options{}); err == nil {
+		t.Error("bad region accepted")
+	}
+	bad := fault.List{{ID: "fX", Component: "nope", Kind: fault.Deviation, Factor: 1.2}}
+	if _, err := MinimalFrequencies(rcLowpass(), bad, rcRegion, Options{Points: 11}); err == nil {
+		t.Error("bad fault accepted")
+	}
+}
+
+func TestPlanConfigurations(t *testing.T) {
+	ckt := cascade3()
+	m, err := dft.ApplyAll(ckt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := fault.DeviationUniverse(ckt, 0.2)
+	region := analysis.Region{LoHz: 10, HiHz: 1e5}
+	plans, err := PlanConfigurations(m, []int{0, 1}, faults, region, Options{Points: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 2 {
+		t.Fatalf("plans = %d", len(plans))
+	}
+	// Functional config of the resistive cascade: every fault is a gain
+	// fault, one frequency covers all six.
+	if plans[0].NumFreqs() != 1 || len(plans[0].Covered) != 6 {
+		t.Errorf("C0 plan: %d freqs, covered %v", plans[0].NumFreqs(), plans[0].Covered)
+	}
+	// C1 masks the first stage: fR1, fR2 uncovered there.
+	found := map[string]bool{}
+	for _, id := range plans[1].Uncovered {
+		found[id] = true
+	}
+	if !found["fR1"] || !found["fR2"] {
+		t.Errorf("C1 uncovered = %v", plans[1].Uncovered)
+	}
+	if _, err := PlanConfigurations(m, []int{99}, faults, region, Options{}); err == nil {
+		t.Error("bad config index accepted")
+	}
+}
+
+func TestTestTime(t *testing.T) {
+	plans := []*Plan{
+		{Freqs: []float64{1, 2}},
+		{Freqs: []float64{3}},
+	}
+	// 2 switches · 10 + 3 freqs · 1 = 23.
+	if got := TestTime(plans, 10, 1); got != 23 {
+		t.Fatalf("TestTime = %g", got)
+	}
+}
+
+func TestVerifyAgainstMatrix(t *testing.T) {
+	ckt := cascade3()
+	m, _ := dft.ApplyAll(ckt)
+	faults := fault.DeviationUniverse(ckt, 0.2)
+	region := analysis.Region{LoHz: 10, HiHz: 1e5}
+	opts := detect.Options{Points: 31, Region: region}
+	mx, err := detect.BuildMatrix(m, faults, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans, err := PlanConfigurations(m, []int{0}, faults, region, Options{Points: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row 0 covers everything in this circuit; the C0 plan must too.
+	if missing := VerifyAgainstMatrix(mx, []int{0}, plans); len(missing) != 0 {
+		t.Fatalf("missing = %v", missing)
+	}
+	// Against rows {0,1} the single C0 plan still covers all faults (C0
+	// detects everything here), so still consistent.
+	if missing := VerifyAgainstMatrix(mx, []int{0, 1}, plans); len(missing) != 0 {
+		t.Fatalf("missing = %v", missing)
+	}
+	// An empty plan set must report every detectable fault missing.
+	if missing := VerifyAgainstMatrix(mx, []int{0}, nil); len(missing) != 6 {
+		t.Fatalf("missing = %v", missing)
+	}
+}
+
+func TestExactRowsDecimation(t *testing.T) {
+	// 100 rows, 2 columns; only rows 10 and 90 detect anything.
+	det := make([][]bool, 100)
+	for i := range det {
+		det[i] = make([]bool, 2)
+	}
+	det[10][0] = true
+	det[90][1] = true
+	rows, err := exactRows(det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	// All-false matrix: empty cover.
+	empty := make([][]bool, 10)
+	for i := range empty {
+		empty[i] = make([]bool, 2)
+	}
+	rows, err = exactRows(empty)
+	if err != nil || len(rows) != 0 {
+		t.Fatalf("empty: %v %v", rows, err)
+	}
+}

@@ -1,0 +1,211 @@
+package tolerance
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"analogdft/internal/analysis"
+	"analogdft/internal/circuit"
+	"analogdft/internal/detect"
+	"analogdft/internal/fault"
+	"analogdft/internal/numeric"
+)
+
+func rcLowpass() *circuit.Circuit {
+	c := circuit.New("rc")
+	c.R("R1", "in", "out", 1e3)
+	c.Cap("C1", "out", "0", 100e-9)
+	c.Input, c.Output = "in", "out"
+	return c
+}
+
+func TestSpecValidate(t *testing.T) {
+	bad := []Spec{
+		{PassiveTol: -0.1},
+		{PassiveTol: 1.0},
+		{PassiveTol: 0.01, Samples: -3},
+		{PassiveTol: 0.01, Quantile: 1.5},
+		{PassiveTol: 0.01, Quantile: -0.2},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); !errors.Is(err, ErrBadSpec) {
+			t.Errorf("spec %+v accepted: %v", s, err)
+		}
+	}
+	if err := (Spec{PassiveTol: 0.01}).Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnvelopeZeroTolerance(t *testing.T) {
+	grid := numeric.LogSpace(10, 1e5, 11)
+	env, err := Envelope(rcLowpass(), grid, Spec{PassiveTol: 0, Samples: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range env {
+		if e > 1e-12 {
+			t.Fatalf("env[%d] = %g with zero tolerance", i, e)
+		}
+	}
+}
+
+func TestEnvelopeGrowsWithTolerance(t *testing.T) {
+	grid := numeric.LogSpace(10, 1e6, 21)
+	small, err := Envelope(rcLowpass(), grid, Spec{PassiveTol: 0.01, Samples: 50, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Envelope(rcLowpass(), grid, Spec{PassiveTol: 0.05, Samples: 50, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare at the corner, where sensitivity is highest.
+	maxS, maxL := 0.0, 0.0
+	for i := range grid {
+		if small[i] > maxS {
+			maxS = small[i]
+		}
+		if large[i] > maxL {
+			maxL = large[i]
+		}
+	}
+	if maxL <= maxS {
+		t.Fatalf("5%% envelope (%g) not above 1%% envelope (%g)", maxL, maxS)
+	}
+	if maxS <= 0 {
+		t.Fatal("1% envelope is zero")
+	}
+	// A ±1% component spread can cause at most ≈2% response deviation on
+	// a first-order RC (sensitivity ≤ 1 per component, two components).
+	if maxS > 0.05 {
+		t.Fatalf("1%% envelope %g implausibly large", maxS)
+	}
+}
+
+func TestEnvelopeDeterministic(t *testing.T) {
+	grid := numeric.LogSpace(100, 1e5, 7)
+	a, err := Envelope(rcLowpass(), grid, Spec{PassiveTol: 0.02, Samples: 30, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Envelope(rcLowpass(), grid, Spec{PassiveTol: 0.02, Samples: 30, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("envelope not deterministic at %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
+
+func TestEnvelopeQuantile(t *testing.T) {
+	grid := numeric.LogSpace(100, 1e5, 7)
+	worst, err := Envelope(rcLowpass(), grid, Spec{PassiveTol: 0.05, Samples: 60, Seed: 3, Quantile: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	median, err := Envelope(rcLowpass(), grid, Spec{PassiveTol: 0.05, Samples: 60, Seed: 3, Quantile: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range worst {
+		if median[i] > worst[i] {
+			t.Fatalf("median above worst case at %d", i)
+		}
+	}
+}
+
+func TestDeriveEps(t *testing.T) {
+	region := analysis.Region{LoHz: 10, HiHz: 1e6}
+	eps, err := DeriveEps(rcLowpass(), region, 31, Spec{PassiveTol: 0.05, Samples: 40, Seed: 9}, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ±5% parts: worst-case fault-free deviation ≈ 10% (both components at
+	// the rail, sensitivity ≤ 1 each), ×1.2 margin ⇒ ε ≈ 12%.
+	if eps < 0.02 || eps > 0.2 {
+		t.Fatalf("derived ε = %g out of plausible range", eps)
+	}
+	// A 20% fault on R1 must still be detectable at this derived ε.
+	faults := fault.List{{ID: "fR1", Component: "R1", Kind: fault.Deviation, Factor: 1.2}}
+	row, err := detect.EvaluateCircuit(rcLowpass(), faults, detect.Options{Eps: eps, Points: 61, Region: region})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !row.Evals[0].Detectable {
+		t.Fatalf("20%% fault undetectable at derived ε = %g", eps)
+	}
+}
+
+func TestDeriveEpsErrors(t *testing.T) {
+	region := analysis.Region{LoHz: 10, HiHz: 1e6}
+	if _, err := DeriveEps(rcLowpass(), analysis.Region{LoHz: 5, HiHz: 1}, 11, Spec{PassiveTol: 0.01}, 1); err == nil {
+		t.Error("bad region accepted")
+	}
+	if _, err := DeriveEps(rcLowpass(), region, 11, Spec{PassiveTol: 0.01}, 0); !errors.Is(err, ErrBadSpec) {
+		t.Error("zero margin accepted")
+	}
+	if _, err := DeriveEps(rcLowpass(), region, 11, Spec{PassiveTol: -1}, 1); !errors.Is(err, ErrBadSpec) {
+		t.Error("bad spec accepted")
+	}
+}
+
+func TestProfile(t *testing.T) {
+	p, err := Profile([]float64{0.01, 0.02}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p[0]-0.03) > 1e-12 || math.Abs(p[1]-0.06) > 1e-12 {
+		t.Fatalf("profile = %v", p)
+	}
+	if _, err := Profile([]float64{0.01}, -1); !errors.Is(err, ErrBadSpec) {
+		t.Error("bad margin accepted")
+	}
+}
+
+// Integration: a frequency-dependent EpsProfile from the tolerance
+// envelope suppresses detections that a tiny scalar ε would allow near
+// the corner, where process variation itself is large.
+func TestEpsProfileIntegration(t *testing.T) {
+	ckt := rcLowpass()
+	region := analysis.Region{LoHz: 10, HiHz: 1e6}
+	const points = 41
+	grid := region.Spec(points).Grid()
+	env, err := Envelope(ckt, grid, Spec{PassiveTol: 0.05, Samples: 40, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile, err := Profile(env, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fault of the same magnitude as the process spread: indistinguishable
+	// once the envelope is applied.
+	faults := fault.List{{ID: "fR1", Component: "R1", Kind: fault.Deviation, Factor: 1.05}}
+	loose, err := detect.EvaluateCircuit(ckt, faults, detect.Options{Eps: 0.001, Points: points, Region: region})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict, err := detect.EvaluateCircuit(ckt, faults, detect.Options{
+		Eps: 0.001, Points: points, Region: region, EpsProfile: profile,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loose.Evals[0].Detectable {
+		t.Fatal("5% fault invisible even at ε = 0.1%")
+	}
+	if strict.Evals[0].OmegaDet >= loose.Evals[0].OmegaDet {
+		t.Fatalf("envelope did not shrink the detectable region: %g vs %g",
+			strict.Evals[0].OmegaDet, loose.Evals[0].OmegaDet)
+	}
+	// A mismatched profile length is rejected.
+	if _, err := detect.EvaluateCircuit(ckt, faults, detect.Options{
+		Points: points + 1, Region: region, EpsProfile: profile,
+	}); err == nil {
+		t.Fatal("mismatched EpsProfile accepted")
+	}
+}

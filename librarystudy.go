@@ -1,0 +1,133 @@
+package analogdft
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// CircuitSummary is one row of the library study: the complete paper flow
+// (initial testability → multi-configuration matrix → configuration and
+// opamp optimization) measured on one benchmark circuit.
+type CircuitSummary struct {
+	Name        string
+	Opamps      int
+	Faults      int
+	Configs     int // matrix rows actually simulated
+	InitialFC   float64
+	DFTFC       float64
+	MinCover    int
+	CoverLabels []string
+	// PartialOpamps is the configurable-opamp count of the §4.3 solution.
+	PartialOpamps int
+	// BruteOmega / OptOmega are ⟨ω-det⟩ for all configurations vs the
+	// optimized set.
+	BruteOmega, OptOmega float64
+	// Err records a failed study (row reported with the error).
+	Err error
+}
+
+// libraryOptions returns the per-circuit evaluation options for the study.
+// Filter-like circuits get their measurable-passband window (the §2
+// calibration story); flat gain cascades use the automatic region. Wide
+// chains get the §5 configuration-subset restriction so the covering
+// expression stays tractable.
+func libraryOptions(name string, opamps int) Options {
+	opts := Options{Eps: 0.10, MeasFloor: 0.01, Points: 61}
+	switch name {
+	case "paper-biquad":
+		opts.Region = Region{LoHz: 100, HiHz: 5600}
+	case "biquad-cascade-2", "leapfrog-lp5":
+		opts.Region = Region{LoHz: 100, HiHz: 5000}
+	}
+	if opamps > 6 {
+		opts.MaxFollowers = 2 // §5: candidate-subset selection
+	}
+	return opts
+}
+
+// RunLibraryStudy executes the paper's flow over every circuit in the
+// benchmark library — the "viability through consideration of more complex
+// analog circuits" study that §5 announces as future work. Rows come back
+// sorted by opamp count then name; per-circuit failures are reported in
+// the row's Err rather than aborting the study.
+func RunLibraryStudy() []CircuitSummary {
+	lib := CircuitLibrary()
+	names := make([]string, 0, len(lib))
+	for name := range lib {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var out []CircuitSummary
+	for _, name := range names {
+		bench := lib[name]
+		row := CircuitSummary{
+			Name:   name,
+			Opamps: len(bench.Chain),
+		}
+		opts := libraryOptions(name, len(bench.Chain))
+		exp, err := Run(bench, PaperFaultFraction, opts)
+		if err != nil {
+			row.Err = err
+			out = append(out, row)
+			continue
+		}
+		row.Faults = len(exp.Faults)
+		row.Configs = exp.Matrix.NumConfigs()
+		row.InitialFC = exp.Initial.FaultCoverage()
+		row.DFTFC = exp.Matrix.FaultCoverage()
+		row.MinCover = exp.ConfigOpt.Best.NumConfigs
+		row.CoverLabels = exp.ConfigOpt.Best.Labels
+		row.PartialOpamps = len(exp.OpampOpt.Chosen)
+		row.BruteOmega = exp.Brute.AvgOmegaDet
+		row.OptOmega = exp.ConfigOpt.Best.AvgOmegaDet
+		out = append(out, row)
+	}
+	sortSummaries(out)
+	return out
+}
+
+func sortSummaries(rows []CircuitSummary) {
+	sort.Slice(rows, func(a, b int) bool {
+		if rows[a].Opamps != rows[b].Opamps {
+			return rows[a].Opamps < rows[b].Opamps
+		}
+		return rows[a].Name < rows[b].Name
+	})
+}
+
+// RunWasRestricted reports whether the study row simulated a configuration
+// subset (§5 candidate selection) rather than all 2ⁿ−1 configurations.
+func (s CircuitSummary) RunWasRestricted() bool {
+	return s.Err == nil && s.Configs < (1<<uint(s.Opamps))-1
+}
+
+// WriteLibraryStudy renders the study as a table.
+func WriteLibraryStudy(w io.Writer, rows []CircuitSummary) error {
+	if _, err := fmt.Fprintf(w, "%-20s %-7s %-7s %-8s %-9s %-7s %-9s %-8s %-22s\n",
+		"circuit", "opamps", "faults", "configs", "init-FC%", "DFT-FC%", "min-cover", "partial", "optimal set"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if r.Err != nil {
+			if _, err := fmt.Fprintf(w, "%-20s %-7d study failed: %v\n", r.Name, r.Opamps, r.Err); err != nil {
+				return err
+			}
+			continue
+		}
+		mark := ""
+		if r.RunWasRestricted() {
+			mark = "*"
+		}
+		if _, err := fmt.Fprintf(w, "%-20s %-7d %-7d %-8s %-9.1f %-7.1f %-9d %d/%-6d %-22s\n",
+			r.Name, r.Opamps, r.Faults, fmt.Sprintf("%d%s", r.Configs, mark),
+			100*r.InitialFC, 100*r.DFTFC, r.MinCover, r.PartialOpamps, r.Opamps,
+			strings.Join(r.CoverLabels, ",")); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "(* = §5 candidate-subset restriction: configurations with ≤2 followers)")
+	return err
+}

@@ -1,0 +1,82 @@
+package analogdft
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRunLibraryStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("library study simulates every benchmark circuit")
+	}
+	rows := RunLibraryStudy()
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(rows))
+	}
+	byName := map[string]CircuitSummary{}
+	for _, r := range rows {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Name, r.Err)
+		}
+		byName[r.Name] = r
+	}
+	// Rows sorted by opamp count.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Opamps < rows[i-1].Opamps {
+			t.Fatal("rows not sorted by opamp count")
+		}
+	}
+	// The paper biquad row reproduces the headline: 25% → 100%, 2 configs,
+	// 2 configurable opamps.
+	bq := byName["paper-biquad"]
+	if bq.InitialFC != 0.25 || bq.DFTFC != 1 || bq.MinCover != 2 || bq.PartialOpamps != 2 {
+		t.Fatalf("paper-biquad row = %+v", bq)
+	}
+	// Gain-dominated circuits are fully testable functionally: no DFT
+	// hardware needed.
+	for _, name := range []string{"sallen-key-lp", "multistage-lp-4"} {
+		r := byName[name]
+		if r.InitialFC != 1 || r.MinCover != 1 || r.PartialOpamps != 0 {
+			t.Fatalf("%s row = %+v", name, r)
+		}
+	}
+	// The KHN needs the DFT but only one configurable opamp.
+	khn := byName["khn-state-variable"]
+	if khn.InitialFC >= 1 || khn.DFTFC != 1 || khn.PartialOpamps == 0 {
+		t.Fatalf("khn row = %+v", khn)
+	}
+	// The 7-opamp leapfrog runs under the §5 subset restriction and still
+	// reaches high coverage with a small cover.
+	lf := byName["leapfrog-lp5"]
+	if !lf.RunWasRestricted() {
+		t.Fatal("leapfrog should use the candidate subset")
+	}
+	if lf.DFTFC < 0.9 || lf.MinCover > 3 {
+		t.Fatalf("leapfrog row = %+v", lf)
+	}
+	// DFT never lowers coverage.
+	for _, r := range rows {
+		if r.DFTFC < r.InitialFC {
+			t.Fatalf("%s: DFT coverage below initial", r.Name)
+		}
+	}
+	var sb strings.Builder
+	if err := WriteLibraryStudy(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "leapfrog-lp5") || !strings.Contains(sb.String(), "29*") {
+		t.Fatalf("study table:\n%s", sb.String())
+	}
+}
+
+func TestWriteLibraryStudyErrorRow(t *testing.T) {
+	rows := []CircuitSummary{{Name: "broken", Opamps: 2, Err: errors.New("boom")}}
+	var sb strings.Builder
+	if err := WriteLibraryStudy(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "study failed") {
+		t.Fatalf("table:\n%s", sb.String())
+	}
+}

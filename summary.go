@@ -1,0 +1,88 @@
+package analogdft
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// ExperimentSummary is the machine-readable digest of an Experiment, for
+// downstream tooling (regression tracking, plotting, CI gates).
+type ExperimentSummary struct {
+	Circuit    string   `json:"circuit"`
+	Opamps     int      `json:"opamps"`
+	Faults     []string `json:"faults"`
+	Eps        float64  `json:"eps"`
+	RegionLoHz float64  `json:"region_lo_hz"`
+	RegionHiHz float64  `json:"region_hi_hz"`
+	GridPoints int      `json:"grid_points"`
+
+	InitialFaultCoverage float64 `json:"initial_fault_coverage"`
+	DFTFaultCoverage     float64 `json:"dft_fault_coverage"`
+	InitialAvgOmegaDet   float64 `json:"initial_avg_omega_det_pct"`
+	BruteAvgOmegaDet     float64 `json:"brute_avg_omega_det_pct"`
+	OptimalAvgOmegaDet   float64 `json:"optimal_avg_omega_det_pct"`
+	PartialAvgOmegaDet   float64 `json:"partial_avg_omega_det_pct"`
+
+	EssentialConfigs []string   `json:"essential_configs"`
+	CandidateSets    [][]string `json:"candidate_sets"`
+	OptimalSet       []string   `json:"optimal_set"`
+	PartialOpamps    []string   `json:"partial_opamps"`
+	UsableConfigs    []string   `json:"usable_configs"`
+	Undetectable     []string   `json:"undetectable_faults"`
+
+	// DetMatrix[i][j] is 1 when configuration ConfigLabels[i] detects
+	// Faults[j].
+	ConfigLabels []string    `json:"config_labels"`
+	DetMatrix    [][]int     `json:"det_matrix"`
+	OmegaMatrix  [][]float64 `json:"omega_matrix_pct"`
+}
+
+// Summary digests the experiment.
+func (e *Experiment) Summary() *ExperimentSummary {
+	s := &ExperimentSummary{
+		Circuit:    e.Bench.Circuit.Name,
+		Opamps:     len(e.Bench.Chain),
+		Faults:     e.Faults.IDs(),
+		Eps:        e.Opts.Eps,
+		RegionLoHz: e.Matrix.Region.LoHz,
+		RegionHiHz: e.Matrix.Region.HiHz,
+		GridPoints: e.Opts.Points,
+
+		InitialFaultCoverage: e.Initial.FaultCoverage(),
+		DFTFaultCoverage:     e.Matrix.FaultCoverage(),
+		InitialAvgOmegaDet:   e.Initial.AvgOmegaDet(),
+		BruteAvgOmegaDet:     e.Brute.AvgOmegaDet,
+		OptimalAvgOmegaDet:   e.ConfigOpt.Best.AvgOmegaDet,
+		PartialAvgOmegaDet:   e.OpampOpt.AvgOmegaDet,
+
+		OptimalSet:    e.ConfigOpt.Best.Labels,
+		PartialOpamps: e.OpampOpt.Chosen,
+		UsableConfigs: e.OpampOpt.UsableLabels,
+		Undetectable:  e.ConfigOpt.Undetectable,
+	}
+	for _, r := range e.ConfigOpt.EssentialRows {
+		s.EssentialConfigs = append(s.EssentialConfigs, e.Matrix.Configs[r].Label())
+	}
+	for _, c := range e.ConfigOpt.Candidates {
+		s.CandidateSets = append(s.CandidateSets, c.Labels)
+	}
+	for i, cfg := range e.Matrix.Configs {
+		s.ConfigLabels = append(s.ConfigLabels, cfg.Label())
+		row := make([]int, len(e.Matrix.Det[i]))
+		for j, d := range e.Matrix.Det[i] {
+			if d {
+				row[j] = 1
+			}
+		}
+		s.DetMatrix = append(s.DetMatrix, row)
+		s.OmegaMatrix = append(s.OmegaMatrix, append([]float64(nil), e.Matrix.Omega[i]...))
+	}
+	return s
+}
+
+// WriteJSON writes the summary as indented JSON.
+func (e *Experiment) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(e.Summary())
+}
