@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test race vet verify bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# verify is the full gate: static checks, a clean build, and the whole
+# test suite under the race detector. CI runs exactly this target.
+verify: vet build race
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

@@ -33,12 +33,21 @@ type (
 	// Response is a sampled transfer function.
 	Response = analysis.Response
 	// Options parameterizes testability evaluation (ε, grid, floor,
-	// region, parallelism).
+	// region, parallelism, error policy).
 	Options = detect.Options
 	// Row is a fault list evaluated against one circuit.
 	Row = detect.Row
 	// Matrix is the fault detectability matrix across configurations.
 	Matrix = detect.Matrix
+	// CellError is a structured record of one failed matrix cell
+	// (configuration, fault, cause).
+	CellError = detect.CellError
+	// ErrorPolicy selects how failed cells are treated (Degrade,
+	// FailFast or Retry).
+	ErrorPolicy = detect.ErrorPolicy
+	// SimStats summarizes fault-simulation effort (cells, solves,
+	// singular points, retries, errors, wall time).
+	SimStats = detect.Stats
 	// Modified is a DFT-modified circuit (configurable opamps + chain).
 	Modified = dft.Modified
 	// Configuration identifies one test configuration.
@@ -57,6 +66,18 @@ type (
 	SOP = boolexpr.SOP
 	// Expr is a product-of-sums covering expression (ξ).
 	Expr = boolexpr.Expr
+)
+
+// Error policies for Options.OnError.
+const (
+	// Degrade records failed cells in Matrix.CellErrors and keeps going
+	// (the default).
+	Degrade = detect.Degrade
+	// FailFast aborts the evaluation on the first failed cell.
+	FailFast = detect.FailFast
+	// Retry re-solves singular grid points on a deterministically
+	// jittered grid before degrading.
+	Retry = detect.Retry
 )
 
 // Predefined 2nd-order cost functions.
@@ -113,6 +134,17 @@ func CatastrophicFaults(ckt *Circuit) FaultList {
 func Sweep(ckt *Circuit, spec SweepSpec) (*Response, error) {
 	return analysis.Sweep(ckt, spec)
 }
+
+// RetrySingularPoints re-solves a response's invalid (singular) grid
+// points in place on a deterministically jittered grid. It returns how
+// many points were recovered and how many extra solves were spent.
+func RetrySingularPoints(ckt *Circuit, resp *Response, attempts int) (recovered, solves int, err error) {
+	return analysis.RetrySingularPoints(ckt, resp, attempts)
+}
+
+// ClassifyError buckets a simulation error (singular system, unsupported
+// element, invalid netlist, other) for reporting and policy decisions.
+func ClassifyError(err error) analysis.ErrorClass { return analysis.ClassifyError(err) }
 
 // ReferenceRegion derives Ω_reference for a circuit (§2, Definition 2).
 func ReferenceRegion(ckt *Circuit) (Region, error) {

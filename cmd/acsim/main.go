@@ -24,16 +24,17 @@ func main() {
 		points = flag.Int("points", 201, "number of log-spaced points")
 		cfgIdx = flag.Int("config", -1, "DFT configuration index to emulate (-1 = unmodified circuit)")
 		outPth = flag.String("o", "", "output file (default stdout)")
+		retry  = flag.Int("retry", 0, "re-solve singular points on a jittered grid, up to this many attempts each")
 	)
 	flag.Parse()
 
-	if err := run(flag.Arg(0), *start, *stop, *points, *cfgIdx, *outPth); err != nil {
+	if err := run(flag.Arg(0), *start, *stop, *points, *cfgIdx, *retry, *outPth); err != nil {
 		fmt.Fprintln(os.Stderr, "acsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, start, stop float64, points, cfgIdx int, outPath string) error {
+func run(path string, start, stop float64, points, cfgIdx, retry int, outPath string) error {
 	ckt, chain, err := load(path)
 	if err != nil {
 		return err
@@ -57,6 +58,19 @@ func run(path string, start, stop float64, points, cfgIdx int, outPath string) e
 	resp, err := analogdft.Sweep(ckt, analogdft.SweepSpec{StartHz: start, StopHz: stop, Points: points})
 	if err != nil {
 		return err
+	}
+	if n := resp.InvalidCount(); n > 0 {
+		if retry > 0 {
+			recovered, solves, err := analogdft.RetrySingularPoints(ckt, resp, retry)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "acsim: %d of %d points singular; recovered %d with %d extra solves\n",
+				n, points, recovered, solves)
+		} else {
+			fmt.Fprintf(os.Stderr, "acsim: %d of %d points singular (written as invalid; use -retry to re-solve)\n",
+				n, points)
+		}
 	}
 	out := os.Stdout
 	if outPath != "" {

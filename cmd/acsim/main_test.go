@@ -10,7 +10,7 @@ import (
 func TestRunDefaultCircuit(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "bode.csv")
-	if err := run("", 10, 1e6, 11, -1, out); err != nil {
+	if err := run("", 10, 1e6, 11, -1, 0, out); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -30,7 +30,7 @@ func TestRunConfiguredSweep(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "c7.csv")
 	// Configuration 7 is transparent: |H| = 1 at every frequency.
-	if err := run("", 10, 1e5, 5, 7, out); err != nil {
+	if err := run("", 10, 1e5, 5, 7, 0, out); err != nil {
 		t.Fatal(err)
 	}
 	data, _ := os.ReadFile(out)
@@ -43,7 +43,7 @@ func TestRunConfiguredSweep(t *testing.T) {
 }
 
 func TestRunBadConfig(t *testing.T) {
-	if err := run("", 10, 1e5, 5, 99, ""); err == nil {
+	if err := run("", 10, 1e5, 5, 99, 0, ""); err == nil {
 		t.Fatal("bad config index accepted")
 	}
 }
@@ -51,7 +51,7 @@ func TestRunBadConfig(t *testing.T) {
 func TestRunFromDeck(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "deck.csv")
-	if err := run("../../testdata/biquad.cir", 10, 1e6, 5, -1, out); err != nil {
+	if err := run("../../testdata/biquad.cir", 10, 1e6, 5, -1, 2, out); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -12,64 +12,89 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"analogdft"
 	"analogdft/internal/spice"
 )
 
-func main() {
-	var (
-		frac    = flag.Float64("frac", 0.20, "deviation fault size (fraction)")
-		eps     = flag.Float64("eps", 0.10, "detection tolerance ε (fraction)")
-		floor   = flag.Float64("floor", 1e-4, "measurement floor relative to the response peak")
-		points  = flag.Int("points", 241, "frequency grid points over Ω_reference")
-		loHz    = flag.Float64("lo", 0, "pin Ω_reference low edge (Hz); 0 = automatic")
-		hiHz    = flag.Float64("hi", 0, "pin Ω_reference high edge (Hz); 0 = automatic")
-		cost    = flag.String("cost", "configs", `2nd-order cost: "configs", "opamps" or "weighted"`)
-		wCfg    = flag.Float64("wconfigs", 1, "configuration weight for -cost=weighted")
-		wOp     = flag.Float64("wopamps", 1, "opamp weight for -cost=weighted")
-		bipolar = flag.Bool("bipolar", false, "use ± deviation faults instead of + only")
-	)
-	flag.Parse()
+// config carries the parsed command line.
+type config struct {
+	path       string
+	frac       float64
+	eps        float64
+	floor      float64
+	points     int
+	loHz, hiHz float64
+	cost       string
+	wCfg, wOp  float64
+	bipolar    bool
+	simStats   bool
+	workers    int
+}
 
-	if err := run(flag.Arg(0), *frac, *eps, *floor, *points, *loHz, *hiHz, *cost, *wCfg, *wOp, *bipolar); err != nil {
+func main() {
+	var cfg config
+	flag.Float64Var(&cfg.frac, "frac", 0.20, "deviation fault size (fraction)")
+	flag.Float64Var(&cfg.eps, "eps", 0.10, "detection tolerance ε (fraction)")
+	flag.Float64Var(&cfg.floor, "floor", 1e-4, "measurement floor relative to the response peak")
+	flag.IntVar(&cfg.points, "points", 241, "frequency grid points over Ω_reference")
+	flag.Float64Var(&cfg.loHz, "lo", 0, "pin Ω_reference low edge (Hz); 0 = automatic")
+	flag.Float64Var(&cfg.hiHz, "hi", 0, "pin Ω_reference high edge (Hz); 0 = automatic")
+	flag.StringVar(&cfg.cost, "cost", "configs", `2nd-order cost: "configs", "opamps" or "weighted"`)
+	flag.Float64Var(&cfg.wCfg, "wconfigs", 1, "configuration weight for -cost=weighted")
+	flag.Float64Var(&cfg.wOp, "wopamps", 1, "opamp weight for -cost=weighted")
+	flag.BoolVar(&cfg.bipolar, "bipolar", false, "use ± deviation faults instead of + only")
+	flag.BoolVar(&cfg.simStats, "simstats", false, "print the fault-simulation effort summary")
+	flag.IntVar(&cfg.workers, "workers", 0, "fault-simulation parallelism (0 = GOMAXPROCS)")
+	flag.Parse()
+	cfg.path = flag.Arg(0)
+
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "dftopt:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, frac, eps, floor float64, points int, loHz, hiHz float64, cost string, wCfg, wOp float64, bipolar bool) error {
-	bench, err := loadBench(path)
+func run(cfg config) error {
+	bench, err := loadBench(cfg.path)
 	if err != nil {
 		return err
 	}
-	opts := analogdft.Options{Eps: eps, MeasFloor: floor, Points: points}
-	if loHz > 0 && hiHz > loHz {
-		opts.Region = analogdft.Region{LoHz: loHz, HiHz: hiHz}
+	opts := analogdft.Options{Eps: cfg.eps, MeasFloor: cfg.floor, Points: cfg.points, Workers: cfg.workers}
+	if cfg.loHz > 0 && cfg.hiHz > cfg.loHz {
+		opts.Region = analogdft.Region{LoHz: cfg.loHz, HiHz: cfg.hiHz}
 	}
-	exp, err := analogdft.Run(bench, frac, opts)
+	exp, err := analogdft.Run(bench, cfg.frac, opts)
 	if err != nil {
 		return err
 	}
-	if bipolar {
+	if cfg.bipolar {
 		// Re-run the matrix with bipolar faults (Run uses single-sided).
-		exp.Faults = analogdft.BipolarDeviationFaults(bench.Circuit, frac)
+		exp.Faults = analogdft.BipolarDeviationFaults(bench.Circuit, cfg.frac)
 		if exp.Matrix, err = analogdft.BuildMatrix(exp.Modified, exp.Faults, opts); err != nil {
 			return err
 		}
 	}
+	// The optimizer consumes d[i][j] as ground truth; a matrix with error
+	// placeholders can understate coverage and mislead Petrick's method,
+	// so failed cells are never silent.
+	warnCellErrors(os.Stderr, "full matrix", exp.Matrix)
+	if exp.PartialMatrix != nil {
+		warnCellErrors(os.Stderr, "partial matrix", exp.PartialMatrix)
+	}
 
 	var costFn analogdft.CostFunction
-	switch cost {
+	switch cfg.cost {
 	case "configs":
 		costFn = analogdft.ConfigCountCost
 	case "opamps":
 		costFn = analogdft.OpampCountCost
 	case "weighted":
-		costFn = analogdft.WeightedCost(wCfg, wOp)
+		costFn = analogdft.WeightedCost(cfg.wCfg, cfg.wOp)
 	default:
-		return fmt.Errorf("unknown cost %q", cost)
+		return fmt.Errorf("unknown cost %q", cfg.cost)
 	}
 	if exp.ConfigOpt, err = analogdft.Optimize(exp.Matrix, bench.Chain, costFn); err != nil {
 		return err
@@ -77,7 +102,26 @@ func run(path string, frac, eps, floor float64, points int, loHz, hiHz float64, 
 	if err := exp.Report(os.Stdout); err != nil {
 		return err
 	}
+	if cfg.simStats {
+		fmt.Printf("\nfault simulation: %s\n", exp.Matrix.Stats)
+		if exp.PartialMatrix != nil {
+			fmt.Printf("partial matrix:   %s\n", exp.PartialMatrix.Stats)
+		}
+	}
 	return reportProgram(exp, bench)
+}
+
+// warnCellErrors lists a matrix's failed cells on w; the optimization
+// results downstream of such a matrix must not be trusted blindly.
+func warnCellErrors(w io.Writer, label string, mx *analogdft.Matrix) {
+	if len(mx.CellErrors) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "dftopt: warning: %s has %d failed cells (recorded undetectable); coverage may be understated:\n",
+		label, len(mx.CellErrors))
+	for _, ce := range mx.CellErrors {
+		fmt.Fprintf(w, "  %-5s %-8s %v\n", ce.Config.Label(), ce.Fault.ID, ce.Err)
+	}
 }
 
 // reportProgram appends the concrete test program for the optimized set:

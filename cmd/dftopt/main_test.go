@@ -1,9 +1,17 @@
 package main
 
 import (
+	"errors"
 	"strings"
 	"testing"
+
+	"analogdft"
 )
+
+// base returns the coarse-grid biquad configuration used across tests.
+func base() config {
+	return config{frac: 0.2, eps: 0.1, floor: 0.01, points: 31, loHz: 100, hiHz: 5600, cost: "configs", wCfg: 1, wOp: 1}
+}
 
 func TestLoadBenchDefault(t *testing.T) {
 	b, err := loadBench("")
@@ -35,7 +43,9 @@ func TestLoadBenchMissingFile(t *testing.T) {
 }
 
 func TestRunRejectsUnknownCost(t *testing.T) {
-	err := run("", 0.2, 0.1, 0.01, 31, 100, 5600, "bogus", 1, 1, false)
+	cfg := base()
+	cfg.cost = "bogus"
+	err := run(cfg)
 	if err == nil || !strings.Contains(err.Error(), "unknown cost") {
 		t.Fatalf("err = %v", err)
 	}
@@ -45,14 +55,51 @@ func TestRunCostVariants(t *testing.T) {
 	// Exercise all three cost paths end to end on a coarse grid (stdout
 	// noise is acceptable in tests).
 	for _, cost := range []string{"configs", "opamps", "weighted"} {
-		if err := run("", 0.2, 0.1, 0.01, 31, 100, 5600, cost, 1, 1, false); err != nil {
+		cfg := base()
+		cfg.cost = cost
+		if err := run(cfg); err != nil {
 			t.Fatalf("cost %s: %v", cost, err)
 		}
 	}
 }
 
 func TestRunBipolar(t *testing.T) {
-	if err := run("", 0.2, 0.1, 0.01, 31, 100, 5600, "configs", 1, 1, true); err != nil {
+	cfg := base()
+	cfg.bipolar = true
+	if err := run(cfg); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunSimStats(t *testing.T) {
+	cfg := base()
+	cfg.simStats = true
+	cfg.workers = 2
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWarnCellErrors(t *testing.T) {
+	bench := analogdft.PaperBiquad()
+	faults := analogdft.DeviationFaults(bench.Circuit, 0.2)
+	mx := &analogdft.Matrix{
+		Faults:  faults,
+		Configs: []analogdft.Configuration{{Index: 0, N: 3}},
+		Det:     [][]bool{make([]bool, len(faults))},
+		Omega:   [][]float64{make([]float64, len(faults))},
+	}
+	var sb strings.Builder
+	warnCellErrors(&sb, "full matrix", mx)
+	if sb.Len() != 0 {
+		t.Fatalf("clean matrix warned: %q", sb.String())
+	}
+	mx.CellErrors = []analogdft.CellError{
+		{Config: mx.Configs[0], FaultIndex: 2, Fault: faults[2], Err: errors.New("boom")},
+	}
+	warnCellErrors(&sb, "full matrix", mx)
+	out := sb.String()
+	if !strings.Contains(out, "1 failed cells") || !strings.Contains(out, faults[2].ID) || !strings.Contains(out, "boom") {
+		t.Fatalf("warning missing detail:\n%s", out)
 	}
 }

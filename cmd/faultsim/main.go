@@ -4,12 +4,18 @@
 //
 //	faultsim [flags] circuit.cir
 //
-// With no deck argument the built-in paper biquad is used.
+// With no deck argument the built-in paper biquad is used. Cells whose
+// simulation fails are listed individually (configuration, fault, cause);
+// -strict turns any failed cell into a non-zero exit, -onerror selects
+// the engine error policy (degrade, failfast or retry) and -stats prints
+// the simulation effort summary.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"analogdft"
@@ -17,43 +23,97 @@ import (
 	"analogdft/internal/spice"
 )
 
-func main() {
-	var (
-		frac    = flag.Float64("frac", 0.20, "deviation fault size (fraction)")
-		eps     = flag.Float64("eps", 0.10, "detection tolerance ε (fraction)")
-		floor   = flag.Float64("floor", 1e-4, "measurement floor relative to peak")
-		points  = flag.Int("points", 241, "frequency grid points")
-		loHz    = flag.Float64("lo", 0, "pin Ω_reference low edge (Hz)")
-		hiHz    = flag.Float64("hi", 0, "pin Ω_reference high edge (Hz)")
-		initial = flag.Bool("initial", false, "evaluate only the unmodified circuit")
-		csvPath = flag.String("csv", "", "write the matrix as CSV to this file")
-		md      = flag.Bool("markdown", false, "render tables as GitHub markdown")
-	)
-	flag.Parse()
+// errCellsFailed is the -strict failure: the matrix was built, but some
+// cells are error placeholders rather than measurements.
+var errCellsFailed = errors.New("cells failed to simulate")
 
-	if err := run(flag.Arg(0), *frac, *eps, *floor, *points, *loHz, *hiHz, *initial, *csvPath, *md); err != nil {
+// config carries the parsed command line.
+type config struct {
+	path       string
+	frac       float64
+	eps        float64
+	floor      float64
+	points     int
+	loHz, hiHz float64
+	initial    bool
+	csvPath    string
+	markdown   bool
+	strict     bool
+	stats      bool
+	progress   bool
+	workers    int
+	onError    string
+}
+
+func main() {
+	var cfg config
+	flag.Float64Var(&cfg.frac, "frac", 0.20, "deviation fault size (fraction)")
+	flag.Float64Var(&cfg.eps, "eps", 0.10, "detection tolerance ε (fraction)")
+	flag.Float64Var(&cfg.floor, "floor", 1e-4, "measurement floor relative to peak")
+	flag.IntVar(&cfg.points, "points", 241, "frequency grid points")
+	flag.Float64Var(&cfg.loHz, "lo", 0, "pin Ω_reference low edge (Hz)")
+	flag.Float64Var(&cfg.hiHz, "hi", 0, "pin Ω_reference high edge (Hz)")
+	flag.BoolVar(&cfg.initial, "initial", false, "evaluate only the unmodified circuit")
+	flag.StringVar(&cfg.csvPath, "csv", "", "write the matrix as CSV to this file")
+	flag.BoolVar(&cfg.markdown, "markdown", false, "render tables as GitHub markdown")
+	flag.BoolVar(&cfg.strict, "strict", false, "exit non-zero when any cell failed to simulate")
+	flag.BoolVar(&cfg.stats, "stats", false, "print the simulation effort summary")
+	flag.BoolVar(&cfg.progress, "progress", false, "report live progress on stderr")
+	flag.IntVar(&cfg.workers, "workers", 0, "fault-simulation parallelism (0 = GOMAXPROCS)")
+	flag.StringVar(&cfg.onError, "onerror", "degrade", `cell error policy: "degrade", "failfast" or "retry"`)
+	flag.Parse()
+	cfg.path = flag.Arg(0)
+
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "faultsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, frac, eps, floor float64, points int, loHz, hiHz float64, initialOnly bool, csvPath string, markdown bool) error {
-	bench, err := loadBench(path)
+// errorPolicy maps the -onerror flag value onto the engine policy.
+func errorPolicy(name string) (analogdft.ErrorPolicy, error) {
+	switch name {
+	case "", "degrade":
+		return analogdft.Degrade, nil
+	case "failfast":
+		return analogdft.FailFast, nil
+	case "retry":
+		return analogdft.Retry, nil
+	default:
+		return analogdft.Degrade, fmt.Errorf("unknown error policy %q", name)
+	}
+}
+
+func run(cfg config) error {
+	bench, err := loadBench(cfg.path)
 	if err != nil {
 		return err
 	}
-	faults := analogdft.DeviationFaults(bench.Circuit, frac)
-	opts := analogdft.Options{Eps: eps, MeasFloor: floor, Points: points}
-	if loHz > 0 && hiHz > loHz {
-		opts.Region = analogdft.Region{LoHz: loHz, HiHz: hiHz}
+	policy, err := errorPolicy(cfg.onError)
+	if err != nil {
+		return err
+	}
+	faults := analogdft.DeviationFaults(bench.Circuit, cfg.frac)
+	opts := analogdft.Options{
+		Eps:       cfg.eps,
+		MeasFloor: cfg.floor,
+		Points:    cfg.points,
+		Workers:   cfg.workers,
+		OnError:   policy,
+	}
+	if cfg.loHz > 0 && cfg.hiHz > cfg.loHz {
+		opts.Region = analogdft.Region{LoHz: cfg.loHz, HiHz: cfg.hiHz}
+	}
+	if cfg.progress {
+		opts.Progress = progressReporter(os.Stderr)
 	}
 
-	if initialOnly {
+	if cfg.initial {
 		row, err := analogdft.EvaluateCircuit(bench.Circuit, faults, opts)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("circuit %s  Ω_reference = %s  ε = %.0f%%\n\n", bench.Circuit.Name, row.Region, 100*eps)
+		fmt.Printf("circuit %s  Ω_reference = %s  ε = %.0f%%\n\n", bench.Circuit.Name, row.Region, 100*cfg.eps)
 		fmt.Printf("%-8s %-11s %-9s %s\n", "fault", "detectable", "ω-det", "max |ΔT/T|")
 		for _, e := range row.Evals {
 			status := fmt.Sprintf("%.3g", e.MaxDev)
@@ -63,6 +123,12 @@ func run(path string, frac, eps, floor float64, points int, loHz, hiHz float64, 
 			fmt.Printf("%-8s %-11v %7.1f%%  %s\n", e.Fault.ID, e.Detectable, e.OmegaDet, status)
 		}
 		fmt.Printf("\n%s\n", report.CoverageSummary(bench.Circuit.Name, row.FaultCoverage(), row.AvgOmegaDet(), 1))
+		if cfg.stats {
+			fmt.Printf("simulation: %s\n", row.Stats)
+		}
+		if n := row.ErrCount(); n > 0 && cfg.strict {
+			return fmt.Errorf("%w: %d of %d evaluations", errCellsFailed, n, len(row.Evals))
+		}
 		return nil
 	}
 
@@ -75,8 +141,8 @@ func run(path string, frac, eps, floor float64, points int, loHz, hiHz float64, 
 		return err
 	}
 	fmt.Printf("circuit %s  Ω_reference = %s  ε = %.0f%%  faults = %d  configurations = %d\n\n",
-		bench.Circuit.Name, mx.Region, 100*eps, mx.NumFaults(), mx.NumConfigs())
-	if markdown {
+		bench.Circuit.Name, mx.Region, 100*cfg.eps, mx.NumFaults(), mx.NumConfigs())
+	if cfg.markdown {
 		if err := report.MatrixMarkdown(os.Stdout, mx); err != nil {
 			return err
 		}
@@ -90,11 +156,14 @@ func run(path string, frac, eps, floor float64, points int, loHz, hiHz float64, 
 		fmt.Println(report.OmegaTable(mx, nil))
 	}
 	fmt.Println(report.CoverageSummary("all configurations", mx.FaultCoverage(), mx.AvgBestOmega(nil), mx.NumConfigs()))
-	if mx.CellErrs > 0 {
-		fmt.Printf("warning: %d cells failed to simulate (counted undetectable)\n", mx.CellErrs)
+	if cfg.stats {
+		fmt.Printf("simulation: %s\n", mx.Stats)
 	}
-	if csvPath != "" {
-		f, err := os.Create(csvPath)
+	if err := reportCellErrors(os.Stdout, mx, cfg.strict); err != nil {
+		return err
+	}
+	if cfg.csvPath != "" {
+		f, err := os.Create(cfg.csvPath)
 		if err != nil {
 			return err
 		}
@@ -105,6 +174,35 @@ func run(path string, frac, eps, floor float64, points int, loHz, hiHz float64, 
 		return f.Close()
 	}
 	return nil
+}
+
+// reportCellErrors lists every failed matrix cell (configuration, fault,
+// cause) and, in strict mode, turns a non-empty list into an error.
+func reportCellErrors(w io.Writer, mx *analogdft.Matrix, strict bool) error {
+	if len(mx.CellErrors) == 0 {
+		return nil
+	}
+	total := mx.NumConfigs() * mx.NumFaults()
+	fmt.Fprintf(w, "%d of %d cells failed to simulate (recorded undetectable):\n", len(mx.CellErrors), total)
+	for _, ce := range mx.CellErrors {
+		fmt.Fprintf(w, "  %-5s %-8s %v\n", ce.Config.Label(), ce.Fault.ID, ce.Err)
+	}
+	if strict {
+		return fmt.Errorf("%w: %d of %d cells", errCellsFailed, len(mx.CellErrors), total)
+	}
+	return nil
+}
+
+// progressReporter returns a Progress hook that rewrites a one-line cell
+// counter on w, finishing with the effort summary.
+func progressReporter(w io.Writer) func(analogdft.SimStats) {
+	return func(s analogdft.SimStats) {
+		if s.Elapsed > 0 {
+			fmt.Fprintf(w, "\rsimulated %d/%d cells: %s\n", s.CellsDone, s.Cells, s)
+			return
+		}
+		fmt.Fprintf(w, "\rsimulated %d/%d cells", s.CellsDone, s.Cells)
+	}
 }
 
 func loadBench(path string) (*analogdft.Bench, error) {

@@ -1,14 +1,24 @@
 package main
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"analogdft"
 )
 
+// base returns the coarse-grid biquad configuration used across tests.
+func base() config {
+	return config{frac: 0.2, eps: 0.1, floor: 0.01, points: 31, loHz: 100, hiHz: 5600}
+}
+
 func TestRunInitialOnly(t *testing.T) {
-	if err := run("", 0.2, 0.1, 0.01, 31, 100, 5600, true, "", false); err != nil {
+	cfg := base()
+	cfg.initial = true
+	if err := run(cfg); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -16,7 +26,9 @@ func TestRunInitialOnly(t *testing.T) {
 func TestRunMatrixWithCSV(t *testing.T) {
 	dir := t.TempDir()
 	csv := filepath.Join(dir, "matrix.csv")
-	if err := run("", 0.2, 0.1, 0.01, 31, 100, 5600, false, csv, false); err != nil {
+	cfg := base()
+	cfg.csvPath = csv
+	if err := run(cfg); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(csv)
@@ -33,13 +45,18 @@ func TestRunMatrixWithCSV(t *testing.T) {
 }
 
 func TestRunFromDeck(t *testing.T) {
-	if err := run("../../testdata/biquad.cir", 0.2, 0.1, 0.01, 21, 100, 5600, true, "", false); err != nil {
+	cfg := base()
+	cfg.path = "../../testdata/biquad.cir"
+	cfg.points = 21
+	cfg.initial = true
+	if err := run(cfg); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunMissingDeck(t *testing.T) {
-	if err := run("/no/such.cir", 0.2, 0.1, 0.01, 21, 0, 0, true, "", false); err == nil {
+	cfg := config{path: "/no/such.cir", frac: 0.2, eps: 0.1, floor: 0.01, points: 21, initial: true}
+	if err := run(cfg); err == nil {
 		t.Fatal("missing deck accepted")
 	}
 }
@@ -55,7 +72,125 @@ func TestLoadBenchAutoChain(t *testing.T) {
 }
 
 func TestRunMarkdown(t *testing.T) {
-	if err := run("", 0.2, 0.1, 0.01, 31, 100, 5600, false, "", true); err != nil {
+	cfg := base()
+	cfg.markdown = true
+	if err := run(cfg); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunStrictCleanDeck(t *testing.T) {
+	// A healthy deck has no failed cells; -strict must not change the
+	// exit status.
+	cfg := base()
+	cfg.strict = true
+	cfg.stats = true
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAllPolicies(t *testing.T) {
+	for _, p := range []string{"", "degrade", "failfast", "retry"} {
+		cfg := base()
+		cfg.onError = p
+		if err := run(cfg); err != nil {
+			t.Fatalf("policy %q: %v", p, err)
+		}
+	}
+}
+
+func TestRunRejectsUnknownPolicy(t *testing.T) {
+	cfg := base()
+	cfg.onError = "bogus"
+	if err := run(cfg); err == nil || !strings.Contains(err.Error(), "unknown error policy") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestErrorPolicyMapping(t *testing.T) {
+	cases := []struct {
+		name string
+		want analogdft.ErrorPolicy
+	}{
+		{"", analogdft.Degrade},
+		{"degrade", analogdft.Degrade},
+		{"failfast", analogdft.FailFast},
+		{"retry", analogdft.Retry},
+	}
+	for _, c := range cases {
+		got, err := errorPolicy(c.name)
+		if err != nil || got != c.want {
+			t.Fatalf("errorPolicy(%q) = %v, %v", c.name, got, err)
+		}
+	}
+	if _, err := errorPolicy("abort"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+// brokenMatrix hand-builds a matrix with two failed cells so the error
+// listing can be checked without constructing a failing circuit.
+func brokenMatrix() *analogdft.Matrix {
+	bench := analogdft.PaperBiquad()
+	faults := analogdft.DeviationFaults(bench.Circuit, 0.2)
+	mx := &analogdft.Matrix{
+		Faults: faults,
+		Configs: []analogdft.Configuration{
+			{Index: 0, N: 3}, {Index: 1, N: 3},
+		},
+		Det:   [][]bool{make([]bool, len(faults)), make([]bool, len(faults))},
+		Omega: [][]float64{make([]float64, len(faults)), make([]float64, len(faults))},
+	}
+	mx.CellErrors = []analogdft.CellError{
+		{Config: mx.Configs[0], FaultIndex: 1, Fault: faults[1], Err: errors.New("boom")},
+		{Config: mx.Configs[1], FaultIndex: 3, Fault: faults[3], Err: errors.New("bang")},
+	}
+	return mx
+}
+
+func TestReportCellErrorsListing(t *testing.T) {
+	mx := brokenMatrix()
+	var sb strings.Builder
+	if err := reportCellErrors(&sb, mx, false); err != nil {
+		t.Fatalf("non-strict reporting errored: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "2 of 16 cells failed") {
+		t.Fatalf("missing count line:\n%s", out)
+	}
+	for _, want := range []string{mx.CellErrors[0].Fault.ID, mx.CellErrors[1].Fault.ID, "boom", "bang"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("listing missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReportCellErrorsStrict(t *testing.T) {
+	mx := brokenMatrix()
+	var sb strings.Builder
+	err := reportCellErrors(&sb, mx, true)
+	if !errors.Is(err, errCellsFailed) {
+		t.Fatalf("strict err = %v, want errCellsFailed", err)
+	}
+	// Clean matrix: strict mode is quiet and nil.
+	mx.CellErrors = nil
+	sb.Reset()
+	if err := reportCellErrors(&sb, mx, true); err != nil || sb.Len() != 0 {
+		t.Fatalf("clean strict: err=%v out=%q", err, sb.String())
+	}
+}
+
+func TestProgressReporter(t *testing.T) {
+	var sb strings.Builder
+	hook := progressReporter(&sb)
+	hook(analogdft.SimStats{Cells: 4, CellsDone: 2})
+	hook(analogdft.SimStats{Cells: 4, CellsDone: 4, Elapsed: 1})
+	out := sb.String()
+	if !strings.Contains(out, "simulated 2/4 cells") {
+		t.Fatalf("missing live line:\n%q", out)
+	}
+	if !strings.Contains(out, "simulated 4/4 cells: ") || !strings.HasSuffix(out, "\n") {
+		t.Fatalf("missing final summary:\n%q", out)
 	}
 }

@@ -47,6 +47,10 @@ func run(simOnly, pubOnly bool, csvDir string, characterize bool, jsonPath strin
 		if err != nil {
 			return err
 		}
+		warnCellErrors("simulation matrix", exp.Matrix)
+		if exp.PartialMatrix != nil {
+			warnCellErrors("partial matrix", exp.PartialMatrix)
+		}
 		if err := exp.Report(os.Stdout); err != nil {
 			return err
 		}
@@ -100,6 +104,20 @@ func run(simOnly, pubOnly bool, csvDir string, characterize bool, jsonPath strin
 		}
 	}
 	return nil
+}
+
+// warnCellErrors flags failed matrix cells on stderr: the reproduced
+// tables treat such cells as undetectable, which skews the comparison
+// against the published data.
+func warnCellErrors(label string, mx *analogdft.Matrix) {
+	if len(mx.CellErrors) == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "paperrepro: warning: %s has %d failed cells (treated as undetectable):\n",
+		label, len(mx.CellErrors))
+	for _, ce := range mx.CellErrors {
+		fmt.Fprintf(os.Stderr, "  %-5s %-8s %v\n", ce.Config.Label(), ce.Fault.ID, ce.Err)
+	}
 }
 
 func dumpCSV(dir, name string, mx *analogdft.Matrix) error {

@@ -19,6 +19,66 @@ import (
 // ErrBadSweep is returned for malformed sweep specifications.
 var ErrBadSweep = errors.New("analysis: bad sweep specification")
 
+// ErrAllInvalid flags a sweep in which no grid point solved: the response
+// carries no information, and any deviation profile computed against it is
+// identically zero — a silently wrong "nothing detectable" answer. Callers
+// that tolerate isolated invalid points must still treat an all-invalid
+// response as a failure.
+var ErrAllInvalid = errors.New("analysis: sweep has no valid points")
+
+// ErrorClass buckets simulation failures so error policies can react
+// differently to a singular operating point (often an isolated numerical
+// artifact, worth retrying) versus a structurally broken circuit.
+type ErrorClass int
+
+// Error classes, from ClassifyError.
+const (
+	// ClassNone is the class of a nil error.
+	ClassNone ErrorClass = iota
+	// ClassSingular is a singular MNA system (numeric.ErrSingular),
+	// possibly at a single frequency.
+	ClassSingular
+	// ClassUnsupported is a component the engine cannot stamp
+	// (mna.ErrUnsupported).
+	ClassUnsupported
+	// ClassInvalid is a malformed circuit or sweep specification.
+	ClassInvalid
+	// ClassOther is any other failure.
+	ClassOther
+)
+
+// String implements fmt.Stringer.
+func (c ErrorClass) String() string {
+	switch c {
+	case ClassNone:
+		return "none"
+	case ClassSingular:
+		return "singular"
+	case ClassUnsupported:
+		return "unsupported"
+	case ClassInvalid:
+		return "invalid"
+	default:
+		return "other"
+	}
+}
+
+// ClassifyError buckets a sweep or solve failure.
+func ClassifyError(err error) ErrorClass {
+	switch {
+	case err == nil:
+		return ClassNone
+	case errors.Is(err, numeric.ErrSingular):
+		return ClassSingular
+	case errors.Is(err, mna.ErrUnsupported):
+		return ClassUnsupported
+	case errors.Is(err, circuit.ErrInvalid), errors.Is(err, ErrBadSweep):
+		return ClassInvalid
+	default:
+		return ClassOther
+	}
+}
+
 // SweepSpec describes a logarithmic frequency sweep.
 type SweepSpec struct {
 	StartHz float64
@@ -60,12 +120,23 @@ func (r *Response) Len() int { return len(r.Freqs) }
 
 // AllValid reports whether every point solved.
 func (r *Response) AllValid() bool {
+	return r.InvalidCount() == 0
+}
+
+// ValidCount returns the number of grid points that solved.
+func (r *Response) ValidCount() int {
+	n := 0
 	for _, v := range r.Valid {
-		if !v {
-			return false
+		if v {
+			n++
 		}
 	}
-	return true
+	return n
+}
+
+// InvalidCount returns the number of singular (unsolved) grid points.
+func (r *Response) InvalidCount() int {
+	return len(r.Valid) - r.ValidCount()
 }
 
 // Mag returns |H| per point (NaN where invalid).
@@ -194,6 +265,65 @@ func SweepOnGrid(ckt *circuit.Circuit, grid []float64) (*Response, error) {
 		return nil, err
 	}
 	return sweepDriven(driven, grid)
+}
+
+// singularJitter is the deterministic schedule of relative frequency
+// offsets used to re-solve singular grid points: a system that is singular
+// only at an exact pole/zero cancellation solves a fraction of a ppm away,
+// and the detectability measure cannot resolve such a displacement. The
+// schedule is fixed (no randomness) so retried results are identical
+// across runs and worker counts.
+var singularJitter = []float64{1e-7, -1e-7, 3e-6, -3e-6, 1e-4}
+
+// MaxSingularRetries is the largest useful attempts value for
+// RetrySingularPoints (the length of the jitter schedule).
+const MaxSingularRetries = 5
+
+// RetrySingularPoints re-attempts the invalid points of resp, in place, at
+// deterministically jittered frequencies — up to attempts offsets per
+// point, clamped to MaxSingularRetries. ckt must be the (undriven) circuit
+// that produced resp. It returns the number of points recovered and the
+// number of extra solves performed. Failures other than a singular system
+// abort the retry.
+func RetrySingularPoints(ckt *circuit.Circuit, resp *Response, attempts int) (recovered, solves int, err error) {
+	if attempts <= 0 || resp.InvalidCount() == 0 {
+		return 0, 0, nil
+	}
+	if attempts > len(singularJitter) {
+		attempts = len(singularJitter)
+	}
+	driven, err := mna.Driven(ckt)
+	if err != nil {
+		return 0, 0, err
+	}
+	sys, err := mna.NewSystem(driven)
+	if err != nil {
+		return 0, 0, err
+	}
+	sw, err := sys.NewSweeper(circuit.CanonicalNode(driven.Output))
+	if err != nil {
+		return 0, 0, err
+	}
+	for i, ok := range resp.Valid {
+		if ok {
+			continue
+		}
+		for _, rel := range singularJitter[:attempts] {
+			solves++
+			v, verr := sw.VoltageAt(resp.Freqs[i] * (1 + rel))
+			if verr != nil {
+				if errors.Is(verr, numeric.ErrSingular) {
+					continue
+				}
+				return recovered, solves, verr
+			}
+			resp.H[i] = v
+			resp.Valid[i] = true
+			recovered++
+			break
+		}
+	}
+	return recovered, solves, nil
 }
 
 // Region is a frequency interval [LoHz, HiHz].

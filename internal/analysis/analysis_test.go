@@ -2,11 +2,15 @@ package analysis
 
 import (
 	"errors"
+	"fmt"
 	"math"
+	"math/cmplx"
 	"strings"
 	"testing"
 
 	"analogdft/internal/circuit"
+	"analogdft/internal/mna"
+	"analogdft/internal/numeric"
 )
 
 // rcLowpass returns an RC lowpass with corner fc ≈ 1.59 kHz.
@@ -388,5 +392,128 @@ func TestReferenceRegionFlat(t *testing.T) {
 	}
 	if reg.LoHz != probe.StartHz || reg.HiHz != probe.StopHz {
 		t.Fatalf("flat region = %v, want the probe bounds", reg)
+	}
+}
+
+func TestResponseValidCounts(t *testing.T) {
+	r := &Response{
+		Freqs: []float64{1, 2, 3, 4},
+		H:     make([]complex128, 4),
+		Valid: []bool{true, false, true, false},
+	}
+	if r.ValidCount() != 2 || r.InvalidCount() != 2 {
+		t.Fatalf("valid/invalid = %d/%d, want 2/2", r.ValidCount(), r.InvalidCount())
+	}
+	if r.AllValid() {
+		t.Fatal("AllValid true with invalid points")
+	}
+	r.Valid = []bool{true, true, true, true}
+	if !r.AllValid() || r.InvalidCount() != 0 {
+		t.Fatal("AllValid false on a fully valid response")
+	}
+}
+
+func TestClassifyError(t *testing.T) {
+	cases := []struct {
+		err  error
+		want ErrorClass
+	}{
+		{nil, ClassNone},
+		{numeric.ErrSingular, ClassSingular},
+		{fmt.Errorf("wrap: %w", numeric.ErrSingular), ClassSingular},
+		{mna.ErrUnsupported, ClassUnsupported},
+		{circuit.ErrInvalid, ClassInvalid},
+		{ErrBadSweep, ClassInvalid},
+		{errors.New("anything else"), ClassOther},
+	}
+	for _, c := range cases {
+		if got := ClassifyError(c.err); got != c.want {
+			t.Errorf("ClassifyError(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+	names := map[ErrorClass]string{
+		ClassNone: "none", ClassSingular: "singular", ClassUnsupported: "unsupported",
+		ClassInvalid: "invalid", ClassOther: "other",
+	}
+	for c, want := range names {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(c), c.String(), want)
+		}
+	}
+}
+
+func TestRetrySingularPointsRecovers(t *testing.T) {
+	spec := SweepSpec{StartHz: 100, StopHz: 1e4, Points: 11}
+	resp, err := Sweep(rcLowpass(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Manufacture two "singular" points on a healthy circuit: a ppm-scale
+	// jitter must recover both with the correct magnitudes.
+	truth := []complex128{resp.H[3], resp.H[7]}
+	resp.Valid[3], resp.Valid[7] = false, false
+	resp.H[3], resp.H[7] = 0, 0
+	recovered, solves, err := RetrySingularPoints(rcLowpass(), resp, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered != 2 {
+		t.Fatalf("recovered = %d, want 2", recovered)
+	}
+	if solves != 2 {
+		t.Fatalf("solves = %d, want 2 (healthy points recover on the first offset)", solves)
+	}
+	if !resp.AllValid() {
+		t.Fatal("response still has invalid points")
+	}
+	for k, i := range []int{3, 7} {
+		if math.Abs(cmplx.Abs(resp.H[i])-cmplx.Abs(truth[k]))/cmplx.Abs(truth[k]) > 1e-4 {
+			t.Fatalf("point %d recovered to %v, nominal %v", i, resp.H[i], truth[k])
+		}
+	}
+}
+
+func TestRetrySingularPointsNoOp(t *testing.T) {
+	spec := SweepSpec{StartHz: 100, StopHz: 1e4, Points: 5}
+	resp, err := Sweep(rcLowpass(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fully valid response: nothing to do regardless of attempts.
+	if rec, solves, err := RetrySingularPoints(rcLowpass(), resp, 3); rec != 0 || solves != 0 || err != nil {
+		t.Fatalf("valid response retried: %d/%d/%v", rec, solves, err)
+	}
+	// attempts <= 0 is an explicit no-op even with invalid points.
+	resp.Valid[0] = false
+	if rec, solves, err := RetrySingularPoints(rcLowpass(), resp, 0); rec != 0 || solves != 0 || err != nil {
+		t.Fatalf("attempts=0 retried: %d/%d/%v", rec, solves, err)
+	}
+}
+
+func TestRetrySingularPointsClampsAttempts(t *testing.T) {
+	// An unsolvable circuit consumes the full (clamped) jitter schedule
+	// per point and recovers nothing.
+	c := circuit.New("conflict")
+	c.V("V1", "x", "0", 1)
+	c.R("R1", "in", "m", 1e3)
+	c.R("R2", "m", "x", 1e3)
+	c.OA("OP1", "0", "m", "x")
+	c.Input, c.Output = "in", "x"
+	resp, err := Sweep(c, SweepSpec{StartHz: 100, StopHz: 1e4, Points: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.InvalidCount() != 4 {
+		t.Fatalf("invalid = %d, want 4", resp.InvalidCount())
+	}
+	recovered, solves, err := RetrySingularPoints(c, resp, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered != 0 {
+		t.Fatalf("recovered %d points of an unsolvable circuit", recovered)
+	}
+	if solves != 4*MaxSingularRetries {
+		t.Fatalf("solves = %d, want %d (clamped schedule)", solves, 4*MaxSingularRetries)
 	}
 }

@@ -5,16 +5,25 @@
 //
 // Fault simulation is embarrassingly parallel: each (configuration, fault)
 // cell requires an independent AC sweep of a faulty circuit clone, so the
-// engine fans the cells out over a worker pool and reduces the results
-// into fixed matrix positions, keeping the output deterministic.
+// engine fans the cells out over a chunked worker pool and reduces the
+// results into fixed matrix positions. The engine is race-clean (each cell
+// writes only its own slot; shared accounting goes through a mutex-guarded
+// reducer) and error-transparent: a cell whose simulation fails is never
+// silently recorded as "undetectable" — it is reported as a structured
+// CellError, escalated (FailFast) or re-solved on a jittered grid (Retry)
+// according to Options.OnError. Matrices and error sets are identical for
+// any Workers value.
 package detect
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"analogdft/internal/analysis"
 	"analogdft/internal/circuit"
@@ -26,10 +35,82 @@ import (
 // the circuit under analysis.
 var ErrNoRegion = errors.New("detect: no reference region")
 
+// ErrorPolicy selects how BuildMatrix and EvaluateCircuit treat cells
+// whose AC simulation fails.
+type ErrorPolicy int
+
+// Error policies.
+const (
+	// Degrade (the default) records the failure as a structured cell
+	// error, counts the cell as not detectable, and keeps going. Callers
+	// must consult Matrix.CellErrors (or FaultEval.Err) before trusting
+	// coverage numbers derived from a degraded matrix.
+	Degrade ErrorPolicy = iota
+	// FailFast aborts the whole evaluation on the first cell failure:
+	// scheduling is cancelled, in-flight cells finish, and the error is
+	// returned (as a CellError from BuildMatrix).
+	FailFast
+	// Retry re-solves singular grid points on a deterministically
+	// jittered grid (up to Options.MaxRetries offsets per point) before
+	// recording a failure; cells that still fail degrade as in Degrade.
+	Retry
+)
+
+// String implements fmt.Stringer.
+func (p ErrorPolicy) String() string {
+	switch p {
+	case Degrade:
+		return "degrade"
+	case FailFast:
+		return "failfast"
+	case Retry:
+		return "retry"
+	default:
+		return fmt.Sprintf("ErrorPolicy(%d)", int(p))
+	}
+}
+
+// Stats aggregates the effort and health of one matrix or row evaluation.
+// Snapshots are delivered through Options.Progress; the final values are
+// recorded on Matrix.Stats / Row.Stats.
+type Stats struct {
+	// Cells is the number of (configuration, fault) cells scheduled.
+	Cells int
+	// CellsDone is the number of cells completed so far.
+	CellsDone int
+	// Solves is the number of AC grid-point solves performed, including
+	// nominal pre-sweeps and retry attempts.
+	Solves int
+	// SingularPoints is the number of grid points that remained
+	// unsolvable (singular) after any retries.
+	SingularPoints int
+	// Retries is the number of jittered re-solve attempts performed
+	// under the Retry policy.
+	Retries int
+	// Recovered is the number of singular points rescued by a retry.
+	Recovered int
+	// Errors is the number of cells that recorded an error.
+	Errors int
+	// Elapsed is the wall time of the whole evaluation: zero on
+	// intermediate Progress snapshots, set on the final one.
+	Elapsed time.Duration
+}
+
+// String implements fmt.Stringer.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d/%d cells, %d solves, %d singular, %d retries (%d recovered), %d errors, %s",
+		s.CellsDone, s.Cells, s.Solves, s.SingularPoints, s.Retries, s.Recovered, s.Errors, s.Elapsed)
+}
+
 // Options parameterizes the testability evaluation.
 type Options struct {
 	// Eps is the relative tolerance ε of Definition 1 (default 0.10: the
 	// paper's "arbitrarily fixed at 10%").
+	//
+	// CAUTION: zero is a sentinel meaning "use the default", so an
+	// explicit Eps of 0 is silently rewritten to 0.10. To request a true
+	// zero tolerance (any nonzero deviation counts as detection), set
+	// NoEps.
 	Eps float64
 	// EpsProfile optionally raises the threshold per grid point (e.g. a
 	// process-tolerance envelope from the tolerance package). When set its
@@ -62,6 +143,22 @@ type Options struct {
 	// each emulated function on its own terms. Configurations whose region
 	// cannot be derived fall back to the shared region.
 	PerConfigRegion bool
+	// NoEps disables the Eps zero-value default: with NoEps set, an
+	// explicit Eps of 0 is honored as a zero tolerance instead of being
+	// rewritten to 0.10.
+	NoEps bool
+	// OnError selects the error policy for failed cells: Degrade
+	// (default), FailFast or Retry.
+	OnError ErrorPolicy
+	// MaxRetries bounds the per-point jitter attempts of the Retry
+	// policy (default 3, clamped to analysis.MaxSingularRetries).
+	MaxRetries int
+	// Progress, when non-nil, receives a Stats snapshot after every
+	// completed cell and a final snapshot (with Elapsed set) when the
+	// evaluation finishes. Snapshots are emitted in deterministic cell
+	// order regardless of Workers — the k-th snapshot always summarizes
+	// cells 0..k-1 — and calls are serialized (never concurrent).
+	Progress func(Stats)
 	// MaxFollowers, when positive, restricts the matrix to configurations
 	// with at most that many opamps in follower mode — the §5 remedy for
 	// the fault-simulation bottleneck ("select a first subset of
@@ -73,7 +170,7 @@ type Options struct {
 
 // withDefaults fills unset options.
 func (o Options) withDefaults() Options {
-	if o.Eps == 0 {
+	if o.Eps == 0 && !o.NoEps {
 		o.Eps = 0.10
 	}
 	if o.Points == 0 {
@@ -90,6 +187,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxRetries <= 0 {
+		o.MaxRetries = 3
+	}
+	if o.MaxRetries > analysis.MaxSingularRetries {
+		o.MaxRetries = analysis.MaxSingularRetries
 	}
 	return o
 }
@@ -131,6 +234,19 @@ type Row struct {
 	Circuit string
 	Evals   []FaultEval
 	Region  analysis.Region
+	// Stats summarizes the simulation effort behind the row.
+	Stats Stats
+}
+
+// ErrCount returns the number of evaluations that recorded an error.
+func (r *Row) ErrCount() int {
+	n := 0
+	for _, e := range r.Evals {
+		if e.Err != nil {
+			n++
+		}
+	}
+	return n
 }
 
 // FaultCoverage returns the fraction (0..1) of faults detectable in this
@@ -166,6 +282,7 @@ func (r *Row) AvgOmegaDet() float64 {
 // pinned in opts.
 func EvaluateCircuit(ckt *circuit.Circuit, faults fault.List, opts Options) (*Row, error) {
 	opts = opts.withDefaults()
+	start := time.Now()
 	if err := faults.Validate(); err != nil {
 		return nil, err
 	}
@@ -181,11 +298,62 @@ func EvaluateCircuit(ckt *circuit.Circuit, faults fault.List, opts Options) (*Ro
 	if err != nil {
 		return nil, fmt.Errorf("detect: nominal sweep of %q: %w", ckt.Name, err)
 	}
+	var base Stats
+	if err := accountNominal(ckt, nominal, opts, &base); err != nil {
+		return nil, fmt.Errorf("detect: nominal retry of %q: %w", ckt.Name, err)
+	}
+
 	row := &Row{Circuit: ckt.Name, Region: region, Evals: make([]FaultEval, len(faults))}
-	runParallel(len(faults), opts.Workers, func(j int) {
-		row.Evals[j] = evaluateFault(ckt, faults[j], nominal, grid, opts)
+	tr := newTracker(len(faults), base, opts.Progress)
+	ctx, cancel := cancelContext(opts)
+	runParallel(ctx, len(faults), opts.Workers, func(j int) {
+		eval, st := evaluateFault(ckt, faults[j], nominal, grid, opts)
+		row.Evals[j] = eval
+		if eval.Err != nil && cancel != nil {
+			cancel()
+		}
+		tr.complete(j, st)
 	})
+	if cancel != nil {
+		cancel()
+	}
+	if opts.OnError == FailFast {
+		for j, e := range row.Evals {
+			if e.Err != nil {
+				return nil, fmt.Errorf("detect: fault %s on %q: %w", faults[j].ID, ckt.Name, e.Err)
+			}
+		}
+	}
+	row.Stats = tr.finish(time.Since(start))
 	return row, nil
+}
+
+// accountNominal folds the cost of a nominal pre-sweep into st and, under
+// the Retry policy, re-solves its singular points first so every cell
+// compares against the best available baseline.
+func accountNominal(ckt *circuit.Circuit, nominal *analysis.Response, opts Options, st *Stats) error {
+	st.Solves += nominal.Len()
+	if opts.OnError == Retry && nominal.InvalidCount() > 0 {
+		recovered, solves, err := analysis.RetrySingularPoints(ckt, nominal, opts.MaxRetries)
+		st.Retries += solves
+		st.Solves += solves
+		st.Recovered += recovered
+		if err != nil {
+			return err
+		}
+	}
+	st.SingularPoints += nominal.InvalidCount()
+	return nil
+}
+
+// cancelContext returns the scheduling context for the configured error
+// policy: FailFast gets a cancellable context, every other policy runs to
+// completion.
+func cancelContext(opts Options) (context.Context, context.CancelFunc) {
+	if opts.OnError != FailFast {
+		return context.Background(), nil
+	}
+	return context.WithCancel(context.Background())
 }
 
 // resolveRegion returns opts.Region if set, else derives Ω_reference.
@@ -203,23 +371,50 @@ func resolveRegion(ckt *circuit.Circuit, opts Options) (analysis.Region, error) 
 	return region, nil
 }
 
-// evaluateFault measures one fault against a pre-swept nominal response.
-func evaluateFault(ckt *circuit.Circuit, f fault.Fault, nominal *analysis.Response, grid []float64, opts Options) FaultEval {
+// cellStats is the per-cell effort record merged by the tracker.
+type cellStats struct {
+	solves, singular, retries, recovered int
+	err                                  bool
+}
+
+// evaluateFault measures one fault against a pre-swept nominal response
+// and accounts the simulation effort. A nominal baseline with no valid
+// points makes every comparison meaningless (the deviation profile is
+// identically zero), so the cell records an error instead of a silent
+// "undetectable".
+func evaluateFault(ckt *circuit.Circuit, f fault.Fault, nominal *analysis.Response, grid []float64, opts Options) (FaultEval, cellStats) {
 	eval := FaultEval{Fault: f}
+	var st cellStats
+	fail := func(err error) (FaultEval, cellStats) {
+		eval.Err = err
+		st.err = true
+		return eval, st
+	}
+	if nominal.ValidCount() == 0 {
+		return fail(fmt.Errorf("detect: nominal response of %q: %w", ckt.Name, analysis.ErrAllInvalid))
+	}
 	faulty, err := f.Apply(ckt)
 	if err != nil {
-		eval.Err = err
-		return eval
+		return fail(err)
 	}
 	resp, err := analysis.SweepOnGrid(faulty, grid)
 	if err != nil {
-		eval.Err = err
-		return eval
+		return fail(err)
 	}
+	st.solves += len(grid)
+	if opts.OnError == Retry && resp.InvalidCount() > 0 {
+		recovered, solves, rerr := analysis.RetrySingularPoints(faulty, resp, opts.MaxRetries)
+		st.retries += solves
+		st.solves += solves
+		st.recovered += recovered
+		if rerr != nil {
+			return fail(rerr)
+		}
+	}
+	st.singular += resp.InvalidCount()
 	prof, err := analysis.RelativeDeviation(nominal, resp, opts.MeasFloor)
 	if err != nil {
-		eval.Err = err
-		return eval
+		return fail(err)
 	}
 	nDetected := 0
 	for i, r := range prof.Rel {
@@ -233,8 +428,29 @@ func evaluateFault(ckt *circuit.Circuit, f fault.Fault, nominal *analysis.Respon
 	if math.IsInf(eval.MaxDev, 1) {
 		eval.MaxDev = math.MaxFloat64
 	}
-	return eval
+	return eval, st
 }
+
+// CellError is a structured record of one failed matrix cell: which
+// configuration, which fault, and why the simulation failed.
+type CellError struct {
+	// Config is the matrix row (test configuration) of the failed cell.
+	Config dft.Configuration
+	// FaultIndex is the matrix column.
+	FaultIndex int
+	// Fault is the fault at that column.
+	Fault fault.Fault
+	// Err is the underlying simulation failure.
+	Err error
+}
+
+// Error implements the error interface.
+func (e CellError) Error() string {
+	return fmt.Sprintf("detect: cell %s/%s: %v", e.Config.Label(), e.Fault.ID, e.Err)
+}
+
+// Unwrap exposes the underlying cause.
+func (e CellError) Unwrap() error { return e.Err }
 
 // Matrix is the fault detectability matrix of §3.2: one row per test
 // configuration, one column per fault, with both the boolean detectability
@@ -254,10 +470,17 @@ type Matrix struct {
 	Omega [][]float64
 	// Region is the Ω_reference used for every cell.
 	Region analysis.Region
-	// CellErrs counts cells whose simulation failed (recorded as
-	// undetectable).
-	CellErrs int
+	// CellErrors records every cell whose simulation failed (its d[i][j]
+	// is recorded as undetectable), in row-major cell order. The set is
+	// identical for any Workers value; an empty slice means every cell
+	// was actually measured.
+	CellErrors []CellError
+	// Stats summarizes the simulation effort behind the matrix.
+	Stats Stats
 }
+
+// NumCellErrs returns the number of cells whose simulation failed.
+func (m *Matrix) NumCellErrs() int { return len(m.CellErrors) }
 
 // BuildMatrix fault-simulates every configuration of the modified circuit
 // against the fault list. The reference region is derived once from the
@@ -265,6 +488,7 @@ type Matrix struct {
 // are comparable across configurations, then reused for every row.
 func BuildMatrix(m *dft.Modified, faults fault.List, opts Options) (*Matrix, error) {
 	opts = opts.withDefaults()
+	start := time.Now()
 	if err := faults.Validate(); err != nil {
 		return nil, err
 	}
@@ -312,6 +536,7 @@ func BuildMatrix(m *dft.Modified, faults fault.List, opts Options) (*Matrix, err
 	nominals := make([]*analysis.Response, len(configs))
 	circuits := make([]*circuit.Circuit, len(configs))
 	grids := make([][]float64, len(configs))
+	var base Stats
 	for i, cfg := range configs {
 		ckt, err := m.Configure(cfg)
 		if err != nil {
@@ -327,6 +552,9 @@ func BuildMatrix(m *dft.Modified, faults fault.List, opts Options) (*Matrix, err
 		if err != nil {
 			return nil, fmt.Errorf("detect: nominal sweep of %s: %w", cfg, err)
 		}
+		if err := accountNominal(ckt, nom, opts, &base); err != nil {
+			return nil, fmt.Errorf("detect: nominal retry of %s: %w", cfg, err)
+		}
 		circuits[i], nominals[i], grids[i] = ckt, nom, rowGrid
 	}
 
@@ -337,47 +565,166 @@ func BuildMatrix(m *dft.Modified, faults fault.List, opts Options) (*Matrix, err
 			cells = append(cells, cell{i, j})
 		}
 	}
-	var mu sync.Mutex
-	runParallel(len(cells), opts.Workers, func(k int) {
+	// Fan out. Each cell writes only its own results slot; the tracker
+	// reduces stats behind a mutex in cell order, so the whole engine is
+	// clean under -race and deterministic for any worker count.
+	type cellResult struct {
+		eval FaultEval
+		done bool
+	}
+	results := make([]cellResult, len(cells))
+	tr := newTracker(len(cells), base, opts.Progress)
+	ctx, cancel := cancelContext(opts)
+	runParallel(ctx, len(cells), opts.Workers, func(k int) {
 		c := cells[k]
-		eval := evaluateFault(circuits[c.i], faults[c.j], nominals[c.i], grids[c.i], opts)
-		mx.Det[c.i][c.j] = eval.Detectable
-		mx.Omega[c.i][c.j] = eval.OmegaDet
-		if eval.Err != nil {
-			mu.Lock()
-			mx.CellErrs++
-			mu.Unlock()
+		eval, st := evaluateFault(circuits[c.i], faults[c.j], nominals[c.i], grids[c.i], opts)
+		results[k] = cellResult{eval: eval, done: true}
+		if eval.Err != nil && cancel != nil {
+			cancel()
 		}
+		tr.complete(k, st)
 	})
+	if cancel != nil {
+		cancel()
+	}
+	if opts.OnError == FailFast {
+		// Return the lowest-index completed failure as a structured
+		// CellError. With Workers=1 this is exactly the first failing
+		// cell; with more workers a later cell may have raced ahead, but
+		// some cell error is always reported.
+		for k, r := range results {
+			if r.done && r.eval.Err != nil {
+				c := cells[k]
+				return nil, CellError{Config: configs[c.i], FaultIndex: c.j, Fault: faults[c.j], Err: r.eval.Err}
+			}
+		}
+	}
+	for k, r := range results {
+		c := cells[k]
+		mx.Det[c.i][c.j] = r.eval.Detectable
+		mx.Omega[c.i][c.j] = r.eval.OmegaDet
+		if r.eval.Err != nil {
+			mx.CellErrors = append(mx.CellErrors,
+				CellError{Config: configs[c.i], FaultIndex: c.j, Fault: faults[c.j], Err: r.eval.Err})
+		}
+	}
+	mx.Stats = tr.finish(time.Since(start))
 	return mx, nil
 }
 
-// runParallel executes fn(0..n-1) over at most workers goroutines.
-func runParallel(n, workers int, fn func(int)) {
+// tracker merges per-cell stats and emits Progress snapshots in cell
+// order: cell k's stats are folded in only after cells 0..k-1, so the
+// snapshot sequence is a deterministic function of the cell results,
+// independent of worker count and completion order.
+type tracker struct {
+	mu       sync.Mutex
+	frontier int
+	done     []bool
+	pending  []cellStats
+	stats    Stats
+	progress func(Stats)
+}
+
+// newTracker starts a tracker over the given number of cells, seeded with
+// the pre-sweep accounting in base.
+func newTracker(cells int, base Stats, progress func(Stats)) *tracker {
+	base.Cells = cells
+	return &tracker{
+		done:     make([]bool, cells),
+		pending:  make([]cellStats, cells),
+		stats:    base,
+		progress: progress,
+	}
+}
+
+// complete records cell k's stats and advances the in-order frontier,
+// emitting one Progress snapshot per newly contiguous cell.
+func (t *tracker) complete(k int, cs cellStats) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.done[k] = true
+	t.pending[k] = cs
+	for t.frontier < len(t.done) && t.done[t.frontier] {
+		cs := t.pending[t.frontier]
+		t.frontier++
+		t.stats.CellsDone++
+		t.stats.Solves += cs.solves
+		t.stats.SingularPoints += cs.singular
+		t.stats.Retries += cs.retries
+		t.stats.Recovered += cs.recovered
+		if cs.err {
+			t.stats.Errors++
+		}
+		if t.progress != nil {
+			t.progress(t.stats)
+		}
+	}
+}
+
+// finish stamps the wall time, emits the final snapshot and returns it.
+// Call only after every worker has returned.
+func (t *tracker) finish(elapsed time.Duration) Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stats.Elapsed = elapsed
+	if t.progress != nil {
+		t.progress(t.stats)
+	}
+	return t.stats
+}
+
+// runParallel executes fn(0..n-1) over at most workers goroutines using a
+// chunked scheduler: indices are claimed in fixed-size contiguous chunks
+// off an atomic cursor. fn must write only to index-distinct state (shared
+// accounting goes through the tracker's mutex), which keeps the engine
+// race-clean and its results independent of worker count. Cancelling ctx
+// stops workers from starting new cells; cells already in flight finish.
+func runParallel(ctx context.Context, n, workers int, fn func(int)) {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if ctx != nil && ctx.Err() != nil {
+				return
+			}
 			fn(i)
 		}
 		return
 	}
+	// A few chunks per worker balances scheduling overhead against the
+	// tail latency of unlucky (slow) cells.
+	chunk := n / (workers * 4)
+	if chunk < 1 {
+		chunk = 1
+	}
+	var cursor atomic.Int64
 	var wg sync.WaitGroup
-	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range next {
-				fn(i)
+			for {
+				if ctx != nil && ctx.Err() != nil {
+					return
+				}
+				start := int(cursor.Add(int64(chunk))) - chunk
+				if start >= n {
+					return
+				}
+				end := start + chunk
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					if ctx != nil && ctx.Err() != nil {
+						return
+					}
+					fn(i)
+				}
 			}
 		}()
 	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
 	wg.Wait()
 }
 
@@ -480,18 +827,26 @@ func (m *Matrix) AvgBestOmega(rows []int) float64 {
 	return s / float64(len(best))
 }
 
-// Row extracts one configuration's evaluations as a Row.
+// Row extracts one configuration's evaluations as a Row, including any
+// per-cell errors recorded for that configuration.
 func (m *Matrix) RowOf(i int) (*Row, error) {
 	if i < 0 || i >= m.NumConfigs() {
 		return nil, fmt.Errorf("detect: row %d out of range", i)
 	}
 	row := &Row{Circuit: fmt.Sprintf("%s@%s", m.Source, m.Configs[i].Label()), Region: m.Region}
 	for j, f := range m.Faults {
-		row.Evals = append(row.Evals, FaultEval{
+		eval := FaultEval{
 			Fault:      f,
 			Detectable: m.Det[i][j],
 			OmegaDet:   m.Omega[i][j],
-		})
+		}
+		for _, ce := range m.CellErrors {
+			if ce.Config == m.Configs[i] && ce.FaultIndex == j {
+				eval.Err = ce.Err
+				break
+			}
+		}
+		row.Evals = append(row.Evals, eval)
 	}
 	return row, nil
 }
@@ -511,6 +866,11 @@ func (m *Matrix) SubMatrix(rows []int) (*Matrix, error) {
 		out.Configs = append(out.Configs, m.Configs[i])
 		out.Det = append(out.Det, m.Det[i])
 		out.Omega = append(out.Omega, m.Omega[i])
+		for _, ce := range m.CellErrors {
+			if ce.Config == m.Configs[i] {
+				out.CellErrors = append(out.CellErrors, ce)
+			}
+		}
 	}
 	return out, nil
 }

@@ -1,7 +1,10 @@
 package detect
 
 import (
+	"context"
+	"errors"
 	"math"
+	"sync/atomic"
 	"testing"
 
 	"analogdft/internal/analysis"
@@ -157,8 +160,8 @@ func TestBuildMatrixCascade(t *testing.T) {
 	if mx.NumFaults() != 6 {
 		t.Fatalf("cols = %d, want 6", mx.NumFaults())
 	}
-	if mx.CellErrs != 0 {
-		t.Fatalf("cell errors = %d", mx.CellErrs)
+	if mx.NumCellErrs() != 0 {
+		t.Fatalf("cell errors = %v", mx.CellErrors)
 	}
 	// The cascade has unity gain per stage: a 20% resistor fault changes the
 	// gain by 20% and must be detectable in the functional configuration.
@@ -324,21 +327,39 @@ func TestConfigByLabelMissing(t *testing.T) {
 }
 
 func TestRunParallelCoversAll(t *testing.T) {
+	ctx := context.Background()
 	seen := make([]bool, 100)
-	runParallel(len(seen), 7, func(i int) { seen[i] = true })
+	runParallel(ctx, len(seen), 7, func(i int) { seen[i] = true })
 	for i, s := range seen {
 		if !s {
 			t.Fatalf("index %d not visited", i)
 		}
 	}
-	// workers > n and workers <= 1 paths.
-	count := 0
-	runParallel(3, 10, func(i int) { count++ })
-	// note: parallel path increments may race; use the sequential path:
-	count = 0
-	runParallel(5, 1, func(i int) { count++ })
-	if count != 5 {
-		t.Fatalf("sequential path ran %d times", count)
+	// workers > n clamps to n; the shared counter must be atomic because
+	// the clamped path still runs multiple goroutines.
+	var count atomic.Int64
+	runParallel(ctx, 3, 10, func(i int) { count.Add(1) })
+	if count.Load() != 3 {
+		t.Fatalf("clamped parallel path ran %d times, want 3", count.Load())
+	}
+	count.Store(0)
+	runParallel(ctx, 5, 1, func(i int) { count.Add(1) })
+	if count.Load() != 5 {
+		t.Fatalf("sequential path ran %d times, want 5", count.Load())
+	}
+}
+
+func TestRunParallelCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var count atomic.Int64
+	runParallel(ctx, 50, 1, func(i int) { count.Add(1) })
+	if count.Load() != 0 {
+		t.Fatalf("sequential path ran %d cells under a cancelled context", count.Load())
+	}
+	runParallel(ctx, 50, 4, func(i int) { count.Add(1) })
+	if count.Load() != 0 {
+		t.Fatalf("parallel path ran %d cells under a cancelled context", count.Load())
 	}
 }
 
@@ -388,10 +409,32 @@ func TestAllSingularNominal(t *testing.T) {
 		if e.Detectable {
 			t.Errorf("%s detectable in an unsolvable circuit", e.Fault.ID)
 		}
+		// Error transparency: the engine must not launder an unusable
+		// baseline into a silent "undetectable".
+		if !errors.Is(e.Err, analysis.ErrAllInvalid) {
+			t.Errorf("%s: err = %v, want ErrAllInvalid", e.Fault.ID, e.Err)
+		}
 	}
 	if row.FaultCoverage() != 0 {
 		t.Fatalf("coverage = %g", row.FaultCoverage())
 	}
+	if row.Stats.Errors != len(row.Evals) {
+		t.Fatalf("stats errors = %d, want %d", row.Stats.Errors, len(row.Evals))
+	}
+	if row.Stats.SingularPoints == 0 {
+		t.Fatal("stats should count the singular nominal points")
+	}
+}
+
+// conflictCircuit is the unsolvable circuit from TestAllSingularNominal.
+func conflictCircuit() *circuit.Circuit {
+	c := circuit.New("conflict")
+	c.V("V1", "x", "0", 1)
+	c.R("R1", "in", "m", 1e3)
+	c.R("R2", "m", "x", 1e3)
+	c.OA("OP1", "0", "m", "x")
+	c.Input, c.Output = "in", "x"
+	return c
 }
 
 // EpsProfile interplay with the matrix path.
@@ -503,5 +546,299 @@ func TestWorstCaseEndToEnd(t *testing.T) {
 	}
 	if wc.FaultCoverage() != 1 {
 		t.Fatalf("worst-case coverage = %g", wc.FaultCoverage())
+	}
+}
+
+// mixedFaults returns a universe where fault index 1 cannot be applied
+// (component does not exist) while the rest simulate normally.
+func mixedFaults(ckt *circuit.Circuit) fault.List {
+	faults := fault.DeviationUniverse(ckt, 0.2)
+	bad := fault.Fault{ID: "fBAD", Component: "missing", Kind: fault.Deviation, Factor: 1.2}
+	out := fault.List{faults[0], bad}
+	out = append(out, faults[1:]...)
+	return out
+}
+
+func TestBuildMatrixErrorParityAcrossWorkers(t *testing.T) {
+	ckt := cascade3()
+	m, _ := dft.ApplyAll(ckt)
+	faults := mixedFaults(ckt)
+	opts := fastOpts()
+	opts.Region = analysis.Region{LoHz: 10, HiHz: 1e5}
+
+	opts.Workers = 1
+	seq, err := BuildMatrix(m, faults, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = 8
+	par, err := BuildMatrix(m, faults, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Healthy cells must still be measured; the bad fault's column fails
+	// once per configuration, in row-major order.
+	if seq.NumCellErrs() != seq.NumConfigs() {
+		t.Fatalf("cell errors = %d, want one per config (%d)", seq.NumCellErrs(), seq.NumConfigs())
+	}
+	if par.NumCellErrs() != seq.NumCellErrs() {
+		t.Fatalf("error count differs: seq %d, par %d", seq.NumCellErrs(), par.NumCellErrs())
+	}
+	for k := range seq.CellErrors {
+		a, b := seq.CellErrors[k], par.CellErrors[k]
+		if a.Config != b.Config || a.FaultIndex != b.FaultIndex || a.Fault.ID != b.Fault.ID {
+			t.Fatalf("cell error %d differs: %+v vs %+v", k, a, b)
+		}
+		if a.Err.Error() != b.Err.Error() {
+			t.Fatalf("cell error %d cause differs: %v vs %v", k, a.Err, b.Err)
+		}
+		if a.Fault.ID != "fBAD" || a.FaultIndex != 1 {
+			t.Fatalf("cell error %d on wrong cell: %+v", k, a)
+		}
+	}
+	for i := range seq.Det {
+		for j := range seq.Det[i] {
+			if seq.Det[i][j] != par.Det[i][j] || seq.Omega[i][j] != par.Omega[i][j] {
+				t.Fatalf("matrix mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Degraded coverage: every other fault stays detectable somewhere.
+	for j := range faults {
+		want := faults[j].ID != "fBAD"
+		if seq.DetectableAnywhere(j) != want {
+			t.Errorf("fault %s detectable=%v, want %v", faults[j].ID, !want, want)
+		}
+	}
+	if seq.Stats.Errors != seq.NumCellErrs() || par.Stats.Errors != par.NumCellErrs() {
+		t.Errorf("stats errors %d/%d disagree with cell errors %d/%d",
+			seq.Stats.Errors, par.Stats.Errors, seq.NumCellErrs(), par.NumCellErrs())
+	}
+}
+
+func TestBuildMatrixFailFast(t *testing.T) {
+	ckt := cascade3()
+	m, _ := dft.ApplyAll(ckt)
+	// Bad fault first: with Workers=1 the very first cell fails.
+	faults := fault.List{{ID: "fBAD", Component: "missing", Kind: fault.Deviation, Factor: 1.2}}
+	faults = append(faults, fault.DeviationUniverse(ckt, 0.2)...)
+	opts := fastOpts()
+	opts.Region = analysis.Region{LoHz: 10, HiHz: 1e5}
+	opts.OnError = FailFast
+
+	var last Stats
+	opts.Progress = func(s Stats) { last = s }
+	opts.Workers = 1
+	_, err := BuildMatrix(m, faults, opts)
+	var ce CellError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want a CellError", err)
+	}
+	if ce.Fault.ID != "fBAD" || ce.FaultIndex != 0 {
+		t.Fatalf("cell error = %+v, want the first cell", ce)
+	}
+	if last.CellsDone != 1 {
+		t.Fatalf("sequential fail-fast completed %d cells, want 1", last.CellsDone)
+	}
+	if last.CellsDone >= last.Cells {
+		t.Fatal("fail-fast did not abort early")
+	}
+
+	opts.Progress = nil
+	opts.Workers = 4
+	_, err = BuildMatrix(m, faults, opts)
+	if !errors.As(err, &ce) {
+		t.Fatalf("parallel err = %v, want a CellError", err)
+	}
+	if ce.Fault.ID != "fBAD" {
+		t.Fatalf("parallel cell error on %s, want fBAD", ce.Fault.ID)
+	}
+}
+
+func TestEvaluateCircuitFailFast(t *testing.T) {
+	faults := fault.List{{ID: "fX", Component: "missing", Kind: fault.Deviation, Factor: 1.2}}
+	opts := fastOpts()
+	opts.OnError = FailFast
+	_, err := EvaluateCircuit(rcLowpass(), faults, opts)
+	if err == nil {
+		t.Fatal("fail-fast returned a row despite a failing cell")
+	}
+}
+
+func TestRetryPolicyAccounting(t *testing.T) {
+	// Unsolvable circuit: retries are spent, nothing recovers, and the
+	// cells still surface ErrAllInvalid.
+	faults := fault.DeviationUniverse(conflictCircuit(), 0.2)
+	opts := fastOpts()
+	opts.Region = analysis.Region{LoHz: 10, HiHz: 1e4}
+	opts.OnError = Retry
+	row, err := EvaluateCircuit(conflictCircuit(), faults, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Stats.Retries == 0 {
+		t.Fatal("retry policy spent no retries on an all-singular sweep")
+	}
+	if row.Stats.Recovered != 0 {
+		t.Fatalf("recovered = %d points of an unsolvable circuit", row.Stats.Recovered)
+	}
+	for _, e := range row.Evals {
+		if !errors.Is(e.Err, analysis.ErrAllInvalid) {
+			t.Errorf("%s: err = %v, want ErrAllInvalid", e.Fault.ID, e.Err)
+		}
+	}
+
+	// Healthy circuit: Retry must be a no-op equivalent to Degrade.
+	opts = fastOpts()
+	opts.OnError = Retry
+	row, err = EvaluateCircuit(rcLowpass(), fault.DeviationUniverse(rcLowpass(), 0.2), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Stats.Retries != 0 || row.Stats.Recovered != 0 || row.Stats.SingularPoints != 0 {
+		t.Fatalf("healthy circuit spent retries: %+v", row.Stats)
+	}
+	if row.ErrCount() != 0 || row.FaultCoverage() != 1 {
+		t.Fatalf("healthy retry run degraded: errs=%d coverage=%g", row.ErrCount(), row.FaultCoverage())
+	}
+}
+
+func TestNoEpsHonorsZeroTolerance(t *testing.T) {
+	// A 0.1% resistor shift is far below the default 10% tolerance but
+	// still produces a nonzero deviation.
+	faults := fault.List{{ID: "fR1", Component: "R1", Kind: fault.Deviation, Factor: 1.001}}
+
+	opts := fastOpts() // Eps zero sentinel -> default 0.10
+	row, err := EvaluateCircuit(rcLowpass(), faults, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Evals[0].Detectable {
+		t.Fatal("0.1% fault detectable at the default 10% tolerance")
+	}
+
+	opts.NoEps = true // honor Eps == 0 as a true zero tolerance
+	row, err = EvaluateCircuit(rcLowpass(), faults, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !row.Evals[0].Detectable {
+		t.Fatal("0.1% fault undetectable at zero tolerance")
+	}
+}
+
+func TestProgressDeterministicAcrossWorkers(t *testing.T) {
+	ckt := cascade3()
+	m, _ := dft.ApplyAll(ckt)
+	faults := fault.DeviationUniverse(ckt, 0.2)
+	opts := fastOpts()
+	opts.Region = analysis.Region{LoHz: 10, HiHz: 1e5}
+
+	capture := func(workers int) []Stats {
+		var snaps []Stats
+		o := opts
+		o.Workers = workers
+		o.Progress = func(s Stats) {
+			s.Elapsed = 0 // wall time is the only legitimately nondeterministic field
+			snaps = append(snaps, s)
+		}
+		if _, err := BuildMatrix(m, faults, o); err != nil {
+			t.Fatal(err)
+		}
+		return snaps
+	}
+	seq := capture(1)
+	par := capture(8)
+	if len(seq) != len(par) {
+		t.Fatalf("snapshot counts differ: %d vs %d", len(seq), len(par))
+	}
+	for k := range seq {
+		if seq[k] != par[k] {
+			t.Fatalf("snapshot %d differs:\nseq %+v\npar %+v", k, seq[k], par[k])
+		}
+	}
+	// One snapshot per cell plus the final one; CellsDone strictly ordered.
+	want := 7*len(faults) + 1
+	if len(seq) != want {
+		t.Fatalf("snapshots = %d, want %d", len(seq), want)
+	}
+	for k := 1; k < len(seq); k++ {
+		if seq[k].CellsDone < seq[k-1].CellsDone {
+			t.Fatalf("CellsDone regressed at snapshot %d", k)
+		}
+	}
+}
+
+func TestRowOfAndSubMatrixPropagateCellErrors(t *testing.T) {
+	m := handMatrix()
+	boom := errors.New("boom")
+	m.CellErrors = []CellError{
+		{Config: m.Configs[1], FaultIndex: 2, Fault: m.Faults[2], Err: boom},
+	}
+	row, err := m.RowOf(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(row.Evals[2].Err, boom) {
+		t.Fatalf("RowOf dropped the cell error: %+v", row.Evals[2])
+	}
+	if row.Evals[0].Err != nil || row.Evals[1].Err != nil {
+		t.Fatal("RowOf smeared the error over healthy cells")
+	}
+	clean, err := m.RowOf(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.ErrCount() != 0 {
+		t.Fatal("RowOf(0) picked up another row's error")
+	}
+
+	sub, err := m.SubMatrix([]int{2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumCellErrs() != 1 || !errors.Is(sub.CellErrors[0].Err, boom) {
+		t.Fatalf("SubMatrix errors = %+v", sub.CellErrors)
+	}
+	sub, err = m.SubMatrix([]int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumCellErrs() != 0 {
+		t.Fatal("SubMatrix kept an error for an excluded row")
+	}
+}
+
+func TestCellErrorFormatting(t *testing.T) {
+	cause := errors.New("boom")
+	ce := CellError{Config: dft.Configuration{Index: 3, N: 3}, FaultIndex: 1,
+		Fault: fault.Fault{ID: "fR2"}, Err: cause}
+	if !errors.Is(ce, cause) {
+		t.Fatal("CellError does not unwrap to its cause")
+	}
+	msg := ce.Error()
+	for _, want := range []string{"C3", "fR2", "boom"} {
+		if !contains(msg, want) {
+			t.Fatalf("error %q missing %q", msg, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestErrorPolicyString(t *testing.T) {
+	cases := map[ErrorPolicy]string{Degrade: "degrade", FailFast: "failfast", Retry: "retry", ErrorPolicy(9): "ErrorPolicy(9)"}
+	for p, want := range cases {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(p), p.String(), want)
+		}
 	}
 }

@@ -34,6 +34,24 @@ var ErrUnsupported = errors.New("mna: unsupported component")
 // errors.Is(err, numeric.ErrSingular) to detect it.
 var ErrSingular = numeric.ErrSingular
 
+// SolveError is a failed AC solve with its full context: which circuit, at
+// which frequency, and the underlying cause. It wraps the cause, so
+// errors.Is(err, numeric.ErrSingular) keeps working; errors.As recovers
+// the frequency of a singular point for reporting or retry.
+type SolveError struct {
+	Circuit string
+	FreqHz  float64
+	Err     error
+}
+
+// Error implements the error interface.
+func (e *SolveError) Error() string {
+	return fmt.Sprintf("mna: circuit %q at %g Hz: %v", e.Circuit, e.FreqHz, e.Err)
+}
+
+// Unwrap exposes the underlying cause.
+func (e *SolveError) Unwrap() error { return e.Err }
+
 // System is a circuit prepared for AC analysis: node numbering and branch
 // allocation are fixed, so repeated solves across a frequency sweep only
 // re-stamp and re-factor the matrix.
@@ -156,7 +174,7 @@ func (s *System) SolveAt(freqHz float64) (*Solution, error) {
 
 	x, err := numeric.Solve(m, rhs)
 	if err != nil {
-		return nil, fmt.Errorf("mna: circuit %q at %g Hz: %w", s.ckt.Name, freqHz, err)
+		return nil, &SolveError{Circuit: s.ckt.Name, FreqHz: freqHz, Err: err}
 	}
 
 	sol := &Solution{

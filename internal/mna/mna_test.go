@@ -606,3 +606,41 @@ func TestDrivenNoInput(t *testing.T) {
 		t.Fatal("missing input accepted")
 	}
 }
+
+func TestSolveErrorContext(t *testing.T) {
+	// Capacitive divider at DC: singular. The failure must carry the
+	// circuit name and frequency while still unwrapping to ErrSingular.
+	c := circuit.New("capdiv")
+	c.V("V1", "in", "0", 1)
+	c.Cap("C1", "in", "mid", 1e-9)
+	c.Cap("C2", "mid", "0", 1e-9)
+	sys, err := NewSystem(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sys.SolveAt(0)
+	if !errors.Is(err, numeric.ErrSingular) {
+		t.Fatalf("err = %v, want to wrap ErrSingular", err)
+	}
+	var se *SolveError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %T, want *SolveError", err)
+	}
+	if se.Circuit != "capdiv" || se.FreqHz != 0 {
+		t.Fatalf("SolveError context = %q @ %g Hz", se.Circuit, se.FreqHz)
+	}
+	if msg := se.Error(); msg == "" || !errors.Is(se, numeric.ErrSingular) {
+		t.Fatalf("SolveError formatting/unwrap broken: %q", msg)
+	}
+
+	// The factored sweeper path reports the same structured context.
+	sw, err := sys.NewSweeper("mid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sw.VoltageAt(0)
+	se = nil
+	if !errors.As(err, &se) || se.FreqHz != 0 {
+		t.Fatalf("sweeper err = %v, want *SolveError at 0 Hz", err)
+	}
+}

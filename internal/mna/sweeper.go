@@ -47,7 +47,7 @@ func (sw *Sweeper) VoltageAt(freqHz float64) (complex128, error) {
 	}
 	lu, err := numeric.FactorInPlace(sw.m, sw.pivot)
 	if err != nil {
-		return 0, fmt.Errorf("mna: circuit %q at %g Hz: %w", sw.sys.ckt.Name, freqHz, err)
+		return 0, &SolveError{Circuit: sw.sys.ckt.Name, FreqHz: freqHz, Err: err}
 	}
 	if err := lu.SolveInPlace(sw.rhs); err != nil {
 		return 0, err
