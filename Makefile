@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify bench
+.PHONY: build test race vet verify bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -18,5 +18,13 @@ vet:
 # test suite under the race detector. CI runs exactly this target.
 verify: vet build race
 
+# bench runs the full benchmark suite three times with allocation stats
+# and commits the aggregated result into the BENCH_<date>.json perf
+# trajectory (see cmd/benchjson).
 bench:
-	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+	$(GO) test -bench=. -benchmem -count=3 -run=^$$ -timeout 60m ./... \
+		| $(GO) run ./cmd/benchjson -o BENCH_$$(date +%Y-%m-%d).json
+
+# bench-smoke is the cheap CI variant: every benchmark runs exactly once.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -benchmem -run=^$$ ./...

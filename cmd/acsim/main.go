@@ -14,7 +14,7 @@ import (
 	"os"
 
 	"analogdft"
-	"analogdft/internal/spice"
+	"analogdft/internal/obs/cliobs"
 )
 
 func main() {
@@ -26,10 +26,21 @@ func main() {
 		outPth = flag.String("o", "", "output file (default stdout)")
 		retry  = flag.Int("retry", 0, "re-solve singular points on a jittered grid, up to this many attempts each")
 	)
+	obsf := cliobs.RegisterObs(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(flag.Arg(0), *start, *stop, *points, *cfgIdx, *retry, *outPth); err != nil {
+	sess, err := obsf.Start("acsim", nil)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "acsim:", err)
+		os.Exit(1)
+	}
+	sess.Report.SetInput("deck", flag.Arg(0))
+	runErr := run(flag.Arg(0), *start, *stop, *points, *cfgIdx, *retry, *outPth)
+	if err := sess.Finish(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "acsim:", runErr)
 		os.Exit(1)
 	}
 }
@@ -85,24 +96,9 @@ func run(path string, start, stop float64, points, cfgIdx, retry int, outPath st
 }
 
 func load(path string) (*analogdft.Circuit, []string, error) {
-	if path == "" {
-		b := analogdft.PaperBiquad()
-		return b.Circuit, b.Chain, nil
-	}
-	f, err := os.Open(path)
+	b, err := analogdft.LoadBench(path)
 	if err != nil {
 		return nil, nil, err
 	}
-	defer f.Close()
-	deck, err := spice.Parse(f)
-	if err != nil {
-		return nil, nil, err
-	}
-	chain := deck.Chain
-	if len(chain) == 0 {
-		for _, op := range deck.Circuit.Opamps() {
-			chain = append(chain, op.Name())
-		}
-	}
-	return deck.Circuit, chain, nil
+	return b.Circuit, b.Chain, nil
 }

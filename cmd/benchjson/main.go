@@ -1,0 +1,58 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into the committed BENCH_<date>.json perf-trajectory format:
+//
+//	go test -bench=. -benchmem -count=3 ./... | benchjson -o BENCH_2026-08-05.json
+//
+// The go version is stamped from the running toolchain; -date overrides
+// the date stamp (default: today).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"analogdft/internal/obs/benchfmt"
+)
+
+func main() {
+	outPath := flag.String("o", "", "output file (default stdout)")
+	date := flag.String("date", "", "date stamp YYYY-MM-DD (default: today)")
+	flag.Parse()
+
+	if err := run(os.Stdin, *outPath, *date); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in *os.File, outPath, date string) error {
+	f, err := benchfmt.Parse(in)
+	if err != nil {
+		return err
+	}
+	if date == "" {
+		date = time.Now().Format("2006-01-02")
+	}
+	f.Date = date
+	f.GoVersion = runtime.Version()
+
+	out := os.Stdout
+	if outPath != "" {
+		of, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer of.Close()
+		out = of
+	}
+	if err := f.WriteJSON(out); err != nil {
+		return err
+	}
+	if outPath != "" {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks -> %s\n", len(f.Benchmarks), outPath)
+	}
+	return nil
+}

@@ -16,7 +16,7 @@ import (
 	"os"
 
 	"analogdft"
-	"analogdft/internal/spice"
+	"analogdft/internal/obs/cliobs"
 )
 
 // config carries the parsed command line.
@@ -30,8 +30,7 @@ type config struct {
 	cost       string
 	wCfg, wOp  float64
 	bipolar    bool
-	simStats   bool
-	workers    int
+	sim        cliobs.SimFlags
 }
 
 func main() {
@@ -46,23 +45,39 @@ func main() {
 	flag.Float64Var(&cfg.wCfg, "wconfigs", 1, "configuration weight for -cost=weighted")
 	flag.Float64Var(&cfg.wOp, "wopamps", 1, "opamp weight for -cost=weighted")
 	flag.BoolVar(&cfg.bipolar, "bipolar", false, "use ± deviation faults instead of + only")
-	flag.BoolVar(&cfg.simStats, "simstats", false, "print the fault-simulation effort summary")
-	flag.IntVar(&cfg.workers, "workers", 0, "fault-simulation parallelism (0 = GOMAXPROCS)")
+	cfg.sim.Register(flag.CommandLine)
+	obsf := cliobs.RegisterObs(flag.CommandLine)
 	flag.Parse()
 	cfg.path = flag.Arg(0)
 
-	if err := run(cfg); err != nil {
+	sess, err := obsf.Start("dftopt", nil)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "dftopt:", err)
+		os.Exit(1)
+	}
+	sess.Report.SetInput("deck", cfg.path)
+	runErr := run(cfg)
+	if err := sess.Finish(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "dftopt:", runErr)
 		os.Exit(1)
 	}
 }
 
 func run(cfg config) error {
-	bench, err := loadBench(cfg.path)
+	bench, err := analogdft.LoadBench(cfg.path)
 	if err != nil {
 		return err
 	}
-	opts := analogdft.Options{Eps: cfg.eps, MeasFloor: cfg.floor, Points: cfg.points, Workers: cfg.workers}
+	if len(bench.Chain) == 0 {
+		return fmt.Errorf("deck %s has no opamps to configure", cfg.path)
+	}
+	opts := analogdft.Options{Eps: cfg.eps, MeasFloor: cfg.floor, Points: cfg.points}
+	if err := cfg.sim.Apply(&opts, os.Stderr); err != nil {
+		return err
+	}
 	if cfg.loHz > 0 && cfg.hiHz > cfg.loHz {
 		opts.Region = analogdft.Region{LoHz: cfg.loHz, HiHz: cfg.hiHz}
 	}
@@ -102,7 +117,7 @@ func run(cfg config) error {
 	if err := exp.Report(os.Stdout); err != nil {
 		return err
 	}
-	if cfg.simStats {
+	if cfg.sim.Stats {
 		fmt.Printf("\nfault simulation: %s\n", exp.Matrix.Stats)
 		if exp.PartialMatrix != nil {
 			fmt.Printf("partial matrix:   %s\n", exp.PartialMatrix.Stats)
@@ -163,33 +178,4 @@ func reportProgram(exp *analogdft.Experiment, bench *analogdft.Bench) error {
 	fmt.Printf("BIST budget: %.0f gate equivalents (%d config ROM bits, %d freq words, %d windows)\n",
 		est.GateEquivalents, est.ConfigROMBits, est.FreqROMBits, est.Windows)
 	return nil
-}
-
-func loadBench(path string) (*analogdft.Bench, error) {
-	if path == "" {
-		return analogdft.PaperBiquad(), nil
-	}
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	deck, err := spice.Parse(f)
-	if err != nil {
-		return nil, err
-	}
-	chain := deck.Chain
-	if len(chain) == 0 {
-		for _, op := range deck.Circuit.Opamps() {
-			chain = append(chain, op.Name())
-		}
-	}
-	if len(chain) == 0 {
-		return nil, fmt.Errorf("deck %s has no opamps to configure", path)
-	}
-	return &analogdft.Bench{
-		Circuit:     deck.Circuit,
-		Chain:       chain,
-		Description: "netlist " + path,
-	}, nil
 }

@@ -14,7 +14,7 @@ func base() config {
 }
 
 func TestLoadBenchDefault(t *testing.T) {
-	b, err := loadBench("")
+	b, err := analogdft.LoadBench("")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,7 +24,7 @@ func TestLoadBenchDefault(t *testing.T) {
 }
 
 func TestLoadBenchFromDeck(t *testing.T) {
-	b, err := loadBench("../../testdata/biquad.cir")
+	b, err := analogdft.LoadBench("../../testdata/biquad.cir")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +37,7 @@ func TestLoadBenchFromDeck(t *testing.T) {
 }
 
 func TestLoadBenchMissingFile(t *testing.T) {
-	if _, err := loadBench("/nonexistent/deck.cir"); err == nil {
+	if _, err := analogdft.LoadBench("/nonexistent/deck.cir"); err == nil {
 		t.Fatal("missing file accepted")
 	}
 }
@@ -73,8 +73,8 @@ func TestRunBipolar(t *testing.T) {
 
 func TestRunSimStats(t *testing.T) {
 	cfg := base()
-	cfg.simStats = true
-	cfg.workers = 2
+	cfg.sim.Stats = true
+	cfg.sim.Workers = 2
 	if err := run(cfg); err != nil {
 		t.Fatal(err)
 	}

@@ -16,7 +16,7 @@ import (
 	"strings"
 
 	"analogdft"
-	"analogdft/internal/spice"
+	"analogdft/internal/obs/cliobs"
 )
 
 func main() {
@@ -30,10 +30,21 @@ func main() {
 		configs = flag.String("configs", "", "comma-separated configuration indices (default: all non-transparent)")
 		inject  = flag.String("inject", "", "fault ID to inject and diagnose (e.g. fR4)")
 	)
+	obsf := cliobs.RegisterObs(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(flag.Arg(0), *frac, *eps, *points, *bands, *loHz, *hiHz, *configs, *inject); err != nil {
+	sess, err := obsf.Start("diagnose", nil)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "diagnose:", err)
+		os.Exit(1)
+	}
+	sess.Report.SetInput("deck", flag.Arg(0))
+	runErr := run(flag.Arg(0), *frac, *eps, *points, *bands, *loHz, *hiHz, *configs, *inject)
+	if err := sess.Finish(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "diagnose:", runErr)
 		os.Exit(1)
 	}
 }
@@ -110,26 +121,12 @@ func parseConfigs(csv string, numConfigs int) ([]int, error) {
 }
 
 func loadBench(path string) (*analogdft.Bench, error) {
-	if path == "" {
-		return analogdft.PaperBiquad(), nil
-	}
-	f, err := os.Open(path)
+	b, err := analogdft.LoadBench(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	deck, err := spice.Parse(f)
-	if err != nil {
-		return nil, err
-	}
-	chain := deck.Chain
-	if len(chain) == 0 {
-		for _, op := range deck.Circuit.Opamps() {
-			chain = append(chain, op.Name())
-		}
-	}
-	if len(chain) == 0 {
+	if len(b.Chain) == 0 {
 		return nil, fmt.Errorf("deck %s has no opamps", path)
 	}
-	return &analogdft.Bench{Circuit: deck.Circuit, Chain: chain, Description: "netlist " + path}, nil
+	return b, nil
 }

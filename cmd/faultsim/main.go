@@ -8,7 +8,9 @@
 // simulation fails are listed individually (configuration, fault, cause);
 // -strict turns any failed cell into a non-zero exit, -onerror selects
 // the engine error policy (degrade, failfast or retry) and -stats prints
-// the simulation effort summary.
+// the simulation effort summary. The shared observability flags
+// (-log-level, -metrics-out, -trace-out, -pprof, -run-report) expose the
+// run's telemetry.
 package main
 
 import (
@@ -19,8 +21,8 @@ import (
 	"os"
 
 	"analogdft"
+	"analogdft/internal/obs/cliobs"
 	"analogdft/internal/report"
-	"analogdft/internal/spice"
 )
 
 // errCellsFailed is the -strict failure: the matrix was built, but some
@@ -39,10 +41,7 @@ type config struct {
 	csvPath    string
 	markdown   bool
 	strict     bool
-	stats      bool
-	progress   bool
-	workers    int
-	onError    string
+	sim        cliobs.SimFlags
 }
 
 func main() {
@@ -57,39 +56,29 @@ func main() {
 	flag.StringVar(&cfg.csvPath, "csv", "", "write the matrix as CSV to this file")
 	flag.BoolVar(&cfg.markdown, "markdown", false, "render tables as GitHub markdown")
 	flag.BoolVar(&cfg.strict, "strict", false, "exit non-zero when any cell failed to simulate")
-	flag.BoolVar(&cfg.stats, "stats", false, "print the simulation effort summary")
-	flag.BoolVar(&cfg.progress, "progress", false, "report live progress on stderr")
-	flag.IntVar(&cfg.workers, "workers", 0, "fault-simulation parallelism (0 = GOMAXPROCS)")
-	flag.StringVar(&cfg.onError, "onerror", "degrade", `cell error policy: "degrade", "failfast" or "retry"`)
+	cfg.sim.Register(flag.CommandLine)
+	obsf := cliobs.RegisterObs(flag.CommandLine)
 	flag.Parse()
 	cfg.path = flag.Arg(0)
 
-	if err := run(cfg); err != nil {
+	sess, err := obsf.Start("faultsim", nil)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "faultsim:", err)
+		os.Exit(1)
+	}
+	sess.Report.SetInput("deck", cfg.path)
+	runErr := run(cfg)
+	if err := sess.Finish(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "faultsim:", runErr)
 		os.Exit(1)
 	}
 }
 
-// errorPolicy maps the -onerror flag value onto the engine policy.
-func errorPolicy(name string) (analogdft.ErrorPolicy, error) {
-	switch name {
-	case "", "degrade":
-		return analogdft.Degrade, nil
-	case "failfast":
-		return analogdft.FailFast, nil
-	case "retry":
-		return analogdft.Retry, nil
-	default:
-		return analogdft.Degrade, fmt.Errorf("unknown error policy %q", name)
-	}
-}
-
 func run(cfg config) error {
-	bench, err := loadBench(cfg.path)
-	if err != nil {
-		return err
-	}
-	policy, err := errorPolicy(cfg.onError)
+	bench, err := analogdft.LoadBench(cfg.path)
 	if err != nil {
 		return err
 	}
@@ -98,14 +87,12 @@ func run(cfg config) error {
 		Eps:       cfg.eps,
 		MeasFloor: cfg.floor,
 		Points:    cfg.points,
-		Workers:   cfg.workers,
-		OnError:   policy,
+	}
+	if err := cfg.sim.Apply(&opts, os.Stderr); err != nil {
+		return err
 	}
 	if cfg.loHz > 0 && cfg.hiHz > cfg.loHz {
 		opts.Region = analogdft.Region{LoHz: cfg.loHz, HiHz: cfg.hiHz}
-	}
-	if cfg.progress {
-		opts.Progress = progressReporter(os.Stderr)
 	}
 
 	if cfg.initial {
@@ -123,7 +110,7 @@ func run(cfg config) error {
 			fmt.Printf("%-8s %-11v %7.1f%%  %s\n", e.Fault.ID, e.Detectable, e.OmegaDet, status)
 		}
 		fmt.Printf("\n%s\n", report.CoverageSummary(bench.Circuit.Name, row.FaultCoverage(), row.AvgOmegaDet(), 1))
-		if cfg.stats {
+		if cfg.sim.Stats {
 			fmt.Printf("simulation: %s\n", row.Stats)
 		}
 		if n := row.ErrCount(); n > 0 && cfg.strict {
@@ -156,7 +143,7 @@ func run(cfg config) error {
 		fmt.Println(report.OmegaTable(mx, nil))
 	}
 	fmt.Println(report.CoverageSummary("all configurations", mx.FaultCoverage(), mx.AvgBestOmega(nil), mx.NumConfigs()))
-	if cfg.stats {
+	if cfg.sim.Stats {
 		fmt.Printf("simulation: %s\n", mx.Stats)
 	}
 	if err := reportCellErrors(os.Stdout, mx, cfg.strict); err != nil {
@@ -191,38 +178,4 @@ func reportCellErrors(w io.Writer, mx *analogdft.Matrix, strict bool) error {
 		return fmt.Errorf("%w: %d of %d cells", errCellsFailed, len(mx.CellErrors), total)
 	}
 	return nil
-}
-
-// progressReporter returns a Progress hook that rewrites a one-line cell
-// counter on w, finishing with the effort summary.
-func progressReporter(w io.Writer) func(analogdft.SimStats) {
-	return func(s analogdft.SimStats) {
-		if s.Elapsed > 0 {
-			fmt.Fprintf(w, "\rsimulated %d/%d cells: %s\n", s.CellsDone, s.Cells, s)
-			return
-		}
-		fmt.Fprintf(w, "\rsimulated %d/%d cells", s.CellsDone, s.Cells)
-	}
-}
-
-func loadBench(path string) (*analogdft.Bench, error) {
-	if path == "" {
-		return analogdft.PaperBiquad(), nil
-	}
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	deck, err := spice.Parse(f)
-	if err != nil {
-		return nil, err
-	}
-	chain := deck.Chain
-	if len(chain) == 0 {
-		for _, op := range deck.Circuit.Opamps() {
-			chain = append(chain, op.Name())
-		}
-	}
-	return &analogdft.Bench{Circuit: deck.Circuit, Chain: chain, Description: "netlist " + path}, nil
 }

@@ -62,7 +62,7 @@ func TestRunMissingDeck(t *testing.T) {
 }
 
 func TestLoadBenchAutoChain(t *testing.T) {
-	b, err := loadBench("../../testdata/biquad.cir")
+	b, err := analogdft.LoadBench("../../testdata/biquad.cir")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +84,7 @@ func TestRunStrictCleanDeck(t *testing.T) {
 	// exit status.
 	cfg := base()
 	cfg.strict = true
-	cfg.stats = true
+	cfg.sim.Stats = true
 	if err := run(cfg); err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +93,7 @@ func TestRunStrictCleanDeck(t *testing.T) {
 func TestRunAllPolicies(t *testing.T) {
 	for _, p := range []string{"", "degrade", "failfast", "retry"} {
 		cfg := base()
-		cfg.onError = p
+		cfg.sim.OnError = p
 		if err := run(cfg); err != nil {
 			t.Fatalf("policy %q: %v", p, err)
 		}
@@ -102,30 +102,9 @@ func TestRunAllPolicies(t *testing.T) {
 
 func TestRunRejectsUnknownPolicy(t *testing.T) {
 	cfg := base()
-	cfg.onError = "bogus"
+	cfg.sim.OnError = "bogus"
 	if err := run(cfg); err == nil || !strings.Contains(err.Error(), "unknown error policy") {
 		t.Fatalf("err = %v", err)
-	}
-}
-
-func TestErrorPolicyMapping(t *testing.T) {
-	cases := []struct {
-		name string
-		want analogdft.ErrorPolicy
-	}{
-		{"", analogdft.Degrade},
-		{"degrade", analogdft.Degrade},
-		{"failfast", analogdft.FailFast},
-		{"retry", analogdft.Retry},
-	}
-	for _, c := range cases {
-		got, err := errorPolicy(c.name)
-		if err != nil || got != c.want {
-			t.Fatalf("errorPolicy(%q) = %v, %v", c.name, got, err)
-		}
-	}
-	if _, err := errorPolicy("abort"); err == nil {
-		t.Fatal("unknown policy accepted")
 	}
 }
 
@@ -181,16 +160,3 @@ func TestReportCellErrorsStrict(t *testing.T) {
 	}
 }
 
-func TestProgressReporter(t *testing.T) {
-	var sb strings.Builder
-	hook := progressReporter(&sb)
-	hook(analogdft.SimStats{Cells: 4, CellsDone: 2})
-	hook(analogdft.SimStats{Cells: 4, CellsDone: 4, Elapsed: 1})
-	out := sb.String()
-	if !strings.Contains(out, "simulated 2/4 cells") {
-		t.Fatalf("missing live line:\n%q", out)
-	}
-	if !strings.Contains(out, "simulated 4/4 cells: ") || !strings.HasSuffix(out, "\n") {
-		t.Fatalf("missing final summary:\n%q", out)
-	}
-}

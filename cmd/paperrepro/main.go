@@ -13,6 +13,7 @@ import (
 	"path/filepath"
 
 	"analogdft"
+	"analogdft/internal/obs/cliobs"
 	"analogdft/internal/report"
 )
 
@@ -23,17 +24,25 @@ func main() {
 	characterize := flag.Bool("characterize", false, "fit and print each configuration's transfer function (order, f0, Q)")
 	library := flag.Bool("library", false, "run the §5 study across the whole benchmark circuit library")
 	jsonPath := flag.String("json", "", "write the simulation-track experiment summary as JSON to this file")
+	obsf := cliobs.RegisterObs(flag.CommandLine)
 	flag.Parse()
 
-	if *library {
-		if err := runLibrary(); err != nil {
-			fmt.Fprintln(os.Stderr, "paperrepro:", err)
-			os.Exit(1)
-		}
-		return
-	}
-	if err := run(*simOnly, *pubOnly, *csvDir, *characterize, *jsonPath); err != nil {
+	sess, err := obsf.Start("paperrepro", nil)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "paperrepro:", err)
+		os.Exit(1)
+	}
+	var runErr error
+	if *library {
+		runErr = runLibrary()
+	} else {
+		runErr = run(*simOnly, *pubOnly, *csvDir, *characterize, *jsonPath)
+	}
+	if err := sess.Finish(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "paperrepro:", runErr)
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,35 @@
+package analogdft
+
+import (
+	"os"
+
+	"analogdft/internal/spice"
+)
+
+// LoadBench loads a SPICE deck from path into a Bench. The deck's .chain
+// directive selects the configurable opamps; without one, every opamp is
+// chained in netlist order. An empty path returns the built-in paper
+// biquad. Commands share this loader instead of each re-implementing it;
+// callers that require a non-empty chain (the DFT flows) must check
+// Bench.Chain themselves, since a chainless deck is still sweepable.
+func LoadBench(path string) (*Bench, error) {
+	if path == "" {
+		return PaperBiquad(), nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	deck, err := spice.Parse(f)
+	if err != nil {
+		return nil, err
+	}
+	chain := deck.Chain
+	if len(chain) == 0 {
+		for _, op := range deck.Circuit.Opamps() {
+			chain = append(chain, op.Name())
+		}
+	}
+	return &Bench{Circuit: deck.Circuit, Chain: chain, Description: "netlist " + path}, nil
+}

@@ -1,12 +1,14 @@
 package analogdft
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"analogdft/internal/analysis"
 	"analogdft/internal/core"
 	"analogdft/internal/detect"
+	"analogdft/internal/obs"
 	"analogdft/internal/paperdata"
 	"analogdft/internal/report"
 )
@@ -69,6 +71,9 @@ func Run(bench *Bench, frac float64, opts Options) (*Experiment, error) {
 	if err := bench.Validate(); err != nil {
 		return nil, err
 	}
+	_, span := obs.Start(context.Background(), "experiment.run")
+	span.SetTag("circuit", bench.Circuit.Name)
+	defer span.End()
 	e := &Experiment{
 		Bench:  bench,
 		Faults: DeviationFaults(bench.Circuit, frac),
@@ -84,13 +89,17 @@ func Run(bench *Bench, frac float64, opts Options) (*Experiment, error) {
 	if e.Matrix, err = BuildMatrix(e.Modified, e.Faults, opts); err != nil {
 		return nil, fmt.Errorf("matrix construction: %w", err)
 	}
+	_, optSpan := obs.Start(context.Background(), "experiment.optimize")
 	e.Brute = BruteForce(e.Matrix)
 	if e.ConfigOpt, err = Optimize(e.Matrix, bench.Chain, ConfigCountCost); err != nil {
+		optSpan.End()
 		return nil, fmt.Errorf("configuration optimization: %w", err)
 	}
 	if e.OpampOpt, err = OptimizeOpamps(e.Matrix, bench.Chain); err != nil {
+		optSpan.End()
 		return nil, fmt.Errorf("opamp optimization: %w", err)
 	}
+	optSpan.End()
 	// Build the partial-DFT circuit and its Table 4 matrix. An empty
 	// chosen set means the functional configuration already covers
 	// everything; the partial matrix degenerates to row C0 of the full

@@ -236,6 +236,7 @@ func sweepDriven(driven *circuit.Circuit, grid []float64) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer sw.FlushMetrics()
 	resp := &Response{
 		Freqs: append([]float64(nil), grid...),
 		H:     make([]complex128, len(grid)),
@@ -304,6 +305,7 @@ func RetrySingularPoints(ckt *circuit.Circuit, resp *Response, attempts int) (re
 	if err != nil {
 		return 0, 0, err
 	}
+	defer sw.FlushMetrics()
 	for i, ok := range resp.Valid {
 		if ok {
 			continue

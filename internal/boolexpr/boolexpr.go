@@ -152,6 +152,7 @@ type SOP struct {
 // another (X + X·Y = X), returning terms sorted by popcount then value for
 // determinism.
 func absorb(terms []uint64) []uint64 {
+	bAbsorbIn.Add(int64(len(terms)))
 	sort.Slice(terms, func(a, b int) bool {
 		pa, pb := bits.OnesCount64(terms[a]), bits.OnesCount64(terms[b])
 		if pa != pb {
@@ -172,6 +173,7 @@ func absorb(terms []uint64) []uint64 {
 			out = append(out, t)
 		}
 	}
+	bAbsorbOut.Add(int64(len(out)))
 	return out
 }
 
@@ -185,6 +187,7 @@ func (e *Expr) Petrick(maxTerms int) (*SOP, error) {
 	}
 	terms := []uint64{0}
 	for _, clause := range e.Clauses {
+		bPetrickClauses.Inc()
 		lits := Bits(clause)
 		next := make([]uint64, 0, len(terms)*len(lits))
 		for _, t := range terms {
@@ -197,6 +200,7 @@ func (e *Expr) Petrick(maxTerms int) (*SOP, error) {
 				next = append(next, t|1<<uint(l))
 			}
 		}
+		bPetrickPeak.SetMax(float64(len(next)))
 		if len(next) > maxTerms {
 			return nil, fmt.Errorf("%w: %d intermediate terms", ErrTooLarge, len(next))
 		}

@@ -34,6 +34,7 @@ func GreedyCover(det [][]bool) ([]int, error) {
 	var chosen []int
 	used := make([]bool, rows)
 	for len(uncovered) > 0 {
+		bGreedyRounds.Inc()
 		best, bestGain := -1, 0
 		for i := 0; i < rows; i++ {
 			if used[i] {
@@ -129,6 +130,7 @@ func MinCover(det [][]bool, cost func(row int) float64) ([]int, error) {
 
 	var rec func(covered uint64, chosen []int, spent float64)
 	rec = func(covered uint64, chosen []int, spent float64) {
+		bCoverNodes.Inc()
 		if covered == full {
 			if spent < bestCost || (spent == bestCost && lexLess(chosen, bestSet)) {
 				bestCost = spent

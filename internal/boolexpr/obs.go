@@ -1,0 +1,22 @@
+package boolexpr
+
+import "analogdft/internal/obs"
+
+// Covering-algebra instrumentation: how hard the Petrick expansion and the
+// cover searches work. Term counts before/after each absorption pass make
+// blow-ups visible; the peak gauge records the worst intermediate
+// expansion seen by any Petrick run since the last registry reset.
+var (
+	bAbsorbIn = obs.Reg().Counter("boolexpr_absorb_terms_in_total",
+		"terms entering absorption passes")
+	bAbsorbOut = obs.Reg().Counter("boolexpr_absorb_terms_out_total",
+		"terms surviving absorption passes")
+	bPetrickClauses = obs.Reg().Counter("boolexpr_petrick_clauses_total",
+		"POS clauses expanded by Petrick's method")
+	bPetrickPeak = obs.Reg().Gauge("boolexpr_petrick_peak_terms",
+		"largest intermediate term count seen in a Petrick expansion")
+	bCoverNodes = obs.Reg().Counter("boolexpr_cover_nodes_total",
+		"branch-and-bound nodes visited by MinCover")
+	bGreedyRounds = obs.Reg().Counter("boolexpr_greedy_rounds_total",
+		"selection rounds performed by GreedyCover")
+)

@@ -29,6 +29,7 @@ import (
 	"analogdft/internal/circuit"
 	"analogdft/internal/dft"
 	"analogdft/internal/fault"
+	"analogdft/internal/obs"
 )
 
 // ErrNoRegion is returned when no reference region can be established for
@@ -283,6 +284,9 @@ func (r *Row) AvgOmegaDet() float64 {
 func EvaluateCircuit(ckt *circuit.Circuit, faults fault.List, opts Options) (*Row, error) {
 	opts = opts.withDefaults()
 	start := time.Now()
+	sctx, span := obs.Start(context.Background(), "detect.row")
+	span.SetTag("circuit", ckt.Name)
+	defer span.End()
 	if err := faults.Validate(); err != nil {
 		return nil, err
 	}
@@ -294,18 +298,23 @@ func EvaluateCircuit(ckt *circuit.Circuit, faults fault.List, opts Options) (*Ro
 	if err := opts.checkProfile(len(grid)); err != nil {
 		return nil, err
 	}
+	_, nomSpan := obs.Start(sctx, "detect.nominal")
 	nominal, err := analysis.SweepOnGrid(ckt, grid)
 	if err != nil {
+		nomSpan.End()
 		return nil, fmt.Errorf("detect: nominal sweep of %q: %w", ckt.Name, err)
 	}
 	var base Stats
 	if err := accountNominal(ckt, nominal, opts, &base); err != nil {
+		nomSpan.End()
 		return nil, fmt.Errorf("detect: nominal retry of %q: %w", ckt.Name, err)
 	}
+	nomSpan.End()
 
 	row := &Row{Circuit: ckt.Name, Region: region, Evals: make([]FaultEval, len(faults))}
 	tr := newTracker(len(faults), base, opts.Progress)
 	ctx, cancel := cancelContext(opts)
+	_, cellSpan := obs.Start(sctx, "detect.cells")
 	runParallel(ctx, len(faults), opts.Workers, func(j int) {
 		eval, st := evaluateFault(ckt, faults[j], nominal, grid, opts)
 		row.Evals[j] = eval
@@ -314,17 +323,23 @@ func EvaluateCircuit(ckt *circuit.Circuit, faults fault.List, opts Options) (*Ro
 		}
 		tr.complete(j, st)
 	})
+	cellSpan.End()
 	if cancel != nil {
 		cancel()
 	}
 	if opts.OnError == FailFast {
 		for j, e := range row.Evals {
 			if e.Err != nil {
+				dFailFast.Inc()
 				return nil, fmt.Errorf("detect: fault %s on %q: %w", faults[j].ID, ckt.Name, e.Err)
 			}
 		}
 	}
 	row.Stats = tr.finish(time.Since(start))
+	bridgeStats(row.Stats, opts.OnError)
+	if row.Stats.Errors > 0 {
+		dlog.Warn("row evaluation degraded", "circuit", ckt.Name, "errors", row.Stats.Errors, "cells", row.Stats.Cells)
+	}
 	return row, nil
 }
 
@@ -489,6 +504,9 @@ func (m *Matrix) NumCellErrs() int { return len(m.CellErrors) }
 func BuildMatrix(m *dft.Modified, faults fault.List, opts Options) (*Matrix, error) {
 	opts = opts.withDefaults()
 	start := time.Now()
+	sctx, span := obs.Start(context.Background(), "detect.matrix")
+	span.SetTag("source", m.Base.Name)
+	defer span.End()
 	if err := faults.Validate(); err != nil {
 		return nil, err
 	}
@@ -537,9 +555,11 @@ func BuildMatrix(m *dft.Modified, faults fault.List, opts Options) (*Matrix, err
 	circuits := make([]*circuit.Circuit, len(configs))
 	grids := make([][]float64, len(configs))
 	var base Stats
+	_, nomSpan := obs.Start(sctx, "detect.nominals")
 	for i, cfg := range configs {
 		ckt, err := m.Configure(cfg)
 		if err != nil {
+			nomSpan.End()
 			return nil, err
 		}
 		rowGrid := grid
@@ -550,13 +570,16 @@ func BuildMatrix(m *dft.Modified, faults fault.List, opts Options) (*Matrix, err
 		}
 		nom, err := analysis.SweepOnGrid(ckt, rowGrid)
 		if err != nil {
+			nomSpan.End()
 			return nil, fmt.Errorf("detect: nominal sweep of %s: %w", cfg, err)
 		}
 		if err := accountNominal(ckt, nom, opts, &base); err != nil {
+			nomSpan.End()
 			return nil, fmt.Errorf("detect: nominal retry of %s: %w", cfg, err)
 		}
 		circuits[i], nominals[i], grids[i] = ckt, nom, rowGrid
 	}
+	nomSpan.End()
 
 	type cell struct{ i, j int }
 	cells := make([]cell, 0, len(configs)*len(faults))
@@ -575,6 +598,8 @@ func BuildMatrix(m *dft.Modified, faults fault.List, opts Options) (*Matrix, err
 	results := make([]cellResult, len(cells))
 	tr := newTracker(len(cells), base, opts.Progress)
 	ctx, cancel := cancelContext(opts)
+	_, cellSpan := obs.Start(sctx, "detect.cells")
+	cellSpan.SetTag("cells", fmt.Sprint(len(cells)))
 	runParallel(ctx, len(cells), opts.Workers, func(k int) {
 		c := cells[k]
 		eval, st := evaluateFault(circuits[c.i], faults[c.j], nominals[c.i], grids[c.i], opts)
@@ -584,6 +609,7 @@ func BuildMatrix(m *dft.Modified, faults fault.List, opts Options) (*Matrix, err
 		}
 		tr.complete(k, st)
 	})
+	cellSpan.End()
 	if cancel != nil {
 		cancel()
 	}
@@ -595,6 +621,7 @@ func BuildMatrix(m *dft.Modified, faults fault.List, opts Options) (*Matrix, err
 		for k, r := range results {
 			if r.done && r.eval.Err != nil {
 				c := cells[k]
+				dFailFast.Inc()
 				return nil, CellError{Config: configs[c.i], FaultIndex: c.j, Fault: faults[c.j], Err: r.eval.Err}
 			}
 		}
@@ -609,6 +636,10 @@ func BuildMatrix(m *dft.Modified, faults fault.List, opts Options) (*Matrix, err
 		}
 	}
 	mx.Stats = tr.finish(time.Since(start))
+	bridgeStats(mx.Stats, opts.OnError)
+	if n := len(mx.CellErrors); n > 0 {
+		dlog.Warn("matrix degraded", "source", mx.Source, "failed_cells", n, "cells", len(cells))
+	}
 	return mx, nil
 }
 
@@ -679,11 +710,27 @@ func (t *tracker) finish(elapsed time.Duration) Stats {
 // accounting goes through the tracker's mutex), which keeps the engine
 // race-clean and its results independent of worker count. Cancelling ctx
 // stops workers from starting new cells; cells already in flight finish.
+//
+// When obs timing is on the scheduler also reports its own health: chunk
+// latency and size histograms and, per worker, the busy fraction of the
+// fan-out wall time (utilization). All of it is schedule-dependent by
+// nature, so none of it is collected with timing off.
 func runParallel(ctx context.Context, n, workers int, fn func(int)) {
 	if workers > n {
 		workers = n
 	}
+	timed := obs.TimingOn()
 	if workers <= 1 {
+		if timed {
+			dWorkers.Set(1)
+			t0 := time.Now()
+			defer func() {
+				el := time.Since(t0)
+				dChunkSeconds.Observe(el.Seconds())
+				dChunkCells.Observe(float64(n))
+				dWorkerBusy.Observe(1)
+			}()
+		}
 		for i := 0; i < n; i++ {
 			if ctx != nil && ctx.Err() != nil {
 				return
@@ -692,18 +739,30 @@ func runParallel(ctx context.Context, n, workers int, fn func(int)) {
 		}
 		return
 	}
+	if timed {
+		dWorkers.Set(float64(workers))
+	}
 	// A few chunks per worker balances scheduling overhead against the
 	// tail latency of unlucky (slow) cells.
 	chunk := n / (workers * 4)
 	if chunk < 1 {
 		chunk = 1
 	}
+	fanStart := time.Now()
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var busy time.Duration
+			if timed {
+				defer func() {
+					if total := time.Since(fanStart); total > 0 {
+						dWorkerBusy.Observe(busy.Seconds() / total.Seconds())
+					}
+				}()
+			}
 			for {
 				if ctx != nil && ctx.Err() != nil {
 					return
@@ -716,11 +775,21 @@ func runParallel(ctx context.Context, n, workers int, fn func(int)) {
 				if end > n {
 					end = n
 				}
+				var c0 time.Time
+				if timed {
+					c0 = time.Now()
+				}
 				for i := start; i < end; i++ {
 					if ctx != nil && ctx.Err() != nil {
 						return
 					}
 					fn(i)
+				}
+				if timed {
+					el := time.Since(c0)
+					busy += el
+					dChunkSeconds.Observe(el.Seconds())
+					dChunkCells.Observe(float64(end - start))
 				}
 			}
 		}()

@@ -1,0 +1,58 @@
+package detect
+
+import (
+	"analogdft/internal/obs"
+)
+
+// Engine instrumentation. The counters bridge the deterministic Stats of
+// each evaluation into the process-wide registry; they are identical for
+// any worker count and scheduling order. Everything that depends on the
+// clock or on the actual schedule (chunk latency, per-worker utilization,
+// the worker-count gauge) is collected only when obs timing is on, so a
+// registry snapshot taken with timing off is fully deterministic.
+var (
+	dEvaluations = obs.Reg().Counter("detect_evaluations_total",
+		"matrix/row evaluations completed")
+	dCells = obs.Reg().Counter("detect_cells_total",
+		"(configuration, fault) cells evaluated")
+	dSolves = obs.Reg().Counter("detect_solves_total",
+		"AC grid-point solves accounted by the engine (nominal pre-sweeps, cells, retries)")
+	dSingular = obs.Reg().Counter("detect_singular_points_total",
+		"grid points left singular after any retries")
+	dRetries = obs.Reg().Counter("detect_retries_total",
+		"jittered re-solve attempts under the Retry policy")
+	dRecovered = obs.Reg().Counter("detect_recovered_total",
+		"singular points rescued by a retry")
+	dCellErrors = obs.Reg().Counter("detect_cell_errors_total",
+		"cells that recorded a simulation error")
+	dDegraded = obs.Reg().Counter("detect_policy_degraded_total",
+		"failed cells recorded as undetectable under the Degrade/Retry policies")
+	dFailFast = obs.Reg().Counter("detect_policy_failfast_total",
+		"evaluations aborted by the FailFast policy")
+
+	dWorkers = obs.Reg().Gauge("detect_workers",
+		"worker count of the most recent fan-out (timing on only)")
+	dChunkSeconds = obs.Reg().Histogram("detect_chunk_seconds",
+		"scheduler chunk latency in seconds (timing on only)", obs.TimeBuckets)
+	dChunkCells = obs.Reg().Histogram("detect_chunk_cells",
+		"cells per scheduler chunk (timing on only)", obs.CountBuckets)
+	dWorkerBusy = obs.Reg().Histogram("detect_worker_busy_ratio",
+		"per-worker busy fraction of the fan-out wall time (timing on only)", obs.RatioBuckets)
+)
+
+// dlog is the package logger.
+var dlog = obs.Logger("detect")
+
+// bridgeStats folds one evaluation's final Stats into the registry.
+func bridgeStats(st Stats, policy ErrorPolicy) {
+	dEvaluations.Inc()
+	dCells.Add(int64(st.CellsDone))
+	dSolves.Add(int64(st.Solves))
+	dSingular.Add(int64(st.SingularPoints))
+	dRetries.Add(int64(st.Retries))
+	dRecovered.Add(int64(st.Recovered))
+	dCellErrors.Add(int64(st.Errors))
+	if policy != FailFast {
+		dDegraded.Add(int64(st.Errors))
+	}
+}

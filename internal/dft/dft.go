@@ -184,6 +184,7 @@ func (m *Modified) Configure(cfg Configuration) (*circuit.Circuit, error) {
 	if cfg.N != m.N() || cfg.Index < 0 || cfg.Index >= m.NumConfigurations() {
 		return nil, fmt.Errorf("%w: %v for a %d-opamp chain", ErrBadConfig, cfg, m.N())
 	}
+	dftConfigures.Inc()
 	ckt := m.Base.Clone()
 	for i, name := range m.Chain {
 		comp, ok := ckt.Component(name)

@@ -1,0 +1,8 @@
+package dft
+
+import "analogdft/internal/obs"
+
+// Configuration emulation is a deep clone of the base circuit per call —
+// a real cost at scale, so it is counted.
+var dftConfigures = obs.Reg().Counter("dft_configure_total",
+	"configuration emulations (deep clones of the base circuit)")

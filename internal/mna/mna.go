@@ -20,9 +20,11 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
+	"time"
 
 	"analogdft/internal/circuit"
 	"analogdft/internal/numeric"
+	"analogdft/internal/obs"
 )
 
 // ErrUnsupported is returned when the circuit contains a component the
@@ -166,16 +168,24 @@ func (sol *Solution) Current(component string) (complex128, error) {
 
 // SolveAt assembles and solves the MNA system at frequency f (Hz).
 func (s *System) SolveAt(freqHz float64) (*Solution, error) {
+	timed := obs.TimingOn()
+	var t0 time.Time
+	if timed {
+		t0 = time.Now()
+	}
 	m := numeric.NewMatrix(s.n, s.n)
 	rhs := make([]complex128, s.n)
 	if err := s.assemble(freqHz, m, rhs); err != nil {
+		accountSolve(err, t0, timed)
 		return nil, err
 	}
 
 	x, err := numeric.Solve(m, rhs)
 	if err != nil {
+		accountSolve(err, t0, timed)
 		return nil, &SolveError{Circuit: s.ckt.Name, FreqHz: freqHz, Err: err}
 	}
+	accountSolve(nil, t0, timed)
 
 	sol := &Solution{
 		FreqHz:   freqHz,

@@ -1,0 +1,87 @@
+package mna
+
+import (
+	"errors"
+	"time"
+
+	"analogdft/internal/numeric"
+	"analogdft/internal/obs"
+)
+
+// Solve instrumentation. Counters are always live (one atomic add per
+// solve, negligible against an LU factorization); the latency histogram
+// needs two clock reads per solve and is gated on obs.TimingOn().
+var (
+	mSolves = obs.Reg().Counter("mna_solves_total",
+		"AC solves performed (matrix assembly + factorization + back-substitution)")
+	mSingular = obs.Reg().Counter("mna_solve_singular_total",
+		"AC solves that failed on a singular system")
+	mUnsupported = obs.Reg().Counter("mna_solve_unsupported_total",
+		"AC solves rejected on an unsupported component or invalid frequency")
+	mOtherErr = obs.Reg().Counter("mna_solve_error_total",
+		"AC solves that failed for any other reason")
+	mSolveLatency = obs.Reg().Histogram("mna_solve_seconds",
+		"per-point AC solve latency in seconds (collected when timing is on)", obs.TimeBuckets)
+)
+
+// accountSolve classifies one finished solve into the mna metric set.
+func accountSolve(err error, start time.Time, timed bool) {
+	mSolves.Inc()
+	if timed {
+		mSolveLatency.Observe(time.Since(start).Seconds())
+	}
+	if err == nil {
+		return
+	}
+	switch {
+	case errors.Is(err, numeric.ErrSingular):
+		mSingular.Inc()
+	case errors.Is(err, ErrUnsupported):
+		mUnsupported.Inc()
+	default:
+		mOtherErr.Inc()
+	}
+}
+
+// solveTally is the Sweeper's local, unsynchronized view of the solve
+// counters. The detectability engine runs one Sweeper per worker with a
+// solve every few microseconds; a shared atomic would make those workers
+// ping-pong one cache line, so each sweep tallies locally and flushes the
+// totals in one Add per counter when the sweep finishes.
+type solveTally struct {
+	solves, singular, unsupported, otherErr int64
+}
+
+func (t *solveTally) record(err error, start time.Time, timed bool) {
+	t.solves++
+	if timed {
+		mSolveLatency.Observe(time.Since(start).Seconds())
+	}
+	if err == nil {
+		return
+	}
+	switch {
+	case errors.Is(err, numeric.ErrSingular):
+		t.singular++
+	case errors.Is(err, ErrUnsupported):
+		t.unsupported++
+	default:
+		t.otherErr++
+	}
+}
+
+func (t *solveTally) flush() {
+	if t.solves != 0 {
+		mSolves.Add(t.solves)
+	}
+	if t.singular != 0 {
+		mSingular.Add(t.singular)
+	}
+	if t.unsupported != 0 {
+		mUnsupported.Add(t.unsupported)
+	}
+	if t.otherErr != 0 {
+		mOtherErr.Add(t.otherErr)
+	}
+	*t = solveTally{}
+}

@@ -2,9 +2,11 @@ package mna
 
 import (
 	"fmt"
+	"time"
 
 	"analogdft/internal/circuit"
 	"analogdft/internal/numeric"
+	"analogdft/internal/obs"
 )
 
 // Sweeper is the allocation-free fast path for frequency sweeps that only
@@ -17,6 +19,7 @@ type Sweeper struct {
 	rhs     []complex128
 	pivot   []int
 	nodeIdx int // -1 for ground
+	tally   solveTally
 }
 
 // NewSweeper prepares a sweeper observing the given node.
@@ -38,20 +41,34 @@ func (s *System) NewSweeper(node string) (*Sweeper, error) {
 	}, nil
 }
 
+// FlushMetrics publishes the sweep's locally tallied solve counters to the
+// global registry. Callers that loop over VoltageAt should flush once the
+// sweep is done (counts are invisible to metric snapshots until then).
+func (sw *Sweeper) FlushMetrics() { sw.tally.flush() }
+
 // VoltageAt solves the system at one frequency and returns the observed
 // node's voltage, reusing all buffers. Errors are exactly those of
 // SolveAt (numeric.ErrSingular for singular points).
 func (sw *Sweeper) VoltageAt(freqHz float64) (complex128, error) {
+	timed := obs.TimingOn()
+	var t0 time.Time
+	if timed {
+		t0 = time.Now()
+	}
 	if err := sw.sys.assemble(freqHz, sw.m, sw.rhs); err != nil {
+		sw.tally.record(err, t0, timed)
 		return 0, err
 	}
 	lu, err := numeric.FactorInPlace(sw.m, sw.pivot)
 	if err != nil {
+		sw.tally.record(err, t0, timed)
 		return 0, &SolveError{Circuit: sw.sys.ckt.Name, FreqHz: freqHz, Err: err}
 	}
 	if err := lu.SolveInPlace(sw.rhs); err != nil {
+		sw.tally.record(err, t0, timed)
 		return 0, err
 	}
+	sw.tally.record(nil, t0, timed)
 	if sw.nodeIdx < 0 {
 		return 0, nil
 	}

@@ -1,0 +1,148 @@
+// Package benchfmt parses the text output of `go test -bench` and renders
+// it as the committed BENCH_<date>.json perf-trajectory format: one record
+// per benchmark with the mean ns/op, B/op and allocs/op across -count
+// repetitions, plus the raw samples so regressions can be judged against
+// run-to-run noise.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Sample is one benchmark line of `go test -bench` output.
+type Sample struct {
+	Iters       int64   `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      float64 `json:"b_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Benchmark aggregates the -count repetitions of one benchmark.
+type Benchmark struct {
+	Pkg  string `json:"pkg,omitempty"`
+	Name string `json:"name"`
+	Runs int    `json:"runs"`
+	// Mean values across the samples.
+	NsPerOp     float64  `json:"ns_per_op"`
+	BPerOp      float64  `json:"b_per_op"`
+	AllocsPerOp float64  `json:"allocs_per_op"`
+	Samples     []Sample `json:"samples"`
+}
+
+// File is the BENCH_<date>.json document.
+type File struct {
+	Date       string      `json:"date,omitempty"`
+	GoVersion  string      `json:"go,omitempty"`
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Parse reads `go test -bench` text output. Benchmark lines are grouped by
+// (package, name) in first-seen order; goos/goarch/pkg/cpu header lines
+// fill the file metadata. Non-benchmark lines (PASS, ok, test logs) are
+// ignored, so the full `go test` stream can be piped in unfiltered.
+func Parse(r io.Reader) (*File, error) {
+	f := &File{}
+	index := make(map[string]int)
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			f.GOOS = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			f.GOARCH = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			f.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue // sub-benchmark headers or malformed lines
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		s := Sample{Iters: iters}
+		ok := true
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				s.NsPerOp = v
+			case "B/op":
+				s.BPerOp = v
+			case "allocs/op":
+				s.AllocsPerOp = v
+			}
+		}
+		if !ok {
+			continue
+		}
+		key := pkg + "\x00" + fields[0]
+		i, seen := index[key]
+		if !seen {
+			i = len(f.Benchmarks)
+			index[key] = i
+			f.Benchmarks = append(f.Benchmarks, Benchmark{Pkg: pkg, Name: fields[0]})
+		}
+		f.Benchmarks[i].Samples = append(f.Benchmarks[i].Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(f.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchfmt: no benchmark lines found")
+	}
+	for i := range f.Benchmarks {
+		aggregate(&f.Benchmarks[i])
+	}
+	return f, nil
+}
+
+// aggregate fills the mean fields from the samples.
+func aggregate(b *Benchmark) {
+	b.Runs = len(b.Samples)
+	if b.Runs == 0 {
+		return
+	}
+	var ns, bytes, allocs float64
+	for _, s := range b.Samples {
+		ns += s.NsPerOp
+		bytes += s.BPerOp
+		allocs += s.AllocsPerOp
+	}
+	n := float64(b.Runs)
+	b.NsPerOp = ns / n
+	b.BPerOp = bytes / n
+	b.AllocsPerOp = allocs / n
+}
+
+// WriteJSON writes the file as indented JSON.
+func (f *File) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}

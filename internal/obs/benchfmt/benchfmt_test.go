@@ -1,0 +1,97 @@
+package benchfmt
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: analogdft
+cpu: Example CPU @ 2.00GHz
+BenchmarkMatrix-8   	      30	  39439327 ns/op	 1048576 B/op	    2048 allocs/op
+BenchmarkMatrix-8   	      30	  40000000 ns/op	 1048578 B/op	    2048 allocs/op
+BenchmarkMatrix-8   	      31	  38560673 ns/op	 1048574 B/op	    2048 allocs/op
+BenchmarkSolve-8    	 1000000	      1200 ns/op	     256 B/op	       4 allocs/op
+PASS
+ok  	analogdft	12.345s
+`
+
+func TestParseAggregatesCounts(t *testing.T) {
+	f, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.GOOS != "linux" || f.GOARCH != "amd64" || f.CPU != "Example CPU @ 2.00GHz" {
+		t.Fatalf("metadata = %q %q %q", f.GOOS, f.GOARCH, f.CPU)
+	}
+	if len(f.Benchmarks) != 2 {
+		t.Fatalf("benchmarks = %d, want 2", len(f.Benchmarks))
+	}
+	m := f.Benchmarks[0]
+	if m.Name != "BenchmarkMatrix-8" || m.Pkg != "analogdft" || m.Runs != 3 {
+		t.Fatalf("first benchmark = %+v", m)
+	}
+	if want := (39439327.0 + 40000000 + 38560673) / 3; m.NsPerOp != want {
+		t.Fatalf("ns/op = %v, want %v", m.NsPerOp, want)
+	}
+	if m.AllocsPerOp != 2048 {
+		t.Fatalf("allocs/op = %v", m.AllocsPerOp)
+	}
+	s := f.Benchmarks[1]
+	if s.Runs != 1 || s.Samples[0].Iters != 1000000 || s.NsPerOp != 1200 {
+		t.Fatalf("second benchmark = %+v", s)
+	}
+}
+
+func TestParseWithoutBenchmem(t *testing.T) {
+	f, err := Parse(strings.NewReader("BenchmarkX-4   	     100	    500 ns/op\nPASS\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := f.Benchmarks[0]
+	if b.NsPerOp != 500 || b.BPerOp != 0 || b.AllocsPerOp != 0 {
+		t.Fatalf("benchmark = %+v", b)
+	}
+}
+
+func TestParseRejectsEmptyStream(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\nok  \tanalogdft\t1.0s\n")); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}
+
+func TestParseSkipsMalformedLines(t *testing.T) {
+	in := "BenchmarkBroken-8 notanumber 12 ns/op\n" +
+		"BenchmarkOdd-8 100 12\n" + // odd value/unit pairing
+		"BenchmarkGood-8 100 12 ns/op\n"
+	f, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 1 || f.Benchmarks[0].Name != "BenchmarkGood-8" {
+		t.Fatalf("benchmarks = %+v", f.Benchmarks)
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	f, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Date = "2026-08-05"
+	f.GoVersion = "go1.24.0"
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back File
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if back.Date != "2026-08-05" || len(back.Benchmarks) != 2 || back.Benchmarks[0].Runs != 3 {
+		t.Fatalf("round trip = %+v", back)
+	}
+}

@@ -1,0 +1,6 @@
+//go:build !unix
+
+package obs
+
+// ProcessCPUSeconds is unavailable on this platform; reports zero.
+func ProcessCPUSeconds() float64 { return 0 }

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+	"sync/atomic"
+)
+
+// The logging side is process-global: every package logger produced by
+// Logger routes through one swappable handler behind one shared level, so
+// a CLI flag flips the whole tree at once (including loggers created at
+// package init, long before flags are parsed).
+var (
+	logLevel   = func() *slog.LevelVar { v := new(slog.LevelVar); v.Set(slog.LevelWarn); return v }()
+	logHandler atomic.Value // handlerBox
+)
+
+// handlerBox wraps the current handler so atomic.Value always stores one
+// concrete type (text and JSON handlers differ).
+type handlerBox struct{ h slog.Handler }
+
+func init() {
+	logHandler.Store(handlerBox{slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: logLevel})})
+}
+
+// SetLogging replaces the shared log sink: destination, format (text or
+// JSON) and minimum level. Existing package loggers pick the change up on
+// their next record.
+func SetLogging(w io.Writer, jsonFormat bool, level slog.Level) {
+	logLevel.Set(level)
+	opts := &slog.HandlerOptions{Level: logLevel}
+	var h slog.Handler
+	if jsonFormat {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	logHandler.Store(handlerBox{h})
+}
+
+// SetLogLevel adjusts the shared minimum level without touching the sink.
+func SetLogLevel(level slog.Level) { logLevel.Set(level) }
+
+// ParseLevel maps a flag value onto a slog level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "warn", "warning":
+		return slog.LevelWarn, nil
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return slog.LevelWarn, fmt.Errorf("obs: unknown log level %q (want debug, info, warn or error)", s)
+	}
+}
+
+// Logger returns a structured logger scoped to a package (or subsystem)
+// name. The logger stays wired to the shared handler across SetLogging
+// calls, so it is safe to cache in a package-level var.
+func Logger(pkg string) *slog.Logger {
+	return slog.New(swapHandler{}).With(slog.String("pkg", pkg))
+}
+
+// swapHandler delegates every record to the current shared handler,
+// re-applying any attrs and groups accumulated through With/WithGroup.
+type swapHandler struct {
+	attrs  []slog.Attr
+	groups []string
+}
+
+func (h swapHandler) Enabled(_ context.Context, level slog.Level) bool {
+	return level >= logLevel.Level()
+}
+
+func (h swapHandler) Handle(ctx context.Context, r slog.Record) error {
+	inner := logHandler.Load().(handlerBox).h
+	if len(h.attrs) > 0 {
+		inner = inner.WithAttrs(h.attrs)
+	}
+	for _, g := range h.groups {
+		inner = inner.WithGroup(g)
+	}
+	return inner.Handle(ctx, r)
+}
+
+func (h swapHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	out := h
+	out.attrs = append(append([]slog.Attr(nil), h.attrs...), attrs...)
+	return out
+}
+
+func (h swapHandler) WithGroup(name string) slog.Handler {
+	out := h
+	out.groups = append(append([]string(nil), h.groups...), name)
+	return out
+}

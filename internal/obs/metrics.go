@@ -1,0 +1,315 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds named metrics. Registration is idempotent: asking for an
+// existing name of the same kind returns the same metric, so packages can
+// declare their instruments in var blocks without coordination. All
+// operations are safe for concurrent use.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]metric
+}
+
+// metric is the common behaviour of counters, gauges and histograms.
+type metric interface {
+	kind() string
+	help() string
+	snap() MetricSnap
+	reset()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]metric)}
+}
+
+// lookup registers m under name unless a metric of the same kind already
+// exists, in which case the existing one is returned. A kind clash panics:
+// it is a programming error on the level of a duplicate flag name.
+func (r *Registry) lookup(name string, m metric) metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old, ok := r.metrics[name]; ok {
+		if old.kind() != m.kind() {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, m.kind(), old.kind()))
+		}
+		return old
+	}
+	r.metrics[name] = m
+	return m
+}
+
+// Counter returns the named monotonically increasing counter, creating it
+// if needed.
+func (r *Registry) Counter(name, helpText string) *Counter {
+	return r.lookup(name, &Counter{helpText: helpText}).(*Counter)
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name, helpText string) *Gauge {
+	return r.lookup(name, &Gauge{helpText: helpText}).(*Gauge)
+}
+
+// Histogram returns the named fixed-bucket histogram, creating it with the
+// given upper bounds (ascending; an implicit +Inf bucket is appended) if
+// needed.
+func (r *Registry) Histogram(name, helpText string, bounds []float64) *Histogram {
+	h := &Histogram{helpText: helpText, bounds: append([]float64(nil), bounds...)}
+	h.buckets = make([]atomic.Int64, len(h.bounds)+1)
+	return r.lookup(name, h).(*Histogram)
+}
+
+// Reset zeroes every registered metric (counts, gauge values, histogram
+// buckets). Handles held by instrumented packages stay valid.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, m := range r.metrics {
+		m.reset()
+	}
+}
+
+// Counter is a monotonically increasing int64 counter.
+type Counter struct {
+	helpText string
+	v        atomic.Int64
+}
+
+// Add increments the counter by n (n must be non-negative).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) kind() string { return "counter" }
+func (c *Counter) help() string { return c.helpText }
+func (c *Counter) reset()       { c.v.Store(0) }
+func (c *Counter) snap() MetricSnap {
+	return MetricSnap{Kind: "counter", Value: float64(c.v.Load())}
+}
+
+// Gauge is a float64 gauge.
+type Gauge struct {
+	helpText string
+	bits     atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// SetMax raises the gauge to v if v is larger — a high-water mark.
+func (g *Gauge) SetMax(v float64) {
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Add adds delta to the gauge.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) kind() string { return "gauge" }
+func (g *Gauge) help() string { return g.helpText }
+func (g *Gauge) reset()       { g.bits.Store(0) }
+func (g *Gauge) snap() MetricSnap {
+	return MetricSnap{Kind: "gauge", Value: g.Value()}
+}
+
+// Histogram is a fixed-bucket histogram (cumulative on export, Prometheus
+// style). Observations are lock-free.
+type Histogram struct {
+	helpText string
+	bounds   []float64 // ascending upper bounds; buckets has one extra +Inf slot
+	buckets  []atomic.Int64
+	count    atomic.Int64
+	sumBits  atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+func (h *Histogram) kind() string { return "histogram" }
+func (h *Histogram) help() string { return h.helpText }
+func (h *Histogram) reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sumBits.Store(0)
+}
+
+func (h *Histogram) snap() MetricSnap {
+	s := MetricSnap{Kind: "histogram", Count: h.count.Load(), Sum: h.Sum()}
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.buckets[i].Load()
+		s.Buckets = append(s.Buckets, BucketSnap{LE: b, Count: cum})
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	s.Buckets = append(s.Buckets, BucketSnap{LE: math.Inf(1), Count: cum})
+	return s
+}
+
+// BucketSnap is one cumulative histogram bucket.
+type BucketSnap struct {
+	LE    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// MarshalJSON renders the bound as a string so the terminal +Inf bucket
+// survives encoding/json (which rejects infinite float64s), mirroring the
+// Prometheus convention of a string-valued "le" label.
+func (b BucketSnap) MarshalJSON() ([]byte, error) {
+	le := "+Inf"
+	if !math.IsInf(b.LE, 1) {
+		le = strconv.FormatFloat(b.LE, 'g', -1, 64)
+	}
+	return []byte(fmt.Sprintf(`{"le":%q,"count":%d}`, le, b.Count)), nil
+}
+
+// MetricSnap is the point-in-time value of one metric.
+type MetricSnap struct {
+	Kind    string       `json:"kind"`
+	Value   float64      `json:"value,omitempty"`
+	Count   int64        `json:"count,omitempty"`
+	Sum     float64      `json:"sum,omitempty"`
+	Buckets []BucketSnap `json:"buckets,omitempty"`
+}
+
+// Snapshot captures every metric by name. The map is a deep copy; mutating
+// it does not affect the registry.
+func (r *Registry) Snapshot() map[string]MetricSnap {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]MetricSnap, len(r.metrics))
+	for name, m := range r.metrics {
+		out[name] = m.snap()
+	}
+	return out
+}
+
+// names returns the registered metric names sorted.
+func (r *Registry) names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.metrics))
+	for name := range r.metrics {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WritePrometheus writes every metric in the Prometheus text exposition
+// format (HELP/TYPE comments, cumulative `le` buckets, `_sum`/`_count`
+// series), sorted by metric name for deterministic output.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, name := range r.names() {
+		r.mu.Lock()
+		m := r.metrics[name]
+		r.mu.Unlock()
+		if m == nil {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, m.help(), name, m.kind()); err != nil {
+			return err
+		}
+		s := m.snap()
+		switch s.Kind {
+		case "counter", "gauge":
+			if _, err := fmt.Fprintf(w, "%s %s\n", name, formatFloat(s.Value)); err != nil {
+				return err
+			}
+		case "histogram":
+			for _, b := range s.Buckets {
+				le := "+Inf"
+				if !math.IsInf(b.LE, 1) {
+					le = formatFloat(b.LE)
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, b.Count); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, formatFloat(s.Sum), name, s.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// formatFloat renders a float the way Prometheus clients do: integers
+// without a decimal point, everything else in shortest form.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// PublishExpvar exposes the registry as one expvar variable rendering the
+// Snapshot as JSON. Publishing the same name twice is a no-op (expvar
+// itself panics on duplicates).
+func (r *Registry) PublishExpvar(name string) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}
+
+// Standard bucket sets for the repository's instruments.
+var (
+	// TimeBuckets covers AC solve and chunk latencies: 1 µs to 10 s.
+	TimeBuckets = []float64{
+		1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5,
+		1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+		1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+	}
+	// CountBuckets covers term/cell counts: 1 to 1e6, log-ish.
+	CountBuckets = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 1e4, 1e5, 1e6}
+	// RatioBuckets covers utilization ratios in [0, 1].
+	RatioBuckets = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1}
+)

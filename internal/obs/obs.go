@@ -1,0 +1,66 @@
+// Package obs is the dependency-free telemetry layer of the repository:
+// span-style tracing, a metrics registry (counters, gauges, fixed-bucket
+// histograms) with expvar and Prometheus text exposition, and slog-based
+// structured logging behind one shared leveled handler.
+//
+// The package is designed around a single process-wide Runtime (Default)
+// that the library root re-exports, so CLIs, tests and library users all
+// observe the same spans and metrics. Instrumented hot paths (mna solves,
+// detect cells, boolexpr expansion) keep their overhead negligible when
+// telemetry is off: counters are single atomic adds, and anything that
+// needs a clock is gated on TimingOn(), one atomic load.
+//
+// The zero state is "off": tracing disabled, timing disabled, logging at
+// warn on stderr. cliobs flips the switches from CLI flags.
+package obs
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Runtime bundles the three telemetry facilities behind one handle. The
+// zero Runtime is not usable; construct with NewRuntime or use Default.
+type Runtime struct {
+	// Tracer records span trees; disabled until EnableTracing.
+	Tracer *Tracer
+	// Metrics is the metric registry; counters are always live.
+	Metrics *Registry
+
+	timing atomic.Bool
+}
+
+// NewRuntime returns a fresh, disabled runtime with an empty registry.
+func NewRuntime() *Runtime {
+	return &Runtime{Tracer: NewTracer(), Metrics: NewRegistry()}
+}
+
+// SetTiming toggles latency collection (histogram observations and worker
+// utilization measurements) in instrumented code.
+func (r *Runtime) SetTiming(on bool) { r.timing.Store(on) }
+
+// TimingOn reports whether latency collection is enabled.
+func (r *Runtime) TimingOn() bool { return r.timing.Load() }
+
+// EnableTracing switches span recording on (or off) for r.Tracer.
+func (r *Runtime) EnableTracing(on bool) { r.Tracer.SetEnabled(on) }
+
+// defaultRuntime is the process-wide runtime.
+var defaultRuntime = NewRuntime()
+
+// Default returns the process-wide telemetry runtime.
+func Default() *Runtime { return defaultRuntime }
+
+// Reg returns the default runtime's metric registry. Instrumented packages
+// register their metrics against it at init time.
+func Reg() *Registry { return defaultRuntime.Metrics }
+
+// TimingOn reports whether the default runtime collects latencies.
+func TimingOn() bool { return defaultRuntime.TimingOn() }
+
+// Start opens a span on the default runtime's tracer. The returned context
+// carries the span so nested Start calls build a tree; the span is nil (and
+// all its methods no-ops) while tracing is disabled.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	return defaultRuntime.Tracer.Start(ctx, name)
+}

@@ -1,0 +1,375 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"math"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerDisabledIsInert(t *testing.T) {
+	tr := NewTracer()
+	ctx, span := tr.Start(context.Background(), "root")
+	if span != nil {
+		t.Fatal("disabled tracer returned a live span")
+	}
+	span.End()            // must not panic
+	span.SetTag("k", "v") // must not panic
+	if span.Duration() != 0 {
+		t.Fatal("nil span has a duration")
+	}
+	if got := tr.Export(); len(got.Spans) != 0 {
+		t.Fatalf("disabled tracer recorded %d spans", len(got.Spans))
+	}
+	if _, inner := tr.Start(ctx, "child"); inner != nil {
+		t.Fatal("child of nil span is live")
+	}
+}
+
+func TestTracerBuildsTree(t *testing.T) {
+	tr := NewTracer()
+	tr.SetEnabled(true)
+	ctx, root := tr.Start(context.Background(), "root")
+	cctx, child := tr.Start(ctx, "child")
+	_, grand := tr.Start(cctx, "grand")
+	grand.End()
+	child.End()
+	root.SetTag("circuit", "biquad")
+	root.End()
+
+	got := tr.Export()
+	if len(got.Spans) != 1 {
+		t.Fatalf("roots = %d, want 1", len(got.Spans))
+	}
+	r := got.Spans[0]
+	if r.Name != "root" || r.Tags["circuit"] != "biquad" {
+		t.Fatalf("root = %+v", r)
+	}
+	if len(r.Children) != 1 || r.Children[0].Name != "child" {
+		t.Fatalf("children = %+v", r.Children)
+	}
+	if len(r.Children[0].Children) != 1 || r.Children[0].Children[0].Name != "grand" {
+		t.Fatalf("grandchildren = %+v", r.Children[0].Children)
+	}
+	wantFlat := []struct {
+		name  string
+		depth int
+	}{{"root", 0}, {"child", 1}, {"grand", 2}}
+	if len(got.Flat) != len(wantFlat) {
+		t.Fatalf("flat = %+v", got.Flat)
+	}
+	for i, w := range wantFlat {
+		if got.Flat[i].Name != w.name || got.Flat[i].Depth != w.depth {
+			t.Fatalf("flat[%d] = %+v, want %+v", i, got.Flat[i], w)
+		}
+	}
+}
+
+func TestTracerAnchorAdoptsContextlessSpans(t *testing.T) {
+	// Library code starts spans from context.Background(); while a CLI
+	// root span is open those spans must nest under it, not fork new roots.
+	tr := NewTracer()
+	tr.SetEnabled(true)
+	_, root := tr.Start(nil, "cmd.run")
+	_, lib := tr.Start(context.Background(), "detect.matrix")
+	lib.End()
+	root.End()
+	// After the anchor closes, a context-less span is a root again.
+	_, late := tr.Start(context.Background(), "late")
+	late.End()
+
+	got := tr.Export()
+	if len(got.Spans) != 2 {
+		t.Fatalf("roots = %d, want 2", len(got.Spans))
+	}
+	if got.Spans[0].Name != "cmd.run" || len(got.Spans[0].Children) != 1 ||
+		got.Spans[0].Children[0].Name != "detect.matrix" {
+		t.Fatalf("anchor tree = %+v", got.Spans[0])
+	}
+	if got.Spans[1].Name != "late" {
+		t.Fatalf("late root = %+v", got.Spans[1])
+	}
+}
+
+func TestTracerExportOpenSpanAndReset(t *testing.T) {
+	tr := NewTracer()
+	tr.SetEnabled(true)
+	_, root := tr.Start(context.Background(), "open")
+	time.Sleep(time.Millisecond)
+	got := tr.Export()
+	if len(got.Spans) != 1 || got.Spans[0].DurMs <= 0 {
+		t.Fatalf("open span export = %+v", got.Spans)
+	}
+	root.End()
+	tr.Reset()
+	if got := tr.Export(); len(got.Spans) != 0 {
+		t.Fatal("Reset left spans behind")
+	}
+}
+
+func TestTracerConcurrentSpans(t *testing.T) {
+	tr := NewTracer()
+	tr.SetEnabled(true)
+	ctx, root := tr.Start(context.Background(), "root")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, s := tr.Start(ctx, "worker")
+			s.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+	got := tr.Export()
+	if len(got.Spans[0].Children) != 16 {
+		t.Fatalf("children = %d, want 16", len(got.Spans[0].Children))
+	}
+}
+
+func TestWriteJSONTrace(t *testing.T) {
+	tr := NewTracer()
+	tr.SetEnabled(true)
+	_, s := tr.Start(context.Background(), "only")
+	s.End()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Trace
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("trace JSON invalid: %v", err)
+	}
+	if len(back.Spans) != 1 || back.Spans[0].Name != "only" || len(back.Flat) != 1 {
+		t.Fatalf("round trip = %+v", back)
+	}
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	if again := reg.Counter("c_total", "ignored"); again != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+
+	g := reg.Gauge("g", "a gauge")
+	g.Set(2.5)
+	g.Add(0.5)
+	g.SetMax(1) // below current: no-op
+	if g.Value() != 3 {
+		t.Fatalf("gauge = %v", g.Value())
+	}
+	g.SetMax(7)
+	if g.Value() != 7 {
+		t.Fatalf("gauge after SetMax = %v", g.Value())
+	}
+
+	h := reg.Histogram("h_seconds", "a histogram", []float64{1, 10})
+	for _, v := range []float64{0.5, 1, 5, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 || h.Sum() != 106.5 {
+		t.Fatalf("histogram count=%d sum=%v", h.Count(), h.Sum())
+	}
+	s := h.snap()
+	// Cumulative buckets: le=1 gets {0.5, 1}, le=10 adds {5}, +Inf adds {100}.
+	want := []BucketSnap{{LE: 1, Count: 2}, {LE: 10, Count: 3}, {LE: math.Inf(1), Count: 4}}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v", s.Buckets)
+	}
+	for i, w := range want {
+		if s.Buckets[i] != w {
+			t.Fatalf("bucket[%d] = %+v, want %+v", i, s.Buckets[i], w)
+		}
+	}
+}
+
+func TestRegistryKindClashPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind clash did not panic")
+		}
+	}()
+	reg.Gauge("x", "")
+}
+
+func TestRegistryResetKeepsHandles(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "")
+	h := reg.Histogram("h", "", []float64{1})
+	c.Inc()
+	h.Observe(0.5)
+	reg.Reset()
+	if c.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("Reset did not zero metrics")
+	}
+	c.Inc() // the old handle must still feed the registry
+	if reg.Snapshot()["c_total"].Value != 1 {
+		t.Fatal("handle detached after Reset")
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("b_total", "counts b").Add(3)
+	reg.Gauge("a_gauge", "gauges a").Set(1.5)
+	h := reg.Histogram("lat_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// expfmt-style line rules: every non-comment line is `name value` or
+	// `name{labels} value`; HELP/TYPE precede each metric; names sorted.
+	wantLines := []string{
+		"# HELP a_gauge gauges a",
+		"# TYPE a_gauge gauge",
+		"a_gauge 1.5",
+		"# HELP b_total counts b",
+		"# TYPE b_total counter",
+		"b_total 3",
+		"# HELP lat_seconds latency",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 2`,
+		`lat_seconds_bucket{le="+Inf"} 2`,
+		"lat_seconds_sum 0.55",
+		"lat_seconds_count 2",
+	}
+	gotLines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(gotLines) != len(wantLines) {
+		t.Fatalf("lines = %d, want %d:\n%s", len(gotLines), len(wantLines), out)
+	}
+	for i, w := range wantLines {
+		if gotLines[i] != w {
+			t.Fatalf("line %d = %q, want %q", i, gotLines[i], w)
+		}
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	cases := []struct {
+		in   string
+		want slog.Level
+		ok   bool
+	}{
+		{"", slog.LevelWarn, true},
+		{"debug", slog.LevelDebug, true},
+		{"INFO", slog.LevelInfo, true},
+		{"warn", slog.LevelWarn, true},
+		{"warning", slog.LevelWarn, true},
+		{"error", slog.LevelError, true},
+		{"verbose", slog.LevelWarn, false},
+	}
+	for _, c := range cases {
+		got, err := ParseLevel(c.in)
+		if (err == nil) != c.ok || got != c.want {
+			t.Fatalf("ParseLevel(%q) = %v, %v", c.in, got, err)
+		}
+	}
+}
+
+func TestLoggerFollowsSetLogging(t *testing.T) {
+	defer SetLogging(os.Stderr, false, slog.LevelWarn)
+	log := Logger("mypkg") // created before the sink swap
+	var buf bytes.Buffer
+	SetLogging(&buf, true, slog.LevelInfo)
+	log.Info("hello", "n", 3)
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("log line not JSON: %v (%q)", err, buf.String())
+	}
+	if rec["pkg"] != "mypkg" || rec["msg"] != "hello" || rec["n"] != float64(3) {
+		t.Fatalf("record = %v", rec)
+	}
+	// Below-level records are dropped.
+	buf.Reset()
+	log.Debug("quiet")
+	if buf.Len() != 0 {
+		t.Fatalf("debug leaked: %q", buf.String())
+	}
+}
+
+func TestRunReportFinalize(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("n_total", "").Add(2)
+	r := NewRunReport("mycmd", []string{"-x", "1"})
+	r.SetInput("deck", "biquad.cir")
+	r.SetStat("coverage", 1.0)
+	time.Sleep(time.Millisecond)
+	r.Finalize(reg)
+	if r.WallSeconds <= 0 {
+		t.Fatalf("wall = %v", r.WallSeconds)
+	}
+	if r.Metrics["n_total"].Value != 2 {
+		t.Fatalf("metrics = %v", r.Metrics)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report not valid JSON: %v", err)
+	}
+	for _, key := range []string{"command", "start", "wall_seconds", "go_version", "inputs", "stats", "metrics"} {
+		if _, ok := back[key]; !ok {
+			t.Fatalf("report missing %q:\n%s", key, buf.String())
+		}
+	}
+	if back["command"] != "mycmd" {
+		t.Fatalf("command = %v", back["command"])
+	}
+}
+
+func TestDefaultRuntimeSwitches(t *testing.T) {
+	rt := NewRuntime()
+	if rt.TimingOn() {
+		t.Fatal("fresh runtime has timing on")
+	}
+	rt.SetTiming(true)
+	if !rt.TimingOn() {
+		t.Fatal("SetTiming(true) not visible")
+	}
+	rt.EnableTracing(true)
+	if !rt.Tracer.Enabled() {
+		t.Fatal("EnableTracing(true) not visible")
+	}
+	rt.SetTiming(false)
+	rt.EnableTracing(false)
+}
+
+// TestSnapshotJSONHandlesInfBucket is a regression test: the terminal
+// +Inf histogram bucket must survive encoding/json (run reports and the
+// expvar export both marshal snapshots), rendered as a string bound.
+func TestSnapshotJSONHandlesInfBucket(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat_seconds", "latency", []float64{0.5, 2})
+	h.Observe(1)
+	h.Observe(99)
+	data, err := json.Marshal(reg.Snapshot())
+	if err != nil {
+		t.Fatalf("snapshot with histogram not marshalable: %v", err)
+	}
+	s := string(data)
+	if !strings.Contains(s, `{"le":"+Inf","count":2}`) || !strings.Contains(s, `{"le":"0.5","count":0}`) {
+		t.Fatalf("bucket encoding wrong:\n%s", s)
+	}
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"time"
+)
+
+// RunReport is the machine-readable summary of one CLI run: what was run,
+// on what, how long it took (wall and CPU), and a full metric snapshot.
+// It is the record format of the repository's BENCH_*.json perf
+// trajectory: every command can emit one via the shared -run-report flag.
+type RunReport struct {
+	// Command is the CLI name (e.g. "paperrepro").
+	Command string `json:"command"`
+	// Args are the raw command-line arguments after the binary name.
+	Args []string `json:"args,omitempty"`
+	// Start is the wall-clock start of the run.
+	Start time.Time `json:"start"`
+	// WallSeconds is the elapsed wall time of the run.
+	WallSeconds float64 `json:"wall_seconds"`
+	// CPUSeconds is user+system CPU time of the whole process (0 where
+	// the platform cannot report it).
+	CPUSeconds float64 `json:"cpu_seconds"`
+	// GoVersion, GOOS, GOARCH and NumCPU describe the build and host.
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	// Inputs records what the command ran on (deck path, fault counts,
+	// grid sizes, worker counts — whatever the command finds relevant).
+	Inputs map[string]any `json:"inputs,omitempty"`
+	// Stats records the command's headline results (coverage, matrix
+	// stats, optimization outcome).
+	Stats map[string]any `json:"stats,omitempty"`
+	// Metrics is the registry snapshot at the end of the run.
+	Metrics map[string]MetricSnap `json:"metrics,omitempty"`
+
+	started time.Time
+}
+
+// NewRunReport starts a report clocked from now.
+func NewRunReport(command string, args []string) *RunReport {
+	now := time.Now()
+	return &RunReport{
+		Command:   command,
+		Args:      append([]string(nil), args...),
+		Start:     now.UTC(),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Inputs:    make(map[string]any),
+		Stats:     make(map[string]any),
+		started:   now,
+	}
+}
+
+// SetInput records one input descriptor.
+func (r *RunReport) SetInput(key string, v any) { r.Inputs[key] = v }
+
+// SetStat records one result figure.
+func (r *RunReport) SetStat(key string, v any) { r.Stats[key] = v }
+
+// Finalize stamps wall and CPU time and snapshots the registry (nil skips
+// the metric snapshot). Call once, just before WriteJSON.
+func (r *RunReport) Finalize(reg *Registry) {
+	r.WallSeconds = time.Since(r.started).Seconds()
+	r.CPUSeconds = ProcessCPUSeconds()
+	if reg != nil {
+		r.Metrics = reg.Snapshot()
+	}
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *RunReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer records trees of timed spans. It is safe for concurrent use: spans
+// may be started and ended from any goroutine. While disabled (the default)
+// Start returns a nil span and records nothing.
+type Tracer struct {
+	enabled atomic.Bool
+
+	mu     sync.Mutex
+	epoch  time.Time // time zero of the trace (first span start)
+	roots  []*Span
+	anchor *Span // first root; adopts context-less spans while open
+}
+
+// NewTracer returns a disabled tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// SetEnabled switches span recording on or off. Disabling does not discard
+// spans already recorded.
+func (t *Tracer) SetEnabled(on bool) { t.enabled.Store(on) }
+
+// Enabled reports whether the tracer records spans.
+func (t *Tracer) Enabled() bool { return t.enabled.Load() }
+
+// Reset discards every recorded span.
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.roots = nil
+	t.anchor = nil
+	t.epoch = time.Time{}
+}
+
+// Span is one timed operation. A nil *Span is valid and inert, so callers
+// never need to guard instrumentation on the tracer being enabled.
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	end      time.Time // zero while open
+	tags     map[string]string
+	children []*Span
+}
+
+// spanKey carries the current span through a context.
+type spanKey struct{}
+
+// Start opens a span named name. If ctx already carries a span, the new
+// span becomes its child. A span with no context parent is adopted by the
+// trace's first root while that root is still open (so library code that
+// starts from context.Background() still nests under a CLI's run span);
+// otherwise it becomes a root itself. The returned context carries the new
+// span. While the tracer is disabled the input context (nil is accepted)
+// and a nil span are returned.
+func (t *Tracer) Start(ctx context.Context, name string) (context.Context, *Span) {
+	if !t.enabled.Load() {
+		return ctx, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s := &Span{name: name, start: time.Now()}
+	parent, _ := ctx.Value(spanKey{}).(*Span)
+	if parent == nil {
+		t.mu.Lock()
+		if t.anchor != nil && t.anchor != s && t.anchor.open() {
+			parent = t.anchor
+		} else {
+			if t.epoch.IsZero() {
+				t.epoch = s.start
+			}
+			t.roots = append(t.roots, s)
+			if t.anchor == nil {
+				t.anchor = s
+			}
+		}
+		t.mu.Unlock()
+	}
+	if parent != nil {
+		parent.mu.Lock()
+		parent.children = append(parent.children, s)
+		parent.mu.Unlock()
+	}
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// open reports whether the span has not ended yet.
+func (s *Span) open() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.end.IsZero()
+}
+
+// End closes the span. Safe on a nil span; the first call wins.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// SetTag attaches a key=value annotation to the span. Safe on nil.
+func (s *Span) SetTag(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.tags == nil {
+		s.tags = make(map[string]string)
+	}
+	s.tags[key] = value
+	s.mu.Unlock()
+}
+
+// Duration returns the span's duration (to now while still open). Zero on
+// a nil span.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.end.IsZero() {
+		return time.Since(s.start)
+	}
+	return s.end.Sub(s.start)
+}
+
+// SpanNode is the JSON form of a span subtree.
+type SpanNode struct {
+	Name     string            `json:"name"`
+	StartMs  float64           `json:"start_ms"` // relative to the trace epoch
+	DurMs    float64           `json:"dur_ms"`
+	Tags     map[string]string `json:"tags,omitempty"`
+	Children []*SpanNode       `json:"children,omitempty"`
+}
+
+// FlatSpan is one row of the flame-friendly flat listing: depth-first
+// order, with the nesting depth made explicit.
+type FlatSpan struct {
+	Name    string  `json:"name"`
+	Depth   int     `json:"depth"`
+	StartMs float64 `json:"start_ms"`
+	DurMs   float64 `json:"dur_ms"`
+}
+
+// Trace is the exported form of a tracer's spans: the tree plus a flat
+// depth-first listing for flame-graph style tooling.
+type Trace struct {
+	Spans []*SpanNode `json:"spans"`
+	Flat  []FlatSpan  `json:"flat"`
+}
+
+// Export snapshots the recorded spans. Open spans are reported with their
+// duration up to now.
+func (t *Tracer) Export() *Trace {
+	t.mu.Lock()
+	roots := append([]*Span(nil), t.roots...)
+	epoch := t.epoch
+	t.mu.Unlock()
+	now := time.Now()
+
+	tr := &Trace{}
+	for _, r := range roots {
+		node := exportSpan(r, epoch, now)
+		tr.Spans = append(tr.Spans, node)
+		flatten(node, 0, &tr.Flat)
+	}
+	return tr
+}
+
+// exportSpan converts one span subtree, sorting children by start time so
+// the export is stable for concurrent siblings.
+func exportSpan(s *Span, epoch, now time.Time) *SpanNode {
+	s.mu.Lock()
+	end := s.end
+	if end.IsZero() {
+		end = now
+	}
+	var tags map[string]string
+	if len(s.tags) > 0 {
+		tags = make(map[string]string, len(s.tags))
+		for k, v := range s.tags {
+			tags[k] = v
+		}
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+
+	sort.SliceStable(children, func(a, b int) bool { return children[a].start.Before(children[b].start) })
+	node := &SpanNode{
+		Name:    s.name,
+		StartMs: float64(s.start.Sub(epoch)) / float64(time.Millisecond),
+		DurMs:   float64(end.Sub(s.start)) / float64(time.Millisecond),
+		Tags:    tags,
+	}
+	for _, c := range children {
+		node.Children = append(node.Children, exportSpan(c, epoch, now))
+	}
+	return node
+}
+
+// flatten appends node and its subtree to out in depth-first order.
+func flatten(node *SpanNode, depth int, out *[]FlatSpan) {
+	*out = append(*out, FlatSpan{Name: node.Name, Depth: depth, StartMs: node.StartMs, DurMs: node.DurMs})
+	for _, c := range node.Children {
+		flatten(c, depth+1, out)
+	}
+}
+
+// WriteJSON writes the exported trace as indented JSON.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t.Export())
+}

@@ -1,0 +1,28 @@
+package analogdft
+
+import (
+	"context"
+
+	"analogdft/internal/obs"
+)
+
+// Telemetry is the library's observability runtime: span tracer, metric
+// registry and timing switch. All instrumentation inside the library
+// reports to the process-default runtime; Observability returns that
+// handle so embedding applications can enable tracing, export metrics or
+// snapshot a run without any extra wiring.
+type Telemetry = obs.Runtime
+
+// Span is one timed operation of a trace. A nil *Span is valid and inert.
+type Span = obs.Span
+
+// Observability returns the process-wide telemetry runtime used by every
+// package of the library.
+func Observability() *Telemetry { return obs.Default() }
+
+// StartSpan opens a trace span named name under the span carried by ctx
+// (if any). While tracing is disabled it returns ctx and a nil span, so
+// callers never need to guard instrumentation.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return obs.Start(ctx, name)
+}
