@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify bench bench-smoke
+.PHONY: build test race vet invariants lint verify bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -14,9 +14,18 @@ race:
 vet:
 	$(GO) vet ./...
 
+# invariants enforces the repo-wide source rules (single clock source, no
+# stray prints in internal packages) with the stdlib-only AST checker.
+invariants:
+	$(GO) run ./cmd/vetinvariants
+
+# lint statically checks the reference deck; it must stay clean.
+lint:
+	$(GO) run ./cmd/netlint -Werror testdata/biquad.cir
+
 # verify is the full gate: static checks, a clean build, and the whole
 # test suite under the race detector. CI runs exactly this target.
-verify: vet build race
+verify: vet invariants lint build race
 
 # bench runs the full benchmark suite three times with allocation stats
 # and commits the aggregated result into the BENCH_<date>.json perf

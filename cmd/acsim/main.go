@@ -26,6 +26,7 @@ func main() {
 		outPth = flag.String("o", "", "output file (default stdout)")
 		retry  = flag.Int("retry", 0, "re-solve singular points on a jittered grid, up to this many attempts each")
 	)
+	lintf := cliobs.RegisterLint(flag.CommandLine)
 	obsf := cliobs.RegisterObs(flag.CommandLine)
 	flag.Parse()
 
@@ -35,7 +36,7 @@ func main() {
 		os.Exit(1)
 	}
 	sess.Report.SetInput("deck", flag.Arg(0))
-	runErr := run(flag.Arg(0), *start, *stop, *points, *cfgIdx, *retry, *outPth)
+	runErr := run(flag.Arg(0), *start, *stop, *points, *cfgIdx, *retry, *outPth, lintf)
 	if err := sess.Finish(); err != nil && runErr == nil {
 		runErr = err
 	}
@@ -45,8 +46,8 @@ func main() {
 	}
 }
 
-func run(path string, start, stop float64, points, cfgIdx, retry int, outPath string) error {
-	ckt, chain, err := load(path)
+func run(path string, start, stop float64, points, cfgIdx, retry int, outPath string, lintf *cliobs.LintFlags) error {
+	ckt, chain, err := load(path, lintf)
 	if err != nil {
 		return err
 	}
@@ -95,9 +96,12 @@ func run(path string, start, stop float64, points, cfgIdx, retry int, outPath st
 	return resp.WriteCSV(out)
 }
 
-func load(path string) (*analogdft.Circuit, []string, error) {
+func load(path string, lintf *cliobs.LintFlags) (*analogdft.Circuit, []string, error) {
 	b, err := analogdft.LoadBench(path)
 	if err != nil {
+		return nil, nil, err
+	}
+	if err := lintf.Preflight("acsim", b, os.Stderr); err != nil {
 		return nil, nil, err
 	}
 	return b.Circuit, b.Chain, nil

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"analogdft/internal/obs/cliobs"
+
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,7 +12,7 @@ import (
 func TestRunDefaultCircuit(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "bode.csv")
-	if err := run("", 10, 1e6, 11, -1, 0, out); err != nil {
+	if err := run("", 10, 1e6, 11, -1, 0, out, &cliobs.LintFlags{}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -30,7 +32,7 @@ func TestRunConfiguredSweep(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "c7.csv")
 	// Configuration 7 is transparent: |H| = 1 at every frequency.
-	if err := run("", 10, 1e5, 5, 7, 0, out); err != nil {
+	if err := run("", 10, 1e5, 5, 7, 0, out, &cliobs.LintFlags{}); err != nil {
 		t.Fatal(err)
 	}
 	data, _ := os.ReadFile(out)
@@ -43,7 +45,7 @@ func TestRunConfiguredSweep(t *testing.T) {
 }
 
 func TestRunBadConfig(t *testing.T) {
-	if err := run("", 10, 1e5, 5, 99, 0, ""); err == nil {
+	if err := run("", 10, 1e5, 5, 99, 0, "", &cliobs.LintFlags{}); err == nil {
 		t.Fatal("bad config index accepted")
 	}
 }
@@ -51,13 +53,13 @@ func TestRunBadConfig(t *testing.T) {
 func TestRunFromDeck(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "deck.csv")
-	if err := run("../../testdata/biquad.cir", 10, 1e6, 5, -1, 2, out); err != nil {
+	if err := run("../../testdata/biquad.cir", 10, 1e6, 5, -1, 2, out, &cliobs.LintFlags{}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestLoadMissing(t *testing.T) {
-	if _, _, err := load("/no/such.cir"); err == nil {
+	if _, _, err := load("/no/such.cir", &cliobs.LintFlags{}); err == nil {
 		t.Fatal("missing deck accepted")
 	}
 }

@@ -31,6 +31,7 @@ type config struct {
 	wCfg, wOp  float64
 	bipolar    bool
 	sim        cliobs.SimFlags
+	lint       cliobs.LintFlags
 }
 
 func main() {
@@ -46,6 +47,7 @@ func main() {
 	flag.Float64Var(&cfg.wOp, "wopamps", 1, "opamp weight for -cost=weighted")
 	flag.BoolVar(&cfg.bipolar, "bipolar", false, "use ± deviation faults instead of + only")
 	cfg.sim.Register(flag.CommandLine)
+	cfg.lint.Register(flag.CommandLine)
 	obsf := cliobs.RegisterObs(flag.CommandLine)
 	flag.Parse()
 	cfg.path = flag.Arg(0)
@@ -73,6 +75,9 @@ func run(cfg config) error {
 	}
 	if len(bench.Chain) == 0 {
 		return fmt.Errorf("deck %s has no opamps to configure", cfg.path)
+	}
+	if err := cfg.lint.Preflight("dftopt", bench, os.Stderr); err != nil {
+		return err
 	}
 	opts := analogdft.Options{Eps: cfg.eps, MeasFloor: cfg.floor, Points: cfg.points}
 	if err := cfg.sim.Apply(&opts, os.Stderr); err != nil {

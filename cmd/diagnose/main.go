@@ -30,6 +30,7 @@ func main() {
 		configs = flag.String("configs", "", "comma-separated configuration indices (default: all non-transparent)")
 		inject  = flag.String("inject", "", "fault ID to inject and diagnose (e.g. fR4)")
 	)
+	lintf := cliobs.RegisterLint(flag.CommandLine)
 	obsf := cliobs.RegisterObs(flag.CommandLine)
 	flag.Parse()
 
@@ -39,7 +40,7 @@ func main() {
 		os.Exit(1)
 	}
 	sess.Report.SetInput("deck", flag.Arg(0))
-	runErr := run(flag.Arg(0), *frac, *eps, *points, *bands, *loHz, *hiHz, *configs, *inject)
+	runErr := run(flag.Arg(0), *frac, *eps, *points, *bands, *loHz, *hiHz, *configs, *inject, lintf)
 	if err := sess.Finish(); err != nil && runErr == nil {
 		runErr = err
 	}
@@ -49,8 +50,8 @@ func main() {
 	}
 }
 
-func run(path string, frac, eps float64, points, bands int, loHz, hiHz float64, configsCSV, inject string) error {
-	bench, err := loadBench(path)
+func run(path string, frac, eps float64, points, bands int, loHz, hiHz float64, configsCSV, inject string, lintf *cliobs.LintFlags) error {
+	bench, err := loadBench(path, lintf)
 	if err != nil {
 		return err
 	}
@@ -120,13 +121,16 @@ func parseConfigs(csv string, numConfigs int) ([]int, error) {
 	return out, nil
 }
 
-func loadBench(path string) (*analogdft.Bench, error) {
+func loadBench(path string, lintf *cliobs.LintFlags) (*analogdft.Bench, error) {
 	b, err := analogdft.LoadBench(path)
 	if err != nil {
 		return nil, err
 	}
 	if len(b.Chain) == 0 {
 		return nil, fmt.Errorf("deck %s has no opamps", path)
+	}
+	if err := lintf.Preflight("diagnose", b, os.Stderr); err != nil {
+		return nil, err
 	}
 	return b, nil
 }

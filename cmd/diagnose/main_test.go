@@ -1,6 +1,8 @@
 package main
 
 import (
+	"analogdft/internal/obs/cliobs"
+
 	"strings"
 	"testing"
 )
@@ -20,32 +22,32 @@ func TestParseConfigs(t *testing.T) {
 }
 
 func TestRunDictionaryOnly(t *testing.T) {
-	if err := run("", 0.2, 0.1, 60, 3, 100, 5600, "0,1,2", ""); err != nil {
+	if err := run("", 0.2, 0.1, 60, 3, 100, 5600, "0,1,2", "", &cliobs.LintFlags{}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunInjectAndDiagnose(t *testing.T) {
-	if err := run("", 0.2, 0.1, 60, 3, 100, 5600, "", "fR4"); err != nil {
+	if err := run("", 0.2, 0.1, 60, 3, 100, 5600, "", "fR4", &cliobs.LintFlags{}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownFault(t *testing.T) {
-	err := run("", 0.2, 0.1, 60, 3, 100, 5600, "0,1", "fZZ")
+	err := run("", 0.2, 0.1, 60, 3, 100, 5600, "0,1", "fZZ", &cliobs.LintFlags{})
 	if err == nil || !strings.Contains(err.Error(), "unknown fault") {
 		t.Fatalf("err = %v", err)
 	}
 }
 
 func TestRunFromDeck(t *testing.T) {
-	if err := run("../../testdata/biquad.cir", 0.2, 0.1, 40, 2, 100, 5600, "0,1", ""); err != nil {
+	if err := run("../../testdata/biquad.cir", 0.2, 0.1, 40, 2, 100, 5600, "0,1", "", &cliobs.LintFlags{}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestLoadBenchMissing(t *testing.T) {
-	if _, err := loadBench("/no/such.cir"); err == nil {
+	if _, err := loadBench("/no/such.cir", &cliobs.LintFlags{}); err == nil {
 		t.Fatal("missing deck accepted")
 	}
 }

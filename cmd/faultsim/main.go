@@ -42,6 +42,7 @@ type config struct {
 	markdown   bool
 	strict     bool
 	sim        cliobs.SimFlags
+	lint       cliobs.LintFlags
 }
 
 func main() {
@@ -57,6 +58,7 @@ func main() {
 	flag.BoolVar(&cfg.markdown, "markdown", false, "render tables as GitHub markdown")
 	flag.BoolVar(&cfg.strict, "strict", false, "exit non-zero when any cell failed to simulate")
 	cfg.sim.Register(flag.CommandLine)
+	cfg.lint.Register(flag.CommandLine)
 	obsf := cliobs.RegisterObs(flag.CommandLine)
 	flag.Parse()
 	cfg.path = flag.Arg(0)
@@ -80,6 +82,9 @@ func main() {
 func run(cfg config) error {
 	bench, err := analogdft.LoadBench(cfg.path)
 	if err != nil {
+		return err
+	}
+	if err := cfg.lint.Preflight("faultsim", bench, os.Stderr); err != nil {
 		return err
 	}
 	faults := analogdft.DeviationFaults(bench.Circuit, cfg.frac)

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"analogdft"
+	"analogdft/internal/obs/cliobs"
 )
 
 // base returns the coarse-grid biquad configuration used across tests.
@@ -160,3 +161,43 @@ func TestReportCellErrorsStrict(t *testing.T) {
 	}
 }
 
+// TestStrictLintRejectsFloatingNodeDeck is the preflight acceptance test:
+// a deck with a floating node fails up front with a structured NLxxx
+// diagnostic under -strict-lint, instead of surfacing later as an opaque
+// singular-matrix error from the MNA solver.
+func TestStrictLintRejectsFloatingNodeDeck(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "floating.cir")
+	deck := "R1 in a 1k\nR2 a 0 1k\nR3 a x 1k\nOA1 0 a b\nR4 b a 1k\n.input in\n.output b\n"
+	if err := os.WriteFile(path, []byte(deck), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := base()
+	cfg.path = path
+	cfg.lint.Strict = true
+	err := run(cfg)
+	if err == nil || !strings.Contains(err.Error(), "netlist preflight") {
+		t.Fatalf("strict-lint run error = %v, want a netlist preflight failure", err)
+	}
+
+	// The diagnostic stream names the floating node with its stable code.
+	bench, err := analogdft.LoadBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diag strings.Builder
+	lintErr := (&cliobs.LintFlags{Strict: true}).Preflight("faultsim", bench, &diag)
+	if lintErr == nil {
+		t.Fatal("strict preflight accepted a floating-node deck")
+	}
+	if out := diag.String(); !strings.Contains(out, "NL002") || !strings.Contains(out, "x") {
+		t.Errorf("preflight output missing NL002/node x:\n%s", out)
+	}
+
+	// Without -strict-lint the run warns but proceeds past the preflight;
+	// the engine's degrade policy absorbs the singular cells.
+	cfg.lint.Strict = false
+	if err := run(cfg); err != nil && strings.Contains(err.Error(), "netlist preflight") {
+		t.Fatalf("non-strict run still failed the preflight: %v", err)
+	}
+}

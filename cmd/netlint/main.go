@@ -1,0 +1,147 @@
+// Command netlint statically checks SPICE decks before simulation:
+//
+//	netlint [flags] circuit.cir [more.cir ...]
+//
+// It parses each deck and runs every structural check of the netlint
+// package — connectivity, MNA-singularity predictors, deck hygiene, and
+// the multi-configuration DFT structure — without assembling a single
+// linear system. Findings are printed as text (default) or JSON (-json),
+// each carrying a stable NLxxx code, a severity, the offending component
+// or node, the deck line, and a fix hint.
+//
+// Exit status: 0 when every deck is clean at the gated severity, 1 when
+// findings exist (errors, or warnings too under -Werror), 2 on usage,
+// read or parse failures.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"analogdft/internal/netlint"
+	"analogdft/internal/spice"
+)
+
+// config carries the parsed command line.
+type config struct {
+	jsonOut bool
+	werror  bool
+	codes   bool
+	faults  string
+	paths   []string
+}
+
+func main() {
+	var cfg config
+	flag.BoolVar(&cfg.jsonOut, "json", false, "emit reports as a JSON array instead of text")
+	flag.BoolVar(&cfg.werror, "Werror", false, "treat warnings as errors for the exit status")
+	flag.BoolVar(&cfg.codes, "codes", false, "list every registered check and exit")
+	flag.StringVar(&cfg.faults, "faults", "", "comma-separated component names a fault list will target (cross-checked as NL011)")
+	flag.Parse()
+	cfg.paths = flag.Args()
+	os.Exit(run(cfg, os.Stdout, os.Stderr))
+}
+
+// run does the work of main with injectable streams, returning the exit
+// status.
+func run(cfg config, stdout, stderr io.Writer) int {
+	if cfg.codes {
+		return listCodes(cfg, stdout, stderr)
+	}
+	if len(cfg.paths) == 0 {
+		fmt.Fprintln(stderr, "netlint: no decks given (usage: netlint [flags] circuit.cir ...)")
+		return 2
+	}
+
+	var faultTargets []string
+	for _, t := range strings.Split(cfg.faults, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			faultTargets = append(faultTargets, t)
+		}
+	}
+
+	status := 0
+	var reports []*netlint.Report
+	for _, path := range cfg.paths {
+		rep, err := lintPath(path, faultTargets)
+		if err != nil {
+			fmt.Fprintf(stderr, "netlint: %s: %v\n", path, err)
+			status = 2
+			continue
+		}
+		reports = append(reports, rep)
+		gate := netlint.SevError
+		if cfg.werror {
+			gate = netlint.SevWarning
+		}
+		if rep.Count(gate) > 0 && status == 0 {
+			status = 1
+		}
+		if !cfg.jsonOut {
+			if rep.Clean() {
+				fmt.Fprintf(stdout, "%s: clean\n", path)
+			} else if err := rep.WriteText(stdout); err != nil {
+				fmt.Fprintln(stderr, "netlint:", err)
+				return 2
+			}
+		}
+	}
+	if cfg.jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			fmt.Fprintln(stderr, "netlint:", err)
+			return 2
+		}
+	}
+	return status
+}
+
+// lintPath parses and analyzes one deck. Like the bench loader, a deck
+// without a .chain directive chains every opamp in netlist order.
+func lintPath(path string, faultTargets []string) (*netlint.Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	deck, err := spice.Parse(f)
+	if err != nil {
+		return nil, err
+	}
+	chain := deck.Chain
+	if len(chain) == 0 {
+		for _, op := range deck.Circuit.Opamps() {
+			chain = append(chain, op.Name())
+		}
+	}
+	return netlint.Analyze(netlint.Source{
+		Circuit:      deck.Circuit,
+		Chain:        chain,
+		Deck:         deck,
+		FaultTargets: faultTargets,
+		Name:         path,
+	}), nil
+}
+
+// listCodes prints the check registry.
+func listCodes(cfg config, stdout, stderr io.Writer) int {
+	checks := netlint.Checks()
+	if cfg.jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(checks); err != nil {
+			fmt.Fprintln(stderr, "netlint:", err)
+			return 2
+		}
+		return 0
+	}
+	for _, c := range checks {
+		fmt.Fprintf(stdout, "%s %-8s %-22s %s\n", c.Code, c.Severity, c.Name, c.Summary)
+	}
+	return 0
+}

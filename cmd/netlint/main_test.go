@@ -1,0 +1,133 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden JSON files under testdata/lint")
+
+// fixtureFaults gives per-fixture -faults values; NL011 only fires when a
+// fault list is cross-checked.
+var fixtureFaults = map[string]string{
+	"NL011": "R1,R9",
+}
+
+func TestFixturesGolden(t *testing.T) {
+	dir := filepath.Join("..", "..", "testdata", "lint")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".cir") {
+			continue
+		}
+		seen++
+		code := strings.TrimSuffix(name, ".cir")
+		t.Run(code, func(t *testing.T) {
+			var out, errb strings.Builder
+			cfg := config{
+				jsonOut: true,
+				faults:  fixtureFaults[code],
+				paths:   []string{filepath.Join(dir, name)},
+			}
+			status := run(cfg, &out, &errb)
+			if status == 2 {
+				t.Fatalf("exit 2: %s", errb.String())
+			}
+			if !strings.Contains(out.String(), `"code": "`+code+`"`) {
+				t.Errorf("fixture did not fire %s:\n%s", code, out.String())
+			}
+			golden := filepath.Join(dir, code+".golden.json")
+			if *update {
+				if err := os.WriteFile(golden, []byte(out.String()), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run go test ./cmd/netlint -update): %v", err)
+			}
+			if out.String() != string(want) {
+				t.Errorf("output drifted from %s:\n--- got ---\n%s--- want ---\n%s", golden, out.String(), want)
+			}
+		})
+	}
+	if seen != 14 {
+		t.Errorf("expected 14 fixtures, found %d", seen)
+	}
+}
+
+func TestBiquadDeckClean(t *testing.T) {
+	var out, errb strings.Builder
+	path := filepath.Join("..", "..", "testdata", "biquad.cir")
+	status := run(config{werror: true, paths: []string{path}}, &out, &errb)
+	if status != 0 {
+		t.Fatalf("status = %d, stderr = %q, stdout:\n%s", status, errb.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "clean") {
+		t.Errorf("stdout = %q", out.String())
+	}
+}
+
+func TestExitStatus(t *testing.T) {
+	lint := func(cfg config) int {
+		var out, errb strings.Builder
+		return run(cfg, &out, &errb)
+	}
+	dir := filepath.Join("..", "..", "testdata", "lint")
+	if got := lint(config{}); got != 2 {
+		t.Errorf("no decks: status = %d, want 2", got)
+	}
+	if got := lint(config{paths: []string{filepath.Join(dir, "no-such.cir")}}); got != 2 {
+		t.Errorf("missing file: status = %d, want 2", got)
+	}
+	if got := lint(config{paths: []string{filepath.Join(dir, "NL002.cir")}}); got != 1 {
+		t.Errorf("error-severity deck: status = %d, want 1", got)
+	}
+	warnOnly := filepath.Join(dir, "NL009.cir")
+	if got := lint(config{paths: []string{warnOnly}}); got != 0 {
+		t.Errorf("warning deck without -Werror: status = %d, want 0", got)
+	}
+	if got := lint(config{werror: true, paths: []string{warnOnly}}); got != 1 {
+		t.Errorf("warning deck with -Werror: status = %d, want 1", got)
+	}
+}
+
+func TestTextOutputCarriesLineAndHint(t *testing.T) {
+	var out, errb strings.Builder
+	path := filepath.Join("..", "..", "testdata", "lint", "NL002.cir")
+	if status := run(config{paths: []string{path}}, &out, &errb); status != 1 {
+		t.Fatalf("status = %d: %s", status, errb.String())
+	}
+	txt := out.String()
+	if !strings.Contains(txt, path+":4: NL002") || !strings.Contains(txt, "fix:") {
+		t.Errorf("text output = %q", txt)
+	}
+}
+
+func TestCodesListing(t *testing.T) {
+	var out, errb strings.Builder
+	if status := run(config{codes: true}, &out, &errb); status != 0 {
+		t.Fatalf("status = %d", status)
+	}
+	for _, want := range []string{"NL001", "NL014", "floating-node", "identical-configs"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("codes listing missing %q:\n%s", want, out.String())
+		}
+	}
+	out.Reset()
+	if status := run(config{codes: true, jsonOut: true}, &out, &errb); status != 0 {
+		t.Fatalf("json status = %d", status)
+	}
+	if !strings.Contains(out.String(), `"code": "NL013"`) {
+		t.Errorf("json codes listing:\n%s", out.String())
+	}
+}

@@ -5,10 +5,16 @@ import (
 	"os"
 
 	"analogdft"
+	"analogdft/internal/obs/cliobs"
 )
 
-// runLibrary prints the §5 library study.
-func runLibrary() error {
+// runLibrary prints the §5 library study, preflighting every bench.
+func runLibrary(lintf *cliobs.LintFlags) error {
+	for _, bench := range analogdft.CircuitLibrary() {
+		if err := lintf.Preflight("paperrepro", bench, os.Stderr); err != nil {
+			return err
+		}
+	}
 	fmt.Println("library study: the paper's flow on every benchmark circuit")
 	rows := analogdft.RunLibraryStudy()
 	return analogdft.WriteLibraryStudy(os.Stdout, rows)

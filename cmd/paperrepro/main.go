@@ -24,6 +24,7 @@ func main() {
 	characterize := flag.Bool("characterize", false, "fit and print each configuration's transfer function (order, f0, Q)")
 	library := flag.Bool("library", false, "run the §5 study across the whole benchmark circuit library")
 	jsonPath := flag.String("json", "", "write the simulation-track experiment summary as JSON to this file")
+	lintf := cliobs.RegisterLint(flag.CommandLine)
 	obsf := cliobs.RegisterObs(flag.CommandLine)
 	flag.Parse()
 
@@ -34,9 +35,9 @@ func main() {
 	}
 	var runErr error
 	if *library {
-		runErr = runLibrary()
+		runErr = runLibrary(lintf)
 	} else {
-		runErr = run(*simOnly, *pubOnly, *csvDir, *characterize, *jsonPath)
+		runErr = run(*simOnly, *pubOnly, *csvDir, *characterize, *jsonPath, lintf)
 	}
 	if err := sess.Finish(); err != nil && runErr == nil {
 		runErr = err
@@ -47,11 +48,14 @@ func main() {
 	}
 }
 
-func run(simOnly, pubOnly bool, csvDir string, characterize bool, jsonPath string) error {
+func run(simOnly, pubOnly bool, csvDir string, characterize bool, jsonPath string, lintf *cliobs.LintFlags) error {
 	runSim := !pubOnly
 	runPub := !simOnly
 
 	if runSim {
+		if err := lintf.Preflight("paperrepro", analogdft.PaperBiquad(), os.Stderr); err != nil {
+			return err
+		}
 		exp, err := analogdft.RunPaperExperiment()
 		if err != nil {
 			return err

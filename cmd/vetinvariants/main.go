@@ -1,0 +1,160 @@
+// Command vetinvariants enforces repository-wide source invariants that
+// go vet does not know about:
+//
+//	vetinvariants [repo-root]
+//
+// Rule 1 — single clock source: internal packages never call time.Now or
+// time.Since directly; every clock read goes through obs.Now/obs.Since so
+// the timing gates in internal/obs stay the only place wall-clock time
+// enters the system. Only the internal/obs package itself is exempt.
+//
+// Rule 2 — no stray prints: internal packages never call fmt.Print,
+// fmt.Printf or fmt.Println. Library code reports through error values,
+// the obs logger or an io.Writer handed in by the caller; the Fprint
+// variants are therefore fine, as are the commands under cmd/.
+//
+// Both rules skip _test.go files. The checker is import-alias aware and
+// uses only the standard library (go/parser + go/ast), so it runs in CI
+// without fetching anything. Findings print as file:line:col and make the
+// command exit 1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// finding is one invariant violation.
+type finding struct {
+	pos token.Position
+	msg string
+}
+
+func (f finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s", f.pos.Filename, f.pos.Line, f.pos.Column, f.msg)
+}
+
+func main() {
+	flag.Parse()
+	root := flag.Arg(0)
+	if root == "" {
+		root = "."
+	}
+	findings, err := check(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vetinvariants:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "vetinvariants: %d invariant violation(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// check walks every non-test Go file under root/internal and returns the
+// invariant violations in file order.
+func check(root string) ([]finding, error) {
+	internalDir := filepath.Join(root, "internal")
+	if _, err := os.Stat(internalDir); err != nil {
+		return nil, fmt.Errorf("no internal directory under %s: %w", root, err)
+	}
+	var findings []finding
+	err := filepath.WalkDir(internalDir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		fs, err := checkFile(path, filepath.ToSlash(filepath.Dir(path)) == filepath.ToSlash(filepath.Join(root, "internal", "obs")))
+		if err != nil {
+			return err
+		}
+		findings = append(findings, fs...)
+		return nil
+	})
+	return findings, err
+}
+
+// forbidden maps an import path to the selector names internal packages
+// must not call on it.
+var forbidden = map[string]map[string]string{
+	"time": {
+		"Now":   "internal packages must use obs.Now, not time.Now (single clock source)",
+		"Since": "internal packages must use obs.Since, not time.Since (single clock source)",
+	},
+	"fmt": {
+		"Print":   "internal packages must not print to stdout; return values, log via obs or take an io.Writer",
+		"Printf":  "internal packages must not print to stdout; return values, log via obs or take an io.Writer",
+		"Println": "internal packages must not print to stdout; return values, log via obs or take an io.Writer",
+	},
+}
+
+// checkFile parses one file and reports forbidden selector calls. An
+// obs-package file only gets the fmt rule: it is the clock gate.
+func checkFile(path string, isObs bool) ([]finding, error) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+
+	// Map the local name of each interesting import; an underscore or dot
+	// import never produces a plain selector, so those are ignored.
+	names := make(map[string]string) // local identifier → import path
+	for _, imp := range file.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || forbidden[p] == nil {
+			continue
+		}
+		if p == "time" && isObs {
+			continue
+		}
+		local := p
+		if imp.Name != nil {
+			local = imp.Name.Name
+		}
+		if local != "_" && local != "." {
+			names[local] = p
+		}
+	}
+	if len(names) == 0 {
+		return nil, nil
+	}
+
+	var findings []finding
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		ident, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkg, imported := names[ident.Name]
+		if !imported {
+			return true
+		}
+		if msg, bad := forbidden[pkg][sel.Sel.Name]; bad {
+			findings = append(findings, finding{pos: fset.Position(sel.Pos()), msg: msg})
+		}
+		return true
+	})
+	return findings, nil
+}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree lays out a fake repo under a temp dir.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestRealRepoSatisfiesInvariants(t *testing.T) {
+	findings, err := check(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+func TestFlagsDirectClockReads(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/x/x.go": "package x\nimport \"time\"\nfunc f() time.Time { return time.Now() }\n",
+	})
+	findings, err := check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || !strings.Contains(findings[0].msg, "obs.Now") {
+		t.Fatalf("findings = %v", findings)
+	}
+	if findings[0].pos.Line != 3 {
+		t.Errorf("line = %d, want 3", findings[0].pos.Line)
+	}
+}
+
+func TestAliasedImportIsCaught(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/x/x.go": "package x\nimport clk \"time\"\nvar _ = clk.Since\nfunc f() { _ = clk.Since(clk.Time{}) }\n",
+	})
+	findings, err := check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v", findings)
+	}
+}
+
+func TestObsPackageMayReadClock(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/obs/clock.go": "package obs\nimport \"time\"\nfunc Now() time.Time { return time.Now() }\n",
+	})
+	findings, err := check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("obs exempt, got %v", findings)
+	}
+}
+
+func TestObsSubpackagesAreNotExempt(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/obs/cliobs/x.go": "package cliobs\nimport \"time\"\nfunc f() { _ = time.Now() }\n",
+	})
+	findings, err := check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v", findings)
+	}
+}
+
+func TestFlagsStdoutPrints(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/x/x.go": "package x\nimport \"fmt\"\nfunc f() { fmt.Println(\"hi\"); fmt.Printf(\"%d\", 1); fmt.Print(2) }\n",
+	})
+	findings, err := check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 3 {
+		t.Fatalf("findings = %v", findings)
+	}
+}
+
+func TestFprintAndTestFilesAllowed(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/x/x.go":      "package x\nimport (\"fmt\"; \"io\")\nfunc f(w io.Writer) { fmt.Fprintln(w, \"ok\") }\n",
+		"internal/x/x_test.go": "package x\nimport (\"fmt\"; \"time\")\nfunc g() { fmt.Println(time.Now()) }\n",
+	})
+	findings, err := check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("findings = %v", findings)
+	}
+}
+
+func TestShadowedIdentifierStillFlagged(t *testing.T) {
+	// A local variable named fmt would shadow the import; the checker is
+	// deliberately conservative and flags by local import name only, so a
+	// file without the import is never flagged.
+	root := writeTree(t, map[string]string{
+		"internal/x/x.go": "package x\ntype fake struct{}\nfunc (fake) Println(...any) {}\nvar fmt fake\nfunc f() { fmt.Println() }\n",
+	})
+	findings, err := check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("non-import fmt flagged: %v", findings)
+	}
+}
+
+func TestMissingInternalDirErrors(t *testing.T) {
+	if _, err := check(t.TempDir()); err == nil {
+		t.Fatal("expected error for a tree without internal/")
+	}
+}

@@ -31,5 +31,5 @@ func LoadBench(path string) (*Bench, error) {
 			chain = append(chain, op.Name())
 		}
 	}
-	return &Bench{Circuit: deck.Circuit, Chain: chain, Description: "netlist " + path}, nil
+	return &Bench{Circuit: deck.Circuit, Chain: chain, Description: "netlist " + path, Deck: deck}, nil
 }

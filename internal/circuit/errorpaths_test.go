@@ -1,0 +1,85 @@
+package circuit
+
+import (
+	"errors"
+	"testing"
+)
+
+// mustPanic asserts fn panics and returns the recovered value.
+func mustPanic(t *testing.T, fn func()) (recovered any) {
+	t.Helper()
+	defer func() {
+		recovered = recover()
+		if recovered == nil {
+			t.Fatal("expected a panic")
+		}
+	}()
+	fn()
+	return nil
+}
+
+func TestMustAddPanicsOnDuplicate(t *testing.T) {
+	c := New("t")
+	c.MustAdd(&Resistor{Label: "R1", A: "a", B: "b", Ohms: 1})
+	got := mustPanic(t, func() {
+		c.MustAdd(&Resistor{Label: "R1", A: "a", B: "c", Ohms: 2})
+	})
+	err, ok := got.(error)
+	if !ok || !errors.Is(err, ErrDuplicateName) {
+		t.Fatalf("panic value = %v, want ErrDuplicateName", got)
+	}
+}
+
+func TestMustAddPanicsOnEmptyName(t *testing.T) {
+	c := New("t")
+	got := mustPanic(t, func() {
+		c.MustAdd(&Resistor{A: "a", B: "b", Ohms: 1})
+	})
+	if err, ok := got.(error); !ok || !errors.Is(err, ErrInvalid) {
+		t.Fatalf("panic value = %v, want ErrInvalid", got)
+	}
+}
+
+func TestMustAddAcceptsValidComponent(t *testing.T) {
+	c := New("t")
+	c.MustAdd(&Resistor{Label: "R1", A: "a", B: "0", Ohms: 1}) // must not panic
+	if _, ok := c.Component("R1"); !ok {
+		t.Fatal("component not registered")
+	}
+}
+
+func TestGroundSpellingsMixedCase(t *testing.T) {
+	for _, n := range []string{"Gnd", "gND", "GROUND", "GrOuNd"} {
+		if !IsGroundName(n) {
+			t.Errorf("IsGroundName(%q) = false, want true", n)
+		}
+	}
+	for _, n := range []string{"", "o", "00", "agnd", "ground2", "vss"} {
+		if IsGroundName(n) {
+			t.Errorf("IsGroundName(%q) = true, want false", n)
+		}
+	}
+}
+
+func TestCanonicalNodeIdempotent(t *testing.T) {
+	for _, n := range []string{"Ground", "0", "x", "Va"} {
+		once := CanonicalNode(n)
+		if twice := CanonicalNode(once); twice != once {
+			t.Errorf("CanonicalNode not idempotent on %q: %q then %q", n, once, twice)
+		}
+	}
+}
+
+func TestCanonicalizeControlledSourceTerminals(t *testing.T) {
+	c := New("t")
+	e := &VCVS{Label: "E1", OutP: "out", OutM: "GND", CtrlP: "a", CtrlM: "Ground", Gain: 2}
+	c.MustAdd(e)
+	if e.OutM != GroundName || e.CtrlM != GroundName {
+		t.Fatalf("VCVS terminals not canonicalized: %+v", e)
+	}
+	op := &Opamp{Label: "OA1", InP: "gnd", InN: "a", Out: "b", TestIn: "GROUND"}
+	c.MustAdd(op)
+	if op.InP != GroundName || op.TestIn != GroundName {
+		t.Fatalf("opamp terminals not canonicalized: %+v", op)
+	}
+}

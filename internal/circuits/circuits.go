@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"analogdft/internal/circuit"
+	"analogdft/internal/spice"
 )
 
 // Bench bundles a benchmark circuit with its DFT chain.
@@ -27,6 +28,11 @@ type Bench struct {
 	Chain []string
 	// Description is a one-line summary for reports.
 	Description string
+	// Deck is the parsed SPICE deck the bench was loaded from, when it
+	// came from a netlist file rather than a constructor. It carries the
+	// source line numbers and raw ground spellings that the netlist
+	// linter reports against; nil for programmatic benches.
+	Deck *spice.Deck
 }
 
 // Validate checks the bench invariants.

@@ -283,7 +283,7 @@ func (r *Row) AvgOmegaDet() float64 {
 // pinned in opts.
 func EvaluateCircuit(ckt *circuit.Circuit, faults fault.List, opts Options) (*Row, error) {
 	opts = opts.withDefaults()
-	start := time.Now()
+	start := obs.Now()
 	sctx, span := obs.Start(context.Background(), "detect.row")
 	span.SetTag("circuit", ckt.Name)
 	defer span.End()
@@ -335,7 +335,7 @@ func EvaluateCircuit(ckt *circuit.Circuit, faults fault.List, opts Options) (*Ro
 			}
 		}
 	}
-	row.Stats = tr.finish(time.Since(start))
+	row.Stats = tr.finish(obs.Since(start))
 	bridgeStats(row.Stats, opts.OnError)
 	if row.Stats.Errors > 0 {
 		dlog.Warn("row evaluation degraded", "circuit", ckt.Name, "errors", row.Stats.Errors, "cells", row.Stats.Cells)
@@ -503,7 +503,7 @@ func (m *Matrix) NumCellErrs() int { return len(m.CellErrors) }
 // are comparable across configurations, then reused for every row.
 func BuildMatrix(m *dft.Modified, faults fault.List, opts Options) (*Matrix, error) {
 	opts = opts.withDefaults()
-	start := time.Now()
+	start := obs.Now()
 	sctx, span := obs.Start(context.Background(), "detect.matrix")
 	span.SetTag("source", m.Base.Name)
 	defer span.End()
@@ -635,7 +635,7 @@ func BuildMatrix(m *dft.Modified, faults fault.List, opts Options) (*Matrix, err
 				CellError{Config: configs[c.i], FaultIndex: c.j, Fault: faults[c.j], Err: r.eval.Err})
 		}
 	}
-	mx.Stats = tr.finish(time.Since(start))
+	mx.Stats = tr.finish(obs.Since(start))
 	bridgeStats(mx.Stats, opts.OnError)
 	if n := len(mx.CellErrors); n > 0 {
 		dlog.Warn("matrix degraded", "source", mx.Source, "failed_cells", n, "cells", len(cells))
@@ -723,9 +723,9 @@ func runParallel(ctx context.Context, n, workers int, fn func(int)) {
 	if workers <= 1 {
 		if timed {
 			dWorkers.Set(1)
-			t0 := time.Now()
+			t0 := obs.Now()
 			defer func() {
-				el := time.Since(t0)
+				el := obs.Since(t0)
 				dChunkSeconds.Observe(el.Seconds())
 				dChunkCells.Observe(float64(n))
 				dWorkerBusy.Observe(1)
@@ -748,7 +748,7 @@ func runParallel(ctx context.Context, n, workers int, fn func(int)) {
 	if chunk < 1 {
 		chunk = 1
 	}
-	fanStart := time.Now()
+	fanStart := obs.Now()
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -758,7 +758,7 @@ func runParallel(ctx context.Context, n, workers int, fn func(int)) {
 			var busy time.Duration
 			if timed {
 				defer func() {
-					if total := time.Since(fanStart); total > 0 {
+					if total := obs.Since(fanStart); total > 0 {
 						dWorkerBusy.Observe(busy.Seconds() / total.Seconds())
 					}
 				}()
@@ -777,7 +777,7 @@ func runParallel(ctx context.Context, n, workers int, fn func(int)) {
 				}
 				var c0 time.Time
 				if timed {
-					c0 = time.Now()
+					c0 = obs.Now()
 				}
 				for i := start; i < end; i++ {
 					if ctx != nil && ctx.Err() != nil {
@@ -786,7 +786,7 @@ func runParallel(ctx context.Context, n, workers int, fn func(int)) {
 					fn(i)
 				}
 				if timed {
-					el := time.Since(c0)
+					el := obs.Since(c0)
 					busy += el
 					dChunkSeconds.Observe(el.Seconds())
 					dChunkCells.Observe(float64(end - start))

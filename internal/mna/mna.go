@@ -171,7 +171,7 @@ func (s *System) SolveAt(freqHz float64) (*Solution, error) {
 	timed := obs.TimingOn()
 	var t0 time.Time
 	if timed {
-		t0 = time.Now()
+		t0 = obs.Now()
 	}
 	m := numeric.NewMatrix(s.n, s.n)
 	rhs := make([]complex128, s.n)

@@ -28,7 +28,7 @@ var (
 func accountSolve(err error, start time.Time, timed bool) {
 	mSolves.Inc()
 	if timed {
-		mSolveLatency.Observe(time.Since(start).Seconds())
+		mSolveLatency.Observe(obs.Since(start).Seconds())
 	}
 	if err == nil {
 		return
@@ -55,7 +55,7 @@ type solveTally struct {
 func (t *solveTally) record(err error, start time.Time, timed bool) {
 	t.solves++
 	if timed {
-		mSolveLatency.Observe(time.Since(start).Seconds())
+		mSolveLatency.Observe(obs.Since(start).Seconds())
 	}
 	if err == nil {
 		return

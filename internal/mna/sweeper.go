@@ -53,7 +53,7 @@ func (sw *Sweeper) VoltageAt(freqHz float64) (complex128, error) {
 	timed := obs.TimingOn()
 	var t0 time.Time
 	if timed {
-		t0 = time.Now()
+		t0 = obs.Now()
 	}
 	if err := sw.sys.assemble(freqHz, sw.m, sw.rhs); err != nil {
 		sw.tally.record(err, t0, timed)

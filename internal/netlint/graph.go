@@ -1,0 +1,226 @@
+package netlint
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"analogdft/internal/circuit"
+)
+
+// maxChainForConfigChecks bounds the 2^n configuration enumeration of the
+// NL013/NL014 checks. Chains longer than this get an info diagnostic
+// instead of a silent skip.
+const maxChainForConfigChecks = 12
+
+// configGraph builds the directed signal-flow adjacency of the circuit
+// under one DFT configuration. Nodes are canonical non-ground names;
+// edges incident to ground are dropped (signal does not propagate through
+// the reference node).
+//
+// Edge rules per element:
+//   - R, C, L, V and I sources couple their two terminals both ways.
+//   - VCVS/VCCS: control terminals feed the output terminals; the output
+//     pair is coupled both ways.
+//   - CCVS/CCCS: the nodes of the sensed voltage source feed the output
+//     pair.
+//   - Opamp in normal mode: both differential inputs feed the output
+//     (the actual transfer runs through external feedback, which the
+//     passive edges already model).
+//   - Opamp in follower mode: only the test input feeds the output — the
+//     differential inputs are ignored by the configurable opamp.
+func (a *analysis) configGraph(follower map[string]bool, testIn map[string]string) map[string][]string {
+	adj := make(map[string][]string)
+	dir := func(from, to string) {
+		f, t := circuit.CanonicalNode(from), circuit.CanonicalNode(to)
+		if f == t || circuit.IsGroundName(f) || circuit.IsGroundName(t) {
+			return
+		}
+		adj[f] = append(adj[f], t)
+	}
+	both := func(x, y string) { dir(x, y); dir(y, x) }
+	for _, comp := range a.ckt.Components() {
+		switch c := comp.(type) {
+		case *circuit.Resistor:
+			both(c.A, c.B)
+		case *circuit.Capacitor:
+			both(c.A, c.B)
+		case *circuit.Inductor:
+			both(c.A, c.B)
+		case *circuit.VSource:
+			both(c.Plus, c.Minus)
+		case *circuit.ISource:
+			both(c.Plus, c.Minus)
+		case *circuit.VCVS:
+			dir(c.CtrlP, c.OutP)
+			dir(c.CtrlP, c.OutM)
+			dir(c.CtrlM, c.OutP)
+			dir(c.CtrlM, c.OutM)
+			both(c.OutP, c.OutM)
+		case *circuit.VCCS:
+			dir(c.CtrlP, c.OutP)
+			dir(c.CtrlP, c.OutM)
+			dir(c.CtrlM, c.OutP)
+			dir(c.CtrlM, c.OutM)
+			both(c.OutP, c.OutM)
+		case *circuit.CCVS:
+			a.currentControlEdges(c.CtrlVSource, c.OutP, c.OutM, dir, both)
+		case *circuit.CCCS:
+			a.currentControlEdges(c.CtrlVSource, c.OutP, c.OutM, dir, both)
+		case *circuit.Opamp:
+			if follower[c.Label] {
+				dir(testIn[c.Label], c.Out)
+			} else {
+				dir(c.InP, c.Out)
+				dir(c.InN, c.Out)
+			}
+		}
+	}
+	return adj
+}
+
+// currentControlEdges adds the edges of a current-controlled source: the
+// sensed voltage source's terminals feed the output pair.
+func (a *analysis) currentControlEdges(ctrl, outP, outM string, dir func(string, string), both func(string, string)) {
+	if comp, ok := a.ckt.Component(ctrl); ok {
+		if vs, isV := comp.(*circuit.VSource); isV {
+			dir(vs.Plus, outP)
+			dir(vs.Plus, outM)
+			dir(vs.Minus, outP)
+			dir(vs.Minus, outM)
+		}
+	}
+	both(outP, outM)
+}
+
+// reach returns the set of nodes reachable from start, start included.
+func reach(adj map[string][]string, start string) map[string]bool {
+	seen := map[string]bool{start: true}
+	stack := []string{start}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, m := range adj[n] {
+			if !seen[m] {
+				seen[m] = true
+				stack = append(stack, m)
+			}
+		}
+	}
+	return seen
+}
+
+// reverseGraph flips every edge.
+func reverseGraph(adj map[string][]string) map[string][]string {
+	out := make(map[string][]string, len(adj))
+	for from, tos := range adj {
+		for _, to := range tos {
+			out[to] = append(out[to], from)
+		}
+	}
+	return out
+}
+
+// checkConfigurations enumerates all 2^n DFT configurations of the
+// validated chain and fires NL013 for configurations with no structural
+// input→output signal path and NL014 for groups of configurations that
+// are structurally identical seen from the primary ports.
+func (a *analysis) checkConfigurations(chainLine int) {
+	chain := a.chainReady
+	n := len(chain)
+	if n > maxChainForConfigChecks {
+		a.rep.add(Diagnostic{Code: CodeNoSignalPath, Severity: SevInfo, Line: chainLine,
+			Message: fmt.Sprintf("chain has %d opamps (> %d); the 2^n per-configuration checks were skipped", n, maxChainForConfigChecks),
+			Hint:    "split the chain or lint a partial DFT to keep the enumeration tractable"})
+		return
+	}
+
+	// Static test-input wiring of dft.Apply: the first chain opamp's
+	// test input is the primary input, every later one buffers the
+	// previous chain member's output.
+	testIn := make(map[string]string, n)
+	prev := circuit.CanonicalNode(a.ckt.Input)
+	for _, name := range chain {
+		testIn[name] = prev
+		comp, _ := a.ckt.Component(name)
+		prev = circuit.CanonicalNode(comp.(*circuit.Opamp).Out)
+	}
+
+	in := circuit.CanonicalNode(a.ckt.Input)
+	out := circuit.CanonicalNode(a.ckt.Output)
+	var broken []string
+	bySignature := make(map[string][]string)
+	var sigOrder []string
+	for idx := 0; idx < 1<<uint(n); idx++ {
+		follower := make(map[string]bool, n)
+		for i, name := range chain {
+			follower[name] = idx&(1<<uint(i)) != 0
+		}
+		adj := a.configGraph(follower, testIn)
+		label := "C" + strconv.Itoa(idx)
+		fwd := reach(adj, in)
+		if !fwd[out] {
+			broken = append(broken, label)
+		}
+		sig := a.signature(fwd, reach(reverseGraph(adj), out), follower)
+		if _, seen := bySignature[sig]; !seen {
+			sigOrder = append(sigOrder, sig)
+		}
+		bySignature[sig] = append(bySignature[sig], label)
+	}
+
+	if len(broken) > 0 {
+		a.rep.add(Diagnostic{Code: CodeNoSignalPath, Line: chainLine,
+			Message: fmt.Sprintf("configuration(s) %s have no structural signal path from %q to %q",
+				strings.Join(broken, ", "), a.ckt.Input, a.ckt.Output),
+			Hint: "order the .chain along the signal flow and make sure the output stays driven in every configuration"})
+	}
+	for _, sig := range sigOrder {
+		group := bySignature[sig]
+		if len(group) < 2 {
+			continue
+		}
+		a.rep.add(Diagnostic{Code: CodeIdenticalConfigs, Line: chainLine,
+			Message: fmt.Sprintf("configurations %s are structurally identical seen from the primary ports",
+				strings.Join(group, ", ")),
+			Hint: "identical configurations add no covering information; drop redundant chain opamps or accept the wasted columns"})
+	}
+}
+
+// signature fingerprints a configuration by the components that can both
+// be excited from the input and observed at the output, with the modes of
+// the chain opamps among them. Two configurations with equal signatures
+// present the same structural two-port.
+func (a *analysis) signature(fwd, bwd map[string]bool, follower map[string]bool) string {
+	live := func(node string) bool {
+		c := circuit.CanonicalNode(node)
+		return fwd[c] && bwd[c]
+	}
+	var parts []string
+	for _, comp := range a.ckt.Components() {
+		relevant := false
+		for _, t := range comp.Terminals() {
+			if !circuit.IsGroundName(t) && live(t) {
+				relevant = true
+				break
+			}
+		}
+		if !relevant {
+			continue
+		}
+		if op, isOp := comp.(*circuit.Opamp); isOp {
+			if mode, chained := follower[op.Label]; chained {
+				if mode {
+					parts = append(parts, op.Label+":F")
+				} else {
+					parts = append(parts, op.Label+":N")
+				}
+				continue
+			}
+		}
+		parts = append(parts, comp.Name())
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,336 @@
+// Package netlint statically analyzes parsed SPICE decks and circuit
+// netlists before any simulation is attempted. It predicts the failure
+// modes that otherwise surface deep inside the MNA sweeper as opaque
+// singular-matrix errors (floating nodes, voltage-source loops, driver
+// conflicts), flags deck hygiene problems (mixed ground spellings,
+// case-colliding node names, implausible element values) and checks the
+// multi-configuration DFT structure itself (chain well-formedness, per-
+// configuration signal-path continuity, structurally identical
+// configurations that waste covering-problem columns).
+//
+// Every finding is a structured Diagnostic with a stable NLxxx code, a
+// severity, the offending component and/or node, the deck line where
+// available, a human message and a fix hint. Analysis is purely
+// structural — no linear system is ever assembled — so linting a deck
+// costs microseconds, not simulation time.
+package netlint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"analogdft/internal/circuit"
+	"analogdft/internal/spice"
+)
+
+// Severity grades a diagnostic.
+type Severity int
+
+// Severities, in increasing order of gravity. The zero value is reserved
+// as "unset" so Report.add can fill in a check's default severity.
+const (
+	sevUnset Severity = iota
+	// SevInfo marks advisory findings.
+	SevInfo
+	// SevWarning marks findings that waste effort or suggest a deck
+	// typo but do not make the deck unsimulatable.
+	SevWarning
+	// SevError marks findings that predict simulation failure or that
+	// make the DFT flow meaningless.
+	SevError
+)
+
+// String implements fmt.Stringer.
+func (s Severity) String() string {
+	switch s {
+	case SevInfo:
+		return "info"
+	case SevWarning:
+		return "warning"
+	case SevError:
+		return "error"
+	default:
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+}
+
+// MarshalJSON renders the severity as its lowercase name.
+func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// UnmarshalJSON accepts the lowercase severity names.
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	switch name {
+	case "info":
+		*s = SevInfo
+	case "warning":
+		*s = SevWarning
+	case "error":
+		*s = SevError
+	default:
+		return fmt.Errorf("netlint: unknown severity %q", name)
+	}
+	return nil
+}
+
+// Diagnostic codes. Codes are stable across releases: tools and tests key
+// on them, so new checks append new codes and retired checks leave holes.
+const (
+	// CodeNoGround: no component terminal connects to ground.
+	CodeNoGround = "NL001"
+	// CodeFloatingNode: a node attaches to a single terminal.
+	CodeFloatingNode = "NL002"
+	// CodeIsland: a node is not reachable from ground.
+	CodeIsland = "NL003"
+	// CodeVoltageLoop: a loop of voltage-defining branches.
+	CodeVoltageLoop = "NL004"
+	// CodeDriverConflict: a node fixed by two voltage drivers (or a
+	// driver fighting ground).
+	CodeDriverConflict = "NL005"
+	// CodeGroundAlias: the deck mixes ground spellings (0, gnd, ...).
+	CodeGroundAlias = "NL006"
+	// CodeNodeCaseCollision: node names that differ only by case.
+	CodeNodeCaseCollision = "NL007"
+	// CodeNonPositiveValue: a passive element with value <= 0 (or NaN).
+	CodeNonPositiveValue = "NL008"
+	// CodeImplausibleValue: a passive value far outside physical range.
+	CodeImplausibleValue = "NL009"
+	// CodeMissingIO: primary input/output unset or not a circuit node.
+	CodeMissingIO = "NL010"
+	// CodeBadFaultTarget: a fault list names an unknown or non-passive
+	// component.
+	CodeBadFaultTarget = "NL011"
+	// CodeBadChain: the DFT chain names an unknown, duplicate or
+	// non-opamp component.
+	CodeBadChain = "NL012"
+	// CodeNoSignalPath: a DFT configuration has no structural
+	// input→output signal path.
+	CodeNoSignalPath = "NL013"
+	// CodeIdenticalConfigs: configurations that are structurally
+	// identical from the primary ports (wasted covering columns).
+	CodeIdenticalConfigs = "NL014"
+)
+
+// CheckInfo describes one registered check for listings and docs.
+type CheckInfo struct {
+	// Code is the stable NLxxx identifier.
+	Code string `json:"code"`
+	// Name is the short kebab-case check name.
+	Name string `json:"name"`
+	// Severity is the default severity of the check's diagnostics.
+	Severity Severity `json:"severity"`
+	// Summary is a one-line description of what the check flags.
+	Summary string `json:"summary"`
+}
+
+// checkTable is the registry of every check, in code order.
+var checkTable = []CheckInfo{
+	{CodeNoGround, "no-ground", SevError, "no component terminal connects to the ground reference (0/gnd/ground)"},
+	{CodeFloatingNode, "floating-node", SevError, "a node attaches to only one component terminal, so its voltage is underdetermined"},
+	{CodeIsland, "disconnected-island", SevError, "a node is not reachable from ground through any component, splitting the network"},
+	{CodeVoltageLoop, "voltage-source-loop", SevError, "independent/controlled voltage sources form a loop, a structural MNA singularity"},
+	{CodeDriverConflict, "driver-conflict", SevError, "two voltage drivers (opamp outputs, grounded sources) fix the same node voltage"},
+	{CodeGroundAlias, "ground-alias-mix", SevWarning, "the deck mixes spellings of the ground node (e.g. both \"gnd\" and \"0\")"},
+	{CodeNodeCaseCollision, "node-case-collision", SevWarning, "two distinct node names differ only by letter case, a likely typo"},
+	{CodeNonPositiveValue, "non-positive-value", SevError, "a passive element has a zero, negative or non-finite value"},
+	{CodeImplausibleValue, "implausible-value", SevWarning, "a passive value is far outside the physical range, suggesting a scale-suffix mistake"},
+	{CodeMissingIO, "missing-io", SevError, "the primary input or output node is unset or absent from the circuit"},
+	{CodeBadFaultTarget, "bad-fault-target", SevError, "a fault-list entry names a nonexistent or non-passive component"},
+	{CodeBadChain, "bad-dft-chain", SevError, "the configurable-opamp chain names an unknown, duplicate or non-opamp component"},
+	{CodeNoSignalPath, "no-signal-path", SevWarning, "a DFT configuration has no structural signal path from primary input to output"},
+	{CodeIdenticalConfigs, "identical-configs", SevWarning, "DFT configurations are structurally identical seen from the primary ports"},
+}
+
+// Checks returns the registered checks in code order.
+func Checks() []CheckInfo { return append([]CheckInfo(nil), checkTable...) }
+
+// checkByCode maps code → registry entry.
+var checkByCode = func() map[string]CheckInfo {
+	m := make(map[string]CheckInfo, len(checkTable))
+	for _, c := range checkTable {
+		m[c.Code] = c
+	}
+	return m
+}()
+
+// Diagnostic is one structured finding.
+type Diagnostic struct {
+	// Code is the stable NLxxx identifier of the check that fired.
+	Code string `json:"code"`
+	// Severity grades the finding.
+	Severity Severity `json:"severity"`
+	// Component names the offending component, when one is identifiable.
+	Component string `json:"component,omitempty"`
+	// Node names the offending node, when one is identifiable.
+	Node string `json:"node,omitempty"`
+	// Line is the 1-based deck line of the finding (0 when the circuit
+	// was built programmatically or no single line applies).
+	Line int `json:"line,omitempty"`
+	// Message is the human-readable description.
+	Message string `json:"message"`
+	// Hint suggests a fix.
+	Hint string `json:"hint,omitempty"`
+}
+
+// String renders "NL002 error [floating-node]: message (component R3, node x, line 7)".
+func (d Diagnostic) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s", d.Code, d.Severity)
+	if info, ok := checkByCode[d.Code]; ok {
+		fmt.Fprintf(&b, " [%s]", info.Name)
+	}
+	b.WriteString(": ")
+	b.WriteString(d.Message)
+	var loc []string
+	if d.Component != "" {
+		loc = append(loc, "component "+d.Component)
+	}
+	if d.Node != "" {
+		loc = append(loc, "node "+d.Node)
+	}
+	if d.Line > 0 {
+		loc = append(loc, fmt.Sprintf("line %d", d.Line))
+	}
+	if len(loc) > 0 {
+		fmt.Fprintf(&b, " (%s)", strings.Join(loc, ", "))
+	}
+	return b.String()
+}
+
+// Source is the unit of analysis: a circuit with its DFT chain, plus the
+// optional parsed deck (for line numbers and raw ground spellings) and an
+// optional fault-target list to cross-check.
+type Source struct {
+	// Circuit is the netlist under analysis. Required.
+	Circuit *circuit.Circuit
+	// Chain lists the configurable opamps in test-chain order. Optional;
+	// without it the DFT structure checks are skipped.
+	Chain []string
+	// Deck is the parsed deck the circuit came from. Optional; enables
+	// line numbers and the ground-spelling check.
+	Deck *spice.Deck
+	// FaultTargets lists component names a fault list intends to
+	// mutate. Optional; enables the fault-target check.
+	FaultTargets []string
+	// Name labels the report (deck path); defaults to the circuit name.
+	Name string
+}
+
+// Report is the result of analyzing one source.
+type Report struct {
+	// Name labels the analyzed deck or circuit.
+	Name string `json:"deck"`
+	// Diagnostics holds every finding, sorted by code, then line, then
+	// component and node.
+	Diagnostics []Diagnostic `json:"diagnostics"`
+}
+
+// add appends a diagnostic, defaulting its severity from the registry.
+func (r *Report) add(d Diagnostic) {
+	if d.Severity == sevUnset {
+		if info, ok := checkByCode[d.Code]; ok {
+			d.Severity = info.Severity
+		}
+	}
+	r.Diagnostics = append(r.Diagnostics, d)
+}
+
+// Count returns the number of diagnostics at severity min or above.
+func (r *Report) Count(min Severity) int {
+	n := 0
+	for _, d := range r.Diagnostics {
+		if d.Severity >= min {
+			n++
+		}
+	}
+	return n
+}
+
+// Errors returns the number of error-severity diagnostics.
+func (r *Report) Errors() int { return r.Count(SevError) }
+
+// Warnings returns the number of warning-severity diagnostics.
+func (r *Report) Warnings() int { return r.Count(SevWarning) - r.Count(SevError) }
+
+// Clean reports whether the analysis produced no diagnostics at all.
+func (r *Report) Clean() bool { return len(r.Diagnostics) == 0 }
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteText writes one "<name>:<line>: <diagnostic>" line per finding,
+// each followed by its fix hint.
+func (r *Report) WriteText(w io.Writer) error {
+	for _, d := range r.Diagnostics {
+		pos := r.Name
+		if d.Line > 0 {
+			pos = fmt.Sprintf("%s:%d", r.Name, d.Line)
+		}
+		if _, err := fmt.Fprintf(w, "%s: %s\n", pos, d); err != nil {
+			return err
+		}
+		if d.Hint != "" {
+			if _, err := fmt.Fprintf(w, "\tfix: %s\n", d.Hint); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// sortDiagnostics orders findings for deterministic output.
+func sortDiagnostics(ds []Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Component != b.Component {
+			return a.Component < b.Component
+		}
+		return a.Node < b.Node
+	})
+}
+
+// Analyze runs every applicable check over the source and returns the
+// report. It never simulates: all checks are graph- and value-structural.
+func Analyze(src Source) *Report {
+	rep := &Report{Name: src.Name}
+	if rep.Name == "" && src.Circuit != nil {
+		rep.Name = src.Circuit.Name
+	}
+	if src.Circuit == nil {
+		rep.add(Diagnostic{Code: CodeMissingIO, Severity: SevError,
+			Message: "no circuit to analyze", Hint: "pass a parsed deck or constructed circuit"})
+		return rep
+	}
+	a := &analysis{src: src, ckt: src.Circuit, rep: rep}
+	a.prepare()
+	a.checkGround()
+	a.checkFloatingNodes()
+	a.checkIslands()
+	a.checkVoltageLoops()
+	a.checkDriverConflicts()
+	a.checkGroundSpellings()
+	a.checkCaseCollisions()
+	a.checkValues()
+	a.checkIO()
+	a.checkFaultTargets()
+	a.checkChain()
+	sortDiagnostics(rep.Diagnostics)
+	countDiagnostics(rep)
+	return rep
+}

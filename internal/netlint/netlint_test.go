@@ -1,0 +1,324 @@
+package netlint
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"analogdft/internal/circuits"
+	"analogdft/internal/spice"
+)
+
+// lintDeck parses a deck string and analyzes it with the deck's chain
+// (or every opamp in netlist order, matching the LoadBench default).
+func lintDeck(t *testing.T, src string) *Report {
+	t.Helper()
+	deck, err := spice.ParseString(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	chain := deck.Chain
+	if len(chain) == 0 {
+		for _, op := range deck.Circuit.Opamps() {
+			chain = append(chain, op.Name())
+		}
+	}
+	return Analyze(Source{Circuit: deck.Circuit, Chain: chain, Deck: deck})
+}
+
+// codes returns the distinct diagnostic codes of a report, in order.
+func codes(r *Report) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, d := range r.Diagnostics {
+		if !seen[d.Code] {
+			seen[d.Code] = true
+			out = append(out, d.Code)
+		}
+	}
+	return out
+}
+
+func wantCodes(t *testing.T, r *Report, want ...string) {
+	t.Helper()
+	got := codes(r)
+	if len(got) != len(want) {
+		t.Fatalf("codes = %v, want %v\nreport: %+v", got, want, r.Diagnostics)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("codes = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBiquadDeckIsClean(t *testing.T) {
+	data, err := os.ReadFile("../../testdata/biquad.cir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := lintDeck(t, string(data))
+	if !rep.Clean() {
+		t.Fatalf("biquad deck not clean:\n%+v", rep.Diagnostics)
+	}
+}
+
+func TestLibraryBenchesAreClean(t *testing.T) {
+	for _, bench := range circuits.Library() {
+		rep := Analyze(Source{Circuit: bench.Circuit, Chain: bench.Chain})
+		if !rep.Clean() {
+			t.Errorf("bench %s not clean:\n%+v", bench.Circuit.Name, rep.Diagnostics)
+		}
+	}
+}
+
+func TestNoGround(t *testing.T) {
+	rep := lintDeck(t, "R1 a b 1k\nR2 b a 2k\n.input a\n.output b\n")
+	wantCodes(t, rep, CodeNoGround)
+}
+
+func TestFloatingNode(t *testing.T) {
+	rep := lintDeck(t, "R1 in a 1k\nR2 a 0 1k\nR3 a x 1k\n.input in\n.output a\n")
+	wantCodes(t, rep, CodeFloatingNode)
+	d := rep.Diagnostics[0]
+	if d.Node != "x" || d.Component != "R3" || d.Line != 3 {
+		t.Errorf("diag = %+v, want node x / R3 / line 3", d)
+	}
+}
+
+func TestDrivenOutputAtDegreeOneIsFine(t *testing.T) {
+	rep := lintDeck(t, "R1 in a 1k\nR2 a 0 1k\nOA1 0 a out\n.input in\n.output out\n")
+	// out has degree 1 but is an opamp output: observable, not floating.
+	// The missing feedback keeps the opamp linear region notional, but
+	// structurally the deck is sound.
+	for _, d := range rep.Diagnostics {
+		if d.Code == CodeFloatingNode {
+			t.Fatalf("driven output flagged floating: %+v", d)
+		}
+	}
+}
+
+func TestDisconnectedIsland(t *testing.T) {
+	rep := lintDeck(t, "R1 in a 1k\nR2 a 0 1k\nR3 p q 1k\nC3 q p 1n\n.input in\n.output a\n")
+	wantCodes(t, rep, CodeIsland)
+	if len(rep.Diagnostics) != 2 {
+		t.Fatalf("want one island diagnostic per node, got %+v", rep.Diagnostics)
+	}
+}
+
+func TestVoltageLoop(t *testing.T) {
+	rep := lintDeck(t, "V1 a 0 1\nV2 a 0 2\nR1 a 0 1k\n.input a\n.output a\n")
+	got := codes(rep)
+	if got[0] != CodeVoltageLoop {
+		t.Fatalf("codes = %v, want %s first", got, CodeVoltageLoop)
+	}
+	if rep.Diagnostics[0].Component != "V2" {
+		t.Errorf("loop blamed %q, want V2", rep.Diagnostics[0].Component)
+	}
+}
+
+func TestDriverConflict(t *testing.T) {
+	rep := lintDeck(t, strings.Join([]string{
+		"R1 in a 1k", "R2 x a 1k", "OA1 0 a x",
+		"R3 in b 1k", "R4 x b 1k", "OA2 0 b x",
+		".input in", ".output x",
+	}, "\n"))
+	wantCodes(t, rep, CodeDriverConflict)
+	if d := rep.Diagnostics[0]; d.Node != "x" || !strings.Contains(d.Message, "2 voltage outputs") {
+		t.Errorf("diag = %+v", d)
+	}
+}
+
+func TestOpampOutputGrounded(t *testing.T) {
+	rep := lintDeck(t, "R1 in a 1k\nOA1 0 a 0\nR2 a 0 1k\n.input in\n.output a\n")
+	wantCodes(t, rep, CodeDriverConflict)
+}
+
+func TestGroundAliasMix(t *testing.T) {
+	rep := lintDeck(t, "R1 in a 1k\nC1 a gnd 1n\nR2 a 0 1k\n.input in\n.output a\n")
+	wantCodes(t, rep, CodeGroundAlias)
+	if !strings.Contains(rep.Diagnostics[0].Message, `"gnd", "0"`) {
+		t.Errorf("message = %q", rep.Diagnostics[0].Message)
+	}
+}
+
+func TestNodeCaseCollision(t *testing.T) {
+	rep := lintDeck(t, "R1 in Va 1k\nR2 Va 0 1k\nR3 in va 1k\nR4 va 0 1k\n.input in\n.output Va\n")
+	wantCodes(t, rep, CodeNodeCaseCollision)
+}
+
+func TestNonPositiveValue(t *testing.T) {
+	rep := lintDeck(t, "R1 in a -5\nR2 a 0 1k\n.input in\n.output a\n")
+	wantCodes(t, rep, CodeNonPositiveValue)
+	if rep.Errors() != 1 {
+		t.Errorf("Errors = %d", rep.Errors())
+	}
+}
+
+func TestImplausibleValue(t *testing.T) {
+	rep := lintDeck(t, "R1 in a 1k\nC1 a 0 4.7\n.input in\n.output a\n")
+	wantCodes(t, rep, CodeImplausibleValue)
+	if rep.Warnings() != 1 || rep.Errors() != 0 {
+		t.Errorf("warnings/errors = %d/%d", rep.Warnings(), rep.Errors())
+	}
+}
+
+func TestMissingIO(t *testing.T) {
+	rep := lintDeck(t, "R1 in a 1k\nR2 a 0 1k\nR3 in 0 1k\n.input zz\n.output a\n")
+	wantCodes(t, rep, CodeMissingIO)
+	rep = lintDeck(t, "R1 in a 1k\nR2 a 0 1k\nR3 in 0 1k\n")
+	if n := len(rep.Diagnostics); n != 2 {
+		t.Fatalf("unset input+output should yield 2 diagnostics, got %+v", rep.Diagnostics)
+	}
+}
+
+func TestBadFaultTarget(t *testing.T) {
+	deck, err := spice.ParseString("R1 in a 1k\nR2 a 0 1k\nOA1 0 a b\nR3 b a 1k\n.input in\n.output b\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Analyze(Source{Circuit: deck.Circuit, Deck: deck, FaultTargets: []string{"R1", "R9", "OA1"}})
+	wantCodes(t, rep, CodeBadFaultTarget)
+	if len(rep.Diagnostics) != 2 {
+		t.Fatalf("want 2 bad targets, got %+v", rep.Diagnostics)
+	}
+}
+
+func TestBadChain(t *testing.T) {
+	rep := lintDeck(t, "R1 in a 1k\nR2 a 0 1k\nOA1 0 a b\nR3 b a 1k\n.input in\n.output b\n.chain OA1 OA9 OA1 R1\n")
+	wantCodes(t, rep, CodeBadChain)
+	if len(rep.Diagnostics) != 3 {
+		t.Fatalf("want unknown+duplicate+non-opamp, got %+v", rep.Diagnostics)
+	}
+}
+
+func TestNoSignalPathOnReversedChain(t *testing.T) {
+	rep := lintDeck(t, strings.Join([]string{
+		"R1 in a 1k", "OA1 0 a v1", "R2 v1 b 1k", "OA2 0 b out", "R3 out 0 1k",
+		".input in", ".output out", ".chain OA2 OA1",
+	}, "\n"))
+	var noPath *Diagnostic
+	for i, d := range rep.Diagnostics {
+		if d.Code == CodeNoSignalPath {
+			noPath = &rep.Diagnostics[i]
+		}
+	}
+	if noPath == nil {
+		t.Fatalf("no NL013 in %+v", rep.Diagnostics)
+	}
+	if !strings.Contains(noPath.Message, "C2") {
+		t.Errorf("message = %q, want C2 named", noPath.Message)
+	}
+	// Same deck with the chain along the signal flow is path-clean.
+	rep = lintDeck(t, strings.Join([]string{
+		"R1 in a 1k", "OA1 0 a v1", "R2 v1 b 1k", "OA2 0 b out", "R3 out 0 1k",
+		".input in", ".output out", ".chain OA1 OA2",
+	}, "\n"))
+	for _, d := range rep.Diagnostics {
+		if d.Code == CodeNoSignalPath {
+			t.Fatalf("in-order chain flagged: %+v", d)
+		}
+	}
+}
+
+func TestIdenticalConfigs(t *testing.T) {
+	rep := lintDeck(t, strings.Join([]string{
+		"R1 in a 1k", "OA1 0 a out", "R2 out a 1k",
+		"V2 c 0 1", "R3 c d 1k", "OA2 0 d e", "R4 e d 1k", "R5 e 0 1k",
+		".input in", ".output out", ".chain OA1 OA2",
+	}, "\n"))
+	wantCodes(t, rep, CodeIdenticalConfigs)
+	if len(rep.Diagnostics) != 2 {
+		t.Fatalf("want 2 identical-config groups, got %+v", rep.Diagnostics)
+	}
+	if m := rep.Diagnostics[0].Message; !strings.Contains(m, "C0, C2") {
+		t.Errorf("first group = %q, want C0, C2", m)
+	}
+}
+
+func TestLongChainSkipsConfigChecks(t *testing.T) {
+	rep := lintDeck(t, buildChainDeck(maxChainForConfigChecks+1))
+	found := false
+	for _, d := range rep.Diagnostics {
+		if d.Code == CodeNoSignalPath && d.Severity == SevInfo {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no skip notice in %+v", rep.Diagnostics)
+	}
+}
+
+// buildChainDeck synthesizes an n-opamp inverting-stage cascade deck.
+func buildChainDeck(n int) string {
+	var b strings.Builder
+	b.WriteString("R0 in n0 1k\n")
+	for i := 0; i < n; i++ {
+		b.WriteString("OA" + itoa(i+1) + " 0 n" + itoa(i) + " n" + itoa(i+1) + "\n")
+		b.WriteString("RF" + itoa(i+1) + " n" + itoa(i+1) + " n" + itoa(i) + " 1k\n")
+	}
+	b.WriteString(".input in\n.output n" + itoa(n) + "\n.chain")
+	for i := 0; i < n; i++ {
+		b.WriteString(" OA" + itoa(i+1))
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var digits []byte
+	for i > 0 {
+		digits = append([]byte{byte('0' + i%10)}, digits...)
+		i /= 10
+	}
+	return string(digits)
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Code: CodeFloatingNode, Severity: SevError, Component: "R3", Node: "x", Line: 7, Message: "m", Hint: "h"}
+	s := d.String()
+	for _, want := range []string{"NL002", "error", "floating-node", "component R3", "node x", "line 7"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestReportWriters(t *testing.T) {
+	rep := lintDeck(t, "R1 in a 1k\nR2 a 0 1k\nR3 a x 1k\n.input in\n.output a\n")
+	var txt, js strings.Builder
+	if err := rep.WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt.String(), "netlist:3: NL002") || !strings.Contains(txt.String(), "fix:") {
+		t.Errorf("text = %q", txt.String())
+	}
+	if err := rep.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(js.String(), `"code": "NL002"`) || !strings.Contains(js.String(), `"severity": "error"`) {
+		t.Errorf("json = %s", js.String())
+	}
+}
+
+func TestChecksTableCoversAllCodes(t *testing.T) {
+	seen := make(map[string]bool)
+	for i, c := range Checks() {
+		if c.Code == "" || c.Name == "" || c.Summary == "" {
+			t.Errorf("incomplete entry %+v", c)
+		}
+		if seen[c.Code] {
+			t.Errorf("duplicate code %s", c.Code)
+		}
+		seen[c.Code] = true
+		if i > 0 && Checks()[i-1].Code >= c.Code {
+			t.Errorf("table not in code order at %s", c.Code)
+		}
+	}
+	if len(seen) != 14 {
+		t.Errorf("expected 14 registered checks, got %d", len(seen))
+	}
+}

@@ -1,0 +1,15 @@
+package netlint
+
+import "analogdft/internal/obs"
+
+// Every emitted diagnostic is counted by its stable code, so long-running
+// services and CI runs can watch lint findings trend over time.
+var lintDiags = obs.Reg().CounterVec("netlint_diagnostics_total",
+	"netlint diagnostics emitted, by stable NLxxx code", "code")
+
+// countDiagnostics folds one report into the process-wide registry.
+func countDiagnostics(r *Report) {
+	for _, d := range r.Diagnostics {
+		lintDiags.With(d.Code).Inc()
+	}
+}

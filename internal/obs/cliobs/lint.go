@@ -1,0 +1,65 @@
+package cliobs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"analogdft/internal/circuits"
+	"analogdft/internal/netlint"
+)
+
+// LintFlags is the shared netlist-preflight flag set. Every deck-loading
+// command runs the netlint checks right after parsing: structural
+// problems that would otherwise surface as opaque singular-matrix errors
+// deep inside the sweeper are reported up front with their deck line and
+// a fix hint. By default findings only warn on stderr; -strict-lint turns
+// error-severity findings into a failed run, -no-lint skips the preflight
+// entirely.
+type LintFlags struct {
+	// Strict fails the run when the preflight finds error-severity
+	// diagnostics.
+	Strict bool
+	// Skip disables the preflight.
+	Skip bool
+}
+
+// RegisterLint installs the shared lint flags on fs.
+func RegisterLint(fs *flag.FlagSet) *LintFlags {
+	l := &LintFlags{}
+	l.Register(fs)
+	return l
+}
+
+// Register installs the lint flags on fs, bound to l.
+func (l *LintFlags) Register(fs *flag.FlagSet) {
+	fs.BoolVar(&l.Strict, "strict-lint", false, "fail the run when the netlist preflight finds errors")
+	fs.BoolVar(&l.Skip, "no-lint", false, "skip the netlist preflight checks")
+}
+
+// Preflight lints the loaded bench and writes any findings to w, one
+// line per diagnostic with its fix hint. It returns an error only in
+// strict mode and only for error-severity findings; plain warnings never
+// stop a run.
+func (l *LintFlags) Preflight(cmd string, bench *circuits.Bench, w io.Writer) error {
+	if l.Skip {
+		return nil
+	}
+	rep := netlint.Analyze(netlint.Source{
+		Circuit: bench.Circuit,
+		Chain:   bench.Chain,
+		Deck:    bench.Deck,
+	})
+	if rep.Clean() {
+		return nil
+	}
+	fmt.Fprintf(w, "%s: netlist preflight found %d problem(s):\n", cmd, len(rep.Diagnostics))
+	if err := rep.WriteText(w); err != nil {
+		return err
+	}
+	if n := rep.Errors(); l.Strict && n > 0 {
+		return fmt.Errorf("netlist preflight: %d error(s); fix the deck or pass -no-lint to override", n)
+	}
+	fmt.Fprintf(w, "%s: continuing anyway (pass -strict-lint to make this fatal)\n", cmd)
+	return nil
+}

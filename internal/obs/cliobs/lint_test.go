@@ -1,0 +1,58 @@
+package cliobs
+
+import (
+	"strings"
+	"testing"
+
+	"analogdft/internal/circuits"
+	"analogdft/internal/spice"
+)
+
+// brokenBench builds a bench whose deck has a floating node.
+func brokenBench(t *testing.T) *circuits.Bench {
+	t.Helper()
+	deck, err := spice.ParseString("R1 in a 1k\nR2 a 0 1k\nR3 a x 1k\n.input in\n.output a\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &circuits.Bench{Circuit: deck.Circuit, Deck: deck}
+}
+
+func TestPreflightCleanBenchIsSilent(t *testing.T) {
+	var out strings.Builder
+	if err := (&LintFlags{Strict: true}).Preflight("x", circuits.PaperBiquad(), &out); err != nil {
+		t.Fatalf("clean bench: %v", err)
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean bench wrote %q", out.String())
+	}
+}
+
+func TestPreflightSkip(t *testing.T) {
+	var out strings.Builder
+	if err := (&LintFlags{Strict: true, Skip: true}).Preflight("x", brokenBench(t), &out); err != nil {
+		t.Fatalf("-no-lint still failed: %v", err)
+	}
+	if out.Len() != 0 {
+		t.Errorf("-no-lint wrote %q", out.String())
+	}
+}
+
+func TestPreflightWarnsButContinues(t *testing.T) {
+	var out strings.Builder
+	if err := (&LintFlags{}).Preflight("x", brokenBench(t), &out); err != nil {
+		t.Fatalf("non-strict preflight failed: %v", err)
+	}
+	txt := out.String()
+	if !strings.Contains(txt, "NL002") || !strings.Contains(txt, "continuing anyway") {
+		t.Errorf("output = %q", txt)
+	}
+}
+
+func TestPreflightStrictFails(t *testing.T) {
+	var out strings.Builder
+	err := (&LintFlags{Strict: true}).Preflight("x", brokenBench(t), &out)
+	if err == nil || !strings.Contains(err.Error(), "netlist preflight") {
+		t.Fatalf("err = %v", err)
+	}
+}

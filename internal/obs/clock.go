@@ -1,0 +1,17 @@
+package obs
+
+import "time"
+
+// This file is the repository's single wall-clock source. Project
+// invariant (enforced mechanically by cmd/vetinvariants): internal
+// packages never call time.Now or time.Since directly — every clock read
+// flows through Now/Since here, next to the TimingOn gate, so that
+// clock-dependent instrumentation stays auditable in one place and the
+// deterministic (timing-off) metric guarantees of the detect engine are
+// easy to uphold.
+
+// Now returns the current wall-clock time.
+func Now() time.Time { return time.Now() }
+
+// Since returns the elapsed time since t.
+func Since(t time.Time) time.Duration { return time.Since(t) }

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounterVecSeries(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("lint_total", "diagnostics by code", "code")
+	cv.With("NL001").Inc()
+	cv.With("NL001").Add(2)
+	cv.With("NL002").Inc()
+
+	snap := r.Snapshot()
+	if got := snap[`lint_total{code="NL001"}`].Value; got != 3 {
+		t.Errorf("NL001 = %v, want 3", got)
+	}
+	if got := snap[`lint_total{code="NL002"}`].Value; got != 1 {
+		t.Errorf("NL002 = %v, want 1", got)
+	}
+}
+
+func TestCounterVecPrometheusGrouping(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("lint_total", "diagnostics by code", "code")
+	cv.With("NL001").Inc()
+	cv.With("NL002").Inc()
+	r.Counter("plain_total", "plain").Inc()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if n := strings.Count(out, "# HELP lint_total "); n != 1 {
+		t.Errorf("HELP emitted %d times:\n%s", n, out)
+	}
+	for _, want := range []string{
+		`lint_total{code="NL001"} 1`,
+		`lint_total{code="NL002"} 1`,
+		"# TYPE lint_total counter",
+		"plain_total 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}

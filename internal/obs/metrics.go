@@ -7,6 +7,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -67,6 +68,40 @@ func (r *Registry) Histogram(name, helpText string, bounds []float64) *Histogram
 	h := &Histogram{helpText: helpText, bounds: append([]float64(nil), bounds...)}
 	h.buckets = make([]atomic.Int64, len(h.bounds)+1)
 	return r.lookup(name, h).(*Histogram)
+}
+
+// CounterVec is a family of counters sharing one metric name and help
+// text, keyed by a single label. Each distinct label value registers an
+// ordinary Counter under the Prometheus series name
+// `name{label="value"}`; WritePrometheus groups the series under one
+// HELP/TYPE header. With is safe for concurrent use.
+type CounterVec struct {
+	r     *Registry
+	name  string
+	label string
+	help  string
+}
+
+// CounterVec returns the named counter family with the given label key.
+func (r *Registry) CounterVec(name, helpText, label string) *CounterVec {
+	return &CounterVec{r: r, name: name, label: label, help: helpText}
+}
+
+// With returns the counter for one label value, creating it if needed.
+// The label value is escaped by %q, which matches the Prometheus text
+// format for quotes, backslashes and newlines.
+func (cv *CounterVec) With(value string) *Counter {
+	series := fmt.Sprintf("%s{%s=%q}", cv.name, cv.label, value)
+	return cv.r.Counter(series, cv.help)
+}
+
+// baseName strips a `{label="value"}` series suffix, returning the metric
+// family name HELP/TYPE comments apply to.
+func baseName(series string) string {
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		return series[:i]
+	}
+	return series
 }
 
 // Reset zeroes every registered metric (counts, gauge values, histogram
@@ -248,8 +283,10 @@ func (r *Registry) names() []string {
 
 // WritePrometheus writes every metric in the Prometheus text exposition
 // format (HELP/TYPE comments, cumulative `le` buckets, `_sum`/`_count`
-// series), sorted by metric name for deterministic output.
+// series), sorted by metric name for deterministic output. Labeled series
+// created by CounterVec share one HELP/TYPE header per family.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	headerDone := make(map[string]bool)
 	for _, name := range r.names() {
 		r.mu.Lock()
 		m := r.metrics[name]
@@ -257,8 +294,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		if m == nil {
 			continue
 		}
-		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, m.help(), name, m.kind()); err != nil {
-			return err
+		if base := baseName(name); !headerDone[base] {
+			headerDone[base] = true
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", base, m.help(), base, m.kind()); err != nil {
+				return err
+			}
 		}
 		s := m.snap()
 		switch s.Kind {

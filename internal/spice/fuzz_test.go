@@ -1,0 +1,51 @@
+package spice
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the deck parser's contract on arbitrary input: it must
+// return an error, never panic, and an accepted deck must round-trip
+// through Write and re-Parse without error.
+func FuzzParse(f *testing.F) {
+	if data, err := os.ReadFile("../../testdata/biquad.cir"); err == nil {
+		f.Add(string(data))
+	}
+	seeds := []string{
+		"",
+		"R1 a 0 1k\n",
+		"R1 a 0 1k ; comment\nC1 a b 1n\n.input a\n.output b\n.end\n",
+		"OA1 p n out a0=1e5 pole=10\n",
+		"E1 out 0 p m 2.5\nH1 x 0 V1 10\nF1 x 0 V1 2\n",
+		"V1 in 0 1meg\nI1 0 n 1m\nL1 x 0 10m\n",
+		".title t\n.chain OA1 OA2\n",
+		"* comment\n.input\n",
+		"R1 a 0 1kOhm\nC1 a 0 100nF\n",
+		"R1 a 0 1e\nR2 a 0 .\nR3 a 0 e5\n",
+		"OA1 a b c d=1\nOA2 a b c a0=\n",
+		"X1 a b 1\n.bogus\nR1\n",
+		"R1 a 0 1k\nR1 a 0 1k\n",
+		"V1 GND gnd 0\nR1 ground 0 1k\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		deck, err := ParseString(src)
+		if err != nil {
+			if deck != nil {
+				t.Fatalf("non-nil deck alongside error %v", err)
+			}
+			return
+		}
+		var b strings.Builder
+		if err := Write(&b, deck.Circuit, deck.Chain); err != nil {
+			t.Fatalf("Write failed on accepted deck: %v", err)
+		}
+		if _, err := ParseString(b.String()); err != nil {
+			t.Fatalf("round-trip re-parse failed: %v\ndeck:\n%s", err, b.String())
+		}
+	})
+}

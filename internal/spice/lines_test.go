@@ -1,0 +1,53 @@
+package spice
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseRecordsLines(t *testing.T) {
+	deck, err := ParseString(strings.Join([]string{
+		"* header comment",
+		".title lines",
+		"R1 in a 1k",
+		"",
+		"C1 a GND 1n ; inline",
+		"OA1 0 a out",
+		".input in",
+		".output out",
+		".chain OA1",
+		".end",
+	}, "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{"R1": 3, "C1": 5, "OA1": 6}
+	if !reflect.DeepEqual(deck.Lines, want) {
+		t.Errorf("Lines = %v, want %v", deck.Lines, want)
+	}
+	if deck.Line("R1") != 3 || deck.Line("nope") != 0 {
+		t.Errorf("Line lookups = %d, %d", deck.Line("R1"), deck.Line("nope"))
+	}
+	if deck.InputLine != 7 || deck.OutputLine != 8 || deck.ChainLine != 9 {
+		t.Errorf("directive lines = %d/%d/%d", deck.InputLine, deck.OutputLine, deck.ChainLine)
+	}
+}
+
+func TestParseRecordsGroundSpellings(t *testing.T) {
+	deck, err := ParseString("C1 a GND 1n\nR1 a 0 1k\nR2 a gnd 1k\nOA1 GND a b\n.input a\n.output b\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"GND", "0", "gnd"}
+	if !reflect.DeepEqual(deck.GroundSpellings, want) {
+		t.Errorf("GroundSpellings = %v, want %v", deck.GroundSpellings, want)
+	}
+}
+
+func TestParseValueErrorCarriesLineNumber(t *testing.T) {
+	_, err := ParseString("R1 a 0 1k\nR2 a 0 bogus¤value\n")
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v, want line 2 context", err)
+	}
+}

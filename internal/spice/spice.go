@@ -41,10 +41,45 @@ import (
 var ErrSyntax = errors.New("spice: syntax error")
 
 // Deck is a parsed netlist: the circuit plus the optional DFT chain
-// declared with .chain.
+// declared with .chain, and source-location bookkeeping for diagnostics.
 type Deck struct {
 	Circuit *circuit.Circuit
 	Chain   []string
+
+	// Lines maps a component name to the 1-based deck line it was
+	// declared on. Empty for decks built programmatically.
+	Lines map[string]int
+	// InputLine, OutputLine and ChainLine are the 1-based lines of the
+	// .input, .output and .chain directives (0 when absent).
+	InputLine, OutputLine, ChainLine int
+	// GroundSpellings lists the distinct raw spellings of the ground
+	// node seen in the deck ("0", "gnd", "GND", "ground", ...), in
+	// first-seen order. More than one entry is legal but worth a lint
+	// warning: the deck mixes aliases for the same electrical node.
+	GroundSpellings []string
+}
+
+// Line returns the deck line a component was declared on (0 if unknown).
+func (d *Deck) Line(component string) int { return d.Lines[component] }
+
+// noteNodes records the raw spelling of every ground reference among the
+// given node names, before circuit.Add canonicalizes them away.
+func (d *Deck) noteNodes(nodes ...string) {
+	for _, n := range nodes {
+		if !circuit.IsGroundName(n) {
+			continue
+		}
+		dup := false
+		for _, seen := range d.GroundSpellings {
+			if seen == n {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			d.GroundSpellings = append(d.GroundSpellings, n)
+		}
+	}
 }
 
 // ParseValue parses a SPICE engineering value: an optional decimal number
@@ -152,8 +187,9 @@ func trimFloat(v float64) string {
 
 // Parse reads a deck and builds the circuit.
 func Parse(r io.Reader) (*Deck, error) {
-	deck := &Deck{Circuit: circuit.New("netlist")}
+	deck := &Deck{Circuit: circuit.New("netlist"), Lines: make(map[string]int)}
 	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -166,12 +202,12 @@ func Parse(r io.Reader) (*Deck, error) {
 			continue
 		}
 		fields := strings.Fields(line)
-		if err := deck.parseLine(fields); err != nil {
+		if err := deck.parseLine(lineNo, fields); err != nil {
 			return nil, fmt.Errorf("line %d: %w", lineNo, err)
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: line %d: %v", ErrSyntax, lineNo+1, err)
 	}
 	return deck, nil
 }
@@ -179,12 +215,20 @@ func Parse(r io.Reader) (*Deck, error) {
 // ParseString is Parse on a string.
 func ParseString(s string) (*Deck, error) { return Parse(strings.NewReader(s)) }
 
-func (d *Deck) parseLine(f []string) error {
+func (d *Deck) parseLine(lineNo int, f []string) error {
 	head := f[0]
 	lower := strings.ToLower(head)
 	if strings.HasPrefix(lower, ".") {
-		return d.parseDirective(lower, f[1:])
+		return d.parseDirective(lineNo, lower, f[1:])
 	}
+	if err := d.parseElement(head, lower, f); err != nil {
+		return err
+	}
+	d.Lines[head] = lineNo
+	return nil
+}
+
+func (d *Deck) parseElement(head, lower string, f []string) error {
 	switch {
 	case strings.HasPrefix(lower, "oa"):
 		return d.parseOpamp(head, f[1:])
@@ -237,6 +281,7 @@ func (d *Deck) parseTwoTerminal(name string, args []string, mk func(a, b string,
 	if err != nil {
 		return err
 	}
+	d.noteNodes(args[0], args[1])
 	return d.Circuit.Add(mk(args[0], args[1], v))
 }
 
@@ -248,6 +293,7 @@ func (d *Deck) parseControlled(name string, args []string, mk func(op, om, cp, c
 	if err != nil {
 		return err
 	}
+	d.noteNodes(args[0], args[1], args[2], args[3])
 	return d.Circuit.Add(mk(args[0], args[1], args[2], args[3], v))
 }
 
@@ -259,6 +305,7 @@ func (d *Deck) parseCurrentControlled(name string, args []string, mk func(op, om
 	if err != nil {
 		return err
 	}
+	d.noteNodes(args[0], args[1])
 	return d.Circuit.Add(mk(args[0], args[1], args[2], v))
 }
 
@@ -287,10 +334,11 @@ func (d *Deck) parseOpamp(name string, args []string) error {
 			return fmt.Errorf("%w: unknown opamp parameter %q", ErrSyntax, parts[0])
 		}
 	}
+	d.noteNodes(args[0], args[1], args[2])
 	return d.Circuit.Add(op)
 }
 
-func (d *Deck) parseDirective(name string, args []string) error {
+func (d *Deck) parseDirective(lineNo int, name string, args []string) error {
 	switch name {
 	case ".title":
 		if len(args) < 1 {
@@ -302,16 +350,19 @@ func (d *Deck) parseDirective(name string, args []string) error {
 			return fmt.Errorf("%w: .input needs one node", ErrSyntax)
 		}
 		d.Circuit.Input = args[0]
+		d.InputLine = lineNo
 	case ".output":
 		if len(args) != 1 {
 			return fmt.Errorf("%w: .output needs one node", ErrSyntax)
 		}
 		d.Circuit.Output = args[0]
+		d.OutputLine = lineNo
 	case ".chain":
 		if len(args) == 0 {
 			return fmt.Errorf("%w: .chain needs opamp names", ErrSyntax)
 		}
 		d.Chain = append([]string(nil), args...)
+		d.ChainLine = lineNo
 	case ".end":
 		// Accepted, no effect.
 	default:

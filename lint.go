@@ -1,0 +1,48 @@
+package analogdft
+
+import "analogdft/internal/netlint"
+
+// Netlist lint surface. The netlint package statically predicts the
+// failure modes that otherwise appear as opaque singular-matrix errors
+// mid-simulation, and audits the DFT structure itself; these aliases
+// re-export it for library users.
+type (
+	// LintDiagnostic is one structured lint finding with a stable NLxxx
+	// code, severity, location and fix hint.
+	LintDiagnostic = netlint.Diagnostic
+	// LintReport is the result of linting one bench or deck.
+	LintReport = netlint.Report
+	// LintSeverity grades a lint finding.
+	LintSeverity = netlint.Severity
+	// LintCheck describes one registered lint check.
+	LintCheck = netlint.CheckInfo
+)
+
+// Lint severities re-exported for callers gating on Report.Count.
+const (
+	LintInfo    = netlint.SevInfo
+	LintWarning = netlint.SevWarning
+	LintError   = netlint.SevError
+)
+
+// Lint statically checks a bench — connectivity, MNA-singularity
+// predictors, value plausibility and the multi-configuration DFT
+// structure — without running any simulation. Benches loaded from a deck
+// file carry their parse line numbers into the diagnostics.
+func Lint(bench *Bench) *LintReport {
+	return netlint.Analyze(netlint.Source{
+		Circuit: bench.Circuit,
+		Chain:   bench.Chain,
+		Deck:    bench.Deck,
+		Name:    bench.Circuit.Name,
+	})
+}
+
+// LintCircuit statically checks a bare circuit with an optional DFT
+// chain; use Lint when a full bench (with its source deck) is available.
+func LintCircuit(c *Circuit, chain []string) *LintReport {
+	return netlint.Analyze(netlint.Source{Circuit: c, Chain: chain})
+}
+
+// LintChecks returns every registered lint check in code order.
+func LintChecks() []LintCheck { return netlint.Checks() }

@@ -1,0 +1,44 @@
+package analogdft
+
+import "testing"
+
+func TestLintPaperBiquadClean(t *testing.T) {
+	rep := Lint(PaperBiquad())
+	if !rep.Clean() {
+		t.Fatalf("paper biquad not clean: %+v", rep.Diagnostics)
+	}
+}
+
+func TestLintDeckBenchCarriesLines(t *testing.T) {
+	bench, err := LoadBench("testdata/biquad.cir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bench.Deck == nil {
+		t.Fatal("LoadBench dropped the parsed deck")
+	}
+	if rep := Lint(bench); !rep.Clean() {
+		t.Fatalf("biquad deck not clean: %+v", rep.Diagnostics)
+	}
+}
+
+func TestLintCircuitFindsFloatingNode(t *testing.T) {
+	c := NewCircuit("bad")
+	c.R("R1", "in", "a", 1e3)
+	c.R("R2", "a", "0", 1e3)
+	c.R("R3", "a", "x", 1e3)
+	c.Input, c.Output = "in", "a"
+	rep := LintCircuit(c, nil)
+	if rep.Count(LintError) == 0 {
+		t.Fatalf("no errors reported: %+v", rep.Diagnostics)
+	}
+	if rep.Diagnostics[0].Code != "NL002" {
+		t.Errorf("first code = %s, want NL002", rep.Diagnostics[0].Code)
+	}
+}
+
+func TestLintChecksRegistry(t *testing.T) {
+	if n := len(LintChecks()); n != 14 {
+		t.Errorf("LintChecks() has %d entries, want 14", n)
+	}
+}
