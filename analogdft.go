@@ -45,6 +45,9 @@ type (
 	// ErrorPolicy selects how failed cells are treated (Degrade,
 	// FailFast or Retry).
 	ErrorPolicy = detect.ErrorPolicy
+	// EngineMode selects the cell simulation strategy
+	// (EngineIncremental or EngineNaive).
+	EngineMode = detect.EngineMode
 	// SimStats summarizes fault-simulation effort (cells, solves,
 	// singular points, retries, errors, wall time).
 	SimStats = detect.Stats
@@ -79,6 +82,22 @@ const (
 	// jittered grid before degrading.
 	Retry = detect.Retry
 )
+
+// Engine modes for Options.Engine.
+const (
+	// EngineIncremental patches faults into a reusable per-configuration
+	// system in place — no clone, no rebuild (the default).
+	EngineIncremental = detect.EngineIncremental
+	// EngineNaive clones the circuit and rebuilds the system per cell
+	// (the reference implementation).
+	EngineNaive = detect.EngineNaive
+)
+
+// ParseEngineMode maps an -engine flag value ("incremental" or "naive")
+// onto an engine mode.
+func ParseEngineMode(name string) (EngineMode, error) {
+	return detect.ParseEngineMode(name)
+}
 
 // Predefined 2nd-order cost functions.
 var (

@@ -395,3 +395,55 @@ func BenchmarkDetectParallelVsSerial(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkBuildMatrix compares the two fault-simulation engines on the
+// full paper matrix (8 configurations × ~10 faults): the incremental
+// engine patches each fault into a reusable per-configuration system,
+// the naive engine clones the circuit and rebuilds the system per cell.
+// Allocation counts are the headline difference — the incremental cell
+// loop allocates only response buffers.
+func BenchmarkBuildMatrix(b *testing.B) {
+	bench := PaperBiquad()
+	faults := DeviationFaults(bench.Circuit, 0.2)
+	mod, err := ApplyDFT(bench.Circuit, bench.Chain)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []detect.EngineMode{detect.EngineIncremental, detect.EngineNaive} {
+		b.Run("engine="+mode.String(), func(b *testing.B) {
+			opts := PaperOptions()
+			opts.Points = 61
+			opts.Workers = 1
+			opts.Engine = mode
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := detect.BuildMatrix(mod, faults, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSweepGrid measures a reused engine sweeping the paper biquad
+// over the calibrated Ω_reference grid: the steady-state cost of one
+// matrix cell with every buffer and stamp already in place.
+func BenchmarkSweepGrid(b *testing.B) {
+	bench := PaperBiquad()
+	eng, err := analysis.NewEngine(bench.Circuit)
+	if err != nil {
+		b.Fatal(err)
+	}
+	grid := analysis.SweepSpec{StartHz: 100, StopHz: 5600, Points: 241}.Grid()
+	if _, err := eng.SweepGrid(grid); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.SweepGrid(grid); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -26,6 +26,7 @@ func main() {
 	jsonPath := flag.String("json", "", "write the simulation-track experiment summary as JSON to this file")
 	lintf := cliobs.RegisterLint(flag.CommandLine)
 	obsf := cliobs.RegisterObs(flag.CommandLine)
+	simf := cliobs.RegisterSim(flag.CommandLine)
 	flag.Parse()
 
 	sess, err := obsf.Start("paperrepro", nil)
@@ -37,7 +38,7 @@ func main() {
 	if *library {
 		runErr = runLibrary(lintf)
 	} else {
-		runErr = run(*simOnly, *pubOnly, *csvDir, *characterize, *jsonPath, lintf)
+		runErr = run(*simOnly, *pubOnly, *csvDir, *characterize, *jsonPath, lintf, simf)
 	}
 	if err := sess.Finish(); err != nil && runErr == nil {
 		runErr = err
@@ -48,7 +49,7 @@ func main() {
 	}
 }
 
-func run(simOnly, pubOnly bool, csvDir string, characterize bool, jsonPath string, lintf *cliobs.LintFlags) error {
+func run(simOnly, pubOnly bool, csvDir string, characterize bool, jsonPath string, lintf *cliobs.LintFlags, simf *cliobs.SimFlags) error {
 	runSim := !pubOnly
 	runPub := !simOnly
 
@@ -56,9 +57,16 @@ func run(simOnly, pubOnly bool, csvDir string, characterize bool, jsonPath strin
 		if err := lintf.Preflight("paperrepro", analogdft.PaperBiquad(), os.Stderr); err != nil {
 			return err
 		}
-		exp, err := analogdft.RunPaperExperiment()
+		opts := analogdft.PaperOptions()
+		if err := simf.Apply(&opts, os.Stderr); err != nil {
+			return err
+		}
+		exp, err := analogdft.Run(analogdft.PaperBiquad(), analogdft.PaperFaultFraction, opts)
 		if err != nil {
 			return err
+		}
+		if simf.Stats {
+			fmt.Fprintf(os.Stderr, "paperrepro: matrix simulation: %s\n", exp.Matrix.Stats)
 		}
 		warnCellErrors("simulation matrix", exp.Matrix)
 		if exp.PartialMatrix != nil {

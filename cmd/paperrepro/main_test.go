@@ -9,7 +9,7 @@ import (
 )
 
 func TestRunPublishedTrack(t *testing.T) {
-	if err := run(false, true, "", false, "", &cliobs.LintFlags{}); err != nil {
+	if err := run(false, true, "", false, "", &cliobs.LintFlags{}, &cliobs.SimFlags{}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -19,7 +19,7 @@ func TestRunBothTracksWithCSV(t *testing.T) {
 		t.Skip("full simulation track is slow")
 	}
 	dir := t.TempDir()
-	if err := run(false, false, dir, true, dir+"/summary.json", &cliobs.LintFlags{}); err != nil {
+	if err := run(false, false, dir, true, dir+"/summary.json", &cliobs.LintFlags{}, &cliobs.SimFlags{}); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"matrix_sim.csv", "matrix_sim_partial.csv", "matrix_published.csv", "summary.json"} {
@@ -31,7 +31,7 @@ func TestRunBothTracksWithCSV(t *testing.T) {
 
 func TestDumpCSVCreatesDirectory(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "nested", "deeper")
-	if err := run(false, true, dir, false, "", &cliobs.LintFlags{}); err != nil {
+	if err := run(false, true, dir, false, "", &cliobs.LintFlags{}, &cliobs.SimFlags{}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "matrix_published.csv")); err != nil {

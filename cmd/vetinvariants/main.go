@@ -13,7 +13,13 @@
 // the obs logger or an io.Writer handed in by the caller; the Fprint
 // variants are therefore fine, as are the commands under cmd/.
 //
-// Both rules skip _test.go files. The checker is import-alias aware and
+// Rule 3 — allocation-flat fault simulation: internal/detect never clones
+// circuits or builds MNA systems itself. Every cell evaluation goes
+// through the analysis.Engine pool (or fault.Apply on the naive fallback
+// path), so the hot fan-out stays clone-free; a direct .Clone(...) method
+// call or an mna.NewSystem call inside internal/detect is a violation.
+//
+// All rules skip _test.go files. The checker is import-alias aware and
 // uses only the standard library (go/parser + go/ast), so it runs in CI
 // without fetching anything. Findings print as file:line:col and make the
 // command exit 1.
@@ -77,7 +83,10 @@ func check(root string) ([]finding, error) {
 		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
 			return nil
 		}
-		fs, err := checkFile(path, filepath.ToSlash(filepath.Dir(path)) == filepath.ToSlash(filepath.Join(root, "internal", "obs")))
+		dir := filepath.ToSlash(filepath.Dir(path))
+		fs, err := checkFile(path,
+			dir == filepath.ToSlash(filepath.Join(root, "internal", "obs")),
+			dir == filepath.ToSlash(filepath.Join(root, "internal", "detect")))
 		if err != nil {
 			return err
 		}
@@ -101,9 +110,20 @@ var forbidden = map[string]map[string]string{
 	},
 }
 
+// forbiddenDetect maps import paths to the selector names internal/detect
+// must not call: system construction belongs to the analysis.Engine pool,
+// never to the cell fan-out.
+var forbiddenDetect = map[string]map[string]string{
+	"analogdft/internal/mna": {
+		"NewSystem": "internal/detect must not build MNA systems; reuse a pooled analysis.Engine",
+	},
+}
+
 // checkFile parses one file and reports forbidden selector calls. An
-// obs-package file only gets the fmt rule: it is the clock gate.
-func checkFile(path string, isObs bool) ([]finding, error) {
+// obs-package file only gets the fmt rule: it is the clock gate. A
+// detect-package file additionally gets the clone-free rule (no .Clone
+// method calls, no mna.NewSystem).
+func checkFile(path string, isObs, isDetect bool) ([]finding, error) {
 	fset := token.NewFileSet()
 	file, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
 	if err != nil {
@@ -115,13 +135,13 @@ func checkFile(path string, isObs bool) ([]finding, error) {
 	names := make(map[string]string) // local identifier → import path
 	for _, imp := range file.Imports {
 		p, err := strconv.Unquote(imp.Path.Value)
-		if err != nil || forbidden[p] == nil {
+		if err != nil || (forbidden[p] == nil && !(isDetect && forbiddenDetect[p] != nil)) {
 			continue
 		}
 		if p == "time" && isObs {
 			continue
 		}
-		local := p
+		local := filepath.Base(p) // the package name matches its directory here
 		if imp.Name != nil {
 			local = imp.Name.Name
 		}
@@ -129,7 +149,7 @@ func checkFile(path string, isObs bool) ([]finding, error) {
 			names[local] = p
 		}
 	}
-	if len(names) == 0 {
+	if len(names) == 0 && !isDetect {
 		return nil, nil
 	}
 
@@ -143,6 +163,11 @@ func checkFile(path string, isObs bool) ([]finding, error) {
 		if !ok {
 			return true
 		}
+		if isDetect && sel.Sel.Name == "Clone" {
+			findings = append(findings, finding{pos: fset.Position(sel.Pos()),
+				msg: "internal/detect must not clone circuits; reuse a pooled analysis.Engine"})
+			return true
+		}
 		ident, ok := sel.X.(*ast.Ident)
 		if !ok {
 			return true
@@ -153,6 +178,11 @@ func checkFile(path string, isObs bool) ([]finding, error) {
 		}
 		if msg, bad := forbidden[pkg][sel.Sel.Name]; bad {
 			findings = append(findings, finding{pos: fset.Position(sel.Pos()), msg: msg})
+		}
+		if isDetect {
+			if msg, bad := forbiddenDetect[pkg][sel.Sel.Name]; bad {
+				findings = append(findings, finding{pos: fset.Position(sel.Pos()), msg: msg})
+			}
 		}
 		return true
 	})

@@ -131,6 +131,46 @@ func TestShadowedIdentifierStillFlagged(t *testing.T) {
 	}
 }
 
+func TestDetectCloneForbidden(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/detect/x.go": "package detect\ntype c struct{}\nfunc (c) Clone() c { return c{} }\nfunc f(v c) { _ = v.Clone() }\n",
+	})
+	findings, err := check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || !strings.Contains(findings[0].msg, "must not clone") {
+		t.Fatalf("findings = %v", findings)
+	}
+}
+
+func TestDetectNewSystemForbiddenAliasAware(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/detect/x.go": "package detect\nimport m \"analogdft/internal/mna\"\nfunc f() { m.NewSystem(nil) }\n",
+		"internal/mna/mna.go":  "package mna\nfunc NewSystem(v any) any { return v }\n",
+	})
+	findings, err := check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || !strings.Contains(findings[0].msg, "must not build MNA systems") {
+		t.Fatalf("findings = %v", findings)
+	}
+}
+
+func TestCloneAndNewSystemAllowedOutsideDetect(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/analysis/x.go": "package analysis\nimport \"analogdft/internal/mna\"\ntype c struct{}\nfunc (c) Clone() c { return c{} }\nfunc f(v c) { _ = v.Clone(); mna.NewSystem(nil) }\n",
+	})
+	findings, err := check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("non-detect package flagged: %v", findings)
+	}
+}
+
 func TestMissingInternalDirErrors(t *testing.T) {
 	if _, err := check(t.TempDir()); err == nil {
 		t.Fatal("expected error for a tree without internal/")

@@ -213,59 +213,27 @@ func (r *Response) WriteCSV(w io.Writer) error {
 // Sweep drives the circuit's input with a unit AC source and samples the
 // transfer function to the output node over the spec's grid. Singular
 // points are recorded as invalid rather than failing the whole sweep (a
-// test configuration can be unusable at isolated frequencies).
+// test configuration can be unusable at isolated frequencies). One-shot
+// callers get a throwaway Engine; repeated sweeps of the same
+// configuration should build an Engine once and call its SweepGrid.
 func Sweep(ckt *circuit.Circuit, spec SweepSpec) (*Response, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	driven, err := mna.Driven(ckt)
+	e, err := NewEngine(ckt)
 	if err != nil {
 		return nil, err
 	}
-	grid := spec.Grid()
-	return sweepDriven(driven, grid)
-}
-
-// sweepDriven runs the buffer-reusing fast path over a grid.
-func sweepDriven(driven *circuit.Circuit, grid []float64) (*Response, error) {
-	sys, err := mna.NewSystem(driven)
-	if err != nil {
-		return nil, err
-	}
-	sw, err := sys.NewSweeper(circuit.CanonicalNode(driven.Output))
-	if err != nil {
-		return nil, err
-	}
-	defer sw.FlushMetrics()
-	resp := &Response{
-		Freqs: append([]float64(nil), grid...),
-		H:     make([]complex128, len(grid)),
-		Valid: make([]bool, len(grid)),
-	}
-	for i, f := range grid {
-		v, err := sw.VoltageAt(f)
-		if err != nil {
-			if errors.Is(err, numeric.ErrSingular) {
-				continue // leave point invalid
-			}
-			return nil, err
-		}
-		resp.H[i] = v
-		resp.Valid[i] = true
-	}
-	return resp, nil
+	return e.SweepGrid(spec.Grid())
 }
 
 // SweepOnGrid is Sweep over an explicit frequency grid.
 func SweepOnGrid(ckt *circuit.Circuit, grid []float64) (*Response, error) {
-	if len(grid) == 0 {
-		return nil, fmt.Errorf("%w: empty grid", ErrBadSweep)
-	}
-	driven, err := mna.Driven(ckt)
+	e, err := NewEngine(ckt)
 	if err != nil {
 		return nil, err
 	}
-	return sweepDriven(driven, grid)
+	return e.SweepGrid(grid)
 }
 
 // singularJitter is the deterministic schedule of relative frequency
@@ -285,47 +253,18 @@ const MaxSingularRetries = 5
 // point, clamped to MaxSingularRetries. ckt must be the (undriven) circuit
 // that produced resp. It returns the number of points recovered and the
 // number of extra solves performed. Failures other than a singular system
-// abort the retry.
+// abort the retry. Callers that already hold an Engine for the
+// configuration should use Engine.RetrySingularPoints directly and skip
+// the rebuild this wrapper pays.
 func RetrySingularPoints(ckt *circuit.Circuit, resp *Response, attempts int) (recovered, solves int, err error) {
 	if attempts <= 0 || resp.InvalidCount() == 0 {
 		return 0, 0, nil
 	}
-	if attempts > len(singularJitter) {
-		attempts = len(singularJitter)
-	}
-	driven, err := mna.Driven(ckt)
+	e, err := NewEngine(ckt)
 	if err != nil {
 		return 0, 0, err
 	}
-	sys, err := mna.NewSystem(driven)
-	if err != nil {
-		return 0, 0, err
-	}
-	sw, err := sys.NewSweeper(circuit.CanonicalNode(driven.Output))
-	if err != nil {
-		return 0, 0, err
-	}
-	defer sw.FlushMetrics()
-	for i, ok := range resp.Valid {
-		if ok {
-			continue
-		}
-		for _, rel := range singularJitter[:attempts] {
-			solves++
-			v, verr := sw.VoltageAt(resp.Freqs[i] * (1 + rel))
-			if verr != nil {
-				if errors.Is(verr, numeric.ErrSingular) {
-					continue
-				}
-				return recovered, solves, verr
-			}
-			resp.H[i] = v
-			resp.Valid[i] = true
-			recovered++
-			break
-		}
-	}
-	return recovered, solves, nil
+	return e.RetrySingularPoints(resp, attempts)
 }
 
 // Region is a frequency interval [LoHz, HiHz].

@@ -1,0 +1,12 @@
+package analysis
+
+import "analogdft/internal/obs"
+
+// Engine instrumentation. engine_patch_total counts every fault applied
+// to a live system as an in-place stamp patch; its companion
+// engine_fallback_total lives in the detect package, which owns the
+// fall-back-to-clone decision. The stamp-reuse hit rate underneath both
+// is mna_stamp_reuse_total / (mna_stamp_reuse_total +
+// mna_stamp_rebuild_total).
+var ePatches = obs.Reg().Counter("engine_patch_total",
+	"faults applied to a live system as in-place stamp patches (no clone, no rebuild)")

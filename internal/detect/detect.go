@@ -71,6 +71,49 @@ func (p ErrorPolicy) String() string {
 	}
 }
 
+// EngineMode selects how matrix cells simulate their faulty circuit.
+type EngineMode int
+
+// Engine modes.
+const (
+	// EngineIncremental (the default) gives each worker a reusable
+	// per-configuration analysis.Engine and applies each fault as an
+	// in-place stamp patch — no circuit clone, no system rebuild, no
+	// per-cell allocation. Faults the patcher cannot express (opens,
+	// shorts, opamp model faults) fall back to the naive path cell by
+	// cell, counted in engine_fallback_total, so both modes always
+	// evaluate every cell.
+	EngineIncremental EngineMode = iota
+	// EngineNaive clones the circuit and rebuilds the MNA system for
+	// every cell — the original, allocation-heavy strategy, kept as the
+	// reference implementation for equivalence testing.
+	EngineNaive
+)
+
+// String implements fmt.Stringer.
+func (m EngineMode) String() string {
+	switch m {
+	case EngineIncremental:
+		return "incremental"
+	case EngineNaive:
+		return "naive"
+	default:
+		return fmt.Sprintf("EngineMode(%d)", int(m))
+	}
+}
+
+// ParseEngineMode maps an -engine flag value onto an engine mode.
+func ParseEngineMode(name string) (EngineMode, error) {
+	switch name {
+	case "", "incremental":
+		return EngineIncremental, nil
+	case "naive":
+		return EngineNaive, nil
+	default:
+		return EngineIncremental, fmt.Errorf("detect: unknown engine mode %q (want incremental or naive)", name)
+	}
+}
+
 // Stats aggregates the effort and health of one matrix or row evaluation.
 // Snapshots are delivered through Options.Progress; the final values are
 // recorded on Matrix.Stats / Row.Stats.
@@ -151,6 +194,10 @@ type Options struct {
 	// OnError selects the error policy for failed cells: Degrade
 	// (default), FailFast or Retry.
 	OnError ErrorPolicy
+	// Engine selects the cell simulation strategy: EngineIncremental
+	// (default) or EngineNaive. The two modes produce identical Det
+	// matrices and Omega values within floating-point noise.
+	Engine EngineMode
 	// MaxRetries bounds the per-point jitter attempts of the Retry
 	// policy (default 3, clamped to analysis.MaxSingularRetries).
 	MaxRetries int
@@ -299,24 +346,32 @@ func EvaluateCircuit(ckt *circuit.Circuit, faults fault.List, opts Options) (*Ro
 		return nil, err
 	}
 	_, nomSpan := obs.Start(sctx, "detect.nominal")
-	nominal, err := analysis.SweepOnGrid(ckt, grid)
+	eng, err := analysis.NewEngine(ckt)
+	if err != nil {
+		nomSpan.End()
+		return nil, fmt.Errorf("detect: nominal sweep of %q: %w", ckt.Name, err)
+	}
+	nominal, err := eng.SweepGrid(grid)
 	if err != nil {
 		nomSpan.End()
 		return nil, fmt.Errorf("detect: nominal sweep of %q: %w", ckt.Name, err)
 	}
 	var base Stats
-	if err := accountNominal(ckt, nominal, opts, &base); err != nil {
+	if err := accountNominal(eng, nominal, opts, &base); err != nil {
 		nomSpan.End()
 		return nil, fmt.Errorf("detect: nominal retry of %q: %w", ckt.Name, err)
 	}
 	nomSpan.End()
 
+	pool := newEnginePool([]*circuit.Circuit{ckt})
+	pool.put(0, eng)
+	cr := newCellRunner(opts.Workers, pool)
 	row := &Row{Circuit: ckt.Name, Region: region, Evals: make([]FaultEval, len(faults))}
 	tr := newTracker(len(faults), base, opts.Progress)
 	ctx, cancel := cancelContext(opts)
 	_, cellSpan := obs.Start(sctx, "detect.cells")
-	runParallel(ctx, len(faults), opts.Workers, func(j int) {
-		eval, st := evaluateFault(ckt, faults[j], nominal, grid, opts)
+	runParallel(ctx, len(faults), opts.Workers, func(w, j int) {
+		eval, st := cr.evaluate(w, 0, ckt, faults[j], nominal, grid, opts)
 		row.Evals[j] = eval
 		if eval.Err != nil && cancel != nil {
 			cancel()
@@ -344,12 +399,13 @@ func EvaluateCircuit(ckt *circuit.Circuit, faults fault.List, opts Options) (*Ro
 }
 
 // accountNominal folds the cost of a nominal pre-sweep into st and, under
-// the Retry policy, re-solves its singular points first so every cell
-// compares against the best available baseline.
-func accountNominal(ckt *circuit.Circuit, nominal *analysis.Response, opts Options, st *Stats) error {
+// the Retry policy, re-solves its singular points first (on the engine
+// that produced the sweep, so nothing is rebuilt) so every cell compares
+// against the best available baseline.
+func accountNominal(eng *analysis.Engine, nominal *analysis.Response, opts Options, st *Stats) error {
 	st.Solves += nominal.Len()
 	if opts.OnError == Retry && nominal.InvalidCount() > 0 {
-		recovered, solves, err := analysis.RetrySingularPoints(ckt, nominal, opts.MaxRetries)
+		recovered, solves, err := eng.RetrySingularPoints(nominal, opts.MaxRetries)
 		st.Retries += solves
 		st.Solves += solves
 		st.Recovered += recovered
@@ -392,11 +448,35 @@ type cellStats struct {
 	err                                  bool
 }
 
+// scoreCell fills eval's verdict — Definition 1 detectability, the
+// ω-detectability percentage and the peak deviation — from a faulty
+// response measured against the nominal baseline.
+func scoreCell(eval *FaultEval, nominal, resp *analysis.Response, grid []float64, opts Options) error {
+	prof, err := analysis.RelativeDeviation(nominal, resp, opts.MeasFloor)
+	if err != nil {
+		return err
+	}
+	nDetected := 0
+	for i, r := range prof.Rel {
+		if r > opts.thresholdAt(i) {
+			nDetected++
+		}
+	}
+	eval.Detectable = nDetected > 0
+	eval.OmegaDet = 100 * float64(nDetected) / float64(len(grid))
+	eval.MaxDev = prof.MaxRel()
+	if math.IsInf(eval.MaxDev, 1) {
+		eval.MaxDev = math.MaxFloat64
+	}
+	return nil
+}
+
 // evaluateFault measures one fault against a pre-swept nominal response
-// and accounts the simulation effort. A nominal baseline with no valid
-// points makes every comparison meaningless (the deviation profile is
-// identically zero), so the cell records an error instead of a silent
-// "undetectable".
+// and accounts the simulation effort — the naive path: the circuit is
+// cloned and a fresh MNA system built for the cell. A nominal baseline
+// with no valid points makes every comparison meaningless (the deviation
+// profile is identically zero), so the cell records an error instead of a
+// silent "undetectable".
 func evaluateFault(ckt *circuit.Circuit, f fault.Fault, nominal *analysis.Response, grid []float64, opts Options) (FaultEval, cellStats) {
 	eval := FaultEval{Fault: f}
 	var st cellStats
@@ -427,23 +507,131 @@ func evaluateFault(ckt *circuit.Circuit, f fault.Fault, nominal *analysis.Respon
 		}
 	}
 	st.singular += resp.InvalidCount()
-	prof, err := analysis.RelativeDeviation(nominal, resp, opts.MeasFloor)
+	if err := scoreCell(&eval, nominal, resp, grid, opts); err != nil {
+		return fail(err)
+	}
+	return eval, st
+}
+
+// evaluateFaultIncremental measures one fault by patching it into the
+// worker's live engine: no circuit clone, no system rebuild, no per-cell
+// allocation beyond the response buffers. Faults the engine cannot patch
+// fall back to the naive clone path (counted in engine_fallback_total),
+// so both engine modes always evaluate the same cell set.
+func evaluateFaultIncremental(eng *analysis.Engine, ckt *circuit.Circuit, f fault.Fault, nominal *analysis.Response, grid []float64, opts Options) (FaultEval, cellStats) {
+	eval := FaultEval{Fault: f}
+	var st cellStats
+	fail := func(err error) (FaultEval, cellStats) {
+		eval.Err = err
+		st.err = true
+		return eval, st
+	}
+	if nominal.ValidCount() == 0 {
+		return fail(fmt.Errorf("detect: nominal response of %q: %w", ckt.Name, analysis.ErrAllInvalid))
+	}
+	if err := eng.ApplyFault(f); err != nil {
+		dEngineFallback.Inc()
+		return evaluateFault(ckt, f, nominal, grid, opts)
+	}
+	defer eng.Reset()
+	resp, err := eng.SweepGrid(grid)
 	if err != nil {
 		return fail(err)
 	}
-	nDetected := 0
-	for i, r := range prof.Rel {
-		if r > opts.thresholdAt(i) {
-			nDetected++
+	st.solves += len(grid)
+	if opts.OnError == Retry && resp.InvalidCount() > 0 {
+		// The fault is still applied, so the jittered re-solves run on the
+		// faulty system, exactly as the naive path's retry does.
+		recovered, solves, rerr := eng.RetrySingularPoints(resp, opts.MaxRetries)
+		st.retries += solves
+		st.solves += solves
+		st.recovered += recovered
+		if rerr != nil {
+			return fail(rerr)
 		}
 	}
-	eval.Detectable = nDetected > 0
-	eval.OmegaDet = 100 * float64(nDetected) / float64(len(grid))
-	eval.MaxDev = prof.MaxRel()
-	if math.IsInf(eval.MaxDev, 1) {
-		eval.MaxDev = math.MaxFloat64
+	st.singular += resp.InvalidCount()
+	if err := scoreCell(&eval, nominal, resp, grid, opts); err != nil {
+		return fail(err)
 	}
 	return eval, st
+}
+
+// enginePool hands out per-configuration engines. The nominal phase seeds
+// it with the engine it built for each configuration; when several
+// workers land on the same configuration the extras are built lazily,
+// at most once per (worker, configuration) thanks to the cellRunner
+// caches.
+type enginePool struct {
+	mu   sync.Mutex
+	free [][]*analysis.Engine
+	ckts []*circuit.Circuit
+}
+
+// newEnginePool creates an empty pool over the per-configuration
+// circuits.
+func newEnginePool(ckts []*circuit.Circuit) *enginePool {
+	return &enginePool{free: make([][]*analysis.Engine, len(ckts)), ckts: ckts}
+}
+
+// put returns an engine for configuration i to the pool.
+func (p *enginePool) put(i int, e *analysis.Engine) {
+	p.mu.Lock()
+	p.free[i] = append(p.free[i], e)
+	p.mu.Unlock()
+}
+
+// get hands out a free engine for configuration i, building one when the
+// pool is empty.
+func (p *enginePool) get(i int) (*analysis.Engine, error) {
+	p.mu.Lock()
+	if s := p.free[i]; len(s) > 0 {
+		e := s[len(s)-1]
+		p.free[i] = s[:len(s)-1]
+		p.mu.Unlock()
+		return e, nil
+	}
+	p.mu.Unlock()
+	return analysis.NewEngine(p.ckts[i])
+}
+
+// cellRunner dispatches cell evaluations to the configured engine mode.
+// Engines are not safe for concurrent use, so each worker keeps its own
+// cache of engines keyed by configuration index, fed from the shared
+// pool; caches[w] is touched only by worker w and needs no lock.
+type cellRunner struct {
+	pool   *enginePool
+	caches []map[int]*analysis.Engine
+}
+
+// newCellRunner prepares per-worker engine caches over the pool.
+func newCellRunner(workers int, pool *enginePool) *cellRunner {
+	caches := make([]map[int]*analysis.Engine, workers)
+	for w := range caches {
+		caches[w] = make(map[int]*analysis.Engine)
+	}
+	return &cellRunner{pool: pool, caches: caches}
+}
+
+// evaluate runs the (configuration cfg, fault f) cell on worker w.
+func (cr *cellRunner) evaluate(w, cfg int, ckt *circuit.Circuit, f fault.Fault, nominal *analysis.Response, grid []float64, opts Options) (FaultEval, cellStats) {
+	if opts.Engine == EngineNaive {
+		return evaluateFault(ckt, f, nominal, grid, opts)
+	}
+	eng, ok := cr.caches[w][cfg]
+	if !ok {
+		var err error
+		eng, err = cr.pool.get(cfg)
+		if err != nil {
+			// The nominal phase already built an engine for this exact
+			// circuit, so a failure here is exceptional; degrade to the
+			// naive path rather than invent a new error channel.
+			dEngineFallback.Inc()
+			return evaluateFault(ckt, f, nominal, grid, opts)
+		}
+		cr.caches[w][cfg] = eng
+	}
+	return evaluateFaultIncremental(eng, ckt, f, nominal, grid, opts)
 }
 
 // CellError is a structured record of one failed matrix cell: which
@@ -550,10 +738,12 @@ func BuildMatrix(m *dft.Modified, faults fault.List, opts Options) (*Matrix, err
 	// Pre-sweep nominal responses per configuration (cheap, sequential),
 	// then fan out the (config, fault) cells. With PerConfigRegion each
 	// row gets its own grid; otherwise all rows share the functional
-	// region's grid.
+	// region's grid. The engines built here are kept: they seed the pool
+	// the incremental cell loop draws from.
 	nominals := make([]*analysis.Response, len(configs))
 	circuits := make([]*circuit.Circuit, len(configs))
 	grids := make([][]float64, len(configs))
+	engines := make([]*analysis.Engine, len(configs))
 	var base Stats
 	_, nomSpan := obs.Start(sctx, "detect.nominals")
 	for i, cfg := range configs {
@@ -568,18 +758,28 @@ func BuildMatrix(m *dft.Modified, faults fault.List, opts Options) (*Matrix, err
 				rowGrid = rowRegion.Spec(opts.Points).Grid()
 			}
 		}
-		nom, err := analysis.SweepOnGrid(ckt, rowGrid)
+		eng, err := analysis.NewEngine(ckt)
 		if err != nil {
 			nomSpan.End()
 			return nil, fmt.Errorf("detect: nominal sweep of %s: %w", cfg, err)
 		}
-		if err := accountNominal(ckt, nom, opts, &base); err != nil {
+		nom, err := eng.SweepGrid(rowGrid)
+		if err != nil {
+			nomSpan.End()
+			return nil, fmt.Errorf("detect: nominal sweep of %s: %w", cfg, err)
+		}
+		if err := accountNominal(eng, nom, opts, &base); err != nil {
 			nomSpan.End()
 			return nil, fmt.Errorf("detect: nominal retry of %s: %w", cfg, err)
 		}
-		circuits[i], nominals[i], grids[i] = ckt, nom, rowGrid
+		circuits[i], nominals[i], grids[i], engines[i] = ckt, nom, rowGrid, eng
 	}
 	nomSpan.End()
+	pool := newEnginePool(circuits)
+	for i, eng := range engines {
+		pool.put(i, eng)
+	}
+	cr := newCellRunner(opts.Workers, pool)
 
 	type cell struct{ i, j int }
 	cells := make([]cell, 0, len(configs)*len(faults))
@@ -600,9 +800,9 @@ func BuildMatrix(m *dft.Modified, faults fault.List, opts Options) (*Matrix, err
 	ctx, cancel := cancelContext(opts)
 	_, cellSpan := obs.Start(sctx, "detect.cells")
 	cellSpan.SetTag("cells", fmt.Sprint(len(cells)))
-	runParallel(ctx, len(cells), opts.Workers, func(k int) {
+	runParallel(ctx, len(cells), opts.Workers, func(w, k int) {
 		c := cells[k]
-		eval, st := evaluateFault(circuits[c.i], faults[c.j], nominals[c.i], grids[c.i], opts)
+		eval, st := cr.evaluate(w, c.i, circuits[c.i], faults[c.j], nominals[c.i], grids[c.i], opts)
 		results[k] = cellResult{eval: eval, done: true}
 		if eval.Err != nil && cancel != nil {
 			cancel()
@@ -704,9 +904,11 @@ func (t *tracker) finish(elapsed time.Duration) Stats {
 	return t.stats
 }
 
-// runParallel executes fn(0..n-1) over at most workers goroutines using a
-// chunked scheduler: indices are claimed in fixed-size contiguous chunks
-// off an atomic cursor. fn must write only to index-distinct state (shared
+// runParallel executes fn(worker, 0..n-1) over at most workers goroutines
+// using a chunked scheduler: indices are claimed in fixed-size contiguous
+// chunks off an atomic cursor. The worker index (0..workers-1) lets fn
+// keep per-worker state — the cell runner's engine caches — without
+// locking; fn must write only to index-distinct state beyond that (shared
 // accounting goes through the tracker's mutex), which keeps the engine
 // race-clean and its results independent of worker count. Cancelling ctx
 // stops workers from starting new cells; cells already in flight finish.
@@ -715,7 +917,7 @@ func (t *tracker) finish(elapsed time.Duration) Stats {
 // latency and size histograms and, per worker, the busy fraction of the
 // fan-out wall time (utilization). All of it is schedule-dependent by
 // nature, so none of it is collected with timing off.
-func runParallel(ctx context.Context, n, workers int, fn func(int)) {
+func runParallel(ctx context.Context, n, workers int, fn func(worker, i int)) {
 	if workers > n {
 		workers = n
 	}
@@ -735,7 +937,7 @@ func runParallel(ctx context.Context, n, workers int, fn func(int)) {
 			if ctx != nil && ctx.Err() != nil {
 				return
 			}
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -753,7 +955,7 @@ func runParallel(ctx context.Context, n, workers int, fn func(int)) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			var busy time.Duration
 			if timed {
@@ -783,7 +985,7 @@ func runParallel(ctx context.Context, n, workers int, fn func(int)) {
 					if ctx != nil && ctx.Err() != nil {
 						return
 					}
-					fn(i)
+					fn(worker, i)
 				}
 				if timed {
 					el := obs.Since(c0)
@@ -792,7 +994,7 @@ func runParallel(ctx context.Context, n, workers int, fn func(int)) {
 					dChunkCells.Observe(float64(end - start))
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }

@@ -29,6 +29,10 @@ var (
 		"failed cells recorded as undetectable under the Degrade/Retry policies")
 	dFailFast = obs.Reg().Counter("detect_policy_failfast_total",
 		"evaluations aborted by the FailFast policy")
+	// dEngineFallback pairs with the analysis package's engine_patch_total:
+	// patches / (patches + fallbacks) is the incremental hit rate.
+	dEngineFallback = obs.Reg().Counter("engine_fallback_total",
+		"cells the incremental engine could not patch, evaluated on the naive clone path")
 
 	dWorkers = obs.Reg().Gauge("detect_workers",
 		"worker count of the most recent fan-out (timing on only)")

@@ -18,6 +18,12 @@ import (
 // ErrBadFault is returned for malformed faults.
 var ErrBadFault = errors.New("fault: bad fault")
 
+// ErrNotPatchable flags a fault that cannot be expressed as an in-place
+// value patch on a live MNA system: catastrophic opens/shorts and opamp
+// model faults change how the component is stamped, not just a stamped
+// value, so incremental engines must fall back to cloning the circuit.
+var ErrNotPatchable = errors.New("fault: not expressible as a value patch")
+
 // Kind distinguishes fault models.
 type Kind int
 
@@ -148,6 +154,26 @@ func (f Fault) Apply(ckt *circuit.Circuit) (*circuit.Circuit, error) {
 	}
 	faulty.Name = fmt.Sprintf("%s[%s]", ckt.Name, f.ID)
 	return faulty, nil
+}
+
+// PatchValue expresses the fault as a (component, newValue) pair for
+// engines that patch a live system in place instead of cloning the
+// circuit. Only Deviation faults are patchable: opens, shorts and opamp
+// faults return an error wrapping ErrNotPatchable so callers can fall
+// back to Apply. The circuit is only read (for the nominal value), never
+// mutated.
+func (f Fault) PatchValue(ckt *circuit.Circuit) (component string, value float64, err error) {
+	if err := f.Validate(); err != nil {
+		return "", 0, err
+	}
+	if f.Kind != Deviation {
+		return "", 0, fmt.Errorf("%w: %s fault on %q", ErrNotPatchable, f.Kind, f.Component)
+	}
+	v, err := ckt.Valued(f.Component)
+	if err != nil {
+		return "", 0, err
+	}
+	return f.Component, v.Value() * f.Factor, nil
 }
 
 // List is an ordered fault list.

@@ -1,0 +1,57 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+
+	"analogdft/internal/circuit"
+)
+
+func patchCircuit() *circuit.Circuit {
+	c := circuit.New("p")
+	c.V("V1", "in", "0", 1)
+	c.R("R1", "in", "out", 1e3)
+	c.Cap("C1", "out", "0", 10e-9)
+	return c
+}
+
+func TestPatchValueDeviation(t *testing.T) {
+	ckt := patchCircuit()
+	f := Fault{ID: "fR1", Component: "R1", Kind: Deviation, Factor: 1.2}
+	name, v, err := f.PatchValue(ckt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "R1" || v != 1.2e3 {
+		t.Fatalf("PatchValue = (%q, %g), want (R1, 1200)", name, v)
+	}
+	// The circuit must be untouched.
+	val, _ := ckt.Valued("R1")
+	if val.Value() != 1e3 {
+		t.Fatalf("PatchValue mutated the circuit: R1 = %g", val.Value())
+	}
+}
+
+func TestPatchValueNotPatchable(t *testing.T) {
+	ckt := patchCircuit()
+	for _, f := range []Fault{
+		{ID: "o", Component: "R1", Kind: Open},
+		{ID: "s", Component: "C1", Kind: Short},
+		{ID: "g", Component: "OP1", Kind: OpampGain, Factor: 0.5},
+		{ID: "p", Component: "OP1", Kind: OpampPole, Factor: 2},
+	} {
+		if _, _, err := f.PatchValue(ckt); !errors.Is(err, ErrNotPatchable) {
+			t.Errorf("%s fault: err = %v, want ErrNotPatchable", f.Kind, err)
+		}
+	}
+}
+
+func TestPatchValueErrors(t *testing.T) {
+	ckt := patchCircuit()
+	if _, _, err := (Fault{ID: "x", Component: "nope", Kind: Deviation, Factor: 1.2}).PatchValue(ckt); err == nil {
+		t.Fatal("unknown component: err = nil")
+	}
+	if _, _, err := (Fault{Component: "R1", Kind: Deviation, Factor: 1.2}).PatchValue(ckt); !errors.Is(err, ErrBadFault) {
+		t.Fatal("missing ID must fail validation")
+	}
+}

@@ -55,8 +55,11 @@ func (e *SolveError) Error() string {
 func (e *SolveError) Unwrap() error { return e.Err }
 
 // System is a circuit prepared for AC analysis: node numbering and branch
-// allocation are fixed, so repeated solves across a frequency sweep only
-// re-stamp and re-factor the matrix.
+// allocation are fixed, and the component stamps are split once into a
+// frequency-independent part G and a capacitive part C, so a frequency
+// point assembles as the fused scale-add M = G + jω·C with no component
+// walk. Single-pole opamps are the one exception — their constraint row
+// is a nonlinear function of ω — and are re-stamped per point.
 type System struct {
 	ckt *circuit.Circuit
 
@@ -64,6 +67,19 @@ type System struct {
 	nodeNames []string       // inverse of nodeIndex
 	branchOf  map[string]int // component name -> branch row (offset by nNodes)
 	n         int            // total unknowns
+
+	// Split stamps, built lazily by the first assembly (buildStamps).
+	stampsBuilt bool
+	g           *numeric.Matrix  // frequency-independent stamps
+	c           *numeric.Matrix  // stamps proportional to jω (C in farads, −L in henries)
+	rhs0        []complex128     // frequency-independent excitation
+	dynamic     []*circuit.Opamp // single-pole opamps, stamped per point
+
+	// Patch state (SetValue/Reset): first-seen snapshots of every stamp
+	// entry a patch has touched, plus the current patched value per
+	// component so repeated patches compose.
+	snapG, snapC, snapRHS map[int]complex128
+	patchedVals           map[string]float64
 }
 
 // NewSystem validates and indexes a circuit for analysis. The circuit is
@@ -173,12 +189,14 @@ func (s *System) SolveAt(freqHz float64) (*Solution, error) {
 	if timed {
 		t0 = obs.Now()
 	}
-	m := numeric.NewMatrix(s.n, s.n)
-	rhs := make([]complex128, s.n)
-	if err := s.assemble(freqHz, m, rhs); err != nil {
+	ws := numeric.NewWorkspace(s.n)
+	m, rhs := ws.M, ws.RHS
+	rebuilt, err := s.assemble(freqHz, m, rhs)
+	if err != nil {
 		accountSolve(err, t0, timed)
 		return nil, err
 	}
+	accountStamps(rebuilt)
 
 	x, err := numeric.Solve(m, rhs)
 	if err != nil {
@@ -201,221 +219,34 @@ func (s *System) SolveAt(freqHz float64) (*Solution, error) {
 	return sol, nil
 }
 
-// assemble zeroes and stamps the MNA matrix and right-hand side for one
-// frequency. m must be n×n and rhs length n.
-func (s *System) assemble(freqHz float64, m *numeric.Matrix, rhs []complex128) error {
+// assemble produces the MNA system for one frequency: the fused
+// scale-add M = G + jω·C over the cached split stamps (built on first
+// use), the cached excitation vector, and the per-point constraint rows
+// of any single-pole opamps. m must be n×n and rhs length n. It reports
+// whether this call had to rebuild the stamps (one full component walk)
+// or served them from the cache.
+func (s *System) assemble(freqHz float64, m *numeric.Matrix, rhs []complex128) (rebuilt bool, err error) {
 	if freqHz < 0 || math.IsNaN(freqHz) || math.IsInf(freqHz, 0) {
-		return fmt.Errorf("mna: invalid frequency %g", freqHz)
+		return false, fmt.Errorf("mna: invalid frequency %g", freqHz)
 	}
-	omega := 2 * math.Pi * freqHz
-	jw := complex(0, omega)
-
-	m.Zero()
-	for i := range rhs {
-		rhs[i] = 0
-	}
-
-	for _, comp := range s.ckt.Components() {
-		switch c := comp.(type) {
-		case *circuit.Resistor:
-			if c.Ohms == 0 {
-				return fmt.Errorf("%w: resistor %q has zero resistance", ErrUnsupported, c.Name())
-			}
-			stampConductance(m, s.node(c.A), s.node(c.B), complex(1/c.Ohms, 0))
-
-		case *circuit.Capacitor:
-			stampConductance(m, s.node(c.A), s.node(c.B), jw*complex(c.Farads, 0))
-
-		case *circuit.Inductor:
-			// Branch equation: V(a) − V(b) − jωL·I = 0; KCL: I out of a, into b.
-			a, b, br := s.node(c.A), s.node(c.B), s.branchOf[c.Name()]
-			if a >= 0 {
-				m.Add(a, br, 1)
-				m.Add(br, a, 1)
-			}
-			if b >= 0 {
-				m.Add(b, br, -1)
-				m.Add(br, b, -1)
-			}
-			m.Add(br, br, -jw*complex(c.Henries, 0))
-
-		case *circuit.VSource:
-			p, q, br := s.node(c.Plus), s.node(c.Minus), s.branchOf[c.Name()]
-			if p >= 0 {
-				m.Add(p, br, 1)
-				m.Add(br, p, 1)
-			}
-			if q >= 0 {
-				m.Add(q, br, -1)
-				m.Add(br, q, -1)
-			}
-			rhs[br] = complex(c.Amplitude, 0)
-
-		case *circuit.ISource:
-			p, q := s.node(c.Plus), s.node(c.Minus)
-			j := complex(c.Amplitude, 0)
-			if p >= 0 {
-				rhs[p] -= j
-			}
-			if q >= 0 {
-				rhs[q] += j
-			}
-
-		case *circuit.VCVS:
-			op, om := s.node(c.OutP), s.node(c.OutM)
-			cp, cm := s.node(c.CtrlP), s.node(c.CtrlM)
-			br := s.branchOf[c.Name()]
-			if op >= 0 {
-				m.Add(op, br, 1)
-				m.Add(br, op, 1)
-			}
-			if om >= 0 {
-				m.Add(om, br, -1)
-				m.Add(br, om, -1)
-			}
-			g := complex(c.Gain, 0)
-			if cp >= 0 {
-				m.Add(br, cp, -g)
-			}
-			if cm >= 0 {
-				m.Add(br, cm, g)
-			}
-
-		case *circuit.VCCS:
-			op, om := s.node(c.OutP), s.node(c.OutM)
-			cp, cm := s.node(c.CtrlP), s.node(c.CtrlM)
-			gm := complex(c.Gm, 0)
-			for _, t := range []struct {
-				row int
-				sgn complex128
-			}{{op, 1}, {om, -1}} {
-				if t.row < 0 {
-					continue
-				}
-				if cp >= 0 {
-					m.Add(t.row, cp, t.sgn*gm)
-				}
-				if cm >= 0 {
-					m.Add(t.row, cm, -t.sgn*gm)
-				}
-			}
-
-		case *circuit.CCVS:
-			// V(op) − V(om) − Rt·I(ctrl) = 0 with its own branch current.
-			ctrlBr, ok := s.branchOf[c.CtrlVSource]
-			if !ok {
-				return fmt.Errorf("%w: CCVS %q controls through %q, which has no branch current", ErrUnsupported, c.Name(), c.CtrlVSource)
-			}
-			op, om := s.node(c.OutP), s.node(c.OutM)
-			br := s.branchOf[c.Name()]
-			if op >= 0 {
-				m.Add(op, br, 1)
-				m.Add(br, op, 1)
-			}
-			if om >= 0 {
-				m.Add(om, br, -1)
-				m.Add(br, om, -1)
-			}
-			m.Add(br, ctrlBr, complex(-c.Rt, 0))
-
-		case *circuit.CCCS:
-			// I(op→om) = Gain·I(ctrl): current injections proportional to
-			// the control branch current.
-			ctrlBr, ok := s.branchOf[c.CtrlVSource]
-			if !ok {
-				return fmt.Errorf("%w: CCCS %q controls through %q, which has no branch current", ErrUnsupported, c.Name(), c.CtrlVSource)
-			}
-			op, om := s.node(c.OutP), s.node(c.OutM)
-			g := complex(c.Gain, 0)
-			if op >= 0 {
-				m.Add(op, ctrlBr, g)
-			}
-			if om >= 0 {
-				m.Add(om, ctrlBr, -g)
-			}
-
-		case *circuit.Opamp:
-			if err := s.stampOpamp(m, c, jw); err != nil {
-				return err
-			}
-
-		default:
-			return fmt.Errorf("%w: %T", ErrUnsupported, comp)
+	if !s.stampsBuilt {
+		if err := s.buildStamps(); err != nil {
+			return false, err
 		}
+		rebuilt = true
 	}
-	return nil
-}
+	jw := complex(0, 2*math.Pi*freqHz)
 
-// stampOpamp writes the opamp constraint row. The opamp output behaves as
-// an ideal voltage source (free branch current injected at Out); the
-// constraint chosen depends on mode and model.
-func (s *System) stampOpamp(m *numeric.Matrix, c *circuit.Opamp, jw complex128) error {
-	out := s.node(c.Out)
-	br := s.branchOf[c.Name()]
-	if out >= 0 {
-		m.Add(out, br, 1)
+	md, gd, cd := m.Data, s.g.Data, s.c.Data
+	_ = md[len(gd)-1] // one bounds check for the fused loop
+	for i, gv := range gd {
+		md[i] = gv + jw*cd[i]
 	}
-
-	switch c.Mode {
-	case circuit.ModeNormal:
-		p, q := s.node(c.InP), s.node(c.InN)
-		switch c.Model {
-		case circuit.ModelIdeal:
-			// Nullor: V(+) − V(−) = 0.
-			if p >= 0 {
-				m.Add(br, p, 1)
-			}
-			if q >= 0 {
-				m.Add(br, q, -1)
-			}
-		case circuit.ModelSinglePole:
-			// V(out) − A(jω)·(V(+) − V(−)) = 0.
-			a := openLoopGain(c, jw)
-			if out >= 0 {
-				m.Add(br, out, 1)
-			}
-			if p >= 0 {
-				m.Add(br, p, -a)
-			}
-			if q >= 0 {
-				m.Add(br, q, a)
-			}
-		default:
-			return fmt.Errorf("%w: opamp %q model %v", ErrUnsupported, c.Name(), c.Model)
-		}
-
-	case circuit.ModeFollower:
-		if !c.Configurable || c.TestIn == "" {
-			return fmt.Errorf("%w: opamp %q in follower mode without test input", ErrUnsupported, c.Name())
-		}
-		tin := s.node(c.TestIn)
-		switch c.Model {
-		case circuit.ModelIdeal:
-			// V(out) − V(test) = 0.
-			if out >= 0 {
-				m.Add(br, out, 1)
-			}
-			if tin >= 0 {
-				m.Add(br, tin, -1)
-			}
-		case circuit.ModelSinglePole:
-			// Unity-feedback buffer: V(out) = A/(1+A) · V(test).
-			a := openLoopGain(c, jw)
-			buf := a / (1 + a)
-			if out >= 0 {
-				m.Add(br, out, 1)
-			}
-			if tin >= 0 {
-				m.Add(br, tin, -buf)
-			}
-		default:
-			return fmt.Errorf("%w: opamp %q model %v", ErrUnsupported, c.Name(), c.Model)
-		}
-
-	default:
-		return fmt.Errorf("%w: opamp %q mode %v", ErrUnsupported, c.Name(), c.Mode)
+	copy(rhs, s.rhs0)
+	for _, op := range s.dynamic {
+		s.stampOpampRow(m, op, jw)
 	}
-	return nil
+	return rebuilt, nil
 }
 
 // openLoopGain evaluates the single-pole model A(jω) = A0/(1 + jω/ωp).

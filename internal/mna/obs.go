@@ -22,7 +22,33 @@ var (
 		"AC solves that failed for any other reason")
 	mSolveLatency = obs.Reg().Histogram("mna_solve_seconds",
 		"per-point AC solve latency in seconds (collected when timing is on)", obs.TimeBuckets)
+
+	// Stamp-cache effectiveness: assemblies served by the fused G + jω·C
+	// scale-add versus full component walks. The reuse hit rate is
+	// reuse / (reuse + rebuild). How many Systems get built — and hence
+	// how many first-assembly rebuilds occur — depends on how many
+	// engines the detect worker pool lazily instantiates, which varies
+	// with worker count and scheduling; like the scheduler's own
+	// instruments, these counters are therefore collected only when obs
+	// timing is on, keeping timing-off registry snapshots deterministic.
+	mStampReuse = obs.Reg().Counter("mna_stamp_reuse_total",
+		"matrix assemblies served from the cached G/C split stamps (fused scale-add, no component walk; timing on only)")
+	mStampRebuild = obs.Reg().Counter("mna_stamp_rebuild_total",
+		"full component-walk stamp builds, one per System (timing on only)")
 )
+
+// accountStamps records one assembly's stamp-cache outcome (timing on
+// only; see the counter declarations).
+func accountStamps(rebuilt bool) {
+	if !obs.TimingOn() {
+		return
+	}
+	if rebuilt {
+		mStampRebuild.Inc()
+	} else {
+		mStampReuse.Inc()
+	}
+}
 
 // accountSolve classifies one finished solve into the mna metric set.
 func accountSolve(err error, start time.Time, timed bool) {
@@ -50,6 +76,20 @@ func accountSolve(err error, start time.Time, timed bool) {
 // totals in one Add per counter when the sweep finishes.
 type solveTally struct {
 	solves, singular, unsupported, otherErr int64
+	stampReuse, stampRebuild                int64
+}
+
+// recordStamps tallies one assembly's stamp-cache outcome locally (timing
+// on only; see the counter declarations).
+func (t *solveTally) recordStamps(rebuilt bool) {
+	if !obs.TimingOn() {
+		return
+	}
+	if rebuilt {
+		t.stampRebuild++
+	} else {
+		t.stampReuse++
+	}
 }
 
 func (t *solveTally) record(err error, start time.Time, timed bool) {
@@ -82,6 +122,12 @@ func (t *solveTally) flush() {
 	}
 	if t.otherErr != 0 {
 		mOtherErr.Add(t.otherErr)
+	}
+	if t.stampReuse != 0 {
+		mStampReuse.Add(t.stampReuse)
+	}
+	if t.stampRebuild != 0 {
+		mStampRebuild.Add(t.stampRebuild)
 	}
 	*t = solveTally{}
 }

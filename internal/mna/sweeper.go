@@ -10,20 +10,25 @@ import (
 )
 
 // Sweeper is the allocation-free fast path for frequency sweeps that only
-// observe a single node (the detectability engine's hot loop): the MNA
-// matrix, right-hand side and pivot buffers are reused across points and
-// the factorization happens in place.
+// observe a single node (the detectability engine's hot loop): one
+// numeric.Workspace (matrix + rhs + pivots) is handed down and reused
+// across points, and the factorization happens in place.
 type Sweeper struct {
 	sys     *System
-	m       *numeric.Matrix
-	rhs     []complex128
-	pivot   []int
+	ws      *numeric.Workspace
 	nodeIdx int // -1 for ground
 	tally   solveTally
 }
 
-// NewSweeper prepares a sweeper observing the given node.
+// NewSweeper prepares a sweeper observing the given node, with its own
+// workspace.
 func (s *System) NewSweeper(node string) (*Sweeper, error) {
+	return s.NewSweeperWS(node, nil)
+}
+
+// NewSweeperWS is NewSweeper reusing a caller-owned workspace (resized to
+// fit); pass nil to allocate a fresh one.
+func (s *System) NewSweeperWS(node string, ws *numeric.Workspace) (*Sweeper, error) {
 	idx := -1
 	if !circuit.IsGroundName(node) {
 		i, ok := s.nodeIndex[circuit.CanonicalNode(node)]
@@ -32,18 +37,22 @@ func (s *System) NewSweeper(node string) (*Sweeper, error) {
 		}
 		idx = i
 	}
+	if ws == nil {
+		ws = numeric.NewWorkspace(s.n)
+	} else {
+		ws.Ensure(s.n)
+	}
 	return &Sweeper{
 		sys:     s,
-		m:       numeric.NewMatrix(s.n, s.n),
-		rhs:     make([]complex128, s.n),
-		pivot:   make([]int, s.n),
+		ws:      ws,
 		nodeIdx: idx,
 	}, nil
 }
 
 // FlushMetrics publishes the sweep's locally tallied solve counters to the
-// global registry. Callers that loop over VoltageAt should flush once the
-// sweep is done (counts are invisible to metric snapshots until then).
+// global registry. Callers that loop over VoltageAt themselves should
+// flush once the sweep is done (counts are invisible to metric snapshots
+// until then); SweepGrid flushes automatically.
 func (sw *Sweeper) FlushMetrics() { sw.tally.flush() }
 
 // VoltageAt solves the system at one frequency and returns the observed
@@ -55,16 +64,18 @@ func (sw *Sweeper) VoltageAt(freqHz float64) (complex128, error) {
 	if timed {
 		t0 = obs.Now()
 	}
-	if err := sw.sys.assemble(freqHz, sw.m, sw.rhs); err != nil {
+	rebuilt, err := sw.sys.assemble(freqHz, sw.ws.M, sw.ws.RHS)
+	if err != nil {
 		sw.tally.record(err, t0, timed)
 		return 0, err
 	}
-	lu, err := numeric.FactorInPlace(sw.m, sw.pivot)
+	sw.tally.recordStamps(rebuilt)
+	lu, err := numeric.FactorInPlace(sw.ws.M, sw.ws.Pivot)
 	if err != nil {
 		sw.tally.record(err, t0, timed)
 		return 0, &SolveError{Circuit: sw.sys.ckt.Name, FreqHz: freqHz, Err: err}
 	}
-	if err := lu.SolveInPlace(sw.rhs); err != nil {
+	if err := lu.SolveInPlace(sw.ws.RHS); err != nil {
 		sw.tally.record(err, t0, timed)
 		return 0, err
 	}
@@ -72,5 +83,26 @@ func (sw *Sweeper) VoltageAt(freqHz float64) (complex128, error) {
 	if sw.nodeIdx < 0 {
 		return 0, nil
 	}
-	return sw.rhs[sw.nodeIdx], nil
+	return sw.ws.RHS[sw.nodeIdx], nil
 }
+
+// SweepGrid solves the system across the whole grid, invoking visit for
+// every point with the point index, the observed voltage and the solve
+// error (nil on success); returning a non-nil error from visit aborts the
+// sweep and is returned. The solve counters tallied during the sweep are
+// flushed on return — callers cannot forget the FlushMetrics contract the
+// way hand-rolled VoltageAt loops could.
+func (sw *Sweeper) SweepGrid(grid []float64, visit func(i int, v complex128, err error) error) error {
+	defer sw.FlushMetrics()
+	for i, f := range grid {
+		v, err := sw.VoltageAt(f)
+		if err := visit(i, v, err); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// System returns the system the sweeper solves — the handle through which
+// engine callers patch values (SetValue/Reset) between sweeps.
+func (sw *Sweeper) System() *System { return sw.sys }

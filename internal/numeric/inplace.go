@@ -6,12 +6,13 @@ import (
 )
 
 // FactorInPlace computes the LU factorization overwriting a's storage —
-// the allocation-free variant of Factor for hot sweep loops. The returned
-// LU aliases a; a must not be used afterwards except through the LU. The
-// pivot slice is reused when a non-nil one of the right length is passed.
-func FactorInPlace(a *Matrix, pivot []int) (*LU, error) {
+// the allocation-free variant of Factor for hot sweep loops. The LU is
+// returned by value so it never escapes to the heap; it aliases a, and a
+// must not be used afterwards except through the LU. The pivot slice is
+// reused when a non-nil one of the right length is passed.
+func FactorInPlace(a *Matrix, pivot []int) (LU, error) {
 	if a.Rows != a.Cols {
-		return nil, fmt.Errorf("%w: cannot factor %dx%d", ErrShape, a.Rows, a.Cols)
+		return LU{}, fmt.Errorf("%w: cannot factor %dx%d", ErrShape, a.Rows, a.Cols)
 	}
 	n := a.Rows
 	if len(pivot) != n {
@@ -26,7 +27,7 @@ func FactorInPlace(a *Matrix, pivot []int) (*LU, error) {
 			}
 		}
 		if best < PivotTolerance {
-			return nil, fmt.Errorf("%w: pivot %.3g at column %d", ErrSingular, best, k)
+			return LU{}, fmt.Errorf("%w: pivot %.3g at column %d", ErrSingular, best, k)
 		}
 		pivot[k] = p
 		if p != k {
@@ -49,7 +50,7 @@ func FactorInPlace(a *Matrix, pivot []int) (*LU, error) {
 			}
 		}
 	}
-	return &LU{lu: a, pivot: pivot, sign: sign}, nil
+	return LU{lu: a, pivot: pivot, sign: sign}, nil
 }
 
 // SolveInPlace solves A·x = b writing the solution over b (no

@@ -1,0 +1,53 @@
+package numeric
+
+// Workspace bundles the scratch buffers of an in-place factor/solve —
+// matrix storage, right-hand side and pivot permutation — so sweep loops
+// can hand one set of buffers down the stack instead of allocating them
+// per call. A Workspace is not safe for concurrent use; give each worker
+// its own.
+type Workspace struct {
+	M     *Matrix
+	RHS   []complex128
+	Pivot []int
+}
+
+// NewWorkspace allocates buffers for an n-unknown system.
+func NewWorkspace(n int) *Workspace {
+	w := &Workspace{}
+	w.Ensure(n)
+	return w
+}
+
+// Ensure makes the buffers fit an n-unknown system, reallocating only
+// when the current ones are too small (shrinking reuses the backing
+// storage).
+func (w *Workspace) Ensure(n int) {
+	if w.M == nil || cap(w.M.Data) < n*n {
+		w.M = NewMatrix(n, n)
+	} else {
+		w.M.Rows, w.M.Cols = n, n
+		w.M.Data = w.M.Data[:n*n]
+	}
+	if cap(w.RHS) < n {
+		w.RHS = make([]complex128, n)
+	} else {
+		w.RHS = w.RHS[:n]
+	}
+	if cap(w.Pivot) < n {
+		w.Pivot = make([]int, n)
+	} else {
+		w.Pivot = w.Pivot[:n]
+	}
+}
+
+// FactorSolve assembles nothing itself: it factors w.M in place using
+// w.Pivot and solves for w.RHS, leaving the solution in w.RHS. It is the
+// one-call form of the FactorInPlace + SolveInPlace pair for callers that
+// have already stamped M and RHS.
+func (w *Workspace) FactorSolve() error {
+	lu, err := FactorInPlace(w.M, w.Pivot)
+	if err != nil {
+		return err
+	}
+	return lu.SolveInPlace(w.RHS)
+}

@@ -1,0 +1,59 @@
+package numeric
+
+import "testing"
+
+func TestWorkspaceEnsureReuses(t *testing.T) {
+	w := NewWorkspace(4)
+	if w.M.Rows != 4 || w.M.Cols != 4 || len(w.RHS) != 4 || len(w.Pivot) != 4 {
+		t.Fatalf("NewWorkspace(4) sized %dx%d rhs=%d pivot=%d", w.M.Rows, w.M.Cols, len(w.RHS), len(w.Pivot))
+	}
+	m, rhs, piv := &w.M.Data[0], &w.RHS[0], &w.Pivot[0]
+
+	// Shrinking must reuse the backing arrays.
+	w.Ensure(2)
+	if w.M.Rows != 2 || len(w.RHS) != 2 || len(w.Pivot) != 2 {
+		t.Fatalf("Ensure(2) sized %dx%d rhs=%d pivot=%d", w.M.Rows, w.M.Cols, len(w.RHS), len(w.Pivot))
+	}
+	if &w.M.Data[0] != m || &w.RHS[0] != rhs || &w.Pivot[0] != piv {
+		t.Fatal("Ensure(2) reallocated buffers that were large enough")
+	}
+
+	// Growing past capacity must reallocate to the right size.
+	w.Ensure(8)
+	if w.M.Rows != 8 || w.M.Cols != 8 || len(w.M.Data) != 64 || len(w.RHS) != 8 || len(w.Pivot) != 8 {
+		t.Fatalf("Ensure(8) sized %dx%d data=%d rhs=%d pivot=%d",
+			w.M.Rows, w.M.Cols, len(w.M.Data), len(w.RHS), len(w.Pivot))
+	}
+}
+
+func TestWorkspaceFactorSolve(t *testing.T) {
+	w := NewWorkspace(2)
+	// [2 1; 1 3] x = [5; 10] → x = [1; 3]
+	w.M.Set(0, 0, 2)
+	w.M.Set(0, 1, 1)
+	w.M.Set(1, 0, 1)
+	w.M.Set(1, 1, 3)
+	w.RHS[0], w.RHS[1] = 5, 10
+	if err := w.FactorSolve(); err != nil {
+		t.Fatal(err)
+	}
+	if d := w.RHS[0] - 1; real(d)*real(d)+imag(d)*imag(d) > 1e-24 {
+		t.Fatalf("x0 = %v, want 1", w.RHS[0])
+	}
+	if d := w.RHS[1] - 3; real(d)*real(d)+imag(d)*imag(d) > 1e-24 {
+		t.Fatalf("x1 = %v, want 3", w.RHS[1])
+	}
+}
+
+func TestWorkspaceFactorSolveSingular(t *testing.T) {
+	w := NewWorkspace(2)
+	// Rank-1 matrix must surface ErrSingular through FactorSolve.
+	w.M.Set(0, 0, 1)
+	w.M.Set(0, 1, 1)
+	w.M.Set(1, 0, 1)
+	w.M.Set(1, 1, 1)
+	w.RHS[0], w.RHS[1] = 1, 2
+	if err := w.FactorSolve(); err == nil {
+		t.Fatal("FactorSolve on singular matrix returned nil error")
+	}
+}

@@ -69,6 +69,8 @@ type SimFlags struct {
 	Progress bool
 	// OnError names the cell error policy (degrade, failfast, retry).
 	OnError string
+	// Engine names the cell simulation strategy (incremental, naive).
+	Engine string
 }
 
 // RegisterSim installs the shared simulation flags on fs.
@@ -84,10 +86,14 @@ func (s *SimFlags) Register(fs *flag.FlagSet) {
 	fs.BoolVar(&s.Stats, "stats", false, "print the simulation effort summary")
 	fs.BoolVar(&s.Progress, "progress", false, "report live progress on stderr")
 	fs.StringVar(&s.OnError, "onerror", "degrade", `cell error policy: "degrade", "failfast" or "retry"`)
+	fs.StringVar(&s.Engine, "engine", "incremental", `cell simulation strategy: "incremental" (patch a reusable system in place) or "naive" (clone + rebuild per cell)`)
 }
 
 // Policy maps the -onerror value onto the engine error policy.
 func (s *SimFlags) Policy() (detect.ErrorPolicy, error) { return ParsePolicy(s.OnError) }
+
+// EngineMode maps the -engine value onto the cell simulation strategy.
+func (s *SimFlags) EngineMode() (detect.EngineMode, error) { return detect.ParseEngineMode(s.Engine) }
 
 // ParsePolicy maps an -onerror flag value onto the engine error policy.
 func ParsePolicy(name string) (detect.ErrorPolicy, error) {
@@ -104,15 +110,20 @@ func ParsePolicy(name string) (detect.ErrorPolicy, error) {
 }
 
 // Apply copies the parsed simulation flags onto engine options: worker
-// count, error policy and (when -progress is set) a live progress reporter
-// writing to w.
+// count, error policy, engine mode and (when -progress is set) a live
+// progress reporter writing to w.
 func (s *SimFlags) Apply(o *detect.Options, w io.Writer) error {
 	policy, err := s.Policy()
 	if err != nil {
 		return err
 	}
+	mode, err := s.EngineMode()
+	if err != nil {
+		return err
+	}
 	o.Workers = s.Workers
 	o.OnError = policy
+	o.Engine = mode
 	if s.Progress {
 		o.Progress = ProgressReporter(w)
 	}
