@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet invariants lint verify bench bench-smoke
+.PHONY: build test race vet invariants lint verify bench bench-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -15,7 +15,8 @@ vet:
 	$(GO) vet ./...
 
 # invariants enforces the repo-wide source rules (single clock source, no
-# stray prints in internal packages) with the stdlib-only AST checker.
+# stray prints in internal packages, clone-free detect fan-out, context-
+# aware job layer) with the stdlib-only AST checker.
 invariants:
 	$(GO) run ./cmd/vetinvariants
 
@@ -37,3 +38,9 @@ bench:
 # bench-smoke is the cheap CI variant: every benchmark runs exactly once.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run=^$$ ./...
+
+# serve-smoke boots dftserved on an ephemeral port, runs a matrix job end
+# to end over HTTP, asserts the resubmission is a cache hit and that the
+# server drains cleanly on SIGTERM.
+serve-smoke:
+	./scripts/dftserved-smoke.sh

@@ -1,6 +1,8 @@
 package analogdft
 
 import (
+	"context"
+
 	"analogdft/internal/analysis"
 	"analogdft/internal/boolexpr"
 	"analogdft/internal/circuit"
@@ -171,9 +173,18 @@ func ReferenceRegion(ckt *Circuit) (Region, error) {
 }
 
 // EvaluateCircuit measures detectability and ω-detectability of each fault
-// on a fixed circuit (the §2 analysis).
+// on a fixed circuit (the §2 analysis). New code should prefer
+// EvaluateCircuitContext, which supports cancellation; this variant runs
+// to completion.
 func EvaluateCircuit(ckt *Circuit, faults FaultList, opts Options) (*Row, error) {
 	return detect.EvaluateCircuit(ckt, faults, opts)
+}
+
+// EvaluateCircuitContext is EvaluateCircuit with cancellation: ctx is
+// checked between fault cells, so an in-flight evaluation stops within one
+// cell boundary of ctx being cancelled and returns ctx's error.
+func EvaluateCircuitContext(ctx context.Context, ckt *Circuit, faults FaultList, opts Options) (*Row, error) {
+	return detect.EvaluateCircuitContext(ctx, ckt, faults, opts)
 }
 
 // ApplyDFT replaces the named opamps by configurable opamps chained from
@@ -187,14 +198,33 @@ func ApplyDFT(ckt *Circuit, chain []string) (*Modified, error) {
 func ApplyDFTAll(ckt *Circuit) (*Modified, error) { return dft.ApplyAll(ckt) }
 
 // BuildMatrix fault-simulates every configuration into the fault
-// detectability matrix (§3.2).
+// detectability matrix (§3.2). New code should prefer BuildMatrixContext,
+// which supports cancellation; this variant runs to completion.
 func BuildMatrix(m *Modified, faults FaultList, opts Options) (*Matrix, error) {
 	return detect.BuildMatrix(m, faults, opts)
 }
 
+// BuildMatrixContext is BuildMatrix with cancellation: ctx is checked
+// between (configuration, fault) cells and between the per-configuration
+// nominal pre-sweeps, so an in-flight build stops within one cell boundary
+// of ctx being cancelled and returns ctx's error.
+func BuildMatrixContext(ctx context.Context, m *Modified, faults FaultList, opts Options) (*Matrix, error) {
+	return detect.BuildMatrixContext(ctx, m, faults, opts)
+}
+
 // Optimize runs the §4 ordered-requirement optimization over a matrix.
+// New code should prefer OptimizeContext, which supports cancellation;
+// this variant runs to completion.
 func Optimize(mx *Matrix, chain []string, cost CostFunction) (*Result, error) {
 	return core.Optimize(mx, chain, cost)
+}
+
+// OptimizeContext is Optimize with cancellation: the Petrick expansion
+// polls ctx between clauses and product-term batches, so a
+// combinatorially exploding optimization stops promptly (returning ctx's
+// error) when the caller cancels.
+func OptimizeContext(ctx context.Context, mx *Matrix, chain []string, cost CostFunction) (*Result, error) {
+	return core.OptimizeContext(ctx, mx, chain, cost)
 }
 
 // OptimizeOpamps runs the §4.3 partial-DFT (configurable-opamp count)

@@ -1,0 +1,102 @@
+// Command dftserved serves the multi-configuration DFT workflow over
+// HTTP: clients submit evaluate, matrix and optimize jobs as JSON (a
+// built-in benchmark name or an inline SPICE deck), poll their status,
+// cancel them mid-simulation, and fetch results. Identical jobs are
+// answered from a content-addressed result cache without re-simulating.
+//
+//	dftserved [-addr :8080] [-workers 2] [-queue 16] [-cache 128]
+//
+// Endpoints:
+//
+//	POST   /v1/jobs             submit a job (201; 429 + Retry-After when the queue is full)
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        job status
+//	GET    /v1/jobs/{id}/result result payload (202 while running)
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/benches          built-in benchmark names
+//	GET    /metrics             Prometheus text exposition
+//	GET    /healthz             liveness
+//	GET    /debug/pprof/        standard profiles
+//
+// On SIGINT/SIGTERM the server stops accepting requests and drains
+// in-flight jobs for -drain before forcing cancellation.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"analogdft/internal/jobs"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
+		workers    = flag.Int("workers", 2, "jobs simulated concurrently")
+		queue      = flag.Int("queue", 16, "queued jobs beyond the running ones before 429")
+		cache      = flag.Int("cache", 128, "result cache entries")
+		simWorkers = flag.Int("sim-workers", 0, "default per-job simulation parallelism (0 = GOMAXPROCS)")
+		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight jobs")
+	)
+	flag.Parse()
+	if err := run(*addr, jobs.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *cache,
+		SimWorkers:   *simWorkers,
+	}, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "dftserved:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until a termination signal, then drains.
+func run(addr string, cfg jobs.Config, drain time.Duration) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	mgr := jobs.NewManager(cfg)
+	srv := &http.Server{Handler: newServer(mgr)}
+
+	// The smoke tests scrape this line for the ephemeral port.
+	fmt.Printf("dftserved: listening on %s\n", ln.Addr())
+	srvlog.Info("listening", "addr", ln.Addr().String(),
+		"workers", mgr.Config().Workers, "queue", mgr.Config().QueueDepth, "cache", mgr.Config().CacheEntries)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	srvlog.Info("shutting down", "drain", drain.String())
+
+	dctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		srvlog.Warn("http shutdown", "err", err)
+	}
+	if err := mgr.Close(dctx); err != nil {
+		srvlog.Warn("drain incomplete, jobs cancelled", "err", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	srvlog.Info("bye")
+	return nil
+}

@@ -1,0 +1,205 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+
+	"analogdft/internal/jobs"
+	"analogdft/internal/obs"
+)
+
+// HTTP-layer instrumentation: one latency histogram per endpoint (the
+// registry's histogram names cannot carry labels, so each endpoint gets
+// its own series) plus a response counter by status class.
+var (
+	hSubmit = obs.Reg().Histogram("dftserved_http_submit_seconds",
+		"POST /v1/jobs latency", obs.TimeBuckets)
+	hStatus = obs.Reg().Histogram("dftserved_http_status_seconds",
+		"GET /v1/jobs and /v1/jobs/{id} latency", obs.TimeBuckets)
+	hResult = obs.Reg().Histogram("dftserved_http_result_seconds",
+		"GET /v1/jobs/{id}/result latency", obs.TimeBuckets)
+	hCancel = obs.Reg().Histogram("dftserved_http_cancel_seconds",
+		"DELETE /v1/jobs/{id} latency", obs.TimeBuckets)
+	hOther = obs.Reg().Histogram("dftserved_http_other_seconds",
+		"latency of the remaining endpoints (benches, metrics, health)", obs.TimeBuckets)
+	cResponses = obs.Reg().CounterVec("dftserved_http_responses_total",
+		"responses by status class", "class")
+)
+
+// srvlog is the server logger.
+var srvlog = obs.Logger("dftserved")
+
+// server is the HTTP front of a jobs.Manager.
+type server struct {
+	mgr *jobs.Manager
+}
+
+// newServer builds the full handler: the /v1 job API, /metrics, /healthz
+// and /debug/pprof, each wrapped in a request-scoped span and a latency
+// histogram.
+func newServer(mgr *jobs.Manager) http.Handler {
+	s := &server{mgr: mgr}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", instrument("submit", hSubmit, s.submit))
+	mux.HandleFunc("GET /v1/jobs", instrument("list", hStatus, s.list))
+	mux.HandleFunc("GET /v1/jobs/{id}", instrument("status", hStatus, s.status))
+	mux.HandleFunc("GET /v1/jobs/{id}/result", instrument("result", hResult, s.result))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", instrument("cancel", hCancel, s.cancel))
+	mux.HandleFunc("GET /v1/benches", instrument("benches", hOther, s.benches))
+	mux.HandleFunc("GET /metrics", instrument("metrics", hOther, s.metrics))
+	mux.HandleFunc("GET /healthz", instrument("healthz", hOther, s.healthz))
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// statusWriter records the status code a handler wrote.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler in a span named after the endpoint and an
+// observation on its latency histogram.
+func instrument(name string, h *obs.Histogram, fn http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := obs.Now()
+		ctx, span := obs.Start(r.Context(), "http."+name)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		fn(sw, r.WithContext(ctx))
+		span.SetTag("status", fmt.Sprint(sw.code))
+		span.End()
+		h.Observe(obs.Since(start).Seconds())
+		cResponses.With(fmt.Sprintf("%dxx", sw.code/100)).Inc()
+	}
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		srvlog.Warn("write response", "err", err)
+	}
+}
+
+// errorBody is the JSON shape of every error response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// writeError maps manager errors onto status codes: bad requests → 400,
+// a full queue → 429 with Retry-After, unknown jobs → 404, finished jobs
+// → 409, a draining manager → 503.
+func writeError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, jobs.ErrBadRequest):
+		code = http.StatusBadRequest
+	case errors.Is(err, jobs.ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		code = http.StatusTooManyRequests
+	case errors.Is(err, jobs.ErrNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, jobs.ErrFinished):
+		code = http.StatusConflict
+	case errors.Is(err, jobs.ErrClosed):
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+// submit handles POST /v1/jobs.
+func (s *server) submit(w http.ResponseWriter, r *http.Request) {
+	var req jobs.Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decode request: %v", err)})
+		return
+	}
+	v, err := s.mgr.Submit(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+v.ID)
+	writeJSON(w, http.StatusCreated, v)
+}
+
+// list handles GET /v1/jobs.
+func (s *server) list(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.mgr.List())
+}
+
+// status handles GET /v1/jobs/{id}.
+func (s *server) status(w http.ResponseWriter, r *http.Request) {
+	v, err := s.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+// result handles GET /v1/jobs/{id}/result: 200 with the payload once the
+// job is done, 202 with the job view while it is queued or running, 409
+// when it finished without a result (failed or cancelled).
+func (s *server) result(w http.ResponseWriter, r *http.Request) {
+	payload, v, err := s.mgr.Result(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	switch {
+	case v.State == jobs.StateDone:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		if _, err := w.Write(payload); err != nil {
+			srvlog.Warn("write result", "job", v.ID, "err", err)
+		}
+	case v.State.Terminal():
+		writeJSON(w, http.StatusConflict, errorBody{Error: fmt.Sprintf("job %s %s: %s", v.ID, v.State, v.Err)})
+	default:
+		writeJSON(w, http.StatusAccepted, v)
+	}
+}
+
+// cancel handles DELETE /v1/jobs/{id}.
+func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
+	v, err := s.mgr.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, v)
+}
+
+// benches handles GET /v1/benches.
+func (s *server) benches(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, jobs.BenchNames())
+}
+
+// metrics handles GET /metrics in the Prometheus text format.
+func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if err := obs.Reg().WritePrometheus(w); err != nil {
+		srvlog.Warn("write metrics", "err", err)
+	}
+}
+
+// healthz handles GET /healthz.
+func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "queue_depth": s.mgr.Config().QueueDepth})
+}

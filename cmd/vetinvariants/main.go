@@ -19,6 +19,14 @@
 // path), so the hot fan-out stays clone-free; a direct .Clone(...) method
 // call or an mna.NewSystem call inside internal/detect is a violation.
 //
+// Rule 4 — cancellable job layer: internal/jobs and cmd/dftserved never
+// call the blocking simulation entry points (EvaluateCircuit, BuildMatrix,
+// Optimize); they must use the ...Context variants (or the Session
+// methods, which take a context) so every job the server runs can be
+// cancelled mid-simulation. This is the only rule that reaches outside
+// internal/: cmd/dftserved is walked for it, with the internal-only rules
+// switched off there.
+//
 // All rules skip _test.go files. The checker is import-alias aware and
 // uses only the standard library (go/parser + go/ast), so it runs in CI
 // without fetching anything. Findings print as file:line:col and make the
@@ -68,31 +76,56 @@ func main() {
 	}
 }
 
-// check walks every non-test Go file under root/internal and returns the
-// invariant violations in file order.
+// fileRules selects which rule families apply to one file.
+type fileRules struct {
+	base     bool // rules 1–2: clock source and stray prints
+	isObs    bool // the clock gate itself; exempt from rule 1
+	isDetect bool // rule 3: clone-free fan-out
+	jobLayer bool // rule 4: no blocking sim entry points
+}
+
+// check walks every non-test Go file under root/internal (all rules) and
+// root/cmd/dftserved (rule 4 only) and returns the invariant violations
+// in file order.
 func check(root string) ([]finding, error) {
 	internalDir := filepath.Join(root, "internal")
 	if _, err := os.Stat(internalDir); err != nil {
 		return nil, fmt.Errorf("no internal directory under %s: %w", root, err)
 	}
 	var findings []finding
-	err := filepath.WalkDir(internalDir, func(path string, d fs.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+	walk := func(dir string, rules func(dir string) fileRules) error {
+		return filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			fs, err := checkFile(path, rules(filepath.ToSlash(filepath.Dir(path))))
+			if err != nil {
+				return err
+			}
+			findings = append(findings, fs...)
 			return nil
+		})
+	}
+	err := walk(internalDir, func(dir string) fileRules {
+		return fileRules{
+			base:     true,
+			isObs:    dir == filepath.ToSlash(filepath.Join(root, "internal", "obs")),
+			isDetect: dir == filepath.ToSlash(filepath.Join(root, "internal", "detect")),
+			jobLayer: dir == filepath.ToSlash(filepath.Join(root, "internal", "jobs")),
 		}
-		dir := filepath.ToSlash(filepath.Dir(path))
-		fs, err := checkFile(path,
-			dir == filepath.ToSlash(filepath.Join(root, "internal", "obs")),
-			dir == filepath.ToSlash(filepath.Join(root, "internal", "detect")))
-		if err != nil {
-			return err
-		}
-		findings = append(findings, fs...)
-		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
+	servedDir := filepath.Join(root, "cmd", "dftserved")
+	if _, statErr := os.Stat(servedDir); statErr == nil {
+		err = walk(servedDir, func(string) fileRules {
+			return fileRules{jobLayer: true}
+		})
+	}
 	return findings, err
 }
 
@@ -119,11 +152,30 @@ var forbiddenDetect = map[string]map[string]string{
 	},
 }
 
+// forbiddenJobs maps import paths to the blocking simulation entry points
+// the job layer (internal/jobs and cmd/dftserved) must not call: jobs run
+// through the ...Context variants so cancellation reaches the engine.
+var forbiddenJobs = map[string]map[string]string{
+	"analogdft": {
+		"EvaluateCircuit": "the job layer must call EvaluateCircuitContext (or Session.Evaluate) so jobs stay cancellable",
+		"BuildMatrix":     "the job layer must call BuildMatrixContext (or Session.Matrix) so jobs stay cancellable",
+		"Optimize":        "the job layer must call OptimizeContext (or Session.Optimize) so jobs stay cancellable",
+	},
+	"analogdft/internal/detect": {
+		"EvaluateCircuit": "the job layer must call detect.EvaluateCircuitContext so jobs stay cancellable",
+		"BuildMatrix":     "the job layer must call detect.BuildMatrixContext so jobs stay cancellable",
+	},
+	"analogdft/internal/core": {
+		"Optimize": "the job layer must call core.OptimizeContext so jobs stay cancellable",
+	},
+}
+
 // checkFile parses one file and reports forbidden selector calls. An
 // obs-package file only gets the fmt rule: it is the clock gate. A
 // detect-package file additionally gets the clone-free rule (no .Clone
-// method calls, no mna.NewSystem).
-func checkFile(path string, isObs, isDetect bool) ([]finding, error) {
+// method calls, no mna.NewSystem). A job-layer file gets the
+// blocking-entry-point rule.
+func checkFile(path string, r fileRules) ([]finding, error) {
 	fset := token.NewFileSet()
 	file, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
 	if err != nil {
@@ -135,10 +187,16 @@ func checkFile(path string, isObs, isDetect bool) ([]finding, error) {
 	names := make(map[string]string) // local identifier → import path
 	for _, imp := range file.Imports {
 		p, err := strconv.Unquote(imp.Path.Value)
-		if err != nil || (forbidden[p] == nil && !(isDetect && forbiddenDetect[p] != nil)) {
+		if err != nil {
 			continue
 		}
-		if p == "time" && isObs {
+		interesting := (r.base && forbidden[p] != nil) ||
+			(r.isDetect && forbiddenDetect[p] != nil) ||
+			(r.jobLayer && forbiddenJobs[p] != nil)
+		if !interesting {
+			continue
+		}
+		if p == "time" && r.isObs {
 			continue
 		}
 		local := filepath.Base(p) // the package name matches its directory here
@@ -149,7 +207,7 @@ func checkFile(path string, isObs, isDetect bool) ([]finding, error) {
 			names[local] = p
 		}
 	}
-	if len(names) == 0 && !isDetect {
+	if len(names) == 0 && !r.isDetect {
 		return nil, nil
 	}
 
@@ -163,7 +221,7 @@ func checkFile(path string, isObs, isDetect bool) ([]finding, error) {
 		if !ok {
 			return true
 		}
-		if isDetect && sel.Sel.Name == "Clone" {
+		if r.isDetect && sel.Sel.Name == "Clone" {
 			findings = append(findings, finding{pos: fset.Position(sel.Pos()),
 				msg: "internal/detect must not clone circuits; reuse a pooled analysis.Engine"})
 			return true
@@ -176,11 +234,18 @@ func checkFile(path string, isObs, isDetect bool) ([]finding, error) {
 		if !imported {
 			return true
 		}
-		if msg, bad := forbidden[pkg][sel.Sel.Name]; bad {
-			findings = append(findings, finding{pos: fset.Position(sel.Pos()), msg: msg})
+		if r.base {
+			if msg, bad := forbidden[pkg][sel.Sel.Name]; bad {
+				findings = append(findings, finding{pos: fset.Position(sel.Pos()), msg: msg})
+			}
 		}
-		if isDetect {
+		if r.isDetect {
 			if msg, bad := forbiddenDetect[pkg][sel.Sel.Name]; bad {
+				findings = append(findings, finding{pos: fset.Position(sel.Pos()), msg: msg})
+			}
+		}
+		if r.jobLayer {
+			if msg, bad := forbiddenJobs[pkg][sel.Sel.Name]; bad {
 				findings = append(findings, finding{pos: fset.Position(sel.Pos()), msg: msg})
 			}
 		}

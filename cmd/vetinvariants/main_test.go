@@ -171,6 +171,63 @@ func TestCloneAndNewSystemAllowedOutsideDetect(t *testing.T) {
 	}
 }
 
+func TestJobsBlockingEntryPointsForbidden(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/jobs/x.go": "package jobs\nimport \"analogdft\"\nfunc f() { analogdft.BuildMatrix(nil, nil, nil) }\n",
+	})
+	findings, err := check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || !strings.Contains(findings[0].msg, "BuildMatrixContext") {
+		t.Fatalf("findings = %v", findings)
+	}
+}
+
+func TestDftservedBlockingEntryPointsForbidden(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/x/x.go":        "package x\n",
+		"cmd/dftserved/main.go":  "package main\nimport d \"analogdft/internal/detect\"\nfunc f() { d.EvaluateCircuit(nil, nil, d.Options{}) }\n",
+		"cmd/dftserved/other.go": "package main\nimport \"fmt\"\nfunc g() { fmt.Println(\"serving\") }\n", // rule 2 does not apply to cmd/
+	})
+	findings, err := check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || !strings.Contains(findings[0].msg, "detect.EvaluateCircuitContext") {
+		t.Fatalf("findings = %v", findings)
+	}
+}
+
+func TestContextVariantsAllowedInJobLayer(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/jobs/x.go":    "package jobs\nimport \"analogdft\"\nfunc f() { analogdft.BuildMatrixContext(nil, nil, nil, nil) }\n",
+		"cmd/dftserved/main.go": "package main\nimport \"analogdft\"\nfunc g() { analogdft.OptimizeContext(nil, nil, nil) }\n",
+	})
+	findings, err := check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("context variants flagged: %v", findings)
+	}
+}
+
+func TestBlockingEntryPointsAllowedOutsideJobLayer(t *testing.T) {
+	// Other commands and internal packages may still use the blocking API.
+	root := writeTree(t, map[string]string{
+		"internal/core/x.go": "package core\nimport \"analogdft/internal/detect\"\nfunc f() { detect.BuildMatrix(nil, nil, detect.Options{}) }\n",
+		"cmd/dftopt/main.go": "package main\nimport \"analogdft\"\nfunc g() { analogdft.Optimize(nil, nil, nil) }\n",
+	})
+	findings, err := check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("non-job-layer blocking calls flagged: %v", findings)
+	}
+}
+
 func TestMissingInternalDirErrors(t *testing.T) {
 	if _, err := check(t.TempDir()); err == nil {
 		t.Fatal("expected error for a tree without internal/")

@@ -1,6 +1,7 @@
 package analogdft
 
 import (
+	"fmt"
 	"os"
 
 	"analogdft/internal/spice"
@@ -18,12 +19,12 @@ func LoadBench(path string) (*Bench, error) {
 	}
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("load bench %s: %w", path, err)
 	}
 	defer f.Close()
 	deck, err := spice.Parse(f)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("load bench %s: %w", path, err)
 	}
 	chain := deck.Chain
 	if len(chain) == 0 {

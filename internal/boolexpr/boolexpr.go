@@ -15,6 +15,7 @@
 package boolexpr
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -180,17 +181,40 @@ func absorb(terms []uint64) []uint64 {
 // Petrick expands the POS into an absorbed SOP (Petrick's method). The
 // expansion aborts with ErrTooLarge when the intermediate term count
 // exceeds maxTerms (pass 0 for the default of 200 000). An empty
-// expression expands to the single empty term (nothing to cover).
+// expression expands to the single empty term (nothing to cover). New
+// code should prefer PetrickContext, which supports cancellation.
 func (e *Expr) Petrick(maxTerms int) (*SOP, error) {
+	return e.PetrickContext(context.Background(), maxTerms)
+}
+
+// petrickCancelStride is how many product terms the expansion multiplies
+// out between cancellation checks: small enough that a cancelled
+// optimization stops promptly, large enough that the atomic context poll
+// stays invisible next to the term arithmetic.
+const petrickCancelStride = 4096
+
+// PetrickContext is Petrick with cancellation: ctx is polled between
+// clauses and between every petrickCancelStride product terms of the
+// distribution step, so even a combinatorially exploding expansion stops
+// promptly (returning ctx's error) when the caller cancels.
+func (e *Expr) PetrickContext(ctx context.Context, maxTerms int) (*SOP, error) {
 	if maxTerms <= 0 {
 		maxTerms = 200000
 	}
 	terms := []uint64{0}
 	for _, clause := range e.Clauses {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		bPetrickClauses.Inc()
 		lits := Bits(clause)
 		next := make([]uint64, 0, len(terms)*len(lits))
-		for _, t := range terms {
+		for ti, t := range terms {
+			if ti%petrickCancelStride == petrickCancelStride-1 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			if t&clause != 0 {
 				// The term already satisfies this clause; keep as-is.
 				next = append(next, t)

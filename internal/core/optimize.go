@@ -16,6 +16,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -174,8 +175,18 @@ func buildCandidate(mx *detect.Matrix, chain []string, rows []int) Candidate {
 // configuration bits to opamp names (needed for opamp-count costs; it may
 // be nil when cost never reads Opamps). The cost function is the 2nd-order
 // requirement; the 3rd-order tie-break (maximum average ω-detectability)
-// and a final lexicographic tie-break make the result deterministic.
+// and a final lexicographic tie-break make the result deterministic. New
+// code should prefer OptimizeContext, which supports cancellation.
 func Optimize(mx *detect.Matrix, chain []string, cost CostFunction) (*Result, error) {
+	return OptimizeContext(context.Background(), mx, chain, cost)
+}
+
+// OptimizeContext is Optimize with cancellation: the Petrick expansion —
+// the only part of the pipeline that can blow up combinatorially — polls
+// ctx between clauses and between product-term batches, so an in-flight
+// optimization abandons the expansion promptly (returning ctx's error)
+// when the caller cancels.
+func OptimizeContext(ctx context.Context, mx *detect.Matrix, chain []string, cost CostFunction) (*Result, error) {
 	if cost.Cost == nil {
 		cost = ConfigCountCost
 	}
@@ -190,7 +201,7 @@ func Optimize(mx *detect.Matrix, chain []string, cost CostFunction) (*Result, er
 
 	ess := expr.Essential()
 	reduced := expr.ReduceBy(ess)
-	sop, err := reduced.Petrick(0)
+	sop, err := reduced.PetrickContext(ctx, 0)
 	if err != nil {
 		return nil, err
 	}

@@ -216,8 +216,15 @@ type Options struct {
 	MaxFollowers int
 }
 
-// withDefaults fills unset options.
-func (o Options) withDefaults() Options {
+// Normalize returns the options with every unset field replaced by its
+// documented default: Eps 0.10 (unless NoEps), Points 241, MeasFloor 1e-4
+// (negative values clamp to 0, disabling the floor), Probe
+// analysis.DefaultProbe, Workers GOMAXPROCS and MaxRetries 3 (clamped to
+// analysis.MaxSingularRetries). Normalize is idempotent; the evaluation
+// entry points apply it internally, and exporting it lets servers, CLIs
+// and cache-key derivations all see the one canonical Options value a
+// request will actually run with.
+func (o Options) Normalize() Options {
 	if o.Eps == 0 && !o.NoEps {
 		o.Eps = 0.10
 	}
@@ -327,13 +334,25 @@ func (r *Row) AvgOmegaDet() float64 {
 // EvaluateCircuit measures detectability and ω-detectability of every
 // fault on a single, fixed circuit (the paper's §2 analysis of the initial
 // filter). The reference region is derived from the nominal circuit unless
-// pinned in opts.
+// pinned in opts. New code should prefer EvaluateCircuitContext, which
+// supports cancellation.
 func EvaluateCircuit(ckt *circuit.Circuit, faults fault.List, opts Options) (*Row, error) {
-	opts = opts.withDefaults()
+	return EvaluateCircuitContext(context.Background(), ckt, faults, opts)
+}
+
+// EvaluateCircuitContext is EvaluateCircuit with cancellation: ctx is
+// checked between cells (and during the nominal pre-sweep), so an
+// in-flight evaluation stops within one cell boundary of ctx being
+// cancelled and returns ctx's error.
+func EvaluateCircuitContext(ctx context.Context, ckt *circuit.Circuit, faults fault.List, opts Options) (*Row, error) {
+	opts = opts.Normalize()
 	start := obs.Now()
-	sctx, span := obs.Start(context.Background(), "detect.row")
+	sctx, span := obs.Start(ctx, "detect.row")
 	span.SetTag("circuit", ckt.Name)
 	defer span.End()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := faults.Validate(); err != nil {
 		return nil, err
 	}
@@ -368,9 +387,9 @@ func EvaluateCircuit(ckt *circuit.Circuit, faults fault.List, opts Options) (*Ro
 	cr := newCellRunner(opts.Workers, pool)
 	row := &Row{Circuit: ckt.Name, Region: region, Evals: make([]FaultEval, len(faults))}
 	tr := newTracker(len(faults), base, opts.Progress)
-	ctx, cancel := cancelContext(opts)
+	cellCtx, cancel := cancelContext(ctx, opts)
 	_, cellSpan := obs.Start(sctx, "detect.cells")
-	runParallel(ctx, len(faults), opts.Workers, func(w, j int) {
+	runParallel(cellCtx, len(faults), opts.Workers, func(w, j int) {
 		eval, st := cr.evaluate(w, 0, ckt, faults[j], nominal, grid, opts)
 		row.Evals[j] = eval
 		if eval.Err != nil && cancel != nil {
@@ -381,6 +400,10 @@ func EvaluateCircuit(ckt *circuit.Circuit, faults fault.List, opts Options) (*Ro
 	cellSpan.End()
 	if cancel != nil {
 		cancel()
+	}
+	if err := ctx.Err(); err != nil {
+		dCancelled.Inc()
+		return nil, err
 	}
 	if opts.OnError == FailFast {
 		for j, e := range row.Evals {
@@ -418,13 +441,14 @@ func accountNominal(eng *analysis.Engine, nominal *analysis.Response, opts Optio
 }
 
 // cancelContext returns the scheduling context for the configured error
-// policy: FailFast gets a cancellable context, every other policy runs to
-// completion.
-func cancelContext(opts Options) (context.Context, context.CancelFunc) {
+// policy: FailFast gets a cancellable child of ctx (so the first failing
+// cell stops the fan-out), every other policy schedules directly on the
+// caller's ctx and runs to completion unless the caller cancels.
+func cancelContext(ctx context.Context, opts Options) (context.Context, context.CancelFunc) {
 	if opts.OnError != FailFast {
-		return context.Background(), nil
+		return ctx, nil
 	}
-	return context.WithCancel(context.Background())
+	return context.WithCancel(ctx)
 }
 
 // resolveRegion returns opts.Region if set, else derives Ω_reference.
@@ -688,13 +712,25 @@ func (m *Matrix) NumCellErrs() int { return len(m.CellErrors) }
 // BuildMatrix fault-simulates every configuration of the modified circuit
 // against the fault list. The reference region is derived once from the
 // functional configuration (unless pinned) so that ω-detectability values
-// are comparable across configurations, then reused for every row.
+// are comparable across configurations, then reused for every row. New
+// code should prefer BuildMatrixContext, which supports cancellation.
 func BuildMatrix(m *dft.Modified, faults fault.List, opts Options) (*Matrix, error) {
-	opts = opts.withDefaults()
+	return BuildMatrixContext(context.Background(), m, faults, opts)
+}
+
+// BuildMatrixContext is BuildMatrix with cancellation: ctx is checked
+// between (configuration, fault) cells and between the per-configuration
+// nominal pre-sweeps, so an in-flight matrix build stops within one cell
+// boundary of ctx being cancelled and returns ctx's error.
+func BuildMatrixContext(ctx context.Context, m *dft.Modified, faults fault.List, opts Options) (*Matrix, error) {
+	opts = opts.Normalize()
 	start := obs.Now()
-	sctx, span := obs.Start(context.Background(), "detect.matrix")
+	sctx, span := obs.Start(ctx, "detect.matrix")
 	span.SetTag("source", m.Base.Name)
 	defer span.End()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := faults.Validate(); err != nil {
 		return nil, err
 	}
@@ -747,6 +783,11 @@ func BuildMatrix(m *dft.Modified, faults fault.List, opts Options) (*Matrix, err
 	var base Stats
 	_, nomSpan := obs.Start(sctx, "detect.nominals")
 	for i, cfg := range configs {
+		if err := ctx.Err(); err != nil {
+			nomSpan.End()
+			dCancelled.Inc()
+			return nil, err
+		}
 		ckt, err := m.Configure(cfg)
 		if err != nil {
 			nomSpan.End()
@@ -797,10 +838,10 @@ func BuildMatrix(m *dft.Modified, faults fault.List, opts Options) (*Matrix, err
 	}
 	results := make([]cellResult, len(cells))
 	tr := newTracker(len(cells), base, opts.Progress)
-	ctx, cancel := cancelContext(opts)
+	cellCtx, cancel := cancelContext(ctx, opts)
 	_, cellSpan := obs.Start(sctx, "detect.cells")
 	cellSpan.SetTag("cells", fmt.Sprint(len(cells)))
-	runParallel(ctx, len(cells), opts.Workers, func(w, k int) {
+	runParallel(cellCtx, len(cells), opts.Workers, func(w, k int) {
 		c := cells[k]
 		eval, st := cr.evaluate(w, c.i, circuits[c.i], faults[c.j], nominals[c.i], grids[c.i], opts)
 		results[k] = cellResult{eval: eval, done: true}
@@ -812,6 +853,10 @@ func BuildMatrix(m *dft.Modified, faults fault.List, opts Options) (*Matrix, err
 	cellSpan.End()
 	if cancel != nil {
 		cancel()
+	}
+	if err := ctx.Err(); err != nil {
+		dCancelled.Inc()
+		return nil, err
 	}
 	if opts.OnError == FailFast {
 		// Return the lowest-index completed failure as a structured

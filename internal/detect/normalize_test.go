@@ -1,0 +1,76 @@
+package detect
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"analogdft/internal/analysis"
+)
+
+// TestNormalizeZeroDefaults pins the documented defaults: a zero Options
+// value normalizes to ε = 0.10, 241 sweep points, a 1e-4 measurability
+// floor, the default probe sweep, GOMAXPROCS workers and 3 singular
+// retries.
+func TestNormalizeZeroDefaults(t *testing.T) {
+	o := Options{}.Normalize()
+	if o.Eps != 0.10 {
+		t.Errorf("Eps = %g, want 0.10", o.Eps)
+	}
+	if o.Points != 241 {
+		t.Errorf("Points = %d, want 241", o.Points)
+	}
+	if o.MeasFloor != 1e-4 {
+		t.Errorf("MeasFloor = %g, want 1e-4", o.MeasFloor)
+	}
+	if o.Probe != analysis.DefaultProbe {
+		t.Errorf("Probe = %+v, want analysis.DefaultProbe", o.Probe)
+	}
+	if want := runtime.GOMAXPROCS(0); o.Workers != want {
+		t.Errorf("Workers = %d, want GOMAXPROCS %d", o.Workers, want)
+	}
+	if o.MaxRetries != 3 {
+		t.Errorf("MaxRetries = %d, want 3", o.MaxRetries)
+	}
+	if o.Region != (analysis.Region{}) {
+		t.Errorf("Region = %+v, want zero (derived per circuit)", o.Region)
+	}
+}
+
+// TestNormalizeRespectsExplicitValues: set fields pass through untouched
+// and NoEps suppresses the ε default.
+func TestNormalizeRespectsExplicitValues(t *testing.T) {
+	in := Options{
+		Eps:        0.25,
+		Points:     101,
+		MeasFloor:  1e-6,
+		Workers:    3,
+		MaxRetries: 2,
+	}
+	o := in.Normalize()
+	if o.Eps != 0.25 || o.Points != 101 || o.MeasFloor != 1e-6 || o.Workers != 3 || o.MaxRetries != 2 {
+		t.Errorf("explicit values changed: %+v", o)
+	}
+	if o := (Options{NoEps: true}).Normalize(); o.Eps != 0 {
+		t.Errorf("NoEps: Eps = %g, want 0", o.Eps)
+	}
+	if o := (Options{MeasFloor: -1}).Normalize(); o.MeasFloor != 0 {
+		t.Errorf("negative MeasFloor = %g, want clamp to 0", o.MeasFloor)
+	}
+	if o := (Options{MaxRetries: 1 << 20}).Normalize(); o.MaxRetries != analysis.MaxSingularRetries {
+		t.Errorf("MaxRetries = %d, want cap %d", o.MaxRetries, analysis.MaxSingularRetries)
+	}
+}
+
+// TestNormalizeIdempotent: normalizing twice is a no-op — required by the
+// cache-key canonicalization, which hashes normalized options.
+func TestNormalizeIdempotent(t *testing.T) {
+	once := Options{Eps: 0.3, Points: 17}.Normalize()
+	if twice := once.Normalize(); !reflect.DeepEqual(twice, once) {
+		t.Errorf("Normalize not idempotent: %+v vs %+v", twice, once)
+	}
+	zero := Options{}.Normalize()
+	if again := zero.Normalize(); !reflect.DeepEqual(again, zero) {
+		t.Errorf("Normalize of defaults not stable: %+v vs %+v", again, zero)
+	}
+}

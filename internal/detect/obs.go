@@ -29,6 +29,8 @@ var (
 		"failed cells recorded as undetectable under the Degrade/Retry policies")
 	dFailFast = obs.Reg().Counter("detect_policy_failfast_total",
 		"evaluations aborted by the FailFast policy")
+	dCancelled = obs.Reg().Counter("detect_cancelled_total",
+		"evaluations abandoned because the caller's context was cancelled")
 	// dEngineFallback pairs with the analysis package's engine_patch_total:
 	// patches / (patches + fallbacks) is the incremental hit rate.
 	dEngineFallback = obs.Reg().Counter("engine_fallback_total",

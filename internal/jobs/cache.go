@@ -1,0 +1,72 @@
+package jobs
+
+import (
+	"container/list"
+	"encoding/json"
+	"sync"
+)
+
+// resultCache is a content-addressed in-memory LRU over finished job
+// payloads: key = CacheKey of the request, value = the result JSON exactly
+// as it was first computed. Payloads are treated as immutable by every
+// caller (handlers write them straight to the response), so Get hands out
+// the shared slice without copying.
+type resultCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+// cacheEntry is one cached payload.
+type cacheEntry struct {
+	key     string
+	payload json.RawMessage
+}
+
+// newResultCache builds a cache bounded to max entries (min 1).
+func newResultCache(max int) *resultCache {
+	if max < 1 {
+		max = 1
+	}
+	return &resultCache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the payload for key and marks it most recently used.
+func (c *resultCache) Get(key string) (json.RawMessage, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).payload, true
+}
+
+// Put stores (or refreshes) key's payload, evicting the least recently
+// used entry when the cache is full.
+func (c *resultCache) Put(key string, payload json.RawMessage) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).payload = payload
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, payload: payload})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		jCacheEvictions.Inc()
+	}
+	jCacheEntries.Set(float64(c.ll.Len()))
+}
+
+// Len returns the number of cached entries.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

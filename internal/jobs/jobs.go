@@ -1,0 +1,359 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"analogdft/internal/obs"
+)
+
+// Manager-level errors the HTTP layer maps onto status codes.
+var (
+	// ErrQueueFull is returned by Submit when the job queue is at
+	// capacity; the server answers 429 with Retry-After.
+	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrClosed is returned by Submit once the manager is draining.
+	ErrClosed = errors.New("jobs: manager closed")
+	// ErrNotFound is returned for unknown job IDs.
+	ErrNotFound = errors.New("jobs: no such job")
+	// ErrFinished is returned by Cancel when the job already reached a
+	// terminal state.
+	ErrFinished = errors.New("jobs: job already finished")
+)
+
+// State is a job's lifecycle state.
+type State string
+
+// Job states. queued → running → {done, failed, canceled}; a queued job
+// may also jump straight to canceled.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether s is a terminal state.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// job is the manager's internal record. All fields are guarded by the
+// manager's mutex; handlers only ever see immutable View snapshots.
+type job struct {
+	id       string
+	res      *Resolved
+	state    State
+	cached   bool
+	err      string
+	result   json.RawMessage
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	cancel   context.CancelFunc
+}
+
+// View is an immutable snapshot of a job for the HTTP layer.
+type View struct {
+	ID     string `json:"id"`
+	Kind   Kind   `json:"kind"`
+	Key    string `json:"key"`
+	State  State  `json:"state"`
+	Cached bool   `json:"cached"`
+	Err    string `json:"error,omitempty"`
+	// HasResult tells pollers the result endpoint is ready.
+	HasResult bool       `json:"has_result"`
+	Created   time.Time  `json:"created"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+}
+
+func (j *job) view() View {
+	v := View{
+		ID:        j.id,
+		Kind:      j.res.Req.Kind,
+		Key:       j.res.Key,
+		State:     j.state,
+		Cached:    j.cached,
+		Err:       j.err,
+		HasResult: len(j.result) > 0,
+		Created:   j.created,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	return v
+}
+
+// Config sizes a Manager.
+type Config struct {
+	// Workers is the worker-pool size: how many jobs simulate
+	// concurrently (default 2).
+	Workers int
+	// QueueDepth bounds the number of jobs waiting behind the running
+	// ones; a full queue makes Submit return ErrQueueFull (default 16).
+	QueueDepth int
+	// CacheEntries bounds the content-addressed result cache
+	// (default 128).
+	CacheEntries int
+	// SimWorkers, when positive, is the default per-job simulation
+	// parallelism for requests that do not set options.workers. Zero
+	// leaves the library default (GOMAXPROCS) — sensible for Workers=1,
+	// oversubscribed otherwise.
+	SimWorkers int
+}
+
+func (c Config) normalize() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 128
+	}
+	return c
+}
+
+// Manager owns the job table, the bounded queue, the worker pool and the
+// result cache. All methods are safe for concurrent use.
+type Manager struct {
+	cfg   Config
+	cache *resultCache
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+	queue      chan *job
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string
+	seq    int
+	closed bool
+
+	// runFn executes one resolved job; tests swap it for a stub.
+	runFn func(ctx context.Context, res *Resolved) (json.RawMessage, error)
+}
+
+// NewManager starts a manager with cfg's worker pool running.
+func NewManager(cfg Config) *Manager {
+	cfg = cfg.normalize()
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:        cfg,
+		cache:      newResultCache(cfg.CacheEntries),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		queue:      make(chan *job, cfg.QueueDepth),
+		jobs:       make(map[string]*job),
+		runFn:      runResolved,
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Config returns the normalized configuration the manager runs with.
+func (m *Manager) Config() Config { return m.cfg }
+
+// Submit resolves the request and either answers it from the result cache
+// (the returned View is already done, Cached true) or enqueues it.
+// ErrQueueFull means the caller should retry later; ErrBadRequest wraps
+// every validation failure; ErrClosed means the manager is draining.
+func (m *Manager) Submit(req Request) (View, error) {
+	res, err := req.Resolve()
+	if err != nil {
+		return View{}, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return View{}, ErrClosed
+	}
+	m.seq++
+	j := &job{
+		id:      fmt.Sprintf("job-%d", m.seq),
+		res:     res,
+		state:   StateQueued,
+		created: obs.Now(),
+	}
+	if payload, ok := m.cache.Get(res.Key); ok {
+		jCacheHits.Inc()
+		jSubmitted.Inc()
+		j.state = StateDone
+		j.cached = true
+		j.result = payload
+		j.finished = j.created
+		m.register(j)
+		jDone.With(string(StateDone)).Inc()
+		return j.view(), nil
+	}
+	if m.cfg.SimWorkers > 0 && req.Options.Workers == 0 {
+		res.Options.Workers = m.cfg.SimWorkers
+	}
+	select {
+	case m.queue <- j:
+	default:
+		m.seq-- // the job never existed
+		jRejected.Inc()
+		return View{}, ErrQueueFull
+	}
+	jCacheMisses.Inc()
+	jSubmitted.Inc()
+	m.register(j)
+	jQueueDepth.Set(float64(len(m.queue)))
+	return j.view(), nil
+}
+
+// register adds j to the job table. Caller holds m.mu.
+func (m *Manager) register(j *job) {
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+}
+
+// Get returns a snapshot of the job.
+func (m *Manager) Get(id string) (View, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return View{}, ErrNotFound
+	}
+	return j.view(), nil
+}
+
+// Result returns the job's result payload alongside its snapshot. The
+// payload is nil until the job is done.
+func (m *Manager) Result(id string) (json.RawMessage, View, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, View{}, ErrNotFound
+	}
+	return j.result, j.view(), nil
+}
+
+// List returns snapshots of every job in submission order.
+func (m *Manager) List() []View {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]View, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.jobs[id].view())
+	}
+	return out
+}
+
+// Cancel stops a queued or running job: a queued job goes straight to
+// canceled (the worker skips it), a running one has its context cancelled
+// and reaches canceled within one cell boundary of the simulation.
+// Cancelling an already-finished job returns ErrFinished.
+func (m *Manager) Cancel(id string) (View, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return View{}, ErrNotFound
+	}
+	switch j.state {
+	case StateQueued:
+		j.state = StateCanceled
+		j.err = context.Canceled.Error()
+		j.finished = obs.Now()
+		jCancelRequests.Inc()
+		jDone.With(string(StateCanceled)).Inc()
+	case StateRunning:
+		jCancelRequests.Inc()
+		j.cancel() // worker observes ctx.Err and marks the terminal state
+	default:
+		return j.view(), ErrFinished
+	}
+	return j.view(), nil
+}
+
+// worker drains the queue until Close closes it.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		jQueueDepth.Set(float64(len(m.queue)))
+		m.mu.Lock()
+		if j.state != StateQueued { // cancelled while waiting
+			m.mu.Unlock()
+			continue
+		}
+		ctx, cancel := context.WithCancel(m.baseCtx)
+		j.state = StateRunning
+		j.started = obs.Now()
+		j.cancel = cancel
+		res := j.res
+		m.mu.Unlock()
+
+		jctx, span := obs.Start(ctx, "jobs.run")
+		span.SetTag("job", j.id)
+		span.SetTag("kind", string(res.Req.Kind))
+		payload, err := m.runFn(jctx, res)
+		span.End()
+		cancel()
+
+		m.mu.Lock()
+		j.cancel = nil
+		j.finished = obs.Now()
+		switch {
+		case err == nil:
+			j.state = StateDone
+			j.result = payload
+			m.cache.Put(res.Key, payload)
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			j.state = StateCanceled
+			j.err = err.Error()
+		default:
+			j.state = StateFailed
+			j.err = err.Error()
+			jlog.Warn("job failed", "job", j.id, "kind", res.Req.Kind, "err", err)
+		}
+		jDone.With(string(j.state)).Inc()
+		m.mu.Unlock()
+	}
+}
+
+// Close drains the manager: no new submissions are accepted, queued and
+// running jobs finish normally, and Close returns when the pool is idle.
+// If ctx expires first, every in-flight job is cancelled and Close waits
+// for the workers to acknowledge before returning ctx's error.
+func (m *Manager) Close(ctx context.Context) error {
+	m.mu.Lock()
+	if !m.closed {
+		m.closed = true
+		close(m.queue)
+	}
+	m.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		m.baseCancel()
+		return nil
+	case <-ctx.Done():
+		m.baseCancel()
+		<-done
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Smoke test for cmd/dftserved: boot the server on an ephemeral port,
+# run a paper-biquad matrix job end to end, assert the identical
+# resubmission is a cache hit, check /metrics, then shut down gracefully.
+# Needs curl and python3 (for JSON field extraction). Exits non-zero on
+# any failed assertion; CI runs this as the dftserved smoke job.
+set -euo pipefail
+
+log() { echo "smoke: $*" >&2; }
+fail() { log "FAIL: $*"; exit 1; }
+
+workdir=$(mktemp -d)
+trap 'kill "$server_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/dftserved" ./cmd/dftserved
+
+"$workdir/dftserved" -addr 127.0.0.1:0 -workers 1 >"$workdir/server.log" 2>&1 &
+server_pid=$!
+
+# The server prints "dftserved: listening on 127.0.0.1:PORT" on boot.
+base=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^dftserved: listening on //p' "$workdir/server.log" | head -n1)
+    if [ -n "$addr" ]; then base="http://$addr"; break; fi
+    kill -0 "$server_pid" 2>/dev/null || { cat "$workdir/server.log" >&2; fail "server died on boot"; }
+    sleep 0.1
+done
+[ -n "$base" ] || fail "server never reported its address"
+log "server at $base"
+
+json_field() { python3 -c "import json,sys; print(json.load(sys.stdin)$1)"; }
+
+body='{"kind":"matrix","bench":"paper-biquad","options":{"points":31}}'
+
+# Submit: must answer 201 with a job id.
+resp=$(curl -sS -w '\n%{http_code}' -X POST -d "$body" "$base/v1/jobs")
+code=${resp##*$'\n'}
+[ "$code" = 201 ] || fail "submit: HTTP $code"
+job_id=$(printf '%s' "${resp%$'\n'*}" | json_field "['id']")
+log "submitted $job_id"
+
+# Poll until the job finishes.
+state=queued
+for _ in $(seq 1 300); do
+    state=$(curl -sS "$base/v1/jobs/$job_id" | json_field "['state']")
+    case "$state" in done|failed|canceled) break ;; esac
+    sleep 0.1
+done
+[ "$state" = done ] || fail "job ended in state $state"
+
+# Result: 200 with a non-degenerate matrix.
+resp=$(curl -sS -w '\n%{http_code}' "$base/v1/jobs/$job_id/result")
+code=${resp##*$'\n'}
+[ "$code" = 200 ] || fail "result: HTTP $code"
+coverage=$(printf '%s' "${resp%$'\n'*}" | json_field "['coverage']")
+solves=$(printf '%s' "${resp%$'\n'*}" | json_field "['stats']['solves']")
+log "matrix done: coverage=$coverage solves=$solves"
+[ "$solves" != 0 ] || fail "matrix reports zero solves"
+
+# Identical resubmission: served from the cache, already done.
+resp=$(curl -sS -w '\n%{http_code}' -X POST -d "$body" "$base/v1/jobs")
+code=${resp##*$'\n'}
+[ "$code" = 201 ] || fail "resubmit: HTTP $code"
+cached=$(printf '%s' "${resp%$'\n'*}" | json_field "['cached']")
+state2=$(printf '%s' "${resp%$'\n'*}" | json_field "['state']")
+[ "$cached" = True ] && [ "$state2" = done ] || fail "resubmit not a cache hit (cached=$cached state=$state2)"
+log "resubmit was a cache hit"
+
+# Metrics: non-empty exposition counting exactly one hit.
+metrics=$(curl -sS "$base/metrics")
+[ -n "$metrics" ] || fail "/metrics is empty"
+echo "$metrics" | grep -q '^jobs_cache_hits_total 1$' || fail "jobs_cache_hits_total != 1"
+echo "$metrics" | grep -q '^detect_solves_total ' || fail "detect_solves_total missing"
+
+# Graceful shutdown: SIGTERM must drain and exit 0.
+kill -TERM "$server_pid"
+wait "$server_pid" || fail "server exited non-zero on SIGTERM"
+log "PASS"
