@@ -48,7 +48,7 @@ type (
 	// FailFast or Retry).
 	ErrorPolicy = detect.ErrorPolicy
 	// EngineMode selects the cell simulation strategy
-	// (EngineIncremental or EngineNaive).
+	// (EngineIncremental, EngineLowRank or EngineNaive).
 	EngineMode = detect.EngineMode
 	// SimStats summarizes fault-simulation effort (cells, solves,
 	// singular points, retries, errors, wall time).
@@ -93,10 +93,15 @@ const (
 	// EngineNaive clones the circuit and rebuilds the system per cell
 	// (the reference implementation).
 	EngineNaive = detect.EngineNaive
+	// EngineLowRank factors the nominal system once per (configuration,
+	// frequency) grid point and solves rank-1 faults against the cached
+	// factorizations via Sherman–Morrison, falling back to the
+	// incremental path for faults that are not rank-1 updates.
+	EngineLowRank = detect.EngineLowRank
 )
 
-// ParseEngineMode maps an -engine flag value ("incremental" or "naive")
-// onto an engine mode.
+// ParseEngineMode maps an -engine flag value ("incremental", "lowrank"
+// or "naive") onto an engine mode.
 func ParseEngineMode(name string) (EngineMode, error) {
 	return detect.ParseEngineMode(name)
 }

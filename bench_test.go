@@ -396,12 +396,12 @@ func BenchmarkDetectParallelVsSerial(b *testing.B) {
 	}
 }
 
-// BenchmarkBuildMatrix compares the two fault-simulation engines on the
-// full paper matrix (8 configurations × ~10 faults): the incremental
-// engine patches each fault into a reusable per-configuration system,
+// BenchmarkBuildMatrix compares the fault-simulation engines on the full
+// paper matrix (8 configurations × ~10 faults): the incremental engine
+// patches each fault into a reusable per-configuration system, the
+// low-rank engine solves each rank-1 fault via Sherman–Morrison against
+// nominal factorizations cached per (configuration, ω) grid point, and
 // the naive engine clones the circuit and rebuilds the system per cell.
-// Allocation counts are the headline difference — the incremental cell
-// loop allocates only response buffers.
 func BenchmarkBuildMatrix(b *testing.B) {
 	bench := PaperBiquad()
 	faults := DeviationFaults(bench.Circuit, 0.2)
@@ -409,7 +409,7 @@ func BenchmarkBuildMatrix(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	for _, mode := range []detect.EngineMode{detect.EngineIncremental, detect.EngineNaive} {
+	for _, mode := range []detect.EngineMode{detect.EngineIncremental, detect.EngineLowRank, detect.EngineNaive} {
 		b.Run("engine="+mode.String(), func(b *testing.B) {
 			opts := PaperOptions()
 			opts.Points = 61

@@ -27,6 +27,13 @@
 // internal/: cmd/dftserved is walked for it, with the internal-only rules
 // switched off there.
 //
+// Rule 5 — allocation-free factorization in the sweep hot path:
+// internal/analysis never calls numeric.Factor, the cloning variant that
+// copies the matrix before factoring. Every factorization in the engine
+// goes through numeric.FactorInPlace (directly or via the sweeper's
+// workspace), so sweeps stay allocation-flat and the low-rank grid cache
+// owns its matrices explicitly.
+//
 // All rules skip _test.go files. The checker is import-alias aware and
 // uses only the standard library (go/parser + go/ast), so it runs in CI
 // without fetching anything. Findings print as file:line:col and make the
@@ -78,10 +85,11 @@ func main() {
 
 // fileRules selects which rule families apply to one file.
 type fileRules struct {
-	base     bool // rules 1–2: clock source and stray prints
-	isObs    bool // the clock gate itself; exempt from rule 1
-	isDetect bool // rule 3: clone-free fan-out
-	jobLayer bool // rule 4: no blocking sim entry points
+	base       bool // rules 1–2: clock source and stray prints
+	isObs      bool // the clock gate itself; exempt from rule 1
+	isDetect   bool // rule 3: clone-free fan-out
+	jobLayer   bool // rule 4: no blocking sim entry points
+	isAnalysis bool // rule 5: in-place factorization only
 }
 
 // check walks every non-test Go file under root/internal (all rules) and
@@ -111,10 +119,11 @@ func check(root string) ([]finding, error) {
 	}
 	err := walk(internalDir, func(dir string) fileRules {
 		return fileRules{
-			base:     true,
-			isObs:    dir == filepath.ToSlash(filepath.Join(root, "internal", "obs")),
-			isDetect: dir == filepath.ToSlash(filepath.Join(root, "internal", "detect")),
-			jobLayer: dir == filepath.ToSlash(filepath.Join(root, "internal", "jobs")),
+			base:       true,
+			isObs:      dir == filepath.ToSlash(filepath.Join(root, "internal", "obs")),
+			isDetect:   dir == filepath.ToSlash(filepath.Join(root, "internal", "detect")),
+			jobLayer:   dir == filepath.ToSlash(filepath.Join(root, "internal", "jobs")),
+			isAnalysis: dir == filepath.ToSlash(filepath.Join(root, "internal", "analysis")),
 		}
 	})
 	if err != nil {
@@ -152,6 +161,15 @@ var forbiddenDetect = map[string]map[string]string{
 	},
 }
 
+// forbiddenAnalysis maps import paths to the selector names
+// internal/analysis must not call: factorization in the sweep engine is
+// always in place, never the matrix-cloning numeric.Factor.
+var forbiddenAnalysis = map[string]map[string]string{
+	"analogdft/internal/numeric": {
+		"Factor": "internal/analysis must factor in place (numeric.FactorInPlace or a Workspace), never via the cloning numeric.Factor",
+	},
+}
+
 // forbiddenJobs maps import paths to the blocking simulation entry points
 // the job layer (internal/jobs and cmd/dftserved) must not call: jobs run
 // through the ...Context variants so cancellation reaches the engine.
@@ -174,7 +192,8 @@ var forbiddenJobs = map[string]map[string]string{
 // obs-package file only gets the fmt rule: it is the clock gate. A
 // detect-package file additionally gets the clone-free rule (no .Clone
 // method calls, no mna.NewSystem). A job-layer file gets the
-// blocking-entry-point rule.
+// blocking-entry-point rule; an analysis-package file the in-place
+// factorization rule.
 func checkFile(path string, r fileRules) ([]finding, error) {
 	fset := token.NewFileSet()
 	file, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
@@ -192,7 +211,8 @@ func checkFile(path string, r fileRules) ([]finding, error) {
 		}
 		interesting := (r.base && forbidden[p] != nil) ||
 			(r.isDetect && forbiddenDetect[p] != nil) ||
-			(r.jobLayer && forbiddenJobs[p] != nil)
+			(r.jobLayer && forbiddenJobs[p] != nil) ||
+			(r.isAnalysis && forbiddenAnalysis[p] != nil)
 		if !interesting {
 			continue
 		}
@@ -246,6 +266,11 @@ func checkFile(path string, r fileRules) ([]finding, error) {
 		}
 		if r.jobLayer {
 			if msg, bad := forbiddenJobs[pkg][sel.Sel.Name]; bad {
+				findings = append(findings, finding{pos: fset.Position(sel.Pos()), msg: msg})
+			}
+		}
+		if r.isAnalysis {
+			if msg, bad := forbiddenAnalysis[pkg][sel.Sel.Name]; bad {
 				findings = append(findings, finding{pos: fset.Position(sel.Pos()), msg: msg})
 			}
 		}

@@ -228,6 +228,35 @@ func TestBlockingEntryPointsAllowedOutsideJobLayer(t *testing.T) {
 	}
 }
 
+func TestAnalysisCloningFactorForbidden(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/analysis/x.go": "package analysis\nimport n \"analogdft/internal/numeric\"\nfunc f() { n.Factor(nil) }\n",
+	})
+	findings, err := check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || !strings.Contains(findings[0].msg, "FactorInPlace") {
+		t.Fatalf("findings = %v", findings)
+	}
+}
+
+func TestAnalysisInPlaceFactorAllowed(t *testing.T) {
+	// FactorInPlace and workspace factoring are the sanctioned paths, and
+	// numeric.Factor stays legal outside internal/analysis.
+	root := writeTree(t, map[string]string{
+		"internal/analysis/x.go": "package analysis\nimport \"analogdft/internal/numeric\"\nfunc f() { numeric.FactorInPlace(nil, nil) }\n",
+		"internal/mna/x.go":      "package mna\nimport \"analogdft/internal/numeric\"\nfunc g() { numeric.Factor(nil) }\n",
+	})
+	findings, err := check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("sanctioned factor calls flagged: %v", findings)
+	}
+}
+
 func TestMissingInternalDirErrors(t *testing.T) {
 	if _, err := check(t.TempDir()); err == nil {
 		t.Fatal("expected error for a tree without internal/")

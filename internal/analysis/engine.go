@@ -19,9 +19,18 @@ import (
 // allocation-flat. An Engine is not safe for concurrent use; give each
 // worker its own.
 type Engine struct {
-	driven *circuit.Circuit
-	sys    *mna.System
-	sw     *mna.Sweeper
+	driven  *circuit.Circuit
+	sys     *mna.System
+	sw      *mna.Sweeper
+	nodeIdx int // observed node's unknown index, -1 for ground
+
+	// lr is the low-rank grid cache: the nominal factorization and
+	// solution at every grid point, built lazily by the first SweepLowRank
+	// and reused by every subsequent rank-1 fault on the same grid. This
+	// is the loop reorder of the Sherman–Morrison path expressed as state:
+	// the (configuration, ω) factorizations happen once, and the fault
+	// loop runs inside them.
+	lr *lowRankGrid
 }
 
 // NewEngine prepares an engine for the (undriven) circuit: the input is
@@ -36,11 +45,16 @@ func NewEngine(ckt *circuit.Circuit) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	sw, err := sys.NewSweeper(circuit.CanonicalNode(driven.Output))
+	out := circuit.CanonicalNode(driven.Output)
+	sw, err := sys.NewSweeper(out)
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{driven: driven, sys: sys, sw: sw}, nil
+	nodeIdx, err := sys.NodeIndex(out)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{driven: driven, sys: sys, sw: sw, nodeIdx: nodeIdx}, nil
 }
 
 // SweepGrid samples the transfer function over an explicit grid in the

@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+
+	"analogdft/internal/fault"
+	"analogdft/internal/mna"
+	"analogdft/internal/numeric"
+	"analogdft/internal/obs"
+)
+
+// lowRankGrid caches, per grid point, the LU factorization of the nominal
+// MNA matrix together with its pre-solved excitation, plus the dense
+// rank-1 scratch vectors shared by every fault sweep. Building it costs
+// the same O(points·n³) the nominal sweep already pays; afterwards every
+// rank-1 fault solves the whole grid in O(points·n²).
+type lowRankGrid struct {
+	grid    []float64
+	solvers []*numeric.LowRankSolver // nil where the nominal matrix is singular
+	u, v, x []complex128             // dense rank-1 factors and solution scratch
+}
+
+// LowRankFault is a fault pre-lowered to the rank-1 matrix delta its
+// in-place patch would stamp: PrepareLowRank resolves the patch target
+// once, and SweepLowRank then solves every grid point against the cached
+// nominal factorizations via Sherman–Morrison. Component and Value are
+// retained so the per-point fallback can replay the fault as an ordinary
+// SetValue patch when the update is singular.
+type LowRankFault struct {
+	Component string
+	Value     float64
+	delta     mna.RankOne
+}
+
+// PrepareLowRank lowers the fault to its rank-1 delta without touching the
+// live system. Faults that cannot patch at all propagate
+// fault.ErrNotPatchable; patchable faults whose stamp delta is not a
+// single outer product (opamp models, source amplitudes) propagate
+// mna.ErrNotLowRank, and callers fall back to ApplyFault/SweepFault.
+func (e *Engine) PrepareLowRank(f fault.Fault) (*LowRankFault, error) {
+	name, v, err := f.PatchValue(e.driven)
+	if err != nil {
+		return nil, err
+	}
+	delta, err := e.sys.RankOneDelta(name, v)
+	if err != nil {
+		return nil, err
+	}
+	return &LowRankFault{Component: name, Value: v, delta: delta}, nil
+}
+
+// ensureLowRank builds (or reuses) the nominal per-point factorization
+// cache for the grid. The engine must be nominal: the cache is the
+// unpatched matrix, and every fault is expressed as a delta against it.
+func (e *Engine) ensureLowRank(grid []float64) error {
+	if e.lr != nil && slices.Equal(e.lr.grid, grid) {
+		return nil
+	}
+	n := e.sys.N()
+	lr := &lowRankGrid{
+		grid:    append([]float64(nil), grid...),
+		solvers: make([]*numeric.LowRankSolver, len(grid)),
+		u:       make([]complex128, n),
+		v:       make([]complex128, n),
+		x:       make([]complex128, n),
+	}
+	timed := obs.TimingOn()
+	for i, f := range grid {
+		m := numeric.NewMatrix(n, n)
+		rhs := make([]complex128, n)
+		if err := e.sys.AssembleInto(f, m, rhs); err != nil {
+			return err
+		}
+		if timed {
+			eLowRankFactors.Inc()
+		}
+		lu, err := numeric.FactorInPlace(m, nil)
+		if err != nil {
+			if errors.Is(err, numeric.ErrSingular) {
+				continue // solver stays nil; the per-point fallback decides
+			}
+			return err
+		}
+		if err := lu.SolveInPlace(rhs); err != nil {
+			return err
+		}
+		solver, err := numeric.NewLowRankSolver(lu, rhs)
+		if err != nil {
+			return err
+		}
+		lr.solvers[i] = solver
+	}
+	e.lr = lr
+	return nil
+}
+
+// SweepLowRank measures the fault's response over the grid via
+// Sherman–Morrison against the cached nominal factorizations — O(n²) per
+// point instead of the O(n³) refactorization SweepFault pays. Points the
+// identity cannot answer — the nominal matrix itself was singular there,
+// or the rank-1 denominator vanished (numeric.ErrSingularUpdate, meaning
+// the patched matrix is near-singular) — fall back to a full patched
+// refactorization through the ordinary SetValue path, which reproduces
+// the reference path's singularity verdict exactly; points singular under
+// both are left invalid, as SweepGrid would. The engine is nominal when
+// this returns.
+func (e *Engine) SweepLowRank(lf *LowRankFault, grid []float64) (*Response, error) {
+	if len(grid) == 0 {
+		return nil, fmt.Errorf("%w: empty grid", ErrBadSweep)
+	}
+	if e.sys.Patched() {
+		return nil, fmt.Errorf("%w: low-rank sweep on a patched system", ErrBadSweep)
+	}
+	if err := e.ensureLowRank(grid); err != nil {
+		return nil, err
+	}
+	lr := e.lr
+	lf.delta.DenseInto(lr.u, lr.v)
+	resp := &Response{
+		Freqs: append([]float64(nil), grid...),
+		H:     make([]complex128, len(grid)),
+		Valid: make([]bool, len(grid)),
+	}
+	var fallback []int
+	var solves int64
+	for i, f := range grid {
+		solver := lr.solvers[i]
+		if solver == nil {
+			fallback = append(fallback, i)
+			continue
+		}
+		solves++
+		if err := solver.SolveRankOne(lf.delta.ScaleAt(f), lr.u, lr.v, lr.x); err != nil {
+			if errors.Is(err, numeric.ErrSingularUpdate) {
+				fallback = append(fallback, i)
+				continue
+			}
+			eLowRankSolves.Add(solves)
+			return nil, err
+		}
+		if e.nodeIdx >= 0 {
+			resp.H[i] = lr.x[e.nodeIdx]
+		}
+		resp.Valid[i] = true
+	}
+	eLowRankSolves.Add(solves)
+	if len(fallback) == 0 {
+		return resp, nil
+	}
+	if err := e.sys.SetValue(lf.Component, lf.Value); err != nil {
+		return nil, err
+	}
+	defer e.Reset()
+	defer e.sw.FlushMetrics()
+	for _, i := range fallback {
+		eLowRankRefactors.Inc()
+		v, err := e.sw.VoltageAt(grid[i])
+		if err != nil {
+			if errors.Is(err, numeric.ErrSingular) {
+				continue // singular under the patch too: leave invalid
+			}
+			return nil, err
+		}
+		resp.H[i] = v
+		resp.Valid[i] = true
+	}
+	return resp, nil
+}

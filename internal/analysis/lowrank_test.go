@@ -1,0 +1,251 @@
+package analysis
+
+import (
+	"errors"
+	"math/cmplx"
+	"testing"
+
+	"analogdft/internal/circuit"
+	"analogdft/internal/fault"
+	"analogdft/internal/mna"
+)
+
+// lrLadder returns an RLC ladder with a VCVS stage, so the low-rank sweep
+// is exercised across G-type and C-type deltas on a circuit with branch
+// unknowns.
+func lrLadder() *circuit.Circuit {
+	c := circuit.New("lrladder")
+	c.R("R1", "in", "n1", 1e3)
+	c.Cap("C1", "n1", "0", 100e-9)
+	c.L("L1", "n1", "n2", 10e-3)
+	c.R("R2", "n2", "0", 2e3)
+	c.E("E1", "out", "0", "n2", "0", 2)
+	c.R("RL", "out", "0", 1e3)
+	c.Input, c.Output = "in", "out"
+	return c
+}
+
+// TestSweepLowRankMatchesSweepFault checks the Sherman–Morrison path
+// against the in-place patch path on every rank-1-patchable component
+// kind the ladder offers, and that the engine stays exactly nominal.
+func TestSweepLowRankMatchesSweepFault(t *testing.T) {
+	grid := SweepSpec{StartHz: 10, StopHz: 1e6, Points: 41}.Grid()
+	e, err := NewEngine(lrLadder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nominalBefore, err := e.SweepGrid(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []fault.Fault{
+		{ID: "fR1", Component: "R1", Kind: fault.Deviation, Factor: 1.3},
+		{ID: "fC1", Component: "C1", Kind: fault.Deviation, Factor: 0.7},
+		{ID: "fL1", Component: "L1", Kind: fault.Deviation, Factor: 1.5},
+		{ID: "fE1", Component: "E1", Kind: fault.Deviation, Factor: 0.5},
+	} {
+		t.Run(f.ID, func(t *testing.T) {
+			lf, err := e.PrepareLowRank(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := e.SweepLowRank(lf, grid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := e.SweepFault(f, grid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want.H {
+				if got.Valid[i] != want.Valid[i] {
+					t.Fatalf("point %d: validity %v vs %v", i, got.Valid[i], want.Valid[i])
+				}
+				if d := cmplx.Abs(got.H[i] - want.H[i]); d > 1e-11*(1+cmplx.Abs(want.H[i])) {
+					t.Fatalf("point %d: lowrank %v vs patched %v (|Δ|=%g)", i, got.H[i], want.H[i], d)
+				}
+			}
+		})
+	}
+	// The cached factorizations must not have drifted the nominal state.
+	nominalAfter, err := e.SweepGrid(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range nominalBefore.H {
+		if nominalAfter.H[i] != nominalBefore.H[i] {
+			t.Fatalf("point %d: nominal drifted after low-rank sweeps: %v != %v",
+				i, nominalAfter.H[i], nominalBefore.H[i])
+		}
+	}
+}
+
+// TestSweepLowRankReusesGridCache checks the factorization cache survives
+// across faults on the same grid and is rebuilt on a different grid.
+func TestSweepLowRankReusesGridCache(t *testing.T) {
+	e, err := NewEngine(rcLowpass())
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := []float64{100, rcCorner, 1e5}
+	lf, err := e.PrepareLowRank(fault.Fault{ID: "f", Component: "R1", Kind: fault.Deviation, Factor: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.SweepLowRank(lf, grid); err != nil {
+		t.Fatal(err)
+	}
+	first := e.lr
+	if _, err := e.SweepLowRank(lf, grid); err != nil {
+		t.Fatal(err)
+	}
+	if e.lr != first {
+		t.Fatal("same grid rebuilt the factorization cache")
+	}
+	if _, err := e.SweepLowRank(lf, []float64{10, 1e3}); err != nil {
+		t.Fatal(err)
+	}
+	if e.lr == first {
+		t.Fatal("different grid did not rebuild the factorization cache")
+	}
+}
+
+// TestPrepareLowRankFallbackTriggers covers the refusals callers use to
+// pick the fallback path: unpatchable fault kinds propagate
+// fault.ErrNotPatchable (→ clone path), patchable faults whose delta is
+// not rank-1 propagate mna.ErrNotLowRank (→ in-place patch path).
+func TestPrepareLowRankFallbackTriggers(t *testing.T) {
+	c := circuit.New("fb")
+	c.R("R1", "in", "out", 1e3)
+	c.Cap("C1", "out", "0", 100e-9)
+	c.I("I1", "out", "0", 1e-3)
+	c.Input, c.Output = "in", "out"
+	e, err := NewEngine(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.PrepareLowRank(fault.Fault{ID: "o", Component: "R1", Kind: fault.Open}); !errors.Is(err, fault.ErrNotPatchable) {
+		t.Errorf("open fault: err = %v, want ErrNotPatchable", err)
+	}
+	if _, err := e.PrepareLowRank(fault.Fault{ID: "i", Component: "I1", Kind: fault.Deviation, Factor: 2}); !errors.Is(err, mna.ErrNotLowRank) {
+		t.Errorf("current-source fault: err = %v, want ErrNotLowRank", err)
+	}
+	// The refusals must leave the engine fully usable on the fast path.
+	lf, err := e.PrepareLowRank(fault.Fault{ID: "r", Component: "R1", Kind: fault.Deviation, Factor: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := e.SweepLowRank(lf, []float64{100, 1e4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.AllValid() {
+		t.Fatal("rank-1 sweep after refusals produced invalid points")
+	}
+}
+
+// TestSweepLowRankSingularUpdateFallback drives the Sherman–Morrison
+// denominator to exactly zero: on a 1k/1k divider, patching R2 to −1kΩ
+// makes the patched matrix singular (det ∝ g1 + g2'), while the nominal
+// factors fine. The sweep must detect the singular update, fall back to a
+// full patched refactorization, find that singular too, and leave the
+// points invalid — exactly the reference path's verdict. The fault is
+// hand-built because fault.Validate (correctly) refuses negative factors.
+func TestSweepLowRankSingularUpdateFallback(t *testing.T) {
+	c := circuit.New("div")
+	c.R("R1", "in", "out", 1e3)
+	c.R("R2", "out", "0", 1e3)
+	c.Input, c.Output = "in", "out"
+	e, err := NewEngine(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, err := e.sys.RankOneDelta("R2", -1e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lf := &LowRankFault{Component: "R2", Value: -1e3, delta: delta}
+	grid := []float64{100, 1e3, 1e4}
+	resp, err := e.SweepLowRank(lf, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := resp.ValidCount(); n != 0 {
+		t.Fatalf("%d points valid, want 0 (patched divider is singular at every frequency)", n)
+	}
+	// The engine must be nominal again after the fallback's patch.
+	if e.sys.Patched() {
+		t.Fatal("fallback left a live patch")
+	}
+	nom, err := e.SweepGrid(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nom.AllValid() {
+		t.Fatal("nominal sweep invalid after fallback")
+	}
+}
+
+// TestSweepLowRankSingularNominalPoint exercises the nil-solver fallback:
+// at 0 Hz the capacitive divider hanging off the output has a floating
+// internal node (an all-zero row), so the nominal factorization fails at
+// that one grid point while the rest of the grid is fine. The low-rank
+// sweep must route that point through the full patched solve and agree
+// with SweepFault on both validity and values.
+func TestSweepLowRankSingularNominalPoint(t *testing.T) {
+	c := rcLowpass()
+	c.Cap("CX", "out", "n2", 10e-9)
+	c.Cap("CY", "n2", "0", 10e-9)
+	e, err := NewEngine(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := fault.Fault{ID: "fR1", Component: "R1", Kind: fault.Deviation, Factor: 1.3}
+	grid := []float64{0, rcCorner, 1e5}
+	lf, err := e.PrepareLowRank(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.SweepLowRank(lf, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := e.SweepFault(f, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Valid[0] || !got.Valid[1] || !got.Valid[2] {
+		t.Fatalf("validity = %v, want [false true true]", got.Valid)
+	}
+	for i := range want.H {
+		if got.Valid[i] != want.Valid[i] {
+			t.Fatalf("point %d: validity %v vs %v", i, got.Valid[i], want.Valid[i])
+		}
+		if d := cmplx.Abs(got.H[i] - want.H[i]); d > 1e-11*(1+cmplx.Abs(want.H[i])) {
+			t.Fatalf("point %d: lowrank %v vs patched %v (|Δ|=%g)", i, got.H[i], want.H[i], d)
+		}
+	}
+}
+
+// TestSweepLowRankRejectsBadState pins the guard rails: an empty grid and
+// a patched system are ErrBadSweep.
+func TestSweepLowRankRejectsBadState(t *testing.T) {
+	e, err := NewEngine(rcLowpass())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lf, err := e.PrepareLowRank(fault.Fault{ID: "f", Component: "R1", Kind: fault.Deviation, Factor: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.SweepLowRank(lf, nil); !errors.Is(err, ErrBadSweep) {
+		t.Fatalf("empty grid: err = %v, want ErrBadSweep", err)
+	}
+	if err := e.ApplyFault(fault.Fault{ID: "g", Component: "C1", Kind: fault.Deviation, Factor: 2}); err != nil {
+		t.Fatal(err)
+	}
+	defer e.Reset()
+	if _, err := e.SweepLowRank(lf, []float64{100}); !errors.Is(err, ErrBadSweep) {
+		t.Fatalf("patched system: err = %v, want ErrBadSweep", err)
+	}
+}

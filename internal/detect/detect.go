@@ -88,6 +88,16 @@ const (
 	// every cell — the original, allocation-heavy strategy, kept as the
 	// reference implementation for equivalence testing.
 	EngineNaive
+	// EngineLowRank factors the nominal MNA matrix once per (configuration,
+	// ω) grid point and solves each rank-1 fault against those cached
+	// factorizations via Sherman–Morrison — O(n²) per point instead of the
+	// O(n³) refactorization both other modes pay. Faults whose stamp delta
+	// is not a single outer product (opens, shorts, opamp model faults,
+	// source amplitudes) fall back to the incremental path cell by cell,
+	// counted in engine_fallback_total; grid points where the rank-1 update
+	// is singular fall back to a full patched refactorization inside the
+	// sweep (engine_lowrank_refactor_total). All modes evaluate every cell.
+	EngineLowRank
 )
 
 // String implements fmt.Stringer.
@@ -97,6 +107,8 @@ func (m EngineMode) String() string {
 		return "incremental"
 	case EngineNaive:
 		return "naive"
+	case EngineLowRank:
+		return "lowrank"
 	default:
 		return fmt.Sprintf("EngineMode(%d)", int(m))
 	}
@@ -109,8 +121,10 @@ func ParseEngineMode(name string) (EngineMode, error) {
 		return EngineIncremental, nil
 	case "naive":
 		return EngineNaive, nil
+	case "lowrank":
+		return EngineLowRank, nil
 	default:
-		return EngineIncremental, fmt.Errorf("detect: unknown engine mode %q (want incremental or naive)", name)
+		return EngineIncremental, fmt.Errorf("detect: unknown engine mode %q (want incremental, lowrank or naive)", name)
 	}
 }
 
@@ -195,8 +209,8 @@ type Options struct {
 	// (default), FailFast or Retry.
 	OnError ErrorPolicy
 	// Engine selects the cell simulation strategy: EngineIncremental
-	// (default) or EngineNaive. The two modes produce identical Det
-	// matrices and Omega values within floating-point noise.
+	// (default), EngineLowRank or EngineNaive. All modes produce identical
+	// Det matrices and Omega values within floating-point noise.
 	Engine EngineMode
 	// MaxRetries bounds the per-point jitter attempts of the Retry
 	// policy (default 3, clamped to analysis.MaxSingularRetries).
@@ -581,6 +595,58 @@ func evaluateFaultIncremental(eng *analysis.Engine, ckt *circuit.Circuit, f faul
 	return eval, st
 }
 
+// evaluateFaultLowRank measures one fault via the Sherman–Morrison path:
+// the worker's engine factors the nominal matrix once per grid point (the
+// cache persists across every fault on the same grid, so the faults
+// effectively iterate inside each (configuration, ω) factorization) and
+// each rank-1 fault solves against it in O(n²). Faults that cannot patch
+// at all, or whose stamp delta is not a single outer product, fall back
+// to the incremental path (counted in engine_fallback_total) — which in
+// turn can fall back to the naive clone path — so every engine mode
+// evaluates exactly the same cell set.
+func evaluateFaultLowRank(eng *analysis.Engine, ckt *circuit.Circuit, f fault.Fault, nominal *analysis.Response, grid []float64, opts Options) (FaultEval, cellStats) {
+	eval := FaultEval{Fault: f}
+	var st cellStats
+	fail := func(err error) (FaultEval, cellStats) {
+		eval.Err = err
+		st.err = true
+		return eval, st
+	}
+	if nominal.ValidCount() == 0 {
+		return fail(fmt.Errorf("detect: nominal response of %q: %w", ckt.Name, analysis.ErrAllInvalid))
+	}
+	lf, err := eng.PrepareLowRank(f)
+	if err != nil {
+		dEngineFallback.Inc()
+		return evaluateFaultIncremental(eng, ckt, f, nominal, grid, opts)
+	}
+	resp, err := eng.SweepLowRank(lf, grid)
+	if err != nil {
+		return fail(err)
+	}
+	st.solves += len(grid)
+	if opts.OnError == Retry && resp.InvalidCount() > 0 {
+		// Re-apply the fault as an ordinary patch so the jittered re-solves
+		// run on the faulty system, exactly as the other paths' retries do.
+		if err := eng.ApplyFault(f); err != nil {
+			return fail(err)
+		}
+		recovered, solves, rerr := eng.RetrySingularPoints(resp, opts.MaxRetries)
+		eng.Reset()
+		st.retries += solves
+		st.solves += solves
+		st.recovered += recovered
+		if rerr != nil {
+			return fail(rerr)
+		}
+	}
+	st.singular += resp.InvalidCount()
+	if err := scoreCell(&eval, nominal, resp, grid, opts); err != nil {
+		return fail(err)
+	}
+	return eval, st
+}
+
 // enginePool hands out per-configuration engines. The nominal phase seeds
 // it with the engine it built for each configuration; when several
 // workers land on the same configuration the extras are built lazily,
@@ -654,6 +720,9 @@ func (cr *cellRunner) evaluate(w, cfg int, ckt *circuit.Circuit, f fault.Fault, 
 			return evaluateFault(ckt, f, nominal, grid, opts)
 		}
 		cr.caches[w][cfg] = eng
+	}
+	if opts.Engine == EngineLowRank {
+		return evaluateFaultLowRank(eng, ckt, f, nominal, grid, opts)
 	}
 	return evaluateFaultIncremental(eng, ckt, f, nominal, grid, opts)
 }

@@ -17,10 +17,10 @@ import (
 // floating-point noise is an engine bug, not measurement noise.
 const omegaTol = 1e-12
 
-// requireEquivalent builds the matrix in both engine modes (and, for the
-// incremental mode, across worker counts) and fails on any difference:
-// Det must be bit-identical, Omega within omegaTol, and the cell error
-// sets must agree position by position.
+// requireEquivalent builds the matrix in every engine mode (and, for the
+// fast modes, across worker counts) against the naive reference and fails
+// on any difference: Det must be bit-identical, Omega within omegaTol,
+// and the cell error sets must agree position by position.
 func requireEquivalent(t *testing.T, m *dft.Modified, faults fault.List, opts Options) {
 	t.Helper()
 	naive := opts
@@ -30,34 +30,36 @@ func requireEquivalent(t *testing.T, m *dft.Modified, faults fault.List, opts Op
 	if err != nil {
 		t.Fatalf("naive build: %v", err)
 	}
-	for _, workers := range []int{1, 4} {
-		inc := opts
-		inc.Engine = EngineIncremental
-		inc.Workers = workers
-		got, err := BuildMatrix(m, faults, inc)
-		if err != nil {
-			t.Fatalf("incremental build (workers=%d): %v", workers, err)
-		}
-		if got.NumConfigs() != ref.NumConfigs() || got.NumFaults() != ref.NumFaults() {
-			t.Fatalf("workers=%d: shape %dx%d vs naive %dx%d", workers,
-				got.NumConfigs(), got.NumFaults(), ref.NumConfigs(), ref.NumFaults())
-		}
-		for i := range ref.Det {
-			for j := range ref.Det[i] {
-				if got.Det[i][j] != ref.Det[i][j] {
-					t.Errorf("workers=%d: Det[%d][%d] = %t, naive %t (fault %s, config %s)",
-						workers, i, j, got.Det[i][j], ref.Det[i][j],
-						faults[j].ID, ref.Configs[i].Label())
-				}
-				if d := math.Abs(got.Omega[i][j] - ref.Omega[i][j]); d > omegaTol {
-					t.Errorf("workers=%d: Omega[%d][%d] differs by %g (incremental %g, naive %g)",
-						workers, i, j, d, got.Omega[i][j], ref.Omega[i][j])
+	for _, mode := range []EngineMode{EngineIncremental, EngineLowRank} {
+		for _, workers := range []int{1, 4} {
+			fast := opts
+			fast.Engine = mode
+			fast.Workers = workers
+			got, err := BuildMatrix(m, faults, fast)
+			if err != nil {
+				t.Fatalf("%s build (workers=%d): %v", mode, workers, err)
+			}
+			if got.NumConfigs() != ref.NumConfigs() || got.NumFaults() != ref.NumFaults() {
+				t.Fatalf("%s workers=%d: shape %dx%d vs naive %dx%d", mode, workers,
+					got.NumConfigs(), got.NumFaults(), ref.NumConfigs(), ref.NumFaults())
+			}
+			for i := range ref.Det {
+				for j := range ref.Det[i] {
+					if got.Det[i][j] != ref.Det[i][j] {
+						t.Errorf("%s workers=%d: Det[%d][%d] = %t, naive %t (fault %s, config %s)",
+							mode, workers, i, j, got.Det[i][j], ref.Det[i][j],
+							faults[j].ID, ref.Configs[i].Label())
+					}
+					if d := math.Abs(got.Omega[i][j] - ref.Omega[i][j]); d > omegaTol {
+						t.Errorf("%s workers=%d: Omega[%d][%d] differs by %g (%s %g, naive %g)",
+							mode, workers, i, j, d, mode, got.Omega[i][j], ref.Omega[i][j])
+					}
 				}
 			}
-		}
-		if len(got.CellErrors) != len(ref.CellErrors) {
-			t.Errorf("workers=%d: %d cell errors, naive %d",
-				workers, len(got.CellErrors), len(ref.CellErrors))
+			if len(got.CellErrors) != len(ref.CellErrors) {
+				t.Errorf("%s workers=%d: %d cell errors, naive %d",
+					mode, workers, len(got.CellErrors), len(ref.CellErrors))
+			}
 		}
 	}
 }

@@ -77,7 +77,10 @@ type OptionSpec struct {
 	IncludeTransparent bool      `json:"include_transparent,omitempty"`
 	PerConfigRegion    bool      `json:"per_config_region,omitempty"`
 	OnError            string    `json:"on_error,omitempty"`
-	Engine             string    `json:"engine,omitempty"`
+	// Engine names the cell simulation strategy ("incremental" default,
+	// "lowrank", "naive"). It enters the cache key: all modes agree on Det
+	// bit-for-bit, but Omega values can differ within floating-point noise.
+	Engine string `json:"engine,omitempty"`
 	MaxRetries         int       `json:"max_retries,omitempty"`
 	MaxFollowers       int       `json:"max_followers,omitempty"`
 	// Workers bounds the per-job simulation parallelism. It never enters

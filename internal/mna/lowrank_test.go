@@ -1,0 +1,251 @@
+package mna
+
+import (
+	"errors"
+	"math/cmplx"
+	"testing"
+
+	"analogdft/internal/circuit"
+	"analogdft/internal/numeric"
+)
+
+// lowRankCircuit exercises every rank-1-patchable component kind, plus an
+// opamp and the independent sources that must be refused.
+func lowRankCircuit() *circuit.Circuit {
+	c := circuit.New("lr")
+	c.V("V1", "in", "0", 1)
+	c.R("R1", "in", "n1", 1e3)
+	c.Cap("C1", "n1", "0", 10e-9)
+	c.L("L1", "n1", "n2", 1e-3)
+	c.R("R2", "n2", "0", 2e3)
+	c.E("E1", "n3", "0", "n1", "0", 2)
+	c.R("RE", "n3", "0", 1e3)
+	c.G("G1", "n4", "0", "n2", "0", 1e-3)
+	c.R("RG", "n4", "0", 1e3)
+	c.H("H1", "n5", "0", "V1", 50)
+	c.R("RH", "n5", "0", 1e3)
+	c.F("F1", "n6", "0", "V1", 3)
+	c.R("RF", "n6", "0", 1e3)
+	c.I("I1", "n6", "0", 1e-3)
+	return c
+}
+
+// assembleAt returns a fresh assembly of sys at freqHz.
+func assembleAt(t *testing.T, sys *System, freqHz float64) (*numeric.Matrix, []complex128) {
+	t.Helper()
+	m := numeric.NewMatrix(sys.N(), sys.N())
+	rhs := make([]complex128, sys.N())
+	if err := sys.AssembleInto(freqHz, m, rhs); err != nil {
+		t.Fatal(err)
+	}
+	return m, rhs
+}
+
+// TestRankOneDeltaMatchesSetValue checks, for every supported component
+// kind, that the rank-1 delta reproduces exactly the assembled-matrix
+// difference a SetValue patch causes: M(patched) = M(nominal) + s·u·vᵀ.
+func TestRankOneDeltaMatchesSetValue(t *testing.T) {
+	cases := []struct {
+		comp  string
+		value float64
+	}{
+		{"R1", 1.3e3},
+		{"C1", 14e-9},
+		{"L1", 2.5e-3},
+		{"E1", 3.5},
+		{"G1", 2e-3},
+		{"H1", 75},
+		{"F1", 4.5},
+	}
+	const freq = 1234.5
+	for _, c := range cases {
+		t.Run(c.comp, func(t *testing.T) {
+			sys, err := NewSystem(lowRankCircuit())
+			if err != nil {
+				t.Fatal(err)
+			}
+			nom, nomRHS := assembleAt(t, sys, freq)
+
+			d, err := sys.RankOneDelta(c.comp, c.value)
+			if err != nil {
+				t.Fatalf("RankOneDelta(%s): %v", c.comp, err)
+			}
+			if d.GCoef != 0 && d.CCoef != 0 {
+				t.Fatalf("delta mixes G and C parts: %+v", d)
+			}
+
+			if err := sys.SetValue(c.comp, c.value); err != nil {
+				t.Fatal(err)
+			}
+			patched, patchedRHS := assembleAt(t, sys, freq)
+
+			// Expected: nominal + s·u·vᵀ scattered densely.
+			n := sys.N()
+			u := make([]complex128, n)
+			v := make([]complex128, n)
+			d.DenseInto(u, v)
+			s := d.ScaleAt(freq)
+			want := nom.Clone()
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					want.Add(i, j, s*u[i]*v[j])
+				}
+			}
+			tol := 1e-12 * (1 + want.MaxAbs())
+			if !patched.Equalish(want, tol) {
+				t.Errorf("patched assembly differs from nominal + s·u·vᵀ\npatched: %v\nwant: %v", patched, want)
+			}
+			for i := range nomRHS {
+				if nomRHS[i] != patchedRHS[i] {
+					t.Errorf("rhs[%d] moved under a matrix-only patch: %v -> %v", i, nomRHS[i], patchedRHS[i])
+				}
+			}
+		})
+	}
+}
+
+// TestRankOneDeltaComposesWithLivePatch checks the delta is computed
+// against the current patched value, mirroring SetValue's composition.
+func TestRankOneDeltaComposesWithLivePatch(t *testing.T) {
+	sys, err := NewSystem(lowRankCircuit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SetValue("R1", 2e3); err != nil {
+		t.Fatal(err)
+	}
+	d, err := sys.RankOneDelta("R1", 4e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := complex(1/4e3-1/2e3, 0)
+	if d.GCoef != want {
+		t.Fatalf("GCoef = %v, want %v (delta vs live patch)", d.GCoef, want)
+	}
+}
+
+// TestRankOneDeltaNotLowRank covers the refusals: independent sources
+// patch the excitation, opamps are not Valued patches at all, a zero
+// resistance is unsupported, and unknown names error.
+func TestRankOneDeltaNotLowRank(t *testing.T) {
+	ckt := lowRankCircuit()
+	ckt.OA("OP1", "n1", "n2", "n7")
+	ckt.R("RO", "n7", "0", 1e3)
+	sys, err := NewSystem(ckt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"V1", "I1", "OP1"} {
+		if _, err := sys.RankOneDelta(name, 2); !errors.Is(err, ErrNotLowRank) {
+			t.Errorf("RankOneDelta(%s): err = %v, want ErrNotLowRank", name, err)
+		}
+	}
+	if _, err := sys.RankOneDelta("R1", 0); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("zero resistance: err = %v, want ErrUnsupported", err)
+	}
+	if _, err := sys.RankOneDelta("nope", 1); err == nil {
+		t.Error("unknown component: err = nil")
+	}
+}
+
+// TestRankOneDeltaLeavesSystemUntouched checks RankOneDelta never stamps:
+// the assembled matrix is bit-identical before and after.
+func TestRankOneDeltaLeavesSystemUntouched(t *testing.T) {
+	sys, err := NewSystem(lowRankCircuit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _ := assembleAt(t, sys, 777)
+	if _, err := sys.RankOneDelta("C1", 33e-9); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := assembleAt(t, sys, 777)
+	for i := range before.Data {
+		if before.Data[i] != after.Data[i] {
+			t.Fatalf("RankOneDelta mutated the stamps at %d: %v -> %v", i, before.Data[i], after.Data[i])
+		}
+	}
+	if sys.Patched() {
+		t.Fatal("RankOneDelta left a live patch")
+	}
+}
+
+// TestScaleAt pins the frequency law s(ω) = GCoef + jω·CCoef.
+func TestScaleAt(t *testing.T) {
+	d := RankOne{GCoef: 2, CCoef: 3}
+	got := d.ScaleAt(1 / (2 * 3.141592653589793))
+	if cmplx.Abs(got-(2+3i)) > 1e-12 {
+		t.Fatalf("ScaleAt = %v, want 2+3i", got)
+	}
+}
+
+// TestAssembleIntoShape checks the exported assembly validates storage.
+func TestAssembleIntoShape(t *testing.T) {
+	sys, err := NewSystem(lowRankCircuit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := numeric.NewMatrix(2, 2)
+	if err := sys.AssembleInto(100, m, make([]complex128, sys.N())); !errors.Is(err, numeric.ErrShape) {
+		t.Fatalf("small matrix: err = %v, want ErrShape", err)
+	}
+	ok := numeric.NewMatrix(sys.N(), sys.N())
+	if err := sys.AssembleInto(100, ok, make([]complex128, 1)); !errors.Is(err, numeric.ErrShape) {
+		t.Fatalf("short rhs: err = %v, want ErrShape", err)
+	}
+}
+
+// TestNodeIndex covers the exported node lookup, including ground.
+func TestNodeIndex(t *testing.T) {
+	sys, err := NewSystem(lowRankCircuit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i, err := sys.NodeIndex("0"); err != nil || i != -1 {
+		t.Fatalf("ground: (%d, %v), want (-1, nil)", i, err)
+	}
+	i, err := sys.NodeIndex("n1")
+	if err != nil || i < 0 || i >= sys.N() {
+		t.Fatalf("n1: (%d, %v)", i, err)
+	}
+	if _, err := sys.NodeIndex("ghost"); err == nil {
+		t.Fatal("unknown node: err = nil")
+	}
+}
+
+// TestVoltageAtWrapsBackSubstitutionError is the regression test for the
+// bare SolveInPlace error return: a back-substitution failure must arrive
+// wrapped in *SolveError exactly like a factorization failure, so error
+// classification cannot depend on which half of the solve failed.
+func TestVoltageAtWrapsBackSubstitutionError(t *testing.T) {
+	ckt := circuit.New("wrap")
+	ckt.V("V1", "in", "0", 1)
+	ckt.R("R1", "in", "out", 1e3)
+	ckt.R("R2", "out", "0", 1e3)
+	sys, err := NewSystem(ckt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := sys.NewSweeper("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the workspace so FactorInPlace succeeds but SolveInPlace
+	// sees a short RHS. assemble copies into the truncated slice without
+	// complaint, so the failure surfaces exactly at back-substitution.
+	sw.ws.RHS = sw.ws.RHS[:sys.N()-1]
+	_, err = sw.VoltageAt(1000)
+	if err == nil {
+		t.Fatal("corrupted workspace: err = nil")
+	}
+	var se *SolveError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %T %v, want *SolveError", err, err)
+	}
+	if se.FreqHz != 1000 || se.Circuit != "wrap" {
+		t.Fatalf("SolveError context = %q @ %g Hz", se.Circuit, se.FreqHz)
+	}
+	if !errors.Is(err, numeric.ErrShape) {
+		t.Fatalf("err does not unwrap to the cause: %v", err)
+	}
+}

@@ -77,7 +77,10 @@ func (sw *Sweeper) VoltageAt(freqHz float64) (complex128, error) {
 	}
 	if err := lu.SolveInPlace(sw.ws.RHS); err != nil {
 		sw.tally.record(err, t0, timed)
-		return 0, err
+		// Wrapped exactly like the FactorInPlace failure above, so
+		// analysis.ClassifyError and the retry policies classify a failed
+		// back-substitution identically to a failed factorization.
+		return 0, &SolveError{Circuit: sw.sys.ckt.Name, FreqHz: freqHz, Err: err}
 	}
 	sw.tally.record(nil, t0, timed)
 	if sw.nodeIdx < 0 {

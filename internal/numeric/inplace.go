@@ -8,15 +8,24 @@ import (
 // FactorInPlace computes the LU factorization overwriting a's storage —
 // the allocation-free variant of Factor for hot sweep loops. The LU is
 // returned by value so it never escapes to the heap; it aliases a, and a
-// must not be used afterwards except through the LU. The pivot slice is
-// reused when a non-nil one of the right length is passed.
+// must not be used afterwards except through the LU. A nil pivot slice is
+// allocated; a non-nil one is reused in place — resliced within its
+// capacity when its length drifted from n, so the returned LU always
+// aliases the caller's recycled buffer — and a buffer too small to hold n
+// pivots is an ErrShape error, never a silent fresh allocation that would
+// orphan the caller's buffer.
 func FactorInPlace(a *Matrix, pivot []int) (LU, error) {
 	if a.Rows != a.Cols {
 		return LU{}, fmt.Errorf("%w: cannot factor %dx%d", ErrShape, a.Rows, a.Cols)
 	}
 	n := a.Rows
-	if len(pivot) != n {
+	if pivot == nil {
 		pivot = make([]int, n)
+	} else if len(pivot) != n {
+		if cap(pivot) < n {
+			return LU{}, fmt.Errorf("%w: pivot buffer holds %d (cap %d), want %d", ErrShape, len(pivot), cap(pivot), n)
+		}
+		pivot = pivot[:n]
 	}
 	sign := 1
 	for k := 0; k < n; k++ {

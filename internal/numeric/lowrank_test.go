@@ -1,0 +1,143 @@
+package numeric
+
+import (
+	"errors"
+	"math/cmplx"
+	"testing"
+)
+
+// testMatrix returns a well-conditioned 4×4 complex matrix and an RHS.
+func testMatrix() (*Matrix, []complex128) {
+	m, err := FromRows([][]complex128{
+		{4 + 1i, 1, 0, 2},
+		{1, 5, 1 - 1i, 0},
+		{0, 1 + 2i, 6, 1},
+		{2, 0, 1, 7 - 1i},
+	})
+	if err != nil {
+		panic(err)
+	}
+	b := []complex128{1, 2 - 1i, 0, 3}
+	return m, b
+}
+
+// newTestSolver factors a copy of m and primes the solver with A⁻¹b.
+func newTestSolver(t *testing.T, m *Matrix, b []complex128) *LowRankSolver {
+	t.Helper()
+	lu, err := FactorInPlace(m.Clone(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := append([]complex128(nil), b...)
+	if err := lu.SolveInPlace(y); err != nil {
+		t.Fatal(err)
+	}
+	ls, err := NewLowRankSolver(lu, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ls
+}
+
+// TestSolveRankOneMatchesDirect compares the Sherman–Morrison solution of
+// (A + s·u·vᵀ)x = b against a direct factor-and-solve of the perturbed
+// matrix, for several scales and sparse update patterns.
+func TestSolveRankOneMatchesDirect(t *testing.T) {
+	a, b := testMatrix()
+	ls := newTestSolver(t, a, b)
+	cases := []struct {
+		name string
+		s    complex128
+		u, v []complex128
+	}{
+		{"conductance", 0.5, []complex128{1, -1, 0, 0}, []complex128{1, -1, 0, 0}},
+		{"capacitive", 2i, []complex128{0, 1, -1, 0}, []complex128{0, 1, -1, 0}},
+		{"asymmetric", -0.3 + 0.1i, []complex128{0, 0, 1, 0}, []complex128{1, 0, 0, -1}},
+		{"single-entry", 1.5, []complex128{0, 0, 0, 1}, []complex128{0, 0, 0, 1}},
+	}
+	x := make([]complex128, 4)
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := ls.SolveRankOne(c.s, c.u, c.v, x); err != nil {
+				t.Fatal(err)
+			}
+			// Direct reference: perturb A densely and solve from scratch.
+			p := a.Clone()
+			for i := 0; i < 4; i++ {
+				for j := 0; j < 4; j++ {
+					p.Add(i, j, c.s*c.u[i]*c.v[j])
+				}
+			}
+			want, err := Solve(p, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if d := cmplx.Abs(x[i] - want[i]); d > 1e-12 {
+					t.Errorf("x[%d] = %v, direct %v (|Δ| = %g)", i, x[i], want[i], d)
+				}
+			}
+		})
+	}
+}
+
+// TestSolveRankOneZeroScale checks the s = 0 short-circuit returns the
+// nominal solution bit-for-bit.
+func TestSolveRankOneZeroScale(t *testing.T) {
+	a, b := testMatrix()
+	ls := newTestSolver(t, a, b)
+	x := make([]complex128, 4)
+	u := []complex128{1, 0, 0, 0}
+	if err := ls.SolveRankOne(0, u, u, x); err != nil {
+		t.Fatal(err)
+	}
+	for i, y := range ls.Nominal() {
+		if x[i] != y {
+			t.Fatalf("x[%d] = %v, nominal %v", i, x[i], y)
+		}
+	}
+}
+
+// TestSolveRankOneSingularUpdate drives the denominator to zero: A = I,
+// u = v = e₀, s = −1 makes A + s·u·vᵀ exactly singular, and the detector
+// must refuse rather than divide by (nearly) zero.
+func TestSolveRankOneSingularUpdate(t *testing.T) {
+	lu, err := FactorInPlace(Identity(3), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := []complex128{1, 1, 1} // A = I ⇒ y = b
+	ls, err := NewLowRankSolver(lu, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0 := []complex128{1, 0, 0}
+	x := make([]complex128, 3)
+	if err := ls.SolveRankOne(-1, e0, e0, x); !errors.Is(err, ErrSingularUpdate) {
+		t.Fatalf("err = %v, want ErrSingularUpdate", err)
+	}
+}
+
+// TestSolveRankOneShapeErrors covers operand-length validation in the
+// constructor and the solve.
+func TestSolveRankOneShapeErrors(t *testing.T) {
+	a, b := testMatrix()
+	lu, err := FactorInPlace(a.Clone(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewLowRankSolver(lu, b[:2]); !errors.Is(err, ErrShape) {
+		t.Fatalf("short nominal solution: err = %v, want ErrShape", err)
+	}
+	ls := newTestSolver(t, a, b)
+	good := make([]complex128, 4)
+	if err := ls.SolveRankOne(1, good[:3], good, good); !errors.Is(err, ErrShape) {
+		t.Fatalf("short u: err = %v, want ErrShape", err)
+	}
+	if err := ls.SolveRankOne(1, good, good[:1], good); !errors.Is(err, ErrShape) {
+		t.Fatalf("short v: err = %v, want ErrShape", err)
+	}
+	if err := ls.SolveRankOne(1, good, good, make([]complex128, 5)); !errors.Is(err, ErrShape) {
+		t.Fatalf("long x: err = %v, want ErrShape", err)
+	}
+}

@@ -21,6 +21,13 @@ func NewWorkspace(n int) *Workspace {
 // Ensure makes the buffers fit an n-unknown system, reallocating only
 // when the current ones are too small (shrinking reuses the backing
 // storage).
+//
+// The buffers are NOT zeroed: after any Ensure — and in particular after
+// a shrink, where every retained element is stale data from the larger
+// system — the caller must fully re-stamp M and RHS before factoring.
+// Every assembly in this repo overwrites all n×n matrix entries and all n
+// RHS entries (mna.System.assemble is a full scale-add plus a full rhs
+// copy), which is what makes the non-zeroing reuse safe.
 func (w *Workspace) Ensure(n int) {
 	if w.M == nil || cap(w.M.Data) < n*n {
 		w.M = NewMatrix(n, n)
@@ -44,7 +51,19 @@ func (w *Workspace) Ensure(n int) {
 // w.Pivot and solves for w.RHS, leaving the solution in w.RHS. It is the
 // one-call form of the FactorInPlace + SolveInPlace pair for callers that
 // have already stamped M and RHS.
+//
+// The workspace owns its buffers, so a pivot slice whose length drifted
+// from M.Rows (a caller resized M by hand instead of through Ensure) is
+// repaired here — resliced within capacity or reallocated — rather than
+// surfaced as FactorInPlace's ErrShape.
 func (w *Workspace) FactorSolve() error {
+	if n := w.M.Rows; len(w.Pivot) != n {
+		if cap(w.Pivot) >= n {
+			w.Pivot = w.Pivot[:n]
+		} else {
+			w.Pivot = make([]int, n)
+		}
+	}
 	lu, err := FactorInPlace(w.M, w.Pivot)
 	if err != nil {
 		return err

@@ -69,7 +69,8 @@ type SimFlags struct {
 	Progress bool
 	// OnError names the cell error policy (degrade, failfast, retry).
 	OnError string
-	// Engine names the cell simulation strategy (incremental, naive).
+	// Engine names the cell simulation strategy (incremental, lowrank,
+	// naive).
 	Engine string
 }
 
@@ -86,7 +87,7 @@ func (s *SimFlags) Register(fs *flag.FlagSet) {
 	fs.BoolVar(&s.Stats, "stats", false, "print the simulation effort summary")
 	fs.BoolVar(&s.Progress, "progress", false, "report live progress on stderr")
 	fs.StringVar(&s.OnError, "onerror", "degrade", `cell error policy: "degrade", "failfast" or "retry"`)
-	fs.StringVar(&s.Engine, "engine", "incremental", `cell simulation strategy: "incremental" (patch a reusable system in place) or "naive" (clone + rebuild per cell)`)
+	fs.StringVar(&s.Engine, "engine", "incremental", `cell simulation strategy: "incremental" (patch a reusable system in place), "lowrank" (Sherman–Morrison rank-1 solves against cached nominal factorizations) or "naive" (clone + rebuild per cell)`)
 }
 
 // Policy maps the -onerror value onto the engine error policy.
