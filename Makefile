@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet invariants lint verify bench bench-smoke serve-smoke
+.PHONY: build test race vet invariants lint verify bench bench-smoke serve-smoke benchdiff
 
 build:
 	$(GO) build ./...
@@ -40,7 +40,13 @@ bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run=^$$ ./...
 
 # serve-smoke boots dftserved on an ephemeral port, runs a matrix job end
-# to end over HTTP, asserts the resubmission is a cache hit and that the
-# server drains cleanly on SIGTERM.
+# to end over HTTP under a fixed traceparent, asserts the trace ID
+# propagates into the job's span tree, that the resubmission is a cache
+# hit and that the server drains cleanly on SIGTERM.
 serve-smoke:
 	./scripts/dftserved-smoke.sh
+
+# benchdiff compares the two freshest committed BENCH_*.json snapshots
+# with noise-aware thresholds; exit 2 means at least one regression.
+benchdiff:
+	$(GO) run ./cmd/benchdiff -dir .

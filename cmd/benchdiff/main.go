@@ -1,0 +1,98 @@
+// Command benchdiff compares two BENCH_<date>.json perf-trajectory files
+// and reports per-benchmark ns/op, B/op and allocs/op deltas against
+// regression thresholds:
+//
+//	benchdiff BENCH_2026-08-05.json BENCH_2026-08-08.json
+//	benchdiff -dir .          # freshest two BENCH_*.json in a directory
+//
+// The ns/op threshold is noise-aware: a benchmark whose old samples
+// spread wider than -ns-pct uses that spread as its effective threshold.
+// Exit status: 0 no regressions, 1 usage or I/O error, 2 regressions
+// found — CI runs it as an advisory gate (continue-on-error) so the
+// trajectory is visible without blocking merges on jitter.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"analogdft/internal/obs/benchfmt"
+)
+
+func main() {
+	dir := flag.String("dir", "", "compare the freshest two BENCH_*.json files in this directory")
+	nsPct := flag.Float64("ns-pct", benchfmt.DefaultThresholds.NsPct, "ns/op regression threshold, percent")
+	memPct := flag.Float64("mem-pct", benchfmt.DefaultThresholds.MemPct, "B/op and allocs/op regression threshold, percent")
+	asJSON := flag.Bool("json", false, "emit the report as JSON instead of text")
+	flag.Parse()
+
+	code, err := run(*dir, flag.Args(), benchfmt.Thresholds{NsPct: *nsPct, MemPct: *memPct}, *asJSON)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+func run(dir string, args []string, th benchfmt.Thresholds, asJSON bool) (int, error) {
+	oldPath, newPath, err := resolvePair(dir, args)
+	if err != nil {
+		return 1, err
+	}
+	oldF, err := benchfmt.ReadFile(oldPath)
+	if err != nil {
+		return 1, err
+	}
+	newF, err := benchfmt.ReadFile(newPath)
+	if err != nil {
+		return 1, err
+	}
+	rep := benchfmt.Diff(oldF, newF, th)
+	if rep.OldLabel == "" {
+		rep.OldLabel = filepath.Base(oldPath)
+	}
+	if rep.NewLabel == "" {
+		rep.NewLabel = filepath.Base(newPath)
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return 1, err
+		}
+	} else if err := rep.WriteText(os.Stdout); err != nil {
+		return 1, err
+	}
+	if len(rep.Regressions()) > 0 {
+		return 2, nil
+	}
+	return 0, nil
+}
+
+// resolvePair turns the CLI inputs into (old, new) paths: either the two
+// positional files as given, or the freshest two BENCH_*.json in -dir
+// (the date-stamped filenames sort chronologically).
+func resolvePair(dir string, args []string) (string, string, error) {
+	if dir != "" {
+		if len(args) != 0 {
+			return "", "", fmt.Errorf("-dir and positional files are mutually exclusive")
+		}
+		matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+		if err != nil {
+			return "", "", err
+		}
+		if len(matches) < 2 {
+			return "", "", fmt.Errorf("%s: need at least two BENCH_*.json files, found %d", dir, len(matches))
+		}
+		sort.Strings(matches)
+		return matches[len(matches)-2], matches[len(matches)-1], nil
+	}
+	if len(args) != 2 {
+		return "", "", fmt.Errorf("usage: benchdiff OLD.json NEW.json  (or -dir DIR)")
+	}
+	return args[0], args[1], nil
+}

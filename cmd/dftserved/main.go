@@ -5,6 +5,7 @@
 // answered from a content-addressed result cache without re-simulating.
 //
 //	dftserved [-addr :8080] [-workers 2] [-queue 16] [-cache 128]
+//	          [-trace-ring 64] [-slo-target 0.99] [-timing]
 //
 // Endpoints:
 //
@@ -12,11 +13,20 @@
 //	GET    /v1/jobs             list jobs
 //	GET    /v1/jobs/{id}        job status
 //	GET    /v1/jobs/{id}/result result payload (202 while running)
+//	GET    /v1/jobs/{id}/trace  span tree of the job (410 once evicted from the ring)
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /v1/benches          built-in benchmark names
-//	GET    /metrics             Prometheus text exposition
-//	GET    /healthz             liveness
+//	GET    /v1/debug/traces     retained trace summaries, newest first
+//	GET    /v1/debug/slo        latency quantiles and error-budget snapshot
+//	GET    /metrics             Prometheus text exposition (with slow-solve exemplars)
+//	GET    /healthz             liveness + build/queue/cache snapshot
 //	GET    /debug/pprof/        standard profiles
+//
+// Every response carries a `traceparent` header: the inbound one when the
+// client sent a valid W3C trace context, a freshly minted identity
+// otherwise. A submitted job's spans — enqueue wait, cache lookup, engine
+// phases — are recorded under that trace ID and served from
+// /v1/jobs/{id}/trace.
 //
 // On SIGINT/SIGTERM the server stops accepting requests and drains
 // in-flight jobs for -drain before forcing cancellation.
@@ -35,6 +45,7 @@ import (
 	"time"
 
 	"analogdft/internal/jobs"
+	"analogdft/internal/obs"
 )
 
 func main() {
@@ -45,13 +56,23 @@ func main() {
 		cache      = flag.Int("cache", 128, "result cache entries")
 		simWorkers = flag.Int("sim-workers", 0, "default per-job simulation parallelism (0 = GOMAXPROCS)")
 		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight jobs")
+		traceRing  = flag.Int("trace-ring", 64, "completed job traces retained for /v1/jobs/{id}/trace")
+		sloGoal    = flag.Float64("slo-target", defaultSLOTarget, "availability objective for the error-budget gauge (fraction of non-5xx responses)")
+		timing     = flag.Bool("timing", false, "collect latency metrics and schedule-dependent spans (per-chunk solves, enqueue waits)")
 	)
 	flag.Parse()
+	if *sloGoal <= 0 || *sloGoal >= 1 {
+		fmt.Fprintln(os.Stderr, "dftserved: -slo-target must be in (0, 1)")
+		os.Exit(2)
+	}
+	setSLOTarget(*sloGoal)
+	obs.Default().SetTiming(*timing)
 	if err := run(*addr, jobs.Config{
 		Workers:      *workers,
 		QueueDepth:   *queue,
 		CacheEntries: *cache,
 		SimWorkers:   *simWorkers,
+		TraceEntries: *traceRing,
 	}, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "dftserved:", err)
 		os.Exit(1)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"time"
 
 	"analogdft/internal/jobs"
 	"analogdft/internal/obs"
@@ -34,21 +35,25 @@ var srvlog = obs.Logger("dftserved")
 
 // server is the HTTP front of a jobs.Manager.
 type server struct {
-	mgr *jobs.Manager
+	mgr     *jobs.Manager
+	started time.Time
 }
 
-// newServer builds the full handler: the /v1 job API, /metrics, /healthz
-// and /debug/pprof, each wrapped in a request-scoped span and a latency
-// histogram.
+// newServer builds the full handler: the /v1 job API, the trace and SLO
+// debug endpoints, /metrics, /healthz and /debug/pprof, each wrapped in a
+// request-scoped span and a latency histogram.
 func newServer(mgr *jobs.Manager) http.Handler {
-	s := &server{mgr: mgr}
+	s := &server{mgr: mgr, started: obs.Now()}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", instrument("submit", hSubmit, s.submit))
 	mux.HandleFunc("GET /v1/jobs", instrument("list", hStatus, s.list))
 	mux.HandleFunc("GET /v1/jobs/{id}", instrument("status", hStatus, s.status))
 	mux.HandleFunc("GET /v1/jobs/{id}/result", instrument("result", hResult, s.result))
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", instrument("trace", hOther, s.trace))
 	mux.HandleFunc("DELETE /v1/jobs/{id}", instrument("cancel", hCancel, s.cancel))
 	mux.HandleFunc("GET /v1/benches", instrument("benches", hOther, s.benches))
+	mux.HandleFunc("GET /v1/debug/traces", instrument("traces", hOther, s.traces))
+	mux.HandleFunc("GET /v1/debug/slo", instrument("slo", hOther, s.slo))
 	mux.HandleFunc("GET /metrics", instrument("metrics", hOther, s.metrics))
 	mux.HandleFunc("GET /healthz", instrument("healthz", hOther, s.healthz))
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -70,17 +75,33 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler in a span named after the endpoint and an
-// observation on its latency histogram.
+// instrument wraps a handler in the edge middleware: W3C trace-context
+// adoption (an inbound `traceparent` header is parsed and carried through
+// the request context into the job's trace; a missing or malformed header
+// mints a fresh identity, echoed back so clients learn their trace ID), a
+// span named after the endpoint, the per-endpoint latency histogram, the
+// rolling all-endpoint latency summary, and the SLO failure accounting.
 func instrument(name string, h *obs.Histogram, fn http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := obs.Now()
-		ctx, span := obs.Start(r.Context(), "http."+name)
+		tc, err := obs.ParseTraceparent(r.Header.Get("traceparent"))
+		if err != nil {
+			tc = obs.NewTraceContext()
+		}
+		w.Header().Set("traceparent", tc.String())
+		ctx := obs.ContextWithTrace(r.Context(), tc)
+		ctx, span := obs.Start(ctx, "http."+name)
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		fn(sw, r.WithContext(ctx))
 		span.SetTag("status", fmt.Sprint(sw.code))
 		span.End()
-		h.Observe(obs.Since(start).Seconds())
+		el := obs.Since(start).Seconds()
+		h.Observe(el)
+		hRequest.Observe(el)
+		sloRequests.Add(1)
+		if sw.code >= 500 {
+			sloFailures.Add(1)
+		}
 		cResponses.With(fmt.Sprintf("%dxx", sw.code/100)).Inc()
 	}
 }
@@ -94,30 +115,40 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	}
 }
 
-// errorBody is the JSON shape of every error response.
+// errorBody is the JSON shape of every error response. On 429 the queue
+// occupancy rides along so clients can back off proportionally instead of
+// blindly honoring Retry-After.
 type errorBody struct {
-	Error string `json:"error"`
+	Error         string `json:"error"`
+	QueueDepth    *int   `json:"queue_depth,omitempty"`
+	QueueCapacity *int   `json:"queue_capacity,omitempty"`
 }
 
 // writeError maps manager errors onto status codes: bad requests → 400,
-// a full queue → 429 with Retry-After, unknown jobs → 404, finished jobs
-// → 409, a draining manager → 503.
-func writeError(w http.ResponseWriter, err error) {
+// a full queue → 429 with Retry-After and the queue occupancy, unknown
+// jobs → 404, finished jobs → 409, evicted traces → 410, a draining
+// manager → 503.
+func (s *server) writeError(w http.ResponseWriter, err error) {
 	code := http.StatusInternalServerError
+	body := errorBody{Error: err.Error()}
 	switch {
 	case errors.Is(err, jobs.ErrBadRequest):
 		code = http.StatusBadRequest
 	case errors.Is(err, jobs.ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
 		code = http.StatusTooManyRequests
+		depth, capacity := s.mgr.QueueStats()
+		body.QueueDepth, body.QueueCapacity = &depth, &capacity
 	case errors.Is(err, jobs.ErrNotFound):
 		code = http.StatusNotFound
 	case errors.Is(err, jobs.ErrFinished):
 		code = http.StatusConflict
+	case errors.Is(err, jobs.ErrTraceEvicted):
+		code = http.StatusGone
 	case errors.Is(err, jobs.ErrClosed):
 		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, errorBody{Error: err.Error()})
+	writeJSON(w, code, body)
 }
 
 // submit handles POST /v1/jobs.
@@ -129,9 +160,9 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decode request: %v", err)})
 		return
 	}
-	v, err := s.mgr.Submit(req)
+	v, err := s.mgr.SubmitCtx(r.Context(), req)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	w.Header().Set("Location", "/v1/jobs/"+v.ID)
@@ -147,7 +178,7 @@ func (s *server) list(w http.ResponseWriter, r *http.Request) {
 func (s *server) status(w http.ResponseWriter, r *http.Request) {
 	v, err := s.mgr.Get(r.PathValue("id"))
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, v)
@@ -159,7 +190,7 @@ func (s *server) status(w http.ResponseWriter, r *http.Request) {
 func (s *server) result(w http.ResponseWriter, r *http.Request) {
 	payload, v, err := s.mgr.Result(r.PathValue("id"))
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	switch {
@@ -180,7 +211,7 @@ func (s *server) result(w http.ResponseWriter, r *http.Request) {
 func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
 	v, err := s.mgr.Cancel(r.PathValue("id"))
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, v)
@@ -191,15 +222,44 @@ func (s *server) benches(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, jobs.BenchNames())
 }
 
-// metrics handles GET /metrics in the Prometheus text format.
+// metrics handles GET /metrics in the Prometheus text format, followed by
+// the slow-solve exemplar comments that link latency outliers to traces.
 func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	if err := obs.Reg().WritePrometheus(w); err != nil {
 		srvlog.Warn("write metrics", "err", err)
+		return
+	}
+	if err := obs.WriteExemplarComments(w); err != nil {
+		srvlog.Warn("write exemplars", "err", err)
 	}
 }
 
-// healthz handles GET /healthz.
+// healthBody is the structured /healthz snapshot.
+type healthBody struct {
+	OK            bool    `json:"ok"`
+	GoVersion     string  `json:"go_version"`
+	Revision      string  `json:"revision,omitempty"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Workers       int     `json:"workers"`
+	QueueDepth    int     `json:"queue_depth"`
+	QueueCapacity int     `json:"queue_capacity"`
+	CacheEntries  int     `json:"cache_entries"`
+}
+
+// healthz handles GET /healthz. It stays a plain-200 liveness probe — the
+// snapshot is assembled from in-memory counters, nothing here can block
+// or fail, and the status code never degrades.
 func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "queue_depth": s.mgr.Config().QueueDepth})
+	depth, capacity := s.mgr.QueueStats()
+	writeJSON(w, http.StatusOK, healthBody{
+		OK:            true,
+		GoVersion:     buildGoVersion,
+		Revision:      buildRevision,
+		UptimeSeconds: obs.Since(s.started).Seconds(),
+		Workers:       s.mgr.Config().Workers,
+		QueueDepth:    depth,
+		QueueCapacity: capacity,
+		CacheEntries:  s.mgr.CacheLen(),
+	})
 }

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"math"
+	"net/http"
+	"runtime/debug"
+	"sync/atomic"
+
+	"analogdft/internal/obs"
+)
+
+// SLO instrumentation: a rolling latency summary over every endpoint
+// (exact P50/P95/P99 over the last sloWindow requests — no dependency,
+// no streaming sketch) and an error-budget gauge derived from the 5xx
+// fraction against the configured availability target. Both live in the
+// shared registry, so /metrics carries them next to the raw histograms.
+const sloWindow = 1024
+
+var (
+	hRequest = obs.Reg().Summary("dftserved_http_request_seconds",
+		"rolling request latency across all endpoints", sloWindow)
+
+	sloRequests atomic.Int64
+	sloFailures atomic.Int64
+
+	// sloTargetBits holds the availability target (a float64, stored as
+	// bits for atomic access); -slo-target overrides the default.
+	sloTargetBits atomic.Uint64
+
+	_ = obs.Reg().GaugeFunc("dftserved_slo_error_budget_remaining",
+		"fraction of the availability error budget left (1 = untouched, <0 = blown)",
+		errorBudgetRemaining)
+)
+
+// defaultSLOTarget is the availability objective when -slo-target is not
+// given: at most 1 request in 100 may fail with a 5xx.
+const defaultSLOTarget = 0.99
+
+func init() { setSLOTarget(defaultSLOTarget) }
+
+// setSLOTarget installs the availability objective (0 < target < 1).
+func setSLOTarget(target float64) { sloTargetBits.Store(math.Float64bits(target)) }
+
+// sloTarget returns the configured availability objective.
+func sloTarget() float64 { return math.Float64frombits(sloTargetBits.Load()) }
+
+// errorBudgetRemaining computes the unspent fraction of the error budget:
+// with target availability T the budget is a 1-T failure fraction, and
+// each 5xx spends budget/total of it. 1 with no traffic or no failures,
+// 0 at the objective boundary, negative once the objective is blown.
+func errorBudgetRemaining() float64 {
+	total := sloRequests.Load()
+	if total == 0 {
+		return 1
+	}
+	failed := float64(sloFailures.Load()) / float64(total)
+	budget := 1 - sloTarget()
+	if budget <= 0 {
+		if failed == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - failed/budget
+}
+
+// buildGoVersion and buildRevision are captured once from the binary's
+// embedded build info for the /healthz snapshot.
+var buildGoVersion, buildRevision = readBuildInfo()
+
+func readBuildInfo() (goVersion, revision string) {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown", ""
+	}
+	goVersion = bi.GoVersion
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" {
+			revision = s.Value
+		}
+	}
+	return goVersion, revision
+}
+
+// trace handles GET /v1/jobs/{id}/trace: the retained span tree of a
+// finished job, or the live tree of one still queued or running. Evicted
+// traces answer 410 Gone, unknown jobs 404.
+func (s *server) trace(w http.ResponseWriter, r *http.Request) {
+	jt, err := s.mgr.Trace(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, jt)
+}
+
+// traces handles GET /v1/debug/traces: the retention ring's summaries,
+// newest first, without the span trees.
+func (s *server) traces(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.mgr.TraceSummaries())
+}
+
+// sloBody is the GET /v1/debug/slo response. Latency quantiles are nil
+// until the first request lands in the rolling window.
+type sloBody struct {
+	Target               float64  `json:"target"`
+	Requests             int64    `json:"requests"`
+	Failures             int64    `json:"failures"`
+	ErrorBudgetRemaining float64  `json:"error_budget_remaining"`
+	Window               int      `json:"window"`
+	LatencyP50           *float64 `json:"latency_p50_seconds,omitempty"`
+	LatencyP95           *float64 `json:"latency_p95_seconds,omitempty"`
+	LatencyP99           *float64 `json:"latency_p99_seconds,omitempty"`
+}
+
+// slo handles GET /v1/debug/slo: the same numbers /metrics exposes, in
+// one JSON object for humans and scripts.
+func (s *server) slo(w http.ResponseWriter, r *http.Request) {
+	body := sloBody{
+		Target:               sloTarget(),
+		Requests:             sloRequests.Load(),
+		Failures:             sloFailures.Load(),
+		ErrorBudgetRemaining: errorBudgetRemaining(),
+		Window:               sloWindow,
+	}
+	quantile := func(q float64) *float64 {
+		v := hRequest.Quantile(q)
+		if math.IsNaN(v) {
+			return nil
+		}
+		return &v
+	}
+	body.LatencyP50, body.LatencyP95, body.LatencyP99 = quantile(0.5), quantile(0.95), quantile(0.99)
+	writeJSON(w, http.StatusOK, body)
+}

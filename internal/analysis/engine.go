@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -31,6 +32,28 @@ type Engine struct {
 	// the (configuration, ω) factorizations happen once, and the fault
 	// loop runs inside them.
 	lr *lowRankGrid
+
+	// traceCtx, when set, carries the caller's span context so the
+	// low-rank paths can attach their spans (grid factorization, per-point
+	// refactor fallbacks) to the caller's trace. The Engine API predates
+	// context plumbing; SetTraceContext sidesteps changing every sweep
+	// signature.
+	traceCtx context.Context
+}
+
+// SetTraceContext attaches (or, with nil, detaches) the span context the
+// engine's internal spans should parent under. Callers that set it must
+// clear it when the cell finishes so a retired trace is not held alive.
+func (e *Engine) SetTraceContext(ctx context.Context) {
+	e.traceCtx = ctx
+}
+
+// traceContext returns the attached span context, or Background.
+func (e *Engine) traceContext() context.Context {
+	if e.traceCtx != nil {
+		return e.traceCtx
+	}
+	return context.Background()
 }
 
 // NewEngine prepares an engine for the (undriven) circuit: the input is

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"slices"
+	"strconv"
 
 	"analogdft/internal/fault"
 	"analogdft/internal/mna"
@@ -67,6 +68,14 @@ func (e *Engine) ensureLowRank(grid []float64) error {
 		x:       make([]complex128, n),
 	}
 	timed := obs.TimingOn()
+	if timed {
+		// The grid cache is built lazily by whichever worker's first cell
+		// lands here, so the span is schedule-dependent — timing-gated,
+		// like the factor counter below.
+		_, fs := obs.Start(e.traceContext(), "lowrank.factor_grid")
+		fs.SetTag("points", strconv.Itoa(len(grid)))
+		defer fs.End()
+	}
 	for i, f := range grid {
 		m := numeric.NewMatrix(n, n)
 		rhs := make([]complex128, n)
@@ -154,6 +163,12 @@ func (e *Engine) SweepLowRank(lf *LowRankFault, grid []float64) (*Response, erro
 	}
 	defer e.Reset()
 	defer e.sw.FlushMetrics()
+	// Which points fall back is a numeric property of the cell, not of
+	// the schedule, so this marker span is always recorded.
+	_, rs := obs.Start(e.traceContext(), "lowrank.refactor")
+	rs.SetTag("component", lf.Component)
+	rs.SetTag("points", strconv.Itoa(len(fallback)))
+	defer rs.End()
 	for _, i := range fallback {
 		eLowRankRefactors.Inc()
 		v, err := e.sw.VoltageAt(grid[i])

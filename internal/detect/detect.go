@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -401,10 +402,10 @@ func EvaluateCircuitContext(ctx context.Context, ckt *circuit.Circuit, faults fa
 	cr := newCellRunner(opts.Workers, pool)
 	row := &Row{Circuit: ckt.Name, Region: region, Evals: make([]FaultEval, len(faults))}
 	tr := newTracker(len(faults), base, opts.Progress)
-	cellCtx, cancel := cancelContext(ctx, opts)
-	_, cellSpan := obs.Start(sctx, "detect.cells")
-	runParallel(cellCtx, len(faults), opts.Workers, func(w, j int) {
-		eval, st := cr.evaluate(w, 0, ckt, faults[j], nominal, grid, opts)
+	cellsCtx, cellSpan := obs.Start(sctx, "detect.cells")
+	cellCtx, cancel := cancelContext(cellsCtx, opts)
+	runParallel(cellCtx, len(faults), opts.Workers, func(cctx context.Context, w, j int) {
+		eval, st := cr.evaluate(cctx, w, 0, ckt, faults[j], nominal, grid, opts)
 		row.Evals[j] = eval
 		if eval.Err != nil && cancel != nil {
 			cancel()
@@ -509,13 +510,40 @@ func scoreCell(eval *FaultEval, nominal, resp *analysis.Response, grid []float64
 	return nil
 }
 
+// fallbackSpan records a marker span for a cell the requested engine
+// path could not run. Which cells fall back is a property of the circuit
+// and fault list — not of the schedule — so these spans are always
+// recorded and the exported tree shape stays deterministic.
+func fallbackSpan(ctx context.Context, f fault.Fault, from string) {
+	_, s := obs.Start(ctx, "detect.fallback")
+	s.SetTag("fault", f.String())
+	s.SetTag("from", from)
+	s.End()
+}
+
+// retrySpan opens a marker span around the jittered re-solve loop of a
+// cell with singular points. Singularity is deterministic per cell, so
+// the span set is schedule-independent; only durations vary.
+func retrySpan(ctx context.Context, f fault.Fault, points int) *obs.Span {
+	_, s := obs.Start(ctx, "detect.retry")
+	s.SetTag("fault", f.String())
+	s.SetTag("points", strconv.Itoa(points))
+	return s
+}
+
+// endRetrySpan closes a retry span with its outcome.
+func endRetrySpan(s *obs.Span, recovered int) {
+	s.SetTag("recovered", strconv.Itoa(recovered))
+	s.End()
+}
+
 // evaluateFault measures one fault against a pre-swept nominal response
 // and accounts the simulation effort — the naive path: the circuit is
 // cloned and a fresh MNA system built for the cell. A nominal baseline
 // with no valid points makes every comparison meaningless (the deviation
 // profile is identically zero), so the cell records an error instead of a
 // silent "undetectable".
-func evaluateFault(ckt *circuit.Circuit, f fault.Fault, nominal *analysis.Response, grid []float64, opts Options) (FaultEval, cellStats) {
+func evaluateFault(ctx context.Context, ckt *circuit.Circuit, f fault.Fault, nominal *analysis.Response, grid []float64, opts Options) (FaultEval, cellStats) {
 	eval := FaultEval{Fault: f}
 	var st cellStats
 	fail := func(err error) (FaultEval, cellStats) {
@@ -536,7 +564,9 @@ func evaluateFault(ckt *circuit.Circuit, f fault.Fault, nominal *analysis.Respon
 	}
 	st.solves += len(grid)
 	if opts.OnError == Retry && resp.InvalidCount() > 0 {
+		rs := retrySpan(ctx, f, resp.InvalidCount())
 		recovered, solves, rerr := analysis.RetrySingularPoints(faulty, resp, opts.MaxRetries)
+		endRetrySpan(rs, recovered)
 		st.retries += solves
 		st.solves += solves
 		st.recovered += recovered
@@ -556,7 +586,7 @@ func evaluateFault(ckt *circuit.Circuit, f fault.Fault, nominal *analysis.Respon
 // allocation beyond the response buffers. Faults the engine cannot patch
 // fall back to the naive clone path (counted in engine_fallback_total),
 // so both engine modes always evaluate the same cell set.
-func evaluateFaultIncremental(eng *analysis.Engine, ckt *circuit.Circuit, f fault.Fault, nominal *analysis.Response, grid []float64, opts Options) (FaultEval, cellStats) {
+func evaluateFaultIncremental(ctx context.Context, eng *analysis.Engine, ckt *circuit.Circuit, f fault.Fault, nominal *analysis.Response, grid []float64, opts Options) (FaultEval, cellStats) {
 	eval := FaultEval{Fault: f}
 	var st cellStats
 	fail := func(err error) (FaultEval, cellStats) {
@@ -569,7 +599,8 @@ func evaluateFaultIncremental(eng *analysis.Engine, ckt *circuit.Circuit, f faul
 	}
 	if err := eng.ApplyFault(f); err != nil {
 		dEngineFallback.Inc()
-		return evaluateFault(ckt, f, nominal, grid, opts)
+		fallbackSpan(ctx, f, "incremental")
+		return evaluateFault(ctx, ckt, f, nominal, grid, opts)
 	}
 	defer eng.Reset()
 	resp, err := eng.SweepGrid(grid)
@@ -580,7 +611,9 @@ func evaluateFaultIncremental(eng *analysis.Engine, ckt *circuit.Circuit, f faul
 	if opts.OnError == Retry && resp.InvalidCount() > 0 {
 		// The fault is still applied, so the jittered re-solves run on the
 		// faulty system, exactly as the naive path's retry does.
+		rs := retrySpan(ctx, f, resp.InvalidCount())
 		recovered, solves, rerr := eng.RetrySingularPoints(resp, opts.MaxRetries)
+		endRetrySpan(rs, recovered)
 		st.retries += solves
 		st.solves += solves
 		st.recovered += recovered
@@ -604,7 +637,7 @@ func evaluateFaultIncremental(eng *analysis.Engine, ckt *circuit.Circuit, f faul
 // to the incremental path (counted in engine_fallback_total) — which in
 // turn can fall back to the naive clone path — so every engine mode
 // evaluates exactly the same cell set.
-func evaluateFaultLowRank(eng *analysis.Engine, ckt *circuit.Circuit, f fault.Fault, nominal *analysis.Response, grid []float64, opts Options) (FaultEval, cellStats) {
+func evaluateFaultLowRank(ctx context.Context, eng *analysis.Engine, ckt *circuit.Circuit, f fault.Fault, nominal *analysis.Response, grid []float64, opts Options) (FaultEval, cellStats) {
 	eval := FaultEval{Fault: f}
 	var st cellStats
 	fail := func(err error) (FaultEval, cellStats) {
@@ -618,8 +651,11 @@ func evaluateFaultLowRank(eng *analysis.Engine, ckt *circuit.Circuit, f fault.Fa
 	lf, err := eng.PrepareLowRank(f)
 	if err != nil {
 		dEngineFallback.Inc()
-		return evaluateFaultIncremental(eng, ckt, f, nominal, grid, opts)
+		fallbackSpan(ctx, f, "lowrank")
+		return evaluateFaultIncremental(ctx, eng, ckt, f, nominal, grid, opts)
 	}
+	eng.SetTraceContext(ctx)
+	defer eng.SetTraceContext(nil)
 	resp, err := eng.SweepLowRank(lf, grid)
 	if err != nil {
 		return fail(err)
@@ -631,8 +667,10 @@ func evaluateFaultLowRank(eng *analysis.Engine, ckt *circuit.Circuit, f fault.Fa
 		if err := eng.ApplyFault(f); err != nil {
 			return fail(err)
 		}
+		rs := retrySpan(ctx, f, resp.InvalidCount())
 		recovered, solves, rerr := eng.RetrySingularPoints(resp, opts.MaxRetries)
 		eng.Reset()
+		endRetrySpan(rs, recovered)
 		st.retries += solves
 		st.solves += solves
 		st.recovered += recovered
@@ -703,10 +741,34 @@ func newCellRunner(workers int, pool *enginePool) *cellRunner {
 	return &cellRunner{pool: pool, caches: caches}
 }
 
-// evaluate runs the (configuration cfg, fault f) cell on worker w.
-func (cr *cellRunner) evaluate(w, cfg int, ckt *circuit.Circuit, f fault.Fault, nominal *analysis.Response, grid []float64, opts Options) (FaultEval, cellStats) {
+// evaluate runs the (configuration cfg, fault f) cell on worker w. When
+// timing is on it also records the cell's wall latency under the
+// requested engine mode and offers it to the slow-cell exemplar store,
+// stamped with the trace ID carried by ctx.
+func (cr *cellRunner) evaluate(ctx context.Context, w, cfg int, ckt *circuit.Circuit, f fault.Fault, nominal *analysis.Response, grid []float64, opts Options) (FaultEval, cellStats) {
+	timed := obs.TimingOn()
+	var t0 time.Time
+	if timed {
+		t0 = obs.Now()
+	}
+	eval, st := cr.dispatch(ctx, w, cfg, ckt, f, nominal, grid, opts)
+	if timed {
+		mode := opts.Engine.String()
+		el := obs.Since(t0).Seconds()
+		dCellSeconds.With(mode).Observe(el)
+		id := ""
+		if tc := obs.TraceFrom(ctx); !tc.IsZero() {
+			id = tc.TraceIDString()
+		}
+		dSlowCells.Offer(el, id, mode)
+	}
+	return eval, st
+}
+
+// dispatch routes the cell to the configured engine path.
+func (cr *cellRunner) dispatch(ctx context.Context, w, cfg int, ckt *circuit.Circuit, f fault.Fault, nominal *analysis.Response, grid []float64, opts Options) (FaultEval, cellStats) {
 	if opts.Engine == EngineNaive {
-		return evaluateFault(ckt, f, nominal, grid, opts)
+		return evaluateFault(ctx, ckt, f, nominal, grid, opts)
 	}
 	eng, ok := cr.caches[w][cfg]
 	if !ok {
@@ -717,14 +779,15 @@ func (cr *cellRunner) evaluate(w, cfg int, ckt *circuit.Circuit, f fault.Fault, 
 			// circuit, so a failure here is exceptional; degrade to the
 			// naive path rather than invent a new error channel.
 			dEngineFallback.Inc()
-			return evaluateFault(ckt, f, nominal, grid, opts)
+			fallbackSpan(ctx, f, "pool")
+			return evaluateFault(ctx, ckt, f, nominal, grid, opts)
 		}
 		cr.caches[w][cfg] = eng
 	}
 	if opts.Engine == EngineLowRank {
-		return evaluateFaultLowRank(eng, ckt, f, nominal, grid, opts)
+		return evaluateFaultLowRank(ctx, eng, ckt, f, nominal, grid, opts)
 	}
-	return evaluateFaultIncremental(eng, ckt, f, nominal, grid, opts)
+	return evaluateFaultIncremental(ctx, eng, ckt, f, nominal, grid, opts)
 }
 
 // CellError is a structured record of one failed matrix cell: which
@@ -907,12 +970,12 @@ func BuildMatrixContext(ctx context.Context, m *dft.Modified, faults fault.List,
 	}
 	results := make([]cellResult, len(cells))
 	tr := newTracker(len(cells), base, opts.Progress)
-	cellCtx, cancel := cancelContext(ctx, opts)
-	_, cellSpan := obs.Start(sctx, "detect.cells")
+	cellsCtx, cellSpan := obs.Start(sctx, "detect.cells")
 	cellSpan.SetTag("cells", fmt.Sprint(len(cells)))
-	runParallel(cellCtx, len(cells), opts.Workers, func(w, k int) {
+	cellCtx, cancel := cancelContext(cellsCtx, opts)
+	runParallel(cellCtx, len(cells), opts.Workers, func(cctx context.Context, w, k int) {
 		c := cells[k]
-		eval, st := cr.evaluate(w, c.i, circuits[c.i], faults[c.j], nominals[c.i], grids[c.i], opts)
+		eval, st := cr.evaluate(cctx, w, c.i, circuits[c.i], faults[c.j], nominals[c.i], grids[c.i], opts)
 		results[k] = cellResult{eval: eval, done: true}
 		if eval.Err != nil && cancel != nil {
 			cancel()
@@ -1018,40 +1081,50 @@ func (t *tracker) finish(elapsed time.Duration) Stats {
 	return t.stats
 }
 
-// runParallel executes fn(worker, 0..n-1) over at most workers goroutines
-// using a chunked scheduler: indices are claimed in fixed-size contiguous
-// chunks off an atomic cursor. The worker index (0..workers-1) lets fn
-// keep per-worker state — the cell runner's engine caches — without
-// locking; fn must write only to index-distinct state beyond that (shared
-// accounting goes through the tracker's mutex), which keeps the engine
-// race-clean and its results independent of worker count. Cancelling ctx
-// stops workers from starting new cells; cells already in flight finish.
+// runParallel executes fn(ctx, worker, 0..n-1) over at most workers
+// goroutines using a chunked scheduler: indices are claimed in fixed-size
+// contiguous chunks off an atomic cursor. The worker index (0..workers-1)
+// lets fn keep per-worker state — the cell runner's engine caches —
+// without locking; fn must write only to index-distinct state beyond that
+// (shared accounting goes through the tracker's mutex), which keeps the
+// engine race-clean and its results independent of worker count.
+// Cancelling ctx stops workers from starting new cells; cells already in
+// flight finish.
 //
 // When obs timing is on the scheduler also reports its own health: chunk
-// latency and size histograms and, per worker, the busy fraction of the
-// fan-out wall time (utilization). All of it is schedule-dependent by
-// nature, so none of it is collected with timing off.
-func runParallel(ctx context.Context, n, workers int, fn func(worker, i int)) {
+// latency and size histograms, per-worker busy fractions, and a
+// "detect.chunk" span per claimed chunk (nested under the caller's span
+// via ctx, so job traces show where cell time went). All of it is
+// schedule-dependent by nature — which chunks exist depends on the worker
+// count and the race for the cursor — so none of it is collected with
+// timing off, keeping traces and registry snapshots deterministic.
+func runParallel(ctx context.Context, n, workers int, fn func(ctx context.Context, worker, i int)) {
 	if workers > n {
 		workers = n
 	}
 	timed := obs.TimingOn()
 	if workers <= 1 {
+		cctx := ctx
 		if timed {
 			dWorkers.Set(1)
+			var cs *obs.Span
+			cctx, cs = obs.Start(ctx, "detect.chunk")
+			cs.SetTag("worker", "0")
+			cs.SetTag("cells", fmt.Sprint(n))
 			t0 := obs.Now()
 			defer func() {
 				el := obs.Since(t0)
 				dChunkSeconds.Observe(el.Seconds())
 				dChunkCells.Observe(float64(n))
 				dWorkerBusy.Observe(1)
+				cs.End()
 			}()
 		}
 		for i := 0; i < n; i++ {
 			if ctx != nil && ctx.Err() != nil {
 				return
 			}
-			fn(0, i)
+			fn(cctx, 0, i)
 		}
 		return
 	}
@@ -1091,17 +1164,24 @@ func runParallel(ctx context.Context, n, workers int, fn func(worker, i int)) {
 				if end > n {
 					end = n
 				}
+				cctx := ctx
 				var c0 time.Time
+				var cs *obs.Span
 				if timed {
 					c0 = obs.Now()
+					cctx, cs = obs.Start(ctx, "detect.chunk")
+					cs.SetTag("worker", fmt.Sprint(worker))
+					cs.SetTag("cells", fmt.Sprint(end-start))
 				}
 				for i := start; i < end; i++ {
 					if ctx != nil && ctx.Err() != nil {
+						cs.End()
 						return
 					}
-					fn(worker, i)
+					fn(cctx, worker, i)
 				}
 				if timed {
+					cs.End()
 					el := obs.Since(c0)
 					busy += el
 					dChunkSeconds.Observe(el.Seconds())

@@ -36,6 +36,9 @@ var (
 	dEngineFallback = obs.Reg().Counter("engine_fallback_total",
 		"cells the incremental engine could not patch, evaluated on the naive clone path")
 
+	dCellSeconds = obs.Reg().HistogramVec("detect_cell_seconds",
+		"per-cell solve latency by requested engine mode (timing on only)", "engine", obs.TimeBuckets)
+
 	dWorkers = obs.Reg().Gauge("detect_workers",
 		"worker count of the most recent fan-out (timing on only)")
 	dChunkSeconds = obs.Reg().Histogram("detect_chunk_seconds",
@@ -48,6 +51,12 @@ var (
 
 // dlog is the package logger.
 var dlog = obs.Logger("detect")
+
+// dSlowCells retains the slowest cell solves seen by this process, each
+// stamped with the W3C trace ID of the job that ran it — the bridge from
+// a P99 regression on detect_cell_seconds to a concrete job trace.
+// Offered only when timing is on, like the histogram it annotates.
+var dSlowCells = obs.RegisterExemplars("detect_cell_seconds", 8)
 
 // bridgeStats folds one evaluation's final Stats into the registry.
 func bridgeStats(st Stats, policy ErrorPolicy) {

@@ -23,6 +23,9 @@ var (
 	// ErrFinished is returned by Cancel when the job already reached a
 	// terminal state.
 	ErrFinished = errors.New("jobs: job already finished")
+	// ErrTraceEvicted is returned by Trace for a job whose span tree has
+	// aged out of the bounded trace ring.
+	ErrTraceEvicted = errors.New("jobs: trace evicted from ring")
 )
 
 // State is a job's lifecycle state.
@@ -56,6 +59,16 @@ type job struct {
 	started  time.Time
 	finished time.Time
 	cancel   context.CancelFunc
+
+	// Per-job tracing. Every job runs under its own always-enabled
+	// tracer, attached to the run context as an override, so the span
+	// trees the engine opens (detect.matrix, detect.cells, …) land in
+	// the job's private trace regardless of the global tracing switch.
+	tc     obs.TraceContext // W3C identity (inbound or generated)
+	parent string           // inbound caller's span ID, "" when generated
+	tracer *obs.Tracer      // nil once the trace moved to the ring
+	root   *obs.Span        // the job's root span
+	wait   *obs.Span        // jobs.enqueue_wait, open while queued
 }
 
 // View is an immutable snapshot of a job for the HTTP layer.
@@ -67,10 +80,12 @@ type View struct {
 	Cached bool   `json:"cached"`
 	Err    string `json:"error,omitempty"`
 	// HasResult tells pollers the result endpoint is ready.
-	HasResult bool       `json:"has_result"`
-	Created   time.Time  `json:"created"`
-	Started   *time.Time `json:"started,omitempty"`
-	Finished  *time.Time `json:"finished,omitempty"`
+	HasResult bool `json:"has_result"`
+	// TraceID is the job's W3C trace ID, for GET /v1/jobs/{id}/trace.
+	TraceID  string     `json:"trace_id,omitempty"`
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
 }
 
 func (j *job) view() View {
@@ -82,6 +97,7 @@ func (j *job) view() View {
 		Cached:    j.cached,
 		Err:       j.err,
 		HasResult: len(j.result) > 0,
+		TraceID:   j.tc.TraceIDString(),
 		Created:   j.created,
 	}
 	if !j.started.IsZero() {
@@ -111,6 +127,9 @@ type Config struct {
 	// leaves the library default (GOMAXPROCS) — sensible for Workers=1,
 	// oversubscribed otherwise.
 	SimWorkers int
+	// TraceEntries bounds the ring of completed job traces served by
+	// GET /v1/jobs/{id}/trace (default 64).
+	TraceEntries int
 }
 
 func (c Config) normalize() Config {
@@ -123,14 +142,18 @@ func (c Config) normalize() Config {
 	if c.CacheEntries <= 0 {
 		c.CacheEntries = 128
 	}
+	if c.TraceEntries <= 0 {
+		c.TraceEntries = 64
+	}
 	return c
 }
 
 // Manager owns the job table, the bounded queue, the worker pool and the
 // result cache. All methods are safe for concurrent use.
 type Manager struct {
-	cfg   Config
-	cache *resultCache
+	cfg    Config
+	cache  *resultCache
+	traces *traceRing
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -154,6 +177,7 @@ func NewManager(cfg Config) *Manager {
 	m := &Manager{
 		cfg:        cfg,
 		cache:      newResultCache(cfg.CacheEntries),
+		traces:     newTraceRing(cfg.TraceEntries),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		queue:      make(chan *job, cfg.QueueDepth),
@@ -175,10 +199,28 @@ func (m *Manager) Config() Config { return m.cfg }
 // ErrQueueFull means the caller should retry later; ErrBadRequest wraps
 // every validation failure; ErrClosed means the manager is draining.
 func (m *Manager) Submit(req Request) (View, error) {
+	return m.SubmitCtx(context.Background(), req)
+}
+
+// SubmitCtx is Submit with a caller context. When ctx carries a W3C
+// TraceContext (the HTTP edge parses the traceparent header into one) the
+// job runs under the caller's trace ID with a fresh span ID; otherwise a
+// new trace identity is generated. ctx is only read for the trace
+// identity — the job's lifetime is governed by the manager, not ctx.
+func (m *Manager) SubmitCtx(ctx context.Context, req Request) (View, error) {
 	res, err := req.Resolve()
 	if err != nil {
 		return View{}, err
 	}
+	tc := obs.TraceFrom(ctx)
+	parent := ""
+	if tc.IsZero() {
+		tc = obs.NewTraceContext()
+	} else {
+		parent = tc.SpanIDString()
+		tc = tc.WithNewSpanID()
+	}
+
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
@@ -190,8 +232,22 @@ func (m *Manager) Submit(req Request) (View, error) {
 		res:     res,
 		state:   StateQueued,
 		created: obs.Now(),
+		tc:      tc,
+		parent:  parent,
+		tracer:  obs.NewTracer(),
 	}
-	if payload, ok := m.cache.Get(res.Key); ok {
+	j.tracer.SetEnabled(true)
+	_, j.root = j.tracer.Start(context.Background(), "job")
+	j.root.SetTag("job", j.id)
+	j.root.SetTag("kind", string(res.Req.Kind))
+	j.root.SetTag("trace_id", tc.TraceIDString())
+
+	payload, hit := m.cache.Get(res.Key)
+	_, lookup := j.tracer.Start(obs.ContextWithSpan(context.Background(), j.root), "jobs.cache_lookup")
+	lookup.SetTag("key", res.Key)
+	lookup.SetTag("hit", fmt.Sprintf("%t", hit))
+	lookup.End()
+	if hit {
 		jCacheHits.Inc()
 		jSubmitted.Inc()
 		j.state = StateDone
@@ -200,11 +256,13 @@ func (m *Manager) Submit(req Request) (View, error) {
 		j.finished = j.created
 		m.register(j)
 		jDone.With(string(StateDone)).Inc()
+		m.retireTraceLocked(j)
 		return j.view(), nil
 	}
 	if m.cfg.SimWorkers > 0 && req.Options.Workers == 0 {
 		res.Options.Workers = m.cfg.SimWorkers
 	}
+	_, j.wait = j.tracer.Start(obs.ContextWithSpan(context.Background(), j.root), "jobs.enqueue_wait")
 	select {
 	case m.queue <- j:
 	default:
@@ -217,6 +275,37 @@ func (m *Manager) Submit(req Request) (View, error) {
 	m.register(j)
 	jQueueDepth.Set(float64(len(m.queue)))
 	return j.view(), nil
+}
+
+// retireTraceLocked closes the job's root span and moves the finished
+// trace into the bounded ring, releasing the live tracer. Caller holds
+// m.mu and has already put j in a terminal state.
+func (m *Manager) retireTraceLocked(j *job) {
+	if j.tracer == nil {
+		return
+	}
+	j.wait.End()
+	j.root.SetTag("state", string(j.state))
+	j.root.End()
+	tr := j.tracer.Export()
+	spans := len(tr.Flat)
+	dur := 0.0
+	if len(tr.Spans) > 0 {
+		dur = tr.Spans[0].DurMs
+	}
+	m.traces.add(&JobTrace{
+		JobID:   j.id,
+		Kind:    j.res.Req.Kind,
+		State:   j.state,
+		TraceID: j.tc.TraceIDString(),
+		Parent:  j.parent,
+		Spans:   spans,
+		DurMs:   dur,
+		Trace:   tr,
+	})
+	j.tracer = nil
+	j.root = nil
+	j.wait = nil
 }
 
 // register adds j to the job table. Caller holds m.mu.
@@ -277,6 +366,8 @@ func (m *Manager) Cancel(id string) (View, error) {
 		j.finished = obs.Now()
 		jCancelRequests.Inc()
 		jDone.With(string(StateCanceled)).Inc()
+		j.wait.SetTag("canceled", "true")
+		m.retireTraceLocked(j)
 	case StateRunning:
 		jCancelRequests.Inc()
 		j.cancel() // worker observes ctx.Err and marks the terminal state
@@ -285,6 +376,52 @@ func (m *Manager) Cancel(id string) (View, error) {
 	}
 	return j.view(), nil
 }
+
+// Trace returns the job's span tree: a live export for a queued or
+// running job, the retained export for a finished one. ErrTraceEvicted
+// means the job finished but its trace aged out of the bounded ring.
+func (m *Manager) Trace(id string) (*JobTrace, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return nil, ErrNotFound
+	}
+	if j.tracer != nil {
+		jt := &JobTrace{
+			JobID:   j.id,
+			Kind:    j.res.Req.Kind,
+			State:   j.state,
+			TraceID: j.tc.TraceIDString(),
+			Parent:  j.parent,
+			Trace:   j.tracer.Export(),
+		}
+		m.mu.Unlock()
+		jt.Spans = len(jt.Trace.Flat)
+		if len(jt.Trace.Spans) > 0 {
+			jt.DurMs = jt.Trace.Spans[0].DurMs
+		}
+		return jt, nil
+	}
+	m.mu.Unlock()
+	if jt, ok := m.traces.get(id); ok {
+		return jt, nil
+	}
+	return nil, ErrTraceEvicted
+}
+
+// TraceSummaries lists the retained completed traces, newest first,
+// without their span trees.
+func (m *Manager) TraceSummaries() []JobTrace { return m.traces.list() }
+
+// QueueStats returns the current queue depth and configured capacity,
+// for backpressure responses and health snapshots.
+func (m *Manager) QueueStats() (depth, capacity int) {
+	return len(m.queue), m.cfg.QueueDepth
+}
+
+// CacheLen returns the result cache occupancy.
+func (m *Manager) CacheLen() int { return m.cache.Len() }
 
 // worker drains the queue until Close closes it.
 func (m *Manager) worker() {
@@ -301,6 +438,15 @@ func (m *Manager) worker() {
 		j.started = obs.Now()
 		j.cancel = cancel
 		res := j.res
+		j.wait.End() // the queue wait is over: a worker picked the job up
+		if obs.TimingOn() {
+			jEnqueueWait.Observe(obs.Since(j.created).Seconds())
+		}
+		// Route the run's spans to the job's private tracer, parented
+		// under its root, and carry the W3C identity for exemplars.
+		ctx = obs.ContextWithTracer(ctx, j.tracer)
+		ctx = obs.ContextWithSpan(ctx, j.root)
+		ctx = obs.ContextWithTrace(ctx, j.tc)
 		m.mu.Unlock()
 
 		jctx, span := obs.Start(ctx, "jobs.run")
@@ -327,6 +473,7 @@ func (m *Manager) worker() {
 			jlog.Warn("job failed", "job", j.id, "kind", res.Req.Kind, "err", err)
 		}
 		jDone.With(string(j.state)).Inc()
+		m.retireTraceLocked(j)
 		m.mu.Unlock()
 	}
 }

@@ -27,6 +27,10 @@ var (
 		"jobs waiting in the queue (excludes running jobs)")
 	jDone = obs.Reg().CounterVec("jobs_finished_total",
 		"jobs by terminal state", "state")
+	// jEnqueueWait is clock-derived and therefore gated on obs.TimingOn,
+	// like every latency instrument in the repo.
+	jEnqueueWait = obs.Reg().Histogram("jobs_enqueue_wait_seconds",
+		"submit-to-worker-pickup wait (timing mode only)", obs.TimeBuckets)
 )
 
 // jlog is the package logger.

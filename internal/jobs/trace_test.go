@@ -1,0 +1,269 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sort"
+	"strings"
+	"testing"
+
+	"analogdft/internal/obs"
+)
+
+const clientTraceparent = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+
+// submitTraced submits req under the given traceparent header value.
+func submitTraced(t *testing.T, m *Manager, header string, req Request) View {
+	t.Helper()
+	ctx := context.Background()
+	if header != "" {
+		tc, err := obs.ParseTraceparent(header)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx = obs.ContextWithTrace(ctx, tc)
+	}
+	v, err := m.SubmitCtx(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// spanNames collects the names of node's children.
+func spanNames(node *obs.SpanNode) []string {
+	out := make([]string, len(node.Children))
+	for i, c := range node.Children {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// findChild returns the first child with the given name.
+func findChild(node *obs.SpanNode, name string) *obs.SpanNode {
+	for _, c := range node.Children {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+func TestJobTracePropagatesTraceparent(t *testing.T) {
+	m := testManager(t, Config{Workers: 1}, func(ctx context.Context, res *Resolved) (json.RawMessage, error) {
+		_, s := obs.Start(ctx, "detect.matrix")
+		s.End()
+		return json.RawMessage(`{"ok":true}`), nil
+	})
+	v := submitTraced(t, m, clientTraceparent, biquadRequest(t, 300))
+	if v.TraceID != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("view trace id = %s", v.TraceID)
+	}
+	awaitState(t, m, v.ID)
+
+	jt, err := m.Trace(v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jt.TraceID != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("trace id = %s, inbound ID not propagated", jt.TraceID)
+	}
+	if jt.Parent != "00f067aa0ba902b7" {
+		t.Errorf("parent span id = %s", jt.Parent)
+	}
+	if jt.State != StateDone || len(jt.Trace.Spans) != 1 {
+		t.Fatalf("trace = %+v", jt)
+	}
+	root := jt.Trace.Spans[0]
+	if root.Name != "job" || root.Tags["trace_id"] != jt.TraceID {
+		t.Fatalf("root = %+v", root)
+	}
+	names := spanNames(root)
+	for _, want := range []string{"jobs.cache_lookup", "jobs.enqueue_wait", "jobs.run"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing span %s in %v", want, names)
+		}
+	}
+	if lookup := findChild(root, "jobs.cache_lookup"); lookup.Tags["hit"] != "false" {
+		t.Errorf("cache_lookup = %+v", lookup)
+	}
+	run := findChild(root, "jobs.run")
+	if run == nil || findChild(run, "detect.matrix") == nil {
+		t.Errorf("engine span not nested under jobs.run: %+v", run)
+	}
+}
+
+func TestJobTraceGeneratedIdentity(t *testing.T) {
+	m := testManager(t, Config{Workers: 1}, func(ctx context.Context, res *Resolved) (json.RawMessage, error) {
+		// The run context must carry the job's trace identity for
+		// exemplar stamping.
+		if obs.TraceFrom(ctx).IsZero() {
+			t.Error("run context has no trace identity")
+		}
+		return json.RawMessage(`{}`), nil
+	})
+	v, err := m.Submit(biquadRequest(t, 310))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.TraceID == "" || v.TraceID == strings.Repeat("0", 32) {
+		t.Fatalf("generated trace id = %q", v.TraceID)
+	}
+	awaitState(t, m, v.ID)
+	jt, err := m.Trace(v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jt.Parent != "" {
+		t.Errorf("generated identity has a parent span: %q", jt.Parent)
+	}
+}
+
+func TestJobTraceCacheHit(t *testing.T) {
+	m := testManager(t, Config{Workers: 1}, func(ctx context.Context, res *Resolved) (json.RawMessage, error) {
+		return json.RawMessage(`{}`), nil
+	})
+	req := biquadRequest(t, 320)
+	first, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	awaitState(t, m, first.ID)
+	second, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Fatal("second submit missed the cache")
+	}
+	jt, err := m.Trace(second.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := jt.Trace.Spans[0]
+	lookup := findChild(root, "jobs.cache_lookup")
+	if lookup == nil || lookup.Tags["hit"] != "true" {
+		t.Fatalf("cached trace = %+v", root)
+	}
+	if findChild(root, "jobs.run") != nil {
+		t.Error("cached job has a run span")
+	}
+}
+
+func TestJobTraceCanceledQueued(t *testing.T) {
+	release := make(chan struct{})
+	m := testManager(t, Config{Workers: 1, QueueDepth: 2}, func(ctx context.Context, res *Resolved) (json.RawMessage, error) {
+		<-release
+		return json.RawMessage(`{}`), nil
+	})
+	defer close(release)
+	blocker, err := m.Submit(biquadRequest(t, 330))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, m, blocker.ID)
+	queued, err := m.Submit(biquadRequest(t, 331))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Cancel(queued.ID); err != nil {
+		t.Fatal(err)
+	}
+	jt, err := m.Trace(queued.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jt.State != StateCanceled {
+		t.Fatalf("state = %s", jt.State)
+	}
+	wait := findChild(jt.Trace.Spans[0], "jobs.enqueue_wait")
+	if wait == nil || wait.Tags["canceled"] != "true" {
+		t.Fatalf("wait span = %+v", wait)
+	}
+}
+
+func TestTraceRingEviction(t *testing.T) {
+	m := testManager(t, Config{Workers: 1, TraceEntries: 2}, func(ctx context.Context, res *Resolved) (json.RawMessage, error) {
+		return json.RawMessage(`{}`), nil
+	})
+	var ids []string
+	for i := 0; i < 3; i++ {
+		v, err := m.Submit(biquadRequest(t, 340+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		awaitState(t, m, v.ID)
+		ids = append(ids, v.ID)
+	}
+	if _, err := m.Trace(ids[0]); !errors.Is(err, ErrTraceEvicted) {
+		t.Fatalf("oldest trace err = %v, want ErrTraceEvicted", err)
+	}
+	for _, id := range ids[1:] {
+		if _, err := m.Trace(id); err != nil {
+			t.Fatalf("Trace(%s): %v", id, err)
+		}
+	}
+	sums := m.TraceSummaries()
+	if len(sums) != 2 || sums[0].JobID != ids[2] || sums[1].JobID != ids[1] {
+		t.Fatalf("summaries = %+v", sums)
+	}
+	if sums[0].Trace != nil {
+		t.Error("summary carries a span tree")
+	}
+	if _, err := m.Trace("job-999"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown job err = %v", err)
+	}
+}
+
+// shape canonicalizes a span subtree into a deterministic string: span
+// names only, children sorted by name, so concurrent sibling order and
+// all timing is erased.
+func shape(node *obs.SpanNode) string {
+	parts := make([]string, len(node.Children))
+	for i, c := range node.Children {
+		parts[i] = shape(c)
+	}
+	sort.Strings(parts)
+	return node.Name + "(" + strings.Join(parts, ",") + ")"
+}
+
+// TestTraceShapeDeterministicAcrossWorkers pins the satellite
+// requirement: with timing gated off, the exported span tree of a real
+// simulation has the same shape regardless of simulation parallelism —
+// schedule-dependent spans (per-chunk solves) must be timing-gated.
+func TestTraceShapeDeterministicAcrossWorkers(t *testing.T) {
+	if obs.TimingOn() {
+		t.Fatal("test requires timing off")
+	}
+	run := func(simWorkers int) string {
+		m := testManager(t, Config{Workers: 1, SimWorkers: simWorkers}, nil) // real runner
+		v, err := m.Submit(biquadRequest(t, 350))
+		if err != nil {
+			t.Fatal(err)
+		}
+		final := awaitState(t, m, v.ID)
+		if final.State != StateDone {
+			t.Fatalf("job with %d sim workers finished %s: %s", simWorkers, final.State, final.Err)
+		}
+		jt, err := m.Trace(v.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return shape(jt.Trace.Spans[0])
+	}
+	one := run(1)
+	four := run(4)
+	if one != four {
+		t.Fatalf("span tree shape depends on worker count:\n 1: %s\n 4: %s", one, four)
+	}
+	if !strings.Contains(one, "jobs.run") || !strings.Contains(one, "detect.") {
+		t.Fatalf("trace shape misses engine spans: %s", one)
+	}
+}

@@ -1,0 +1,87 @@
+package jobs
+
+import (
+	"sync"
+
+	"analogdft/internal/obs"
+)
+
+// JobTrace is the retained trace of one completed job: the W3C identity
+// it ran under, the terminal state, and the exported span tree.
+type JobTrace struct {
+	JobID   string     `json:"job_id"`
+	Kind    Kind       `json:"kind"`
+	State   State      `json:"state"`
+	TraceID string     `json:"trace_id"`
+	Parent  string     `json:"parent_span_id,omitempty"` // inbound caller's span ID
+	Spans   int        `json:"spans"`
+	DurMs   float64    `json:"dur_ms"`
+	Trace   *obs.Trace `json:"trace,omitempty"`
+}
+
+// Summary returns a copy without the span tree, for listings.
+func (jt *JobTrace) Summary() JobTrace {
+	s := *jt
+	s.Trace = nil
+	return s
+}
+
+// traceRing retains the last max completed job traces. Terminal jobs
+// release their live tracer into the ring, so trace memory is bounded by
+// the ring size regardless of how many jobs the table remembers; evicted
+// traces are gone (ErrTraceEvicted; the HTTP layer answers 410). Safe for
+// concurrent use.
+type traceRing struct {
+	mu      sync.Mutex
+	max     int
+	entries []*JobTrace // oldest first
+	byID    map[string]*JobTrace
+}
+
+// newTraceRing returns a ring keeping the last max traces (min 1).
+func newTraceRing(max int) *traceRing {
+	if max < 1 {
+		max = 1
+	}
+	return &traceRing{max: max, byID: make(map[string]*JobTrace)}
+}
+
+// add retains jt, evicting the oldest entry when full.
+func (r *traceRing) add(jt *JobTrace) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.entries) == r.max {
+		old := r.entries[0]
+		copy(r.entries, r.entries[1:])
+		r.entries = r.entries[:len(r.entries)-1]
+		delete(r.byID, old.JobID)
+	}
+	r.entries = append(r.entries, jt)
+	r.byID[jt.JobID] = jt
+}
+
+// get returns the retained trace for a job ID.
+func (r *traceRing) get(jobID string) (*JobTrace, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	jt, ok := r.byID[jobID]
+	return jt, ok
+}
+
+// list returns summaries (no span trees), newest first.
+func (r *traceRing) list() []JobTrace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]JobTrace, 0, len(r.entries))
+	for i := len(r.entries) - 1; i >= 0; i-- {
+		out = append(out, r.entries[i].Summary())
+	}
+	return out
+}
+
+// len returns the number of retained traces.
+func (r *traceRing) len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}

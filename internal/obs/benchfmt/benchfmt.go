@@ -10,16 +10,21 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"strconv"
 	"strings"
 )
 
-// Sample is one benchmark line of `go test -bench` output.
+// Sample is one benchmark line of `go test -bench` output. HasMem
+// records whether the line carried the -benchmem columns; without it a
+// zero B/op is indistinguishable from "not measured" and mem means get
+// silently dragged toward zero on mixed runs.
 type Sample struct {
 	Iters       int64   `json:"iters"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BPerOp      float64 `json:"b_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	HasMem      bool    `json:"has_mem,omitempty"`
 }
 
 // Benchmark aggregates the -count repetitions of one benchmark.
@@ -27,7 +32,12 @@ type Benchmark struct {
 	Pkg  string `json:"pkg,omitempty"`
 	Name string `json:"name"`
 	Runs int    `json:"runs"`
-	// Mean values across the samples.
+	// MemRuns counts the samples that carried -benchmem columns; the mem
+	// means below average over those samples only. Zero means the
+	// benchmark never reported memory and BPerOp/AllocsPerOp are
+	// meaningless.
+	MemRuns int `json:"mem_runs,omitempty"`
+	// Mean values across the samples (mem means across MemRuns samples).
 	NsPerOp     float64  `json:"ns_per_op"`
 	BPerOp      float64  `json:"b_per_op"`
 	AllocsPerOp float64  `json:"allocs_per_op"`
@@ -74,31 +84,37 @@ func Parse(r io.Reader) (*File, error) {
 			continue
 		}
 		fields := strings.Fields(line)
-		if len(fields) < 4 || len(fields)%2 != 0 {
+		if len(fields) < 4 {
 			continue // sub-benchmark headers or malformed lines
 		}
 		iters, err := strconv.ParseInt(fields[1], 10, 64)
 		if err != nil {
 			continue
 		}
+		// Parse value/unit pairs. Only ns/op is required; B/op and
+		// allocs/op are optional (runs without -benchmem), and unknown
+		// units (MB/s from SetBytes, custom ReportMetric units) or odd
+		// trailing tokens are skipped rather than dropping the line.
 		s := Sample{Iters: iters}
-		ok := true
+		sawNs := false
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
-				ok = false
-				break
+				continue
 			}
 			switch fields[i+1] {
 			case "ns/op":
 				s.NsPerOp = v
+				sawNs = true
 			case "B/op":
 				s.BPerOp = v
+				s.HasMem = true
 			case "allocs/op":
 				s.AllocsPerOp = v
+				s.HasMem = true
 			}
 		}
-		if !ok {
+		if !sawNs {
 			continue
 		}
 		key := pkg + "\x00" + fields[0]
@@ -122,22 +138,32 @@ func Parse(r io.Reader) (*File, error) {
 	return f, nil
 }
 
-// aggregate fills the mean fields from the samples.
+// aggregate fills the mean fields from the samples. Timing means run over
+// every sample (mixed -benchtime runs still produce per-op values, so they
+// average cleanly); memory means run over the samples that actually
+// reported -benchmem columns, so a stray non-benchmem run cannot drag
+// B/op toward zero.
 func aggregate(b *Benchmark) {
 	b.Runs = len(b.Samples)
+	b.MemRuns = 0
 	if b.Runs == 0 {
 		return
 	}
 	var ns, bytes, allocs float64
 	for _, s := range b.Samples {
 		ns += s.NsPerOp
-		bytes += s.BPerOp
-		allocs += s.AllocsPerOp
+		if s.HasMem {
+			b.MemRuns++
+			bytes += s.BPerOp
+			allocs += s.AllocsPerOp
+		}
 	}
-	n := float64(b.Runs)
-	b.NsPerOp = ns / n
-	b.BPerOp = bytes / n
-	b.AllocsPerOp = allocs / n
+	b.NsPerOp = ns / float64(b.Runs)
+	b.BPerOp, b.AllocsPerOp = 0, 0
+	if b.MemRuns > 0 {
+		b.BPerOp = bytes / float64(b.MemRuns)
+		b.AllocsPerOp = allocs / float64(b.MemRuns)
+	}
 }
 
 // WriteJSON writes the file as indented JSON.
@@ -145,4 +171,47 @@ func (f *File) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(f)
+}
+
+// ParseJSON reads a BENCH_<date>.json document, re-deriving the aggregate
+// means from the raw samples so documents written by older versions of the
+// format (without mem_runs / has_mem) still diff correctly: a sample with
+// any nonzero mem field is treated as mem-reporting.
+func ParseJSON(r io.Reader) (*File, error) {
+	f := &File{}
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(f); err != nil {
+		return nil, fmt.Errorf("benchfmt: %w", err)
+	}
+	if len(f.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchfmt: document has no benchmarks")
+	}
+	for i := range f.Benchmarks {
+		b := &f.Benchmarks[i]
+		if len(b.Samples) == 0 {
+			continue // keep the stored means; nothing to re-derive from
+		}
+		for j := range b.Samples {
+			s := &b.Samples[j]
+			if !s.HasMem && (s.BPerOp != 0 || s.AllocsPerOp != 0) {
+				s.HasMem = true
+			}
+		}
+		aggregate(b)
+	}
+	return f, nil
+}
+
+// ReadFile loads one BENCH_<date>.json document from disk.
+func ReadFile(path string) (*File, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	f, err := ParseJSON(fh)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
 }

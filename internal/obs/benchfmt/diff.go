@@ -1,0 +1,227 @@
+package benchfmt
+
+import (
+	"fmt"
+	"io"
+)
+
+// Thresholds configures when a delta counts as a regression, in percent.
+// The ns/op threshold is noise-aware: a benchmark whose old samples spread
+// wider than NsPct gets its spread as the effective threshold instead, so
+// a naturally jittery benchmark does not page on every run.
+type Thresholds struct {
+	NsPct  float64 // ns/op regression threshold, percent (default 10)
+	MemPct float64 // B/op and allocs/op threshold, percent (default 20)
+}
+
+// DefaultThresholds is the advisory-gate configuration: 10% on time, 20%
+// on memory.
+var DefaultThresholds = Thresholds{NsPct: 10, MemPct: 20}
+
+// withDefaults fills zero fields from DefaultThresholds.
+func (t Thresholds) withDefaults() Thresholds {
+	if t.NsPct <= 0 {
+		t.NsPct = DefaultThresholds.NsPct
+	}
+	if t.MemPct <= 0 {
+		t.MemPct = DefaultThresholds.MemPct
+	}
+	return t
+}
+
+// Delta is the comparison of one benchmark present in both files.
+type Delta struct {
+	Pkg  string `json:"pkg,omitempty"`
+	Name string `json:"name"`
+
+	OldNs float64 `json:"old_ns_per_op"`
+	NewNs float64 `json:"new_ns_per_op"`
+	NsPct float64 `json:"ns_pct"` // percent change, + is slower
+
+	HasMem    bool    `json:"has_mem"` // both sides reported -benchmem
+	OldB      float64 `json:"old_b_per_op,omitempty"`
+	NewB      float64 `json:"new_b_per_op,omitempty"`
+	BPct      float64 `json:"b_pct,omitempty"`
+	OldAllocs float64 `json:"old_allocs_per_op,omitempty"`
+	NewAllocs float64 `json:"new_allocs_per_op,omitempty"`
+	AllocsPct float64 `json:"allocs_pct,omitempty"`
+
+	// NoisePct is the old run's sample spread, 100*(max-min)/mean; the
+	// effective ns/op threshold is max(Thresholds.NsPct, NoisePct).
+	NoisePct float64 `json:"noise_pct"`
+	EffNsPct float64 `json:"eff_ns_pct"`
+
+	Regressed bool `json:"regressed"`
+	Improved  bool `json:"improved"`
+}
+
+// Report is the full comparison of two BENCH files.
+type Report struct {
+	OldLabel   string     `json:"old"`
+	NewLabel   string     `json:"new"`
+	Thresholds Thresholds `json:"thresholds"`
+	Deltas     []Delta    `json:"deltas"`
+	Added      []string   `json:"added,omitempty"`   // only in the new file
+	Removed    []string   `json:"removed,omitempty"` // only in the old file
+}
+
+// Diff compares two parsed BENCH files, old → new, in the new file's
+// benchmark order.
+func Diff(oldF, newF *File, th Thresholds) *Report {
+	th = th.withDefaults()
+	rep := &Report{OldLabel: oldF.Date, NewLabel: newF.Date, Thresholds: th}
+
+	oldIdx := make(map[string]*Benchmark, len(oldF.Benchmarks))
+	for i := range oldF.Benchmarks {
+		b := &oldF.Benchmarks[i]
+		oldIdx[b.Pkg+"\x00"+b.Name] = b
+	}
+	matched := make(map[string]bool, len(oldIdx))
+	for i := range newF.Benchmarks {
+		nb := &newF.Benchmarks[i]
+		key := nb.Pkg + "\x00" + nb.Name
+		ob, ok := oldIdx[key]
+		if !ok {
+			rep.Added = append(rep.Added, qualify(nb.Pkg, nb.Name))
+			continue
+		}
+		matched[key] = true
+		rep.Deltas = append(rep.Deltas, compare(ob, nb, th))
+	}
+	for i := range oldF.Benchmarks {
+		ob := &oldF.Benchmarks[i]
+		if !matched[ob.Pkg+"\x00"+ob.Name] {
+			rep.Removed = append(rep.Removed, qualify(ob.Pkg, ob.Name))
+		}
+	}
+	return rep
+}
+
+// compare builds one Delta.
+func compare(ob, nb *Benchmark, th Thresholds) Delta {
+	d := Delta{
+		Pkg: nb.Pkg, Name: nb.Name,
+		OldNs: ob.NsPerOp, NewNs: nb.NsPerOp,
+		NsPct:    pctChange(ob.NsPerOp, nb.NsPerOp),
+		NoisePct: nsNoisePct(ob),
+	}
+	d.EffNsPct = th.NsPct
+	if d.NoisePct > d.EffNsPct {
+		d.EffNsPct = d.NoisePct
+	}
+	if ob.MemRuns > 0 && nb.MemRuns > 0 {
+		d.HasMem = true
+		d.OldB, d.NewB = ob.BPerOp, nb.BPerOp
+		d.BPct = pctChange(ob.BPerOp, nb.BPerOp)
+		d.OldAllocs, d.NewAllocs = ob.AllocsPerOp, nb.AllocsPerOp
+		d.AllocsPct = pctChange(ob.AllocsPerOp, nb.AllocsPerOp)
+	}
+	d.Regressed = d.NsPct > d.EffNsPct ||
+		(d.HasMem && (d.BPct > th.MemPct || d.AllocsPct > th.MemPct))
+	d.Improved = !d.Regressed && d.NsPct < -d.EffNsPct
+	return d
+}
+
+// pctChange returns 100*(new-old)/old, or 0 when old is 0 (a zero
+// baseline has no meaningful relative change).
+func pctChange(oldV, newV float64) float64 {
+	if oldV == 0 {
+		return 0
+	}
+	return 100 * (newV - oldV) / oldV
+}
+
+// nsNoisePct measures the old run's ns/op spread: 100*(max-min)/mean.
+// Zero when fewer than two samples are available.
+func nsNoisePct(b *Benchmark) float64 {
+	if len(b.Samples) < 2 || b.NsPerOp == 0 {
+		return 0
+	}
+	lo, hi := b.Samples[0].NsPerOp, b.Samples[0].NsPerOp
+	for _, s := range b.Samples[1:] {
+		if s.NsPerOp < lo {
+			lo = s.NsPerOp
+		}
+		if s.NsPerOp > hi {
+			hi = s.NsPerOp
+		}
+	}
+	return 100 * (hi - lo) / b.NsPerOp
+}
+
+// Regressions returns the deltas flagged as regressions.
+func (r *Report) Regressions() []Delta {
+	var out []Delta
+	for _, d := range r.Deltas {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// qualify joins pkg and name for display.
+func qualify(pkg, name string) string {
+	if pkg == "" {
+		return name
+	}
+	return pkg + "." + name
+}
+
+// WriteText renders the report as an aligned human-readable table, one
+// row per matched benchmark, followed by added/removed listings and a
+// one-line verdict.
+func (r *Report) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "benchdiff %s -> %s (ns threshold %.0f%%, mem threshold %.0f%%)\n\n",
+		labelOr(r.OldLabel, "old"), labelOr(r.NewLabel, "new"), r.Thresholds.NsPct, r.Thresholds.MemPct); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-52s %14s %14s %8s %8s  %s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "noise", "verdict"); err != nil {
+		return err
+	}
+	for _, d := range r.Deltas {
+		verdict := "ok"
+		switch {
+		case d.Regressed:
+			verdict = "REGRESSED"
+		case d.Improved:
+			verdict = "improved"
+		}
+		if _, err := fmt.Fprintf(w, "%-52s %14.1f %14.1f %+7.1f%% %7.1f%%  %s\n",
+			qualify(d.Pkg, d.Name), d.OldNs, d.NewNs, d.NsPct, d.NoisePct, verdict); err != nil {
+			return err
+		}
+		if d.HasMem && (d.BPct != 0 || d.AllocsPct != 0) {
+			if _, err := fmt.Fprintf(w, "%-52s %11.0f B/op %11.0f B/op %+7.1f%%  allocs %+.1f%%\n",
+				"", d.OldB, d.NewB, d.BPct, d.AllocsPct); err != nil {
+				return err
+			}
+		}
+	}
+	for _, name := range r.Added {
+		if _, err := fmt.Fprintf(w, "added:   %s\n", name); err != nil {
+			return err
+		}
+	}
+	for _, name := range r.Removed {
+		if _, err := fmt.Fprintf(w, "removed: %s\n", name); err != nil {
+			return err
+		}
+	}
+	reg := r.Regressions()
+	if len(reg) == 0 {
+		_, err := fmt.Fprintf(w, "\nno regressions across %d benchmark(s)\n", len(r.Deltas))
+		return err
+	}
+	_, err := fmt.Fprintf(w, "\n%d regression(s) across %d benchmark(s)\n", len(reg), len(r.Deltas))
+	return err
+}
+
+// labelOr returns label unless empty.
+func labelOr(label, fallback string) string {
+	if label == "" {
+		return fallback
+	}
+	return label
+}

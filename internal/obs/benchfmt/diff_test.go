@@ -1,0 +1,222 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+// parseText is a test helper wrapping Parse.
+func parseText(t *testing.T, text string) *File {
+	t.Helper()
+	f, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestParseHardening(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+		check func(t *testing.T, f *File)
+	}{
+		{
+			name: "missing mem columns entirely",
+			input: "BenchmarkX-4 100 500 ns/op\n" +
+				"BenchmarkX-4 100 520 ns/op\n",
+			check: func(t *testing.T, f *File) {
+				b := f.Benchmarks[0]
+				if b.Runs != 2 || b.MemRuns != 0 {
+					t.Fatalf("runs = %d memRuns = %d", b.Runs, b.MemRuns)
+				}
+				if b.NsPerOp != 510 || b.BPerOp != 0 {
+					t.Fatalf("means = %+v", b)
+				}
+			},
+		},
+		{
+			name: "mixed benchmem runs do not bias mem means",
+			input: "BenchmarkX-4 100 500 ns/op 1024 B/op 8 allocs/op\n" +
+				"BenchmarkX-4 100 520 ns/op\n" + // same bench, no -benchmem
+				"BenchmarkX-4 100 480 ns/op 1028 B/op 8 allocs/op\n",
+			check: func(t *testing.T, f *File) {
+				b := f.Benchmarks[0]
+				if b.Runs != 3 || b.MemRuns != 2 {
+					t.Fatalf("runs = %d memRuns = %d", b.Runs, b.MemRuns)
+				}
+				if b.NsPerOp != 500 {
+					t.Fatalf("ns mean = %v", b.NsPerOp)
+				}
+				// Mem mean over the two mem-reporting samples, not /3.
+				if b.BPerOp != 1026 || b.AllocsPerOp != 8 {
+					t.Fatalf("mem means = %v B/op %v allocs/op", b.BPerOp, b.AllocsPerOp)
+				}
+			},
+		},
+		{
+			name: "mixed benchtime iters average per-op values",
+			input: "BenchmarkX-4 10 1000 ns/op\n" +
+				"BenchmarkX-4 1000000 1200 ns/op\n",
+			check: func(t *testing.T, f *File) {
+				b := f.Benchmarks[0]
+				if b.Runs != 2 || b.NsPerOp != 1100 {
+					t.Fatalf("benchmark = %+v", b)
+				}
+				if b.Samples[0].Iters != 10 || b.Samples[1].Iters != 1000000 {
+					t.Fatalf("samples = %+v", b.Samples)
+				}
+			},
+		},
+		{
+			name:  "throughput and custom units ignored",
+			input: "BenchmarkX-4 100 500 ns/op 523.40 MB/s 12.5 cells/op 256 B/op 4 allocs/op\n",
+			check: func(t *testing.T, f *File) {
+				b := f.Benchmarks[0]
+				if b.NsPerOp != 500 || b.BPerOp != 256 || b.AllocsPerOp != 4 || b.MemRuns != 1 {
+					t.Fatalf("benchmark = %+v", b)
+				}
+			},
+		},
+		{
+			name:  "odd trailing token tolerated",
+			input: "BenchmarkX-4 100 500 ns/op 256 B/op 4 allocs/op trailing\n",
+			check: func(t *testing.T, f *File) {
+				b := f.Benchmarks[0]
+				if b.NsPerOp != 500 || b.BPerOp != 256 {
+					t.Fatalf("benchmark = %+v", b)
+				}
+			},
+		},
+		{
+			name:  "line without ns/op dropped",
+			input: "BenchmarkNoNs-4 100 523.40 MB/s\nBenchmarkGood-4 100 10 ns/op\n",
+			check: func(t *testing.T, f *File) {
+				if len(f.Benchmarks) != 1 || f.Benchmarks[0].Name != "BenchmarkGood-4" {
+					t.Fatalf("benchmarks = %+v", f.Benchmarks)
+				}
+			},
+		},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			tt.check(t, parseText(t, tt.input))
+		})
+	}
+}
+
+func TestParseJSONLegacyMemDetection(t *testing.T) {
+	// A document written before has_mem existed: nonzero mem fields must
+	// be treated as mem-reporting on load.
+	doc := `{"benchmarks":[{"pkg":"p","name":"BenchmarkX-4","runs":2,
+		"samples":[{"iters":100,"ns_per_op":500,"b_per_op":1024,"allocs_per_op":8},
+		           {"iters":100,"ns_per_op":520,"b_per_op":1028,"allocs_per_op":8}]}]}`
+	f, err := ParseJSON(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := f.Benchmarks[0]
+	if b.MemRuns != 2 || b.BPerOp != 1026 || b.NsPerOp != 510 {
+		t.Fatalf("benchmark = %+v", b)
+	}
+}
+
+func TestParseJSONRejectsEmpty(t *testing.T) {
+	if _, err := ParseJSON(strings.NewReader(`{"benchmarks":[]}`)); err == nil {
+		t.Fatal("empty document accepted")
+	}
+	if _, err := ParseJSON(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("invalid JSON accepted")
+	}
+}
+
+func TestDiffFlagsInjectedRegression(t *testing.T) {
+	oldF := parseText(t,
+		"pkg: analogdft/internal/detect\n"+
+			"BenchmarkSweep-8 100 1000 ns/op 4096 B/op 16 allocs/op\n"+
+			"BenchmarkSweep-8 100 1010 ns/op 4096 B/op 16 allocs/op\n"+
+			"BenchmarkStable-8 100 200 ns/op\n")
+	// Injected ≥20% ns/op regression on Sweep; Stable unchanged.
+	newF := parseText(t,
+		"pkg: analogdft/internal/detect\n"+
+			"BenchmarkSweep-8 100 1250 ns/op 4096 B/op 16 allocs/op\n"+
+			"BenchmarkSweep-8 100 1260 ns/op 4096 B/op 16 allocs/op\n"+
+			"BenchmarkStable-8 100 201 ns/op\n")
+
+	rep := Diff(oldF, newF, Thresholds{})
+	if len(rep.Deltas) != 2 {
+		t.Fatalf("deltas = %+v", rep.Deltas)
+	}
+	reg := rep.Regressions()
+	if len(reg) != 1 || reg[0].Name != "BenchmarkSweep-8" {
+		t.Fatalf("regressions = %+v", reg)
+	}
+	if !reg[0].HasMem || reg[0].NsPct < 20 {
+		t.Fatalf("regression delta = %+v", reg[0])
+	}
+	for _, d := range rep.Deltas {
+		if d.Name == "BenchmarkStable-8" && d.Regressed {
+			t.Fatalf("stable benchmark flagged: %+v", d)
+		}
+	}
+
+	var b strings.Builder
+	if err := rep.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"BenchmarkSweep-8", "REGRESSED", "1 regression(s) across 2 benchmark(s)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in report:\n%s", want, out)
+		}
+	}
+}
+
+func TestDiffNoiseWidensThreshold(t *testing.T) {
+	// Old samples spread 40% around the mean; a 15% shift must not flag.
+	oldF := parseText(t,
+		"BenchmarkJittery-8 100 800 ns/op\n"+
+			"BenchmarkJittery-8 100 1200 ns/op\n")
+	newF := parseText(t, "BenchmarkJittery-8 100 1150 ns/op\n")
+	rep := Diff(oldF, newF, Thresholds{NsPct: 10})
+	d := rep.Deltas[0]
+	if d.NoisePct != 40 {
+		t.Fatalf("noise = %v, want 40", d.NoisePct)
+	}
+	if d.EffNsPct != 40 {
+		t.Fatalf("effective threshold = %v, want 40", d.EffNsPct)
+	}
+	if d.Regressed {
+		t.Fatalf("15%% shift inside 40%% noise flagged: %+v", d)
+	}
+}
+
+func TestDiffMemOnlyRegression(t *testing.T) {
+	oldF := parseText(t, "BenchmarkAlloc-8 100 100 ns/op 1000 B/op 10 allocs/op\n")
+	newF := parseText(t, "BenchmarkAlloc-8 100 101 ns/op 1500 B/op 10 allocs/op\n")
+	rep := Diff(oldF, newF, Thresholds{})
+	if reg := rep.Regressions(); len(reg) != 1 || reg[0].BPct != 50 {
+		t.Fatalf("regressions = %+v", reg)
+	}
+}
+
+func TestDiffAddedRemoved(t *testing.T) {
+	oldF := parseText(t, "pkg: p\nBenchmarkGone-8 100 10 ns/op\nBenchmarkKept-8 100 10 ns/op\n")
+	newF := parseText(t, "pkg: p\nBenchmarkKept-8 100 10 ns/op\nBenchmarkNew-8 100 10 ns/op\n")
+	rep := Diff(oldF, newF, Thresholds{})
+	if len(rep.Deltas) != 1 || rep.Deltas[0].Name != "BenchmarkKept-8" {
+		t.Fatalf("deltas = %+v", rep.Deltas)
+	}
+	if len(rep.Added) != 1 || rep.Added[0] != "p.BenchmarkNew-8" {
+		t.Fatalf("added = %v", rep.Added)
+	}
+	if len(rep.Removed) != 1 || rep.Removed[0] != "p.BenchmarkGone-8" {
+		t.Fatalf("removed = %v", rep.Removed)
+	}
+	// A benchmark that improves past the threshold is reported as such.
+	impOld := parseText(t, "BenchmarkFast-8 100 1000 ns/op\n")
+	impNew := parseText(t, "BenchmarkFast-8 100 500 ns/op\n")
+	if d := Diff(impOld, impNew, Thresholds{}).Deltas[0]; !d.Improved || d.Regressed {
+		t.Fatalf("improvement delta = %+v", d)
+	}
+}

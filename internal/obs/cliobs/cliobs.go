@@ -38,6 +38,10 @@ type ObsFlags struct {
 	// RunReportOut, when set, receives a machine-readable JSON run
 	// summary (inputs, stats, metric snapshot, wall/CPU time).
 	RunReportOut string
+	// Timing forces latency collection (histograms, schedule-level spans)
+	// on, even when no output file implies it. Useful with -pprof or when
+	// scraping expvar from a live run.
+	Timing bool
 }
 
 // RegisterObs installs the shared observability flags on fs (use
@@ -56,6 +60,7 @@ func (f *ObsFlags) Register(fs *flag.FlagSet) {
 	fs.StringVar(&f.TraceOut, "trace-out", "", "write the span trace as JSON to this file")
 	fs.StringVar(&f.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	fs.StringVar(&f.RunReportOut, "run-report", "", "write a JSON run summary to this file")
+	fs.BoolVar(&f.Timing, "timing", false, "collect latency metrics and schedule-dependent spans even without an output file")
 }
 
 // SimFlags is the shared fault-simulation flag set, deduplicated from the
@@ -175,6 +180,9 @@ func (f *ObsFlags) Start(cmd string, rt *obs.Runtime) (*Session, error) {
 		rt.SetTiming(true)
 		rt.EnableTracing(true)
 		rt.Metrics.PublishExpvar("analogdft")
+	}
+	if f.Timing {
+		rt.SetTiming(true)
 	}
 	_, s.root = rt.Tracer.Start(nil, cmd+".run")
 

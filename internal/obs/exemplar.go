@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Exemplar links one extreme observation back to the trace that produced
+// it: the value (seconds for latency instruments), the W3C trace ID of the
+// request, and a short free-form label (engine name, component, …). It is
+// the bridge from an aggregate ("P99 solve latency regressed") to a
+// concrete debuggable artifact ("job trace 4bf9…").
+type Exemplar struct {
+	Value   float64 `json:"value"`
+	TraceID string  `json:"trace_id,omitempty"`
+	Label   string  `json:"label,omitempty"`
+}
+
+// ExemplarStore retains the K largest observations offered to it — a
+// slow-solve top list. Offers below the current minimum are rejected in
+// O(1) once the store is full, so the hot path stays cheap. Safe for
+// concurrent use.
+type ExemplarStore struct {
+	name string
+	k    int
+
+	mu  sync.Mutex
+	top []Exemplar // sorted descending by Value
+}
+
+// NewExemplarStore returns a store named name keeping the k largest
+// observations (k is clamped to [1, 64]).
+func NewExemplarStore(name string, k int) *ExemplarStore {
+	if k < 1 {
+		k = 1
+	}
+	if k > 64 {
+		k = 64
+	}
+	return &ExemplarStore{name: name, k: k}
+}
+
+// Name returns the store's name (by convention the metric family the
+// exemplars annotate).
+func (es *ExemplarStore) Name() string { return es.name }
+
+// Offer records the observation if it ranks among the K largest seen.
+func (es *ExemplarStore) Offer(value float64, traceID, label string) {
+	es.mu.Lock()
+	defer es.mu.Unlock()
+	if len(es.top) == es.k && value <= es.top[len(es.top)-1].Value {
+		return
+	}
+	es.top = append(es.top, Exemplar{Value: value, TraceID: traceID, Label: label})
+	sort.SliceStable(es.top, func(a, b int) bool { return es.top[a].Value > es.top[b].Value })
+	if len(es.top) > es.k {
+		es.top = es.top[:es.k]
+	}
+}
+
+// Snapshot returns the retained exemplars, largest first.
+func (es *ExemplarStore) Snapshot() []Exemplar {
+	es.mu.Lock()
+	defer es.mu.Unlock()
+	return append([]Exemplar(nil), es.top...)
+}
+
+// Reset discards the retained exemplars.
+func (es *ExemplarStore) Reset() {
+	es.mu.Lock()
+	es.top = nil
+	es.mu.Unlock()
+}
+
+// exemplarRegistry is the process-wide set of exemplar stores, exposed
+// alongside /metrics. Registration is idempotent by name.
+var exemplarRegistry struct {
+	mu     sync.Mutex
+	stores map[string]*ExemplarStore
+}
+
+// RegisterExemplars returns the named process-wide exemplar store,
+// creating it with capacity k if it does not exist yet.
+func RegisterExemplars(name string, k int) *ExemplarStore {
+	exemplarRegistry.mu.Lock()
+	defer exemplarRegistry.mu.Unlock()
+	if exemplarRegistry.stores == nil {
+		exemplarRegistry.stores = make(map[string]*ExemplarStore)
+	}
+	if es, ok := exemplarRegistry.stores[name]; ok {
+		return es
+	}
+	es := NewExemplarStore(name, k)
+	exemplarRegistry.stores[name] = es
+	return es
+}
+
+// ExemplarSnapshots returns every registered store's retained exemplars
+// keyed by store name. The map and slices are copies.
+func ExemplarSnapshots() map[string][]Exemplar {
+	exemplarRegistry.mu.Lock()
+	names := make([]string, 0, len(exemplarRegistry.stores))
+	for name := range exemplarRegistry.stores {
+		names = append(names, name)
+	}
+	stores := make([]*ExemplarStore, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		stores = append(stores, exemplarRegistry.stores[name])
+	}
+	exemplarRegistry.mu.Unlock()
+
+	out := make(map[string][]Exemplar, len(stores))
+	for i, es := range stores {
+		out[names[i]] = es.Snapshot()
+	}
+	return out
+}
+
+// WriteExemplarComments appends the registered exemplars to a Prometheus
+// text exposition as comment lines (the classic text format has no
+// exemplar syntax; OpenMetrics does, but comments keep every scraper
+// happy). One line per exemplar:
+//
+//	# exemplar <store> value=<v> trace_id=<id> label=<label>
+func WriteExemplarComments(w io.Writer) error {
+	snaps := ExemplarSnapshots()
+	names := make([]string, 0, len(snaps))
+	for name := range snaps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		for _, ex := range snaps[name] {
+			if _, err := fmt.Fprintf(w, "# exemplar %s value=%s trace_id=%s label=%s\n",
+				name, formatFloat(ex.Value), ex.TraceID, ex.Label); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

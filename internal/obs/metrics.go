@@ -95,6 +95,32 @@ func (cv *CounterVec) With(value string) *Counter {
 	return cv.r.Counter(series, cv.help)
 }
 
+// HistogramVec is a family of histograms sharing one metric name, help
+// text and bucket bounds, keyed by a single label — the histogram analogue
+// of CounterVec. Each distinct label value registers an ordinary Histogram
+// under the Prometheus series name `name{label="value"}`; WritePrometheus
+// groups the series under one HELP/TYPE header. With is safe for
+// concurrent use.
+type HistogramVec struct {
+	r      *Registry
+	name   string
+	label  string
+	help   string
+	bounds []float64
+}
+
+// HistogramVec returns the named histogram family with the given label key
+// and bucket bounds.
+func (r *Registry) HistogramVec(name, helpText, label string, bounds []float64) *HistogramVec {
+	return &HistogramVec{r: r, name: name, label: label, help: helpText, bounds: bounds}
+}
+
+// With returns the histogram for one label value, creating it if needed.
+func (hv *HistogramVec) With(value string) *Histogram {
+	series := fmt.Sprintf("%s{%s=%q}", hv.name, hv.label, value)
+	return hv.r.Histogram(series, hv.help, hv.bounds)
+}
+
 // baseName strips a `{label="value"}` series suffix, returning the metric
 // family name HELP/TYPE comments apply to.
 func baseName(series string) string {
@@ -102,6 +128,25 @@ func baseName(series string) string {
 		return series[:i]
 	}
 	return series
+}
+
+// seriesWithSuffix inserts a name suffix before a series' label set:
+// `s{l="v"}` + `_count` -> `s_count{l="v"}`. Suffixed histogram and
+// summary series stay valid Prometheus when the family carries labels.
+func seriesWithSuffix(series, suffix string) string {
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		return series[:i] + suffix + series[i:]
+	}
+	return series + suffix
+}
+
+// seriesWithLabel appends one `key="value"` pair to a series' label set,
+// creating the braces when the series has none.
+func seriesWithLabel(series, label string) string {
+	if strings.HasSuffix(series, "}") {
+		return series[:len(series)-1] + "," + label + "}"
+	}
+	return series + "{" + label + "}"
 }
 
 // Reset zeroes every registered metric (counts, gauge values, histogram
@@ -231,6 +276,159 @@ func (h *Histogram) snap() MetricSnap {
 	return s
 }
 
+// Summary is a rolling-window quantile estimator: the last Window
+// observations are retained in a ring buffer, and quantiles are computed
+// exactly over that window at snapshot time. It exposes as a Prometheus
+// summary (`name{quantile="0.5"}` series plus lifetime `_sum`/`_count`),
+// which is what dependency-free P50/P95/P99 exposition needs: fixed
+// histogram buckets quantize tails, a sorted window does not.
+type Summary struct {
+	helpText  string
+	quantiles []float64
+
+	mu     sync.Mutex
+	window []float64 // ring buffer of the most recent observations
+	next   int       // next write position
+	filled bool      // the ring has wrapped at least once
+	count  int64     // lifetime observation count
+	sum    float64   // lifetime observation sum
+}
+
+// DefaultQuantiles is the quantile set summaries expose: P50, P95, P99.
+var DefaultQuantiles = []float64{0.5, 0.95, 0.99}
+
+// Summary returns the named rolling summary, creating it with the given
+// window size (min 16, default 1024 when <= 0) if needed.
+func (r *Registry) Summary(name, helpText string, window int) *Summary {
+	if window <= 0 {
+		window = 1024
+	}
+	if window < 16 {
+		window = 16
+	}
+	s := &Summary{helpText: helpText, quantiles: DefaultQuantiles, window: make([]float64, window)}
+	return r.lookup(name, s).(*Summary)
+}
+
+// Observe records one value.
+func (s *Summary) Observe(v float64) {
+	s.mu.Lock()
+	s.window[s.next] = v
+	s.next++
+	if s.next == len(s.window) {
+		s.next = 0
+		s.filled = true
+	}
+	s.count++
+	s.sum += v
+	s.mu.Unlock()
+}
+
+// Count returns the lifetime number of observations.
+func (s *Summary) Count() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) over the rolling window,
+// or NaN while the window is empty.
+func (s *Summary) Quantile(q float64) float64 {
+	s.mu.Lock()
+	live := s.liveLocked()
+	s.mu.Unlock()
+	return quantileOf(live, q)
+}
+
+// liveLocked copies the populated part of the ring. Caller holds s.mu.
+func (s *Summary) liveLocked() []float64 {
+	n := s.next
+	if s.filled {
+		n = len(s.window)
+	}
+	return append([]float64(nil), s.window[:n]...)
+}
+
+// quantileOf computes the q-quantile of values by sorting a copy; values
+// may be clobbered. Nearest-rank on the sorted order.
+func quantileOf(values []float64, q float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	sort.Float64s(values)
+	i := int(q*float64(len(values)) + 0.5)
+	if i < 1 {
+		i = 1
+	}
+	if i > len(values) {
+		i = len(values)
+	}
+	return values[i-1]
+}
+
+func (s *Summary) kind() string { return "summary" }
+func (s *Summary) help() string { return s.helpText }
+func (s *Summary) reset() {
+	s.mu.Lock()
+	s.next = 0
+	s.filled = false
+	s.count = 0
+	s.sum = 0
+	s.mu.Unlock()
+}
+
+func (s *Summary) snap() MetricSnap {
+	s.mu.Lock()
+	live := s.liveLocked()
+	out := MetricSnap{Kind: "summary", Count: s.count, Sum: s.sum}
+	s.mu.Unlock()
+	for _, q := range s.quantiles {
+		out.Quantiles = append(out.Quantiles, QuantileSnap{Q: q, Value: quantileOf(live, q)})
+	}
+	return out
+}
+
+// QuantileSnap is one summary quantile.
+type QuantileSnap struct {
+	Q     float64 `json:"q"`
+	Value float64 `json:"value"`
+}
+
+// MarshalJSON renders NaN (empty window) as null so the snapshot survives
+// encoding/json, which rejects non-finite float64s.
+func (q QuantileSnap) MarshalJSON() ([]byte, error) {
+	if math.IsNaN(q.Value) || math.IsInf(q.Value, 0) {
+		return []byte(fmt.Sprintf(`{"q":%s,"value":null}`, formatFloat(q.Q))), nil
+	}
+	return []byte(fmt.Sprintf(`{"q":%s,"value":%s}`, formatFloat(q.Q), formatFloat(q.Value))), nil
+}
+
+// GaugeFunc is a derived gauge: its value is computed by a callback at
+// snapshot time. It exposes SLO arithmetic (error-budget remaining,
+// cache hit rates) that is a pure function of other metrics without
+// keeping a second copy of the state in sync.
+type GaugeFunc struct {
+	helpText string
+	fn       func() float64
+}
+
+// GaugeFunc registers the named derived gauge. When the name is already
+// registered the existing metric wins and fn is ignored (registration is
+// idempotent, like every other instrument).
+func (r *Registry) GaugeFunc(name, helpText string, fn func() float64) *GaugeFunc {
+	return r.lookup(name, &GaugeFunc{helpText: helpText, fn: fn}).(*GaugeFunc)
+}
+
+// Value computes the current gauge value.
+func (g *GaugeFunc) Value() float64 { return g.fn() }
+
+func (g *GaugeFunc) kind() string { return "gauge" }
+func (g *GaugeFunc) help() string { return g.helpText }
+func (g *GaugeFunc) reset()       {} // derived: nothing to reset
+func (g *GaugeFunc) snap() MetricSnap {
+	return MetricSnap{Kind: "gauge", Value: g.fn()}
+}
+
 // BucketSnap is one cumulative histogram bucket.
 type BucketSnap struct {
 	LE    float64 `json:"le"`
@@ -250,11 +448,12 @@ func (b BucketSnap) MarshalJSON() ([]byte, error) {
 
 // MetricSnap is the point-in-time value of one metric.
 type MetricSnap struct {
-	Kind    string       `json:"kind"`
-	Value   float64      `json:"value,omitempty"`
-	Count   int64        `json:"count,omitempty"`
-	Sum     float64      `json:"sum,omitempty"`
-	Buckets []BucketSnap `json:"buckets,omitempty"`
+	Kind      string         `json:"kind"`
+	Value     float64        `json:"value,omitempty"`
+	Count     int64          `json:"count,omitempty"`
+	Sum       float64        `json:"sum,omitempty"`
+	Buckets   []BucketSnap   `json:"buckets,omitempty"`
+	Quantiles []QuantileSnap `json:"quantiles,omitempty"`
 }
 
 // Snapshot captures every metric by name. The map is a deep copy; mutating
@@ -312,11 +511,30 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				if !math.IsInf(b.LE, 1) {
 					le = formatFloat(b.LE)
 				}
-				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, b.Count); err != nil {
+				series := seriesWithLabel(seriesWithSuffix(name, "_bucket"), fmt.Sprintf("le=%q", le))
+				if _, err := fmt.Fprintf(w, "%s %d\n", series, b.Count); err != nil {
 					return err
 				}
 			}
-			if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, formatFloat(s.Sum), name, s.Count); err != nil {
+			if _, err := fmt.Fprintf(w, "%s %s\n%s %d\n",
+				seriesWithSuffix(name, "_sum"), formatFloat(s.Sum),
+				seriesWithSuffix(name, "_count"), s.Count); err != nil {
+				return err
+			}
+		case "summary":
+			for _, q := range s.Quantiles {
+				v := "NaN"
+				if !math.IsNaN(q.Value) {
+					v = formatFloat(q.Value)
+				}
+				series := seriesWithLabel(name, fmt.Sprintf("quantile=%q", formatFloat(q.Q)))
+				if _, err := fmt.Fprintf(w, "%s %s\n", series, v); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s %s\n%s %d\n",
+				seriesWithSuffix(name, "_sum"), formatFloat(s.Sum),
+				seriesWithSuffix(name, "_count"), s.Count); err != nil {
 				return err
 			}
 		}

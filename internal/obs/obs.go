@@ -58,9 +58,13 @@ func Reg() *Registry { return defaultRuntime.Metrics }
 // TimingOn reports whether the default runtime collects latencies.
 func TimingOn() bool { return defaultRuntime.TimingOn() }
 
-// Start opens a span on the default runtime's tracer. The returned context
+// Start opens a span on the tracer carried by ctx (see ContextWithTracer),
+// falling back to the default runtime's tracer. The returned context
 // carries the span so nested Start calls build a tree; the span is nil (and
-// all its methods no-ops) while tracing is disabled.
+// all its methods no-ops) while the selected tracer is disabled.
 func Start(ctx context.Context, name string) (context.Context, *Span) {
+	if t := TracerFrom(ctx); t != nil {
+		return t.Start(ctx, name)
+	}
 	return defaultRuntime.Tracer.Start(ctx, name)
 }

@@ -1,0 +1,230 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummaryQuantiles(t *testing.T) {
+	r := NewRegistry()
+	s := r.Summary("solve_seconds", "solve latency", 128)
+	if !math.IsNaN(s.Quantile(0.5)) {
+		t.Error("empty summary quantile is not NaN")
+	}
+	for i := 1; i <= 100; i++ {
+		s.Observe(float64(i))
+	}
+	if got := s.Quantile(0.5); got != 50 {
+		t.Errorf("P50 = %v, want 50", got)
+	}
+	if got := s.Quantile(0.95); got != 95 {
+		t.Errorf("P95 = %v, want 95", got)
+	}
+	if got := s.Quantile(0.99); got != 99 {
+		t.Errorf("P99 = %v, want 99", got)
+	}
+	if got := s.Quantile(0); got != 1 {
+		t.Errorf("P0 = %v, want 1", got)
+	}
+	if got := s.Quantile(1); got != 100 {
+		t.Errorf("P100 = %v, want 100", got)
+	}
+	if s.Count() != 100 {
+		t.Errorf("count = %d, want 100", s.Count())
+	}
+}
+
+func TestSummaryWindowEviction(t *testing.T) {
+	r := NewRegistry()
+	s := r.Summary("w", "windowed", 16)
+	// Fill with large values, then push 16 small ones: the window holds
+	// only the small ones, while lifetime count/sum keep everything.
+	for i := 0; i < 16; i++ {
+		s.Observe(1000)
+	}
+	for i := 0; i < 16; i++ {
+		s.Observe(1)
+	}
+	if got := s.Quantile(1); got != 1 {
+		t.Errorf("max over window = %v, want 1 (old values must be evicted)", got)
+	}
+	if s.Count() != 32 {
+		t.Errorf("lifetime count = %d, want 32", s.Count())
+	}
+	snap := s.snap()
+	if snap.Sum != 16*1000+16 {
+		t.Errorf("lifetime sum = %v", snap.Sum)
+	}
+}
+
+func TestSummaryPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	s := r.Summary("api_seconds", "request latency", 64)
+	for i := 1; i <= 100; i++ {
+		s.Observe(float64(i)) // window keeps 37..100
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE api_seconds summary",
+		`api_seconds{quantile="0.5"} `,
+		`api_seconds{quantile="0.95"} `,
+		`api_seconds{quantile="0.99"} `,
+		"api_seconds_sum 5050",
+		"api_seconds_count 100",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestSummaryRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Summary("s", "h", 32)
+	b := r.Summary("s", "h", 999)
+	if a != b {
+		t.Fatal("same name returned distinct summaries")
+	}
+}
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	v := 0.25
+	g := r.GaugeFunc("budget_remaining", "error budget", func() float64 { return v })
+	if g.Value() != 0.25 {
+		t.Errorf("Value = %v", g.Value())
+	}
+	v = 0.5
+	if got := r.Snapshot()["budget_remaining"]; got.Kind != "gauge" || got.Value != 0.5 {
+		t.Errorf("snap = %+v", got)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "budget_remaining 0.5") {
+		t.Errorf("exposition:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), "# TYPE budget_remaining gauge") {
+		t.Errorf("exposition:\n%s", b.String())
+	}
+}
+
+func TestHistogramVecSeries(t *testing.T) {
+	r := NewRegistry()
+	hv := r.HistogramVec("solve_seconds", "per-engine solve latency", "engine", []float64{0.1, 1})
+	hv.With("incremental").Observe(0.05)
+	hv.With("incremental").Observe(0.5)
+	hv.With("lowrank").Observe(2)
+
+	if got := hv.With("incremental").Count(); got != 2 {
+		t.Errorf("incremental count = %d, want 2", got)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if n := strings.Count(out, "# HELP solve_seconds "); n != 1 {
+		t.Errorf("HELP emitted %d times:\n%s", n, out)
+	}
+	for _, want := range []string{
+		"# TYPE solve_seconds histogram",
+		`solve_seconds_count{engine="incremental"} 2`,
+		`solve_seconds_count{engine="lowrank"} 1`,
+		`solve_seconds_bucket{engine="incremental",le="0.1"} 1`,
+		`solve_seconds_bucket{engine="lowrank",le="+Inf"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestCounterVecLabelOrdering pins the satellite requirement: labeled
+// series within one family appear in sorted label-value order in the
+// Prometheus exposition, and the order is identical across writes
+// regardless of registration order.
+func TestCounterVecLabelOrdering(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("jobs_done_total", "jobs by state", "state")
+	// Register in non-sorted order on purpose.
+	cv.With("failed").Inc()
+	cv.With("canceled").Inc()
+	cv.With("done").Inc()
+
+	render := func() string {
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	out := render()
+	iCanceled := strings.Index(out, `jobs_done_total{state="canceled"}`)
+	iDone := strings.Index(out, `jobs_done_total{state="done"}`)
+	iFailed := strings.Index(out, `jobs_done_total{state="failed"}`)
+	if iCanceled < 0 || iDone < 0 || iFailed < 0 {
+		t.Fatalf("missing series in:\n%s", out)
+	}
+	if !(iCanceled < iDone && iDone < iFailed) {
+		t.Errorf("series not in sorted label order:\n%s", out)
+	}
+	if again := render(); again != out {
+		t.Error("exposition is not deterministic across writes")
+	}
+}
+
+func TestExemplarStoreTopK(t *testing.T) {
+	es := NewExemplarStore("solve_seconds", 3)
+	es.Offer(0.1, "t1", "incremental")
+	es.Offer(0.5, "t2", "lowrank")
+	es.Offer(0.3, "t3", "incremental")
+	es.Offer(0.05, "t4", "naive") // below all three once full? no — store not full yet
+	es.Offer(0.9, "t5", "lowrank")
+	es.Offer(0.01, "t6", "naive") // rejected: below the retained minimum
+
+	got := es.Snapshot()
+	if len(got) != 3 {
+		t.Fatalf("retained %d, want 3", len(got))
+	}
+	wantIDs := []string{"t5", "t2", "t3"}
+	for i, w := range wantIDs {
+		if got[i].TraceID != w {
+			t.Errorf("top[%d] = %+v, want trace %s", i, got[i], w)
+		}
+	}
+	if got[0].Value != 0.9 || got[0].Label != "lowrank" {
+		t.Errorf("top exemplar = %+v", got[0])
+	}
+	es.Reset()
+	if len(es.Snapshot()) != 0 {
+		t.Error("Reset did not clear the store")
+	}
+}
+
+func TestExemplarRegistryAndComments(t *testing.T) {
+	es := RegisterExemplars("test_exemplar_family", 2)
+	if RegisterExemplars("test_exemplar_family", 99) != es {
+		t.Fatal("re-registration returned a new store")
+	}
+	es.Reset()
+	es.Offer(1.5, "abc123", "lowrank")
+
+	var b strings.Builder
+	if err := WriteExemplarComments(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "# exemplar test_exemplar_family value=1.5 trace_id=abc123 label=lowrank") {
+		t.Errorf("comments:\n%s", b.String())
+	}
+	snaps := ExemplarSnapshots()
+	if len(snaps["test_exemplar_family"]) != 1 {
+		t.Errorf("snapshots = %+v", snaps)
+	}
+}

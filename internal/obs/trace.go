@@ -56,6 +56,46 @@ type Span struct {
 // spanKey carries the current span through a context.
 type spanKey struct{}
 
+// tracerKey carries a tracer override through a context.
+type tracerKey struct{}
+
+// ContextWithTracer routes every obs.Start call made under ctx to t
+// instead of the process-default tracer. This is how per-request tracers
+// work: the job layer gives each job its own enabled Tracer, attaches it
+// to the job's context, and all the spans the library opens during the
+// run (detect.matrix, detect.cells, …) land in the job's private trace
+// without any instrumentation changes.
+func ContextWithTracer(ctx context.Context, t *Tracer) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, tracerKey{}, t)
+}
+
+// TracerFrom returns the tracer override carried by ctx, or nil. Safe on
+// a nil context.
+func TracerFrom(ctx context.Context) *Tracer {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(tracerKey{}).(*Tracer)
+	return t
+}
+
+// ContextWithSpan makes s the parent of the next span started under ctx.
+// It lets a span created in one goroutine (a job's root span, opened at
+// submit time) adopt work performed later in another (the worker's run).
+// A nil span returns ctx unchanged.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
 // Start opens a span named name. If ctx already carries a span, the new
 // span becomes its child. A span with no context parent is adopted by the
 // trace's first root while that root is still open (so library code that

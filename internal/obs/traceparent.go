@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// TraceContext is the W3C Trace Context identity of one request: the
+// 16-byte trace ID shared by every participant, the 8-byte span (parent)
+// ID of the current hop, and the trace flags. The zero TraceContext is
+// "no trace" (IsZero reports true).
+//
+// Only version 00 of the traceparent header is produced; higher versions
+// are accepted on parse per the spec (unknown trailing fields ignored).
+type TraceContext struct {
+	TraceID [16]byte
+	SpanID  [8]byte
+	Flags   byte
+}
+
+// IsZero reports whether tc carries no trace identity. A trace ID of all
+// zeroes is invalid per the W3C spec, so it doubles as the sentinel.
+func (tc TraceContext) IsZero() bool { return tc.TraceID == [16]byte{} }
+
+// TraceIDString returns the 32-hex-digit trace ID.
+func (tc TraceContext) TraceIDString() string { return hex.EncodeToString(tc.TraceID[:]) }
+
+// SpanIDString returns the 16-hex-digit span ID.
+func (tc TraceContext) SpanIDString() string { return hex.EncodeToString(tc.SpanID[:]) }
+
+// String renders the traceparent header value: 00-<trace-id>-<span-id>-<flags>.
+func (tc TraceContext) String() string {
+	return fmt.Sprintf("00-%s-%s-%02x", tc.TraceIDString(), tc.SpanIDString(), tc.Flags)
+}
+
+// WithNewSpanID returns a copy of tc whose span ID is freshly generated —
+// the identity a server hands to the work it performs on behalf of the
+// caller, keeping the caller's span ID as the parent.
+func (tc TraceContext) WithNewSpanID() TraceContext {
+	rand.Read(tc.SpanID[:]) //nolint:errcheck // crypto/rand.Read never fails
+	return tc
+}
+
+// NewTraceContext generates a fresh trace identity with the sampled flag
+// set, for requests that arrive without a traceparent header.
+func NewTraceContext() TraceContext {
+	var tc TraceContext
+	rand.Read(tc.TraceID[:]) //nolint:errcheck // crypto/rand.Read never fails
+	rand.Read(tc.SpanID[:])  //nolint:errcheck
+	tc.Flags = 0x01
+	return tc
+}
+
+// ParseTraceparent parses a W3C traceparent header value. It returns an
+// error for empty or malformed values, the forbidden version ff, and
+// all-zero trace or span IDs.
+func ParseTraceparent(header string) (TraceContext, error) {
+	var tc TraceContext
+	header = strings.TrimSpace(header)
+	if header == "" {
+		return tc, fmt.Errorf("obs: empty traceparent")
+	}
+	parts := strings.Split(header, "-")
+	if len(parts) < 4 {
+		return tc, fmt.Errorf("obs: traceparent %q: want version-traceid-spanid-flags", header)
+	}
+	version, err := hexField(parts[0], 1)
+	if err != nil {
+		return tc, fmt.Errorf("obs: traceparent version: %v", err)
+	}
+	if version[0] == 0xff {
+		return tc, fmt.Errorf("obs: traceparent version ff is forbidden")
+	}
+	if version[0] == 0 && len(parts) != 4 {
+		return tc, fmt.Errorf("obs: traceparent %q: version 00 has exactly 4 fields", header)
+	}
+	traceID, err := hexField(parts[1], 16)
+	if err != nil {
+		return tc, fmt.Errorf("obs: traceparent trace-id: %v", err)
+	}
+	spanID, err := hexField(parts[2], 8)
+	if err != nil {
+		return tc, fmt.Errorf("obs: traceparent parent-id: %v", err)
+	}
+	flags, err := hexField(parts[3], 1)
+	if err != nil {
+		return tc, fmt.Errorf("obs: traceparent flags: %v", err)
+	}
+	copy(tc.TraceID[:], traceID)
+	copy(tc.SpanID[:], spanID)
+	tc.Flags = flags[0]
+	if tc.TraceID == [16]byte{} {
+		return TraceContext{}, fmt.Errorf("obs: traceparent trace-id is all zeroes")
+	}
+	if tc.SpanID == [8]byte{} {
+		return TraceContext{}, fmt.Errorf("obs: traceparent parent-id is all zeroes")
+	}
+	return tc, nil
+}
+
+// hexField decodes a lowercase hex field of exactly n bytes.
+func hexField(s string, n int) ([]byte, error) {
+	if len(s) != 2*n {
+		return nil, fmt.Errorf("field %q: want %d hex digits", s, 2*n)
+	}
+	if s != strings.ToLower(s) {
+		return nil, fmt.Errorf("field %q: uppercase hex is invalid", s)
+	}
+	return hex.DecodeString(s)
+}
+
+// traceCtxKey carries a TraceContext through a context.
+type traceCtxKey struct{}
+
+// ContextWithTrace attaches the trace identity to ctx. Instrumented code
+// reads it back with TraceFrom to stamp exemplars and trace exports.
+func ContextWithTrace(ctx context.Context, tc TraceContext) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// TraceFrom returns the trace identity carried by ctx, or the zero
+// TraceContext. Safe on a nil context.
+func TraceFrom(ctx context.Context) TraceContext {
+	if ctx == nil {
+		return TraceContext{}
+	}
+	tc, _ := ctx.Value(traceCtxKey{}).(TraceContext)
+	return tc
+}

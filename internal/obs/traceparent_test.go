@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestParseTraceparentRoundTrip(t *testing.T) {
+	const header = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	tc, err := ParseTraceparent(header)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.IsZero() {
+		t.Fatal("parsed trace context is zero")
+	}
+	if got := tc.TraceIDString(); got != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("trace id = %s", got)
+	}
+	if got := tc.SpanIDString(); got != "00f067aa0ba902b7" {
+		t.Errorf("span id = %s", got)
+	}
+	if tc.Flags != 0x01 {
+		t.Errorf("flags = %02x, want 01", tc.Flags)
+	}
+	if got := tc.String(); got != header {
+		t.Errorf("String() = %s, want %s", got, header)
+	}
+}
+
+func TestParseTraceparentFutureVersion(t *testing.T) {
+	// Per the W3C spec, higher versions parse if the 00 prefix matches,
+	// with unknown trailing fields ignored.
+	tc, err := ParseTraceparent("cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.TraceIDString() != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("trace id = %s", tc.TraceIDString())
+	}
+}
+
+func TestParseTraceparentInvalid(t *testing.T) {
+	cases := []struct {
+		name, header string
+	}{
+		{"empty", ""},
+		{"blank", "   "},
+		{"too few fields", "00-4bf92f3577b34da6a3ce929d0e0e4736"},
+		{"version ff", "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"},
+		{"version 00 extra field", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-junk"},
+		{"short trace id", "00-4bf92f3577b34da6-00f067aa0ba902b7-01"},
+		{"uppercase hex", "00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01"},
+		{"non-hex trace id", "00-4bf92f3577b34da6a3ce929d0e0e47zz-00f067aa0ba902b7-01"},
+		{"zero trace id", "00-00000000000000000000000000000000-00f067aa0ba902b7-01"},
+		{"zero span id", "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01"},
+		{"short flags", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-1"},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if tc, err := ParseTraceparent(tt.header); err == nil {
+				t.Errorf("ParseTraceparent(%q) = %v, want error", tt.header, tc)
+			}
+		})
+	}
+}
+
+func TestNewTraceContext(t *testing.T) {
+	a, b := NewTraceContext(), NewTraceContext()
+	if a.IsZero() || b.IsZero() {
+		t.Fatal("generated trace context is zero")
+	}
+	if a.TraceID == b.TraceID {
+		t.Fatal("two generated trace IDs collide")
+	}
+	if a.Flags&0x01 == 0 {
+		t.Error("generated context is not sampled")
+	}
+	child := a.WithNewSpanID()
+	if child.TraceID != a.TraceID {
+		t.Error("WithNewSpanID changed the trace ID")
+	}
+	if child.SpanID == a.SpanID {
+		t.Error("WithNewSpanID kept the span ID")
+	}
+	// String must always re-parse.
+	if _, err := ParseTraceparent(a.String()); err != nil {
+		t.Errorf("generated header does not re-parse: %v", err)
+	}
+}
+
+func TestTraceContextInContext(t *testing.T) {
+	if got := TraceFrom(nil); !got.IsZero() {
+		t.Errorf("TraceFrom(nil) = %v", got)
+	}
+	if got := TraceFrom(context.Background()); !got.IsZero() {
+		t.Errorf("TraceFrom(empty) = %v", got)
+	}
+	tc := NewTraceContext()
+	ctx := ContextWithTrace(context.Background(), tc)
+	if got := TraceFrom(ctx); got != tc {
+		t.Errorf("TraceFrom = %v, want %v", got, tc)
+	}
+}
+
+func TestContextWithTracerOverridesDefault(t *testing.T) {
+	private := NewTracer()
+	private.SetEnabled(true)
+	ctx := ContextWithTracer(context.Background(), private)
+
+	// obs.Start under the override records on the private tracer even
+	// though the default runtime's tracer is disabled.
+	sctx, span := Start(ctx, "job.run")
+	_, child := Start(sctx, "detect.matrix")
+	child.End()
+	span.End()
+
+	tr := private.Export()
+	if len(tr.Spans) != 1 || tr.Spans[0].Name != "job.run" {
+		t.Fatalf("private trace roots = %+v", tr.Spans)
+	}
+	if len(tr.Spans[0].Children) != 1 || tr.Spans[0].Children[0].Name != "detect.matrix" {
+		t.Fatalf("private trace children = %+v", tr.Spans[0].Children)
+	}
+	if got := Default().Tracer.Export(); len(got.Spans) != 0 {
+		names := make([]string, len(got.Spans))
+		for i, s := range got.Spans {
+			names[i] = s.Name
+		}
+		t.Fatalf("default tracer recorded: %s", strings.Join(names, ", "))
+	}
+}
+
+func TestContextWithSpanAdoptsWork(t *testing.T) {
+	tr := NewTracer()
+	tr.SetEnabled(true)
+	_, root := tr.Start(context.Background(), "job")
+	// A fresh context (another goroutine's) parented under root.
+	ctx := ContextWithTracer(context.Background(), tr)
+	ctx = ContextWithSpan(ctx, root)
+	_, child := Start(ctx, "run")
+	child.End()
+	root.End()
+
+	got := tr.Export()
+	if len(got.Spans) != 1 || len(got.Spans[0].Children) != 1 || got.Spans[0].Children[0].Name != "run" {
+		t.Fatalf("trace = %+v", got.Spans)
+	}
+	if ContextWithSpan(nil, nil) != nil {
+		t.Error("ContextWithSpan(nil, nil) != nil")
+	}
+}

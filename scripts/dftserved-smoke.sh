@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Smoke test for cmd/dftserved: boot the server on an ephemeral port,
-# run a paper-biquad matrix job end to end, assert the identical
-# resubmission is a cache hit, check /metrics, then shut down gracefully.
-# Needs curl and python3 (for JSON field extraction). Exits non-zero on
-# any failed assertion; CI runs this as the dftserved smoke job.
+# run a paper-biquad matrix job end to end under a fixed W3C traceparent,
+# assert the trace ID propagates into the job's span tree, assert the
+# identical resubmission is a cache hit, check /metrics, then shut down
+# gracefully. Needs curl and python3 (for JSON field extraction). Exits
+# non-zero on any failed assertion; CI runs this as the dftserved smoke
+# job. When SMOKE_ARTIFACTS names a directory, the job trace, the trace
+# listing and the SLO snapshot are saved there for upload.
 set -euo pipefail
 
 log() { echo "smoke: $*" >&2; }
@@ -14,7 +17,7 @@ trap 'kill "$server_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
 
 go build -o "$workdir/dftserved" ./cmd/dftserved
 
-"$workdir/dftserved" -addr 127.0.0.1:0 -workers 1 >"$workdir/server.log" 2>&1 &
+"$workdir/dftserved" -addr 127.0.0.1:0 -workers 1 -timing >"$workdir/server.log" 2>&1 &
 server_pid=$!
 
 # The server prints "dftserved: listening on 127.0.0.1:PORT" on boot.
@@ -32,12 +35,18 @@ json_field() { python3 -c "import json,sys; print(json.load(sys.stdin)$1)"; }
 
 body='{"kind":"matrix","bench":"paper-biquad","options":{"points":31}}'
 
-# Submit: must answer 201 with a job id.
-resp=$(curl -sS -w '\n%{http_code}' -X POST -d "$body" "$base/v1/jobs")
+# A fixed W3C trace context; its trace ID must surface end to end.
+trace_id=4bf92f3577b34da6a3ce929d0e0e4736
+traceparent="00-$trace_id-00f067aa0ba902b7-01"
+
+# Submit: must answer 201 with a job id carrying our trace identity.
+resp=$(curl -sS -w '\n%{http_code}' -X POST -H "traceparent: $traceparent" -d "$body" "$base/v1/jobs")
 code=${resp##*$'\n'}
 [ "$code" = 201 ] || fail "submit: HTTP $code"
 job_id=$(printf '%s' "${resp%$'\n'*}" | json_field "['id']")
-log "submitted $job_id"
+got_trace=$(printf '%s' "${resp%$'\n'*}" | json_field "['trace_id']")
+[ "$got_trace" = "$trace_id" ] || fail "job trace_id=$got_trace, inbound traceparent not adopted"
+log "submitted $job_id under trace $trace_id"
 
 # Poll until the job finishes.
 state=queued
@@ -56,6 +65,28 @@ coverage=$(printf '%s' "${resp%$'\n'*}" | json_field "['coverage']")
 solves=$(printf '%s' "${resp%$'\n'*}" | json_field "['stats']['solves']")
 log "matrix done: coverage=$coverage solves=$solves"
 [ "$solves" != 0 ] || fail "matrix reports zero solves"
+
+# Trace: the retained span tree must carry the inbound trace identity
+# and reach the engine (a jobs.run span with detect.* children).
+resp=$(curl -sS -w '\n%{http_code}' "$base/v1/jobs/$job_id/trace")
+code=${resp##*$'\n'}
+[ "$code" = 200 ] || fail "trace: HTTP $code"
+trace_json=${resp%$'\n'*}
+jt_id=$(printf '%s' "$trace_json" | json_field "['trace_id']")
+[ "$jt_id" = "$trace_id" ] || fail "trace endpoint reports trace_id=$jt_id, want $trace_id"
+printf '%s' "$trace_json" | grep -q '"jobs.run"' || fail "trace has no jobs.run span"
+printf '%s' "$trace_json" | grep -q '"detect.' || fail "trace has no engine spans"
+log "trace propagated end to end ($(printf '%s' "$trace_json" | json_field "['spans']") spans)"
+
+# Save the observability artifacts when CI asked for them.
+if [ -n "${SMOKE_ARTIFACTS:-}" ]; then
+    mkdir -p "$SMOKE_ARTIFACTS"
+    printf '%s' "$trace_json" > "$SMOKE_ARTIFACTS/job-trace.json"
+    curl -sS "$base/v1/debug/traces" > "$SMOKE_ARTIFACTS/traces.json"
+    curl -sS "$base/v1/debug/slo" > "$SMOKE_ARTIFACTS/slo.json"
+    curl -sS "$base/healthz" > "$SMOKE_ARTIFACTS/healthz.json"
+    log "artifacts saved to $SMOKE_ARTIFACTS"
+fi
 
 # Identical resubmission: served from the cache, already done.
 resp=$(curl -sS -w '\n%{http_code}' -X POST -d "$body" "$base/v1/jobs")
