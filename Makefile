@@ -14,11 +14,13 @@ race:
 vet:
 	$(GO) vet ./...
 
-# invariants enforces the repo-wide source rules (single clock source, no
-# stray prints in internal packages, clone-free detect fan-out, context-
-# aware job layer) with the stdlib-only AST checker.
+# invariants enforces the repo-wide source rules with the type-aware
+# multi-pass analyzer in internal/invariants (run
+# `go run ./cmd/vetinvariants -list` for the VIxxx pass catalog). The
+# JSON report lands in invariants-report.json for the CI artifact;
+# findings are echoed to stderr so the log stays readable.
 invariants:
-	$(GO) run ./cmd/vetinvariants
+	$(GO) run ./cmd/vetinvariants -json -o invariants-report.json .
 
 # lint statically checks the reference deck; it must stay clean.
 lint:
@@ -48,5 +50,7 @@ serve-smoke:
 
 # benchdiff compares the two freshest committed BENCH_*.json snapshots
 # with noise-aware thresholds; exit 2 means at least one regression.
+# CI runs this advisory plus an enforcing `-gate allocs` pass (allocation
+# counts are deterministic, so they gate hard while ns/op stays advisory).
 benchdiff:
 	$(GO) run ./cmd/benchdiff -dir .

@@ -7,15 +7,20 @@
 //
 // The ns/op threshold is noise-aware: a benchmark whose old samples
 // spread wider than -ns-pct uses that spread as its effective threshold.
-// Exit status: 0 no regressions, 1 usage or I/O error, 2 regressions
-// found — CI runs it as an advisory gate (continue-on-error) so the
-// trajectory is visible without blocking merges on jitter.
+// -gate selects what fails the run: "all" (any regression), "allocs"
+// (allocs/op only — deterministic, so CI enforces it while ns/op stays
+// advisory), or "none" (report only). In -dir mode a directory with
+// fewer than two snapshots is not an error: the trajectory simply has no
+// pair to compare yet, so benchdiff says so and exits 0.
+// Exit status: 0 no gated regressions, 1 usage or I/O error, 2 gated
+// regressions found.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -28,9 +33,10 @@ func main() {
 	nsPct := flag.Float64("ns-pct", benchfmt.DefaultThresholds.NsPct, "ns/op regression threshold, percent")
 	memPct := flag.Float64("mem-pct", benchfmt.DefaultThresholds.MemPct, "B/op and allocs/op regression threshold, percent")
 	asJSON := flag.Bool("json", false, "emit the report as JSON instead of text")
+	gate := flag.String("gate", "all", "which regressions fail the run: all, allocs or none")
 	flag.Parse()
 
-	code, err := run(*dir, flag.Args(), benchfmt.Thresholds{NsPct: *nsPct, MemPct: *memPct}, *asJSON)
+	code, err := run(*dir, flag.Args(), benchfmt.Thresholds{NsPct: *nsPct, MemPct: *memPct}, *asJSON, *gate, os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(1)
@@ -38,10 +44,22 @@ func main() {
 	os.Exit(code)
 }
 
-func run(dir string, args []string, th benchfmt.Thresholds, asJSON bool) (int, error) {
+func run(dir string, args []string, th benchfmt.Thresholds, asJSON bool, gate string, stdout io.Writer) (int, error) {
+	switch gate {
+	case "all", "allocs", "none":
+	default:
+		return 1, fmt.Errorf("unknown -gate %q (want all, allocs or none)", gate)
+	}
 	oldPath, newPath, err := resolvePair(dir, args)
 	if err != nil {
 		return 1, err
+	}
+	if oldPath == "" {
+		// -dir with fewer than two snapshots: nothing to diff yet. This is
+		// the normal state of a fresh checkout or a first bench run, not a
+		// failure — CI must not go red before a trajectory exists.
+		fmt.Fprintf(stdout, "benchdiff: fewer than two BENCH_*.json snapshots in %s; nothing to compare yet\n", dir)
+		return 0, nil
 	}
 	oldF, err := benchfmt.ReadFile(oldPath)
 	if err != nil {
@@ -59,23 +77,33 @@ func run(dir string, args []string, th benchfmt.Thresholds, asJSON bool) (int, e
 		rep.NewLabel = filepath.Base(newPath)
 	}
 	if asJSON {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rep); err != nil {
 			return 1, err
 		}
-	} else if err := rep.WriteText(os.Stdout); err != nil {
+	} else if err := rep.WriteText(stdout); err != nil {
 		return 1, err
 	}
-	if len(rep.Regressions()) > 0 {
-		return 2, nil
+	switch gate {
+	case "all":
+		if len(rep.Regressions()) > 0 {
+			return 2, nil
+		}
+	case "allocs":
+		if reg := rep.AllocRegressions(); len(reg) > 0 {
+			fmt.Fprintf(stdout, "enforcing allocs gate: %d allocation regression(s)\n", len(reg))
+			return 2, nil
+		}
 	}
 	return 0, nil
 }
 
 // resolvePair turns the CLI inputs into (old, new) paths: either the two
 // positional files as given, or the freshest two BENCH_*.json in -dir
-// (the date-stamped filenames sort chronologically).
+// (the date-stamped filenames sort chronologically). In -dir mode, fewer
+// than two snapshots returns empty paths and no error — the caller
+// reports the empty trajectory and exits cleanly.
 func resolvePair(dir string, args []string) (string, string, error) {
 	if dir != "" {
 		if len(args) != 0 {
@@ -86,7 +114,7 @@ func resolvePair(dir string, args []string) (string, string, error) {
 			return "", "", err
 		}
 		if len(matches) < 2 {
-			return "", "", fmt.Errorf("%s: need at least two BENCH_*.json files, found %d", dir, len(matches))
+			return "", "", nil
 		}
 		sort.Strings(matches)
 		return matches[len(matches)-2], matches[len(matches)-1], nil

@@ -1,280 +1,141 @@
 // Command vetinvariants enforces repository-wide source invariants that
-// go vet does not know about:
+// go vet does not know about, using the type-aware multi-pass analyzer
+// in internal/invariants:
 //
-//	vetinvariants [repo-root]
+//	vetinvariants [flags] [repo-root]
 //
-// Rule 1 — single clock source: internal packages never call time.Now or
-// time.Since directly; every clock read goes through obs.Now/obs.Since so
-// the timing gates in internal/obs stay the only place wall-clock time
-// enters the system. Only the internal/obs package itself is exempt.
+// Every pass has a stable VIxxx code (run `vetinvariants -list` for the
+// catalog): the five original syntactic rules — single clock source, no
+// stray prints, clone-free detect fan-out, cancellable job layer,
+// in-place factorization — ported onto resolved go/types objects so
+// import aliases and bound function values cannot evade them, plus the
+// type-aware passes the string matcher could not express: TimingOn
+// guards on clock-derived observations (VI006), context threading below
+// the edge (VI007), bounded metric label sets (VI008), no locks held
+// across blocking operations (VI009) and goroutine join tracking
+// (VI010).
 //
-// Rule 2 — no stray prints: internal packages never call fmt.Print,
-// fmt.Printf or fmt.Println. Library code reports through error values,
-// the obs logger or an io.Writer handed in by the caller; the Fprint
-// variants are therefore fine, as are the commands under cmd/.
-//
-// Rule 3 — allocation-flat fault simulation: internal/detect never clones
-// circuits or builds MNA systems itself. Every cell evaluation goes
-// through the analysis.Engine pool (or fault.Apply on the naive fallback
-// path), so the hot fan-out stays clone-free; a direct .Clone(...) method
-// call or an mna.NewSystem call inside internal/detect is a violation.
-//
-// Rule 4 — cancellable job layer: internal/jobs and cmd/dftserved never
-// call the blocking simulation entry points (EvaluateCircuit, BuildMatrix,
-// Optimize); they must use the ...Context variants (or the Session
-// methods, which take a context) so every job the server runs can be
-// cancelled mid-simulation. This is the only rule that reaches outside
-// internal/: cmd/dftserved is walked for it, with the internal-only rules
-// switched off there.
-//
-// Rule 5 — allocation-free factorization in the sweep hot path:
-// internal/analysis never calls numeric.Factor, the cloning variant that
-// copies the matrix before factoring. Every factorization in the engine
-// goes through numeric.FactorInPlace (directly or via the sweeper's
-// workspace), so sweeps stay allocation-flat and the low-rank grid cache
-// owns its matrices explicitly.
-//
-// All rules skip _test.go files. The checker is import-alias aware and
-// uses only the standard library (go/parser + go/ast), so it runs in CI
-// without fetching anything. Findings print as file:line:col and make the
-// command exit 1.
+// Output is deterministic text (file:line:col) or JSON (-json). A
+// committed baseline file (-baseline) grandfathers pre-existing findings
+// so a new pass can land enforcing; stale baseline entries are reported
+// for burn-down. Exit status: 0 clean, 1 findings, 2 usage or load
+// error — the same contract as netlint.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"go/ast"
-	"go/parser"
-	"go/token"
-	"io/fs"
+	"io"
 	"os"
-	"path/filepath"
-	"strconv"
 	"strings"
+
+	"analogdft/internal/invariants"
 )
 
-// finding is one invariant violation.
-type finding struct {
-	pos token.Position
-	msg string
-}
-
-func (f finding) String() string {
-	return fmt.Sprintf("%s:%d:%d: %s", f.pos.Filename, f.pos.Line, f.pos.Column, f.msg)
-}
-
 func main() {
-	flag.Parse()
-	root := flag.Arg(0)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vetinvariants", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	asJSON := fs.Bool("json", false, "emit the report as JSON instead of text")
+	codes := fs.String("codes", "", "comma-separated VIxxx codes to run (default: all passes)")
+	baselinePath := fs.String("baseline", "", "baseline JSON allowlist; matching findings are suppressed")
+	writeBaseline := fs.String("write-baseline", "", "write current findings to this baseline file and exit 0")
+	out := fs.String("o", "", "write the report to this file instead of stdout")
+	list := fs.Bool("list", false, "print the pass catalog and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 1 {
+		fmt.Fprintln(stderr, "vetinvariants: at most one root directory")
+		return 2
+	}
+	root := fs.Arg(0)
 	if root == "" {
 		root = "."
 	}
-	findings, err := check(root)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "vetinvariants:", err)
-		os.Exit(2)
-	}
-	for _, f := range findings {
-		fmt.Println(f)
-	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "vetinvariants: %d invariant violation(s)\n", len(findings))
-		os.Exit(1)
-	}
-}
 
-// fileRules selects which rule families apply to one file.
-type fileRules struct {
-	base       bool // rules 1–2: clock source and stray prints
-	isObs      bool // the clock gate itself; exempt from rule 1
-	isDetect   bool // rule 3: clone-free fan-out
-	jobLayer   bool // rule 4: no blocking sim entry points
-	isAnalysis bool // rule 5: in-place factorization only
-}
-
-// check walks every non-test Go file under root/internal (all rules) and
-// root/cmd/dftserved (rule 4 only) and returns the invariant violations
-// in file order.
-func check(root string) ([]finding, error) {
-	internalDir := filepath.Join(root, "internal")
-	if _, err := os.Stat(internalDir); err != nil {
-		return nil, fmt.Errorf("no internal directory under %s: %w", root, err)
-	}
-	var findings []finding
-	walk := func(dir string, rules func(dir string) fileRules) error {
-		return filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
-			if err != nil {
-				return err
-			}
-			if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
-				return nil
-			}
-			fs, err := checkFile(path, rules(filepath.ToSlash(filepath.Dir(path))))
-			if err != nil {
-				return err
-			}
-			findings = append(findings, fs...)
-			return nil
-		})
-	}
-	err := walk(internalDir, func(dir string) fileRules {
-		return fileRules{
-			base:       true,
-			isObs:      dir == filepath.ToSlash(filepath.Join(root, "internal", "obs")),
-			isDetect:   dir == filepath.ToSlash(filepath.Join(root, "internal", "detect")),
-			jobLayer:   dir == filepath.ToSlash(filepath.Join(root, "internal", "jobs")),
-			isAnalysis: dir == filepath.ToSlash(filepath.Join(root, "internal", "analysis")),
+	if *list {
+		for _, p := range invariants.Passes() {
+			fmt.Fprintf(stdout, "%s %-24s %s\n\t%s\n\tscope: %s\n", p.Code, "["+p.Name+"]", p.Summary, p.Rationale, p.Scope)
 		}
-	})
-	if err != nil {
-		return nil, err
-	}
-	servedDir := filepath.Join(root, "cmd", "dftserved")
-	if _, statErr := os.Stat(servedDir); statErr == nil {
-		err = walk(servedDir, func(string) fileRules {
-			return fileRules{jobLayer: true}
-		})
-	}
-	return findings, err
-}
-
-// forbidden maps an import path to the selector names internal packages
-// must not call on it.
-var forbidden = map[string]map[string]string{
-	"time": {
-		"Now":   "internal packages must use obs.Now, not time.Now (single clock source)",
-		"Since": "internal packages must use obs.Since, not time.Since (single clock source)",
-	},
-	"fmt": {
-		"Print":   "internal packages must not print to stdout; return values, log via obs or take an io.Writer",
-		"Printf":  "internal packages must not print to stdout; return values, log via obs or take an io.Writer",
-		"Println": "internal packages must not print to stdout; return values, log via obs or take an io.Writer",
-	},
-}
-
-// forbiddenDetect maps import paths to the selector names internal/detect
-// must not call: system construction belongs to the analysis.Engine pool,
-// never to the cell fan-out.
-var forbiddenDetect = map[string]map[string]string{
-	"analogdft/internal/mna": {
-		"NewSystem": "internal/detect must not build MNA systems; reuse a pooled analysis.Engine",
-	},
-}
-
-// forbiddenAnalysis maps import paths to the selector names
-// internal/analysis must not call: factorization in the sweep engine is
-// always in place, never the matrix-cloning numeric.Factor.
-var forbiddenAnalysis = map[string]map[string]string{
-	"analogdft/internal/numeric": {
-		"Factor": "internal/analysis must factor in place (numeric.FactorInPlace or a Workspace), never via the cloning numeric.Factor",
-	},
-}
-
-// forbiddenJobs maps import paths to the blocking simulation entry points
-// the job layer (internal/jobs and cmd/dftserved) must not call: jobs run
-// through the ...Context variants so cancellation reaches the engine.
-var forbiddenJobs = map[string]map[string]string{
-	"analogdft": {
-		"EvaluateCircuit": "the job layer must call EvaluateCircuitContext (or Session.Evaluate) so jobs stay cancellable",
-		"BuildMatrix":     "the job layer must call BuildMatrixContext (or Session.Matrix) so jobs stay cancellable",
-		"Optimize":        "the job layer must call OptimizeContext (or Session.Optimize) so jobs stay cancellable",
-	},
-	"analogdft/internal/detect": {
-		"EvaluateCircuit": "the job layer must call detect.EvaluateCircuitContext so jobs stay cancellable",
-		"BuildMatrix":     "the job layer must call detect.BuildMatrixContext so jobs stay cancellable",
-	},
-	"analogdft/internal/core": {
-		"Optimize": "the job layer must call core.OptimizeContext so jobs stay cancellable",
-	},
-}
-
-// checkFile parses one file and reports forbidden selector calls. An
-// obs-package file only gets the fmt rule: it is the clock gate. A
-// detect-package file additionally gets the clone-free rule (no .Clone
-// method calls, no mna.NewSystem). A job-layer file gets the
-// blocking-entry-point rule; an analysis-package file the in-place
-// factorization rule.
-func checkFile(path string, r fileRules) ([]finding, error) {
-	fset := token.NewFileSet()
-	file, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
-	if err != nil {
-		return nil, err
+		return 0
 	}
 
-	// Map the local name of each interesting import; an underscore or dot
-	// import never produces a plain selector, so those are ignored.
-	names := make(map[string]string) // local identifier → import path
-	for _, imp := range file.Imports {
-		p, err := strconv.Unquote(imp.Path.Value)
+	opts := invariants.Options{}
+	if *codes != "" {
+		for _, c := range strings.Split(*codes, ",") {
+			if c = strings.TrimSpace(c); c == "" {
+				continue
+			}
+			// Reject unknown codes before the (slow) repo load.
+			if !invariants.KnownCode(c) {
+				fmt.Fprintf(stderr, "vetinvariants: unknown pass code %q (run -list for the catalog)\n", c)
+				return 2
+			}
+			opts.Codes = append(opts.Codes, c)
+		}
+	}
+	if *baselinePath != "" {
+		b, err := invariants.LoadBaseline(*baselinePath)
 		if err != nil {
-			continue
+			fmt.Fprintln(stderr, "vetinvariants:", err)
+			return 2
 		}
-		interesting := (r.base && forbidden[p] != nil) ||
-			(r.isDetect && forbiddenDetect[p] != nil) ||
-			(r.jobLayer && forbiddenJobs[p] != nil) ||
-			(r.isAnalysis && forbiddenAnalysis[p] != nil)
-		if !interesting {
-			continue
-		}
-		if p == "time" && r.isObs {
-			continue
-		}
-		local := filepath.Base(p) // the package name matches its directory here
-		if imp.Name != nil {
-			local = imp.Name.Name
-		}
-		if local != "_" && local != "." {
-			names[local] = p
-		}
-	}
-	if len(names) == 0 && !r.isDetect {
-		return nil, nil
+		opts.Baseline = b
 	}
 
-	var findings []finding
-	ast.Inspect(file, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
+	loader := invariants.NewLoader()
+	pkgs, err := loader.LoadRepo(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "vetinvariants:", err)
+		return 2
+	}
+	rep, err := invariants.Analyze(root, pkgs, opts)
+	if err != nil {
+		fmt.Fprintln(stderr, "vetinvariants:", err)
+		return 2
+	}
+
+	if *writeBaseline != "" {
+		b := invariants.FromFindings(rep.Diagnostics, "grandfathered by -write-baseline; burn down")
+		if err := b.WriteFile(*writeBaseline); err != nil {
+			fmt.Fprintln(stderr, "vetinvariants:", err)
+			return 2
 		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok {
-			return true
+		fmt.Fprintf(stderr, "vetinvariants: wrote %d baseline entr(ies) to %s\n", len(b.Entries), *writeBaseline)
+		return 0
+	}
+
+	dst := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(stderr, "vetinvariants:", err)
+			return 2
 		}
-		if r.isDetect && sel.Sel.Name == "Clone" {
-			findings = append(findings, finding{pos: fset.Position(sel.Pos()),
-				msg: "internal/detect must not clone circuits; reuse a pooled analysis.Engine"})
-			return true
+		defer f.Close()
+		dst = f
+	}
+	if *asJSON {
+		err = rep.WriteJSON(dst)
+	} else {
+		err = rep.WriteText(dst)
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "vetinvariants:", err)
+		return 2
+	}
+	if !rep.Clean() {
+		fmt.Fprintf(stderr, "vetinvariants: %d invariant violation(s)\n", len(rep.Diagnostics))
+		// With the report routed to a file, keep the violations visible
+		// in the terminal/CI log too.
+		if *out != "" {
+			_ = rep.WriteText(stderr)
 		}
-		ident, ok := sel.X.(*ast.Ident)
-		if !ok {
-			return true
-		}
-		pkg, imported := names[ident.Name]
-		if !imported {
-			return true
-		}
-		if r.base {
-			if msg, bad := forbidden[pkg][sel.Sel.Name]; bad {
-				findings = append(findings, finding{pos: fset.Position(sel.Pos()), msg: msg})
-			}
-		}
-		if r.isDetect {
-			if msg, bad := forbiddenDetect[pkg][sel.Sel.Name]; bad {
-				findings = append(findings, finding{pos: fset.Position(sel.Pos()), msg: msg})
-			}
-		}
-		if r.jobLayer {
-			if msg, bad := forbiddenJobs[pkg][sel.Sel.Name]; bad {
-				findings = append(findings, finding{pos: fset.Position(sel.Pos()), msg: msg})
-			}
-		}
-		if r.isAnalysis {
-			if msg, bad := forbiddenAnalysis[pkg][sel.Sel.Name]; bad {
-				findings = append(findings, finding{pos: fset.Position(sel.Pos()), msg: msg})
-			}
-		}
-		return true
-	})
-	return findings, nil
+		return 1
+	}
+	return 0
 }

@@ -1,0 +1,95 @@
+package invariants
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// BaselineEntry grandfathers one pre-existing finding. A finding matches
+// when its code and file agree and, if the entry pins a line, the line
+// agrees too. Leaving Line zero matches the whole file, which survives
+// unrelated edits above the finding; pinning the line makes the entry
+// expire as soon as the code moves.
+type BaselineEntry struct {
+	Code string `json:"code"`
+	File string `json:"file"`
+	Line int    `json:"line,omitempty"`
+	// Reason documents why the finding is allowed to exist for now.
+	Reason string `json:"reason,omitempty"`
+}
+
+// Baseline is a committed allowlist of findings. The burn-down workflow:
+// introduce a new pass with `vetinvariants -write-baseline`, commit the
+// file, then delete entries as the findings are fixed — the analyzer
+// reports entries that no longer match anything so stale rows cannot
+// linger.
+type Baseline struct {
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// LoadBaseline reads a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("invariants: baseline %s: %w", path, err)
+	}
+	for i, e := range b.Entries {
+		if e.Code == "" || e.File == "" {
+			return nil, fmt.Errorf("invariants: baseline %s: entry %d needs code and file", path, i)
+		}
+		if !KnownCode(e.Code) {
+			return nil, fmt.Errorf("invariants: baseline %s: entry %d has unknown code %q", path, i, e.Code)
+		}
+	}
+	return &b, nil
+}
+
+// FromFindings builds a baseline grandfathering every given finding,
+// line-pinned so entries expire when the code moves.
+func FromFindings(ds []Diagnostic, reason string) *Baseline {
+	b := &Baseline{}
+	for _, d := range ds {
+		b.Entries = append(b.Entries, BaselineEntry{Code: d.Code, File: d.File, Line: d.Line, Reason: reason})
+	}
+	return b
+}
+
+// WriteFile writes the baseline as indented JSON.
+func (b *Baseline) WriteFile(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Filter splits findings into kept and suppressed and reports baseline
+// entries that matched nothing (stale rows due for burn-down).
+func (b *Baseline) Filter(ds []Diagnostic) (kept []Diagnostic, suppressed int, stale []BaselineEntry) {
+	used := make([]bool, len(b.Entries))
+	for _, d := range ds {
+		matched := false
+		for i, e := range b.Entries {
+			if e.Code == d.Code && e.File == d.File && (e.Line == 0 || e.Line == d.Line) {
+				used[i] = true
+				matched = true
+			}
+		}
+		if matched {
+			suppressed++
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	for i, e := range b.Entries {
+		if !used[i] {
+			stale = append(stale, e)
+		}
+	}
+	return kept, suppressed, stale
+}

@@ -1,0 +1,220 @@
+package invariants
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Roles classifies an analyzed package so each pass can decide whether it
+// applies. Roles are derived from the package's root-relative path for
+// the real tree; fixture tests set them explicitly.
+type Roles struct {
+	// Internal marks packages under internal/.
+	Internal bool
+	// Obs marks internal/obs itself (the clock gate; its subpackages are
+	// ordinary internal packages).
+	Obs bool
+	// Detect marks internal/detect (the cell fan-out).
+	Detect bool
+	// Jobs marks internal/jobs (the job layer).
+	Jobs bool
+	// Analysis marks internal/analysis (the sweep engine).
+	Analysis bool
+	// Served marks cmd/dftserved (the HTTP edge of the job layer).
+	Served bool
+}
+
+// RolesForPath derives roles from a slash-separated root-relative
+// package directory such as "internal/jobs" or "cmd/dftserved".
+func RolesForPath(rel string) Roles {
+	rel = strings.TrimSuffix(filepath.ToSlash(rel), "/")
+	return Roles{
+		Internal: rel == "internal" || strings.HasPrefix(rel, "internal/"),
+		Obs:      rel == "internal/obs",
+		Detect:   rel == "internal/detect",
+		Jobs:     rel == "internal/jobs",
+		Analysis: rel == "internal/analysis",
+		Served:   rel == "cmd/dftserved",
+	}
+}
+
+// ParseRoles turns fixture manifest role names into a Roles value.
+func ParseRoles(names []string) (Roles, error) {
+	var r Roles
+	for _, n := range names {
+		switch n {
+		case "internal":
+			r.Internal = true
+		case "obs":
+			r.Obs = true
+		case "detect":
+			r.Detect = true
+		case "jobs":
+			r.Jobs = true
+		case "analysis":
+			r.Analysis = true
+		case "served":
+			r.Served = true
+		default:
+			return Roles{}, fmt.Errorf("invariants: unknown role %q", n)
+		}
+	}
+	return r, nil
+}
+
+// Package is one type-checked unit of analysis.
+type Package struct {
+	// Rel is the package directory, slash-separated and relative to the
+	// analysis root; it prefixes every diagnostic file path.
+	Rel string
+	// Dir is the absolute package directory.
+	Dir string
+	// Roles selects which passes walk the package.
+	Roles Roles
+
+	// Fset, Files, Types and Info are the parsed and resolved forms.
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages with the stdlib source
+// importer, so dependencies (including this module's own packages) are
+// resolved from source without fetching anything. A Loader memoizes
+// imports across Load calls and is not safe for concurrent use.
+type Loader struct {
+	fset *token.FileSet
+	imp  types.ImporterFrom
+}
+
+// NewLoader returns a loader rooted at nothing in particular: each Load
+// call names its own directory, and import resolution follows the
+// standard build context from that directory (so the surrounding
+// module's go.mod governs module-internal paths).
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	// The source importer always implements ImporterFrom.
+	imp := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	return &Loader{fset: fset, imp: imp}
+}
+
+// LoadDir type-checks the package in dir. rel labels it in diagnostics.
+// File order is normalized internally, so analyzer output is independent
+// of directory iteration order.
+func (l *Loader) LoadDir(dir, rel string, roles Roles) (*Package, error) {
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("invariants: %s: %w", rel, err)
+	}
+	return l.LoadFiles(dir, rel, roles, bp.GoFiles)
+}
+
+// LoadFiles type-checks the named non-test files of the package in dir.
+// The file list may arrive in any order: it is sorted before parsing so
+// two loads of the same package always produce identical output.
+func (l *Loader) LoadFiles(dir, rel string, roles Roles, names []string) (*Package, error) {
+	names = append([]string(nil), names...)
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, 0)
+		if err != nil {
+			return nil, fmt.Errorf("invariants: %w", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("invariants: %s: no Go files", rel)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: l.imp, FakeImportC: true}
+	tpkg, err := conf.Check(filepath.ToSlash(rel), l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("invariants: %s: %w", rel, err)
+	}
+	return &Package{
+		Rel: filepath.ToSlash(rel), Dir: dir, Roles: roles,
+		Fset: l.fset, Files: files, Types: tpkg, Info: info,
+	}, nil
+}
+
+// LoadRepo loads every package the repo-wide invariants apply to: all
+// packages under root/internal plus cmd/dftserved, in path order.
+func (l *Loader) LoadRepo(root string) ([]*Package, error) {
+	internalDir := filepath.Join(root, "internal")
+	if _, err := os.Stat(internalDir); err != nil {
+		return nil, fmt.Errorf("invariants: no internal directory under %s: %w", root, err)
+	}
+	var dirs []string
+	err := filepath.WalkDir(internalDir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		if d.Name() == "testdata" {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if served := filepath.Join(root, "cmd", "dftserved"); hasGoFiles(served) {
+		dirs = append(dirs, served)
+	}
+	sort.Strings(dirs)
+
+	var pkgs []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		rel = filepath.ToSlash(rel)
+		pkg, err := l.LoadDir(dir, rel, RolesForPath(rel))
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// hasGoFiles reports whether dir directly contains at least one non-test
+// Go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,318 @@
+package invariants
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// runLockAcrossBlocking implements VI009: between a mutex Lock/RLock and
+// its matching Unlock (or to the end of the function when the unlock is
+// deferred), no blocking channel operation or solver call may appear. A
+// send or a solve performed under the manager mutex turns queue
+// backpressure into a deadlock of every other submitter and poller.
+//
+// The tracker is lexical and per-function: nested blocks inherit the
+// held set (branch-local locks stay branch-local), function literals are
+// analyzed as their own functions (their bodies run on other goroutines
+// or at defer time, not under the lexical lock), and a select with a
+// default clause is accepted as the sanctioned non-blocking form.
+func runLockAcrossBlocking(p *pass) {
+	forEachFuncBody(p.pkg, func(body *ast.BlockStmt) {
+		p.scanLockBlock(body.List, map[string]bool{})
+	})
+}
+
+// scanLockBlock walks one statement list, maintaining the set of held
+// mutexes keyed by the rendered receiver expression ("m.mu").
+func (p *pass) scanLockBlock(stmts []ast.Stmt, held map[string]bool) {
+	for _, st := range stmts {
+		switch s := st.(type) {
+		case *ast.ExprStmt:
+			if key, kind := p.lockCall(s.X); key != "" {
+				switch kind {
+				case "lock":
+					held[key] = true
+				case "unlock":
+					delete(held, key)
+				}
+				continue
+			}
+		case *ast.DeferStmt:
+			// A deferred unlock keeps the lock held for the remainder of
+			// the lexical function; nothing to do — the key stays held.
+			if key, kind := p.lockCall(s.Call); key != "" && kind == "unlock" {
+				continue
+			}
+		}
+		if len(held) > 0 {
+			p.flagBlockingUnder(st, held)
+		}
+		// Recurse into compound statements with a copy of the held set,
+		// tracking Lock/Unlock pairs inside them too.
+		for _, inner := range innerBlocks(st) {
+			p.scanLockBlock(inner.List, copyHeld(held))
+		}
+	}
+}
+
+// copyHeld clones the held-mutex set for branch-local tracking.
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+// innerBlocks returns the statement blocks nested directly inside st,
+// without crossing into function literals.
+func innerBlocks(st ast.Stmt) []*ast.BlockStmt {
+	var out []*ast.BlockStmt
+	switch s := st.(type) {
+	case *ast.BlockStmt:
+		out = append(out, s)
+	case *ast.IfStmt:
+		out = append(out, s.Body)
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			out = append(out, e)
+		case *ast.IfStmt:
+			out = append(out, innerBlocks(e)...)
+		}
+	case *ast.ForStmt:
+		out = append(out, s.Body)
+	case *ast.RangeStmt:
+		out = append(out, s.Body)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, &ast.BlockStmt{List: cc.Body})
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, &ast.BlockStmt{List: cc.Body})
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				out = append(out, &ast.BlockStmt{List: cc.Body})
+			}
+		}
+	case *ast.LabeledStmt:
+		out = append(out, innerBlocks(s.Stmt)...)
+	}
+	return out
+}
+
+// lockCall classifies expr as a Lock/RLock ("lock") or Unlock/RUnlock
+// ("unlock") call on a sync.Mutex or sync.RWMutex and returns the
+// rendered receiver as the tracking key.
+func (p *pass) lockCall(expr ast.Expr) (key, kind string) {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return "", ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		kind = "lock"
+	case "Unlock", "RUnlock":
+		kind = "unlock"
+	default:
+		return "", ""
+	}
+	s, ok := p.pkg.Info.Selections[sel]
+	if !ok || s.Obj() == nil {
+		return "", ""
+	}
+	recv := s.Recv()
+	if !typeIsPath(recv, "sync", "Mutex") && !typeIsPath(recv, "sync", "RWMutex") {
+		return "", ""
+	}
+	return types.ExprString(sel.X), kind
+}
+
+// flagBlockingUnder inspects the shallow part of one statement executed
+// with locks held — its conditions, initializers and expressions — and
+// reports blocking channel operations and solver calls. Nested statement
+// blocks (if/for/switch/select bodies) are handled by the recursive
+// scanLockBlock walk, and function literals run on their own goroutine
+// or at defer time, so both are skipped here.
+func (p *pass) flagBlockingUnder(st ast.Stmt, held map[string]bool) {
+	ast.Inspect(st, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.FuncLit, *ast.BlockStmt, *ast.CaseClause, *ast.CommClause:
+			return false
+		case *ast.SelectStmt:
+			if !selectHasDefault(e) {
+				p.report(e, "blocking select while holding a mutex",
+					"add a default clause (non-blocking) or move the channel operation outside the critical section")
+			}
+			// The clause bodies run under the lock either way; their
+			// statements are visited through the recursive block scan.
+			return false
+		case *ast.SendStmt:
+			p.report(e, "channel send while holding a mutex",
+				"release the lock before the send, or use a select with a default clause")
+			return false
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW {
+				p.report(e, "channel receive while holding a mutex",
+					"release the lock before the receive")
+				return false
+			}
+		case *ast.RangeStmt:
+			if tv, ok := p.pkg.Info.Types[e.X]; ok && isChanType(tv.Type) {
+				p.report(e, "range over a channel while holding a mutex",
+					"drain the channel outside the critical section")
+			}
+		case *ast.CallExpr:
+			if obj := calleeObj(p.pkg.Info, e); obj != nil && obj.Pkg() != nil && obj.Exported() {
+				switch obj.Pkg().Path() {
+				case "analogdft/internal/detect", "analogdft/internal/analysis", "analogdft":
+					p.report(e, "solver call while holding a mutex",
+						"run the simulation outside the critical section; hold the lock only around state bookkeeping")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// selectHasDefault reports whether a select statement has a default
+// clause (the non-blocking form).
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// runUntrackedGoroutine implements VI010: a goroutine launched in the
+// job or detect layer must have a visible join — a WaitGroup Add in the
+// launching function (paired with a Done in the goroutine or its callee),
+// a Done/Wait call inside the goroutine body, or a send/close on a
+// channel from the goroutine body (the done-channel idiom). Anything
+// else outlives drain and shutdown unobserved.
+func runUntrackedGoroutine(p *pass) {
+	for _, f := range p.pkg.Files {
+		walkStack(f, func(stack []ast.Node, n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if p.goroutineTracked(stack, g) {
+				return true
+			}
+			p.report(g, "goroutine has no visible WaitGroup or done-channel join",
+				"pair the launch with wg.Add/Done or have the goroutine signal a channel the launcher waits on")
+			return true
+		})
+	}
+}
+
+// goroutineTracked applies the join heuristics to one go statement.
+func (p *pass) goroutineTracked(stack []ast.Node, g *ast.GoStmt) bool {
+	// WaitGroup discipline in the launching function: any wg.Add call
+	// lexically before the launch.
+	if fn := enclosingFuncBody(stack); fn != nil {
+		tracked := false
+		ast.Inspect(fn, func(n ast.Node) bool {
+			if tracked || n == nil {
+				return false
+			}
+			if n.Pos() >= g.Pos() {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Add" {
+					if s, ok := p.pkg.Info.Selections[sel]; ok && typeIsPath(s.Recv(), "sync", "WaitGroup") {
+						tracked = true
+						return false
+					}
+				}
+			}
+			return true
+		})
+		if tracked {
+			return true
+		}
+	}
+	// Joins inside the goroutine body itself: wg.Done/Wait, a channel
+	// send, or a close call.
+	lit, ok := g.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	tracked := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if tracked {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.SendStmt:
+			tracked = true
+			return false
+		case *ast.CallExpr:
+			if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "close" && len(e.Args) == 1 {
+				if tv, ok := p.pkg.Info.Types[e.Args[0]]; ok && isChanType(tv.Type) {
+					tracked = true
+					return false
+				}
+			}
+			if sel, ok := e.Fun.(*ast.SelectorExpr); ok && (sel.Sel.Name == "Done" || sel.Sel.Name == "Wait") {
+				if s, ok := p.pkg.Info.Selections[sel]; ok && typeIsPath(s.Recv(), "sync", "WaitGroup") {
+					tracked = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return tracked
+}
+
+// enclosingFuncBody returns the body of the innermost function on the
+// stack.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+// forEachFuncBody visits the body of every function declaration and
+// function literal in the package, each exactly once, as an independent
+// unit.
+func forEachFuncBody(pkg *Package, fn func(body *ast.BlockStmt)) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					fn(d.Body)
+				}
+			case *ast.FuncLit:
+				fn(d.Body)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,93 @@
+package invariants
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// runContextLaundering implements VI007: a function that receives a
+// context.Context must thread it — manufacturing context.Background or
+// context.TODO below the edge detaches the work from cancellation and
+// tracing. The one sanctioned exception is span bookkeeping: a Background
+// handed directly to an obs function or an obs.Tracer/Span method builds
+// a value-carrier for a span tree whose lifetime is intentionally not the
+// caller's (a job outlives its submit request), so those call sites are
+// exempt and the exemption is part of the pass contract.
+func runContextLaundering(p *pass) {
+	for _, f := range p.pkg.Files {
+		walkStack(f, func(stack []ast.Node, n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := calleeObj(p.pkg.Info, call)
+			if obj == nil || !(objectIs(obj, "context", "Background") || objectIs(obj, "context", "TODO")) {
+				return true
+			}
+			if !hasContextParam(p.pkg.Info, stack) {
+				return true
+			}
+			if isObsPlumbing(p.pkg.Info, stack) {
+				return true
+			}
+			p.report(call, "context."+obj.Name()+"() inside a context-receiving function launders away the caller's context",
+				"thread the ctx parameter through (use context.WithoutCancel(ctx) if only the lifetime must detach)")
+			return true
+		})
+	}
+}
+
+// hasContextParam reports whether any enclosing function on the stack
+// declares a context.Context parameter.
+func hasContextParam(info *types.Info, stack []ast.Node) bool {
+	check := func(ft *ast.FuncType) bool {
+		if ft.Params == nil {
+			return false
+		}
+		for _, field := range ft.Params.List {
+			if tv, ok := info.Types[field.Type]; ok && typeIsPath(tv.Type, "context", "Context") {
+				return true
+			}
+		}
+		return false
+	}
+	for _, n := range stack {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if check(fn.Type) {
+				return true
+			}
+		case *ast.FuncLit:
+			if check(fn.Type) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isObsPlumbing reports whether the innermost call expressions enclosing
+// the Background/TODO call all lead into the obs span machinery: a
+// function declared in internal/obs, or a method on an obs type. The
+// stack is scanned inside-out; the first enclosing call decides.
+func isObsPlumbing(info *types.Info, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		call, ok := stack[i].(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		obj := calleeObj(info, call)
+		if obj == nil || obj.Pkg() == nil {
+			return false
+		}
+		if obj.Pkg().Path() == obsPath {
+			return true
+		}
+		// Keep scanning outward through nested non-obs conversions or
+		// helpers only when the call itself is a type conversion.
+		if !isConversion(info, call) {
+			return false
+		}
+	}
+	return false
+}

@@ -1,0 +1,252 @@
+package invariants
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// This file holds the syntax- and type-level helpers the passes share:
+// resolved-object matching, an enclosure-stack walker, and def-tracing of
+// local variables back to their assignments.
+
+// pass carries one package through one pass run and collects findings.
+type pass struct {
+	pkg  *Package
+	info *PassInfo
+	out  []Diagnostic
+}
+
+// report records a finding at node n.
+func (p *pass) report(n ast.Node, msg, hint string) {
+	pos := p.pkg.Fset.Position(n.Pos())
+	file := pos.Filename
+	// The loader parses dir-joined paths; keep diagnostics root-relative
+	// by re-anchoring on the package's rel dir.
+	if i := strings.LastIndexByte(file, '/'); i >= 0 {
+		file = file[i+1:]
+	}
+	p.out = append(p.out, Diagnostic{
+		Code:    p.info.Code,
+		Package: p.pkg.Rel,
+		File:    p.pkg.Rel + "/" + file,
+		Line:    pos.Line,
+		Col:     pos.Column,
+		Message: msg,
+		Hint:    hint,
+	})
+}
+
+// objectIs reports whether obj is the named object declared in the
+// package with import path pkgPath. Matching is by path and name, never
+// by pointer identity, because the same dependency may be type-checked
+// more than once across Load calls.
+func objectIs(obj types.Object, pkgPath, name string) bool {
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// usesOf walks every resolved identifier use in the package and reports
+// those matching a package-level object (pkgPath, one of names). It sees
+// aliased imports, dot imports and function values alike: the object is
+// matched after resolution, not the spelling. Methods never match — a
+// name like Optimize is only forbidden as the package-level function,
+// not as Session.Optimize.
+func usesOf(p *pass, pkgPath string, names map[string]string, hint string) {
+	for _, f := range p.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := p.pkg.Info.Uses[id]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != pkgPath {
+				return true
+			}
+			if obj.Parent() != obj.Pkg().Scope() {
+				return true
+			}
+			if msg, bad := names[obj.Name()]; bad {
+				p.report(id, msg, hint)
+			}
+			return true
+		})
+	}
+}
+
+// calleeObj resolves the object a call expression invokes: a package
+// function, a method, or nil for indirect calls through function values.
+func calleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			return sel.Obj()
+		}
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// isConversion reports whether call is a type conversion rather than a
+// function call.
+func isConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// walkStack traverses root keeping the enclosure stack: fn receives the
+// chain of ancestors (outermost first, not including n itself) for every
+// node. Returning false skips n's children.
+func walkStack(root ast.Node, fn func(stack []ast.Node, n ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		descend := fn(stack, n)
+		if descend {
+			stack = append(stack, n)
+		}
+		return descend
+	})
+}
+
+// assignmentsTo collects the right-hand sides assigned to obj anywhere
+// under root: `x := rhs`, `x = rhs` and `var x = rhs` forms. Multi-value
+// assignments from a single call yield that call for every LHS.
+func assignmentsTo(info *types.Info, root ast.Node, obj types.Object) []ast.Expr {
+	var out []ast.Expr
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || (info.Defs[id] != obj && info.Uses[id] != obj) {
+					continue
+				}
+				switch {
+				case len(st.Rhs) == len(st.Lhs):
+					out = append(out, st.Rhs[i])
+				case len(st.Rhs) == 1:
+					out = append(out, st.Rhs[0])
+				}
+			}
+		case *ast.ValueSpec:
+			for i, id := range st.Names {
+				if info.Defs[id] != obj {
+					continue
+				}
+				switch {
+				case len(st.Values) == len(st.Names):
+					out = append(out, st.Values[i])
+				case len(st.Values) == 1:
+					out = append(out, st.Values[0])
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// enclosingTopDecl returns the outermost declaration on the stack — the
+// scope def-tracing searches for assignments.
+func enclosingTopDecl(stack []ast.Node) ast.Node {
+	for _, n := range stack {
+		switch n.(type) {
+		case *ast.FuncDecl, *ast.GenDecl:
+			return n
+		}
+	}
+	if len(stack) > 0 {
+		return stack[0]
+	}
+	return nil
+}
+
+// isParamOf reports whether obj is declared as a parameter (or result)
+// of any function literal or declaration on the stack.
+func isParamOf(info *types.Info, stack []ast.Node, obj types.Object) bool {
+	check := func(ft *ast.FuncType) bool {
+		for _, fl := range []*ast.FieldList{ft.Params, ft.Results} {
+			if fl == nil {
+				continue
+			}
+			for _, field := range fl.List {
+				for _, id := range field.Names {
+					if info.Defs[id] == obj {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+	for _, n := range stack {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if check(fn.Type) {
+				return true
+			}
+		case *ast.FuncLit:
+			if check(fn.Type) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// namedType unwraps pointers and aliases down to a *types.Named, or nil.
+func namedType(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	t = types.Unalias(t)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// typeIsPath reports whether t (after unwrapping pointers) is the named
+// type pkgPath.name.
+func typeIsPath(t types.Type, pkgPath, name string) bool {
+	named := namedType(t)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// enumConstCount counts the package-level constants declared with
+// exactly the named type, in the type's own package. A type with at
+// least one such constant is treated as a closed enum: its values form a
+// fixed set by construction.
+func enumConstCount(named *types.Named) int {
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return 0
+	}
+	scope := obj.Pkg().Scope()
+	n := 0
+	for _, name := range scope.Names() {
+		if c, ok := scope.Lookup(name).(*types.Const); ok && types.Identical(types.Unalias(c.Type()), named) {
+			n++
+		}
+	}
+	return n
+}
+
+// isChanType reports whether t is (or points to) a channel type.
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := types.Unalias(t).Underlying().(*types.Chan)
+	return ok
+}

@@ -52,7 +52,12 @@ type Delta struct {
 	EffNsPct float64 `json:"eff_ns_pct"`
 
 	Regressed bool `json:"regressed"`
-	Improved  bool `json:"improved"`
+	// AllocRegressed marks an allocs/op regression specifically. Allocation
+	// counts are deterministic (no scheduler or frequency noise), so this
+	// subset of Regressed is suitable for an enforcing CI gate even where
+	// ns/op stays advisory.
+	AllocRegressed bool `json:"alloc_regressed,omitempty"`
+	Improved       bool `json:"improved"`
 }
 
 // Report is the full comparison of two BENCH files.
@@ -116,6 +121,7 @@ func compare(ob, nb *Benchmark, th Thresholds) Delta {
 		d.OldAllocs, d.NewAllocs = ob.AllocsPerOp, nb.AllocsPerOp
 		d.AllocsPct = pctChange(ob.AllocsPerOp, nb.AllocsPerOp)
 	}
+	d.AllocRegressed = d.HasMem && d.AllocsPct > th.MemPct
 	d.Regressed = d.NsPct > d.EffNsPct ||
 		(d.HasMem && (d.BPct > th.MemPct || d.AllocsPct > th.MemPct))
 	d.Improved = !d.Regressed && d.NsPct < -d.EffNsPct
@@ -154,6 +160,18 @@ func (r *Report) Regressions() []Delta {
 	var out []Delta
 	for _, d := range r.Deltas {
 		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// AllocRegressions returns the deltas whose allocs/op regressed — the
+// noise-free subset an enforcing gate keys on.
+func (r *Report) AllocRegressions() []Delta {
+	var out []Delta
+	for _, d := range r.Deltas {
+		if d.AllocRegressed {
 			out = append(out, d)
 		}
 	}

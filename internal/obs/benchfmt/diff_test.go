@@ -198,6 +198,30 @@ func TestDiffMemOnlyRegression(t *testing.T) {
 	if reg := rep.Regressions(); len(reg) != 1 || reg[0].BPct != 50 {
 		t.Fatalf("regressions = %+v", reg)
 	}
+	// B/op regressed but allocs/op did not: the enforcing subset stays empty.
+	if reg := rep.AllocRegressions(); len(reg) != 0 {
+		t.Fatalf("alloc regressions = %+v, want none", reg)
+	}
+}
+
+func TestDiffAllocRegressionSubset(t *testing.T) {
+	oldF := parseText(t, "BenchmarkAlloc-8 100 100 ns/op 1000 B/op 10 allocs/op\n")
+	newF := parseText(t, "BenchmarkAlloc-8 100 100 ns/op 1000 B/op 13 allocs/op\n")
+	rep := Diff(oldF, newF, Thresholds{})
+	reg := rep.AllocRegressions()
+	if len(reg) != 1 || !reg[0].AllocRegressed || reg[0].AllocsPct != 30 {
+		t.Fatalf("alloc regressions = %+v", reg)
+	}
+	// Every alloc regression is also a plain regression.
+	if !reg[0].Regressed {
+		t.Fatalf("alloc regression not in Regressed set: %+v", reg[0])
+	}
+	// Without -benchmem data there is nothing for the allocs gate to key on.
+	noMemOld := parseText(t, "BenchmarkX-8 100 100 ns/op\n")
+	noMemNew := parseText(t, "BenchmarkX-8 100 900 ns/op\n")
+	if reg := Diff(noMemOld, noMemNew, Thresholds{}).AllocRegressions(); len(reg) != 0 {
+		t.Fatalf("alloc regressions without mem data = %+v", reg)
+	}
 }
 
 func TestDiffAddedRemoved(t *testing.T) {

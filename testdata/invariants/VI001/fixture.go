@@ -1,0 +1,21 @@
+// Fixture for VI001 single-clock-source: an internal package reading the
+// wall clock directly. The aliased import and the bound function value
+// are the evasions the old string matcher missed.
+package fixture
+
+import (
+	"time"
+	clk "time"
+)
+
+// seeded: direct call through the canonical import name.
+func direct() time.Time { return time.Now() }
+
+// seeded: aliased import cannot hide the resolved object.
+func aliased(t0 time.Time) time.Duration { return clk.Since(t0) }
+
+// seeded: binding the function value is still a use.
+var bound = time.Now
+
+// negative: other time package functions are fine.
+func parse(s string) (time.Time, error) { return time.Parse(time.RFC3339, s) }

@@ -1,0 +1,8 @@
+// Second file of the VI001 fixture, so the determinism test can load the
+// package under shuffled file orders.
+package fixture
+
+import "time"
+
+// seeded: direct call in the second file.
+func direct2() time.Time { return time.Now() }

@@ -1,0 +1,23 @@
+// Fixture for VI002 no-stray-prints: library code writing to stdout.
+package fixture
+
+import (
+	"fmt"
+	pf "fmt"
+	"io"
+)
+
+// seeded: plain Println to stdout.
+func noisy(n int) { fmt.Println("cells:", n) }
+
+// seeded: aliased Printf is still the same object.
+func noisyf(n int) { pf.Printf("%d\n", n) }
+
+// seeded: binding the function value counts as a use.
+var sink = fmt.Print
+
+// negative: writer-directed output is the sanctioned form.
+func quiet(w io.Writer, n int) { fmt.Fprintf(w, "cells: %d\n", n) }
+
+// negative: Sprintf does not touch stdout.
+func format(n int) string { return fmt.Sprintf("%d", n) }

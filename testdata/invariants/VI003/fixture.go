@@ -1,0 +1,22 @@
+// Fixture for VI003 clone-free-fanout: the detect layer cloning circuits
+// and building MNA systems instead of going through the pooled engine.
+package fixture
+
+import (
+	"analogdft/internal/circuit"
+	m2 "analogdft/internal/mna"
+)
+
+// seeded: building a fresh MNA system through an aliased import.
+func build(c *circuit.Circuit) (*m2.System, error) { return m2.NewSystem(c) }
+
+// seeded: Clone method call on a circuit.
+func duplicate(c *circuit.Circuit) *circuit.Circuit { return c.Clone() }
+
+// seeded: the method expression form is the same method.
+var cloner = (*circuit.Circuit).Clone
+
+// negative: a field or local named Clone is not the circuit method.
+type job struct{ Clone bool }
+
+func flag(j job) bool { return j.Clone }

@@ -1,0 +1,24 @@
+// Fixture for VI004 cancellable-job-layer: the job layer reaching for
+// the blocking simulation entry points instead of the ...Context forms.
+package fixture
+
+import (
+	root "analogdft"
+	"context"
+)
+
+// seeded: bound blocking entry points through an aliased root import.
+var (
+	evaluate = root.EvaluateCircuit
+	build    = root.BuildMatrix
+)
+
+// seeded: direct blocking call.
+func optimize(mx *root.Matrix, chain []string, cost root.CostFunction) (*root.Result, error) {
+	return root.Optimize(mx, chain, cost)
+}
+
+// negative: the Context variants are the sanctioned path.
+func optimizeCtx(ctx context.Context, mx *root.Matrix, chain []string, cost root.CostFunction) (*root.Result, error) {
+	return root.OptimizeContext(ctx, mx, chain, cost)
+}

@@ -1,0 +1,14 @@
+// Fixture for VI005 in-place-factorization: the analysis layer calling
+// the matrix-cloning numeric.Factor.
+package fixture
+
+import num "analogdft/internal/numeric"
+
+// seeded: bound function value through an aliased import.
+var factor = num.Factor
+
+// seeded: direct cloning factorization.
+func factorNow(m *num.Matrix) (*num.LU, error) { return num.Factor(m) }
+
+// negative: the in-place form is the sanctioned path.
+func factorInPlace(m *num.Matrix, pivot []int) (num.LU, error) { return num.FactorInPlace(m, pivot) }

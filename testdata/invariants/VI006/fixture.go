@@ -1,0 +1,54 @@
+// Fixture for VI006 gated-clock-observation: clock-derived histogram
+// observations must sit behind a TimingOn guard. The negatives encode
+// the sanctioned guard idioms from the real tree.
+package fixture
+
+import (
+	"time"
+
+	"analogdft/internal/obs"
+)
+
+var h = obs.Reg().Histogram("fixture_seconds", "seeded fixture latency histogram", obs.TimeBuckets)
+
+// seeded: unguarded observation of an elapsed duration.
+func unguarded(t0 time.Time) { h.Observe(obs.Since(t0).Seconds()) }
+
+// seeded: routing the duration through a local does not launder it.
+func unguardedLocal(d time.Duration) {
+	el := d.Seconds()
+	h.Observe(el)
+}
+
+// negative: direct guard.
+func guarded(t0 time.Time) {
+	if obs.TimingOn() {
+		h.Observe(obs.Since(t0).Seconds())
+	}
+}
+
+// negative: guard through a local, observation in a deferred closure.
+func guardedLocal(t0 time.Time) {
+	timed := obs.TimingOn()
+	if timed {
+		defer func() { h.Observe(obs.Since(t0).Seconds()) }()
+	}
+}
+
+// negative: early-return guard dominating the observation.
+func guardedEarly(t0 time.Time) {
+	if !obs.TimingOn() {
+		return
+	}
+	h.Observe(obs.Since(t0).Seconds())
+}
+
+// negative: a caller-proved bool parameter is accepted as the guard.
+func guardedParam(d time.Duration, timed bool) {
+	if timed {
+		h.Observe(d.Seconds())
+	}
+}
+
+// negative: counts are not clock-derived.
+func counts(n int) { h.Observe(float64(n)) }

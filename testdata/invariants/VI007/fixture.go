@@ -1,0 +1,33 @@
+// Fixture for VI007 context-threading: a context-receiving function must
+// not manufacture context.Background/TODO. Span bookkeeping through obs
+// is the one sanctioned exception.
+package fixture
+
+import (
+	"context"
+
+	"analogdft/internal/obs"
+)
+
+func work(ctx context.Context) error { return ctx.Err() }
+
+// seeded: laundering the caller's context away.
+func run(ctx context.Context) error { return work(context.Background()) }
+
+// seeded: TODO is the same laundering with a different name.
+func later(ctx context.Context) error { return work(context.TODO()) }
+
+// negative: threading the parameter through.
+func runOK(ctx context.Context) error { return work(ctx) }
+
+// negative: entry points without a context parameter may start fresh.
+func entry() error { return work(context.Background()) }
+
+// negative: a Background handed straight into obs span plumbing builds a
+// value carrier for a span tree that intentionally outlives the caller.
+func trace(ctx context.Context) {
+	t := obs.NewTracer()
+	_, s := t.Start(context.Background(), "fixture")
+	_ = obs.ContextWithSpan(context.Background(), s)
+	s.End()
+}

@@ -1,0 +1,42 @@
+// Fixture for VI008 bounded-metric-labels: a With() label value must be
+// provably drawn from a fixed string set.
+package fixture
+
+import (
+	"fmt"
+
+	"analogdft/internal/obs"
+)
+
+type kind string
+
+const (
+	kindEvaluate kind = "evaluate"
+	kindMatrix   kind = "matrix"
+)
+
+var cv = obs.Reg().CounterVec("fixture_total", "seeded fixture counter", "kind")
+
+// seeded: request-derived identity as a label value.
+func bad(traceID string) { cv.With(traceID).Inc() }
+
+// seeded: Sprintf with a request-derived string argument.
+func badFormat(user string) { cv.With(fmt.Sprintf("u-%s", user)).Inc() }
+
+// negative: the bounded vocabulary — constants, closed enums, their
+// conversions, and numeric-only Sprintf.
+func ok(k kind, status int) {
+	cv.With("static").Inc()
+	cv.With(string(kindEvaluate)).Inc()
+	cv.With(string(k)).Inc()
+	cv.With(fmt.Sprintf("%dxx", status/100)).Inc()
+}
+
+// negative: a local whose every assignment is bounded.
+func okLocal(fallback bool) {
+	label := "primary"
+	if fallback {
+		label = string(kindMatrix)
+	}
+	cv.With(label).Inc()
+}

@@ -1,0 +1,65 @@
+// Fixture for VI009 no-lock-across-blocking: no channel operation or
+// solver call while a mutex is held.
+package fixture
+
+import (
+	"sync"
+
+	root "analogdft"
+)
+
+type pool struct {
+	mu    sync.Mutex
+	queue chan int
+	last  *root.Result
+}
+
+// seeded: blocking send under the mutex.
+func (p *pool) enqueue(v int) {
+	p.mu.Lock()
+	p.queue <- v
+	p.mu.Unlock()
+}
+
+// seeded: blocking receive under a deferred unlock.
+func (p *pool) dequeue() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return <-p.queue
+}
+
+// seeded: solver call inside the critical section.
+func (p *pool) solve(mx *root.Matrix, chain []string, cost root.CostFunction) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	res, err := root.OptimizeContext(nil, mx, chain, cost)
+	p.last = res
+	return err
+}
+
+// negative: select with a default clause is the sanctioned non-blocking form.
+func (p *pool) tryEnqueue(v int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	select {
+	case p.queue <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// negative: send after the unlock.
+func (p *pool) enqueueLater(v int) {
+	p.mu.Lock()
+	v++
+	p.mu.Unlock()
+	p.queue <- v
+}
+
+// negative: a function literal body is not under the lexical lock.
+func (p *pool) deferred(v int) func() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return func() { p.queue <- v }
+}

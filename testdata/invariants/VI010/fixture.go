@@ -1,0 +1,53 @@
+// Fixture for VI010 joined-goroutines: every goroutine in the job and
+// detect layers needs a visible join.
+package fixture
+
+import "sync"
+
+func work() {}
+
+// seeded: fire-and-forget launch.
+func leak() { go work() }
+
+// seeded: an untracked closure is still untracked.
+func leakClosure(n int) {
+	go func() {
+		for i := 0; i < n; i++ {
+			work()
+		}
+	}()
+}
+
+// negative: WaitGroup discipline in the launching function.
+func joined(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// negative: the done-channel idiom — the goroutine closes a channel the
+// launcher (or its caller) waits on.
+func doneChannel() <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		work()
+		close(done)
+	}()
+	return done
+}
+
+// negative: a result-channel send is a join signal too.
+func resultChannel() <-chan int {
+	out := make(chan int, 1)
+	go func() {
+		work()
+		out <- 1
+	}()
+	return out
+}
