@@ -51,6 +51,10 @@ serve-smoke:
 # benchdiff compares the two freshest committed BENCH_*.json snapshots
 # with noise-aware thresholds; exit 2 means at least one regression.
 # CI runs this advisory plus an enforcing `-gate allocs` pass (allocation
-# counts are deterministic, so they gate hard while ns/op stays advisory).
+# counts are deterministic, so they gate hard while ns/op stays advisory),
+# and a cross-sectional `-dim layout=dense:sparse -gate allocs` pass that
+# holds the sparse layout to never allocating more than dense within one
+# snapshot.
 benchdiff:
 	$(GO) run ./cmd/benchdiff -dir .
+	$(GO) run ./cmd/benchdiff -dir . -dim layout=dense:sparse -gate allocs

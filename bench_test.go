@@ -397,11 +397,15 @@ func BenchmarkDetectParallelVsSerial(b *testing.B) {
 }
 
 // BenchmarkBuildMatrix compares the fault-simulation engines on the full
-// paper matrix (8 configurations × ~10 faults): the incremental engine
-// patches each fault into a reusable per-configuration system, the
-// low-rank engine solves each rank-1 fault via Sherman–Morrison against
-// nominal factorizations cached per (configuration, ω) grid point, and
-// the naive engine clones the circuit and rebuilds the system per cell.
+// paper matrix (8 configurations × ~10 faults) under both matrix
+// layouts: the incremental engine patches each fault into a reusable
+// per-configuration system, the low-rank engine solves each rank-1 fault
+// via Sherman–Morrison against nominal factorizations cached per
+// (configuration, ω) grid point, and the naive engine clones the circuit
+// and rebuilds the system per cell. The layout sub-benchmarks share the
+// engine sub-benchmark's name grammar ("key=value"), so benchdiff can
+// both track each combination over time and cross-compare dense against
+// sparse within one snapshot (-dim layout=dense:sparse).
 func BenchmarkBuildMatrix(b *testing.B) {
 	bench := PaperBiquad()
 	faults := DeviationFaults(bench.Circuit, 0.2)
@@ -410,19 +414,22 @@ func BenchmarkBuildMatrix(b *testing.B) {
 		b.Fatal(err)
 	}
 	for _, mode := range []detect.EngineMode{detect.EngineIncremental, detect.EngineLowRank, detect.EngineNaive} {
-		b.Run("engine="+mode.String(), func(b *testing.B) {
-			opts := PaperOptions()
-			opts.Points = 61
-			opts.Workers = 1
-			opts.Engine = mode
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if _, err := detect.BuildMatrix(mod, faults, opts); err != nil {
-					b.Fatal(err)
+		for _, layout := range []Layout{LayoutDense, LayoutSparse} {
+			b.Run(fmt.Sprintf("engine=%s/layout=%s", mode, layout), func(b *testing.B) {
+				opts := PaperOptions()
+				opts.Points = 61
+				opts.Workers = 1
+				opts.Engine = mode
+				opts.Layout = layout
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := detect.BuildMatrix(mod, faults, opts); err != nil {
+						b.Fatal(err)
+					}
 				}
-			}
-		})
+			})
+		}
 	}
 }
 

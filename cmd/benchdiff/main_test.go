@@ -116,6 +116,58 @@ func TestAllocsGate(t *testing.T) {
 	}
 }
 
+func TestDimGateWithinOneSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	// Two snapshots: the -dim comparison must use only the freshest one.
+	// In the older file sparse regresses allocs; in the newer it wins.
+	writeSnapshot(t, dir, "BENCH_2026-08-07.json",
+		"BenchmarkBuild/layout=dense-8 10 1000 ns/op 2000 B/op 100 allocs/op\n"+
+			"BenchmarkBuild/layout=sparse-8 10 900 ns/op 2000 B/op 200 allocs/op\n")
+	writeSnapshot(t, dir, "BENCH_2026-08-08.json",
+		"BenchmarkBuild/layout=dense-8 10 1000 ns/op 2000 B/op 100 allocs/op\n"+
+			"BenchmarkBuild/layout=sparse-8 10 800 ns/op 2000 B/op 90 allocs/op\n")
+	var out bytes.Buffer
+	code, err := runDim("layout=dense:sparse", dir, nil, benchfmt.Thresholds{}, false, "allocs", &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 (freshest snapshot has no sparse regression)\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "layout=dense:sparse") {
+		t.Errorf("report does not show the paired dimension: %q", out.String())
+	}
+
+	// Regress sparse in a newer snapshot: the dim gate must now fail.
+	writeSnapshot(t, dir, "BENCH_2026-08-09.json",
+		"BenchmarkBuild/layout=dense-8 10 1000 ns/op 2000 B/op 100 allocs/op\n"+
+			"BenchmarkBuild/layout=sparse-8 10 800 ns/op 2000 B/op 150 allocs/op\n")
+	out.Reset()
+	code, err = runDim("layout=dense:sparse", dir, nil, benchfmt.Thresholds{}, false, "allocs", &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 2 {
+		t.Fatalf("exit %d, want 2 after sparse alloc regression\n%s", code, out.String())
+	}
+}
+
+func TestDimEmptyDirExitsZero(t *testing.T) {
+	var out bytes.Buffer
+	code, err := runDim("layout=dense:sparse", t.TempDir(), nil, benchfmt.Thresholds{}, false, "allocs", &out)
+	if err != nil || code != 0 {
+		t.Fatalf("empty dir: code=%d err=%v", code, err)
+	}
+}
+
+func TestDimBadSpecErrors(t *testing.T) {
+	for _, spec := range []string{"layout", "layout=dense", "=dense:sparse", "layout=:sparse", "layout=dense:"} {
+		if _, err := runDim(spec, t.TempDir(), nil, benchfmt.Thresholds{}, false, "all", new(bytes.Buffer)); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}
+
 func TestUnknownGateErrors(t *testing.T) {
 	if _, err := run(t.TempDir(), nil, benchfmt.Thresholds{}, false, "sometimes", new(bytes.Buffer)); err == nil {
 		t.Fatal("unknown gate accepted")

@@ -20,7 +20,15 @@ import (
 type lowRankGrid struct {
 	grid    []float64
 	solvers []*numeric.LowRankSolver // nil where the nominal matrix is singular
-	u, v, x []complex128             // dense rank-1 factors and solution scratch
+	x       []complex128             // solution scratch shared by every fault sweep
+
+	// Arenas backing the detached sparse factors (one growable segment
+	// store per element type); held so the storage lives exactly as long
+	// as the solvers addressing it. Unused under the dense layout, whose
+	// factors are views into per-grid slabs instead.
+	i32Arena  []int32
+	cplxArena []complex128
+	pivArena  []int
 }
 
 // LowRankFault is a fault pre-lowered to the rank-1 matrix delta its
@@ -55,6 +63,12 @@ func (e *Engine) PrepareLowRank(f fault.Fault) (*LowRankFault, error) {
 // ensureLowRank builds (or reuses) the nominal per-point factorization
 // cache for the grid. The engine must be nominal: the cache is the
 // unpatched matrix, and every fault is expressed as a delta against it.
+//
+// The cache is slab-backed per layout rather than allocated per point:
+// dense factors are views into one points×n² backing array (plus one
+// pivot and one solution slab), and sparse factors are built in the
+// engine's workspace scratch and detached into shared append arenas —
+// O(nnz(L)+nnz(U)) retained per point instead of n².
 func (e *Engine) ensureLowRank(grid []float64) error {
 	if e.lr != nil && slices.Equal(e.lr.grid, grid) {
 		return nil
@@ -63,8 +77,6 @@ func (e *Engine) ensureLowRank(grid []float64) error {
 	lr := &lowRankGrid{
 		grid:    append([]float64(nil), grid...),
 		solvers: make([]*numeric.LowRankSolver, len(grid)),
-		u:       make([]complex128, n),
-		v:       make([]complex128, n),
 		x:       make([]complex128, n),
 	}
 	timed := obs.TimingOn()
@@ -76,32 +88,116 @@ func (e *Engine) ensureLowRank(grid []float64) error {
 		fs.SetTag("points", strconv.Itoa(len(grid)))
 		defer fs.End()
 	}
+	layout, err := e.sys.ResolveLayout()
+	if err != nil {
+		return err
+	}
+	if layout == mna.LayoutSparse {
+		if err := e.ensureLowRankSparse(grid, lr); err != nil {
+			return err
+		}
+	} else if err := e.ensureLowRankDense(grid, lr); err != nil {
+		return err
+	}
+	e.lr = lr
+	return nil
+}
+
+// ensureLowRankDense fills the solver cache from slab-backed dense
+// factorizations: one matrix slab, one pivot slab, one solution slab
+// for the whole grid, with per-point views into them.
+func (e *Engine) ensureLowRankDense(grid []float64, lr *lowRankGrid) error {
+	n := e.sys.N()
+	mSlab := make([]complex128, len(grid)*n*n)
+	ySlab := make([]complex128, len(grid)*n)
+	pivSlab := make([]int, len(grid)*n)
+	timed := obs.TimingOn()
 	for i, f := range grid {
-		m := numeric.NewMatrix(n, n)
-		rhs := make([]complex128, n)
-		if err := e.sys.AssembleInto(f, m, rhs); err != nil {
+		m := numeric.MatrixView(n, mSlab[i*n*n:(i+1)*n*n])
+		y := ySlab[i*n : (i+1)*n]
+		if err := e.sys.AssembleInto(f, m, y); err != nil {
 			return err
 		}
 		if timed {
 			eLowRankFactors.Inc()
 		}
-		lu, err := numeric.FactorInPlace(m, nil)
+		lu, err := numeric.FactorInPlace(m, pivSlab[i*n:(i+1)*n])
 		if err != nil {
 			if errors.Is(err, numeric.ErrSingular) {
 				continue // solver stays nil; the per-point fallback decides
 			}
 			return err
 		}
-		if err := lu.SolveInPlace(rhs); err != nil {
+		if err := lu.SolveInPlace(y); err != nil {
 			return err
 		}
-		solver, err := numeric.NewLowRankSolver(lu, rhs)
+		solver, err := numeric.NewLowRankSolver(lu, y)
 		if err != nil {
 			return err
 		}
 		lr.solvers[i] = solver
 	}
-	e.lr = lr
+	return nil
+}
+
+// ensureLowRankSparse fills the solver cache by factoring each point in
+// the engine's sparse workspace and detaching the compact factors into
+// the grid's shared arenas. The symbolic pattern work is done once by
+// the workspace scratch and reused across the whole ω grid.
+func (e *Engine) ensureLowRankSparse(grid []float64, lr *lowRankGrid) error {
+	pat := e.sys.Pattern()
+	n := e.sys.N()
+	// Borrow the sweeper's workspace: each factor is detached into the
+	// arenas before the next point, so nothing here outlives a later
+	// VoltageAt, and the sparse warmup (value slab, scratch slabs) is
+	// paid once per engine instead of once per path.
+	ws := e.sw.Workspace()
+	ws.EnsureSparse(pat)
+	// Pre-size the arenas from the scratch's fill estimate so the grid's
+	// detaches are plain copies instead of O(log points) append regrowth;
+	// a grid whose factors outgrow the estimate just falls back to
+	// amortized append. The per-point pre-solved excitations live in the
+	// complex arena too (the +n term), so the whole cache is three
+	// allocations.
+	est := 2*pat.NNZ() + 2*n
+	lr.i32Arena = make([]int32, 0, len(grid)*(2*(n+1)+est))
+	lr.cplxArena = make([]complex128, 0, len(grid)*(est+3*n))
+	lr.pivArena = make([]int, 0, len(grid)*n)
+	timed := obs.TimingOn()
+	for i, f := range grid {
+		if err := e.sys.AssembleValsInto(f, ws.SVals, ws.RHS); err != nil {
+			return err
+		}
+		if timed {
+			eLowRankFactors.Inc()
+		}
+		lu, err := ws.SparseFactor()
+		if err != nil {
+			if errors.Is(err, numeric.ErrSingular) {
+				continue // solver stays nil; the per-point fallback decides
+			}
+			return err
+		}
+		// Reserve the solution segment in the arena; copy overwrites all
+		// of it, so no zeroing is needed on the in-capacity path.
+		ystart := len(lr.cplxArena)
+		if cap(lr.cplxArena)-ystart >= n {
+			lr.cplxArena = lr.cplxArena[:ystart+n]
+		} else {
+			lr.cplxArena = append(lr.cplxArena, make([]complex128, n)...)
+		}
+		y := lr.cplxArena[ystart : ystart+n : ystart+n]
+		copy(y, ws.RHS)
+		if err := lu.SolveInPlace(y); err != nil {
+			return err
+		}
+		solver, err := numeric.NewLowRankSolverSparse(
+			lu.Detach(&lr.i32Arena, &lr.cplxArena, &lr.pivArena), y)
+		if err != nil {
+			return err
+		}
+		lr.solvers[i] = solver
+	}
 	return nil
 }
 
@@ -126,7 +222,6 @@ func (e *Engine) SweepLowRank(lf *LowRankFault, grid []float64) (*Response, erro
 		return nil, err
 	}
 	lr := e.lr
-	lf.delta.DenseInto(lr.u, lr.v)
 	resp := &Response{
 		Freqs: append([]float64(nil), grid...),
 		H:     make([]complex128, len(grid)),
@@ -141,7 +236,11 @@ func (e *Engine) SweepLowRank(lf *LowRankFault, grid []float64) (*Response, erro
 			continue
 		}
 		solves++
-		if err := solver.SolveRankOne(lf.delta.ScaleAt(f), lr.u, lr.v, lr.x); err != nil {
+		// The incidence factors carry at most two entries each, so the
+		// sparse rank-1 product skips the dense scatter and the n-length
+		// dot products; the result is bit-identical to the dense form.
+		d := &lf.delta
+		if err := solver.SolveRankOneSparse(d.ScaleAt(f), d.UIdx, d.UVal, d.VIdx, d.VVal, lr.x); err != nil {
 			if errors.Is(err, numeric.ErrSingularUpdate) {
 				fallback = append(fallback, i)
 				continue

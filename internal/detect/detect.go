@@ -30,6 +30,7 @@ import (
 	"analogdft/internal/circuit"
 	"analogdft/internal/dft"
 	"analogdft/internal/fault"
+	"analogdft/internal/mna"
 	"analogdft/internal/obs"
 )
 
@@ -213,6 +214,14 @@ type Options struct {
 	// (default), EngineLowRank or EngineNaive. All modes produce identical
 	// Det matrices and Omega values within floating-point noise.
 	Engine EngineMode
+	// Layout selects the MNA matrix layout for every system the
+	// evaluation builds: mna.LayoutAuto (the zero value) applies the fill
+	// heuristic per system, mna.LayoutDense and mna.LayoutSparse force
+	// one side. The sparse factorization replays the dense elimination
+	// bit for bit, so every layout produces identical matrices under
+	// every engine mode; the layout is part of the job cache key because
+	// it changes the cost, not the answer.
+	Layout mna.Layout
 	// MaxRetries bounds the per-point jitter attempts of the Retry
 	// policy (default 3, clamped to analysis.MaxSingularRetries).
 	MaxRetries int
@@ -380,7 +389,7 @@ func EvaluateCircuitContext(ctx context.Context, ckt *circuit.Circuit, faults fa
 		return nil, err
 	}
 	_, nomSpan := obs.Start(sctx, "detect.nominal")
-	eng, err := analysis.NewEngine(ckt)
+	eng, err := analysis.NewEngineLayout(ckt, opts.Layout)
 	if err != nil {
 		nomSpan.End()
 		return nil, fmt.Errorf("detect: nominal sweep of %q: %w", ckt.Name, err)
@@ -397,7 +406,7 @@ func EvaluateCircuitContext(ctx context.Context, ckt *circuit.Circuit, faults fa
 	}
 	nomSpan.End()
 
-	pool := newEnginePool([]*circuit.Circuit{ckt})
+	pool := newEnginePool([]*circuit.Circuit{ckt}, opts.Layout)
 	pool.put(0, eng)
 	cr := newCellRunner(opts.Workers, pool)
 	row := &Row{Circuit: ckt.Name, Region: region, Evals: make([]FaultEval, len(faults))}
@@ -558,14 +567,21 @@ func evaluateFault(ctx context.Context, ckt *circuit.Circuit, f fault.Fault, nom
 	if err != nil {
 		return fail(err)
 	}
-	resp, err := analysis.SweepOnGrid(faulty, grid)
+	// A throwaway engine per cell keeps this the reference path (fresh
+	// clone, fresh system) while still honoring the requested layout;
+	// reusing it for the retry below skips only a redundant rebuild.
+	feng, err := analysis.NewEngineLayout(faulty, opts.Layout)
+	if err != nil {
+		return fail(err)
+	}
+	resp, err := feng.SweepGrid(grid)
 	if err != nil {
 		return fail(err)
 	}
 	st.solves += len(grid)
 	if opts.OnError == Retry && resp.InvalidCount() > 0 {
 		rs := retrySpan(ctx, f, resp.InvalidCount())
-		recovered, solves, rerr := analysis.RetrySingularPoints(faulty, resp, opts.MaxRetries)
+		recovered, solves, rerr := feng.RetrySingularPoints(resp, opts.MaxRetries)
 		endRetrySpan(rs, recovered)
 		st.retries += solves
 		st.solves += solves
@@ -691,15 +707,17 @@ func evaluateFaultLowRank(ctx context.Context, eng *analysis.Engine, ckt *circui
 // at most once per (worker, configuration) thanks to the cellRunner
 // caches.
 type enginePool struct {
-	mu   sync.Mutex
-	free [][]*analysis.Engine
-	ckts []*circuit.Circuit
+	mu     sync.Mutex
+	free   [][]*analysis.Engine
+	ckts   []*circuit.Circuit
+	layout mna.Layout
 }
 
 // newEnginePool creates an empty pool over the per-configuration
-// circuits.
-func newEnginePool(ckts []*circuit.Circuit) *enginePool {
-	return &enginePool{free: make([][]*analysis.Engine, len(ckts)), ckts: ckts}
+// circuits; lazily built engines use the same matrix layout as the
+// seeded ones.
+func newEnginePool(ckts []*circuit.Circuit, layout mna.Layout) *enginePool {
+	return &enginePool{free: make([][]*analysis.Engine, len(ckts)), ckts: ckts, layout: layout}
 }
 
 // put returns an engine for configuration i to the pool.
@@ -720,7 +738,7 @@ func (p *enginePool) get(i int) (*analysis.Engine, error) {
 		return e, nil
 	}
 	p.mu.Unlock()
-	return analysis.NewEngine(p.ckts[i])
+	return analysis.NewEngineLayout(p.ckts[i], p.layout)
 }
 
 // cellRunner dispatches cell evaluations to the configured engine mode.
@@ -931,7 +949,7 @@ func BuildMatrixContext(ctx context.Context, m *dft.Modified, faults fault.List,
 				rowGrid = rowRegion.Spec(opts.Points).Grid()
 			}
 		}
-		eng, err := analysis.NewEngine(ckt)
+		eng, err := analysis.NewEngineLayout(ckt, opts.Layout)
 		if err != nil {
 			nomSpan.End()
 			return nil, fmt.Errorf("detect: nominal sweep of %s: %w", cfg, err)
@@ -948,7 +966,7 @@ func BuildMatrixContext(ctx context.Context, m *dft.Modified, faults fault.List,
 		circuits[i], nominals[i], grids[i], engines[i] = ckt, nom, rowGrid, eng
 	}
 	nomSpan.End()
-	pool := newEnginePool(circuits)
+	pool := newEnginePool(circuits, opts.Layout)
 	for i, eng := range engines {
 		pool.put(i, eng)
 	}

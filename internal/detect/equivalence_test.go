@@ -9,6 +9,7 @@ import (
 	"analogdft/internal/circuits"
 	"analogdft/internal/dft"
 	"analogdft/internal/fault"
+	"analogdft/internal/mna"
 	"analogdft/internal/netgen"
 )
 
@@ -17,48 +18,67 @@ import (
 // floating-point noise is an engine bug, not measurement noise.
 const omegaTol = 1e-12
 
-// requireEquivalent builds the matrix in every engine mode (and, for the
-// fast modes, across worker counts) against the naive reference and fails
-// on any difference: Det must be bit-identical, Omega within omegaTol,
-// and the cell error sets must agree position by position.
+// requireEquivalent builds the matrix in every engine mode × layout
+// combination (and, for the fast modes, across worker counts) against the
+// naive/dense reference and fails on any difference: Det must be
+// bit-identical, Omega within omegaTol, and the cell error sets must
+// agree position by position.
 func requireEquivalent(t *testing.T, m *dft.Modified, faults fault.List, opts Options) {
 	t.Helper()
 	naive := opts
 	naive.Engine = EngineNaive
+	naive.Layout = mna.LayoutDense
 	naive.Workers = 1
 	ref, err := BuildMatrix(m, faults, naive)
 	if err != nil {
 		t.Fatalf("naive build: %v", err)
 	}
-	for _, mode := range []EngineMode{EngineIncremental, EngineLowRank} {
-		for _, workers := range []int{1, 4} {
-			fast := opts
-			fast.Engine = mode
-			fast.Workers = workers
-			got, err := BuildMatrix(m, faults, fast)
-			if err != nil {
-				t.Fatalf("%s build (workers=%d): %v", mode, workers, err)
-			}
-			if got.NumConfigs() != ref.NumConfigs() || got.NumFaults() != ref.NumFaults() {
-				t.Fatalf("%s workers=%d: shape %dx%d vs naive %dx%d", mode, workers,
-					got.NumConfigs(), got.NumFaults(), ref.NumConfigs(), ref.NumFaults())
-			}
-			for i := range ref.Det {
-				for j := range ref.Det[i] {
-					if got.Det[i][j] != ref.Det[i][j] {
-						t.Errorf("%s workers=%d: Det[%d][%d] = %t, naive %t (fault %s, config %s)",
-							mode, workers, i, j, got.Det[i][j], ref.Det[i][j],
-							faults[j].ID, ref.Configs[i].Label())
-					}
-					if d := math.Abs(got.Omega[i][j] - ref.Omega[i][j]); d > omegaTol {
-						t.Errorf("%s workers=%d: Omega[%d][%d] differs by %g (%s %g, naive %g)",
-							mode, workers, i, j, d, mode, got.Omega[i][j], ref.Omega[i][j])
-					}
+	check := func(label string, got *Matrix) {
+		t.Helper()
+		if got.NumConfigs() != ref.NumConfigs() || got.NumFaults() != ref.NumFaults() {
+			t.Fatalf("%s: shape %dx%d vs naive %dx%d", label,
+				got.NumConfigs(), got.NumFaults(), ref.NumConfigs(), ref.NumFaults())
+		}
+		for i := range ref.Det {
+			for j := range ref.Det[i] {
+				if got.Det[i][j] != ref.Det[i][j] {
+					t.Errorf("%s: Det[%d][%d] = %t, naive %t (fault %s, config %s)",
+						label, i, j, got.Det[i][j], ref.Det[i][j],
+						faults[j].ID, ref.Configs[i].Label())
+				}
+				if d := math.Abs(got.Omega[i][j] - ref.Omega[i][j]); d > omegaTol {
+					t.Errorf("%s: Omega[%d][%d] differs by %g (got %g, naive %g)",
+						label, i, j, d, got.Omega[i][j], ref.Omega[i][j])
 				}
 			}
-			if len(got.CellErrors) != len(ref.CellErrors) {
-				t.Errorf("%s workers=%d: %d cell errors, naive %d",
-					mode, workers, len(got.CellErrors), len(ref.CellErrors))
+		}
+		if len(got.CellErrors) != len(ref.CellErrors) {
+			t.Errorf("%s: %d cell errors, naive %d", label, len(got.CellErrors), len(ref.CellErrors))
+		}
+	}
+	// The naive mode under the sparse layout closes the reference loop:
+	// if both references agree, the fast modes only need comparing once
+	// per combination.
+	sparseNaive := naive
+	sparseNaive.Layout = mna.LayoutSparse
+	if got, err := BuildMatrix(m, faults, sparseNaive); err != nil {
+		t.Fatalf("naive/sparse build: %v", err)
+	} else {
+		check("naive/layout=sparse", got)
+	}
+	for _, mode := range []EngineMode{EngineIncremental, EngineLowRank} {
+		for _, layout := range []mna.Layout{mna.LayoutDense, mna.LayoutSparse} {
+			for _, workers := range []int{1, 4} {
+				fast := opts
+				fast.Engine = mode
+				fast.Layout = layout
+				fast.Workers = workers
+				label := fmt.Sprintf("%s/layout=%s/workers=%d", mode, layout, workers)
+				got, err := BuildMatrix(m, faults, fast)
+				if err != nil {
+					t.Fatalf("%s build: %v", label, err)
+				}
+				check(label, got)
 			}
 		}
 	}

@@ -57,6 +57,10 @@ const (
 	// CodeUntrackedGoroutine: a goroutine is launched without a visible
 	// WaitGroup or done-channel join.
 	CodeUntrackedGoroutine = "VI010"
+	// CodeDenseHotAlloc: the analysis or detect layer allocates a whole
+	// dense matrix (numeric.NewMatrix/Identity/FromRows) instead of using
+	// a slab-backed view or a reused workspace.
+	CodeDenseHotAlloc = "VI011"
 )
 
 // PassInfo describes one registered pass for listings, docs and the
@@ -163,6 +167,14 @@ var passTable = []passEntry{
 			Scope:     "internal/jobs, internal/detect"},
 		applies: func(r Roles) bool { return r.Jobs || r.Detect },
 		run:     runUntrackedGoroutine,
+	},
+	{
+		PassInfo: PassInfo{Code: CodeDenseHotAlloc, Name: "slab-backed-matrices",
+			Summary:   "the analysis and detect layers must not allocate dense matrices (numeric.NewMatrix/Identity/FromRows); per-point matrices are slab views or workspace-held",
+			Rationale: "an O(n²) allocation per grid point or per cell undoes the allocation-flat engine design; dense factor caches are views into one slab, sparse ones detach into arenas",
+			Scope:     "internal/analysis, internal/detect"},
+		applies: func(r Roles) bool { return r.Analysis || r.Detect },
+		run:     runDenseHotAlloc,
 	},
 }
 

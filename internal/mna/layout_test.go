@@ -1,0 +1,273 @@
+package mna
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"analogdft/internal/circuit"
+	"analogdft/internal/circuits"
+	"analogdft/internal/numeric"
+)
+
+func TestParseLayout(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Layout
+	}{
+		{"", LayoutAuto},
+		{"auto", LayoutAuto},
+		{"dense", LayoutDense},
+		{"sparse", LayoutSparse},
+	}
+	for _, c := range cases {
+		got, err := ParseLayout(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseLayout(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+	if _, err := ParseLayout("csc"); err == nil || !strings.Contains(err.Error(), "csc") {
+		t.Fatalf("ParseLayout(csc) err = %v, want named unknown-layout error", err)
+	}
+	if s := LayoutAuto.String() + LayoutDense.String() + LayoutSparse.String(); s != "autodensesparse" {
+		t.Fatalf("Layout strings = %q", s)
+	}
+}
+
+func TestChooseLayout(t *testing.T) {
+	// Below the size floor everything is dense regardless of fill.
+	if got := chooseLayout(sparseMinN-1, 1); got != LayoutDense {
+		t.Errorf("tiny system resolved %v", got)
+	}
+	n := sparseMinN
+	full := n * n
+	thresh := int(sparseMaxFill * float64(full))
+	if got := chooseLayout(n, thresh); got != LayoutSparse {
+		t.Errorf("fill at threshold resolved %v", got)
+	}
+	if got := chooseLayout(n, thresh+1); got != LayoutDense {
+		t.Errorf("fill above threshold resolved %v", got)
+	}
+}
+
+// layoutCircuits are the dense/sparse equivalence corpus: the paper
+// biquad (ideal opamps, the reference workload), a cascade (largest,
+// sparsest), and a single-pole opamp stage whose per-point constraint
+// rows exercise the dynamic slots of the sparse pattern.
+func layoutCircuits(t *testing.T) map[string]*circuit.Circuit {
+	t.Helper()
+	cas, err := circuits.BiquadCascade(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := circuit.New("singlepole")
+	sp.V("V1", "in", "0", 1)
+	sp.R("R1", "in", "sum", 1e3)
+	sp.R("R2", "sum", "out", 10e3)
+	sp.Cap("C1", "sum", "out", 1e-9)
+	sp.OASinglePole("OP1", "0", "sum", "out", 1e5, 10)
+	sp.R("RL", "out", "mid", 2e3)
+	sp.Cap("C2", "mid", "0", 10e-9)
+	sp.L("L1", "mid", "0", 1e-3)
+	return map[string]*circuit.Circuit{
+		"biquad":     circuits.PaperBiquad().Circuit,
+		"cascade":    cas.Circuit,
+		"singlepole": sp,
+	}
+}
+
+func sameC128(a, b complex128) bool {
+	return math.Float64bits(real(a)) == math.Float64bits(real(b)) &&
+		math.Float64bits(imag(a)) == math.Float64bits(imag(b))
+}
+
+var layoutGrid = []float64{0, 1, 97.3, 1e3, 9.87e3, 123456.7, 1e6}
+
+// TestSparseSolveMatchesDenseBitExact is the mna-layer half of the
+// layout gate: the same circuit solved under explicit dense and sparse
+// layouts must agree to the bit on every node voltage, because the
+// sparse factorization replays the dense elimination operation for
+// operation (identical pivot order, identical update order).
+func TestSparseSolveMatchesDenseBitExact(t *testing.T) {
+	for name, ckt := range layoutCircuits(t) {
+		t.Run(name, func(t *testing.T) {
+			dense, err := NewSystemLayout(ckt, LayoutDense)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sparse, err := NewSystemLayout(ckt, LayoutSparse)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r, err := sparse.ResolveLayout(); err != nil || r != LayoutSparse {
+				t.Fatalf("ResolveLayout = %v, %v", r, err)
+			}
+			for _, f := range layoutGrid {
+				ds, err := dense.SolveAt(f)
+				if err != nil {
+					t.Fatalf("dense SolveAt(%g): %v", f, err)
+				}
+				ss, err := sparse.SolveAt(f)
+				if err != nil {
+					t.Fatalf("sparse SolveAt(%g): %v", f, err)
+				}
+				for _, node := range dense.NodeNames() {
+					dv, _ := ds.Voltage(node)
+					sv, _ := ss.Voltage(node)
+					if !sameC128(dv, sv) {
+						t.Fatalf("V(%s) at %g Hz: dense %v, sparse %v", node, f, dv, sv)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSparseSweeperMatchesDenseBitExact covers the workspace-reusing
+// sweep path, including patch/Reset cycles whose slot-lowered writes
+// must land on exactly the entries the dense patch touches.
+func TestSparseSweeperMatchesDenseBitExact(t *testing.T) {
+	ckt := circuits.PaperBiquad().Circuit
+	dense, err := NewSystemLayout(ckt, LayoutDense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := NewSystemLayout(ckt, LayoutSparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := ckt.Output
+	dsw, err := dense.NewSweeper(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssw, err := sparse.NewSweeper(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(stage string) {
+		t.Helper()
+		for _, f := range layoutGrid {
+			dv, err := dsw.VoltageAt(f)
+			if err != nil {
+				t.Fatalf("%s: dense VoltageAt(%g): %v", stage, f, err)
+			}
+			sv, err := ssw.VoltageAt(f)
+			if err != nil {
+				t.Fatalf("%s: sparse VoltageAt(%g): %v", stage, f, err)
+			}
+			if !sameC128(dv, sv) {
+				t.Fatalf("%s at %g Hz: dense %v, sparse %v", stage, f, dv, sv)
+			}
+		}
+	}
+	check("nominal")
+	// Patch a resistor and a capacitor (conductance stamp patterns), then
+	// compose a second patch on the same resistor.
+	for _, sys := range []*System{dense, sparse} {
+		if err := sys.SetValue("R1", 7.7e3); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.SetValue("C1", 3.3e-9); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.SetValue("R1", 12.1e3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check("patched")
+	dense.Reset()
+	sparse.Reset()
+	check("reset")
+	// After Reset the sparse value arrays must match a freshly built
+	// system bit-for-bit, same as the dense snapshot-restore contract.
+	fresh, err := NewSystemLayout(ckt, LayoutSparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fresh.ensureStamps(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range fresh.gval {
+		if !sameC128(fresh.gval[i], sparse.gval[i]) || !sameC128(fresh.cval[i], sparse.cval[i]) {
+			t.Fatalf("slot %d drifted after Reset", i)
+		}
+	}
+}
+
+func TestAutoLayoutResolution(t *testing.T) {
+	// The paper biquad (n=10, fill 0.27) must resolve sparse under Auto —
+	// the heuristic exists to put the reference workload on the fast path.
+	sys, err := NewSystemLayout(circuits.PaperBiquad().Circuit, LayoutAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, err := sys.ResolveLayout(); err != nil || r != LayoutSparse {
+		t.Fatalf("biquad auto layout = %v, %v, want sparse", r, err)
+	}
+	if sys.Pattern() == nil {
+		t.Fatal("sparse-resolved system has no pattern")
+	}
+	// A three-unknown divider stays dense: below the size floor the
+	// dense factorization wins on constant factors.
+	div := circuit.New("div")
+	div.V("V1", "in", "0", 1)
+	div.R("R1", "in", "out", 1e3)
+	div.R("R2", "out", "0", 1e3)
+	tiny, err := NewSystemLayout(div, LayoutAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, err := tiny.ResolveLayout(); err != nil || r != LayoutDense {
+		t.Fatalf("divider auto layout = %v, %v, want dense", r, err)
+	}
+	if tiny.Pattern() != nil {
+		t.Fatal("dense-resolved system exposes a pattern")
+	}
+	// NewSystem keeps the historical dense default.
+	legacy, err := NewSystem(circuits.PaperBiquad().Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, err := legacy.ResolveLayout(); err != nil || r != LayoutDense {
+		t.Fatalf("NewSystem layout = %v, %v, want dense", r, err)
+	}
+}
+
+// TestSharedWorkspaceAcrossLayouts reuses one caller-owned workspace
+// between a sparse sweep and a dense sweep: each VoltageAt must size the
+// buffer set its layout needs without corrupting the other's.
+func TestSharedWorkspaceAcrossLayouts(t *testing.T) {
+	ckt := circuits.PaperBiquad().Circuit
+	dense, err := NewSystemLayout(ckt, LayoutDense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := NewSystemLayout(ckt, LayoutSparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := &numeric.Workspace{}
+	node := ckt.Output
+	dsw, err := dense.NewSweeperWS(node, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssw, err := sparse.NewSweeperWS(node, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range layoutGrid {
+		sv, err := ssw.VoltageAt(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dv, err := dsw.VoltageAt(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameC128(dv, sv) {
+			t.Fatalf("interleaved layouts at %g Hz: dense %v, sparse %v", f, dv, sv)
+		}
+	}
+}

@@ -195,6 +195,29 @@ func (s *System) AssembleInto(freqHz float64, m *numeric.Matrix, rhs []complex12
 	return nil
 }
 
+// AssembleValsInto is AssembleInto for sparse-resolved systems: the
+// assembled M = G + jω·C values land in mv (length Pattern().NNZ())
+// under the shared pattern, and rhs (length N()) receives the
+// excitation. Callers resolve the layout first (ResolveLayout) and size
+// mv from the pattern.
+func (s *System) AssembleValsInto(freqHz float64, mv, rhs []complex128) error {
+	rebuilt, err := s.ensureStamps()
+	if err != nil {
+		return err
+	}
+	if s.resolved != LayoutSparse {
+		return fmt.Errorf("%w: sparse assembly on %v-layout system", numeric.ErrShape, s.resolved)
+	}
+	if len(mv) != s.pat.NNZ() || len(rhs) != s.n {
+		return fmt.Errorf("%w: assemble into %d values/rhs %d, want %d/%d", numeric.ErrShape, len(mv), len(rhs), s.pat.NNZ(), s.n)
+	}
+	if _, err := s.assembleVals(freqHz, mv, rhs); err != nil {
+		return err
+	}
+	accountStamps(rebuilt)
+	return nil
+}
+
 // NodeIndex returns the unknown-vector index of a node, or −1 for ground.
 func (s *System) NodeIndex(node string) (int, error) {
 	if circuit.IsGroundName(node) {

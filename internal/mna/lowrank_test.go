@@ -230,9 +230,13 @@ func TestVoltageAtWrapsBackSubstitutionError(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Corrupt the workspace so FactorInPlace succeeds but SolveInPlace
-	// sees a short RHS. assemble copies into the truncated slice without
-	// complaint, so the failure surfaces exactly at back-substitution.
+	// Warm one point so the lazily sized workspace exists, then corrupt
+	// it so FactorInPlace succeeds but SolveInPlace sees a short RHS.
+	// assemble copies into the truncated slice without complaint, so the
+	// failure surfaces exactly at back-substitution.
+	if _, err := sw.VoltageAt(100); err != nil {
+		t.Fatal(err)
+	}
 	sw.ws.RHS = sw.ws.RHS[:sys.N()-1]
 	_, err = sw.VoltageAt(1000)
 	if err == nil {

@@ -69,11 +69,31 @@ type System struct {
 	n         int            // total unknowns
 
 	// Split stamps, built lazily by the first assembly (buildStamps).
+	// Which cache pair is populated depends on the resolved layout:
+	// dense fills g/c, sparse fills pat/gval/cval. rhs0 and dynamic are
+	// layout-independent.
 	stampsBuilt bool
+	layout      Layout           // requested layout (Auto resolved at build)
+	resolved    Layout           // LayoutDense or LayoutSparse once built
 	g           *numeric.Matrix  // frequency-independent stamps
 	c           *numeric.Matrix  // stamps proportional to jω (C in farads, −L in henries)
+	pat         *numeric.Pattern // shared symbolic structure (sparse layout)
+	gval        []complex128     // G values under pat
+	cval        []complex128     // C values under pat
 	rhs0        []complex128     // frequency-independent excitation
 	dynamic     []*circuit.Opamp // single-pole opamps, stamped per point
+
+	// Sparse-build storage embedded in the (already heap-allocated)
+	// System so the build allocates no separate structs: patStore backs
+	// pat, and the CSRValues adapters are fields because passing a field
+	// pointer as the adder interface never boxes. mBox is mutated per
+	// assembly point — one more reason a System must not be assembled
+	// from two goroutines at once (ensureStamps already isn't safe for
+	// that).
+	patStore numeric.Pattern
+	gBox     numeric.CSRValues
+	cBox     numeric.CSRValues
+	mBox     numeric.CSRValues
 
 	// Patch state (SetValue/Reset): first-seen snapshots of every stamp
 	// entry a patch has touched, plus the current patched value per
@@ -84,10 +104,20 @@ type System struct {
 
 // NewSystem validates and indexes a circuit for analysis. The circuit is
 // retained by reference; callers must not mutate it while solving (clone
-// first — fault injection does).
+// first — fault injection does). The stamp caches use the dense layout;
+// use NewSystemLayout to select CSR storage or the fill heuristic.
 func NewSystem(ckt *circuit.Circuit) (*System, error) {
+	return NewSystemLayout(ckt, LayoutDense)
+}
+
+// NewSystemLayout is NewSystem with an explicit stamp-cache layout.
+// LayoutAuto defers the dense/sparse decision to the fill heuristic,
+// which runs when the stamps are first built; the two layouts produce
+// bit-identical solutions, so the choice only moves performance.
+func NewSystemLayout(ckt *circuit.Circuit, layout Layout) (*System, error) {
 	s := &System{
 		ckt:       ckt,
+		layout:    layout,
 		nodeIndex: make(map[string]int),
 		branchOf:  make(map[string]int),
 	}
@@ -138,20 +168,6 @@ func (s *System) node(name string) int {
 	return i
 }
 
-// stampConductance adds admittance y between nodes a and b.
-func stampConductance(m *numeric.Matrix, a, b int, y complex128) {
-	if a >= 0 {
-		m.Add(a, a, y)
-	}
-	if b >= 0 {
-		m.Add(b, b, y)
-	}
-	if a >= 0 && b >= 0 {
-		m.Add(a, b, -y)
-		m.Add(b, a, -y)
-	}
-}
-
 // Solution holds the result of one AC solve.
 type Solution struct {
 	FreqHz   float64
@@ -189,19 +205,41 @@ func (s *System) SolveAt(freqHz float64) (*Solution, error) {
 	if timed {
 		t0 = obs.Now()
 	}
-	ws := numeric.NewWorkspace(s.n)
-	m, rhs := ws.M, ws.RHS
-	rebuilt, err := s.assemble(freqHz, m, rhs)
+	if err := validFreq(freqHz); err != nil {
+		accountSolve(err, t0, timed)
+		return nil, err
+	}
+	rebuilt, err := s.ensureStamps()
 	if err != nil {
 		accountSolve(err, t0, timed)
 		return nil, err
 	}
 	accountStamps(rebuilt)
 
-	x, err := numeric.Solve(m, rhs)
-	if err != nil {
-		accountSolve(err, t0, timed)
-		return nil, &SolveError{Circuit: s.ckt.Name, FreqHz: freqHz, Err: err}
+	var x []complex128
+	if s.resolved == LayoutSparse {
+		ws := &numeric.Workspace{}
+		ws.EnsureSparse(s.pat)
+		if _, err := s.assembleVals(freqHz, ws.SVals, ws.RHS); err != nil {
+			accountSolve(err, t0, timed)
+			return nil, err
+		}
+		if err := ws.SparseFactorSolve(); err != nil {
+			accountSolve(err, t0, timed)
+			return nil, &SolveError{Circuit: s.ckt.Name, FreqHz: freqHz, Err: err}
+		}
+		x = ws.RHS
+	} else {
+		ws := numeric.NewWorkspace(s.n)
+		if _, err := s.assemble(freqHz, ws.M, ws.RHS); err != nil {
+			accountSolve(err, t0, timed)
+			return nil, err
+		}
+		x, err = numeric.Solve(ws.M, ws.RHS)
+		if err != nil {
+			accountSolve(err, t0, timed)
+			return nil, &SolveError{Circuit: s.ckt.Name, FreqHz: freqHz, Err: err}
+		}
 	}
 	accountSolve(nil, t0, timed)
 
@@ -219,21 +257,39 @@ func (s *System) SolveAt(freqHz float64) (*Solution, error) {
 	return sol, nil
 }
 
-// assemble produces the MNA system for one frequency: the fused
+// validFreq rejects the frequencies no assembly accepts.
+func validFreq(freqHz float64) error {
+	if freqHz < 0 || math.IsNaN(freqHz) || math.IsInf(freqHz, 0) {
+		return fmt.Errorf("mna: invalid frequency %g", freqHz)
+	}
+	return nil
+}
+
+// ensureStamps builds the stamp caches on first use, reporting whether
+// this call did the build (for the stamp-rebuild metrics).
+func (s *System) ensureStamps() (rebuilt bool, err error) {
+	if s.stampsBuilt {
+		return false, nil
+	}
+	if err := s.buildStamps(); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// assemble produces the dense MNA system for one frequency: the fused
 // scale-add M = G + jω·C over the cached split stamps (built on first
 // use), the cached excitation vector, and the per-point constraint rows
 // of any single-pole opamps. m must be n×n and rhs length n. It reports
 // whether this call had to rebuild the stamps (one full component walk)
-// or served them from the cache.
+// or served them from the cache. The system must be dense-resolved
+// (assembleVals is the sparse twin).
 func (s *System) assemble(freqHz float64, m *numeric.Matrix, rhs []complex128) (rebuilt bool, err error) {
-	if freqHz < 0 || math.IsNaN(freqHz) || math.IsInf(freqHz, 0) {
-		return false, fmt.Errorf("mna: invalid frequency %g", freqHz)
+	if err := validFreq(freqHz); err != nil {
+		return false, err
 	}
-	if !s.stampsBuilt {
-		if err := s.buildStamps(); err != nil {
-			return false, err
-		}
-		rebuilt = true
+	if rebuilt, err = s.ensureStamps(); err != nil {
+		return false, err
 	}
 	jw := complex(0, 2*math.Pi*freqHz)
 
@@ -248,6 +304,51 @@ func (s *System) assemble(freqHz float64, m *numeric.Matrix, rhs []complex128) (
 	}
 	return rebuilt, nil
 }
+
+// assembleVals is assemble for the sparse layout: the fused scale-add
+// runs over the pattern's nonzeros only, writing the assembled values
+// into mv (length pat.NNZ()), and the dynamic opamp rows land in their
+// pattern slots. Every slot not stamped by G, C or a dynamic row holds
+// exact +0 after the scale-add — the same bits the dense assembly
+// leaves outside its stamps — which is what makes the two layouts'
+// factorizations bit-identical.
+func (s *System) assembleVals(freqHz float64, mv, rhs []complex128) (rebuilt bool, err error) {
+	if err := validFreq(freqHz); err != nil {
+		return false, err
+	}
+	if rebuilt, err = s.ensureStamps(); err != nil {
+		return false, err
+	}
+	jw := complex(0, 2*math.Pi*freqHz)
+
+	gd, cd := s.gval, s.cval
+	_ = mv[len(gd)-1] // one bounds check for the fused loop
+	for i, gv := range gd {
+		mv[i] = gv + jw*cd[i]
+	}
+	copy(rhs, s.rhs0)
+	if len(s.dynamic) > 0 {
+		s.mBox.P, s.mBox.Vals = s.pat, mv
+		for _, op := range s.dynamic {
+			s.stampOpampRow(&s.mBox, op, jw)
+		}
+	}
+	return rebuilt, nil
+}
+
+// ResolveLayout builds the stamp caches if necessary and returns the
+// layout the system actually uses (LayoutDense or LayoutSparse — a
+// requested LayoutAuto has been resolved by the fill heuristic).
+func (s *System) ResolveLayout() (Layout, error) {
+	if _, err := s.ensureStamps(); err != nil {
+		return 0, err
+	}
+	return s.resolved, nil
+}
+
+// Pattern returns the shared CSR pattern of a sparse-resolved system
+// (nil under the dense layout or before the stamps are built).
+func (s *System) Pattern() *numeric.Pattern { return s.pat }
 
 // openLoopGain evaluates the single-pole model A(jω) = A0/(1 + jω/ωp).
 func openLoopGain(c *circuit.Opamp, jw complex128) complex128 {

@@ -51,20 +51,20 @@ func (s *System) SetValue(name string, v float64) error {
 		if old == 0 || v == 0 {
 			return fmt.Errorf("%w: resistor %q patched to zero resistance", ErrUnsupported, name)
 		}
-		s.patchConductance(s.g, s.snapG, s.node(c.A), s.node(c.B), complex(1/v-1/old, 0))
+		s.patchConductance(s.targetG(), s.node(c.A), s.node(c.B), complex(1/v-1/old, 0))
 
 	case *circuit.Capacitor:
 		if !patched {
 			old = c.Farads
 		}
-		s.patchConductance(s.c, s.snapC, s.node(c.A), s.node(c.B), complex(v-old, 0))
+		s.patchConductance(s.targetC(), s.node(c.A), s.node(c.B), complex(v-old, 0))
 
 	case *circuit.Inductor:
 		if !patched {
 			old = c.Henries
 		}
 		br := s.branchOf[name]
-		s.patchEntry(s.c, s.snapC, br, br, -complex(v-old, 0))
+		s.patchEntry(s.targetC(), br, br, -complex(v-old, 0))
 
 	case *circuit.VSource:
 		if !patched {
@@ -100,10 +100,10 @@ func (s *System) SetValue(name string, v float64) error {
 		}
 		br, d := s.branchOf[name], complex(v-old, 0)
 		if cp := s.node(c.CtrlP); cp >= 0 {
-			s.patchEntry(s.g, s.snapG, br, cp, -d)
+			s.patchEntry(s.targetG(), br, cp, -d)
 		}
 		if cq := s.node(c.CtrlM); cq >= 0 {
-			s.patchEntry(s.g, s.snapG, br, cq, d)
+			s.patchEntry(s.targetG(), br, cq, d)
 		}
 
 	case *circuit.VCCS:
@@ -121,10 +121,10 @@ func (s *System) SetValue(name string, v float64) error {
 				continue
 			}
 			if cp >= 0 {
-				s.patchEntry(s.g, s.snapG, t.row, cp, t.sgn*d)
+				s.patchEntry(s.targetG(), t.row, cp, t.sgn*d)
 			}
 			if cq >= 0 {
-				s.patchEntry(s.g, s.snapG, t.row, cq, -t.sgn*d)
+				s.patchEntry(s.targetG(), t.row, cq, -t.sgn*d)
 			}
 		}
 
@@ -136,7 +136,7 @@ func (s *System) SetValue(name string, v float64) error {
 		if !okBr {
 			return fmt.Errorf("%w: CCVS %q controls through %q, which has no branch current", ErrUnsupported, name, c.CtrlVSource)
 		}
-		s.patchEntry(s.g, s.snapG, s.branchOf[name], ctrlBr, complex(-(v-old), 0))
+		s.patchEntry(s.targetG(), s.branchOf[name], ctrlBr, complex(-(v-old), 0))
 
 	case *circuit.CCCS:
 		if !patched {
@@ -148,10 +148,10 @@ func (s *System) SetValue(name string, v float64) error {
 		}
 		d := complex(v-old, 0)
 		if op := s.node(c.OutP); op >= 0 {
-			s.patchEntry(s.g, s.snapG, op, ctrlBr, d)
+			s.patchEntry(s.targetG(), op, ctrlBr, d)
 		}
 		if om := s.node(c.OutM); om >= 0 {
-			s.patchEntry(s.g, s.snapG, om, ctrlBr, -d)
+			s.patchEntry(s.targetG(), om, ctrlBr, -d)
 		}
 
 	default:
@@ -169,11 +169,20 @@ func (s *System) Reset() {
 	if len(s.patchedVals) == 0 {
 		return
 	}
-	for idx, v := range s.snapG {
-		s.g.Data[idx] = v
-	}
-	for idx, v := range s.snapC {
-		s.c.Data[idx] = v
+	if s.resolved == LayoutSparse {
+		for idx, v := range s.snapG {
+			s.gval[idx] = v
+		}
+		for idx, v := range s.snapC {
+			s.cval[idx] = v
+		}
+	} else {
+		for idx, v := range s.snapG {
+			s.g.Data[idx] = v
+		}
+		for idx, v := range s.snapC {
+			s.c.Data[idx] = v
+		}
 	}
 	for idx, v := range s.snapRHS {
 		s.rhs0[idx] = v
@@ -187,27 +196,58 @@ func (s *System) Reset() {
 // Patched reports whether any component value is currently patched.
 func (s *System) Patched() bool { return len(s.patchedVals) > 0 }
 
-// patchEntry adds delta to one matrix entry, snapshotting the pre-patch
+// patchTarget addresses one stamp cache (G or C) in whichever layout
+// the system resolved: dense patches index m.Data, sparse patches are
+// lowered to direct value-array writes through the pattern's
+// component→nonzero-slot index. The snapshot map is keyed by the same
+// index the write uses (flat dense offset or CSR slot), so Reset
+// restores through the identical addressing.
+type patchTarget struct {
+	m    *numeric.Matrix
+	vals []complex128
+	snap map[int]complex128
+}
+
+// targetG addresses the frequency-independent stamp cache.
+func (s *System) targetG() patchTarget { return patchTarget{m: s.g, vals: s.gval, snap: s.snapG} }
+
+// targetC addresses the jω-proportional stamp cache.
+func (s *System) targetC() patchTarget { return patchTarget{m: s.c, vals: s.cval, snap: s.snapC} }
+
+// patchEntry adds delta to one stamp entry, snapshotting the pre-patch
 // value the first time the entry is touched.
-func (s *System) patchEntry(m *numeric.Matrix, snap map[int]complex128, i, j int, delta complex128) {
-	idx := i*m.Cols + j
-	if _, seen := snap[idx]; !seen {
-		snap[idx] = m.Data[idx]
+func (s *System) patchEntry(t patchTarget, i, j int, delta complex128) {
+	if s.resolved == LayoutSparse {
+		slot := s.pat.SlotOf(i, j)
+		if slot < 0 {
+			// Unreachable: patches address subsets of the stamped entries,
+			// and the pattern was collected from the same stamp walk.
+			panic(fmt.Sprintf("mna: patch outside pattern at (%d,%d)", i, j))
+		}
+		if _, seen := t.snap[slot]; !seen {
+			t.snap[slot] = t.vals[slot]
+		}
+		t.vals[slot] += delta
+		return
 	}
-	m.Data[idx] += delta
+	idx := i*t.m.Cols + j
+	if _, seen := t.snap[idx]; !seen {
+		t.snap[idx] = t.m.Data[idx]
+	}
+	t.m.Data[idx] += delta
 }
 
 // patchConductance applies the two-terminal admittance stamp pattern as a
 // delta patch between nodes a and b.
-func (s *System) patchConductance(m *numeric.Matrix, snap map[int]complex128, a, b int, y complex128) {
+func (s *System) patchConductance(t patchTarget, a, b int, y complex128) {
 	if a >= 0 {
-		s.patchEntry(m, snap, a, a, y)
+		s.patchEntry(t, a, a, y)
 	}
 	if b >= 0 {
-		s.patchEntry(m, snap, b, b, y)
+		s.patchEntry(t, b, b, y)
 	}
 	if a >= 0 && b >= 0 {
-		s.patchEntry(m, snap, a, b, -y)
-		s.patchEntry(m, snap, b, a, -y)
+		s.patchEntry(t, a, b, -y)
+		s.patchEntry(t, b, a, -y)
 	}
 }

@@ -38,9 +38,11 @@ func (s *System) NewSweeperWS(node string, ws *numeric.Workspace) (*Sweeper, err
 		idx = i
 	}
 	if ws == nil {
-		ws = numeric.NewWorkspace(s.n)
-	} else {
-		ws.Ensure(s.n)
+		// Empty, not NewWorkspace: the layout is resolved lazily with the
+		// stamps, and a sparse-resolved system must never be charged for
+		// a dense n×n matrix it will not use. VoltageAt sizes the right
+		// buffer set per layout (amortized to pointer/cap compares).
+		ws = &numeric.Workspace{}
 	}
 	return &Sweeper{
 		sys:     s,
@@ -64,23 +66,54 @@ func (sw *Sweeper) VoltageAt(freqHz float64) (complex128, error) {
 	if timed {
 		t0 = obs.Now()
 	}
-	rebuilt, err := sw.sys.assemble(freqHz, sw.ws.M, sw.ws.RHS)
+	if err := validFreq(freqHz); err != nil {
+		sw.tally.record(err, t0, timed)
+		return 0, err
+	}
+	rebuilt, err := sw.sys.ensureStamps()
 	if err != nil {
 		sw.tally.record(err, t0, timed)
 		return 0, err
 	}
 	sw.tally.recordStamps(rebuilt)
-	lu, err := numeric.FactorInPlace(sw.ws.M, sw.ws.Pivot)
-	if err != nil {
-		sw.tally.record(err, t0, timed)
-		return 0, &SolveError{Circuit: sw.sys.ckt.Name, FreqHz: freqHz, Err: err}
-	}
-	if err := lu.SolveInPlace(sw.ws.RHS); err != nil {
-		sw.tally.record(err, t0, timed)
-		// Wrapped exactly like the FactorInPlace failure above, so
-		// analysis.ClassifyError and the retry policies classify a failed
-		// back-substitution identically to a failed factorization.
-		return 0, &SolveError{Circuit: sw.sys.ckt.Name, FreqHz: freqHz, Err: err}
+	if sw.sys.resolved == LayoutSparse {
+		sw.ws.EnsureSparse(sw.sys.pat)
+		if _, err := sw.sys.assembleVals(freqHz, sw.ws.SVals, sw.ws.RHS); err != nil {
+			sw.tally.record(err, t0, timed)
+			return 0, err
+		}
+		lu, err := sw.ws.SparseFactor()
+		if err != nil {
+			sw.tally.record(err, t0, timed)
+			return 0, &SolveError{Circuit: sw.sys.ckt.Name, FreqHz: freqHz, Err: err}
+		}
+		if err := lu.SolveInPlace(sw.ws.RHS); err != nil {
+			sw.tally.record(err, t0, timed)
+			return 0, &SolveError{Circuit: sw.sys.ckt.Name, FreqHz: freqHz, Err: err}
+		}
+	} else {
+		// Sized once per system, not repaired per point: after the first
+		// call the buffers fit, and a caller-corrupted workspace surfaces
+		// as a wrapped solve error below instead of being silently mended.
+		if sw.ws.M == nil || sw.ws.M.Rows != sw.sys.n {
+			sw.ws.Ensure(sw.sys.n)
+		}
+		if _, err := sw.sys.assemble(freqHz, sw.ws.M, sw.ws.RHS); err != nil {
+			sw.tally.record(err, t0, timed)
+			return 0, err
+		}
+		lu, err := numeric.FactorInPlace(sw.ws.M, sw.ws.Pivot)
+		if err != nil {
+			sw.tally.record(err, t0, timed)
+			return 0, &SolveError{Circuit: sw.sys.ckt.Name, FreqHz: freqHz, Err: err}
+		}
+		if err := lu.SolveInPlace(sw.ws.RHS); err != nil {
+			sw.tally.record(err, t0, timed)
+			// Wrapped exactly like the FactorInPlace failure above, so
+			// analysis.ClassifyError and the retry policies classify a failed
+			// back-substitution identically to a failed factorization.
+			return 0, &SolveError{Circuit: sw.sys.ckt.Name, FreqHz: freqHz, Err: err}
+		}
 	}
 	sw.tally.record(nil, t0, timed)
 	if sw.nodeIdx < 0 {
@@ -109,3 +142,11 @@ func (sw *Sweeper) SweepGrid(grid []float64, visit func(i int, v complex128, err
 // System returns the system the sweeper solves — the handle through which
 // engine callers patch values (SetValue/Reset) between sweeps.
 func (sw *Sweeper) System() *System { return sw.sys }
+
+// Workspace returns the sweeper's workspace so engine callers can run
+// auxiliary factorizations (the low-rank grid cache build) in the same
+// buffers instead of warming up a second workspace. The sweeper fully
+// re-stamps and re-factors on every VoltageAt, so borrowing the buffers
+// between solves is safe; borrowed factors must be detached before the
+// next VoltageAt call, which reuses the scratch.
+func (sw *Sweeper) Workspace() *numeric.Workspace { return sw.ws }

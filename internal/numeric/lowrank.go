@@ -33,9 +33,10 @@ const UpdateTolerance = 1e-8
 // the solver is in use. A LowRankSolver is not safe for concurrent use
 // (the scratch vector is shared across calls); give each worker its own.
 type LowRankSolver struct {
-	lu LU
-	y  []complex128 // nominal solution A⁻¹·b
-	z  []complex128 // scratch for A⁻¹·u
+	lu  LU
+	slu *SparseLU    // sparse-layout factorization; nil on the dense path
+	y   []complex128 // nominal solution A⁻¹·b
+	z   []complex128 // scratch for A⁻¹·u
 }
 
 // NewLowRankSolver wraps a factorization of the nominal matrix and its
@@ -47,12 +48,37 @@ func NewLowRankSolver(lu LU, y []complex128) (*LowRankSolver, error) {
 	return &LowRankSolver{lu: lu, y: y, z: make([]complex128, lu.N())}, nil
 }
 
+// NewLowRankSolverSparse is NewLowRankSolver for a sparse-layout
+// factorization. The solver is a concrete dual-backend type rather than
+// an interface wrapper so the dense path keeps its direct (unboxed)
+// calls; sparse triangular solves are bit-identical to dense ones, so
+// both backends yield the same x.
+func NewLowRankSolverSparse(slu *SparseLU, y []complex128) (*LowRankSolver, error) {
+	if len(y) != slu.N() {
+		return nil, fmt.Errorf("%w: nominal solution length %d, want %d", ErrShape, len(y), slu.N())
+	}
+	return &LowRankSolver{slu: slu, y: y, z: make([]complex128, slu.N())}, nil
+}
+
 // Nominal returns the cached nominal solution y = A⁻¹·b (a live reference,
 // not a copy).
 func (ls *LowRankSolver) Nominal() []complex128 { return ls.y }
 
 // N returns the dimension of the nominal system.
-func (ls *LowRankSolver) N() int { return ls.lu.N() }
+func (ls *LowRankSolver) N() int {
+	if ls.slu != nil {
+		return ls.slu.N()
+	}
+	return ls.lu.N()
+}
+
+// solveZ runs the backend's triangular solves over ls.z.
+func (ls *LowRankSolver) solveZ() error {
+	if ls.slu != nil {
+		return ls.slu.SolveInPlace(ls.z)
+	}
+	return ls.lu.SolveInPlace(ls.z)
+}
 
 // SolveRankOne writes x = (A + s·u·vᵀ)⁻¹·b into x via Sherman–Morrison.
 // u, v and x must have length N(); u and v are read only, and x may alias
@@ -62,7 +88,7 @@ func (ls *LowRankSolver) N() int { return ls.lu.N() }
 // refactor the perturbed matrix in full (or propagate the point as
 // singular).
 func (ls *LowRankSolver) SolveRankOne(s complex128, u, v, x []complex128) error {
-	n := ls.lu.N()
+	n := ls.N()
 	if len(u) != n || len(v) != n || len(x) != n {
 		return fmt.Errorf("%w: rank-1 operands (%d, %d, %d), want %d", ErrShape, len(u), len(v), len(x), n)
 	}
@@ -71,7 +97,7 @@ func (ls *LowRankSolver) SolveRankOne(s complex128, u, v, x []complex128) error 
 		return nil
 	}
 	copy(ls.z, u)
-	if err := ls.lu.SolveInPlace(ls.z); err != nil {
+	if err := ls.solveZ(); err != nil {
 		return err
 	}
 	var vy, vz complex128
@@ -81,6 +107,49 @@ func (ls *LowRankSolver) SolveRankOne(s complex128, u, v, x []complex128) error 
 			vz += vi * ls.z[i]
 		}
 	}
+	den := 1 + s*vz
+	if cmplx.Abs(den) < UpdateTolerance {
+		return fmt.Errorf("%w: |1 + s·vᵀA⁻¹u| = %.3g", ErrSingularUpdate, cmplx.Abs(den))
+	}
+	c := s * vy / den
+	for i := range x {
+		x[i] = ls.y[i] - c*ls.z[i]
+	}
+	return nil
+}
+
+// SolveRankOneSparse is SolveRankOne with u and v supplied in sparse
+// (index, value) form — the incidence vectors MNA rank-1 patches carry
+// hold at most two entries each, so scattering them dense first is pure
+// waste. The result is bit-identical to densifying and calling
+// SolveRankOne: the scatter places the same values, and with at most two
+// terms per dot product the accumulation order cannot change the sum
+// (complex addition of two terms is commutative bit-for-bit).
+func (ls *LowRankSolver) SolveRankOneSparse(s complex128, uIdx []int, uVal []complex128, vIdx []int, vVal []complex128, x []complex128) error {
+	n := ls.N()
+	if len(x) != n {
+		return fmt.Errorf("%w: rank-1 solution length %d, want %d", ErrShape, len(x), n)
+	}
+	for _, i := range uIdx {
+		if i < 0 || i >= n {
+			return fmt.Errorf("%w: u index %d outside order %d", ErrShape, i, n)
+		}
+	}
+	for _, i := range vIdx {
+		if i < 0 || i >= n {
+			return fmt.Errorf("%w: v index %d outside order %d", ErrShape, i, n)
+		}
+	}
+	if s == 0 {
+		copy(x, ls.y)
+		return nil
+	}
+	ScatterSparse(uIdx, uVal, ls.z)
+	if err := ls.solveZ(); err != nil {
+		return err
+	}
+	vy := DotSparse(vIdx, vVal, ls.y)
+	vz := DotSparse(vIdx, vVal, ls.z)
 	den := 1 + s*vz
 	if cmplx.Abs(den) < UpdateTolerance {
 		return fmt.Errorf("%w: |1 + s·vᵀA⁻¹u| = %.3g", ErrSingularUpdate, cmplx.Abs(den))

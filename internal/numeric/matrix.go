@@ -46,6 +46,17 @@ func NewMatrix(r, c int) *Matrix {
 	return &Matrix{Rows: r, Cols: c, Data: make([]complex128, r*c)}
 }
 
+// MatrixView wraps caller-owned storage as an n×n matrix without
+// allocating: data must have exactly n·n elements. Slab-backed factor
+// caches (one backing array for a whole frequency grid) use views so
+// building the cache costs one allocation, not one per grid point.
+func MatrixView(n int, data []complex128) *Matrix {
+	if len(data) != n*n {
+		panic(fmt.Sprintf("numeric: view over %d values for %dx%d", len(data), n, n))
+	}
+	return &Matrix{Rows: n, Cols: n, Data: data}
+}
+
 // Identity returns the n×n identity matrix.
 func Identity(n int) *Matrix {
 	m := NewMatrix(n, n)

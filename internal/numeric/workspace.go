@@ -9,6 +9,17 @@ type Workspace struct {
 	M     *Matrix
 	RHS   []complex128
 	Pivot []int
+
+	// Sparse-layout buffers, populated by EnsureSparse: SVals holds the
+	// assembled M = G + jω·C values under the bound pattern, and scratch
+	// is the reusable factorization state. A workspace serves one layout
+	// at a time; the dense buffers above stay untouched (and unallocated)
+	// while a sweep runs sparse, and vice versa — only RHS is shared.
+	// RHS and SVals are carved from one slab so a sparse warmup costs a
+	// single value-buffer allocation.
+	SVals   []complex128
+	sslab   []complex128
+	scratch SparseScratch
 }
 
 // NewWorkspace allocates buffers for an n-unknown system.
@@ -65,6 +76,40 @@ func (w *Workspace) FactorSolve() error {
 		}
 	}
 	lu, err := FactorInPlace(w.M, w.Pivot)
+	if err != nil {
+		return err
+	}
+	return lu.SolveInPlace(w.RHS)
+}
+
+// EnsureSparse makes the buffers fit a sparse system under the given
+// pattern, following the same grow-only, non-zeroing reuse contract as
+// Ensure: SVals is NOT cleared here — every sparse assembly overwrites
+// all pattern slots (the fused scale-add walks the whole value array) —
+// and shrinking to a smaller pattern reuses the backing storage.
+func (w *Workspace) EnsureSparse(p *Pattern) {
+	n, nnz := p.N, p.NNZ()
+	if cap(w.sslab) < n+nnz {
+		w.sslab = make([]complex128, n+nnz)
+	}
+	w.RHS = w.sslab[0:n:n]
+	w.SVals = w.sslab[n : n+nnz : n+nnz]
+	w.scratch.Bind(p)
+}
+
+// SparseFactor factors SVals under the pattern bound by EnsureSparse.
+// The factor aliases the workspace scratch and is valid until the next
+// SparseFactor call.
+func (w *Workspace) SparseFactor() (*SparseLU, error) {
+	return w.scratch.Factor(w.SVals)
+}
+
+// SparseFactorSolve is FactorSolve's sparse twin: it factors SVals and
+// solves for w.RHS in place, allocation-free after warmup, with results
+// bit-identical to assembling the same values dense and calling
+// FactorSolve.
+func (w *Workspace) SparseFactorSolve() error {
+	lu, err := w.scratch.Factor(w.SVals)
 	if err != nil {
 		return err
 	}

@@ -3,6 +3,7 @@ package benchfmt
 import (
 	"fmt"
 	"io"
+	"strings"
 )
 
 // Thresholds configures when a delta counts as a regression, in percent.
@@ -100,6 +101,80 @@ func Diff(oldF, newF *File, th Thresholds) *Report {
 		}
 	}
 	return rep
+}
+
+// DiffDim compares variants inside one snapshot along a sub-benchmark
+// dimension: every benchmark whose name carries a "dim=base" path segment
+// is paired with the identically named benchmark carrying "dim=alt", and
+// the pair becomes a Delta with the base variant on the "old" side. This
+// is the cross-sectional twin of the temporal Diff — with names shaped
+// like BenchmarkBuildMatrix/engine=X/layout=Y, the temporal gate tracks
+// each (engine, layout) combination over time while DiffDim(…, "layout",
+// "dense", "sparse") asserts, within a single run on a single machine,
+// that the sparse layout holds its win over the dense one.
+//
+// Segment matching tolerates the -N GOMAXPROCS suffix go test appends to
+// the final segment. Base variants with no alt partner are listed under
+// Removed, alt variants with no base partner under Added. A file with no
+// benchmark on either side of the dimension is an error — it usually
+// means a mistyped -dim spec rather than an empty comparison.
+func DiffDim(f *File, dim, base, alt string, th Thresholds) (*Report, error) {
+	th = th.withDefaults()
+	baseTok := dim + "=" + base
+	altTok := dim + "=" + alt
+	rep := &Report{
+		OldLabel:   labelOr(f.Date, "snapshot") + " " + baseTok,
+		NewLabel:   labelOr(f.Date, "snapshot") + " " + altTok,
+		Thresholds: th,
+	}
+	idx := make(map[string]*Benchmark, len(f.Benchmarks))
+	for i := range f.Benchmarks {
+		b := &f.Benchmarks[i]
+		idx[b.Pkg+"\x00"+b.Name] = b
+	}
+	// cutTok finds the segment holding tok (exact, or tok plus the -N
+	// suffix when it closes the name) and returns its index and suffix.
+	cutTok := func(segs []string, tok string) (int, string) {
+		for j, s := range segs {
+			if s == tok {
+				return j, ""
+			}
+			if j == len(segs)-1 && strings.HasPrefix(s, tok+"-") {
+				return j, s[len(tok):]
+			}
+		}
+		return -1, ""
+	}
+	for i := range f.Benchmarks {
+		b := &f.Benchmarks[i]
+		segs := strings.Split(b.Name, "/")
+		if at, suffix := cutTok(segs, altTok); at >= 0 {
+			segs[at] = baseTok + suffix
+			if _, ok := idx[b.Pkg+"\x00"+strings.Join(segs, "/")]; !ok {
+				rep.Added = append(rep.Added, qualify(b.Pkg, b.Name))
+			}
+			continue
+		}
+		at, suffix := cutTok(segs, baseTok)
+		if at < 0 {
+			continue // not on this dimension
+		}
+		segs[at] = altTok + suffix
+		ab, ok := idx[b.Pkg+"\x00"+strings.Join(segs, "/")]
+		if !ok {
+			rep.Removed = append(rep.Removed, qualify(b.Pkg, b.Name))
+			continue
+		}
+		d := compare(b, ab, th)
+		// Display the pair as one row: dim=base:alt in place of the token.
+		segs[at] = dim + "=" + base + ":" + alt + suffix
+		d.Name = strings.Join(segs, "/")
+		rep.Deltas = append(rep.Deltas, d)
+	}
+	if len(rep.Deltas) == 0 && len(rep.Added) == 0 && len(rep.Removed) == 0 {
+		return nil, fmt.Errorf("benchfmt: no benchmarks carry %s=%s or %s=%s sub-benchmarks", dim, base, dim, alt)
+	}
+	return rep, nil
 }
 
 // compare builds one Delta.

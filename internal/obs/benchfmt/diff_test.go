@@ -224,6 +224,57 @@ func TestDiffAllocRegressionSubset(t *testing.T) {
 	}
 }
 
+func TestDiffDim(t *testing.T) {
+	f := parseText(t,
+		"pkg: analogdft\n"+
+			// Paired on the layout dimension, with the -8 suffix on the
+			// closing segment as go test emits it. Sparse wins time and
+			// allocs on the first engine, regresses allocs on the second.
+			"BenchmarkBuild/engine=incremental/layout=dense-8 10 1000 ns/op 2000 B/op 100 allocs/op\n"+
+			"BenchmarkBuild/engine=incremental/layout=sparse-8 10 800 ns/op 2100 B/op 90 allocs/op\n"+
+			"BenchmarkBuild/engine=naive/layout=dense-8 10 1000 ns/op 2000 B/op 100 allocs/op\n"+
+			"BenchmarkBuild/engine=naive/layout=sparse-8 10 900 ns/op 2000 B/op 130 allocs/op\n"+
+			// Base with no alt partner, alt with no base partner, and a
+			// benchmark not on the dimension at all.
+			"BenchmarkOrphan/layout=dense-8 10 10 ns/op\n"+
+			"BenchmarkNewcomer/layout=sparse-8 10 10 ns/op\n"+
+			"BenchmarkUnrelated-8 10 10 ns/op\n")
+	rep, err := DiffDim(f, "layout", "dense", "sparse", Thresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Deltas) != 2 {
+		t.Fatalf("deltas = %+v", rep.Deltas)
+	}
+	d := rep.Deltas[0]
+	if d.Name != "BenchmarkBuild/engine=incremental/layout=dense:sparse-8" {
+		t.Fatalf("paired name = %q", d.Name)
+	}
+	if d.OldNs != 1000 || d.NewNs != 800 || d.OldAllocs != 100 || d.NewAllocs != 90 || d.Regressed {
+		t.Fatalf("incremental delta = %+v", d)
+	}
+	// The naive pair carries a 30% allocs/op regression: the enforcing
+	// subset must flag it so sparse-vs-dense gates independently of the
+	// temporal diff.
+	reg := rep.AllocRegressions()
+	if len(reg) != 1 || reg[0].Name != "BenchmarkBuild/engine=naive/layout=dense:sparse-8" || reg[0].AllocsPct != 30 {
+		t.Fatalf("alloc regressions = %+v", reg)
+	}
+	if len(rep.Removed) != 1 || rep.Removed[0] != "analogdft.BenchmarkOrphan/layout=dense-8" {
+		t.Fatalf("removed = %v", rep.Removed)
+	}
+	if len(rep.Added) != 1 || rep.Added[0] != "analogdft.BenchmarkNewcomer/layout=sparse-8" {
+		t.Fatalf("added = %v", rep.Added)
+	}
+}
+
+func TestDiffDimNoVariantsErrors(t *testing.T) {
+	f := parseText(t, "BenchmarkX-8 10 10 ns/op\n")
+	if _, err := DiffDim(f, "layout", "dense", "sparse", Thresholds{}); err == nil {
+		t.Fatal("dimension with no variants accepted")
+	}
+}
+
 func TestDiffAddedRemoved(t *testing.T) {
 	oldF := parseText(t, "pkg: p\nBenchmarkGone-8 100 10 ns/op\nBenchmarkKept-8 100 10 ns/op\n")
 	newF := parseText(t, "pkg: p\nBenchmarkKept-8 100 10 ns/op\nBenchmarkNew-8 100 10 ns/op\n")

@@ -103,6 +103,41 @@ metrics=$(curl -sS "$base/metrics")
 echo "$metrics" | grep -q '^jobs_cache_hits_total 1$' || fail "jobs_cache_hits_total != 1"
 echo "$metrics" | grep -q '^detect_solves_total ' || fail "detect_solves_total missing"
 
+# Layout pinning: submissions differing only in the matrix layout are
+# distinct jobs (the layout is part of the cache key), yet their
+# matrices must be bit-identical — the sparse factorization replays the
+# dense elimination exactly.
+submit_layout() {
+    local layout=$1
+    local resp code
+    resp=$(curl -sS -w '\n%{http_code}' -X POST \
+        -d "{\"kind\":\"matrix\",\"bench\":\"paper-biquad\",\"options\":{\"points\":31,\"layout\":\"$layout\"}}" \
+        "$base/v1/jobs")
+    code=${resp##*$'\n'}
+    [ "$code" = 201 ] || fail "submit layout=$layout: HTTP $code"
+    printf '%s' "${resp%$'\n'*}"
+}
+dense_id=$(submit_layout dense | json_field "['id']")
+sparse_id=$(submit_layout sparse | json_field "['id']")
+for id in "$dense_id" "$sparse_id"; do
+    state=queued
+    for _ in $(seq 1 300); do
+        state=$(curl -sS "$base/v1/jobs/$id" | json_field "['state']")
+        case "$state" in done|failed|canceled) break ;; esac
+        sleep 0.1
+    done
+    [ "$state" = done ] || fail "layout job $id ended in state $state"
+done
+dense_key=$(curl -sS "$base/v1/jobs/$dense_id" | json_field "['key']")
+sparse_key=$(curl -sS "$base/v1/jobs/$sparse_id" | json_field "['key']")
+[ "$dense_key" != "$sparse_key" ] || fail "dense and sparse submissions share cache key $dense_key"
+dense_matrix=$(curl -sS "$base/v1/jobs/$dense_id/result" | python3 -c \
+    "import json,sys; r=json.load(sys.stdin); r.pop('stats',None); print(json.dumps(r,sort_keys=True))")
+sparse_matrix=$(curl -sS "$base/v1/jobs/$sparse_id/result" | python3 -c \
+    "import json,sys; r=json.load(sys.stdin); r.pop('stats',None); print(json.dumps(r,sort_keys=True))")
+[ "$dense_matrix" = "$sparse_matrix" ] || fail "dense and sparse matrices differ"
+log "layout pinning: distinct keys, bit-identical matrices"
+
 # Graceful shutdown: SIGTERM must drain and exit 0.
 kill -TERM "$server_pid"
 wait "$server_pid" || fail "server exited non-zero on SIGTERM"
