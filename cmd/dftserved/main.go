@@ -5,14 +5,21 @@
 // answered from a content-addressed result cache without re-simulating.
 //
 //	dftserved [-addr :8080] [-workers 2] [-queue 16] [-cache 128]
+//	          [-store-dir DIR] [-store-bytes N] [-shards K]
 //	          [-trace-ring 64] [-slo-target 0.99] [-timing]
+//
+// With -store-dir the result cache lives on disk, content-addressed by
+// job key, so any number of replicas pointed at the same directory serve
+// each other's finished results. With -shards K > 1, matrix jobs are
+// built as K concurrent configuration-range shards and merged — the
+// merged matrix is byte-identical to an unsharded build.
 //
 // Endpoints:
 //
 //	POST   /v1/jobs             submit a job (201; 429 + Retry-After when the queue is full)
 //	GET    /v1/jobs             list jobs
-//	GET    /v1/jobs/{id}        job status
-//	GET    /v1/jobs/{id}/result result payload (202 while running)
+//	GET    /v1/jobs/{id}        job status (with a links object to its resources)
+//	GET    /v1/jobs/{id}/result result payload (202 while running; ?stream=rows for NDJSON row streaming)
 //	GET    /v1/jobs/{id}/trace  span tree of the job (410 once evicted from the ring)
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /v1/benches          built-in benchmark names
@@ -53,7 +60,10 @@ func main() {
 		addr       = flag.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
 		workers    = flag.Int("workers", 2, "jobs simulated concurrently")
 		queue      = flag.Int("queue", 16, "queued jobs beyond the running ones before 429")
-		cache      = flag.Int("cache", 128, "result cache entries")
+		cache      = flag.Int("cache", 128, "result cache entries (in-memory store only)")
+		storeDir   = flag.String("store-dir", "", "disk-backed result store directory, shareable between replicas (empty = in-memory)")
+		storeBytes = flag.Int64("store-bytes", 256<<20, "payload bytes retained in the disk store before LRU eviction")
+		shards     = flag.Int("shards", 1, "concurrent configuration-range shards per matrix job")
 		simWorkers = flag.Int("sim-workers", 0, "default per-job simulation parallelism (0 = GOMAXPROCS)")
 		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight jobs")
 		traceRing  = flag.Int("trace-ring", 64, "completed job traces retained for /v1/jobs/{id}/trace")
@@ -73,25 +83,35 @@ func main() {
 		CacheEntries: *cache,
 		SimWorkers:   *simWorkers,
 		TraceEntries: *traceRing,
-	}, *drain); err != nil {
+		Shards:       *shards,
+	}, *storeDir, *storeBytes, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "dftserved:", err)
 		os.Exit(1)
 	}
 }
 
 // run serves until a termination signal, then drains.
-func run(addr string, cfg jobs.Config, drain time.Duration) error {
+func run(addr string, cfg jobs.Config, storeDir string, storeBytes int64, drain time.Duration) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	mgr := jobs.NewManager(cfg)
+	opts := []jobs.Option{jobs.WithConfig(cfg)}
+	if storeDir != "" {
+		store, err := jobs.NewFSStore(storeDir, storeBytes)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, jobs.WithStore(store))
+	}
+	mgr := jobs.New(opts...)
 	srv := &http.Server{Handler: newServer(mgr)}
 
 	// The smoke tests scrape this line for the ephemeral port.
 	fmt.Printf("dftserved: listening on %s\n", ln.Addr())
 	srvlog.Info("listening", "addr", ln.Addr().String(),
-		"workers", mgr.Config().Workers, "queue", mgr.Config().QueueDepth, "cache", mgr.Config().CacheEntries)
+		"workers", mgr.Config().Workers, "queue", mgr.Config().QueueDepth,
+		"store", mgr.StoreStats().Kind, "shards", mgr.Config().Shards)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -75,6 +75,10 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// Unwrap lets http.ResponseController reach the wrapped writer's Flush,
+// which the row stream needs.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 // instrument wraps a handler in the edge middleware: W3C trace-context
 // adoption (an inbound `traceparent` header is parsed and carried through
 // the request context into the job's trace; a missing or malformed header
@@ -115,40 +119,67 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	}
 }
 
-// errorBody is the JSON shape of every error response. On 429 the queue
-// occupancy rides along so clients can back off proportionally instead of
-// blindly honoring Retry-After.
-type errorBody struct {
-	Error         string `json:"error"`
+// apiError is the one JSON shape of every error response, documented in
+// DESIGN.md §16: a stable machine-readable code, the human message, and —
+// where retrying can help — a retry hint. On 429 the queue occupancy
+// rides along so clients can back off proportionally instead of blindly
+// honoring Retry-After.
+type apiError struct {
+	Code          string `json:"code"`
+	Message       string `json:"message"`
+	RetryAfter    int    `json:"retry_after,omitempty"`
 	QueueDepth    *int   `json:"queue_depth,omitempty"`
 	QueueCapacity *int   `json:"queue_capacity,omitempty"`
 }
 
-// writeError maps manager errors onto status codes: bad requests → 400,
-// a full queue → 429 with Retry-After and the queue occupancy, unknown
-// jobs → 404, finished jobs → 409, evicted traces → 410, a draining
-// manager → 503.
-func (s *server) writeError(w http.ResponseWriter, err error) {
+// errorFor maps a manager error onto its HTTP status and apiError code:
+// bad requests → 400 bad_request, a full queue → 429 queue_full, unknown
+// jobs → 404 not_found, finished jobs → 409 finished, evicted traces →
+// 410 trace_evicted, a draining manager → 503 draining, everything else
+// → 500 internal.
+func errorFor(err error) (int, apiError) {
+	body := apiError{Code: "internal", Message: err.Error()}
 	code := http.StatusInternalServerError
-	body := errorBody{Error: err.Error()}
 	switch {
 	case errors.Is(err, jobs.ErrBadRequest):
-		code = http.StatusBadRequest
+		code, body.Code = http.StatusBadRequest, "bad_request"
 	case errors.Is(err, jobs.ErrQueueFull):
+		code, body.Code = http.StatusTooManyRequests, "queue_full"
+		body.RetryAfter = 1
+	case errors.Is(err, jobs.ErrNotFound):
+		code, body.Code = http.StatusNotFound, "not_found"
+	case errors.Is(err, jobs.ErrFinished):
+		code, body.Code = http.StatusConflict, "finished"
+	case errors.Is(err, jobs.ErrTraceEvicted):
+		code, body.Code = http.StatusGone, "trace_evicted"
+	case errors.Is(err, jobs.ErrClosed):
+		code, body.Code = http.StatusServiceUnavailable, "draining"
+		body.RetryAfter = 1
+	}
+	return code, body
+}
+
+// writeError renders a manager error as its apiError shape.
+func (s *server) writeError(w http.ResponseWriter, err error) {
+	code, body := errorFor(err)
+	if body.Code == "queue_full" {
 		w.Header().Set("Retry-After", "1")
-		code = http.StatusTooManyRequests
 		depth, capacity := s.mgr.QueueStats()
 		body.QueueDepth, body.QueueCapacity = &depth, &capacity
-	case errors.Is(err, jobs.ErrNotFound):
-		code = http.StatusNotFound
-	case errors.Is(err, jobs.ErrFinished):
-		code = http.StatusConflict
-	case errors.Is(err, jobs.ErrTraceEvicted):
-		code = http.StatusGone
-	case errors.Is(err, jobs.ErrClosed):
-		code = http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, body)
+}
+
+// withLinks fills a job view's navigation links, so clients follow URLs
+// instead of assembling paths.
+func withLinks(v jobs.View) jobs.View {
+	base := "/v1/jobs/" + v.ID
+	v.Links = &jobs.Links{
+		Result: base + "/result",
+		Trace:  base + "/trace",
+		Stream: base + "/result?stream=rows",
+	}
+	return v
 }
 
 // submit handles POST /v1/jobs.
@@ -157,7 +188,7 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decode request: %v", err)})
+		writeJSON(w, http.StatusBadRequest, apiError{Code: "bad_request", Message: fmt.Sprintf("decode request: %v", err)})
 		return
 	}
 	v, err := s.mgr.SubmitCtx(r.Context(), req)
@@ -166,12 +197,16 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Location", "/v1/jobs/"+v.ID)
-	writeJSON(w, http.StatusCreated, v)
+	writeJSON(w, http.StatusCreated, withLinks(v))
 }
 
 // list handles GET /v1/jobs.
 func (s *server) list(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.mgr.List())
+	views := s.mgr.List()
+	for i := range views {
+		views[i] = withLinks(views[i])
+	}
+	writeJSON(w, http.StatusOK, views)
 }
 
 // status handles GET /v1/jobs/{id}.
@@ -181,13 +216,19 @@ func (s *server) status(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, v)
+	writeJSON(w, http.StatusOK, withLinks(v))
 }
 
 // result handles GET /v1/jobs/{id}/result: 200 with the payload once the
 // job is done, 202 with the job view while it is queued or running, 409
-// when it finished without a result (failed or cancelled).
+// when it finished without a result (failed or cancelled). With
+// ?stream=rows the response is instead a chunked NDJSON stream of matrix
+// rows as they complete (see streamRows).
 func (s *server) result(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("stream") == "rows" {
+		s.streamRows(w, r)
+		return
+	}
 	payload, v, err := s.mgr.Result(r.PathValue("id"))
 	if err != nil {
 		s.writeError(w, err)
@@ -201,10 +242,88 @@ func (s *server) result(w http.ResponseWriter, r *http.Request) {
 			srvlog.Warn("write result", "job", v.ID, "err", err)
 		}
 	case v.State.Terminal():
-		writeJSON(w, http.StatusConflict, errorBody{Error: fmt.Sprintf("job %s %s: %s", v.ID, v.State, v.Err)})
+		writeJSON(w, http.StatusConflict, apiError{Code: "finished", Message: fmt.Sprintf("job %s %s: %s", v.ID, v.State, v.Err)})
 	default:
-		writeJSON(w, http.StatusAccepted, v)
+		writeJSON(w, http.StatusAccepted, withLinks(v))
 	}
+}
+
+// streamEvent is one NDJSON line of the row stream: a matrix row, the
+// final aggregate payload, or a terminal error — exactly one field set,
+// discriminated by Type.
+type streamEvent struct {
+	Type   string          `json:"type"`
+	Row    *jobs.RowEvent  `json:"row,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  *apiError       `json:"error,omitempty"`
+}
+
+// streamRows handles GET /v1/jobs/{id}/result?stream=rows: a chunked
+// application/x-ndjson stream that emits one {"type":"row"} line per
+// completed matrix row as shards finish, then a final {"type":"result"}
+// line whose payload is byte-identical to the non-streaming result (or
+// {"type":"error"} when the job failed or was cancelled). Jobs that are
+// already terminal when the stream opens — cache hits in particular —
+// have an empty closed feed, so their rows are synthesized from the
+// stored payload: the protocol is the same either way.
+func (s *server) streamRows(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	feed, _, err := s.mgr.Stream(id)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	fl := http.NewResponseController(w)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	emit := func(ev streamEvent) bool {
+		if err := enc.Encode(ev); err != nil {
+			return false // client went away
+		}
+		return fl.Flush() == nil
+	}
+	sent := 0
+	for {
+		rows, done, wake := feed.Snapshot(sent)
+		for i := range rows {
+			if !emit(streamEvent{Type: "row", Row: &rows[i]}) {
+				return
+			}
+		}
+		sent += len(rows)
+		if done {
+			break
+		}
+		select {
+		case <-wake:
+		case <-r.Context().Done():
+			return
+		}
+	}
+	payload, v, err := s.mgr.Result(id)
+	if err != nil {
+		_, body := errorFor(err)
+		emit(streamEvent{Type: "error", Error: &body})
+		return
+	}
+	if v.State != jobs.StateDone {
+		emit(streamEvent{Type: "error", Error: &apiError{Code: "finished", Message: fmt.Sprintf("job %s %s: %s", v.ID, v.State, v.Err)}})
+		return
+	}
+	if sent == 0 && v.Kind == jobs.KindMatrix {
+		var mx jobs.MatrixResult
+		if err := json.Unmarshal(payload, &mx); err == nil {
+			for i := range mx.Configs {
+				row := jobs.RowEvent{Index: i, Config: mx.Configs[i], Det: mx.Det[i], Omega: mx.Omega[i]}
+				if !emit(streamEvent{Type: "row", Row: &row}) {
+					return
+				}
+			}
+		}
+	}
+	emit(streamEvent{Type: "result", Result: payload})
 }
 
 // cancel handles DELETE /v1/jobs/{id}.
@@ -214,7 +333,7 @@ func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, v)
+	writeJSON(w, http.StatusAccepted, withLinks(v))
 }
 
 // benches handles GET /v1/benches.
@@ -237,14 +356,16 @@ func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
 
 // healthBody is the structured /healthz snapshot.
 type healthBody struct {
-	OK            bool    `json:"ok"`
-	GoVersion     string  `json:"go_version"`
-	Revision      string  `json:"revision,omitempty"`
-	UptimeSeconds float64 `json:"uptime_seconds"`
-	Workers       int     `json:"workers"`
-	QueueDepth    int     `json:"queue_depth"`
-	QueueCapacity int     `json:"queue_capacity"`
-	CacheEntries  int     `json:"cache_entries"`
+	OK            bool            `json:"ok"`
+	GoVersion     string          `json:"go_version"`
+	Revision      string          `json:"revision,omitempty"`
+	UptimeSeconds float64         `json:"uptime_seconds"`
+	Workers       int             `json:"workers"`
+	Shards        int             `json:"shards"`
+	QueueDepth    int             `json:"queue_depth"`
+	QueueCapacity int             `json:"queue_capacity"`
+	CacheEntries  int             `json:"cache_entries"`
+	Store         jobs.StoreStats `json:"store"`
 }
 
 // healthz handles GET /healthz. It stays a plain-200 liveness probe — the
@@ -252,14 +373,17 @@ type healthBody struct {
 // or fail, and the status code never degrades.
 func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
 	depth, capacity := s.mgr.QueueStats()
+	store := s.mgr.StoreStats()
 	writeJSON(w, http.StatusOK, healthBody{
 		OK:            true,
 		GoVersion:     buildGoVersion,
 		Revision:      buildRevision,
 		UptimeSeconds: obs.Since(s.started).Seconds(),
 		Workers:       s.mgr.Config().Workers,
+		Shards:        s.mgr.Config().Shards,
 		QueueDepth:    depth,
 		QueueCapacity: capacity,
-		CacheEntries:  s.mgr.CacheLen(),
+		CacheEntries:  store.Entries,
+		Store:         store,
 	})
 }

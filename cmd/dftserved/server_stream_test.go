@@ -1,0 +1,272 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"analogdft/internal/jobs"
+	"analogdft/internal/obs"
+)
+
+// TestServerJobLinks pins the navigation contract: every single-job view
+// carries a stable links object pointing at the job's resources.
+func TestServerJobLinks(t *testing.T) {
+	ts, _ := startServer(t, jobs.Config{Workers: 1})
+	var v jobs.View
+	if resp := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", smallMatrixJob(), &v); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	check := func(where string, v jobs.View) {
+		t.Helper()
+		base := "/v1/jobs/" + v.ID
+		if v.Links == nil {
+			t.Fatalf("%s: view has no links", where)
+		}
+		if v.Links.Result != base+"/result" || v.Links.Trace != base+"/trace" || v.Links.Stream != base+"/result?stream=rows" {
+			t.Errorf("%s: links = %+v", where, v.Links)
+		}
+	}
+	check("submit", v)
+	var sv jobs.View
+	if resp := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/"+v.ID, nil, &sv); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status: HTTP %d", resp.StatusCode)
+	}
+	check("status", sv)
+	pollTerminal(t, ts.URL, v.ID, 30*time.Second)
+
+	// The links resolve: the result URL serves the payload.
+	var result jobs.MatrixResult
+	if resp := doJSON(t, http.MethodGet, ts.URL+sv.Links.Result, nil, &result); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET links.result: HTTP %d", resp.StatusCode)
+	}
+	if len(result.Configs) == 0 {
+		t.Error("links.result served a degenerate payload")
+	}
+}
+
+// readStream consumes an NDJSON row stream to completion and returns the
+// row events and the raw final result line (nil if the stream ended with
+// an error event, which is returned third).
+func readStream(t *testing.T, url string) ([]jobs.RowEvent, json.RawMessage, *apiError) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("stream Content-Type = %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	var rows []jobs.RowEvent
+	var result json.RawMessage
+	var streamErr *apiError
+	for sc.Scan() {
+		var ev streamEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("stream line %q: %v", sc.Text(), err)
+		}
+		switch ev.Type {
+		case "row":
+			if result != nil || streamErr != nil {
+				t.Fatal("row event after the terminal event")
+			}
+			rows = append(rows, *ev.Row)
+		case "result":
+			result = ev.Result
+		case "error":
+			streamErr = ev.Error
+		default:
+			t.Fatalf("unknown stream event type %q", ev.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if result == nil && streamErr == nil {
+		t.Fatal("stream ended without a terminal event")
+	}
+	return rows, result, streamErr
+}
+
+// TestServerStreamRows is the streaming acceptance test: the row stream
+// of a sharded matrix job delivers every row exactly once and finishes
+// with an aggregate byte-identical to the non-streaming result.
+func TestServerStreamRows(t *testing.T) {
+	ts, _ := startServer(t, jobs.Config{Workers: 1, Shards: 3})
+	var v jobs.View
+	if resp := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", smallMatrixJob(), &v); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	// Open the stream while the job runs: rows arrive as shards finish.
+	rows, result, streamErr := readStream(t, ts.URL+"/v1/jobs/"+v.ID+"/result?stream=rows")
+	if streamErr != nil {
+		t.Fatalf("stream error: %+v", streamErr)
+	}
+	var mx jobs.MatrixResult
+	if err := json.Unmarshal(result, &mx); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(mx.Configs) {
+		t.Fatalf("stream delivered %d rows, matrix has %d", len(rows), len(mx.Configs))
+	}
+	seen := make(map[int]bool)
+	for _, r := range rows {
+		if seen[r.Index] {
+			t.Fatalf("row %d streamed twice", r.Index)
+		}
+		seen[r.Index] = true
+		if r.Config != mx.Configs[r.Index] {
+			t.Errorf("row %d config %q, aggregate says %q", r.Index, r.Config, mx.Configs[r.Index])
+		}
+	}
+	// The final aggregate is the non-streaming payload, byte for byte.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var direct json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&direct); err != nil {
+		t.Fatal(err)
+	}
+	if string(direct) != string(result) {
+		t.Error("streamed aggregate differs from GET /result payload")
+	}
+}
+
+// TestServerStreamCachedJob: a cache-hit job has a closed, empty feed,
+// so its rows are synthesized from the stored payload — the stream
+// protocol looks identical to a freshly computed job's.
+func TestServerStreamCachedJob(t *testing.T) {
+	ts, _ := startServer(t, jobs.Config{Workers: 1})
+	var v jobs.View
+	if resp := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", smallMatrixJob(), &v); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	pollTerminal(t, ts.URL, v.ID, 30*time.Second)
+	var v2 jobs.View
+	if resp := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", smallMatrixJob(), &v2); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("resubmit: HTTP %d", resp.StatusCode)
+	}
+	if !v2.Cached {
+		t.Fatal("resubmit missed the cache")
+	}
+	rows, result, streamErr := readStream(t, ts.URL+"/v1/jobs/"+v2.ID+"/result?stream=rows")
+	if streamErr != nil {
+		t.Fatalf("stream error: %+v", streamErr)
+	}
+	var mx jobs.MatrixResult
+	if err := json.Unmarshal(result, &mx); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(mx.Configs) || len(rows) == 0 {
+		t.Fatalf("cached stream delivered %d rows, matrix has %d", len(rows), len(mx.Configs))
+	}
+	for i, r := range rows {
+		if r.Index != i || r.Config != mx.Configs[i] {
+			t.Fatalf("synthesized row %d = {%d %q}", i, r.Index, r.Config)
+		}
+	}
+}
+
+// TestServerStreamErrors: unknown jobs fail with the plain apiError shape
+// before the stream starts; a cancelled job's stream terminates with an
+// error event.
+func TestServerStreamErrors(t *testing.T) {
+	ts, _ := startServer(t, jobs.Config{Workers: 1})
+	var ae apiError
+	if resp := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/job-999/result?stream=rows", nil, &ae); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job stream: HTTP %d, want 404", resp.StatusCode)
+	}
+	if ae.Code != "not_found" {
+		t.Errorf("404 code = %q", ae.Code)
+	}
+
+	big := map[string]any{
+		"kind":    "matrix",
+		"bench":   "paper-biquad",
+		"options": map[string]any{"points": 20001},
+	}
+	var v jobs.View
+	if resp := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", big, &v); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	if resp := doJSON(t, http.MethodDelete, ts.URL+"/v1/jobs/"+v.ID, nil, &jobs.View{}); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel: HTTP %d", resp.StatusCode)
+	}
+	pollTerminal(t, ts.URL, v.ID, 30*time.Second)
+	rows, result, streamErr := readStream(t, ts.URL+"/v1/jobs/"+v.ID+"/result?stream=rows")
+	if result != nil || streamErr == nil || streamErr.Code != "finished" {
+		t.Fatalf("cancelled job stream: rows=%d result=%v err=%+v", len(rows), result != nil, streamErr)
+	}
+}
+
+// TestServerTwoReplicasSharedStore is the distributed acceptance test:
+// two in-process replicas share one fsstore directory; the second serves
+// the first's result as a cache hit without touching the engine.
+func TestServerTwoReplicasSharedStore(t *testing.T) {
+	dir := t.TempDir()
+	newStore := func() jobs.Store {
+		st, err := jobs.NewFSStore(dir, 64<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	tsA, _ := startServer(t, jobs.Config{Workers: 1}, jobs.WithStore(newStore()))
+	tsB, _ := startServer(t, jobs.Config{Workers: 1}, jobs.WithStore(newStore()))
+
+	var v jobs.View
+	if resp := doJSON(t, http.MethodPost, tsA.URL+"/v1/jobs", smallMatrixJob(), &v); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit to A: HTTP %d", resp.StatusCode)
+	}
+	done := pollTerminal(t, tsA.URL, v.ID, 30*time.Second)
+	if done.State != jobs.StateDone {
+		t.Fatalf("job on A finished %s: %s", done.State, done.Err)
+	}
+
+	mid := obs.Reg().Snapshot()
+	var v2 jobs.View
+	if resp := doJSON(t, http.MethodPost, tsB.URL+"/v1/jobs", smallMatrixJob(), &v2); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit to B: HTTP %d", resp.StatusCode)
+	}
+	if !v2.Cached || v2.State != jobs.StateDone {
+		t.Fatalf("replica B: cached=%v state=%s, want cached done", v2.Cached, v2.State)
+	}
+	after := obs.Reg().Snapshot()
+	if d := after["jobs_cache_hits_total"].Value - mid["jobs_cache_hits_total"].Value; d != 1 {
+		t.Errorf("cache hits delta = %g, want 1", d)
+	}
+	if d := after["detect_solves_total"].Value - mid["detect_solves_total"].Value; d != 0 {
+		t.Errorf("replica B simulated anyway: %g new solves", d)
+	}
+
+	// Both replicas serve byte-identical payloads.
+	var ra, rb json.RawMessage
+	if resp := doJSON(t, http.MethodGet, tsA.URL+"/v1/jobs/"+v.ID+"/result", nil, &ra); resp.StatusCode != http.StatusOK {
+		t.Fatalf("result from A: HTTP %d", resp.StatusCode)
+	}
+	if resp := doJSON(t, http.MethodGet, tsB.URL+"/v1/jobs/"+v2.ID+"/result", nil, &rb); resp.StatusCode != http.StatusOK {
+		t.Fatalf("result from B: HTTP %d", resp.StatusCode)
+	}
+	if string(ra) != string(rb) {
+		t.Error("replicas disagree on the shared payload")
+	}
+
+	// The health snapshot reports the disk store.
+	var health healthBody
+	if resp := doJSON(t, http.MethodGet, tsB.URL+"/healthz", nil, &health); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: HTTP %d", resp.StatusCode)
+	}
+	if health.Store.Kind != "fs" || health.Store.Path != dir || health.Store.Entries == 0 {
+		t.Errorf("healthz store = %+v", health.Store)
+	}
+}

@@ -16,10 +16,11 @@ import (
 )
 
 // startServer boots the handler over a real manager and tears both down
-// with the test.
-func startServer(t *testing.T, cfg jobs.Config) (*httptest.Server, *jobs.Manager) {
+// with the test. Extra options (WithStore, WithShards, …) layer on top of
+// the config.
+func startServer(t *testing.T, cfg jobs.Config, extra ...jobs.Option) (*httptest.Server, *jobs.Manager) {
 	t.Helper()
-	mgr := jobs.NewManager(cfg)
+	mgr := jobs.New(append([]jobs.Option{jobs.WithConfig(cfg)}, extra...)...)
 	ts := httptest.NewServer(newServer(mgr))
 	t.Cleanup(func() {
 		ts.Close()
@@ -191,8 +192,12 @@ func TestServerCancelInFlight(t *testing.T) {
 		t.Fatalf("state after cancel = %s, want canceled", done.State)
 	}
 	// The result endpoint reports the abort, not a payload.
-	if resp := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/"+v.ID+"/result", nil, &errorBody{}); resp.StatusCode != http.StatusConflict {
+	var ae apiError
+	if resp := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/"+v.ID+"/result", nil, &ae); resp.StatusCode != http.StatusConflict {
 		t.Errorf("result of cancelled job: HTTP %d, want 409", resp.StatusCode)
+	}
+	if ae.Code != "finished" {
+		t.Errorf("409 code = %q, want finished", ae.Code)
 	}
 }
 
@@ -215,13 +220,16 @@ func TestServerBackpressure(t *testing.T) {
 		}
 		ids = append(ids, v.ID)
 	}
-	var eb errorBody
+	var eb apiError
 	resp := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", big(20003), &eb)
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("overflow: HTTP %d, want 429", resp.StatusCode)
 	}
 	if resp.Header.Get("Retry-After") == "" {
 		t.Error("429 without Retry-After")
+	}
+	if eb.Code != "queue_full" || eb.RetryAfter != 1 || eb.QueueDepth == nil || eb.QueueCapacity == nil {
+		t.Errorf("429 body = %+v, want queue_full with occupancy", eb)
 	}
 	// Cancel the backlog so teardown stays fast.
 	for _, id := range ids {
@@ -398,11 +406,11 @@ func TestServerDrainUnderLoad(t *testing.T) {
 	if err != nil || done.State != jobs.StateDone {
 		t.Fatalf("after drain: state=%s err=%v, want done", done.State, err)
 	}
-	var eb errorBody
+	var eb apiError
 	if resp := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", smallMatrixJob(), &eb); resp.StatusCode != http.StatusServiceUnavailable {
 		t.Errorf("submit after close: HTTP %d, want 503", resp.StatusCode)
 	}
-	if eb.Error == "" {
-		t.Error("503 without an error body")
+	if eb.Code != "draining" || eb.Message == "" {
+		t.Errorf("503 body = %+v, want code draining", eb)
 	}
 }

@@ -170,7 +170,7 @@ func TestServerQueueFullBody(t *testing.T) {
 		}
 		ids = append(ids, v.ID)
 	}
-	var eb errorBody
+	var eb apiError
 	if resp := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", big(20003), &eb); resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("overflow: HTTP %d, want 429", resp.StatusCode)
 	}

@@ -873,6 +873,16 @@ func BuildMatrix(m *dft.Modified, faults fault.List, opts Options) (*Matrix, err
 // nominal pre-sweeps, so an in-flight matrix build stops within one cell
 // boundary of ctx being cancelled and returns ctx's error.
 func BuildMatrixContext(ctx context.Context, m *dft.Modified, faults fault.List, opts Options) (*Matrix, error) {
+	return buildMatrixRange(ctx, m, faults, opts, 0, -1)
+}
+
+// buildMatrixRange is the matrix builder shared by BuildMatrixContext
+// (lo=0, hi=-1: every configuration) and BuildMatrixRangeContext. lo and
+// hi index the filtered configuration list; hi<0 means "to the end". The
+// reference region is always derived from the functional configuration
+// (unless pinned), never from the range, so every shard of one matrix
+// measures against the same Ω_reference and grid.
+func buildMatrixRange(ctx context.Context, m *dft.Modified, faults fault.List, opts Options, lo, hi int) (*Matrix, error) {
 	opts = opts.Normalize()
 	start := obs.Now()
 	sctx, span := obs.Start(ctx, "detect.matrix")
@@ -892,16 +902,14 @@ func BuildMatrixContext(ctx context.Context, m *dft.Modified, faults fault.List,
 	if err != nil {
 		return nil, err
 	}
-	configs := m.Configurations(opts.IncludeTransparent)
-	if opts.MaxFollowers > 0 {
-		var kept []dft.Configuration
-		for _, cfg := range configs {
-			if cfg.FollowerCount() <= opts.MaxFollowers {
-				kept = append(kept, cfg)
-			}
-		}
-		configs = kept
+	configs := matrixConfigs(m, opts)
+	if hi < 0 {
+		hi = len(configs)
 	}
+	if lo != 0 || hi != len(configs) {
+		span.SetTag("rows", fmt.Sprintf("[%d,%d)", lo, hi))
+	}
+	configs = configs[lo:hi]
 
 	mx := &Matrix{
 		Source:  m.Base.Name,

@@ -1,0 +1,155 @@
+package detect
+
+import (
+	"context"
+	"fmt"
+
+	"analogdft/internal/analysis"
+	"analogdft/internal/dft"
+	"analogdft/internal/fault"
+)
+
+// This file is the configuration-range sharding surface of the matrix
+// builder: a matrix over N configurations splits into K contiguous row
+// ranges, each built independently (on one process or many) against the
+// same pinned Ω_reference, then reassembled by MergeShards. Because the
+// cell engine is deterministic for any Workers value and every shard
+// shares the region and grid, the merged matrix is byte-identical to an
+// unsharded build.
+
+// MatrixConfigs returns the configuration rows a matrix build over m
+// would produce under opts, in row order: the 2^n configurations
+// (transparent one included only with IncludeTransparent) after the
+// MaxFollowers filter. Shard planners use it to size and split the row
+// range before any simulation happens.
+func MatrixConfigs(m *dft.Modified, opts Options) []dft.Configuration {
+	return matrixConfigs(m, opts.Normalize())
+}
+
+// matrixConfigs applies the row filtering shared by every matrix entry
+// point. opts is already normalized.
+func matrixConfigs(m *dft.Modified, opts Options) []dft.Configuration {
+	configs := m.Configurations(opts.IncludeTransparent)
+	if opts.MaxFollowers > 0 {
+		var kept []dft.Configuration
+		for _, cfg := range configs {
+			if cfg.FollowerCount() <= opts.MaxFollowers {
+				kept = append(kept, cfg)
+			}
+		}
+		configs = kept
+	}
+	return configs
+}
+
+// MatrixRegion resolves the Ω_reference a matrix build over m would use:
+// opts.Region when pinned, otherwise the region derived from the
+// functional configuration. Shard planners resolve it once and pin it
+// into every shard's Options so all shards measure on the same grid.
+func MatrixRegion(m *dft.Modified, opts Options) (analysis.Region, error) {
+	opts = opts.Normalize()
+	functional, err := m.Configure(dft.Configuration{Index: 0, N: m.N()})
+	if err != nil {
+		return analysis.Region{}, err
+	}
+	return resolveRegion(functional, opts)
+}
+
+// BuildMatrixRangeContext builds rows [lo, hi) of the configuration list
+// MatrixConfigs reports, with the same semantics as BuildMatrixContext
+// restricted to that range: the returned Matrix has hi-lo rows, its
+// Stats count only the work of those rows (their nominal pre-sweeps
+// included), and its CellErrors are in shard-local row-major order.
+// Unless opts.Region pins the region, it is still derived from the
+// functional configuration — identical for every range of one matrix.
+func BuildMatrixRangeContext(ctx context.Context, m *dft.Modified, faults fault.List, opts Options, lo, hi int) (*Matrix, error) {
+	n := len(matrixConfigs(m, opts.Normalize()))
+	if lo < 0 || hi < lo || hi > n {
+		return nil, fmt.Errorf("detect: config range [%d,%d) outside [0,%d)", lo, hi, n)
+	}
+	return buildMatrixRange(ctx, m, faults, opts, lo, hi)
+}
+
+// MergeShards reassembles a matrix from contiguous row shards, in shard
+// order. Every shard must come from the same build plan: same source,
+// same fault list, same region. Rows, Det/Omega and CellErrors are
+// concatenated (shard-local row-major error order therefore becomes
+// global row-major order) and Stats fields are summed — each shard
+// pre-sweeps only its own rows' nominals, so the sums equal an unsharded
+// build's counts. Elapsed is summed too (aggregate simulation time);
+// callers that want wall-clock semantics overwrite it.
+func MergeShards(parts []*Matrix) (*Matrix, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("detect: merge of zero shards")
+	}
+	first := parts[0]
+	out := &Matrix{
+		Source: first.Source,
+		Faults: first.Faults,
+		Region: first.Region,
+	}
+	for s, p := range parts {
+		if p == nil {
+			return nil, fmt.Errorf("detect: shard %d is nil", s)
+		}
+		if p.Source != out.Source {
+			return nil, fmt.Errorf("detect: shard %d source %q, want %q", s, p.Source, out.Source)
+		}
+		if p.Region != out.Region {
+			return nil, fmt.Errorf("detect: shard %d region %v, want %v", s, p.Region, out.Region)
+		}
+		if len(p.Faults) != len(out.Faults) {
+			return nil, fmt.Errorf("detect: shard %d has %d faults, want %d", s, len(p.Faults), len(out.Faults))
+		}
+		for j := range p.Faults {
+			if p.Faults[j].ID != out.Faults[j].ID {
+				return nil, fmt.Errorf("detect: shard %d fault %d is %s, want %s", s, j, p.Faults[j].ID, out.Faults[j].ID)
+			}
+		}
+		if len(p.Det) != len(p.Configs) || len(p.Omega) != len(p.Configs) {
+			return nil, fmt.Errorf("detect: shard %d has %d configs but %d/%d det/omega rows",
+				s, len(p.Configs), len(p.Det), len(p.Omega))
+		}
+		out.Configs = append(out.Configs, p.Configs...)
+		out.Det = append(out.Det, p.Det...)
+		out.Omega = append(out.Omega, p.Omega...)
+		out.CellErrors = append(out.CellErrors, p.CellErrors...)
+		out.Stats.Cells += p.Stats.Cells
+		out.Stats.CellsDone += p.Stats.CellsDone
+		out.Stats.Solves += p.Stats.Solves
+		out.Stats.SingularPoints += p.Stats.SingularPoints
+		out.Stats.Retries += p.Stats.Retries
+		out.Stats.Recovered += p.Stats.Recovered
+		out.Stats.Errors += p.Stats.Errors
+		out.Stats.Elapsed += p.Stats.Elapsed
+	}
+	return out, nil
+}
+
+// ShardBounds splits n rows into at most k contiguous [lo, hi) ranges of
+// near-equal size (the first n%k ranges get one extra row). k is clamped
+// to [1, n]; n of zero yields a single empty range so a degenerate
+// matrix still builds through the shard path.
+func ShardBounds(n, k int) [][2]int {
+	if n <= 0 {
+		return [][2]int{{0, 0}}
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	base, extra := n/k, n%k
+	bounds := make([][2]int, 0, k)
+	lo := 0
+	for i := 0; i < k; i++ {
+		hi := lo + base
+		if i < extra {
+			hi++
+		}
+		bounds = append(bounds, [2]int{lo, hi})
+		lo = hi
+	}
+	return bounds
+}

@@ -61,6 +61,10 @@ const (
 	// dense matrix (numeric.NewMatrix/Identity/FromRows) instead of using
 	// a slab-backed view or a reused workspace.
 	CodeDenseHotAlloc = "VI011"
+	// CodeDirectStoreIO: internal/jobs touches the filesystem (os, io/fs)
+	// outside the fsstore files; persistence must go through the Store
+	// interface.
+	CodeDirectStoreIO = "VI012"
 )
 
 // PassInfo describes one registered pass for listings, docs and the
@@ -175,6 +179,14 @@ var passTable = []passEntry{
 			Scope:     "internal/analysis, internal/detect"},
 		applies: func(r Roles) bool { return r.Analysis || r.Detect },
 		run:     runDenseHotAlloc,
+	},
+	{
+		PassInfo: PassInfo{Code: CodeDirectStoreIO, Name: "store-confined-io",
+			Summary:   "internal/jobs must not access the filesystem (os, io/fs) outside the fsstore files; persistence goes through the Store interface",
+			Rationale: "the Store seam carries the atomic-rename and corruption-tolerance contracts replicas rely on; a stray os call in the manager or scheduler bypasses both and runs disk I/O under locks the store releases",
+			Scope:     "internal/jobs except fsstore*.go"},
+		applies: func(r Roles) bool { return r.Jobs },
+		run:     runDirectStoreIO,
 	},
 }
 

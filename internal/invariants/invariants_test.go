@@ -305,12 +305,12 @@ func TestRolesForPath(t *testing.T) {
 	}
 }
 
-// TestPassCatalog pins the registry shape: eleven passes in ascending
+// TestPassCatalog pins the registry shape: twelve passes in ascending
 // code order with complete metadata.
 func TestPassCatalog(t *testing.T) {
 	passes := invariants.Passes()
-	if len(passes) != 11 {
-		t.Fatalf("registry has %d passes, want 11", len(passes))
+	if len(passes) != 12 {
+		t.Fatalf("registry has %d passes, want 12", len(passes))
 	}
 	for i, p := range passes {
 		if p.Code == "" || p.Name == "" || p.Summary == "" || p.Rationale == "" || p.Scope == "" {

@@ -1,0 +1,43 @@
+package invariants
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strings"
+)
+
+// runDirectStoreIO implements VI012: inside internal/jobs, direct
+// filesystem access (anything package-scoped from os or io/fs) is
+// confined to the fsstore files. The Store interface is the only
+// persistence seam of the job layer — a stray os.ReadFile in the manager
+// or scheduler bypasses the store's atomic-rename and corruption-
+// tolerance contracts, and runs disk I/O under locks the store
+// deliberately releases.
+func runDirectStoreIO(p *pass) {
+	for _, f := range p.pkg.Files {
+		name := filepath.Base(p.pkg.Fset.Position(f.Pos()).Filename)
+		if strings.HasPrefix(name, "fsstore") {
+			continue // the disk store implementation owns its file access
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := p.pkg.Info.Uses[id]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			if path := obj.Pkg().Path(); path != "os" && path != "io/fs" {
+				return true
+			}
+			if obj.Parent() != obj.Pkg().Scope() {
+				return true
+			}
+			p.report(id,
+				"the job layer must not touch the filesystem outside the fsstore files; persistence goes through the Store interface",
+				"move the file access into the fsstore implementation, or express it as a Store method")
+			return true
+		})
+	}
+}

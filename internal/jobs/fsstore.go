@@ -1,0 +1,305 @@
+package jobs
+
+import (
+	"container/list"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// fsStore is the disk-backed Store: one JSON file per finished payload
+// under a shared directory, content-addressed by cache key, so any
+// number of dftserved replicas pointed at the same -store-dir serve each
+// other's results. The layout is deliberately boring:
+//
+//	<dir>/<64-hex-of-key>.json   one stored payload, written atomically
+//	<dir>/index.json             {key, bytes} list, oldest first
+//
+// Writes go through a temp file and os.Rename, so a reader on any
+// replica sees either the whole payload or nothing — cross-process
+// coordination is rename atomicity, nothing else. The index is a warm-
+// start convenience (it preserves LRU order across restarts); Open
+// verifies it against the directory and rebuilds it from a scan when it
+// is missing, stale or corrupt. Reads never trust the disk: a payload
+// that is not valid JSON is deleted and reported as a miss, so a torn or
+// tampered file costs one re-simulation, never an error.
+//
+// Eviction is LRU by total payload bytes, tracked per process. Replicas
+// do not share usage information, so the bound is per-replica
+// approximate — good enough for a cache whose entries any replica can
+// recompute.
+type fsStore struct {
+	dir      string
+	maxBytes int64
+
+	mu    sync.Mutex
+	bytes int64
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+// fsEntry is one indexed payload.
+type fsEntry struct {
+	Key   string `json:"key"`
+	Bytes int64  `json:"bytes"`
+}
+
+// fsIndex is the on-disk form of the store index.
+type fsIndex struct {
+	Entries []fsEntry `json:"entries"` // oldest first
+}
+
+const fsIndexName = "index.json"
+
+// NewFSStore opens (creating if needed) a disk store under dir, bounded
+// to maxBytes of payloads (min 1 MiB). Entries already in the directory
+// — from a previous run or another replica — are adopted.
+func NewFSStore(dir string, maxBytes int64) (Store, error) {
+	if maxBytes < 1<<20 {
+		maxBytes = 1 << 20
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: store dir: %w", err)
+	}
+	s := &fsStore{
+		dir:      dir,
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+	if err := s.load(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// fsFileName maps a cache key onto its payload file name. Only the
+// canonical "sha256:<64 hex>" key shape is mappable — everything else is
+// rejected, which doubles as the path-traversal guard (no separators or
+// dots can survive).
+func fsFileName(key string) (string, bool) {
+	hex, ok := strings.CutPrefix(key, "sha256:")
+	if !ok || len(hex) != 64 {
+		return "", false
+	}
+	for _, c := range hex {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return "", false
+		}
+	}
+	return hex + ".json", true
+}
+
+// fsFileKey is the inverse of fsFileName, for directory scans.
+func fsFileKey(name string) (string, bool) {
+	hex, ok := strings.CutSuffix(name, ".json")
+	if !ok {
+		return "", false
+	}
+	if _, ok := fsFileName("sha256:" + hex); !ok {
+		return "", false
+	}
+	return "sha256:" + hex, true
+}
+
+// load seeds the in-memory index: the persisted index.json first (it
+// carries LRU order), then a directory scan for payloads the index does
+// not know (written by another replica, or orphaned by a crash between
+// rename and index write). Sizes come from the filesystem, never from
+// the index, so a stale index cannot misaccount the byte bound.
+func (s *fsStore) load() error {
+	known := make(map[string]bool)
+	if raw, err := os.ReadFile(filepath.Join(s.dir, fsIndexName)); err == nil {
+		var idx fsIndex
+		if json.Unmarshal(raw, &idx) == nil {
+			for _, e := range idx.Entries { // oldest first
+				name, ok := fsFileName(e.Key)
+				if !ok || known[e.Key] {
+					continue
+				}
+				fi, err := os.Stat(filepath.Join(s.dir, name))
+				if err != nil {
+					continue // evicted or removed behind our back
+				}
+				known[e.Key] = true
+				s.items[e.Key] = s.ll.PushFront(&fsEntry{Key: e.Key, Bytes: fi.Size()})
+				s.bytes += fi.Size()
+			}
+		}
+	}
+	names, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("jobs: store dir: %w", err)
+	}
+	for _, de := range names {
+		key, ok := fsFileKey(de.Name())
+		if !ok || known[key] {
+			continue
+		}
+		fi, err := de.Info()
+		if err != nil {
+			continue
+		}
+		s.items[key] = s.ll.PushFront(&fsEntry{Key: key, Bytes: fi.Size()})
+		s.bytes += fi.Size()
+	}
+	s.evictLocked()
+	s.writeIndexLocked()
+	s.publishLocked()
+	return nil
+}
+
+func (s *fsStore) Get(key string) (json.RawMessage, bool) {
+	name, ok := fsFileName(key)
+	if !ok {
+		return nil, false
+	}
+	path := filepath.Join(s.dir, name)
+	payload, err := os.ReadFile(path)
+	if err != nil {
+		// Absent (possibly evicted by another replica): drop any stale
+		// index entry and miss.
+		s.mu.Lock()
+		s.dropLocked(key)
+		s.publishLocked()
+		s.mu.Unlock()
+		return nil, false
+	}
+	if !json.Valid(payload) {
+		// Torn write from a crashed replica or on-disk corruption: the
+		// entry is poison, so delete it and re-simulate.
+		jStoreCorrupt.Inc()
+		jlog.Warn("store payload corrupt, dropping", "key", key)
+		_ = os.Remove(path)
+		s.mu.Lock()
+		s.dropLocked(key)
+		s.publishLocked()
+		s.mu.Unlock()
+		return nil, false
+	}
+	s.mu.Lock()
+	if el, ok := s.items[key]; ok {
+		s.ll.MoveToFront(el)
+	} else {
+		// Written by another replica since we last looked: adopt it.
+		s.items[key] = s.ll.PushFront(&fsEntry{Key: key, Bytes: int64(len(payload))})
+		s.bytes += int64(len(payload))
+		s.evictLocked()
+		s.writeIndexLocked()
+	}
+	s.publishLocked()
+	s.mu.Unlock()
+	return payload, true
+}
+
+func (s *fsStore) Put(key string, payload json.RawMessage) {
+	name, ok := fsFileName(key)
+	if !ok {
+		return // non-canonical keys are not persistable
+	}
+	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
+	if err != nil {
+		jlog.Warn("store write failed", "key", key, "err", err)
+		return
+	}
+	_, werr := tmp.Write(payload)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		_ = os.Remove(tmp.Name())
+		jlog.Warn("store write failed", "key", key, "err", errors.Join(werr, cerr))
+		return
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, name)); err != nil {
+		_ = os.Remove(tmp.Name())
+		jlog.Warn("store write failed", "key", key, "err", err)
+		return
+	}
+	jStoreResultBytes.Observe(float64(len(payload)))
+	s.mu.Lock()
+	if el, ok := s.items[key]; ok {
+		e := el.Value.(*fsEntry)
+		s.bytes += int64(len(payload)) - e.Bytes
+		e.Bytes = int64(len(payload))
+		s.ll.MoveToFront(el)
+	} else {
+		s.items[key] = s.ll.PushFront(&fsEntry{Key: key, Bytes: int64(len(payload))})
+		s.bytes += int64(len(payload))
+	}
+	s.evictLocked()
+	s.writeIndexLocked()
+	s.publishLocked()
+	s.mu.Unlock()
+}
+
+// dropLocked removes key from the in-memory index. Caller holds s.mu.
+func (s *fsStore) dropLocked(key string) {
+	el, ok := s.items[key]
+	if !ok {
+		return
+	}
+	e := el.Value.(*fsEntry)
+	s.ll.Remove(el)
+	delete(s.items, key)
+	s.bytes -= e.Bytes
+}
+
+// evictLocked deletes least recently used payloads until the store fits
+// its byte bound. Caller holds s.mu.
+func (s *fsStore) evictLocked() {
+	for s.bytes > s.maxBytes && s.ll.Len() > 1 {
+		oldest := s.ll.Back()
+		e := oldest.Value.(*fsEntry)
+		if name, ok := fsFileName(e.Key); ok {
+			_ = os.Remove(filepath.Join(s.dir, name))
+		}
+		s.dropLocked(e.Key)
+		jStoreEvictions.Inc()
+		jCacheEvictions.Inc()
+	}
+}
+
+// writeIndexLocked persists the index atomically, oldest entry first so
+// load reconstructs the LRU order. Best-effort: a failed index write
+// costs warm-start order, not correctness. Caller holds s.mu.
+func (s *fsStore) writeIndexLocked() {
+	idx := fsIndex{Entries: make([]fsEntry, 0, s.ll.Len())}
+	for el := s.ll.Back(); el != nil; el = el.Prev() {
+		idx.Entries = append(idx.Entries, *el.Value.(*fsEntry))
+	}
+	raw, err := json.Marshal(idx)
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(s.dir, ".tmp-idx-*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(raw)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil || os.Rename(tmp.Name(), filepath.Join(s.dir, fsIndexName)) != nil {
+		_ = os.Remove(tmp.Name())
+	}
+}
+
+// publishLocked refreshes the occupancy gauges. Caller holds s.mu.
+func (s *fsStore) publishLocked() {
+	jCacheEntries.Set(float64(s.ll.Len()))
+	jStoreBytes.Set(float64(s.bytes))
+}
+
+func (s *fsStore) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StoreStats{Kind: "fs", Entries: s.ll.Len(), Bytes: s.bytes, Path: s.dir}
+}
+
+func (s *fsStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.writeIndexLocked()
+	return nil
+}

@@ -59,6 +59,7 @@ type job struct {
 	started  time.Time
 	finished time.Time
 	cancel   context.CancelFunc
+	feed     *RowFeed
 
 	// Per-job tracing. Every job runs under its own always-enabled
 	// tracer, attached to the run context as an override, so the span
@@ -69,6 +70,14 @@ type job struct {
 	tracer *obs.Tracer      // nil once the trace moved to the ring
 	root   *obs.Span        // the job's root span
 	wait   *obs.Span        // jobs.enqueue_wait, open while queued
+}
+
+// Links lists a job's related resources; the HTTP layer fills it in so
+// clients navigate by URL instead of assembling paths.
+type Links struct {
+	Result string `json:"result"`
+	Trace  string `json:"trace"`
+	Stream string `json:"stream"`
 }
 
 // View is an immutable snapshot of a job for the HTTP layer.
@@ -86,6 +95,8 @@ type View struct {
 	Created  time.Time  `json:"created"`
 	Started  *time.Time `json:"started,omitempty"`
 	Finished *time.Time `json:"finished,omitempty"`
+	// Links is populated by the HTTP layer, never by the manager.
+	Links *Links `json:"links,omitempty"`
 }
 
 func (j *job) view() View {
@@ -111,54 +122,16 @@ func (j *job) view() View {
 	return v
 }
 
-// Config sizes a Manager.
-type Config struct {
-	// Workers is the worker-pool size: how many jobs simulate
-	// concurrently (default 2).
-	Workers int
-	// QueueDepth bounds the number of jobs waiting behind the running
-	// ones; a full queue makes Submit return ErrQueueFull (default 16).
-	QueueDepth int
-	// CacheEntries bounds the content-addressed result cache
-	// (default 128).
-	CacheEntries int
-	// SimWorkers, when positive, is the default per-job simulation
-	// parallelism for requests that do not set options.workers. Zero
-	// leaves the library default (GOMAXPROCS) — sensible for Workers=1,
-	// oversubscribed otherwise.
-	SimWorkers int
-	// TraceEntries bounds the ring of completed job traces served by
-	// GET /v1/jobs/{id}/trace (default 64).
-	TraceEntries int
-}
-
-func (c Config) normalize() Config {
-	if c.Workers <= 0 {
-		c.Workers = 2
-	}
-	if c.QueueDepth <= 0 {
-		c.QueueDepth = 16
-	}
-	if c.CacheEntries <= 0 {
-		c.CacheEntries = 128
-	}
-	if c.TraceEntries <= 0 {
-		c.TraceEntries = 64
-	}
-	return c
-}
-
-// Manager owns the job table, the bounded queue, the worker pool and the
-// result cache. All methods are safe for concurrent use.
+// Manager owns the job table and composes the three seams of the job
+// layer: a Store for finished payloads, a Scheduler for admission and
+// dispatch, and a Runner for execution. All methods are safe for
+// concurrent use.
 type Manager struct {
 	cfg    Config
-	cache  *resultCache
+	store  Store
+	sched  Scheduler
+	runner Runner
 	traces *traceRing
-
-	baseCtx    context.Context
-	baseCancel context.CancelFunc
-	wg         sync.WaitGroup
-	queue      chan *job
 
 	mu     sync.Mutex
 	jobs   map[string]*job
@@ -166,35 +139,52 @@ type Manager struct {
 	seq    int
 	closed bool
 
-	// runFn executes one resolved job; tests swap it for a stub.
-	runFn func(ctx context.Context, res *Resolved) (json.RawMessage, error)
+	// Trace retirement runs on its own goroutine so no trace export ever
+	// happens under m.mu; Close drains it, so a retained trace is
+	// guaranteed for every finished job once Close returns.
+	retMu     sync.Mutex
+	retQueue  []*job
+	retClosed bool
+	retWake   chan struct{} // buffered(1) nudge, never closed
+	retWG     sync.WaitGroup
 }
 
-// NewManager starts a manager with cfg's worker pool running.
-func NewManager(cfg Config) *Manager {
-	cfg = cfg.normalize()
-	ctx, cancel := context.WithCancel(context.Background())
+// New starts a manager assembled from opts: unset seams default to the
+// in-memory store, the bounded worker-pool scheduler and the session
+// runner (sharded per WithShards).
+func New(opts ...Option) *Manager {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	o.cfg = o.cfg.normalize()
+	if o.store == nil {
+		o.store = NewMemStore(o.cfg.CacheEntries)
+	}
+	if o.sched == nil {
+		o.sched = NewPoolScheduler(o.cfg.Workers, o.cfg.QueueDepth)
+	}
+	if o.runner == nil {
+		o.runner = &sessionRunner{shards: o.cfg.Shards}
+	}
 	m := &Manager{
-		cfg:        cfg,
-		cache:      newResultCache(cfg.CacheEntries),
-		traces:     newTraceRing(cfg.TraceEntries),
-		baseCtx:    ctx,
-		baseCancel: cancel,
-		queue:      make(chan *job, cfg.QueueDepth),
-		jobs:       make(map[string]*job),
-		runFn:      runResolved,
+		cfg:     o.cfg,
+		store:   o.store,
+		sched:   o.sched,
+		runner:  o.runner,
+		traces:  newTraceRing(o.cfg.TraceEntries),
+		jobs:    make(map[string]*job),
+		retWake: make(chan struct{}, 1),
 	}
-	for i := 0; i < cfg.Workers; i++ {
-		m.wg.Add(1)
-		go m.worker()
-	}
+	m.retWG.Add(1)
+	go m.retireLoop()
 	return m
 }
 
 // Config returns the normalized configuration the manager runs with.
 func (m *Manager) Config() Config { return m.cfg }
 
-// Submit resolves the request and either answers it from the result cache
+// Submit resolves the request and either answers it from the result store
 // (the returned View is already done, Cached true) or enqueues it.
 // ErrQueueFull means the caller should retry later; ErrBadRequest wraps
 // every validation failure; ErrClosed means the manager is draining.
@@ -220,6 +210,10 @@ func (m *Manager) SubmitCtx(ctx context.Context, req Request) (View, error) {
 		parent = tc.SpanIDString()
 		tc = tc.WithNewSpanID()
 	}
+	// The store lookup may touch disk (fsstore), so it happens before
+	// the manager lock. A racing Put of the same key is harmless: equal
+	// keys address byte-identical payloads.
+	payload, hit := m.store.Get(res.Key)
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -232,6 +226,7 @@ func (m *Manager) SubmitCtx(ctx context.Context, req Request) (View, error) {
 		res:     res,
 		state:   StateQueued,
 		created: obs.Now(),
+		feed:    newRowFeed(),
 		tc:      tc,
 		parent:  parent,
 		tracer:  obs.NewTracer(),
@@ -242,7 +237,6 @@ func (m *Manager) SubmitCtx(ctx context.Context, req Request) (View, error) {
 	j.root.SetTag("kind", string(res.Req.Kind))
 	j.root.SetTag("trace_id", tc.TraceIDString())
 
-	payload, hit := m.cache.Get(res.Key)
 	_, lookup := j.tracer.Start(obs.ContextWithSpan(context.Background(), j.root), "jobs.cache_lookup")
 	lookup.SetTag("key", res.Key)
 	lookup.SetTag("hit", fmt.Sprintf("%t", hit))
@@ -256,38 +250,86 @@ func (m *Manager) SubmitCtx(ctx context.Context, req Request) (View, error) {
 		j.finished = j.created
 		m.register(j)
 		jDone.With(string(StateDone)).Inc()
-		m.retireTraceLocked(j)
+		m.finishLocked(j)
 		return j.view(), nil
 	}
 	if m.cfg.SimWorkers > 0 && req.Options.Workers == 0 {
 		res.Options.Workers = m.cfg.SimWorkers
 	}
 	_, j.wait = j.tracer.Start(obs.ContextWithSpan(context.Background(), j.root), "jobs.enqueue_wait")
-	select {
-	case m.queue <- j:
-	default:
+	if err := m.sched.Enqueue(func(ctx context.Context) { m.runJob(ctx, j) }); err != nil {
 		m.seq-- // the job never existed
-		jRejected.Inc()
-		return View{}, ErrQueueFull
+		if errors.Is(err, ErrQueueFull) {
+			jRejected.Inc()
+		}
+		return View{}, err
 	}
 	jCacheMisses.Inc()
 	jSubmitted.Inc()
 	m.register(j)
-	jQueueDepth.Set(float64(len(m.queue)))
 	return j.view(), nil
 }
 
-// retireTraceLocked closes the job's root span and moves the finished
-// trace into the bounded ring, releasing the live tracer. Caller holds
-// m.mu and has already put j in a terminal state.
-func (m *Manager) retireTraceLocked(j *job) {
-	if j.tracer == nil {
-		return
-	}
+// finishLocked completes a job's terminal bookkeeping: the row feed is
+// closed (streaming watchers unblock) and the trace is queued for
+// retirement. Caller holds m.mu and has already put j in a terminal
+// state.
+func (m *Manager) finishLocked(j *job) {
+	j.feed.Close()
 	j.wait.End()
 	j.root.SetTag("state", string(j.state))
 	j.root.End()
-	tr := j.tracer.Export()
+	m.retMu.Lock()
+	m.retQueue = append(m.retQueue, j)
+	m.retMu.Unlock()
+	select {
+	case m.retWake <- struct{}{}:
+	default:
+	}
+}
+
+// retireLoop moves finished traces into the bounded ring, off the
+// manager lock. Until a job's export lands in the ring its live tracer
+// keeps serving Trace, so the handoff is never observable as a gap.
+func (m *Manager) retireLoop() {
+	defer m.retWG.Done()
+	for {
+		m.retMu.Lock()
+		batch := m.retQueue
+		m.retQueue = nil
+		quit := m.retClosed
+		m.retMu.Unlock()
+		for _, j := range batch {
+			m.retireJob(j)
+		}
+		if quit {
+			// retClosed is set only after every enqueue path is quiet,
+			// so one final snapshot empties the queue for good.
+			m.retMu.Lock()
+			rest := m.retQueue
+			m.retQueue = nil
+			m.retMu.Unlock()
+			for _, j := range rest {
+				m.retireJob(j)
+			}
+			return
+		}
+		<-m.retWake
+	}
+}
+
+// retireJob exports one finished job's span tree into the ring and
+// releases the live tracer. The export runs without m.mu (tracers are
+// internally synchronized); the ring add happens before the tracer is
+// cleared, so Trace always finds one of the two.
+func (m *Manager) retireJob(j *job) {
+	m.mu.Lock()
+	tracer, state := j.tracer, j.state
+	m.mu.Unlock()
+	if tracer == nil {
+		return
+	}
+	tr := tracer.Export()
 	spans := len(tr.Flat)
 	dur := 0.0
 	if len(tr.Spans) > 0 {
@@ -296,22 +338,81 @@ func (m *Manager) retireTraceLocked(j *job) {
 	m.traces.add(&JobTrace{
 		JobID:   j.id,
 		Kind:    j.res.Req.Kind,
-		State:   j.state,
+		State:   state,
 		TraceID: j.tc.TraceIDString(),
 		Parent:  j.parent,
 		Spans:   spans,
 		DurMs:   dur,
 		Trace:   tr,
 	})
+	m.mu.Lock()
 	j.tracer = nil
 	j.root = nil
 	j.wait = nil
+	m.mu.Unlock()
 }
 
 // register adds j to the job table. Caller holds m.mu.
 func (m *Manager) register(j *job) {
 	m.jobs[j.id] = j
 	m.order = append(m.order, j.id)
+}
+
+// runJob is the Task the scheduler executes: it runs one queued job to a
+// terminal state. schedCtx is the scheduler's base context, canceled
+// when Close force-cancels the pool.
+func (m *Manager) runJob(schedCtx context.Context, j *job) {
+	m.mu.Lock()
+	if j.state != StateQueued { // cancelled while waiting
+		m.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(schedCtx)
+	j.state = StateRunning
+	j.started = obs.Now()
+	j.cancel = cancel
+	res := j.res
+	feed := j.feed
+	j.wait.End() // the queue wait is over: a worker picked the job up
+	if obs.TimingOn() {
+		jEnqueueWait.Observe(obs.Since(j.created).Seconds())
+	}
+	// Route the run's spans to the job's private tracer, parented
+	// under its root, and carry the W3C identity for exemplars.
+	ctx = obs.ContextWithTracer(ctx, j.tracer)
+	ctx = obs.ContextWithSpan(ctx, j.root)
+	ctx = obs.ContextWithTrace(ctx, j.tc)
+	m.mu.Unlock()
+
+	jctx, span := obs.Start(ctx, "jobs.run")
+	span.SetTag("job", j.id)
+	span.SetTag("kind", string(res.Req.Kind))
+	payload, err := m.runner.Run(jctx, res, feed)
+	span.End()
+	cancel()
+	if err == nil {
+		// Store writes may touch disk (fsstore): off the manager lock.
+		m.store.Put(res.Key, payload)
+	}
+
+	m.mu.Lock()
+	j.cancel = nil
+	j.finished = obs.Now()
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.result = payload
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.state = StateCanceled
+		j.err = err.Error()
+	default:
+		j.state = StateFailed
+		j.err = err.Error()
+		jlog.Warn("job failed", "job", j.id, "kind", res.Req.Kind, "err", err)
+	}
+	jDone.With(string(j.state)).Inc()
+	m.finishLocked(j)
+	m.mu.Unlock()
 }
 
 // Get returns a snapshot of the job.
@@ -335,6 +436,19 @@ func (m *Manager) Result(id string) (json.RawMessage, View, error) {
 		return nil, View{}, ErrNotFound
 	}
 	return j.result, j.view(), nil
+}
+
+// Stream returns the job's row feed alongside its snapshot. The feed
+// delivers matrix rows as they complete and closes with the job; for
+// non-matrix jobs it simply closes without rows.
+func (m *Manager) Stream(id string) (*RowFeed, View, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, View{}, ErrNotFound
+	}
+	return j.feed, j.view(), nil
 }
 
 // List returns snapshots of every job in submission order.
@@ -367,7 +481,7 @@ func (m *Manager) Cancel(id string) (View, error) {
 		jCancelRequests.Inc()
 		jDone.With(string(StateCanceled)).Inc()
 		j.wait.SetTag("canceled", "true")
-		m.retireTraceLocked(j)
+		m.finishLocked(j)
 	case StateRunning:
 		jCancelRequests.Inc()
 		j.cancel() // worker observes ctx.Err and marks the terminal state
@@ -377,8 +491,8 @@ func (m *Manager) Cancel(id string) (View, error) {
 	return j.view(), nil
 }
 
-// Trace returns the job's span tree: a live export for a queued or
-// running job, the retained export for a finished one. ErrTraceEvicted
+// Trace returns the job's span tree: a live export for a job whose trace
+// has not retired yet, the retained export afterwards. ErrTraceEvicted
 // means the job finished but its trace aged out of the bounded ring.
 func (m *Manager) Trace(id string) (*JobTrace, error) {
 	m.mu.Lock()
@@ -417,90 +531,39 @@ func (m *Manager) TraceSummaries() []JobTrace { return m.traces.list() }
 // QueueStats returns the current queue depth and configured capacity,
 // for backpressure responses and health snapshots.
 func (m *Manager) QueueStats() (depth, capacity int) {
-	return len(m.queue), m.cfg.QueueDepth
+	return m.sched.Depth()
 }
 
-// CacheLen returns the result cache occupancy.
-func (m *Manager) CacheLen() int { return m.cache.Len() }
+// StoreStats returns the result store's occupancy snapshot.
+func (m *Manager) StoreStats() StoreStats { return m.store.Stats() }
 
-// worker drains the queue until Close closes it.
-func (m *Manager) worker() {
-	defer m.wg.Done()
-	for j := range m.queue {
-		jQueueDepth.Set(float64(len(m.queue)))
-		m.mu.Lock()
-		if j.state != StateQueued { // cancelled while waiting
-			m.mu.Unlock()
-			continue
-		}
-		ctx, cancel := context.WithCancel(m.baseCtx)
-		j.state = StateRunning
-		j.started = obs.Now()
-		j.cancel = cancel
-		res := j.res
-		j.wait.End() // the queue wait is over: a worker picked the job up
-		if obs.TimingOn() {
-			jEnqueueWait.Observe(obs.Since(j.created).Seconds())
-		}
-		// Route the run's spans to the job's private tracer, parented
-		// under its root, and carry the W3C identity for exemplars.
-		ctx = obs.ContextWithTracer(ctx, j.tracer)
-		ctx = obs.ContextWithSpan(ctx, j.root)
-		ctx = obs.ContextWithTrace(ctx, j.tc)
-		m.mu.Unlock()
-
-		jctx, span := obs.Start(ctx, "jobs.run")
-		span.SetTag("job", j.id)
-		span.SetTag("kind", string(res.Req.Kind))
-		payload, err := m.runFn(jctx, res)
-		span.End()
-		cancel()
-
-		m.mu.Lock()
-		j.cancel = nil
-		j.finished = obs.Now()
-		switch {
-		case err == nil:
-			j.state = StateDone
-			j.result = payload
-			m.cache.Put(res.Key, payload)
-		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-			j.state = StateCanceled
-			j.err = err.Error()
-		default:
-			j.state = StateFailed
-			j.err = err.Error()
-			jlog.Warn("job failed", "job", j.id, "kind", res.Req.Kind, "err", err)
-		}
-		jDone.With(string(j.state)).Inc()
-		m.retireTraceLocked(j)
-		m.mu.Unlock()
-	}
-}
+// CacheLen returns the result store occupancy.
+func (m *Manager) CacheLen() int { return m.store.Stats().Entries }
 
 // Close drains the manager: no new submissions are accepted, queued and
 // running jobs finish normally, and Close returns when the pool is idle.
 // If ctx expires first, every in-flight job is cancelled and Close waits
-// for the workers to acknowledge before returning ctx's error.
+// for the workers to acknowledge before returning ctx's error. Either
+// way — graceful or forced — the trace retirement queue is drained
+// before Close returns, so GET /v1/jobs/{id}/trace never races shutdown,
+// and the store is closed last.
 func (m *Manager) Close(ctx context.Context) error {
 	m.mu.Lock()
-	if !m.closed {
-		m.closed = true
-		close(m.queue)
-	}
+	m.closed = true
 	m.mu.Unlock()
-	done := make(chan struct{})
-	go func() {
-		m.wg.Wait()
-		close(done)
-	}()
+	err := m.sched.Close(ctx)
+	// The scheduler is quiet and Submit is rejected, so no new trace can
+	// be queued for retirement: drain what is there and stop the loop.
+	m.retMu.Lock()
+	m.retClosed = true
+	m.retMu.Unlock()
 	select {
-	case <-done:
-		m.baseCancel()
-		return nil
-	case <-ctx.Done():
-		m.baseCancel()
-		<-done
-		return ctx.Err()
+	case m.retWake <- struct{}{}:
+	default:
 	}
+	m.retWG.Wait()
+	if cerr := m.store.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
 }

@@ -10,14 +10,24 @@ import (
 	"time"
 )
 
-// testManager builds a manager whose runner is fn, so queue and lifecycle
-// behaviour can be tested without simulating anything.
+// stubRunner adapts a feed-less stub function to the Runner seam, so
+// queue and lifecycle behaviour can be tested without simulating
+// anything.
+func stubRunner(fn func(ctx context.Context, res *Resolved) (json.RawMessage, error)) Option {
+	return WithRunner(RunnerFunc(func(ctx context.Context, res *Resolved, feed *RowFeed) (json.RawMessage, error) {
+		return fn(ctx, res)
+	}))
+}
+
+// testManager builds a manager whose runner is fn (nil keeps the real
+// session runner) and closes it with the test.
 func testManager(t *testing.T, cfg Config, fn func(ctx context.Context, res *Resolved) (json.RawMessage, error)) *Manager {
 	t.Helper()
-	m := NewManager(cfg)
+	opts := []Option{WithConfig(cfg)}
 	if fn != nil {
-		m.runFn = fn
+		opts = append(opts, stubRunner(fn))
 	}
+	m := New(opts...)
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
@@ -245,21 +255,20 @@ func TestManagerFailedJob(t *testing.T) {
 		t.Errorf("state=%s err=%q, want failed/solver exploded", done.State, done.Err)
 	}
 	// Failures must not poison the cache.
-	if m.cache.Len() != 0 {
-		t.Errorf("failed job cached: %d entries", m.cache.Len())
+	if m.CacheLen() != 0 {
+		t.Errorf("failed job cached: %d entries", m.CacheLen())
 	}
 }
 
 func TestManagerCloseDrains(t *testing.T) {
 	slow := make(chan struct{})
-	m := NewManager(Config{Workers: 1})
-	m.runFn = func(ctx context.Context, res *Resolved) (json.RawMessage, error) {
+	m := New(WithWorkers(1), stubRunner(func(ctx context.Context, res *Resolved) (json.RawMessage, error) {
 		<-slow
 		if err := ctx.Err(); err != nil {
 			return nil, err // a forced shutdown would cancel us
 		}
 		return json.RawMessage(`{"drained":true}`), nil
-	}
+	}))
 	v, err := m.Submit(biquadRequest(t, 50))
 	if err != nil {
 		t.Fatal(err)
@@ -285,11 +294,10 @@ func TestManagerCloseDrains(t *testing.T) {
 }
 
 func TestManagerCloseDeadlineForcesCancel(t *testing.T) {
-	m := NewManager(Config{Workers: 1})
-	m.runFn = func(ctx context.Context, res *Resolved) (json.RawMessage, error) {
+	m := New(WithWorkers(1), stubRunner(func(ctx context.Context, res *Resolved) (json.RawMessage, error) {
 		<-ctx.Done() // never finishes voluntarily
 		return nil, ctx.Err()
-	}
+	}))
 	v, err := m.Submit(biquadRequest(t, 60))
 	if err != nil {
 		t.Fatal(err)
@@ -359,8 +367,8 @@ func TestManagerListOrder(t *testing.T) {
 	}
 }
 
-func TestResultCacheLRU(t *testing.T) {
-	c := newResultCache(2)
+func TestMemStoreLRU(t *testing.T) {
+	c := NewMemStore(2)
 	c.Put("a", json.RawMessage(`1`))
 	c.Put("b", json.RawMessage(`2`))
 	if _, ok := c.Get("a"); !ok { // touch a: b becomes LRU
@@ -377,10 +385,28 @@ func TestResultCacheLRU(t *testing.T) {
 		t.Errorf("c = %s", got)
 	}
 	c.Put("a", json.RawMessage(`9`)) // refresh, no growth
-	if c.Len() != 2 {
-		t.Errorf("Len = %d, want 2", c.Len())
+	if st := c.Stats(); st.Entries != 2 || st.Kind != "mem" || st.Bytes != 2 {
+		t.Errorf("Stats = %+v, want 2 mem entries of 2 bytes", st)
 	}
 	if got, _ := c.Get("a"); string(got) != `9` {
 		t.Errorf("refreshed a = %s", got)
+	}
+}
+
+func TestDeprecatedNewManagerShim(t *testing.T) {
+	m := NewManager(Config{Workers: 1, QueueDepth: 3})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := m.Close(ctx); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+	cfg := m.Config()
+	if cfg.Workers != 1 || cfg.QueueDepth != 3 || cfg.Shards != 1 {
+		t.Errorf("Config = %+v, want workers 1, queue 3, shards 1", cfg)
+	}
+	if _, capacity := m.QueueStats(); capacity != 3 {
+		t.Errorf("queue capacity = %d, want 3", capacity)
 	}
 }

@@ -1,0 +1,77 @@
+package jobs
+
+import (
+	"container/list"
+	"encoding/json"
+	"sync"
+)
+
+// memStore is the default Store: a content-addressed in-memory LRU over
+// finished job payloads, bounded by entry count. Payloads are treated as
+// immutable by every caller (handlers write them straight to the
+// response), so Get hands out the shared slice without copying.
+type memStore struct {
+	mu    sync.Mutex
+	max   int
+	bytes int64
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+// memEntry is one cached payload.
+type memEntry struct {
+	key     string
+	payload json.RawMessage
+}
+
+// NewMemStore builds an in-memory store bounded to max entries (min 1).
+func NewMemStore(max int) Store {
+	if max < 1 {
+		max = 1
+	}
+	return &memStore{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+func (c *memStore) Get(key string) (json.RawMessage, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*memEntry).payload, true
+}
+
+func (c *memStore) Put(key string, payload json.RawMessage) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*memEntry)
+		c.bytes += int64(len(payload)) - int64(len(e.payload))
+		e.payload = payload
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&memEntry{key: key, payload: payload})
+	c.bytes += int64(len(payload))
+	jStoreResultBytes.Observe(float64(len(payload)))
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		e := oldest.Value.(*memEntry)
+		delete(c.items, e.key)
+		c.bytes -= int64(len(e.payload))
+		jCacheEvictions.Inc()
+	}
+	jCacheEntries.Set(float64(c.ll.Len()))
+	jStoreBytes.Set(float64(c.bytes))
+}
+
+func (c *memStore) Stats() StoreStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return StoreStats{Kind: "mem", Entries: c.ll.Len(), Bytes: c.bytes}
+}
+
+func (c *memStore) Close() error { return nil }

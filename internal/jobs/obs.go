@@ -31,6 +31,23 @@ var (
 	// like every latency instrument in the repo.
 	jEnqueueWait = obs.Reg().Histogram("jobs_enqueue_wait_seconds",
 		"submit-to-worker-pickup wait (timing mode only)", obs.TimeBuckets)
+
+	// Result-store occupancy and hygiene, shared by memstore and fsstore.
+	jStoreBytes = obs.Reg().Gauge("jobs_store_bytes",
+		"total payload bytes held by the result store")
+	jStoreEvictions = obs.Reg().Counter("jobs_store_evictions_total",
+		"fsstore entries evicted by the byte-LRU bound")
+	jStoreCorrupt = obs.Reg().Counter("jobs_store_corrupt_total",
+		"stored payloads dropped because they failed to read back as JSON")
+	jStoreResultBytes = obs.Reg().Histogram("jobs_store_result_bytes",
+		"size distribution of stored result payloads", obs.ByteBuckets)
+
+	// Configuration-range sharding of matrix jobs.
+	jShardRows = obs.Reg().Histogram("jobs_shard_rows",
+		"matrix rows per configuration-range shard", obs.CountBuckets)
+	// jShardSeconds is clock-derived and gated on obs.TimingOn.
+	jShardSeconds = obs.Reg().Histogram("jobs_shard_seconds",
+		"wall time per matrix shard (timing mode only)", obs.TimeBuckets)
 )
 
 // jlog is the package logger.

@@ -100,8 +100,10 @@ type OptimizeResult struct {
 }
 
 // runResolved executes the job through the context-aware Session API and
-// marshals the payload. This is the Manager's default runner.
-func runResolved(ctx context.Context, res *Resolved) (json.RawMessage, error) {
+// marshals the payload. This is the unsharded path of the default
+// runner; matrix rows are published to feed in one batch at the end, so
+// streaming clients see the complete matrix either way.
+func runResolved(ctx context.Context, res *Resolved, feed *RowFeed) (json.RawMessage, error) {
 	s := analogdft.NewSession(res.Bench, res.Faults, res.Options)
 	var payload any
 	switch res.Req.Kind {
@@ -130,6 +132,7 @@ func runResolved(ctx context.Context, res *Resolved) (json.RawMessage, error) {
 		if err != nil {
 			return nil, err
 		}
+		feed.Publish(rowEvents(mx, 0)...)
 		payload = matrixResult(mx)
 	case KindOptimize:
 		opt, err := s.Optimize(ctx, res.Cost)

@@ -1,0 +1,120 @@
+package jobs
+
+import (
+	"context"
+	"sync"
+)
+
+// Task is one unit of schedulable work. The context it receives is the
+// scheduler's base context: canceled when Close force-cancels, otherwise
+// alive for the task's whole run. Cancellation of an individual job is
+// layered on top by the manager (the task derives its own sub-context),
+// so a Scheduler needs no per-task handle.
+type Task func(ctx context.Context)
+
+// Scheduler is the admission-and-dispatch seam of the job layer: it
+// decides whether work is accepted (backpressure), holds it while every
+// executor is busy, and runs it. The default poolScheduler is a bounded
+// queue in front of a fixed worker pool — the shape the HTTP layer's 429
+// mapping assumes — but the interface leaves room for priority queues or
+// remote dispatch. Implementations must be safe for concurrent use.
+type Scheduler interface {
+	// Enqueue admits t for execution. ErrQueueFull signals backpressure
+	// (the caller may retry later); ErrClosed that Close has begun.
+	// Enqueue never blocks.
+	Enqueue(t Task) error
+	// Depth returns the number of admitted-but-not-started tasks and
+	// the queue capacity, for backpressure responses and health
+	// snapshots.
+	Depth() (depth, capacity int)
+	// Close stops intake and drains: admitted tasks finish normally and
+	// Close returns nil when the pool is idle. If ctx expires first the
+	// base context every task received is canceled, Close waits for the
+	// executors to acknowledge, and returns ctx's error.
+	Close(ctx context.Context) error
+}
+
+// poolScheduler is the default Scheduler: a bounded channel queue
+// drained by a fixed pool of goroutine workers.
+type poolScheduler struct {
+	queue      chan Task
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewPoolScheduler starts a scheduler with workers goroutines draining a
+// queue of the given depth (minimums 1).
+func NewPoolScheduler(workers, depth int) Scheduler {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &poolScheduler{
+		queue:      make(chan Task, depth),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+	}
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+func (s *poolScheduler) Enqueue(t Task) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	select {
+	case s.queue <- t:
+	default:
+		return ErrQueueFull
+	}
+	jQueueDepth.Set(float64(len(s.queue)))
+	return nil
+}
+
+func (s *poolScheduler) Depth() (int, int) {
+	return len(s.queue), cap(s.queue)
+}
+
+// worker drains the queue until Close closes it.
+func (s *poolScheduler) worker() {
+	defer s.wg.Done()
+	for t := range s.queue {
+		jQueueDepth.Set(float64(len(s.queue)))
+		t(s.baseCtx)
+	}
+}
+
+func (s *poolScheduler) Close(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.baseCancel()
+		return nil
+	case <-ctx.Done():
+		s.baseCancel()
+		<-done
+		return ctx.Err()
+	}
+}

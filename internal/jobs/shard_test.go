@@ -1,0 +1,105 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// resolveBiquadMatrix resolves a paper-biquad matrix request pinned to an
+// explicit region so every run measures the same grid.
+func resolveBiquadMatrix(t *testing.T) *Resolved {
+	t.Helper()
+	res, err := Request{
+		Kind:  KindMatrix,
+		Bench: "paper-biquad",
+		Options: OptionSpec{
+			Points: 31,
+			LoHz:   100,
+			HiHz:   5600,
+		},
+	}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// normalizeElapsed decodes a matrix payload and zeroes the only field the
+// sharded and unsharded paths may legitimately disagree on: wall clock.
+func normalizeElapsed(t *testing.T, raw json.RawMessage) []byte {
+	t.Helper()
+	var out MatrixResult
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("payload: %v", err)
+	}
+	out.Stats.ElapsedMS = 0
+	norm, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return norm
+}
+
+// TestShardedRunnerPayloadIdentical pins the acceptance criterion at the
+// job layer: the sharded runner's payload is byte-identical to the
+// unsharded runner's (modulo stats.elapsed_ms), which is why Shards never
+// enters the cache key.
+func TestShardedRunnerPayloadIdentical(t *testing.T) {
+	res := resolveBiquadMatrix(t)
+	ctx := context.Background()
+
+	ref, err := (&sessionRunner{shards: 1}).Run(ctx, res, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 3} {
+		got, err := (&sessionRunner{shards: shards}).Run(ctx, res, nil)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if a, b := normalizeElapsed(t, ref), normalizeElapsed(t, got); string(a) != string(b) {
+			t.Errorf("shards=%d payload differs from unsharded:\n ref: %.200s\n got: %.200s", shards, a, b)
+		}
+	}
+}
+
+// TestShardedRunnerStreamsEveryRow verifies the feed contract: by the
+// time Run returns, every matrix row has been published exactly once,
+// and each row's content matches the aggregate payload.
+func TestShardedRunnerStreamsEveryRow(t *testing.T) {
+	res := resolveBiquadMatrix(t)
+	feed := newRowFeed()
+	raw, err := (&sessionRunner{shards: 3}).Run(context.Background(), res, feed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out MatrixResult
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	rows, done, _ := feed.Snapshot(0)
+	if done {
+		t.Error("runner closed the feed; that is the manager's job")
+	}
+	if len(rows) != len(out.Configs) {
+		t.Fatalf("feed delivered %d rows, matrix has %d", len(rows), len(out.Configs))
+	}
+	seen := make(map[int]bool)
+	for _, r := range rows {
+		if seen[r.Index] {
+			t.Fatalf("row %d published twice", r.Index)
+		}
+		seen[r.Index] = true
+		if r.Index < 0 || r.Index >= len(out.Configs) {
+			t.Fatalf("row index %d out of range", r.Index)
+		}
+		if r.Config != out.Configs[r.Index] {
+			t.Errorf("row %d config %q, payload says %q", r.Index, r.Config, out.Configs[r.Index])
+		}
+		if !reflect.DeepEqual(r.Det, out.Det[r.Index]) || !reflect.DeepEqual(r.Omega, out.Omega[r.Index]) {
+			t.Errorf("row %d content differs from aggregate payload", r.Index)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package jobs
+
+import "encoding/json"
+
+// Store is the result-persistence seam of the job layer: a
+// content-addressed map from a request's CacheKey to its finished JSON
+// payload. Equal keys guarantee byte-identical results (the key covers
+// everything result-affecting, see CacheKey), which is what makes a
+// store shareable: any replica may serve any stored payload verbatim.
+//
+// Payloads are immutable by contract — Get hands out shared bytes and
+// callers must not modify them. Implementations must be safe for
+// concurrent use; a Get miss is how every storage problem (absent,
+// evicted, corrupt) surfaces, so Get has no error to propagate.
+//
+// The in-memory memstore is the default; the disk-backed fsstore lets
+// replicas share one cache directory. Both bound their footprint with
+// LRU eviction.
+type Store interface {
+	// Get returns the payload stored under key, marking it recently
+	// used. A miss is returned for absent, evicted and unreadable
+	// entries alike.
+	Get(key string) (json.RawMessage, bool)
+	// Put stores (or refreshes) key's payload, evicting least recently
+	// used entries to stay within the store's bound.
+	Put(key string, payload json.RawMessage)
+	// Stats returns an occupancy snapshot, for /healthz and tests.
+	Stats() StoreStats
+	// Close releases the store's resources (for fsstore: persists the
+	// index). The manager closes the store it was built with.
+	Close() error
+}
+
+// StoreStats is a store occupancy snapshot.
+type StoreStats struct {
+	// Kind names the implementation: "mem" or "fs".
+	Kind string `json:"kind"`
+	// Entries is the number of stored payloads.
+	Entries int `json:"entries"`
+	// Bytes is the total payload size.
+	Bytes int64 `json:"bytes"`
+	// Path is the backing directory, empty for in-memory stores.
+	Path string `json:"path,omitempty"`
+}

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 	"testing"
+	"time"
 
 	"analogdft/internal/obs"
 )
@@ -189,6 +190,20 @@ func TestJobTraceCanceledQueued(t *testing.T) {
 	}
 }
 
+// awaitRetired polls until the job's trace has moved from its live
+// tracer into the bounded ring (retirement is asynchronous).
+func awaitRetired(t *testing.T, m *Manager, id string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, ok := m.traces.get(id); ok {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("trace of %s never retired", id)
+}
+
 func TestTraceRingEviction(t *testing.T) {
 	m := testManager(t, Config{Workers: 1, TraceEntries: 2}, func(ctx context.Context, res *Resolved) (json.RawMessage, error) {
 		return json.RawMessage(`{}`), nil
@@ -200,6 +215,7 @@ func TestTraceRingEviction(t *testing.T) {
 			t.Fatal(err)
 		}
 		awaitState(t, m, v.ID)
+		awaitRetired(t, m, v.ID)
 		ids = append(ids, v.ID)
 	}
 	if _, err := m.Trace(ids[0]); !errors.Is(err, ErrTraceEvicted) {
@@ -219,6 +235,45 @@ func TestTraceRingEviction(t *testing.T) {
 	}
 	if _, err := m.Trace("job-999"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("unknown job err = %v", err)
+	}
+}
+
+// TestCloseForceCancelDrainsTraceRetirement pins the shutdown contract:
+// a slow job force-canceled at the drain deadline must still have its
+// trace retired into the ring by the time Close returns, so a trace read
+// racing shutdown sees the retained export, never a gap.
+func TestCloseForceCancelDrainsTraceRetirement(t *testing.T) {
+	m := New(WithWorkers(1), stubRunner(func(ctx context.Context, res *Resolved) (json.RawMessage, error) {
+		<-ctx.Done() // slow job: only the forced cancel ends it
+		return nil, ctx.Err()
+	}))
+	v, err := m.Submit(biquadRequest(t, 360))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, m, v.ID)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := m.Close(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Close: err = %v, want deadline exceeded", err)
+	}
+	// No polling: Close's return must already imply full retirement.
+	if _, ok := m.traces.get(v.ID); !ok {
+		t.Fatal("trace not in the ring after forced Close")
+	}
+	jt, err := m.Trace(v.ID)
+	if err != nil {
+		t.Fatalf("Trace after Close: %v", err)
+	}
+	if jt.State != StateCanceled {
+		t.Errorf("retired trace state = %s, want canceled", jt.State)
+	}
+	if root := jt.Trace.Spans[0]; root.Tags["state"] != string(StateCanceled) {
+		t.Errorf("root span tags = %v, want state=canceled", root.Tags)
+	}
+	sums := m.TraceSummaries()
+	if len(sums) != 1 || sums[0].JobID != v.ID {
+		t.Errorf("summaries after Close = %+v", sums)
 	}
 }
 

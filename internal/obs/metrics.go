@@ -570,4 +570,9 @@ var (
 	CountBuckets = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 1e4, 1e5, 1e6}
 	// RatioBuckets covers utilization ratios in [0, 1].
 	RatioBuckets = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1}
+	// ByteBuckets covers payload and store sizes: 256 B to 1 GiB.
+	ByteBuckets = []float64{
+		256, 1024, 4096, 16384, 65536, 262144,
+		1 << 20, 4 << 20, 16 << 20, 64 << 20, 256 << 20, 1 << 30,
+	}
 )

@@ -1,35 +1,47 @@
 #!/usr/bin/env bash
-# Smoke test for cmd/dftserved: boot the server on an ephemeral port,
-# run a paper-biquad matrix job end to end under a fixed W3C traceparent,
+# Smoke test for cmd/dftserved: boot the server on an ephemeral port with
+# a disk-backed result store and sharded matrix builds, run a
+# paper-biquad matrix job end to end under a fixed W3C traceparent,
 # assert the trace ID propagates into the job's span tree, assert the
-# identical resubmission is a cache hit, check /metrics, then shut down
-# gracefully. Needs curl and python3 (for JSON field extraction). Exits
-# non-zero on any failed assertion; CI runs this as the dftserved smoke
-# job. When SMOKE_ARTIFACTS names a directory, the job trace, the trace
-# listing and the SLO snapshot are saved there for upload.
+# identical resubmission is a cache hit, stream the matrix rows as
+# NDJSON, then boot a second replica over the same store directory and
+# assert it serves the first replica's result without simulating. Needs
+# curl and python3 (for JSON field extraction). Exits non-zero on any
+# failed assertion; CI runs this as the dftserved smoke job. When
+# SMOKE_ARTIFACTS names a directory, the job trace, the trace listing and
+# the SLO snapshot are saved there for upload.
 set -euo pipefail
 
 log() { echo "smoke: $*" >&2; }
 fail() { log "FAIL: $*"; exit 1; }
 
 workdir=$(mktemp -d)
-trap 'kill "$server_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+server_pid=""
+replica_pid=""
+trap 'kill "$server_pid" "$replica_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
 
 go build -o "$workdir/dftserved" ./cmd/dftserved
 
-"$workdir/dftserved" -addr 127.0.0.1:0 -workers 1 -timing >"$workdir/server.log" 2>&1 &
+# wait_addr LOGFILE PID: scrape the "listening on" line for the base URL.
+wait_addr() {
+    local logfile=$1 pid=$2 addr
+    for _ in $(seq 1 100); do
+        addr=$(sed -n 's/^dftserved: listening on //p' "$logfile" | head -n1)
+        if [ -n "$addr" ]; then echo "http://$addr"; return 0; fi
+        kill -0 "$pid" 2>/dev/null || { cat "$logfile" >&2; return 1; }
+        sleep 0.1
+    done
+    return 1
+}
+
+store_dir="$workdir/store"
+"$workdir/dftserved" -addr 127.0.0.1:0 -workers 1 -timing \
+    -store-dir "$store_dir" -shards 2 >"$workdir/server.log" 2>&1 &
 server_pid=$!
 
 # The server prints "dftserved: listening on 127.0.0.1:PORT" on boot.
-base=""
-for _ in $(seq 1 100); do
-    addr=$(sed -n 's/^dftserved: listening on //p' "$workdir/server.log" | head -n1)
-    if [ -n "$addr" ]; then base="http://$addr"; break; fi
-    kill -0 "$server_pid" 2>/dev/null || { cat "$workdir/server.log" >&2; fail "server died on boot"; }
-    sleep 0.1
-done
-[ -n "$base" ] || fail "server never reported its address"
-log "server at $base"
+base=$(wait_addr "$workdir/server.log" "$server_pid") || fail "server never reported its address"
+log "server at $base (store $store_dir, 2 shards)"
 
 json_field() { python3 -c "import json,sys; print(json.load(sys.stdin)$1)"; }
 
@@ -103,6 +115,31 @@ metrics=$(curl -sS "$base/metrics")
 echo "$metrics" | grep -q '^jobs_cache_hits_total 1$' || fail "jobs_cache_hits_total != 1"
 echo "$metrics" | grep -q '^detect_solves_total ' || fail "detect_solves_total missing"
 
+# Streaming: the NDJSON row stream must deliver one row per matrix
+# config and a final aggregate equal to the plain result payload.
+curl -sS "$base/v1/jobs/$job_id/result?stream=rows" > "$workdir/stream.ndjson"
+curl -sS "$base/v1/jobs/$job_id/result" > "$workdir/result.json"
+python3 - "$workdir/stream.ndjson" "$workdir/result.json" <<'PY' || fail "row stream inconsistent"
+import json, sys
+rows, result = [], None
+with open(sys.argv[1]) as f:
+    for line in f:
+        ev = json.loads(line)
+        if ev["type"] == "row":
+            rows.append(ev["row"])
+        elif ev["type"] == "result":
+            result = ev["result"]
+        else:
+            sys.exit(f"stream error event: {ev}")
+direct = json.load(open(sys.argv[2]))
+assert result == direct, "streamed aggregate differs from GET /result"
+assert len(rows) == len(direct["configs"]), (len(rows), len(direct["configs"]))
+assert sorted(r["index"] for r in rows) == list(range(len(rows))), "row indices not a permutation"
+for r in rows:
+    assert r["config"] == direct["configs"][r["index"]]
+PY
+log "row stream delivered all $(python3 -c "import json;print(len(json.load(open('$workdir/result.json'))['configs']))") rows + aggregate"
+
 # Layout pinning: submissions differing only in the matrix layout are
 # distinct jobs (the layout is part of the cache key), yet their
 # matrices must be bit-identical — the sparse factorization replays the
@@ -137,6 +174,31 @@ sparse_matrix=$(curl -sS "$base/v1/jobs/$sparse_id/result" | python3 -c \
     "import json,sys; r=json.load(sys.stdin); r.pop('stats',None); print(json.dumps(r,sort_keys=True))")
 [ "$dense_matrix" = "$sparse_matrix" ] || fail "dense and sparse matrices differ"
 log "layout pinning: distinct keys, bit-identical matrices"
+
+# Shared store: a second replica over the same -store-dir must serve the
+# first replica's result as a cache hit without ever reaching the engine.
+"$workdir/dftserved" -addr 127.0.0.1:0 -workers 1 \
+    -store-dir "$store_dir" >"$workdir/replica.log" 2>&1 &
+replica_pid=$!
+rbase=$(wait_addr "$workdir/replica.log" "$replica_pid") || fail "replica never reported its address"
+log "replica at $rbase (same store)"
+curl -sS "$rbase/healthz" | json_field "['store']['kind']" | grep -qx fs || fail "replica store kind != fs"
+resp=$(curl -sS -w '\n%{http_code}' -X POST -d "$body" "$rbase/v1/jobs")
+code=${resp##*$'\n'}
+[ "$code" = 201 ] || fail "replica submit: HTTP $code"
+rcached=$(printf '%s' "${resp%$'\n'*}" | json_field "['cached']")
+rstate=$(printf '%s' "${resp%$'\n'*}" | json_field "['state']")
+[ "$rcached" = True ] && [ "$rstate" = done ] || fail "replica missed the shared store (cached=$rcached state=$rstate)"
+rmetrics=$(curl -sS "$rbase/metrics")
+echo "$rmetrics" | grep -q '^jobs_cache_hits_total 1$' || fail "replica jobs_cache_hits_total != 1"
+echo "$rmetrics" | grep -q '^detect_solves_total 0$' || fail "replica simulated despite the shared store"
+rjob=$(printf '%s' "${resp%$'\n'*}" | json_field "['id']")
+rcoverage=$(curl -sS "$rbase/v1/jobs/$rjob/result" | json_field "['coverage']")
+[ "$rcoverage" = "$coverage" ] || fail "replica coverage $rcoverage != $coverage"
+log "replica served the shared-store result: cache hit, zero solves"
+kill -TERM "$replica_pid"
+wait "$replica_pid" || fail "replica exited non-zero on SIGTERM"
+replica_pid=""
 
 # Graceful shutdown: SIGTERM must drain and exit 0.
 kill -TERM "$server_pid"

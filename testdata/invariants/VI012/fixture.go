@@ -1,0 +1,23 @@
+// Fixture for VI012 store-confined-io: the job layer touching the
+// filesystem outside the fsstore files instead of going through the
+// Store seam.
+package fixture
+
+import (
+	"io/fs"
+	sys "os"
+)
+
+// seeded: reading a payload directly, through an aliased os import.
+func readPayload(path string) ([]byte, error) { return sys.ReadFile(path) }
+
+// seeded: bound function value — the pass matches the resolved object,
+// not the call syntax.
+var remove = sys.Remove
+
+// seeded: io/fs is the same filesystem surface under another name.
+func checkPath(p string) bool { return fs.ValidPath(p) }
+
+// negative: plumbing a caller-provided reader is fine — only the os and
+// io/fs packages are confined.
+func capacity(payload []byte) int { return len(payload) }

@@ -1,0 +1,19 @@
+// Negative half of the VI012 fixture: files whose name starts with
+// fsstore own the disk layout and may use os freely.
+package fixture
+
+import "os"
+
+// negative: sanctioned — this file implements the disk store.
+func writeAtomic(dir string, payload []byte) error {
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(payload)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		return os.Remove(tmp.Name())
+	}
+	return nil
+}
